@@ -1,0 +1,71 @@
+// Extension — the "ground truth problem" (paper §IV future work):
+// identifying an anomalous device that reports data different from its
+// actual consumption.
+//
+// One device under-reports its consumption by a factor; the aggregator's
+// ground-truth verification flags windows and the EWMA-profile scorer names
+// a suspect.  Sweeps the tamper factor and reports detection latency and
+// culprit-identification accuracy.
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main() {
+  emon::util::LogConfig::set_level(emon::util::LogLevel::kError);
+  using namespace emon;
+  using util::Table;
+
+  std::cout << "=== Extension: tamper detection & culprit identification ===\n"
+            << "1 network, 3 devices; dev-1 under-reports from t=40 s\n\n";
+
+  Table table({"reported/true", "windows flagged", "detection latency [s]",
+               "suspect = dev-1", "suspect accuracy [%]"});
+
+  for (double factor : {0.9, 0.8, 0.7, 0.5, 0.3, 0.1}) {
+    core::ScenarioParams params;
+    params.networks = 1;
+    params.devices_per_network = 3;
+    params.sys.seed = 404;
+    core::Testbed bed{params};
+    bed.start();
+    bed.run_for(sim::seconds(40));  // honest profile building
+    const std::size_t windows_before =
+        bed.aggregator(0).verification_history().size();
+    bed.device(0).set_tamper_factor(factor);
+    bed.run_for(sim::seconds(30));
+
+    const auto& history = bed.aggregator(0).verification_history();
+    std::size_t flagged = 0;
+    std::size_t suspect_right = 0;
+    double detection_latency = -1.0;
+    for (std::size_t i = windows_before; i < history.size(); ++i) {
+      if (history[i].anomalous) {
+        ++flagged;
+        if (detection_latency < 0.0) {
+          detection_latency = history[i].window_end.to_seconds() - 40.0;
+        }
+        if (history[i].suspect == "dev-1") {
+          ++suspect_right;
+        }
+      }
+    }
+    const double accuracy =
+        flagged > 0 ? 100.0 * static_cast<double>(suspect_right) /
+                          static_cast<double>(flagged)
+                    : 0.0;
+    table.row(Table::num(factor, 1), flagged,
+              detection_latency < 0.0 ? std::string("not detected")
+                                      : Table::num(detection_latency, 1),
+              suspect_right, Table::num(accuracy, 0));
+  }
+  std::cout << table.render() << '\n';
+  std::cout
+      << "shape: gross tampering (<=0.7x) is detected within one or two\n"
+      << "verification windows with a correctly named suspect; mild\n"
+      << "tampering (0.9x) hides inside the infrastructure tolerance band —\n"
+      << "exactly the sensitivity limit the paper's future work targets.\n";
+  return 0;
+}

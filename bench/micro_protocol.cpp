@@ -1,0 +1,143 @@
+// Microbenchmarks for the simulation and protocol substrates: event kernel
+// throughput, MQTT topic matching and dispatch, record serialization, and
+// whole-testbed simulation rate (simulated seconds per wall second).
+
+#include <benchmark/benchmark.h>
+
+#include "core/records.hpp"
+#include "util/log.hpp"
+#include "core/scenario.hpp"
+#include "net/mqtt.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace emon;
+
+// Benchmarks spin up testbeds whose runs end mid-handshake; silence the
+// resulting (expected) verification warnings.
+const bool g_quiet_logs = [] {
+  util::LogConfig::set_level(util::LogLevel::kError);
+  return true;
+}();
+
+void BM_KernelScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    for (int i = 0; i < 1000; ++i) {
+      kernel.schedule_at(sim::SimTime{i}, [] {});
+    }
+    benchmark::DoNotOptimize(kernel.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_KernelScheduleRun);
+
+void BM_KernelCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(kernel.schedule_at(sim::SimTime{i}, [] {}));
+    }
+    for (const auto id : ids) {
+      kernel.cancel(id);
+    }
+    benchmark::DoNotOptimize(kernel.run());
+  }
+}
+BENCHMARK(BM_KernelCancel);
+
+void BM_TopicMatch(benchmark::State& state) {
+  const std::string filter = "emon/report/+";
+  const std::string topic = "emon/report/dev-42";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::topic_matches(filter, topic));
+  }
+}
+BENCHMARK(BM_TopicMatch);
+
+void BM_TopicMatchDeepWildcard(benchmark::State& state) {
+  const std::string filter = "a/+/c/+/e/#";
+  const std::string topic = "a/b/c/d/e/f/g/h";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::topic_matches(filter, topic));
+  }
+}
+BENCHMARK(BM_TopicMatchDeepWildcard);
+
+void BM_RecordSerializeRoundTrip(benchmark::State& state) {
+  core::ConsumptionRecord record;
+  record.device_id = "dev-1";
+  record.sequence = 12345;
+  record.timestamp_ns = 987654321;
+  record.interval_ns = 100000000;
+  record.current_ma = 123.456;
+  record.bus_voltage_mv = 4998.0;
+  record.energy_mwh = 0.0171;
+  record.network = "wan-1";
+  for (auto _ : state) {
+    auto bytes = core::serialize_record(record);
+    auto back = core::deserialize_record(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_RecordSerializeRoundTrip);
+
+void BM_ReportBatchSerialize(benchmark::State& state) {
+  std::vector<core::ConsumptionRecord> records(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seq = 0;
+  for (auto& r : records) {
+    r.device_id = "dev-1";
+    r.sequence = seq++;
+    r.network = "wan-1";
+  }
+  for (auto _ : state) {
+    auto bytes = core::serialize_records(records);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ReportBatchSerialize)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_TestbedSimulationRate(benchmark::State& state) {
+  // Simulated seconds per wall second for the full Figure 4 testbed
+  // (2 networks x 2 devices at 10 Hz reporting).
+  for (auto _ : state) {
+    core::ScenarioParams params;
+    params.networks = 2;
+    params.devices_per_network = 2;
+    params.sys.seed = 1;
+    core::Testbed bed{params};
+    bed.start();
+    bed.run_for(sim::seconds(10));
+    benchmark::DoNotOptimize(bed.kernel().executed());
+  }
+  state.counters["sim_s_per_iter"] = 10;
+}
+BENCHMARK(BM_TestbedSimulationRate)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedScaling(benchmark::State& state) {
+  const auto networks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::ScenarioParams params;
+    params.networks = networks;
+    params.devices_per_network = 4;
+    params.network_spacing_m = 200.0;
+    params.sys.seed = 1;
+    core::Testbed bed{params};
+    bed.start();
+    bed.run_for(sim::seconds(5));
+    benchmark::DoNotOptimize(bed.kernel().executed());
+  }
+  state.counters["devices"] =
+      static_cast<double>(networks) * 4.0;
+}
+BENCHMARK(BM_TestbedScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Aggregator-less operation — the paper's future-work sketch (§II-A, §IV):
+// "In a truly decentralized network, the aggregators' role could be
+// performed by the devices themselves having a consensus among themselves."
+//
+// Five devices broadcast their consumption records and commit them into a
+// common chain via rotating-leader quorum voting; we crash a member mid-run
+// and watch the group keep committing, then verify replica consistency.
+
+#include <iostream>
+
+#include "core/consensus.hpp"
+#include "core/records.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emon;
+
+  sim::Kernel kernel;
+  core::ConsensusGroup group{kernel, 5, core::ConsensusParams{},
+                             util::Rng{123}};
+
+  // Devices submit a consumption record every 100 ms (T_measure).
+  std::uint64_t seq = 0;
+  sim::PeriodicTimer feeder{kernel, sim::milliseconds(100), [&] {
+    for (int device = 0; device < 5; ++device) {
+      core::ConsumptionRecord record;
+      record.device_id = "dev-" + std::to_string(device + 1);
+      record.sequence = ++seq;
+      record.timestamp_ns = kernel.now().ns();
+      record.interval_ns = sim::milliseconds(100).ns();
+      record.current_ma = 40.0 + 10.0 * device;
+      record.network = "wan-mesh";
+      group.submit(core::serialize_record(record));
+    }
+  }};
+
+  group.start();
+  feeder.start();
+
+  // Crash member 2 at t=10 s; restore it at t=20 s.
+  kernel.schedule_at(sim::SimTime{sim::seconds(10).ns()},
+                     [&group] { group.set_faulty(2, true); });
+  kernel.schedule_at(sim::SimTime{sim::seconds(20).ns()},
+                     [&group] { group.set_faulty(2, false); });
+
+  kernel.run_until(sim::SimTime{sim::seconds(30).ns()});
+  feeder.stop();
+  group.stop();
+
+  const auto& metrics = group.metrics();
+  std::cout << "=== Device-level consensus (5 members, 1 crash) ===\n\n";
+  util::Table table({"metric", "value"});
+  table.row("rounds started", metrics.rounds_started);
+  table.row("rounds committed", metrics.rounds_committed);
+  table.row("rounds failed (crashed leader)", metrics.rounds_failed);
+  table.row("messages sent", metrics.messages_sent);
+  table.row("commit latency mean [ms]",
+            util::Table::num(metrics.commit_latency_s.mean() * 1e3, 2));
+  table.row("commit latency p99 [ms]",
+            util::Table::num(metrics.commit_latency_s.quantile(0.99) * 1e3, 2));
+  std::cout << table.render() << '\n';
+
+  util::Table replicas({"member", "blocks", "records", "chain valid"});
+  for (std::size_t m = 0; m < group.member_count(); ++m) {
+    replicas.row(m, group.replica(m).size(), group.replica(m).record_count(),
+                 group.replica(m).validate().ok ? "yes" : "NO");
+  }
+  std::cout << replicas.render() << '\n';
+  std::cout << "honest replicas prefix-consistent: "
+            << (group.replicas_consistent() ? "yes" : "NO") << '\n';
+  std::cout << "\nnote: member 2 misses the blocks committed while it was\n"
+               "down (crash-stop model); a production system would add a\n"
+               "catch-up sync, which the paper leaves to future work.\n";
+  return group.replicas_consistent() ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Tamper detection walk-through.
+//
+// Two attacks against the metering architecture, and how each is caught:
+//  1. A device under-reports its live consumption — caught by the
+//     aggregator's ground-truth verification (system-level measurement vs
+//     sum of reports, §I) and attributed via consumption profiles.
+//  2. An insider rewrites consumption history at rest — caught by the
+//     hash-chain validation of the permissioned blockchain (§II-A).
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emon;
+
+  core::ScenarioParams params;
+  params.networks = 1;
+  params.devices_per_network = 3;
+  params.sys.seed = 13;
+
+  core::Testbed bed{params};
+  bed.start();
+  bed.run_for(sim::seconds(40));
+
+  std::cout << "=== Attack 1: live under-reporting ===\n";
+  std::cout << "dev-2 starts reporting 40 % of its real consumption at t=40 s\n\n";
+  bed.device(1).set_tamper_factor(0.4);
+  bed.run_for(sim::seconds(15));
+
+  const auto& history = bed.aggregator(0).verification_history();
+  util::Table windows({"window end [s]", "feeder [mA]", "expected [mA]",
+                       "residual [mA]", "verdict", "suspect"});
+  for (std::size_t i = history.size() - 10; i < history.size(); ++i) {
+    const auto& v = history[i];
+    windows.row(util::Table::num(v.window_end.to_seconds(), 0),
+                util::Table::num(v.feeder_ma, 1),
+                util::Table::num(v.expected_feeder_ma, 1),
+                util::Table::num(v.residual_ma, 1),
+                v.anomalous ? "ANOMALY" : "ok",
+                v.suspect.empty() ? "-" : v.suspect);
+  }
+  std::cout << windows.render() << '\n';
+
+  std::cout << "=== Attack 2: rewriting stored history ===\n\n";
+  auto validation = bed.chain().validate();
+  std::cout << "chain before tampering: " << bed.chain().ledger().size()
+            << " blocks, " << (validation.ok ? "valid" : "INVALID") << '\n';
+
+  // The insider halves a stored consumption value inside block 2 and even
+  // fixes up that record's serialization — but cannot fix the Merkle root
+  // without breaking the hash chain.
+  auto& blocks = bed.chain().ledger().mutable_blocks_for_tampering();
+  auto victim = core::deserialize_record(blocks[2].records[0]);
+  std::cout << "rewriting " << victim.device_id << " seq " << victim.sequence
+            << ": " << util::Table::num(victim.energy_mwh, 4) << " mWh -> "
+            << util::Table::num(victim.energy_mwh * 0.5, 4) << " mWh\n";
+  victim.energy_mwh *= 0.5;
+  blocks[2].records[0] = core::serialize_record(victim);
+
+  validation = bed.chain().validate();
+  std::cout << "chain after tampering : "
+            << (validation.ok
+                    ? "valid (BAD — attack went unnoticed!)"
+                    : "INVALID at block " + std::to_string(validation.bad_index)
+                          + " (" + validation.reason + ")")
+            << '\n';
+
+  // Every aggregator's replica still holds the honest history.
+  const auto replica_validation = bed.aggregator(0).replica().validate();
+  std::cout << "aggregator replica    : "
+            << (replica_validation.ok ? "valid (honest copy retained)"
+                                      : "INVALID")
+            << '\n';
+  return validation.ok ? 1 : 0;
+}

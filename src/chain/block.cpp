@@ -1,0 +1,103 @@
+#include "chain/block.hpp"
+
+#include "util/bytes.hpp"
+
+namespace emon::chain {
+
+std::vector<std::uint8_t> serialize_header(const BlockHeader& header) {
+  util::ByteWriter w;
+  w.u64(header.index);
+  w.raw(std::span<const std::uint8_t>(header.prev_hash.data(),
+                                      header.prev_hash.size()));
+  w.raw(std::span<const std::uint8_t>(header.merkle_root.data(),
+                                      header.merkle_root.size()));
+  w.i64(header.timestamp_ns);
+  w.str(header.writer);
+  return w.take();
+}
+
+Digest records_merkle_root(const std::vector<RecordBytes>& records) {
+  std::vector<Digest> leaves;
+  leaves.reserve(records.size());
+  for (const auto& record : records) {
+    leaves.push_back(Sha256::hash(
+        std::span<const std::uint8_t>(record.data(), record.size())));
+  }
+  return MerkleTree::root_of(leaves);
+}
+
+Digest compute_block_hash(const BlockHeader& header) {
+  const auto bytes = serialize_header(header);
+  return Sha256::hash(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+Block make_block(std::uint64_t index, const Digest& prev_hash,
+                 std::int64_t timestamp_ns, std::string writer,
+                 std::vector<RecordBytes> records) {
+  Block block;
+  block.header.index = index;
+  block.header.prev_hash = prev_hash;
+  block.header.timestamp_ns = timestamp_ns;
+  block.header.writer = std::move(writer);
+  block.records = std::move(records);
+  block.header.merkle_root = records_merkle_root(block.records);
+  block.hash = compute_block_hash(block.header);
+  return block;
+}
+
+bool verify_block_integrity(const Block& block) {
+  if (records_merkle_root(block.records) != block.header.merkle_root) {
+    return false;
+  }
+  return compute_block_hash(block.header) == block.hash;
+}
+
+std::vector<std::uint8_t> serialize_block(const Block& block) {
+  util::ByteWriter w;
+  w.u64(block.header.index);
+  w.raw(std::span<const std::uint8_t>(block.header.prev_hash.data(),
+                                      block.header.prev_hash.size()));
+  w.raw(std::span<const std::uint8_t>(block.header.merkle_root.data(),
+                                      block.header.merkle_root.size()));
+  w.i64(block.header.timestamp_ns);
+  w.str(block.header.writer);
+  w.u32(static_cast<std::uint32_t>(block.records.size()));
+  for (const auto& record : block.records) {
+    w.u32(static_cast<std::uint32_t>(record.size()));
+    w.raw(std::span<const std::uint8_t>(record.data(), record.size()));
+  }
+  w.raw(std::span<const std::uint8_t>(block.hash.data(), block.hash.size()));
+  w.raw(std::span<const std::uint8_t>(block.signature.data(),
+                                      block.signature.size()));
+  return w.take();
+}
+
+Block deserialize_block(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  Block block;
+  block.header.index = r.u64();
+  auto take_digest = [&r]() {
+    Digest d{};
+    const auto raw = r.raw(d.size());
+    std::copy(raw.begin(), raw.end(), d.begin());
+    return d;
+  };
+  block.header.prev_hash = take_digest();
+  block.header.merkle_root = take_digest();
+  block.header.timestamp_ns = r.i64();
+  block.header.writer = r.str();
+  const std::uint32_t count = r.u32();
+  block.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = r.u32();
+    block.records.push_back(r.raw(len));
+  }
+  block.hash = take_digest();
+  block.signature = take_digest();
+  if (!r.done()) {
+    throw util::DecodeError("trailing bytes after block");
+  }
+  return block;
+}
+
+}  // namespace emon::chain

@@ -1,0 +1,72 @@
+#pragma once
+// Hash-chain ledger: append-only block storage with tamper detection.
+//
+// The paper uses "blockchain only as a hashed data chain without any
+// consensus" (§II-A) — the aggregator is trusted and validates data before a
+// block is created, so the chain's job is purely tamper evidence for data
+// at rest.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace emon::chain {
+
+/// Result of validating a chain.
+struct ValidationResult {
+  bool ok = true;
+  /// Index of the first bad block (when !ok).
+  std::size_t bad_index = 0;
+  /// Human-readable reason (when !ok).
+  std::string reason;
+};
+
+/// Validates an arbitrary block sequence: genesis linkage, monotone indices,
+/// prev-hash links, per-block integrity and non-decreasing timestamps.
+[[nodiscard]] ValidationResult verify_chain(const std::vector<Block>& blocks);
+
+/// Append-only ledger owned by one writer (a trusted aggregator) or shared
+/// by the permissioned layer.
+class Ledger {
+ public:
+  /// Appends a new block carrying `records`, stamped `timestamp_ns`, written
+  /// by `writer`.  Returns a reference to the stored block.
+  const Block& append(std::vector<RecordBytes> records,
+                      std::int64_t timestamp_ns, const std::string& writer);
+
+  /// Appends an externally produced block (backhaul sync).  The block must
+  /// extend this chain (correct index and prev-hash) and pass integrity
+  /// checks; returns false and leaves the ledger unchanged otherwise.
+  bool append_external(Block block);
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return blocks_.empty(); }
+  [[nodiscard]] const Block& at(std::size_t i) const { return blocks_.at(i); }
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const Digest& tip_hash() const noexcept { return tip_hash_; }
+
+  /// Validates the whole chain.
+  [[nodiscard]] ValidationResult validate() const;
+
+  /// Total number of records across all blocks.
+  [[nodiscard]] std::size_t record_count() const noexcept;
+
+  /// TEST/ATTACK HOOK: returns mutable block storage so tamper experiments
+  /// can flip bytes and demonstrate detection.  Production code never calls
+  /// this; it exists because the whole point of the chain is to make such
+  /// edits detectable.
+  [[nodiscard]] std::vector<Block>& mutable_blocks_for_tampering() noexcept {
+    return blocks_;
+  }
+
+ private:
+  std::vector<Block> blocks_;
+  Digest tip_hash_{};  // zero digest before genesis
+};
+
+}  // namespace emon::chain

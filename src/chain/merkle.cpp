@@ -1,0 +1,82 @@
+#include "chain/merkle.hpp"
+
+namespace emon::chain {
+
+namespace {
+
+Digest hash_leaf(const Digest& leaf) noexcept {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(std::span<const std::uint8_t>(leaf.data(), leaf.size()));
+  return h.finish();
+}
+
+Digest hash_interior(const Digest& left, const Digest& right) noexcept {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return h.finish();
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = zero_digest();
+    return;
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    level.push_back(hash_leaf(leaf));
+  }
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_interior(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back().front();
+}
+
+std::optional<MerkleProof> MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) {
+    return std::nullopt;
+  }
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    const std::size_t sibling =
+        (pos % 2 == 0) ? (pos + 1 < nodes.size() ? pos + 1 : pos) : pos - 1;
+    proof.push_back(ProofStep{nodes[sibling], /*sibling_is_left=*/pos % 2 == 1});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof,
+                        const Digest& root) {
+  Digest acc = hash_leaf(leaf);
+  for (const auto& step : proof) {
+    acc = step.sibling_is_left ? hash_interior(step.sibling, acc)
+                               : hash_interior(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+Digest MerkleTree::root_of(const std::vector<Digest>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+}  // namespace emon::chain

@@ -1,0 +1,59 @@
+#pragma once
+// Merkle tree over block payload records.
+//
+// Each block commits to its set of consumption records via a Merkle root, so
+// a verifier can prove membership of a single record (one device's reading)
+// without shipping the full block — useful for per-device billing audits.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "chain/sha256.hpp"
+
+namespace emon::chain {
+
+/// One step of a Merkle inclusion proof: the sibling digest and which side
+/// it sits on.
+struct ProofStep {
+  Digest sibling{};
+  bool sibling_is_left = false;
+};
+
+using MerkleProof = std::vector<ProofStep>;
+
+/// Computes roots and inclusion proofs over a list of leaf digests.
+///
+/// Leaves are the SHA-256 of each serialized record; interior nodes hash
+/// `0x01 || left || right` and leaves are re-hashed as `0x00 || leaf` to
+/// rule out second-preimage splices between levels (CVE-2012-2459-style
+/// ambiguity).  An odd node at any level is paired with itself.
+class MerkleTree {
+ public:
+  /// Builds the tree.  An empty leaf set yields the zero digest root.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  [[nodiscard]] const Digest& root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return leaf_count_;
+  }
+
+  /// Inclusion proof for leaf `index`; nullopt if out of range.
+  [[nodiscard]] std::optional<MerkleProof> prove(std::size_t index) const;
+
+  /// Verifies that `leaf` is included under `root` at any position using
+  /// `proof`.  Static so verifiers need not rebuild the tree.
+  [[nodiscard]] static bool verify(const Digest& leaf, const MerkleProof& proof,
+                                   const Digest& root);
+
+  /// Computes just the root for a set of leaves (no proof support).
+  [[nodiscard]] static Digest root_of(const std::vector<Digest>& leaves);
+
+ private:
+  // levels_[0] is the (tagged) leaf level; levels_.back() has one node.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_{};
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace emon::chain

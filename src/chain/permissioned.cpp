@@ -1,0 +1,78 @@
+#include "chain/permissioned.hpp"
+
+namespace emon::chain {
+
+Digest sign_block_hash(const Digest& block_hash, const std::string& secret) {
+  Sha256 h;
+  h.update(secret);
+  h.update(std::span<const std::uint8_t>(block_hash.data(), block_hash.size()));
+  return h.finish();
+}
+
+bool PermissionedChain::register_writer(const WriterKey& key) {
+  if (key.id.empty()) {
+    return false;
+  }
+  const auto [it, inserted] =
+      writers_.emplace(key.id, WriterEntry{key.secret, false});
+  if (!inserted && it->second.revoked) {
+    // Re-registering a revoked id restores it with the new secret.
+    it->second = WriterEntry{key.secret, false};
+    return true;
+  }
+  return inserted;
+}
+
+bool PermissionedChain::revoke_writer(const std::string& id) {
+  const auto it = writers_.find(id);
+  if (it == writers_.end() || it->second.revoked) {
+    return false;
+  }
+  it->second.revoked = true;
+  return true;
+}
+
+bool PermissionedChain::is_authorized(const std::string& id) const {
+  const auto it = writers_.find(id);
+  return it != writers_.end() && !it->second.revoked;
+}
+
+std::optional<Block> PermissionedChain::append(const std::string& writer_id,
+                                               const std::string& secret,
+                                               std::vector<RecordBytes> records,
+                                               std::int64_t timestamp_ns) {
+  const auto it = writers_.find(writer_id);
+  if (it == writers_.end() || it->second.revoked ||
+      it->second.secret != secret) {
+    return std::nullopt;
+  }
+  const Block& appended =
+      ledger_.append(std::move(records), timestamp_ns, writer_id);
+  // Ledger::append returns a const ref into storage; sign in place via the
+  // mutable accessor (the signature is not part of the block hash).
+  Block& stored = ledger_.mutable_blocks_for_tampering().back();
+  stored.signature = sign_block_hash(appended.hash, secret);
+  return stored;
+}
+
+ValidationResult PermissionedChain::validate() const {
+  ValidationResult result = ledger_.validate();
+  if (!result.ok) {
+    return result;
+  }
+  const auto& blocks = ledger_.blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Block& block = blocks[i];
+    const auto it = writers_.find(block.header.writer);
+    if (it == writers_.end()) {
+      return {false, i, "block written by unknown writer '" +
+                            block.header.writer + "'"};
+    }
+    if (block.signature != sign_block_hash(block.hash, it->second.secret)) {
+      return {false, i, "bad writer signature"};
+    }
+  }
+  return {};
+}
+
+}  // namespace emon::chain

@@ -1,0 +1,74 @@
+#pragma once
+// Permissioned multi-writer chain.
+//
+// "The blocks from all the aggregators are formed into a common permissioned
+// blockchain" (paper §II-A).  Aggregators are the only authorized writers;
+// each block is authenticated with a keyed MAC (SHA-256 over writer secret
+// and block hash — a simulation stand-in for a real signature scheme, see
+// DESIGN.md) so a reader can attribute every block to a registered writer.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+
+namespace emon::chain {
+
+/// A writer credential: identity plus shared secret.
+struct WriterKey {
+  std::string id;
+  std::string secret;
+};
+
+/// MAC = SHA-256(secret || block_hash).  Stand-in for a digital signature;
+/// adequate for the simulation because verifiers are the same trusted
+/// aggregator set that holds the registry.
+[[nodiscard]] Digest sign_block_hash(const Digest& block_hash,
+                                     const std::string& secret);
+
+/// The shared permissioned chain.  One logical instance exists per backhaul
+/// federation; aggregators hold references and append through it.
+class PermissionedChain {
+ public:
+  /// Registers an authorized writer.  Returns false if the id is taken.
+  bool register_writer(const WriterKey& key);
+
+  /// Revokes a writer (e.g. decommissioned aggregator).  Existing blocks
+  /// remain valid; new appends by this writer are rejected.
+  bool revoke_writer(const std::string& id);
+
+  [[nodiscard]] bool is_authorized(const std::string& id) const;
+
+  /// Appends a signed block of records on behalf of `writer_id`.
+  /// Returns the stored block, or nullopt if the writer is not authorized
+  /// (or presents the wrong secret).
+  std::optional<Block> append(const std::string& writer_id,
+                              const std::string& secret,
+                              std::vector<RecordBytes> records,
+                              std::int64_t timestamp_ns);
+
+  [[nodiscard]] const Ledger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] Ledger& ledger() noexcept { return ledger_; }
+
+  /// Validates hash linkage AND writer signatures over the whole chain.
+  /// Revoked writers' historic blocks still verify (their key is retained
+  /// for verification, marked revoked for appends).
+  [[nodiscard]] ValidationResult validate() const;
+
+  [[nodiscard]] std::size_t writer_count() const noexcept {
+    return writers_.size();
+  }
+
+ private:
+  struct WriterEntry {
+    std::string secret;
+    bool revoked = false;
+  };
+
+  Ledger ledger_;
+  std::map<std::string, WriterEntry> writers_;
+};
+
+}  // namespace emon::chain

@@ -1,0 +1,169 @@
+#include "chain/sha256.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/hexdump.hpp"
+
+namespace emon::chain {
+
+namespace {
+
+// First 32 bits of the fractional parts of the cube roots of the first 64
+// primes (FIPS 180-4 §4.2.2).
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() noexcept
+    // First 32 bits of the fractional parts of the square roots of the first
+    // 8 primes (FIPS 180-4 §5.3.3).
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+             0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
+      buffer_{} {}
+
+void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  assert(!finished_ && "Sha256::update after finish()");
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  // Fill a partially filled buffer first.
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  // Whole blocks straight from the input.
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  // Stash the tail.
+  if (offset < data.size()) {
+    const std::size_t take = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, take);
+    buffer_len_ = take;
+  }
+}
+
+void Sha256::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Digest Sha256::finish() noexcept {
+  assert(!finished_ && "Sha256::finish called twice");
+
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+  const std::uint64_t bit_len = total_len_ * 8;
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  // Pad so that (buffer_len_ + pad_len + 8) % 64 == 0.
+  std::size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                           : (120 - buffer_len_);
+  std::array<std::uint8_t, 8> len_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Feed padding through the normal path (it handles block boundaries).
+  total_len_ = 0;  // update() accounting no longer matters
+  update(std::span<const std::uint8_t>(pad.data(), pad_len));
+  update(std::span<const std::uint8_t>(len_bytes.data(), len_bytes.size()));
+  assert(buffer_len_ == 0);
+  finished_ = true;
+
+  Digest out{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+void Sha256::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t big_s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 =
+        h + big_s1 + ch + kK[static_cast<std::size_t>(t)] +
+        w[t];
+    const std::uint32_t big_s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = big_s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Digest Sha256::hash(std::span<const std::uint8_t> data) noexcept {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+Digest Sha256::hash(std::string_view data) noexcept {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+std::string to_hex(const Digest& d) {
+  return util::to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+}  // namespace emon::chain

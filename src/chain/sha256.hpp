@@ -1,0 +1,58 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The aggregator encapsulates reported consumption data into a hash chain
+// (paper §II-A: "The hash of a new block is created from the reported data
+// and the hash of the previous block").  This is the hash primitive for
+// block hashes, Merkle trees and device-ID commitments.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace emon::chain {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+///
+///   Sha256 h;
+///   h.update(header_bytes);
+///   h.update(payload_bytes);
+///   Digest d = h.finish();
+///
+/// `finish()` finalizes; the context must not be updated afterwards.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+
+  /// Finalizes and returns the digest.  May be called once.
+  [[nodiscard]] Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// Lowercase hex rendering of a digest.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+/// All-zero digest — the "previous hash" of a genesis block.
+[[nodiscard]] constexpr Digest zero_digest() noexcept { return Digest{}; }
+
+}  // namespace emon::chain

@@ -1,0 +1,492 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace emon::core {
+
+namespace {
+/// Feeder sensors are calibrated for the whole-network load.
+constexpr double kFeederMaxExpectedAmps = 3.2;
+}  // namespace
+
+Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
+                       const SystemConfig& config,
+                       grid::DistributionNetwork& grid_net,
+                       net::Backhaul& backhaul, chain::PermissionedChain& chain,
+                       const util::SeedSequence& seeds, sim::Trace* trace)
+    : kernel_(kernel),
+      id_(std::move(id)),
+      network_(std::move(network)),
+      config_(config),
+      grid_(grid_net),
+      backhaul_(backhaul),
+      chain_(chain),
+      chain_secret_("secret-" + id_),
+      trace_(trace),
+      log_(id_),
+      broker_(kernel, id_),
+      tdma_(config.aggregator.tdma),
+      detector_(AnomalyParams{
+          grid_net.params().overhead_quiescent, grid_net.params().loss_fraction,
+          config.aggregator.anomaly_abs_tolerance,
+          config.aggregator.anomaly_rel_tolerance, 0.2}),
+      billing_(network_, Tariff{}),
+      feeder_meter_(feeder_bus_, *[&]() -> hw::Ina219* {
+        // The feeder INA219 is created before EnergyMeter binds it; the
+        // lambda keeps initialization order explicit.
+        feeder_sensor_ = std::make_unique<hw::Ina219>(
+            0x40, hw::Ina219Params{}, grid_net.feeder_probe(),
+            seeds.stream("ina219.feeder." + id_));
+        feeder_sensor_->calibrate_for(util::amps(kFeederMaxExpectedAmps));
+        feeder_bus_.attach(*feeder_sensor_);
+        return feeder_sensor_.get();
+      }(), [&kernel] { return kernel.now(); }) {
+  chain_.register_writer(chain::WriterKey{id_, chain_secret_});
+  backhaul_.add_node(id_, [this](const net::BackhaulMessage& m) {
+    handle_backhaul(m);
+  });
+  broker_.subscribe_local("emon/register/+", [this](const net::MqttMessage& m) {
+    handle_register(m);
+  });
+  broker_.subscribe_local("emon/report/+", [this](const net::MqttMessage& m) {
+    handle_report(m);
+  });
+}
+
+void Aggregator::start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  window_start_ = kernel_.now();
+  feeder_timer_ = std::make_unique<sim::PeriodicTimer>(
+      kernel_, config_.device.t_measure, [this] { on_feeder_sample(); });
+  verify_timer_ = std::make_unique<sim::PeriodicTimer>(
+      kernel_, config_.aggregator.verify_interval, [this] { on_verify_window(); });
+  block_timer_ = std::make_unique<sim::PeriodicTimer>(
+      kernel_, config_.aggregator.block_interval, [this] { on_block_timer(); });
+  beacon_timer_ = std::make_unique<sim::PeriodicTimer>(
+      kernel_, config_.aggregator.beacon_interval, [this] { on_beacon_timer(); });
+  expiry_timer_ = std::make_unique<sim::PeriodicTimer>(
+      kernel_, config_.aggregator.temp_member_timeout, [this] {
+        on_expiry_sweep();
+      });
+  feeder_timer_->start();
+  verify_timer_->start();
+  block_timer_->start();
+  beacon_timer_->start(/*fire_immediately=*/true);
+  expiry_timer_->start();
+}
+
+void Aggregator::stop() {
+  started_ = false;
+  feeder_timer_.reset();
+  verify_timer_.reset();
+  block_timer_.reset();
+  beacon_timer_.reset();
+  expiry_timer_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// MQTT ingress
+// ---------------------------------------------------------------------------
+
+void Aggregator::handle_register(const net::MqttMessage& msg) {
+  RegisterRequest req;
+  try {
+    req = decode_register_request(msg.payload);
+  } catch (const util::DecodeError& e) {
+    log_.warn("malformed register request: ", e.what());
+    return;
+  }
+  log_.debug("register request from ", req.device_id, " master='",
+             req.master_addr, "'");
+
+  if (MemberEntry* existing = members_.find(req.device_id)) {
+    // Re-registration of a known member (e.g. device rebooted): re-accept
+    // with the existing slot.
+    CtrlMessage accept;
+    accept.type = CtrlType::kRegisterAccept;
+    accept.device_id = req.device_id;
+    accept.assigned_addr = id_;
+    accept.membership = existing->kind;
+    accept.slot = static_cast<std::uint32_t>(existing->slot);
+    send_ctrl(accept);
+    return;
+  }
+
+  if (req.master_addr.empty() || req.master_addr == id_) {
+    // Sequence 1: new home membership.
+    const auto slot = tdma_.allocate(req.device_id);
+    if (!slot) {
+      ++stats_.registrations_rejected;
+      CtrlMessage reject;
+      reject.type = CtrlType::kRegisterReject;
+      reject.device_id = req.device_id;
+      reject.reason = "no free time-slot";
+      send_ctrl(reject);
+      return;
+    }
+    members_.add_home(req.device_id, *slot, kernel_.now());
+    last_membership_change_ = kernel_.now();
+    ++stats_.registrations_home;
+    CtrlMessage accept;
+    accept.type = CtrlType::kRegisterAccept;
+    accept.device_id = req.device_id;
+    accept.assigned_addr = id_;
+    accept.membership = MembershipKind::kHome;
+    accept.slot = static_cast<std::uint32_t>(*slot);
+    send_ctrl(accept);
+    log_.info("home membership created for ", req.device_id, " slot ", *slot);
+    return;
+  }
+
+  // Sequence 2: temporary membership — verify the device with its master
+  // before creating it ("after verifying the device ID with Aggregator 1").
+  if (pending_temp_.find(req.device_id) != pending_temp_.end()) {
+    return;  // verification already in flight
+  }
+  pending_temp_[req.device_id] =
+      PendingTempReg{req.master_addr, kernel_.now()};
+  VerifyDeviceQuery query{req.device_id, id_};
+  backhaul_.send(net::BackhaulMessage{id_, req.master_addr, "verify_device",
+                                      encode(query)});
+}
+
+void Aggregator::handle_report(const net::MqttMessage& msg) {
+  Report report;
+  try {
+    report = decode_report(msg.payload);
+  } catch (const util::DecodeError& e) {
+    log_.warn("malformed report: ", e.what());
+    return;
+  }
+  MemberEntry* member = members_.find(report.device_id);
+  if (member == nullptr) {
+    // Figure 3: Nack — the device must (re-)register here first.
+    ++stats_.nacks_sent;
+    CtrlMessage nack;
+    nack.type = CtrlType::kReportNack;
+    nack.device_id = report.device_id;
+    nack.reason = "no membership";
+    send_ctrl(nack);
+    return;
+  }
+  accept_records(*member, report);
+}
+
+void Aggregator::accept_records(MemberEntry& member, const Report& report) {
+  ++stats_.reports_accepted;
+  member.last_seen = kernel_.now();
+
+  std::vector<ConsumptionRecord> fresh;
+  for (const auto& record : report.records) {
+    if (!member.seen_sequences.insert(record.sequence).second) {
+      continue;  // duplicate (retransmission, or probe/backlog overlap)
+    }
+    member.last_sequence = std::max(member.last_sequence, record.sequence);
+    fresh.push_back(record);
+  }
+
+  for (const auto& record : fresh) {
+    ++stats_.records_accepted;
+    if (record.stored_offline) {
+      ++stats_.offline_records_accepted;
+    } else {
+      // Live records feed the current verification window.  Buffered ones
+      // describe past windows and would double-count.
+      window_reported_ma_[record.device_id].add(record.current_ma);
+    }
+    if (trace_ != nullptr) {
+      trace_->append("reported." + id_ + "." + record.device_id,
+                     sim::SimTime{record.timestamp_ns}, record.current_ma);
+      trace_->append("arrival." + id_ + "." + record.device_id, kernel_.now(),
+                     record.current_ma);
+    }
+    if (member.kind == MembershipKind::kHome) {
+      queue_for_chain(record);
+      billing_.ingest(record);
+    }
+  }
+
+  if (member.kind == MembershipKind::kTemporary && !fresh.empty()) {
+    // Forward on behalf of the master ("These values are in turn
+    // transmitted back to the home network using the Master address").
+    RoamRecords roam{report.device_id, id_, std::move(fresh)};
+    backhaul_.send(net::BackhaulMessage{id_, member.master_addr,
+                                        "roam_records", encode(roam)});
+    ++stats_.roam_batches_forwarded;
+  }
+
+  ++stats_.acks_sent;
+  CtrlMessage ack;
+  ack.type = CtrlType::kReportAck;
+  ack.device_id = report.device_id;
+  ack.ack_sequence = member.last_sequence;
+  send_ctrl(ack);
+}
+
+void Aggregator::queue_for_chain(const ConsumptionRecord& record) {
+  pending_records_.push_back(serialize_record(record));
+}
+
+// ---------------------------------------------------------------------------
+// Backhaul ingress
+// ---------------------------------------------------------------------------
+
+void Aggregator::handle_backhaul(const net::BackhaulMessage& msg) {
+  try {
+    if (msg.kind == "verify_device") {
+      const VerifyDeviceQuery query = decode_verify_query(msg.payload);
+      const MemberEntry* member = members_.find(query.device_id);
+      const bool known =
+          member != nullptr && member->kind == MembershipKind::kHome;
+      ++stats_.verify_queries_answered;
+      VerifyDeviceResponse resp{query.device_id, known, id_};
+      backhaul_.send(net::BackhaulMessage{id_, query.origin,
+                                          "verify_device_resp", encode(resp)});
+    } else if (msg.kind == "verify_device_resp") {
+      const VerifyDeviceResponse resp = decode_verify_response(msg.payload);
+      finish_temp_registration(resp.device_id, resp.known);
+    } else if (msg.kind == "roam_records") {
+      const RoamRecords roam = decode_roam_records(msg.payload);
+      MemberEntry* member = members_.find(roam.device_id);
+      if (member == nullptr || member->kind != MembershipKind::kHome) {
+        log_.warn("roam records for unknown device ", roam.device_id);
+        return;
+      }
+      member->roaming_host = roam.collector;
+      for (const auto& record : roam.records) {
+        ++stats_.roam_records_received;
+        queue_for_chain(record);
+        billing_.ingest(record);
+        if (trace_ != nullptr) {
+          trace_->append("reported." + id_ + "." + record.device_id,
+                         sim::SimTime{record.timestamp_ns}, record.current_ma);
+          trace_->append("arrival." + id_ + "." + record.device_id,
+                         kernel_.now(), record.current_ma);
+        }
+      }
+    } else if (msg.kind == "transfer_membership") {
+      const TransferMembership transfer = decode_transfer(msg.payload);
+      // We are the receiving (new master) side: promote an existing
+      // temporary membership, or pre-authorize a future registration.
+      if (MemberEntry* member = members_.find(transfer.device_id)) {
+        member->kind = MembershipKind::kHome;
+        member->master_addr.clear();
+        last_membership_change_ = kernel_.now();
+        log_.info("membership of ", transfer.device_id,
+                  " promoted to home (ownership transfer)");
+      }
+    } else if (msg.kind == "remove_device") {
+      const RemoveDevice remove = decode_remove(msg.payload);
+      remove_membership(remove.device_id, remove.reason);
+    } else if (msg.kind == "chain_block") {
+      sync_replica(chain::deserialize_block(msg.payload));
+    } else {
+      log_.warn("unknown backhaul kind '", msg.kind, "'");
+    }
+  } catch (const util::DecodeError& e) {
+    log_.warn("malformed backhaul message kind='", msg.kind, "': ", e.what());
+  }
+}
+
+void Aggregator::finish_temp_registration(const DeviceId& device,
+                                          bool verified) {
+  const auto it = pending_temp_.find(device);
+  if (it == pending_temp_.end()) {
+    return;
+  }
+  const std::string master = it->second.master;
+  pending_temp_.erase(it);
+
+  if (!verified) {
+    ++stats_.registrations_rejected;
+    CtrlMessage reject;
+    reject.type = CtrlType::kRegisterReject;
+    reject.device_id = device;
+    reject.reason = "master does not recognise device";
+    send_ctrl(reject);
+    return;
+  }
+  const auto slot = tdma_.allocate(device);
+  if (!slot) {
+    ++stats_.registrations_rejected;
+    CtrlMessage reject;
+    reject.type = CtrlType::kRegisterReject;
+    reject.device_id = device;
+    reject.reason = "no free time-slot";
+    send_ctrl(reject);
+    return;
+  }
+  members_.add_temporary(device, master, *slot, kernel_.now());
+  last_membership_change_ = kernel_.now();
+  ++stats_.registrations_temporary;
+  CtrlMessage accept;
+  accept.type = CtrlType::kRegisterAccept;
+  accept.device_id = device;
+  accept.assigned_addr = id_;
+  accept.membership = MembershipKind::kTemporary;
+  accept.slot = static_cast<std::uint32_t>(*slot);
+  send_ctrl(accept);
+  log_.info("temporary membership created for ", device, " (master ", master,
+            ")");
+}
+
+// ---------------------------------------------------------------------------
+// Periodic duties
+// ---------------------------------------------------------------------------
+
+void Aggregator::on_feeder_sample() {
+  const auto sample = feeder_meter_.sample();
+  if (!sample) {
+    return;
+  }
+  const double ma = util::as_milliamps(sample->current);
+  window_feeder_ma_.add(ma);
+  if (trace_ != nullptr) {
+    trace_->append("feeder." + id_, sample->taken_at, ma);
+  }
+}
+
+void Aggregator::on_verify_window() {
+  const sim::SimTime window_end = kernel_.now();
+  std::map<DeviceId, double> reported;
+  for (const auto& [device, stats] : window_reported_ma_) {
+    if (!stats.empty()) {
+      reported[device] = stats.mean();
+    }
+  }
+  const double feeder_ma =
+      window_feeder_ma_.empty() ? 0.0 : window_feeder_ma_.mean();
+
+  VerificationResult result =
+      detector_.evaluate(window_start_, window_end, feeder_ma, reported);
+  // Windows touching a membership change are transitional: devices may be
+  // drawing before they can report (the handshake phase of Figure 6).
+  if (last_membership_change_ >= window_start_ - sim::seconds(2)) {
+    result.anomalous = false;
+    result.suspect.clear();
+  }
+  if (result.anomalous) {
+    log_.warn("anomaly: feeder=", result.feeder_ma,
+              " mA, expected=", result.expected_feeder_ma,
+              " mA, residual=", result.residual_ma, " mA, suspect='",
+              result.suspect, "'");
+  }
+  verification_history_.push_back(std::move(result));
+
+  window_feeder_ma_.reset();
+  window_reported_ma_.clear();
+  window_start_ = window_end;
+}
+
+void Aggregator::on_block_timer() {
+  if (pending_records_.empty()) {
+    return;  // no empty blocks: the chain commits data, not heartbeats
+  }
+  auto block = chain_.append(id_, chain_secret_, std::move(pending_records_),
+                             kernel_.now().ns());
+  pending_records_.clear();
+  if (!block) {
+    log_.error("chain append rejected (writer not authorized?)");
+    return;
+  }
+  ++stats_.blocks_written;
+  broadcast_block(*block);
+}
+
+void Aggregator::broadcast_block(const chain::Block& block) {
+  const auto bytes = chain::serialize_block(block);
+  // Replicate to every other aggregator (and to our own replica directly).
+  sync_replica(block);
+  for (const auto& peer : backhaul_.nodes()) {
+    if (peer != id_) {
+      backhaul_.send(net::BackhaulMessage{id_, peer, "chain_block", bytes});
+    }
+  }
+}
+
+void Aggregator::sync_replica(chain::Block block) {
+  if (block.header.index < replica_.size()) {
+    return;  // already applied
+  }
+  replica_backlog_[block.header.index] = std::move(block);
+  for (auto it = replica_backlog_.find(replica_.size());
+       it != replica_backlog_.end();
+       it = replica_backlog_.find(replica_.size())) {
+    if (!replica_.append_external(it->second)) {
+      log_.warn("replica rejected block ", it->second.header.index);
+      replica_backlog_.erase(it);
+      break;
+    }
+    replica_backlog_.erase(it);
+  }
+}
+
+void Aggregator::on_beacon_timer() {
+  Beacon beacon{id_, kernel_.now().ns()};
+  broker_.publish_from_host(
+      net::MqttMessage{topic_beacon(), encode(beacon), 0, id_});
+}
+
+void Aggregator::on_expiry_sweep() {
+  const sim::SimTime cutoff =
+      kernel_.now() - config_.aggregator.temp_member_timeout;
+  for (const auto& device : members_.stale_temporaries(cutoff)) {
+    log_.info("temporary membership of ", device, " expired");
+    tdma_.release(device);
+    members_.remove(device);
+    last_membership_change_ = kernel_.now();
+    ++stats_.memberships_expired;
+  }
+  // Expire stuck temp registrations (master unreachable).
+  for (auto it = pending_temp_.begin(); it != pending_temp_.end();) {
+    if (kernel_.now() - it->second.since > sim::seconds(5)) {
+      CtrlMessage reject;
+      reject.type = CtrlType::kRegisterReject;
+      reject.device_id = it->first;
+      reject.reason = "master verification timed out";
+      send_ctrl(reject);
+      ++stats_.registrations_rejected;
+      it = pending_temp_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Administrative membership operations (sequence 3)
+// ---------------------------------------------------------------------------
+
+void Aggregator::remove_membership(const DeviceId& device,
+                                   const std::string& reason) {
+  if (members_.remove(device)) {
+    tdma_.release(device);
+    last_membership_change_ = kernel_.now();
+    CtrlMessage removed;
+    removed.type = CtrlType::kMembershipRemoved;
+    removed.device_id = device;
+    removed.reason = reason;
+    send_ctrl(removed);
+    log_.info("membership of ", device, " removed: ", reason);
+  }
+}
+
+void Aggregator::transfer_membership(const DeviceId& device,
+                                     const std::string& new_master) {
+  TransferMembership transfer{device, new_master};
+  backhaul_.send(net::BackhaulMessage{id_, new_master, "transfer_membership",
+                                      encode(transfer)});
+  remove_membership(device, "ownership transferred to " + new_master);
+}
+
+void Aggregator::send_ctrl(const CtrlMessage& message) {
+  broker_.publish_from_host(net::MqttMessage{
+      topic_ctrl(message.device_id), encode(message), 0, id_});
+}
+
+}  // namespace emon::core

@@ -1,0 +1,183 @@
+#pragma once
+// The aggregator (Figure 1): trusted per-WAN unit that
+//   * hosts the MQTT broker its member devices report to,
+//   * grants time-slots (TDMA) and memberships (home/temporary, Figure 3),
+//   * verifies reported data against its own feeder measurement (ground
+//     truth) each verification window,
+//   * encapsulates validated records into the common permissioned
+//     blockchain ("Update Blockchain" steps of Figure 3),
+//   * liaises with other aggregators over the backhaul for device
+//     verification, roamed-record forwarding and membership transfer,
+//   * broadcasts time-sync beacons,
+//   * bills its home devices (location-independent per-device billing).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/permissioned.hpp"
+#include "core/anomaly.hpp"
+#include "core/billing.hpp"
+#include "core/config.hpp"
+#include "core/energy_meter.hpp"
+#include "core/membership.hpp"
+#include "core/messages.hpp"
+#include "grid/distribution.hpp"
+#include "hw/i2c.hpp"
+#include "hw/ina219.hpp"
+#include "net/backhaul.hpp"
+#include "net/mqtt.hpp"
+#include "net/tdma.hpp"
+#include "sim/timer.hpp"
+#include "sim/trace.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace emon::core {
+
+struct AggregatorStats {
+  std::uint64_t reports_accepted = 0;
+  std::uint64_t records_accepted = 0;
+  std::uint64_t offline_records_accepted = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t registrations_home = 0;
+  std::uint64_t registrations_temporary = 0;
+  std::uint64_t registrations_rejected = 0;
+  std::uint64_t verify_queries_answered = 0;
+  std::uint64_t roam_batches_forwarded = 0;
+  std::uint64_t roam_records_received = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t memberships_expired = 0;
+};
+
+class Aggregator {
+ public:
+  /// `network` is the WAN/grid-location this aggregator owns (its SSID).
+  /// The aggregator registers itself as a backhaul node and a chain writer.
+  Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
+             const SystemConfig& config, grid::DistributionNetwork& grid_net,
+             net::Backhaul& backhaul, chain::PermissionedChain& chain,
+             const util::SeedSequence& seeds, sim::Trace* trace = nullptr);
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Starts periodic duties (feeder sampling, verification, blocks,
+  /// beacons, expiry sweeps).
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const NetworkId& network() const noexcept { return network_; }
+  [[nodiscard]] net::MqttBroker& broker() noexcept { return broker_; }
+  [[nodiscard]] const MembershipTable& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] const AggregatorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<VerificationResult>& verification_history()
+      const noexcept {
+    return verification_history_;
+  }
+  [[nodiscard]] const BillingService& billing() const noexcept {
+    return billing_;
+  }
+  [[nodiscard]] const chain::Ledger& replica() const noexcept {
+    return replica_;
+  }
+  [[nodiscard]] const AnomalyDetector& detector() const noexcept {
+    return detector_;
+  }
+  /// The feeder meter's running energy total (centralized measurement).
+  [[nodiscard]] const EnergyMeter& feeder_meter() const noexcept {
+    return feeder_meter_;
+  }
+
+  /// Administrative membership removal (sequence 3: loss/reset/transfer of
+  /// ownership).  Notifies the device and, for transfers, the new master.
+  void remove_membership(const DeviceId& device, const std::string& reason);
+  void transfer_membership(const DeviceId& device,
+                           const std::string& new_master);
+
+ private:
+  // -- MQTT ingress -----------------------------------------------------------
+  void handle_register(const net::MqttMessage& msg);
+  void handle_report(const net::MqttMessage& msg);
+
+  // -- Backhaul ingress --------------------------------------------------------
+  void handle_backhaul(const net::BackhaulMessage& msg);
+  void finish_temp_registration(const DeviceId& device, bool verified);
+
+  // -- Periodic duties ----------------------------------------------------------
+  void on_feeder_sample();
+  void on_verify_window();
+  void on_block_timer();
+  void on_beacon_timer();
+  void on_expiry_sweep();
+
+  void send_ctrl(const CtrlMessage& message);
+  /// Applies a block to the local replica, buffering out-of-order arrivals
+  /// (two writers may append to the shared chain faster than the backhaul
+  /// delivers their broadcasts).
+  void sync_replica(chain::Block block);
+  void accept_records(MemberEntry& member, const Report& report);
+  void queue_for_chain(const ConsumptionRecord& record);
+  void broadcast_block(const chain::Block& block);
+
+  sim::Kernel& kernel_;
+  std::string id_;
+  NetworkId network_;
+  SystemConfig config_;
+  grid::DistributionNetwork& grid_;
+  net::Backhaul& backhaul_;
+  chain::PermissionedChain& chain_;
+  std::string chain_secret_;
+  sim::Trace* trace_;
+  util::Logger log_;
+
+  net::MqttBroker broker_;
+  net::TdmaSchedule tdma_;
+  MembershipTable members_;
+  AnomalyDetector detector_;
+  BillingService billing_;
+  chain::Ledger replica_;  // local replica fed by chain_block broadcasts
+
+  // Feeder ground-truth instrumentation (the "centralized meter").
+  hw::I2cBus feeder_bus_;
+  std::unique_ptr<hw::Ina219> feeder_sensor_;
+  EnergyMeter feeder_meter_;
+
+  // Verification window accumulators.
+  util::RunningStats window_feeder_ma_;
+  std::map<DeviceId, util::RunningStats> window_reported_ma_;
+  sim::SimTime window_start_{};
+  sim::SimTime last_membership_change_{};
+  std::vector<VerificationResult> verification_history_;
+
+  // Records awaiting the next block.
+  std::vector<chain::RecordBytes> pending_records_;
+  // Out-of-order block broadcasts awaiting their predecessors.
+  std::map<std::uint64_t, chain::Block> replica_backlog_;
+
+  // Outstanding master-verification queries for temporary registrations.
+  struct PendingTempReg {
+    std::string master;
+    sim::SimTime since;
+  };
+  std::map<DeviceId, PendingTempReg> pending_temp_;
+
+  std::unique_ptr<sim::PeriodicTimer> feeder_timer_;
+  std::unique_ptr<sim::PeriodicTimer> verify_timer_;
+  std::unique_ptr<sim::PeriodicTimer> block_timer_;
+  std::unique_ptr<sim::PeriodicTimer> beacon_timer_;
+  std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+
+  AggregatorStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace emon::core

@@ -1,0 +1,104 @@
+#include "core/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emon::core {
+
+AnomalyDetector::AnomalyDetector(AnomalyParams params) : params_(params) {}
+
+VerificationResult AnomalyDetector::evaluate(
+    sim::SimTime window_start, sim::SimTime window_end, double feeder_ma,
+    const std::map<DeviceId, double>& reported_ma) {
+  ++windows_;
+  VerificationResult result;
+  result.window_start = window_start;
+  result.window_end = window_end;
+  result.feeder_ma = feeder_ma;
+
+  double sum_ma = 0.0;
+  for (const auto& [_, ma] : reported_ma) {
+    sum_ma += ma;
+  }
+  result.reported_sum_ma = sum_ma;
+  result.expected_feeder_ma =
+      sum_ma * (1.0 + params_.expected_loss_fraction) +
+      util::as_milliamps(params_.expected_overhead);
+  result.residual_ma = feeder_ma - result.expected_feeder_ma;
+
+  const double tolerance_ma =
+      util::as_milliamps(params_.abs_tolerance) +
+      params_.rel_tolerance * std::fabs(feeder_ma);
+  result.anomalous = std::fabs(result.residual_ma) > tolerance_ma;
+
+  // Per-device z-scores vs their own EWMA profile, accumulated across the
+  // current anomalous streak: duty-cycle noise cancels over windows while
+  // a systematic under-report integrates linearly, so the cumulative score
+  // separates mild tampering from honest burstiness.
+  // A window is *suspicious* already at half tolerance: suspicious windows
+  // freeze profile learning (so a tamperer cannot slowly drag its own
+  // baseline down) and keep the evidence streak alive across borderline
+  // windows that dip under the alarm threshold.
+  const bool suspicious = std::fabs(result.residual_ma) > 0.5 * tolerance_ma;
+  if (suspicious) {
+    ++streak_length_;
+  }
+  double best_score = 0.0;
+  for (const auto& [id, ma] : reported_ma) {
+    const auto it = ewma_.find(id);
+    if (it != ewma_.end() && it->second.initialized) {
+      // Signed: positive when the device reports *less* than its profile.
+      const double deviation = it->second.mean - ma;
+      // Floor the variance so freshly profiled (constant) devices do not
+      // produce infinite scores; 1 mA^2 is ~the sensor noise floor.
+      const double sigma = std::sqrt(std::max(it->second.var, 1.0));
+      result.scores[id] = deviation / sigma;
+      if (suspicious) {
+        // Raw cumulative deficit in mA: duty-cycle noise is zero-mean over
+        // a streak while a systematic under-report integrates linearly.
+        streak_deviation_[id] += deviation;
+        const double aligned = result.residual_ma >= 0.0
+                                   ? streak_deviation_[id]
+                                   : -streak_deviation_[id];
+        if (aligned > best_score) {
+          best_score = aligned;
+          result.suspect = id;
+        }
+      }
+    }
+  }
+  if (!suspicious) {
+    streak_deviation_.clear();
+    streak_length_ = 0;
+    // Update profiles only from clean windows.
+    for (const auto& [id, ma] : reported_ma) {
+      auto& profile = ewma_[id];
+      if (!profile.initialized) {
+        profile.mean = ma;
+        profile.var = 0.0;
+        profile.initialized = true;
+      } else {
+        const double delta = ma - profile.mean;
+        profile.mean += params_.ewma_alpha * delta;
+        profile.var = params_.ewma_alpha * delta * delta +
+                      (1.0 - params_.ewma_alpha) * profile.var;
+      }
+    }
+  }
+  if (!result.anomalous) {
+    result.suspect.clear();  // no alarm, no public suspect
+  } else {
+    ++anomalies_;
+  }
+  return result;
+}
+
+std::optional<double> AnomalyDetector::profile_of(const DeviceId& id) const {
+  const auto it = ewma_.find(id);
+  if (it == ewma_.end() || !it->second.initialized) {
+    return std::nullopt;
+  }
+  return it->second.mean;
+}
+
+}  // namespace emon::core

@@ -1,0 +1,71 @@
+#include "core/billing.hpp"
+
+#include "util/bytes.hpp"
+
+namespace emon::core {
+
+BillingService::BillingService(NetworkId home_network, Tariff tariff)
+    : home_(std::move(home_network)), tariff_(tariff) {}
+
+void BillingService::ingest(const ConsumptionRecord& record) {
+  // Duplicate suppression on (device, sequence): retransmitted or doubly
+  // forwarded records must not double-bill.
+  auto& seen = seen_sequences_[record.device_id];
+  const auto [it, inserted] = seen.emplace(record.sequence, true);
+  (void)it;
+  if (!inserted) {
+    ++duplicates_;
+    return;
+  }
+  auto& bucket = buckets_[record.device_id][record.network];
+  bucket.energy_mwh += record.energy_mwh;
+  bucket.records += 1;
+  total_mwh_ += record.energy_mwh;
+  ++ingested_;
+}
+
+void BillingService::ingest_ledger(const chain::Ledger& ledger) {
+  for (const auto& block : ledger.blocks()) {
+    for (const auto& raw : block.records) {
+      try {
+        ingest(deserialize_record(raw));
+      } catch (const util::DecodeError&) {
+        ++foreign_;
+      }
+    }
+  }
+}
+
+Invoice BillingService::invoice_for(const DeviceId& id) const {
+  Invoice invoice;
+  invoice.device_id = id;
+  const auto it = buckets_.find(id);
+  if (it == buckets_.end()) {
+    return invoice;
+  }
+  for (const auto& [network, bucket] : it->second) {
+    InvoiceLine line;
+    line.network = network;
+    line.energy_mwh = bucket.energy_mwh;
+    line.records = bucket.records;
+    line.roamed = network != home_;
+    const double kwh = bucket.energy_mwh / 1e6;  // mWh -> kWh
+    const double multiplier = line.roamed ? tariff_.roaming_multiplier : 1.0;
+    line.cost = kwh * tariff_.home_price_per_kwh * multiplier;
+    invoice.total_energy_mwh += line.energy_mwh;
+    invoice.total_cost += line.cost;
+    invoice.lines.push_back(std::move(line));
+  }
+  return invoice;
+}
+
+std::vector<DeviceId> BillingService::billed_devices() const {
+  std::vector<DeviceId> out;
+  out.reserve(buckets_.size());
+  for (const auto& [id, _] : buckets_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace emon::core

@@ -1,0 +1,89 @@
+#pragma once
+// Billing service (application layer of Figure 2; "services such as
+// billing").
+//
+// The home aggregator bills each of its devices from chain records:
+// location-independent per-device billing is the architecture's headline
+// capability ("offering location-independent per-device billing", abstract).
+// Energy consumed while roaming arrives via roam_records and is billed at
+// home, optionally with a per-network surcharge (host networks may charge
+// for infrastructure use).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "core/records.hpp"
+
+namespace emon::core {
+
+struct Tariff {
+  /// Price per kWh at the home network (billing currency units).
+  double home_price_per_kwh = 0.25;
+  /// Surcharge multiplier for energy drawn at foreign networks.
+  double roaming_multiplier = 1.15;
+};
+
+/// Per-network roll-up inside an invoice.
+struct InvoiceLine {
+  NetworkId network;
+  double energy_mwh = 0.0;
+  std::uint64_t records = 0;
+  bool roamed = false;
+  double cost = 0.0;
+};
+
+struct Invoice {
+  DeviceId device_id;
+  std::vector<InvoiceLine> lines;
+  double total_energy_mwh = 0.0;
+  double total_cost = 0.0;
+};
+
+/// Accumulates records into per-device, per-network energy totals.
+class BillingService {
+ public:
+  BillingService(NetworkId home_network, Tariff tariff);
+
+  /// Ingests a single validated record.
+  void ingest(const ConsumptionRecord& record);
+
+  /// Ingests every record of every block in a ledger (e.g. on audit replay;
+  /// records not parseable as ConsumptionRecord are counted as foreign).
+  void ingest_ledger(const chain::Ledger& ledger);
+
+  [[nodiscard]] Invoice invoice_for(const DeviceId& id) const;
+  [[nodiscard]] std::vector<DeviceId> billed_devices() const;
+  /// Total energy across all devices and networks (conservation checks).
+  [[nodiscard]] double total_energy_mwh() const noexcept { return total_mwh_; }
+  [[nodiscard]] std::uint64_t records_ingested() const noexcept {
+    return ingested_;
+  }
+  [[nodiscard]] std::uint64_t foreign_records_skipped() const noexcept {
+    return foreign_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_skipped() const noexcept {
+    return duplicates_;
+  }
+
+ private:
+  struct Bucket {
+    double energy_mwh = 0.0;
+    std::uint64_t records = 0;
+  };
+
+  NetworkId home_;
+  Tariff tariff_;
+  // device -> network -> bucket
+  std::map<DeviceId, std::map<NetworkId, Bucket>> buckets_;
+  // device -> seen sequence numbers' high-water mark per network source
+  std::map<DeviceId, std::map<std::uint64_t, bool>> seen_sequences_;
+  double total_mwh_ = 0.0;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t foreign_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace emon::core

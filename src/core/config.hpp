@@ -1,0 +1,58 @@
+#pragma once
+// System-wide configuration for the decentralized metering architecture.
+//
+// Defaults reproduce the paper's testbed settings: T_measure = 100 ms
+// (10 reports/s, §III-B), ~1 ms backhaul latency, and Wi-Fi timings that
+// land T_handshake in the reported 5.5-6.5 s band.
+
+#include "net/channel.hpp"
+#include "net/tdma.hpp"
+#include "net/wifi.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace emon::core {
+
+struct DeviceConfig {
+  /// Reporting/measurement interval (paper: 100 ms).
+  sim::Duration t_measure = sim::milliseconds(100);
+  /// Local storage capacity in records; at 10 Hz, 18000 records = 30 min.
+  std::size_t local_store_capacity = 18'000;
+  /// Settle time after association before the firmware trusts the link and
+  /// begins registration (RSSI stability confirmation).
+  sim::Duration join_settle_min = sim::milliseconds(1000);
+  sim::Duration join_settle_max = sim::milliseconds(1400);
+  /// Registration retry backoff after a failed attempt.
+  sim::Duration registration_retry = sim::seconds(2);
+  /// Max records flushed per report message (bounds message size).
+  std::size_t flush_batch = 256;
+};
+
+struct AggregatorConfig {
+  /// Ground-truth verification window (feeder vs sum of reports).
+  sim::Duration verify_interval = sim::seconds(1);
+  /// Block production interval (records accumulated per block).
+  sim::Duration block_interval = sim::seconds(5);
+  /// Time-sync beacon interval.
+  sim::Duration beacon_interval = sim::seconds(10);
+  /// TDMA slot plan (superframe should equal the devices' t_measure).
+  net::TdmaParams tdma{};
+  /// Anomaly tolerance: |residual| > abs + rel * feeder  ==>  anomaly.
+  util::Amperes anomaly_abs_tolerance = util::milliamps(3.0);
+  double anomaly_rel_tolerance = 0.04;
+  /// Membership expiry for temporary members with no traffic.
+  sim::Duration temp_member_timeout = sim::seconds(30);
+};
+
+struct SystemConfig {
+  DeviceConfig device{};
+  AggregatorConfig aggregator{};
+  net::WifiStationParams wifi{};
+  /// Backhaul link characteristics (paper: ~1 ms, high bandwidth).
+  net::ChannelParams backhaul{sim::microseconds(800), sim::microseconds(400),
+                              0.0, sim::milliseconds(200), 1e9};
+  /// Experiment master seed.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace emon::core

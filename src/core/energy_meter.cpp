@@ -1,0 +1,67 @@
+#include "core/energy_meter.hpp"
+
+#include <stdexcept>
+
+namespace emon::core {
+
+EnergyMeter::EnergyMeter(hw::I2cBus& bus, hw::Ina219& sensor,
+                         std::function<sim::SimTime()> now)
+    : bus_(bus), sensor_(sensor), now_(std::move(now)) {
+  if (!now_) {
+    throw std::invalid_argument("EnergyMeter requires a time source");
+  }
+}
+
+std::optional<MeterSample> EnergyMeter::sample() {
+  // Trigger the conversion (the sensor latches its result registers).
+  sensor_.convert();
+
+  // Read CURRENT and BUS registers over the bus, as firmware would.
+  const auto current_reg = bus_.read(
+      sensor_.address(), static_cast<std::uint8_t>(hw::Ina219Register::kCurrent));
+  const auto bus_reg = bus_.read(
+      sensor_.address(),
+      static_cast<std::uint8_t>(hw::Ina219Register::kBusVoltage));
+  if (!current_reg || !bus_reg) {
+    return std::nullopt;
+  }
+  const auto current = sensor_.decode_current();
+  if (!current) {
+    return std::nullopt;  // sensor not calibrated
+  }
+
+  MeterSample s;
+  s.taken_at = now_();
+  s.current = *current;
+  s.bus_voltage = sensor_.decode_bus_voltage();
+
+  // Trapezoidal integration between consecutive samples.
+  if (last_) {
+    const double dt_s = (s.taken_at - last_->taken_at).to_seconds();
+    if (dt_s > 0.0) {
+      const util::Watts p_prev = last_->bus_voltage * last_->current;
+      const util::Watts p_now = s.bus_voltage * s.current;
+      const util::Watts p_avg{(p_prev.value() + p_now.value()) / 2.0};
+      const util::WattHours delta = util::energy_over(p_avg, dt_s);
+      total_energy_ += delta;
+      interval_energy_ += delta;
+    }
+  }
+  last_ = s;
+  ++samples_;
+  return s;
+}
+
+util::WattHours EnergyMeter::take_interval_energy() noexcept {
+  const util::WattHours out = interval_energy_;
+  interval_energy_ = util::WattHours{};
+  return out;
+}
+
+void EnergyMeter::reset() noexcept {
+  last_.reset();
+  total_energy_ = util::WattHours{};
+  interval_energy_ = util::WattHours{};
+}
+
+}  // namespace emon::core

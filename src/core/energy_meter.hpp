@@ -1,0 +1,73 @@
+#pragma once
+// Device-side metering engine.
+//
+// "Using the voltage characteristics of the device, the energy consumption
+// is computed using the sensor measurement value and the measurement
+// duration." (§III-A)  The engine triggers INA219 conversions through the
+// I2C register interface, decodes current/bus-voltage, and integrates
+// energy trapezoidally between samples.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "hw/i2c.hpp"
+#include "hw/ina219.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace emon::core {
+
+/// One decoded sensor sample.
+struct MeterSample {
+  sim::SimTime taken_at;       // true simulation time of the conversion
+  util::Amperes current;
+  util::Volts bus_voltage;
+};
+
+class EnergyMeter {
+ public:
+  /// The meter owns neither the bus nor the sensor; the device wires them.
+  /// `sensor_address` is the INA219's I2C address (testbed default 0x40).
+  EnergyMeter(hw::I2cBus& bus, hw::Ina219& sensor,
+              std::function<sim::SimTime()> now);
+
+  /// Triggers one conversion and reads back the result registers over I2C.
+  /// Integrates energy since the previous sample (trapezoid rule).
+  /// Returns nullopt if the I2C transaction fails (sensor detached).
+  std::optional<MeterSample> sample();
+
+  /// Energy integrated since construction or the last reset.
+  [[nodiscard]] util::WattHours total_energy() const noexcept {
+    return total_energy_;
+  }
+  /// Energy integrated since the last `take_interval_energy` call — the
+  /// per-record quantum.
+  util::WattHours take_interval_energy() noexcept;
+
+  /// Resets all accumulators (e.g. after a billing cycle).
+  void reset() noexcept;
+
+  /// Clears only the inter-sample baseline so the next sample does not
+  /// integrate across a power gap (replug after transit).  Cumulative
+  /// energy totals are preserved.
+  void clear_baseline() noexcept { last_.reset(); }
+
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::optional<MeterSample> last_sample() const noexcept {
+    return last_;
+  }
+
+ private:
+  hw::I2cBus& bus_;
+  hw::Ina219& sensor_;
+  std::function<sim::SimTime()> now_;
+  std::optional<MeterSample> last_;
+  util::WattHours total_energy_{};
+  util::WattHours interval_energy_{};
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace emon::core

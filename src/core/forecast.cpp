@@ -1,0 +1,116 @@
+#include "core/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emon::core {
+
+DemandForecaster::DemandForecaster(ForecastParams params) : params_(params) {}
+
+std::optional<double> DemandForecaster::observe(double demand_ma) {
+  std::optional<double> prediction;
+  if (count_ >= 2) {
+    prediction = level_ + trend_;
+    const double err = std::fabs(*prediction - demand_ma);
+    abs_err_.add(err);
+    if (std::fabs(demand_ma) > 1e-9) {
+      pct_err_.add(err / std::fabs(demand_ma) * 100.0);
+    }
+  }
+
+  if (count_ == 0) {
+    level_ = demand_ma;
+  } else if (count_ == 1) {
+    trend_ = demand_ma - level_;
+    level_ = demand_ma;
+  } else {
+    const double prev_level = level_;
+    level_ = params_.alpha * demand_ma +
+             (1.0 - params_.alpha) * (level_ + trend_);
+    trend_ = params_.beta * (level_ - prev_level) +
+             (1.0 - params_.beta) * trend_;
+  }
+  ++count_;
+  return prediction;
+}
+
+std::optional<double> DemandForecaster::predict(std::size_t horizon) const {
+  if (count_ < 2 || horizon == 0) {
+    return std::nullopt;
+  }
+  return level_ + static_cast<double>(horizon) * trend_;
+}
+
+double DemandForecaster::mean_absolute_error() const noexcept {
+  return abs_err_.mean();
+}
+
+double DemandForecaster::mape() const noexcept { return pct_err_.mean(); }
+
+ScheduleResult schedule_deferrable(std::vector<double> base_demand_ma,
+                                   std::vector<DeferrableJob> jobs) {
+  ScheduleResult result;
+  result.demand_ma = std::move(base_demand_ma);
+  const std::size_t n = result.demand_ma.size();
+  auto peak = [&result] {
+    double p = 0.0;
+    for (double d : result.demand_ma) {
+      p = std::max(p, d);
+    }
+    return p;
+  };
+  result.peak_before_ma = peak();
+
+  // Longest-first gives the constrained jobs first pick of valleys.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const DeferrableJob& a, const DeferrableJob& b) {
+              if (a.slots != b.slots) {
+                return a.slots > b.slots;
+              }
+              return a.current_ma > b.current_ma;
+            });
+
+  for (const auto& job : jobs) {
+    Placement placement;
+    placement.name = job.name;
+    // Candidate start range honoring release and deadline.
+    const std::size_t last_start_by_deadline =
+        job.deadline + 1 >= job.slots ? job.deadline + 1 - job.slots : 0;
+    bool found = false;
+    double best_peak = 0.0;
+    std::size_t best_start = 0;
+    if (job.slots > 0 && job.slots <= n && job.deadline < n &&
+        job.release + job.slots <= n && job.release <= last_start_by_deadline) {
+      for (std::size_t start = job.release; start <= last_start_by_deadline;
+           ++start) {
+        // Peak if the job ran at [start, start+slots).
+        double candidate_peak = 0.0;
+        for (std::size_t s = 0; s < n; ++s) {
+          const double load =
+              result.demand_ma[s] +
+              (s >= start && s < start + job.slots ? job.current_ma : 0.0);
+          candidate_peak = std::max(candidate_peak, load);
+        }
+        if (!found || candidate_peak < best_peak) {
+          found = true;
+          best_peak = candidate_peak;
+          best_start = start;
+        }
+      }
+    }
+    if (!found) {
+      placement.feasible = false;
+      ++result.infeasible;
+    } else {
+      placement.start_slot = best_start;
+      for (std::size_t s = best_start; s < best_start + job.slots; ++s) {
+        result.demand_ma[s] += job.current_ma;
+      }
+    }
+    result.placements.push_back(std::move(placement));
+  }
+  result.peak_after_ma = peak();
+  return result;
+}
+
+}  // namespace emon::core

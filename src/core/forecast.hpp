@@ -1,0 +1,93 @@
+#pragma once
+// Application-layer load management (Figure 2: "device-specific
+// applications such as demand prediction and schedule optimization for
+// better load management").
+//
+//  * DemandForecaster — Holt linear exponential smoothing over per-window
+//    demand samples (level + trend), with horizon-h prediction and error
+//    tracking.  Runs at the aggregator over its verification windows.
+//  * LoadScheduler — given per-slot predicted base demand and a set of
+//    deferrable jobs (e.g. e-scooter charging sessions: duration, current,
+//    deadline), greedily places jobs to minimize the peak slot demand.
+//    This is the classic deadline-constrained peak-shaving heuristic:
+//    schedule longest jobs first, each at the feasible position with the
+//    lowest resulting peak.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace emon::core {
+
+struct ForecastParams {
+  /// Level smoothing factor (alpha) and trend smoothing factor (beta).
+  double alpha = 0.35;
+  double beta = 0.1;
+};
+
+/// Holt's linear method over a demand series (mA per window).
+class DemandForecaster {
+ public:
+  explicit DemandForecaster(ForecastParams params = {});
+
+  /// Feeds the next observed demand sample; returns the one-step-ahead
+  /// prediction that had been made for this sample (nullopt for the first
+  /// two samples, which only initialize level and trend).
+  std::optional<double> observe(double demand_ma);
+
+  /// Predicts demand `horizon` windows ahead (>=1).
+  [[nodiscard]] std::optional<double> predict(std::size_t horizon = 1) const;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+  /// Mean absolute error of the one-step predictions so far.
+  [[nodiscard]] double mean_absolute_error() const noexcept;
+  /// Mean absolute percentage error (%); 0 if no predictions yet.
+  [[nodiscard]] double mape() const noexcept;
+
+ private:
+  ForecastParams params_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t count_ = 0;
+  util::RunningStats abs_err_;
+  util::RunningStats pct_err_;
+};
+
+/// A deferrable job: needs `slots` consecutive slots of `current_ma`,
+/// released at `release` and due by `deadline` (slot indices, inclusive
+/// start / exclusive end semantics for the occupied range).
+struct DeferrableJob {
+  std::string name;
+  std::size_t slots = 1;
+  double current_ma = 0.0;
+  std::size_t release = 0;
+  std::size_t deadline = 0;  // last slot index the job may still occupy
+};
+
+/// Result of scheduling one job.
+struct Placement {
+  std::string name;
+  std::size_t start_slot = 0;
+  bool feasible = true;
+};
+
+struct ScheduleResult {
+  std::vector<Placement> placements;
+  /// Demand per slot after placing all feasible jobs.
+  std::vector<double> demand_ma;
+  double peak_before_ma = 0.0;
+  double peak_after_ma = 0.0;
+  std::size_t infeasible = 0;
+};
+
+/// Peak-shaving scheduler: places jobs (longest first) at the feasible
+/// start slot minimizing the resulting peak; ties break toward earlier
+/// slots.  Infeasible jobs (window shorter than the job) are reported, not
+/// dropped silently.
+[[nodiscard]] ScheduleResult schedule_deferrable(
+    std::vector<double> base_demand_ma, std::vector<DeferrableJob> jobs);
+
+}  // namespace emon::core

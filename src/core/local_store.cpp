@@ -1,0 +1,54 @@
+#include "core/local_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emon::core {
+
+LocalStore::LocalStore(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("LocalStore capacity must be positive");
+  }
+}
+
+bool LocalStore::push(ConsumptionRecord record) {
+  bool kept_all = true;
+  if (queue_.size() >= capacity_) {
+    queue_.pop_front();
+    ++dropped_;
+    kept_all = false;
+  }
+  queue_.push_back(std::move(record));
+  peak_ = std::max(peak_, queue_.size());
+  return kept_all;
+}
+
+std::vector<ConsumptionRecord> LocalStore::pop_batch(std::size_t max_records) {
+  const std::size_t n = std::min(max_records, queue_.size());
+  std::vector<ConsumptionRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+void LocalStore::push_front(std::vector<ConsumptionRecord> records) {
+  // Reinsert preserving order: the first element of `records` becomes the
+  // overall head again.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  // Enforce capacity from the *back*? No: oldest-first drop policy means we
+  // trim from the front.
+  while (queue_.size() > capacity_) {
+    queue_.pop_front();
+    ++dropped_;
+  }
+  peak_ = std::max(peak_, queue_.size());
+}
+
+void LocalStore::clear() noexcept { queue_.clear(); }
+
+}  // namespace emon::core

@@ -1,0 +1,50 @@
+#pragma once
+// Device-local record storage (the data layer of Figure 2).
+//
+// "In the absence of network connectivity with the aggregator, raw
+// consumption data is stored in the local storage until the connection is
+// established." (§II-B)  Bounded FIFO; when full, the oldest records are
+// dropped and counted, so a device offline for longer than its capacity
+// degrades gracefully (and detectably) instead of corrupting memory.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/records.hpp"
+
+namespace emon::core {
+
+class LocalStore {
+ public:
+  explicit LocalStore(std::size_t capacity);
+
+  /// Buffers a record.  Drops the oldest if at capacity (returns false).
+  bool push(ConsumptionRecord record);
+
+  /// Removes and returns up to `max_records` oldest records.
+  [[nodiscard]] std::vector<ConsumptionRecord> pop_batch(
+      std::size_t max_records);
+
+  /// Re-buffers records that failed to transmit (they go back to the
+  /// *front*, preserving order).
+  void push_front(std::vector<ConsumptionRecord> records);
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records lost to overflow since construction.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// High-water mark of the queue.
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_; }
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<ConsumptionRecord> queue_;
+  std::uint64_t dropped_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace emon::core

@@ -1,0 +1,190 @@
+#include "core/messages.hpp"
+
+#include "util/bytes.hpp"
+
+namespace emon::core {
+
+std::string topic_register(const DeviceId& id) {
+  return "emon/register/" + id;
+}
+std::string topic_report(const DeviceId& id) { return "emon/report/" + id; }
+std::string topic_ctrl(const DeviceId& id) { return "emon/ctrl/" + id; }
+
+const char* to_string(CtrlType t) noexcept {
+  switch (t) {
+    case CtrlType::kRegisterAccept:
+      return "register-accept";
+    case CtrlType::kRegisterReject:
+      return "register-reject";
+    case CtrlType::kReportAck:
+      return "report-ack";
+    case CtrlType::kReportNack:
+      return "report-nack";
+    case CtrlType::kMembershipRemoved:
+      return "membership-removed";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const RegisterRequest& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.str(m.master_addr);
+  return w.take();
+}
+
+RegisterRequest decode_register_request(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  RegisterRequest m;
+  m.device_id = r.str();
+  m.master_addr = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Report& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  const auto records = serialize_records(m.records);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  w.raw(std::span<const std::uint8_t>(records.data(), records.size()));
+  return w.take();
+}
+
+Report decode_report(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  Report m;
+  m.device_id = r.str();
+  const std::uint32_t len = r.u32();
+  m.records = deserialize_records(r.raw(len));
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const CtrlMessage& m) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.str(m.device_id);
+  w.str(m.assigned_addr);
+  w.u8(static_cast<std::uint8_t>(m.membership));
+  w.u32(m.slot);
+  w.u64(m.ack_sequence);
+  w.str(m.reason);
+  return w.take();
+}
+
+CtrlMessage decode_ctrl(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  CtrlMessage m;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(CtrlType::kMembershipRemoved)) {
+    throw util::DecodeError("bad ctrl type " + std::to_string(type));
+  }
+  m.type = static_cast<CtrlType>(type);
+  m.device_id = r.str();
+  m.assigned_addr = r.str();
+  m.membership = static_cast<MembershipKind>(r.u8() & 1);
+  m.slot = r.u32();
+  m.ack_sequence = r.u64();
+  m.reason = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Beacon& m) {
+  util::ByteWriter w;
+  w.str(m.aggregator_id);
+  w.i64(m.master_time_ns);
+  return w.take();
+}
+
+Beacon decode_beacon(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  Beacon m;
+  m.aggregator_id = r.str();
+  m.master_time_ns = r.i64();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const VerifyDeviceQuery& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.str(m.origin);
+  return w.take();
+}
+
+VerifyDeviceQuery decode_verify_query(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  VerifyDeviceQuery m;
+  m.device_id = r.str();
+  m.origin = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const VerifyDeviceResponse& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.u8(m.known ? 1 : 0);
+  w.str(m.master);
+  return w.take();
+}
+
+VerifyDeviceResponse decode_verify_response(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  VerifyDeviceResponse m;
+  m.device_id = r.str();
+  m.known = r.u8() != 0;
+  m.master = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const RoamRecords& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.str(m.collector);
+  const auto records = serialize_records(m.records);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  w.raw(std::span<const std::uint8_t>(records.data(), records.size()));
+  return w.take();
+}
+
+RoamRecords decode_roam_records(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  RoamRecords m;
+  m.device_id = r.str();
+  m.collector = r.str();
+  const std::uint32_t len = r.u32();
+  m.records = deserialize_records(r.raw(len));
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const TransferMembership& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.str(m.new_master);
+  return w.take();
+}
+
+TransferMembership decode_transfer(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  TransferMembership m;
+  m.device_id = r.str();
+  m.new_master = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const RemoveDevice& m) {
+  util::ByteWriter w;
+  w.str(m.device_id);
+  w.str(m.reason);
+  return w.take();
+}
+
+RemoveDevice decode_remove(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  RemoveDevice m;
+  m.device_id = r.str();
+  m.reason = r.str();
+  return m;
+}
+
+}  // namespace emon::core

@@ -1,0 +1,147 @@
+#pragma once
+// Application-layer protocol messages (Figure 3 of the paper).
+//
+// Device <-> aggregator messages ride MQTT topics:
+//   emon/register/<device_id>   registration requests   (device -> agg)
+//   emon/report/<device_id>     consumption reports      (device -> agg)
+//   emon/ctrl/<device_id>       responses: Ack/Nack/registration results
+//   emon/beacon                 time-sync beacons        (agg -> devices)
+//
+// Aggregator <-> aggregator messages ride the backhaul with `kind` strings:
+//   verify_device / verify_device_resp   temporary-membership verification
+//   roam_records                          roamed-device data to the master
+//   transfer_membership / remove_device   sequence 3 of Figure 3
+//   chain_block                           permissioned-chain replication
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/records.hpp"
+
+namespace emon::core {
+
+// -- Topics -------------------------------------------------------------------
+
+[[nodiscard]] std::string topic_register(const DeviceId& id);
+[[nodiscard]] std::string topic_report(const DeviceId& id);
+[[nodiscard]] std::string topic_ctrl(const DeviceId& id);
+[[nodiscard]] constexpr const char* topic_beacon() noexcept {
+  return "emon/beacon";
+}
+
+// -- Device -> aggregator -----------------------------------------------------
+
+/// Membership registration request (Figure 3, sequences 1 and 2).
+/// `master_addr` is empty for an initial (home) registration — the "NULL"
+/// of the paper — and carries the home aggregator's address when a roaming
+/// device requests temporary membership.
+struct RegisterRequest {
+  DeviceId device_id;
+  std::string master_addr;
+};
+
+/// A consumption report: current measurement plus any locally stored
+/// backlog ("The combination of stored data and the measurement are
+/// transmitted to the aggregator in the next transmission", §II-C).
+struct Report {
+  DeviceId device_id;
+  std::vector<ConsumptionRecord> records;
+};
+
+// -- Aggregator -> device -----------------------------------------------------
+
+enum class CtrlType : std::uint8_t {
+  kRegisterAccept = 0,   // carries assigned master/temp address + slot
+  kRegisterReject = 1,   // e.g. no free time-slot
+  kReportAck = 2,        // Ack of Figure 3
+  kReportNack = 3,       // Nack: no membership here
+  kMembershipRemoved = 4,  // sequence 3: device deregistered
+};
+
+[[nodiscard]] const char* to_string(CtrlType t) noexcept;
+
+struct CtrlMessage {
+  CtrlType type = CtrlType::kReportAck;
+  DeviceId device_id;
+  /// For kRegisterAccept: the network address the device should treat as
+  /// its reporting address (Master or Temp per Figure 3).
+  std::string assigned_addr;
+  /// For kRegisterAccept: whether this is home or temporary membership.
+  MembershipKind membership = MembershipKind::kHome;
+  /// For kRegisterAccept: TDMA slot index.
+  std::uint32_t slot = 0;
+  /// For acks: highest record sequence accepted.
+  std::uint64_t ack_sequence = 0;
+  /// Free-form reason for rejects.
+  std::string reason;
+};
+
+/// Time-sync beacon payload.
+struct Beacon {
+  std::string aggregator_id;
+  std::int64_t master_time_ns = 0;
+};
+
+// -- Serialization (MQTT payloads) ---------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const RegisterRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Report& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const CtrlMessage& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Beacon& m);
+
+[[nodiscard]] RegisterRequest decode_register_request(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] Report decode_report(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] CtrlMessage decode_ctrl(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] Beacon decode_beacon(const std::vector<std::uint8_t>& bytes);
+
+// -- Backhaul payloads ----------------------------------------------------------
+
+/// verify_device: does `master` know `device_id` as a home member?
+struct VerifyDeviceQuery {
+  DeviceId device_id;
+  std::string origin;  // aggregator asking
+};
+struct VerifyDeviceResponse {
+  DeviceId device_id;
+  bool known = false;
+  std::string master;  // responder id
+};
+/// roam_records: records collected for a device under temporary membership,
+/// forwarded to its master for billing.
+struct RoamRecords {
+  DeviceId device_id;
+  std::string collector;  // temporary aggregator
+  std::vector<ConsumptionRecord> records;
+};
+/// transfer_membership: home aggregator hands the device to a new master.
+struct TransferMembership {
+  DeviceId device_id;
+  std::string new_master;
+};
+/// remove_device: membership removal notice (loss/reset/ownership change).
+struct RemoveDevice {
+  DeviceId device_id;
+  std::string reason;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const VerifyDeviceQuery& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const VerifyDeviceResponse& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const RoamRecords& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const TransferMembership& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const RemoveDevice& m);
+
+[[nodiscard]] VerifyDeviceQuery decode_verify_query(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] VerifyDeviceResponse decode_verify_response(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] RoamRecords decode_roam_records(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] TransferMembership decode_transfer(
+    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] RemoveDevice decode_remove(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace emon::core

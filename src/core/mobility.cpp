@@ -1,0 +1,21 @@
+#include "core/mobility.hpp"
+
+#include <stdexcept>
+
+namespace emon::core {
+
+void schedule_plan(sim::Kernel& kernel, DeviceApp& device,
+                   const MobilityPlan& plan) {
+  sim::SimTime last{};
+  for (const auto& step : plan) {
+    if (step.depart < last) {
+      throw std::invalid_argument("mobility plan must be time-sorted");
+    }
+    last = step.depart;
+    kernel.schedule_at(step.depart, [&device, step] {
+      device.move_to(step.to, step.position, step.transit);
+    });
+  }
+}
+
+}  // namespace emon::core

@@ -1,0 +1,33 @@
+#pragma once
+// Mobility plans: scripted network transitions for experiments.
+//
+// A plan is a sequence of departures; each unplugs the device at a given
+// time, keeps it in transit (Idle in Figure 6: no consumption, no
+// reporting), then plugs it in at the destination network/position.
+
+#include <vector>
+
+#include "core/device_app.hpp"
+#include "net/wifi.hpp"
+#include "sim/kernel.hpp"
+
+namespace emon::core {
+
+struct MobilityStep {
+  /// Absolute departure time.
+  sim::SimTime depart{};
+  /// Destination network and physical position.
+  NetworkId to;
+  net::Position position{};
+  /// Transit (idle) duration.
+  sim::Duration transit = sim::seconds(10);
+};
+
+using MobilityPlan = std::vector<MobilityStep>;
+
+/// Schedules every step of `plan` on the kernel.  Steps must be sorted by
+/// departure time; the device must outlive the simulation.
+void schedule_plan(sim::Kernel& kernel, DeviceApp& device,
+                   const MobilityPlan& plan);
+
+}  // namespace emon::core

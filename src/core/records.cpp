@@ -1,0 +1,93 @@
+#include "core/records.hpp"
+
+#include "util/bytes.hpp"
+
+namespace emon::core {
+
+const char* to_string(MembershipKind kind) noexcept {
+  switch (kind) {
+    case MembershipKind::kHome:
+      return "home";
+    case MembershipKind::kTemporary:
+      return "temporary";
+  }
+  return "?";
+}
+
+namespace {
+void write_record(util::ByteWriter& w, const ConsumptionRecord& r) {
+  w.str(r.device_id);
+  w.u64(r.sequence);
+  w.i64(r.timestamp_ns);
+  w.i64(r.interval_ns);
+  w.f64(r.current_ma);
+  w.f64(r.bus_voltage_mv);
+  w.f64(r.energy_mwh);
+  w.str(r.network);
+  w.u8(static_cast<std::uint8_t>(r.membership));
+  w.u8(r.stored_offline ? 1 : 0);
+}
+
+ConsumptionRecord read_record(util::ByteReader& r) {
+  ConsumptionRecord rec;
+  rec.device_id = r.str();
+  rec.sequence = r.u64();
+  rec.timestamp_ns = r.i64();
+  rec.interval_ns = r.i64();
+  rec.current_ma = r.f64();
+  rec.bus_voltage_mv = r.f64();
+  rec.energy_mwh = r.f64();
+  rec.network = r.str();
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) {
+    throw util::DecodeError("bad membership kind " + std::to_string(kind));
+  }
+  rec.membership = static_cast<MembershipKind>(kind);
+  rec.stored_offline = r.u8() != 0;
+  return rec;
+}
+}  // namespace
+
+chain::RecordBytes serialize_record(const ConsumptionRecord& r) {
+  util::ByteWriter w;
+  write_record(w, r);
+  return w.take();
+}
+
+ConsumptionRecord deserialize_record(const chain::RecordBytes& bytes) {
+  util::ByteReader r{
+      std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  ConsumptionRecord rec = read_record(r);
+  if (!r.done()) {
+    throw util::DecodeError("trailing bytes after record");
+  }
+  return rec;
+}
+
+std::vector<std::uint8_t> serialize_records(
+    const std::vector<ConsumptionRecord>& records) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    write_record(w, rec);
+  }
+  return w.take();
+}
+
+std::vector<ConsumptionRecord> deserialize_records(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r{
+      std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  const std::uint32_t count = r.u32();
+  std::vector<ConsumptionRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(read_record(r));
+  }
+  if (!r.done()) {
+    throw util::DecodeError("trailing bytes after record batch");
+  }
+  return out;
+}
+
+}  // namespace emon::core

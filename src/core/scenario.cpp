@@ -1,0 +1,147 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace emon::core {
+
+hw::LoadProfilePtr default_device_load(const DeviceId& id, std::size_t index,
+                                       const util::SeedSequence& seeds) {
+  // Staggered duty cycles: devices alternate between a light phase and a
+  // heavier working phase, out of phase with each other, with 5 % band-
+  // limited noise — enough variation to exercise every current level the
+  // Figure 5 bins compare.
+  const double low_ma = 8.0 + 4.0 * static_cast<double>(index % 3);
+  const double high_ma = 55.0 + 20.0 * static_cast<double>(index % 4);
+  const auto period = sim::milliseconds(4000 + 700 * static_cast<std::int64_t>(
+                                                        index % 5));
+  const auto phase = sim::milliseconds(900 * static_cast<std::int64_t>(index));
+  auto duty = std::make_shared<hw::DutyCycleLoad>(
+      util::milliamps(low_ma), util::milliamps(high_ma), period, 0.5, phase);
+  return std::make_shared<hw::NoisyLoad>(std::move(duty), 0.05,
+                                         sim::milliseconds(50),
+                                         seeds.derive("load." + id));
+}
+
+Testbed::Testbed(ScenarioParams params)
+    : params_(std::move(params)),
+      seeds_(params_.sys.seed),
+      medium_(kernel_),
+      backhaul_(kernel_, seeds_.stream("backhaul")) {
+  if (params_.networks == 0) {
+    throw std::invalid_argument("Testbed needs at least one network");
+  }
+  if (!params_.load_factory) {
+    params_.load_factory = default_device_load;
+  }
+
+  // Grids + access points.
+  for (std::size_t n = 0; n < params_.networks; ++n) {
+    grids_.push_back(std::make_unique<grid::DistributionNetwork>(
+        network_name(n), params_.grid, [this] { return kernel_.now(); }));
+    net::AccessPoint ap;
+    ap.ssid = network_name(n);
+    ap.host_id = "agg-" + std::to_string(n + 1);
+    ap.position = network_position(n);
+    ap.channel = static_cast<std::uint8_t>(1 + (n * 5) % 11);
+    medium_.add_access_point(ap);
+  }
+
+  // Aggregators (backhaul nodes + chain writers).
+  for (std::size_t n = 0; n < params_.networks; ++n) {
+    aggregators_.push_back(std::make_unique<Aggregator>(
+        kernel_, "agg-" + std::to_string(n + 1), network_name(n), params_.sys,
+        *grids_[n], backhaul_, chain_, seeds_, &trace_));
+  }
+  // Full-mesh backhaul, as in the paper's testbed (two RPis on one LAN).
+  for (std::size_t a = 0; a < params_.networks; ++a) {
+    for (std::size_t b = a + 1; b < params_.networks; ++b) {
+      backhaul_.add_link(aggregators_[a]->id(), aggregators_[b]->id(),
+                         params_.sys.backhaul);
+    }
+  }
+
+  // Devices at their home networks.
+  auto broker_resolver = [this](const std::string& host) -> net::MqttBroker* {
+    for (const auto& agg : aggregators_) {
+      if (agg->id() == host) {
+        return &agg->broker();
+      }
+    }
+    return nullptr;
+  };
+  auto grid_resolver =
+      [this](const NetworkId& network) -> grid::DistributionNetwork* {
+    for (const auto& g : grids_) {
+      if (g->name() == network) {
+        return g.get();
+      }
+    }
+    return nullptr;
+  };
+  std::size_t global = 0;
+  for (std::size_t n = 0; n < params_.networks; ++n) {
+    for (std::size_t d = 0; d < params_.devices_per_network; ++d) {
+      const DeviceId id = "dev-" + std::to_string(global + 1);
+      auto device = std::make_unique<DeviceApp>(
+          kernel_, id, params_.sys, medium_, grid_resolver, broker_resolver,
+          seeds_, &trace_);
+      device->attach_load(params_.load_factory(id, global, seeds_));
+      net::Position pos = network_position(n);
+      pos.x += 1.5 * static_cast<double>(d + 1);
+      device->set_position(pos);
+      devices_.push_back(std::move(device));
+      ++global;
+    }
+  }
+}
+
+void Testbed::start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (const auto& agg : aggregators_) {
+    agg->start();
+  }
+  std::size_t global = 0;
+  for (std::size_t n = 0; n < params_.networks; ++n) {
+    for (std::size_t d = 0; d < params_.devices_per_network; ++d) {
+      DeviceApp* device = devices_[global].get();
+      const NetworkId home = network_name(n);
+      // Stagger plug-ins so registration bursts don't collide.
+      kernel_.schedule_in(
+          sim::milliseconds(37 * static_cast<std::int64_t>(global)),
+          [device, home] { device->plug_into(home); });
+      ++global;
+    }
+  }
+}
+
+void Testbed::run_for(sim::Duration d) {
+  kernel_.run_until(kernel_.now() + d);
+}
+
+NetworkId Testbed::network_name(std::size_t i) const {
+  return "wan-" + std::to_string(i + 1);
+}
+
+net::Position Testbed::network_position(std::size_t i) const {
+  return net::Position{params_.network_spacing_m * static_cast<double>(i),
+                       0.0};
+}
+
+grid::DistributionNetwork& Testbed::grid_of(std::size_t i) {
+  return *grids_.at(i);
+}
+
+Aggregator& Testbed::aggregator(std::size_t i) { return *aggregators_.at(i); }
+
+DeviceApp& Testbed::device(std::size_t global_index) {
+  return *devices_.at(global_index);
+}
+
+std::size_t Testbed::home_of(std::size_t global_index) const {
+  return global_index / params_.devices_per_network;
+}
+
+}  // namespace emon::core

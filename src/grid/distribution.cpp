@@ -1,0 +1,96 @@
+#include "grid/distribution.hpp"
+
+#include <stdexcept>
+
+namespace emon::grid {
+
+DistributionNetwork::DistributionNetwork(std::string name,
+                                         DistributionParams params,
+                                         std::function<sim::SimTime()> now)
+    : name_(std::move(name)), params_(params), now_(std::move(now)) {
+  if (!now_) {
+    throw std::invalid_argument("DistributionNetwork requires a time source");
+  }
+  if (params_.supply.value() <= 0.0) {
+    throw std::invalid_argument("supply voltage must be positive");
+  }
+  if (params_.loss_fraction < 0.0) {
+    throw std::invalid_argument("loss_fraction must be non-negative");
+  }
+}
+
+bool DistributionNetwork::plug(const std::string& device_id, DemandFn demand) {
+  if (!demand) {
+    throw std::invalid_argument("plug requires a demand function");
+  }
+  return sockets_.emplace(device_id, std::move(demand)).second;
+}
+
+bool DistributionNetwork::unplug(const std::string& device_id) {
+  return sockets_.erase(device_id) > 0;
+}
+
+bool DistributionNetwork::is_plugged(const std::string& device_id) const {
+  return sockets_.find(device_id) != sockets_.end();
+}
+
+NetworkState DistributionNetwork::solve(sim::SimTime t) const {
+  NetworkState state;
+  state.time = t;
+  state.sockets.reserve(sockets_.size());
+
+  util::Amperes delivered{0.0};
+  for (const auto& [id, demand] : sockets_) {
+    const util::Amperes draw = demand(t);
+    state.sockets.push_back(SocketState{id, draw, util::Volts{0.0}});
+    delivered += draw;
+  }
+
+  // Feeder current: delivered load, plus proportional losses, plus board
+  // overhead.  (Loads are modelled as current sources, so one pass solves
+  // the network; voltage drops below are reporting-only.)
+  state.feeder_current = util::Amperes{delivered.value() *
+                                       (1.0 + params_.loss_fraction)} +
+                         params_.overhead_quiescent;
+
+  // Voltage at the board after the feeder drop; at each device after its
+  // line drop.
+  const util::Volts board_voltage =
+      params_.supply - state.feeder_current * params_.feeder_resistance;
+  state.feeder_voltage = board_voltage;  // meter senses bus at the board side
+  for (auto& socket : state.sockets) {
+    socket.bus_voltage = board_voltage - socket.current * params_.line_resistance;
+  }
+  return state;
+}
+
+hw::OperatingPoint DistributionNetwork::device_operating_point(
+    const std::string& device_id, sim::SimTime t) const {
+  const NetworkState state = solve(t);
+  for (const auto& socket : state.sockets) {
+    if (socket.device_id == device_id) {
+      return hw::OperatingPoint{socket.current, socket.bus_voltage};
+    }
+  }
+  // Unplugged: the sensor travels with the device and sees a dead bus.
+  return hw::OperatingPoint{util::Amperes{0.0}, util::Volts{0.0}};
+}
+
+hw::OperatingPoint DistributionNetwork::feeder_operating_point(
+    sim::SimTime t) const {
+  const NetworkState state = solve(t);
+  return hw::OperatingPoint{state.feeder_current, state.feeder_voltage};
+}
+
+hw::ElectricalProbe DistributionNetwork::probe_for_device(
+    std::string device_id) {
+  return [this, id = std::move(device_id)]() {
+    return device_operating_point(id, now_());
+  };
+}
+
+hw::ElectricalProbe DistributionNetwork::feeder_probe() {
+  return [this]() { return feeder_operating_point(now_()); };
+}
+
+}  // namespace emon::grid

@@ -1,0 +1,130 @@
+#include "hw/ds3231.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emon::hw {
+
+std::uint8_t to_bcd(std::uint8_t value) noexcept {
+  return static_cast<std::uint8_t>(((value / 10) << 4) | (value % 10));
+}
+
+std::uint8_t from_bcd(std::uint8_t bcd) noexcept {
+  return static_cast<std::uint8_t>((bcd >> 4) * 10 + (bcd & 0x0f));
+}
+
+Ds3231::Ds3231(std::uint8_t address, Ds3231Params params,
+               std::function<sim::SimTime()> kernel_now, util::Rng rng)
+    : address_(address), params_(params), now_(std::move(kernel_now)) {
+  if (!now_) {
+    throw std::invalid_argument("Ds3231 requires a time source");
+  }
+  drift_ppm_ = rng.uniform(-params_.max_drift_ppm, params_.max_drift_ppm);
+  anchor_true_ = now_();
+  anchor_local_ = anchor_true_;
+}
+
+sim::SimTime Ds3231::local_time() const {
+  const sim::SimTime t = now_();
+  const double elapsed = (t - anchor_true_).to_seconds();
+  const double rate = 1.0 + drift_ppm_ * 1e-6;
+  return anchor_local_ + sim::seconds_f(elapsed * rate);
+}
+
+sim::Duration Ds3231::error() const { return local_time() - now_(); }
+
+void Ds3231::adjust(sim::Duration offset) {
+  const sim::SimTime new_local = local_time() + offset;
+  anchor_true_ = now_();
+  anchor_local_ = new_local;
+}
+
+void Ds3231::set_local_time(sim::SimTime t) {
+  anchor_true_ = now_();
+  anchor_local_ = t;
+}
+
+std::optional<std::uint16_t> Ds3231::read_register(std::uint8_t reg) {
+  // Decompose local time into clock fields.  The model does not track
+  // calendar dates (the simulation starts at epoch 0); day/date/month/year
+  // derive from whole days of simulated time.
+  const std::int64_t total_s = local_time().ns() / 1'000'000'000;
+  const auto seconds = static_cast<std::uint8_t>(total_s % 60);
+  const auto minutes = static_cast<std::uint8_t>((total_s / 60) % 60);
+  const auto hour = static_cast<std::uint8_t>((total_s / 3600) % 24);
+  const std::int64_t days = total_s / 86400;
+
+  switch (static_cast<Ds3231Register>(reg)) {
+    case Ds3231Register::kSeconds:
+      return to_bcd(seconds);
+    case Ds3231Register::kMinutes:
+      return to_bcd(minutes);
+    case Ds3231Register::kHours:
+      return to_bcd(hour);  // 24-hour mode
+    case Ds3231Register::kDay:
+      return static_cast<std::uint16_t>(days % 7 + 1);
+    case Ds3231Register::kDate:
+      return to_bcd(static_cast<std::uint8_t>(days % 31 + 1));
+    case Ds3231Register::kMonth:
+      return to_bcd(static_cast<std::uint8_t>((days / 31) % 12 + 1));
+    case Ds3231Register::kYear:
+      return to_bcd(static_cast<std::uint8_t>((days / 372) % 100));
+    case Ds3231Register::kControl:
+      return reg_control_;
+    case Ds3231Register::kStatus:
+      return reg_status_;
+    case Ds3231Register::kAgingOffset:
+      return static_cast<std::uint16_t>(static_cast<std::uint8_t>(reg_aging_));
+    case Ds3231Register::kTempMsb:
+      return 25;  // the die sits near room temperature in the testbed
+    case Ds3231Register::kTempLsb:
+      return 0;
+  }
+  return std::nullopt;
+}
+
+bool Ds3231::write_register(std::uint8_t reg, std::uint16_t value) {
+  switch (static_cast<Ds3231Register>(reg)) {
+    case Ds3231Register::kSeconds:
+    case Ds3231Register::kMinutes:
+    case Ds3231Register::kHours: {
+      // Writing any time register re-anchors the clock field-by-field.
+      const std::int64_t total_s = local_time().ns() / 1'000'000'000;
+      std::int64_t sec = total_s % 60;
+      std::int64_t min = (total_s / 60) % 60;
+      std::int64_t hr = (total_s / 3600) % 24;
+      const std::int64_t day_base = total_s - hr * 3600 - min * 60 - sec;
+      const auto v = from_bcd(static_cast<std::uint8_t>(value & 0xff));
+      if (static_cast<Ds3231Register>(reg) == Ds3231Register::kSeconds) {
+        sec = v % 60;
+      } else if (static_cast<Ds3231Register>(reg) == Ds3231Register::kMinutes) {
+        min = v % 60;
+      } else {
+        hr = v % 24;
+      }
+      set_local_time(
+          sim::SimTime{(day_base + hr * 3600 + min * 60 + sec) * 1'000'000'000});
+      return true;
+    }
+    case Ds3231Register::kControl:
+      reg_control_ = static_cast<std::uint8_t>(value & 0xff);
+      return true;
+    case Ds3231Register::kStatus:
+      reg_status_ = static_cast<std::uint8_t>(value & 0x08);  // only EN32kHz
+      return true;
+    case Ds3231Register::kAgingOffset:
+      reg_aging_ = static_cast<std::int8_t>(value & 0xff);
+      return true;
+    case Ds3231Register::kDay:
+    case Ds3231Register::kDate:
+    case Ds3231Register::kMonth:
+    case Ds3231Register::kYear:
+      return true;  // accepted; calendar is derived in this model
+    case Ds3231Register::kTempMsb:
+    case Ds3231Register::kTempLsb:
+      return false;  // read-only
+  }
+  return false;
+}
+
+}  // namespace emon::hw

@@ -1,0 +1,99 @@
+#pragma once
+// DS3231 extremely-accurate I2C RTC (Maxim) — the testbed's time reference.
+//
+// The paper assumes "all the devices in the network and the aggregators are
+// time-synchronized" (§II-A); the synchronization service (net/timesync)
+// periodically disciplines each node's DS3231.  The model keeps BCD
+// timekeeping registers and a temperature-compensated drift term (datasheet:
+// ±2 ppm from 0°C to +40°C), so undisciplined clocks wander apart just like
+// real ones.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "hw/i2c.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace emon::hw {
+
+struct Ds3231Params {
+  /// Worst-case frequency error (datasheet ±2 ppm for the commercial grade).
+  double max_drift_ppm = 2.0;
+  /// Aging: additional drift per simulated year, ppm.
+  double aging_ppm_per_year = 1.0;
+};
+
+/// Register map subset (seconds..years time registers + control/status).
+enum class Ds3231Register : std::uint8_t {
+  kSeconds = 0x00,
+  kMinutes = 0x01,
+  kHours = 0x02,
+  kDay = 0x03,
+  kDate = 0x04,
+  kMonth = 0x05,
+  kYear = 0x06,
+  kControl = 0x0e,
+  kStatus = 0x0f,
+  kAgingOffset = 0x10,
+  kTempMsb = 0x11,
+  kTempLsb = 0x12,
+};
+
+/// The RTC.  Its notion of "device local time" advances at a slightly wrong
+/// rate relative to the simulation's true time; `local_time()` exposes the
+/// skewed clock and `adjust()` models a time-sync correction.
+class Ds3231 final : public I2cPeripheral {
+ public:
+  /// `kernel_now` supplies true simulated time; the per-part drift rate is
+  /// drawn once from `rng` within the datasheet band.
+  Ds3231(std::uint8_t address, Ds3231Params params,
+         std::function<sim::SimTime()> kernel_now, util::Rng rng);
+
+  // -- I2cPeripheral ---------------------------------------------------------
+  [[nodiscard]] std::uint8_t address() const noexcept override {
+    return address_;
+  }
+  [[nodiscard]] std::optional<std::uint16_t> read_register(
+      std::uint8_t reg) override;
+  bool write_register(std::uint8_t reg, std::uint16_t value) override;
+
+  // -- Clock façade (what firmware uses) --------------------------------------
+
+  /// Local (drifting) time.  local = base + (true - base_set_at) * (1+drift).
+  [[nodiscard]] sim::SimTime local_time() const;
+
+  /// Error of the local clock vs true simulated time.
+  [[nodiscard]] sim::Duration error() const;
+
+  /// Time-sync correction: slews the local clock by `offset` (positive
+  /// moves it forward).  Models writing the time registers.
+  void adjust(sim::Duration offset);
+
+  /// Sets the local clock to exactly `t`.
+  void set_local_time(sim::SimTime t);
+
+  /// This part's actual drift rate in ppm (hidden; tests/ablation only).
+  [[nodiscard]] double true_drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  std::uint8_t address_;
+  Ds3231Params params_;
+  std::function<sim::SimTime()> now_;
+  double drift_ppm_;
+
+  // Linear clock model anchored when last set/adjusted.
+  sim::SimTime anchor_true_;  // true time at last set
+  sim::SimTime anchor_local_;  // local time at last set
+
+  std::uint8_t reg_control_ = 0x1c;  // power-on default
+  std::uint8_t reg_status_ = 0x00;
+  std::int8_t reg_aging_ = 0;
+};
+
+/// BCD helpers shared with tests (DS3231 stores time in BCD).
+[[nodiscard]] std::uint8_t to_bcd(std::uint8_t value) noexcept;
+[[nodiscard]] std::uint8_t from_bcd(std::uint8_t bcd) noexcept;
+
+}  // namespace emon::hw

@@ -1,0 +1,64 @@
+#include "hw/esp32.hpp"
+
+namespace emon::hw {
+
+const char* to_string(Esp32PowerMode mode) noexcept {
+  switch (mode) {
+    case Esp32PowerMode::kActive:
+      return "active";
+    case Esp32PowerMode::kModemSleep:
+      return "modem-sleep";
+    case Esp32PowerMode::kLightSleep:
+      return "light-sleep";
+    case Esp32PowerMode::kDeepSleep:
+      return "deep-sleep";
+  }
+  return "?";
+}
+
+Esp32Soc::Esp32Soc(std::string name, Esp32Params params)
+    : name_(std::move(name)), params_(params) {}
+
+void Esp32Soc::radio_tx_until(sim::SimTime until) noexcept {
+  if (until > tx_until_) {
+    tx_until_ = until;
+  }
+}
+
+void Esp32Soc::radio_rx_until(sim::SimTime until) noexcept {
+  if (until > rx_until_) {
+    rx_until_ = until;
+  }
+}
+
+util::Amperes Esp32Soc::current_demand(sim::SimTime t) const {
+  util::Amperes draw{};
+  switch (mode_) {
+    case Esp32PowerMode::kActive:
+      draw = params_.active;
+      break;
+    case Esp32PowerMode::kModemSleep:
+      draw = params_.modem_sleep;
+      break;
+    case Esp32PowerMode::kLightSleep:
+      draw = params_.light_sleep;
+      break;
+    case Esp32PowerMode::kDeepSleep:
+      draw = params_.deep_sleep;
+      break;
+  }
+  // Radio bursts only apply when the modem can be on.
+  if (mode_ == Esp32PowerMode::kActive) {
+    if (t < tx_until_) {
+      draw += params_.tx_extra;
+    } else if (t < rx_until_) {
+      draw += params_.rx_extra;
+    }
+  }
+  if (app_load_) {
+    draw += app_load_->current_at(t);
+  }
+  return draw;
+}
+
+}  // namespace emon::hw

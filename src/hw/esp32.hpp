@@ -1,0 +1,76 @@
+#pragma once
+// ESP32 SoC power model (Sparkfun ESP32 Thing, the paper's device platform).
+//
+// The SoC's own consumption is a state machine over the datasheet's power
+// modes; the board's total electrical demand is the SoC draw plus whatever
+// application load profile is attached (e.g. the e-scooter charger).  The
+// radio adds transient TX/RX bursts that the firmware triggers around MQTT
+// transmissions — these are the spikes visible in the paper's Figure 6
+// trace.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/load_profile.hpp"
+#include "sim/kernel.hpp"
+#include "util/units.hpp"
+
+namespace emon::hw {
+
+/// Datasheet power modes.
+enum class Esp32PowerMode : std::uint8_t {
+  kActive,      // CPU + RF on: tens of mA baseline
+  kModemSleep,  // CPU on, RF off
+  kLightSleep,  // CPU paused
+  kDeepSleep,   // RTC domain only
+};
+
+[[nodiscard]] const char* to_string(Esp32PowerMode mode) noexcept;
+
+struct Esp32Params {
+  /// Baseline draws per mode (datasheet §5.4, typical values at 3.3 V,
+  /// referred to the 5 V rail through the regulator).
+  util::Amperes active = util::milliamps(45.0);
+  util::Amperes modem_sleep = util::milliamps(20.0);
+  util::Amperes light_sleep = util::milliamps(0.8);
+  util::Amperes deep_sleep = util::milliamps(0.01);
+  /// Additional draw while the radio is transmitting (802.11n TX burst).
+  util::Amperes tx_extra = util::milliamps(120.0);
+  /// Additional draw while actively receiving/associating.
+  util::Amperes rx_extra = util::milliamps(60.0);
+};
+
+/// The SoC power model.  Firmware (core::DeviceApp) drives mode changes and
+/// radio activity; the grid reads `current_demand(t)`.
+class Esp32Soc {
+ public:
+  Esp32Soc(std::string name, Esp32Params params);
+
+  /// Sets the power mode (firmware decision).
+  void set_mode(Esp32PowerMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] Esp32PowerMode mode() const noexcept { return mode_; }
+
+  /// Marks the radio as bursting TX until `until` (simulated time).
+  void radio_tx_until(sim::SimTime until) noexcept;
+  /// Marks the radio as bursting RX (scan/associate) until `until`.
+  void radio_rx_until(sim::SimTime until) noexcept;
+
+  /// Attaches the application load (charger etc.) added on top of the SoC.
+  void attach_load(LoadProfilePtr load) noexcept { app_load_ = std::move(load); }
+
+  /// Total demanded current at `t` (SoC mode + radio bursts + app load).
+  [[nodiscard]] util::Amperes current_demand(sim::SimTime t) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  Esp32Params params_;
+  Esp32PowerMode mode_ = Esp32PowerMode::kActive;
+  sim::SimTime tx_until_{};
+  sim::SimTime rx_until_{};
+  LoadProfilePtr app_load_;
+};
+
+}  // namespace emon::hw

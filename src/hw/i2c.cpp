@@ -1,0 +1,56 @@
+#include "hw/i2c.hpp"
+
+namespace emon::hw {
+
+I2cBus::I2cBus(std::uint32_t scl_hz) noexcept
+    : scl_hz_(scl_hz == 0 ? 100'000 : scl_hz) {}
+
+bool I2cBus::attach(I2cPeripheral& peripheral) {
+  const auto [it, inserted] =
+      peripherals_.emplace(peripheral.address(), &peripheral);
+  (void)it;
+  return inserted;
+}
+
+bool I2cBus::detach(std::uint8_t address) noexcept {
+  return peripherals_.erase(address) > 0;
+}
+
+sim::Duration I2cBus::byte_time(std::size_t bytes) const noexcept {
+  // 9 SCL cycles per byte (8 data + ACK); ignore START/STOP setup (<1 cycle).
+  const double seconds =
+      static_cast<double>(bytes * 9) / static_cast<double>(scl_hz_);
+  return sim::seconds_f(seconds);
+}
+
+std::optional<I2cBus::ReadResult> I2cBus::read(std::uint8_t address,
+                                               std::uint8_t reg) {
+  const auto it = peripherals_.find(address);
+  if (it == peripherals_.end()) {
+    return std::nullopt;
+  }
+  const auto value = it->second->read_register(reg);
+  if (!value) {
+    return std::nullopt;
+  }
+  ++transactions_;
+  // addr+W, reg pointer, repeated-start addr+R, two data bytes = 5 bytes.
+  return ReadResult{*value, byte_time(5)};
+}
+
+std::optional<sim::Duration> I2cBus::write(std::uint8_t address,
+                                           std::uint8_t reg,
+                                           std::uint16_t value) {
+  const auto it = peripherals_.find(address);
+  if (it == peripherals_.end()) {
+    return std::nullopt;
+  }
+  if (!it->second->write_register(reg, value)) {
+    return std::nullopt;
+  }
+  ++transactions_;
+  // addr+W, reg pointer, two data bytes = 4 bytes.
+  return byte_time(4);
+}
+
+}  // namespace emon::hw

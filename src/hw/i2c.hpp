@@ -1,0 +1,79 @@
+#pragma once
+// I2C bus emulation.
+//
+// The testbed wires each ESP32 to an INA219 (0x40) and a DS3231 (0x68) over
+// I2C.  The emulation is register-level: peripherals expose 8-bit-addressed
+// 16-bit registers and the bus routes transactions by 7-bit device address.
+// Transfers are synchronous; their time cost (SCL clocking) is returned to
+// the caller so firmware can charge it to the simulation clock.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace emon::hw {
+
+/// A peripheral on the bus.  Registers are 16-bit big-endian on the wire
+/// (as for the INA219); byte-oriented devices pack into the low byte.
+class I2cPeripheral {
+ public:
+  virtual ~I2cPeripheral() = default;
+
+  /// 7-bit bus address.
+  [[nodiscard]] virtual std::uint8_t address() const noexcept = 0;
+  /// Reads the register at `reg`; nullopt for unimplemented registers.
+  [[nodiscard]] virtual std::optional<std::uint16_t> read_register(
+      std::uint8_t reg) = 0;
+  /// Writes the register at `reg`; returns false for read-only/unknown.
+  virtual bool write_register(std::uint8_t reg, std::uint16_t value) = 0;
+};
+
+/// A single I2C segment (one master, several peripherals).
+class I2cBus {
+ public:
+  /// Standard-mode bus by default (100 kHz SCL).
+  explicit I2cBus(std::uint32_t scl_hz = 100'000) noexcept;
+
+  /// Attaches a peripheral.  Returns false on address collision.
+  /// The bus does not own the peripheral; caller keeps it alive.
+  bool attach(I2cPeripheral& peripheral);
+  /// Detaches the peripheral at `address`, if present.
+  bool detach(std::uint8_t address) noexcept;
+
+  struct ReadResult {
+    std::uint16_t value = 0;
+    /// Bus occupancy for the transaction (address + reg pointer + 2 data
+    /// bytes, with ACK bits), to be charged by the caller.
+    sim::Duration bus_time;
+  };
+
+  /// Register read: START, addr+W, reg, RESTART, addr+R, 2 bytes.
+  /// nullopt if no peripheral ACKs the address or the register is unknown.
+  [[nodiscard]] std::optional<ReadResult> read(std::uint8_t address,
+                                               std::uint8_t reg);
+
+  /// Register write: START, addr+W, reg, 2 data bytes.
+  /// Returns the bus time, or nullopt if NACKed.
+  [[nodiscard]] std::optional<sim::Duration> write(std::uint8_t address,
+                                                   std::uint8_t reg,
+                                                   std::uint16_t value);
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return peripherals_.size();
+  }
+  [[nodiscard]] std::uint64_t transactions() const noexcept {
+    return transactions_;
+  }
+
+ private:
+  [[nodiscard]] sim::Duration byte_time(std::size_t bytes) const noexcept;
+
+  std::uint32_t scl_hz_;
+  std::map<std::uint8_t, I2cPeripheral*> peripherals_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace emon::hw

@@ -1,0 +1,186 @@
+#include "hw/ina219.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emon::hw {
+
+namespace {
+/// Shunt voltage LSB is 10 uV at every PGA setting (datasheet §8.6.3.1).
+constexpr double kShuntLsbVolts = 10e-6;
+/// Bus voltage LSB is 4 mV; the value sits in register bits 15..3.
+constexpr double kBusLsbVolts = 4e-3;
+/// Calibration scale constant from the datasheet current equation.
+constexpr double kCalScale = 0.04096;
+}  // namespace
+
+Ina219::Ina219(std::uint8_t address, Ina219Params params, ElectricalProbe probe,
+               util::Rng noise_rng)
+    : address_(address),
+      params_(params),
+      probe_(std::move(probe)),
+      rng_(noise_rng) {
+  if (!probe_) {
+    throw std::invalid_argument("Ina219 requires an electrical probe");
+  }
+  if (params_.shunt.value() <= 0.0) {
+    throw std::invalid_argument("Ina219 shunt resistance must be positive");
+  }
+  // Draw this part's offset and gain once, uniformly within the datasheet
+  // limits — matching how a production lot spreads.
+  offset_ = util::Amperes{rng_.uniform(-params_.max_offset.value(),
+                                       params_.max_offset.value())};
+  gain_ = 1.0 + rng_.uniform(-params_.max_gain_error, params_.max_gain_error);
+  // Encode the PGA into the config register image (bits 11-12).
+  reg_config_ = static_cast<std::uint16_t>(
+      (reg_config_ & ~0x1800u) |
+      (static_cast<std::uint16_t>(params_.pga) << 11));
+}
+
+double Ina219::shunt_full_scale_volts() const noexcept {
+  switch (params_.pga) {
+    case Ina219Pga::kDiv1_40mV:
+      return 0.040;
+    case Ina219Pga::kDiv2_80mV:
+      return 0.080;
+    case Ina219Pga::kDiv4_160mV:
+      return 0.160;
+    case Ina219Pga::kDiv8_320mV:
+      return 0.320;
+  }
+  return 0.320;
+}
+
+util::Amperes Ina219::current_lsb() const noexcept {
+  if (reg_calibration_ == 0) {
+    return util::Amperes{0.0};
+  }
+  return util::Amperes{kCalScale /
+                       (static_cast<double>(reg_calibration_) *
+                        params_.shunt.value())};
+}
+
+util::Amperes Ina219::calibrate_for(util::Amperes max_expected) {
+  if (max_expected.value() <= 0.0) {
+    throw std::invalid_argument("calibrate_for requires positive max current");
+  }
+  // Datasheet procedure: LSB = max_expected / 2^15, Cal = 0.04096/(LSB*R).
+  const double lsb = max_expected.value() / 32768.0;
+  const double cal = std::floor(kCalScale / (lsb * params_.shunt.value()));
+  reg_calibration_ = static_cast<std::uint16_t>(
+      std::clamp(cal, 1.0, 65534.0));
+  // The programmed register is even on real parts (bit 0 is not used).
+  reg_calibration_ = static_cast<std::uint16_t>(reg_calibration_ & ~1u);
+  if (reg_calibration_ == 0) {
+    reg_calibration_ = 2;
+  }
+  return current_lsb();
+}
+
+sim::Duration Ina219::convert() {
+  const OperatingPoint point = probe_();
+  ++conversions_;
+
+  // True shunt drop, then the part's hidden errors referred to the input.
+  const double true_current = point.current.value();
+  const double measured_current =
+      gain_ * true_current + offset_.value() +
+      rng_.normal(0.0, params_.adc_noise_rms.value() / params_.shunt.value());
+  double shunt_volts = measured_current * params_.shunt.value();
+
+  // PGA saturation, then 12-bit quantization at 10 uV LSB.
+  const double fs = shunt_full_scale_volts();
+  shunt_volts = std::clamp(shunt_volts, -fs, fs);
+  const auto shunt_counts = static_cast<std::int32_t>(
+      std::lround(shunt_volts / kShuntLsbVolts));
+  reg_shunt_ = static_cast<std::int16_t>(
+      std::clamp(shunt_counts, -32768, 32767));
+
+  // Bus voltage: 4 mV LSB, value in bits 15..3, CNVR flag in bit 1.
+  const double bus = std::max(0.0, point.bus_voltage.value());
+  const auto bus_counts =
+      static_cast<std::uint32_t>(std::lround(bus / kBusLsbVolts));
+  const std::uint16_t bus_field =
+      static_cast<std::uint16_t>(std::min(bus_counts, 0x1fffu));
+  reg_bus_ = static_cast<std::uint16_t>((bus_field << 3) | 0x2 /*CNVR*/);
+
+  // Current register = shunt counts scaled by the calibration (datasheet
+  // §8.5.1: Current = ShuntVoltage * Cal / 4096).
+  if (reg_calibration_ != 0) {
+    const double current_counts =
+        static_cast<double>(reg_shunt_) *
+        static_cast<double>(reg_calibration_) / 4096.0;
+    reg_current_ = static_cast<std::int16_t>(
+        std::clamp(std::lround(current_counts), -32768L, 32767L));
+    // Power = Current * BusVoltage / 5000 (in register counts).
+    const double power_counts =
+        static_cast<double>(reg_current_) * static_cast<double>(bus_field) /
+        5000.0;
+    reg_power_ = static_cast<std::uint16_t>(
+        std::clamp(std::lround(power_counts), 0L, 65535L));
+  } else {
+    reg_current_ = 0;
+    reg_power_ = 0;
+  }
+
+  return params_.conversion_time;
+}
+
+std::optional<std::uint16_t> Ina219::read_register(std::uint8_t reg) {
+  switch (static_cast<Ina219Register>(reg)) {
+    case Ina219Register::kConfig:
+      return reg_config_;
+    case Ina219Register::kShuntVoltage:
+      return static_cast<std::uint16_t>(reg_shunt_);
+    case Ina219Register::kBusVoltage:
+      return reg_bus_;
+    case Ina219Register::kPower:
+      return reg_power_;
+    case Ina219Register::kCurrent:
+      return static_cast<std::uint16_t>(reg_current_);
+    case Ina219Register::kCalibration:
+      return reg_calibration_;
+  }
+  return std::nullopt;
+}
+
+bool Ina219::write_register(std::uint8_t reg, std::uint16_t value) {
+  switch (static_cast<Ina219Register>(reg)) {
+    case Ina219Register::kConfig:
+      reg_config_ = value;
+      return true;
+    case Ina219Register::kCalibration:
+      reg_calibration_ = static_cast<std::uint16_t>(value & ~1u);
+      return true;
+    case Ina219Register::kShuntVoltage:
+    case Ina219Register::kBusVoltage:
+    case Ina219Register::kPower:
+    case Ina219Register::kCurrent:
+      return false;  // read-only result registers
+  }
+  return false;
+}
+
+std::optional<util::Amperes> Ina219::decode_current() const {
+  if (reg_calibration_ == 0) {
+    return std::nullopt;
+  }
+  return util::Amperes{static_cast<double>(reg_current_) *
+                       current_lsb().value()};
+}
+
+util::Volts Ina219::decode_bus_voltage() const {
+  const std::uint16_t field = static_cast<std::uint16_t>(reg_bus_ >> 3);
+  return util::Volts{static_cast<double>(field) * kBusLsbVolts};
+}
+
+std::optional<util::Watts> Ina219::decode_power() const {
+  if (reg_calibration_ == 0) {
+    return std::nullopt;
+  }
+  const double power_lsb = 20.0 * current_lsb().value();
+  return util::Watts{static_cast<double>(reg_power_) * power_lsb};
+}
+
+}  // namespace emon::hw

@@ -1,0 +1,137 @@
+#pragma once
+// INA219 zero-drift bidirectional current/power monitor (TI, SBOS448G).
+//
+// Register-accurate model of the sensor both the devices and the aggregator
+// use in the paper's testbed.  The error terms that produce the Figure 5
+// measurement gap are modelled explicitly:
+//   * per-part offset error (the paper cites 0.5 mA, §III-B),
+//   * per-part gain error (datasheet: ±0.5 % max),
+//   * 12-bit ADC quantization of shunt and bus voltages,
+//   * calibration-register rounding of the current LSB.
+//
+// The sensor samples a probe (the electrical operating point at its shunt)
+// when a conversion completes; firmware then reads the result registers over
+// I2C, exactly as on real hardware.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "hw/i2c.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emon::hw {
+
+/// The electrical truth at the sensor's shunt at a given instant.
+struct OperatingPoint {
+  util::Amperes current;
+  util::Volts bus_voltage;
+};
+
+/// Callback supplying the true operating point (wired up by the grid model).
+using ElectricalProbe = std::function<OperatingPoint()>;
+
+/// INA219 register addresses (datasheet Table 2).
+enum class Ina219Register : std::uint8_t {
+  kConfig = 0x00,
+  kShuntVoltage = 0x01,
+  kBusVoltage = 0x02,
+  kPower = 0x03,
+  kCurrent = 0x04,
+  kCalibration = 0x05,
+};
+
+/// PGA full-scale ranges for the shunt ADC (CONFIG bits 11-12).
+enum class Ina219Pga : std::uint8_t {
+  kDiv1_40mV = 0,
+  kDiv2_80mV = 1,
+  kDiv4_160mV = 2,
+  kDiv8_320mV = 3,
+};
+
+/// Model parameters; defaults match the Adafruit/SparkFun breakout used in
+/// the paper's testbed (0.1 ohm shunt, 32 V / 320 mV config).
+struct Ina219Params {
+  util::Ohms shunt = util::ohms(0.1);
+  Ina219Pga pga = Ina219Pga::kDiv8_320mV;
+  /// Worst-case per-part current offset (paper §III-B: 0.5 mA).
+  util::Amperes max_offset = util::milliamps(0.5);
+  /// Max gain error (datasheet: 0.5 %).
+  double max_gain_error = 0.005;
+  /// RMS noise on the shunt ADC input, in volts (datasheet: ~10 uV RMS).
+  util::Volts adc_noise_rms = util::millivolts(0.01);
+  /// 12-bit conversion time (datasheet: 532 us).
+  sim::Duration conversion_time = sim::microseconds(532);
+};
+
+/// The sensor.  Attach to an I2cBus; call `convert()` (or let the firmware's
+/// sampling loop call it) to latch a new measurement from the probe.
+class Ina219 final : public I2cPeripheral {
+ public:
+  /// `noise_rng` drives offset/gain draws (fixed per part at construction)
+  /// and per-conversion ADC noise.
+  Ina219(std::uint8_t address, Ina219Params params, ElectricalProbe probe,
+         util::Rng noise_rng);
+
+  // -- I2cPeripheral ---------------------------------------------------------
+  [[nodiscard]] std::uint8_t address() const noexcept override {
+    return address_;
+  }
+  [[nodiscard]] std::optional<std::uint16_t> read_register(
+      std::uint8_t reg) override;
+  bool write_register(std::uint8_t reg, std::uint16_t value) override;
+
+  // -- Conversion ------------------------------------------------------------
+
+  /// Samples the probe, applies the part's error model and quantization,
+  /// and latches the result registers.  Returns the conversion time the
+  /// caller should charge to the clock.
+  sim::Duration convert();
+
+  /// Convenience used by firmware after convert(): current in amps decoded
+  /// from the CURRENT register with the active calibration (nullopt if the
+  /// calibration register is zero, as on real parts).
+  [[nodiscard]] std::optional<util::Amperes> decode_current() const;
+  /// Bus voltage decoded from the BUS register (4 mV LSB).
+  [[nodiscard]] util::Volts decode_bus_voltage() const;
+  /// Power decoded from the POWER register (20 * current LSB).
+  [[nodiscard]] std::optional<util::Watts> decode_power() const;
+
+  /// Programs the calibration register for the given expected maximum
+  /// current (datasheet §8.5.1 procedure).  Returns the resulting LSB.
+  util::Amperes calibrate_for(util::Amperes max_expected);
+
+  /// The part's actual (hidden) offset — exposed for tests/ablation only.
+  [[nodiscard]] util::Amperes true_offset() const noexcept { return offset_; }
+  [[nodiscard]] double true_gain() const noexcept { return gain_; }
+  [[nodiscard]] std::uint64_t conversions() const noexcept {
+    return conversions_;
+  }
+
+ private:
+  [[nodiscard]] double shunt_full_scale_volts() const noexcept;
+  [[nodiscard]] util::Amperes current_lsb() const noexcept;
+
+  std::uint8_t address_;
+  Ina219Params params_;
+  ElectricalProbe probe_;
+  util::Rng rng_;
+
+  // Hidden per-part error terms (drawn once, as in a real production lot).
+  util::Amperes offset_;
+  double gain_;
+
+  // Registers.
+  std::uint16_t reg_config_ = 0x399f;  // power-on default
+  std::int16_t reg_shunt_ = 0;
+  std::uint16_t reg_bus_ = 0;
+  std::uint16_t reg_power_ = 0;
+  std::int16_t reg_current_ = 0;
+  std::uint16_t reg_calibration_ = 0;
+
+  std::uint64_t conversions_ = 0;
+};
+
+}  // namespace emon::hw

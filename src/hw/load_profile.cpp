@@ -1,0 +1,103 @@
+#include "hw/load_profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emon::hw {
+
+DutyCycleLoad::DutyCycleLoad(util::Amperes low, util::Amperes high,
+                             sim::Duration period, double duty,
+                             sim::Duration phase)
+    : low_(low), high_(high), period_(period), duty_(duty), phase_(phase) {
+  if (period_ <= sim::Duration{0}) {
+    throw std::invalid_argument("DutyCycleLoad period must be positive");
+  }
+  if (duty_ < 0.0 || duty_ > 1.0) {
+    throw std::invalid_argument("DutyCycleLoad duty must be in [0, 1]");
+  }
+}
+
+util::Amperes DutyCycleLoad::current_at(sim::SimTime t) const {
+  const std::int64_t shifted = t.ns() + phase_.ns();
+  std::int64_t pos = shifted % period_.ns();
+  if (pos < 0) {
+    pos += period_.ns();
+  }
+  const auto on_ns =
+      static_cast<std::int64_t>(duty_ * static_cast<double>(period_.ns()));
+  return pos < on_ns ? high_ : low_;
+}
+
+NoisyLoad::NoisyLoad(LoadProfilePtr base, double sigma, sim::Duration bin,
+                     std::uint64_t seed)
+    : base_(std::move(base)), sigma_(sigma), bin_(bin), seed_(seed) {
+  if (!base_) {
+    throw std::invalid_argument("NoisyLoad requires a base profile");
+  }
+  if (bin_ <= sim::Duration{0}) {
+    throw std::invalid_argument("NoisyLoad bin must be positive");
+  }
+}
+
+util::Amperes NoisyLoad::current_at(sim::SimTime t) const {
+  const util::Amperes base = base_->current_at(t);
+  // Hash (seed, bin index) into a unit normal via SplitMix64 + Box-Muller-
+  // free approximation: sum of 4 uniforms (Irwin-Hall) is close enough to
+  // Gaussian for load noise and needs no state.
+  const std::int64_t bin_index = t.ns() / bin_.ns();
+  util::SplitMix64 sm{seed_ ^ static_cast<std::uint64_t>(bin_index) *
+                                  0x9e3779b97f4a7c15ULL};
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  const double unit = (acc - 2.0) * std::sqrt(3.0);  // ~N(0,1)
+  const double factor = std::max(0.0, 1.0 + sigma_ * unit);
+  return base * factor;
+}
+
+CcCvChargeLoad::CcCvChargeLoad(util::Amperes cc, sim::SimTime cc_end,
+                               sim::Duration tau, util::Amperes floor_current,
+                               sim::SimTime start)
+    : cc_(cc), start_(start), cc_end_(cc_end), tau_(tau),
+      floor_(floor_current) {
+  if (tau_ <= sim::Duration{0}) {
+    throw std::invalid_argument("CcCvChargeLoad tau must be positive");
+  }
+  if (cc_end_ < start_) {
+    throw std::invalid_argument("CcCvChargeLoad cc_end before start");
+  }
+}
+
+util::Amperes CcCvChargeLoad::current_at(sim::SimTime t) const {
+  if (t < start_) {
+    return util::Amperes{0.0};
+  }
+  if (t <= cc_end_) {
+    return cc_;
+  }
+  const double dt = (t - cc_end_).to_seconds();
+  const double tau_s = tau_.to_seconds();
+  const double decayed =
+      floor_.value() + (cc_.value() - floor_.value()) * std::exp(-dt / tau_s);
+  return util::Amperes{decayed};
+}
+
+CompositeLoad::CompositeLoad(std::vector<LoadProfilePtr> parts)
+    : parts_(std::move(parts)) {
+  for (const auto& part : parts_) {
+    if (!part) {
+      throw std::invalid_argument("CompositeLoad contains a null profile");
+    }
+  }
+}
+
+util::Amperes CompositeLoad::current_at(sim::SimTime t) const {
+  util::Amperes total{0.0};
+  for (const auto& part : parts_) {
+    total += part->current_at(t);
+  }
+  return total;
+}
+
+}  // namespace emon::hw

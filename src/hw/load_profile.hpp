@@ -1,0 +1,112 @@
+#pragma once
+// Electrical load profiles.
+//
+// A profile maps simulated time to the *demanded* current of a device on
+// the 5 V testbed rail.  Profiles are pure functions of (time, fixed
+// per-device randomness): reading a profile has no side effects, so the
+// grid solver can evaluate it at arbitrary instants (sensor conversions,
+// verification windows) and always observe a consistent waveform.
+//
+// Profiles provided:
+//  * ConstantLoad      — fixed draw (bring-up, unit tests).
+//  * DutyCycleLoad     — periodic high/low square wave (duty-cycled firmware).
+//  * NoisyLoad         — wraps any profile with band-limited multiplicative
+//                        noise (held per time bin, deterministic per seed).
+//  * CcCvChargeLoad    — constant-current / constant-voltage battery-charge
+//                        taper: the paper's e-scooter charging scenario.
+//  * CompositeLoad     — sum of profiles (base electronics + charger, ...).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emon::hw {
+
+/// Interface: instantaneous demanded current at time `t`.
+class LoadProfile {
+ public:
+  virtual ~LoadProfile() = default;
+  [[nodiscard]] virtual util::Amperes current_at(sim::SimTime t) const = 0;
+};
+
+using LoadProfilePtr = std::shared_ptr<const LoadProfile>;
+
+/// Fixed current draw.
+class ConstantLoad final : public LoadProfile {
+ public:
+  explicit ConstantLoad(util::Amperes current) noexcept : current_(current) {}
+  [[nodiscard]] util::Amperes current_at(sim::SimTime) const override {
+    return current_;
+  }
+
+ private:
+  util::Amperes current_;
+};
+
+/// Square wave: `high` for duty*period, `low` for the rest, starting at
+/// `phase` offset.
+class DutyCycleLoad final : public LoadProfile {
+ public:
+  DutyCycleLoad(util::Amperes low, util::Amperes high, sim::Duration period,
+                double duty, sim::Duration phase = sim::Duration{0});
+
+  [[nodiscard]] util::Amperes current_at(sim::SimTime t) const override;
+
+ private:
+  util::Amperes low_;
+  util::Amperes high_;
+  sim::Duration period_;
+  double duty_;
+  sim::Duration phase_;
+};
+
+/// Multiplicative noise held constant within `bin` windows:
+/// i(t) = base(t) * (1 + sigma * n(bin(t))), n deterministic per seed.
+/// Deterministic-by-time so repeated evaluation at the same t agrees.
+class NoisyLoad final : public LoadProfile {
+ public:
+  NoisyLoad(LoadProfilePtr base, double sigma, sim::Duration bin,
+            std::uint64_t seed);
+
+  [[nodiscard]] util::Amperes current_at(sim::SimTime t) const override;
+
+ private:
+  LoadProfilePtr base_;
+  double sigma_;
+  sim::Duration bin_;
+  std::uint64_t seed_;
+};
+
+/// CC-CV charge curve: constant current `cc` until `cc_end`, then an
+/// exponential taper toward `floor` with time constant `tau`.
+class CcCvChargeLoad final : public LoadProfile {
+ public:
+  CcCvChargeLoad(util::Amperes cc, sim::SimTime cc_end, sim::Duration tau,
+                 util::Amperes floor_current, sim::SimTime start = {});
+
+  [[nodiscard]] util::Amperes current_at(sim::SimTime t) const override;
+
+ private:
+  util::Amperes cc_;
+  sim::SimTime start_;
+  sim::SimTime cc_end_;
+  sim::Duration tau_;
+  util::Amperes floor_;
+};
+
+/// Sum of member profiles.
+class CompositeLoad final : public LoadProfile {
+ public:
+  explicit CompositeLoad(std::vector<LoadProfilePtr> parts);
+
+  [[nodiscard]] util::Amperes current_at(sim::SimTime t) const override;
+
+ private:
+  std::vector<LoadProfilePtr> parts_;
+};
+
+}  // namespace emon::hw

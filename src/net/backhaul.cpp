@@ -1,0 +1,150 @@
+#include "net/backhaul.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+namespace emon::net {
+
+Backhaul::Backhaul(sim::Kernel& kernel, util::Rng rng)
+    : kernel_(kernel), rng_(rng) {}
+
+bool Backhaul::add_node(const std::string& id, Handler on_receive) {
+  if (id.empty() || !on_receive) {
+    throw std::invalid_argument("backhaul node needs id and handler");
+  }
+  return nodes_.emplace(id, Node{std::move(on_receive), {}}).second;
+}
+
+void Backhaul::add_link(const std::string& a, const std::string& b,
+                        ChannelParams params) {
+  auto ita = nodes_.find(a);
+  auto itb = nodes_.find(b);
+  if (ita == nodes_.end() || itb == nodes_.end()) {
+    throw std::invalid_argument("backhaul link endpoints must be nodes");
+  }
+  const double cost_s =
+      params.base_latency.to_seconds() + 0.5 * params.jitter.to_seconds();
+  ita->second.links.push_back(
+      Link{b, std::make_unique<Channel>(kernel_, params, util::Rng{rng_.next()}),
+           cost_s});
+  itb->second.links.push_back(
+      Link{a, std::make_unique<Channel>(kernel_, params, util::Rng{rng_.next()}),
+           cost_s});
+}
+
+std::optional<std::vector<std::string>> Backhaul::route(
+    const std::string& from, const std::string& to) const {
+  if (nodes_.find(from) == nodes_.end() || nodes_.find(to) == nodes_.end()) {
+    return std::nullopt;
+  }
+  // Dijkstra over expected hop latency.
+  std::map<std::string, double> dist;
+  std::map<std::string, std::string> prev;
+  using Item = std::pair<double, std::string>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, id] = heap.top();
+    heap.pop();
+    if (d > dist[id]) {
+      continue;
+    }
+    if (id == to) {
+      break;
+    }
+    for (const auto& link : nodes_.at(id).links) {
+      const double nd = d + link.cost_s;
+      const auto it = dist.find(link.peer);
+      if (it == dist.end() || nd < it->second) {
+        dist[link.peer] = nd;
+        prev[link.peer] = id;
+        heap.emplace(nd, link.peer);
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) {
+    return std::nullopt;
+  }
+  std::vector<std::string> path{to};
+  std::string cur = to;
+  while (cur != from) {
+    cur = prev.at(cur);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::string> Backhaul::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+bool Backhaul::send(BackhaulMessage message) {
+  auto path = route(message.from, message.to);
+  if (!path || path->empty()) {
+    return false;
+  }
+  ++sent_;
+  // Drop the source node; what remains is the hop sequence to traverse.
+  path->erase(path->begin());
+  forward(message, std::move(*path));
+  return true;
+}
+
+void Backhaul::forward(const BackhaulMessage& message,
+                       std::vector<std::string> remaining_path) {
+  // Hop-by-hop store-and-forward: each hop charges its channel's delay,
+  // then the next node either delivers or forwards further.
+  struct Stepper : std::enable_shared_from_this<Stepper> {
+    Backhaul* self;
+    BackhaulMessage message;
+    std::vector<std::string> path;  // nodes still to visit; back() == dest
+    std::size_t next_index = 0;
+
+    void step(const std::string& at) {
+      if (next_index >= path.size()) {
+        ++self->delivered_;
+        self->nodes_.at(at).handler(message);
+        return;
+      }
+      const std::string next = path[next_index];
+      ++next_index;
+      auto& node = self->nodes_.at(at);
+      const auto link_it =
+          std::find_if(node.links.begin(), node.links.end(),
+                       [&next](const Link& l) { return l.peer == next; });
+      if (link_it == node.links.end()) {
+        return;  // route invalidated mid-flight: drop
+      }
+      auto keep_alive = shared_from_this();
+      link_it->channel->send(message.payload.size() + 64,
+                             [keep_alive, next](std::uint64_t) {
+                               keep_alive->step(next);
+                             });
+    }
+  };
+
+  auto stepper = std::make_shared<Stepper>();
+  stepper->self = this;
+  stepper->message = message;
+  stepper->path = std::move(remaining_path);
+  if (stepper->path.empty()) {
+    // Self-send: deliver asynchronously with zero transport cost.
+    kernel_.schedule_in(sim::Duration{0}, [this, message] {
+      ++delivered_;
+      nodes_.at(message.to).handler(message);
+    });
+    return;
+  }
+  stepper->step(message.from);
+}
+
+}  // namespace emon::net

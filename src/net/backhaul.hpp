@@ -1,0 +1,87 @@
+#pragma once
+// Backhaul mesh between aggregators.
+//
+// "The aggregators are interconnected through a mesh/cloud network to
+// exchange consumption data of the devices connected to them." (§I)  The
+// paper assumes a high-bandwidth backhaul with ~1 ms inter-aggregator delay
+// (§III-B).  The model is a graph of point-to-point links; multi-hop
+// messages are routed over the minimum-latency path (Dijkstra) and each hop
+// is a `Channel` with its own latency/bandwidth.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace emon::net {
+
+/// A datagram handed to a backhaul endpoint.
+struct BackhaulMessage {
+  std::string from;
+  std::string to;
+  std::string kind;  // application-level discriminator
+  std::vector<std::uint8_t> payload;
+};
+
+/// The mesh.  Nodes register a receive handler; links are added pairwise.
+class Backhaul {
+ public:
+  using Handler = std::function<void(const BackhaulMessage&)>;
+
+  Backhaul(sim::Kernel& kernel, util::Rng rng);
+
+  /// Registers a node (aggregator).  Returns false if the id exists.
+  bool add_node(const std::string& id, Handler on_receive);
+
+  /// Adds a bidirectional link.  Both nodes must exist.
+  void add_link(const std::string& a, const std::string& b,
+                ChannelParams params);
+
+  /// Sends a message; it is routed over the min-latency path and delivered
+  /// to the destination's handler after the cumulative hop delays.
+  /// Returns false if no route exists (message dropped).
+  bool send(BackhaulMessage message);
+
+  /// Min-latency route between two nodes (node ids, inclusive), or nullopt.
+  [[nodiscard]] std::optional<std::vector<std::string>> route(
+      const std::string& from, const std::string& to) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  /// Ids of all registered nodes (for broadcast fan-out).
+  [[nodiscard]] std::vector<std::string> nodes() const;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct Link {
+    std::string peer;
+    std::unique_ptr<Channel> channel;
+    double cost_s;  // expected one-way latency, for routing
+  };
+  struct Node {
+    Handler handler;
+    std::vector<Link> links;
+  };
+
+  void forward(const BackhaulMessage& message,
+               std::vector<std::string> remaining_path);
+
+  sim::Kernel& kernel_;
+  util::Rng rng_;
+  std::map<std::string, Node> nodes_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace emon::net

@@ -1,0 +1,76 @@
+#include "net/channel.hpp"
+
+namespace emon::net {
+
+Channel::Channel(sim::Kernel& kernel, ChannelParams params, util::Rng rng)
+    : kernel_(kernel), params_(params), rng_(rng) {}
+
+sim::Duration Channel::sample_delay(std::uint64_t bytes) {
+  sim::Duration delay = params_.base_latency;
+  if (params_.jitter > sim::Duration{0}) {
+    delay += sim::nanoseconds(static_cast<std::int64_t>(
+        rng_.uniform(0.0, static_cast<double>(params_.jitter.ns()))));
+  }
+  if (params_.bandwidth_bps > 0.0) {
+    const double serialization_s =
+        static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
+    delay += sim::seconds_f(serialization_s);
+  }
+  return delay;
+}
+
+bool Channel::send_reliable(std::uint64_t bytes, DeliverFn on_deliver) {
+  if (!open_) {
+    ++dropped_;
+    return false;
+  }
+  // Each loss draw costs one retransmission timeout; the payload always
+  // arrives eventually (bounded at 10 retries to keep delays finite).
+  sim::Duration extra{0};
+  int retries = 0;
+  while (params_.loss_probability > 0.0 &&
+         rng_.bernoulli(params_.loss_probability) && retries < 10) {
+    extra += params_.retransmit_timeout;
+    ++retries;
+  }
+  ++sent_;
+  sim::SimTime deliver_at = kernel_.now() + sample_delay(bytes) + extra;
+  if (deliver_at < last_delivery_) {
+    deliver_at = last_delivery_;
+  }
+  last_delivery_ = deliver_at;
+  kernel_.schedule_at(deliver_at, [this, bytes, cb = std::move(on_deliver)] {
+    ++delivered_;
+    if (cb) {
+      cb(bytes);
+    }
+  });
+  return true;
+}
+
+bool Channel::send(std::uint64_t bytes, DeliverFn on_deliver) {
+  if (!open_) {
+    ++dropped_;
+    return false;
+  }
+  if (params_.loss_probability > 0.0 &&
+      rng_.bernoulli(params_.loss_probability)) {
+    ++dropped_;
+    return false;
+  }
+  ++sent_;
+  sim::SimTime deliver_at = kernel_.now() + sample_delay(bytes);
+  if (deliver_at < last_delivery_) {
+    deliver_at = last_delivery_;  // FIFO: no overtaking on one stream
+  }
+  last_delivery_ = deliver_at;
+  kernel_.schedule_at(deliver_at, [this, bytes, cb = std::move(on_deliver)] {
+    ++delivered_;
+    if (cb) {
+      cb(bytes);
+    }
+  });
+  return true;
+}
+
+}  // namespace emon::net

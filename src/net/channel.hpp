@@ -1,0 +1,78 @@
+#pragma once
+// Point-to-point datagram channel with latency, jitter, loss and bandwidth.
+//
+// Every hop in the testbed — device↔aggregator over Wi-Fi, aggregator↔
+// aggregator over the backhaul — is a Channel.  Sends schedule a delivery
+// callback on the kernel after the modelled delay; a closed channel drops
+// everything (that is how unplugging/leaving coverage manifests to the
+// protocol layers).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace emon::net {
+
+struct ChannelParams {
+  /// Fixed one-way latency component.
+  sim::Duration base_latency = sim::milliseconds(2);
+  /// Uniform jitter added on top of base latency: U(0, jitter).
+  sim::Duration jitter = sim::milliseconds(3);
+  /// Probability that a datagram is silently lost.
+  double loss_probability = 0.0;
+  /// Retransmission timeout charged per loss on reliable sends.
+  sim::Duration retransmit_timeout = sim::milliseconds(200);
+  /// Serialization rate; 0 disables the size-dependent term.
+  double bandwidth_bps = 20e6;
+};
+
+/// One direction of a link.  Channels are cheap; protocols typically hold
+/// one per peer and direction.
+class Channel {
+ public:
+  using DeliverFn = std::function<void(std::uint64_t bytes)>;
+
+  Channel(sim::Kernel& kernel, ChannelParams params, util::Rng rng);
+
+  /// Sends `bytes` and schedules `on_deliver` at the receive instant.
+  /// Returns false if the datagram was dropped (closed channel or loss).
+  bool send(std::uint64_t bytes, DeliverFn on_deliver);
+
+  /// Reliable-stream send (TCP semantics): loss manifests as added
+  /// retransmission delay, never as a silent drop.  Used by the MQTT
+  /// control plane (CONNECT/CONNACK/SUBSCRIBE), which in reality rides a
+  /// retransmitting transport.  Only a closed channel drops the payload.
+  bool send_reliable(std::uint64_t bytes, DeliverFn on_deliver);
+
+  /// Open/close the channel.  Packets in flight when the channel closes are
+  /// still delivered (they already left the radio); new sends are dropped.
+  void set_open(bool open) noexcept { open_ = open; }
+  [[nodiscard]] bool open() const noexcept { return open_; }
+
+  void set_params(const ChannelParams& params) noexcept { params_ = params; }
+  [[nodiscard]] const ChannelParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+  /// The delay the next datagram of `bytes` would experience (sampled).
+  [[nodiscard]] sim::Duration sample_delay(std::uint64_t bytes);
+
+ private:
+  sim::Kernel& kernel_;
+  ChannelParams params_;
+  util::Rng rng_;
+  bool open_ = true;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+  /// Channels model ordered streams (MQTT rides TCP): a later send never
+  /// overtakes an earlier one even when its sampled delay is smaller.
+  sim::SimTime last_delivery_{};
+};
+
+}  // namespace emon::net

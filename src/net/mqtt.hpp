@@ -1,0 +1,185 @@
+#pragma once
+// MQTT-style publish/subscribe (the paper's reporting protocol, §III-A).
+//
+// Message-level model of MQTT 3.1.1: CONNECT/CONNACK, PUBLISH with QoS 0/1
+// (PUBACK + retransmission), SUBSCRIBE with '+'/'#' wildcard filters, and
+// DISCONNECT.  Transport is a pair of `Channel`s (the Wi-Fi association);
+// the broker lives on the aggregator host, whose own consumers subscribe
+// locally with zero transport delay — exactly like a process colocated with
+// Mosquitto on the RPi.
+//
+// Lifetime: a client owns its session object (shared_ptr); the broker holds
+// weak_ptrs, so a client that roams away (dropping its channels) simply
+// expires from the broker's session table.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/kernel.hpp"
+#include "sim/timer.hpp"
+
+namespace emon::net {
+
+struct MqttMessage {
+  std::string topic;
+  std::vector<std::uint8_t> payload;
+  std::uint8_t qos = 0;
+  /// Client id of the publisher (filled in by the broker on dispatch).
+  std::string sender;
+};
+
+/// MQTT topic filter matching: '+' matches one level, a trailing '#'
+/// matches any remainder.  Exposed for tests.
+[[nodiscard]] bool topic_matches(std::string_view filter,
+                                 std::string_view topic);
+
+/// Approximate wire size of a publish (fixed header + topic + payload).
+[[nodiscard]] std::uint64_t publish_wire_size(const MqttMessage& m) noexcept;
+
+class MqttBroker;
+
+/// Connection state shared between one client and the broker.
+/// Created by MqttClient::connect(); not used directly by applications.
+struct MqttSession {
+  std::string client_id;
+  std::shared_ptr<Channel> uplink;    // client -> broker
+  std::shared_ptr<Channel> downlink;  // broker -> client
+  /// Invoked on the client side when a dispatched message arrives.
+  std::function<void(const MqttMessage&)> on_message;
+  /// Invoked on the client side when a PUBACK arrives.
+  std::function<void(std::uint16_t packet_id)> on_puback;
+  std::vector<std::string> filters;
+};
+
+/// The broker (one per aggregator host).
+class MqttBroker {
+ public:
+  using LocalHandler = std::function<void(const MqttMessage&)>;
+
+  MqttBroker(sim::Kernel& kernel, std::string broker_id);
+
+  /// Subscribes a colocated consumer (the aggregator process): no
+  /// transport delay, no session.
+  void subscribe_local(std::string filter, LocalHandler handler);
+
+  /// Accepts a session (called by MqttClient with CONNECT semantics).
+  /// Returns false if a live session with the same client id exists.
+  bool accept(const std::shared_ptr<MqttSession>& session);
+
+  /// Removes a session (DISCONNECT or broker-side eviction).
+  void evict(const std::string& client_id);
+
+  /// Ingress: a PUBLISH arrived from `session` (post-uplink-delay).
+  /// Dispatches to local handlers and matching remote sessions, and sends
+  /// PUBACK for QoS 1.
+  void handle_publish(const std::shared_ptr<MqttSession>& session,
+                      MqttMessage message);
+
+  /// Publishes from the broker host itself (aggregator pushing control
+  /// messages down to devices).
+  void publish_from_host(MqttMessage message);
+
+  /// Registers a subscription filter on a session (SUBSCRIBE).
+  void handle_subscribe(const std::shared_ptr<MqttSession>& session,
+                        std::string filter);
+
+  [[nodiscard]] const std::string& id() const noexcept { return broker_id_; }
+  [[nodiscard]] std::size_t live_sessions() const;
+  [[nodiscard]] std::uint64_t messages_routed() const noexcept {
+    return routed_;
+  }
+
+ private:
+  void dispatch(const MqttMessage& message);
+
+  sim::Kernel& kernel_;
+  std::string broker_id_;
+  std::vector<std::pair<std::string, LocalHandler>> local_subs_;
+  std::map<std::string, std::weak_ptr<MqttSession>> sessions_;
+  std::uint64_t routed_ = 0;
+};
+
+struct MqttClientParams {
+  /// QoS 1 retransmission timeout.
+  sim::Duration ack_timeout = sim::milliseconds(500);
+  /// Max transmission attempts before reporting failure.
+  int max_attempts = 3;
+};
+
+/// A device-side MQTT client.
+class MqttClient {
+ public:
+  using ConnectCallback = std::function<void(bool)>;
+  using AckCallback = std::function<void(bool acked)>;
+  using MessageHandler = std::function<void(const MqttMessage&)>;
+
+  MqttClient(sim::Kernel& kernel, std::string client_id,
+             MqttClientParams params = {});
+  ~MqttClient();
+
+  MqttClient(const MqttClient&) = delete;
+  MqttClient& operator=(const MqttClient&) = delete;
+
+  /// Connects to `broker` through the given channels (the current Wi-Fi
+  /// association).  CONNECT/CONNACK round trip; `on_done(true)` on success.
+  void connect(MqttBroker& broker, std::shared_ptr<Channel> uplink,
+               std::shared_ptr<Channel> downlink, ConnectCallback on_done);
+
+  /// Publishes. QoS 0: fire-and-forget, `on_ack` fires immediately with
+  /// true once handed to the channel (false if the channel is gone).
+  /// QoS 1: `on_ack(true)` on PUBACK, `on_ack(false)` after max_attempts.
+  void publish(std::string topic, std::vector<std::uint8_t> payload,
+               std::uint8_t qos, AckCallback on_ack = nullptr);
+
+  /// Subscribes to a filter; `handler` runs for each matching message.
+  void subscribe(std::string filter, MessageHandler handler);
+
+  /// Graceful disconnect (best-effort DISCONNECT, then drop session).
+  void disconnect();
+
+  /// Hard drop (Wi-Fi loss): session dies without notice to the broker.
+  void drop();
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] const std::string& client_id() const noexcept {
+    return client_id_;
+  }
+  [[nodiscard]] std::uint64_t publishes() const noexcept { return publishes_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+
+ private:
+  struct PendingPublish {
+    MqttMessage message;
+    AckCallback on_ack;
+    int attempts = 0;
+    sim::EventId timeout{};
+  };
+
+  void send_publish(std::uint16_t packet_id);
+  void resubscribe_all();
+  void handle_incoming(const MqttMessage& message);
+  void handle_puback(std::uint16_t packet_id);
+  void arm_timeout(std::uint16_t packet_id);
+
+  sim::Kernel& kernel_;
+  std::string client_id_;
+  MqttClientParams params_;
+  MqttBroker* broker_ = nullptr;
+  std::shared_ptr<MqttSession> session_;
+  bool connected_ = false;
+  std::uint16_t next_packet_id_ = 1;
+  std::map<std::uint16_t, PendingPublish> pending_;
+  std::vector<std::pair<std::string, MessageHandler>> handlers_;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace emon::net

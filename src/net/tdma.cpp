@@ -1,0 +1,80 @@
+#include "net/tdma.hpp"
+
+#include <stdexcept>
+
+namespace emon::net {
+
+TdmaSchedule::TdmaSchedule(TdmaParams params) : params_(params) {
+  if (params_.superframe <= sim::Duration{0} ||
+      params_.slot_width <= sim::Duration{0}) {
+    throw std::invalid_argument("TDMA durations must be positive");
+  }
+  if (params_.slot_width > params_.superframe) {
+    throw std::invalid_argument("slot wider than superframe");
+  }
+  used_.assign(capacity(), false);
+}
+
+std::size_t TdmaSchedule::capacity() const noexcept {
+  return static_cast<std::size_t>(params_.superframe / params_.slot_width);
+}
+
+std::optional<std::size_t> TdmaSchedule::allocate(
+    const std::string& device_id) {
+  if (assignments_.find(device_id) != assignments_.end()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    if (!used_[i]) {
+      used_[i] = true;
+      assignments_[device_id] = i;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool TdmaSchedule::release(const std::string& device_id) {
+  const auto it = assignments_.find(device_id);
+  if (it == assignments_.end()) {
+    return false;
+  }
+  used_[it->second] = false;
+  assignments_.erase(it);
+  return true;
+}
+
+std::optional<std::size_t> TdmaSchedule::slot_of(
+    const std::string& device_id) const {
+  const auto it = assignments_.find(device_id);
+  if (it == assignments_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<sim::Duration> TdmaSchedule::offset_of(
+    const std::string& device_id) const {
+  const auto slot = slot_of(device_id);
+  if (!slot) {
+    return std::nullopt;
+  }
+  return params_.slot_width * static_cast<std::int64_t>(*slot);
+}
+
+std::optional<sim::SimTime> TdmaSchedule::next_tx_time(
+    const std::string& device_id, sim::SimTime t) const {
+  const auto offset = offset_of(device_id);
+  if (!offset) {
+    return std::nullopt;
+  }
+  const std::int64_t frame_ns = params_.superframe.ns();
+  const std::int64_t frame_index = t.ns() / frame_ns;
+  sim::SimTime candidate{frame_index * frame_ns + offset->ns()};
+  if (candidate < t) {
+    candidate = candidate + params_.superframe;
+  }
+  return candidate;
+}
+
+}  // namespace emon::net

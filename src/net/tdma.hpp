@@ -1,0 +1,71 @@
+#pragma once
+// TDMA slot allocation.
+//
+// "The aggregator provides the devices with time-slots for communication to
+// prevent interference.  With limited time-slots for communication, the
+// number of devices connected to an aggregator is also limited." (§II-A)
+//
+// The superframe equals the reporting interval T_measure; it is divided
+// into fixed-width slots, one per member device.  Devices delay each report
+// to their slot offset within the superframe, so reports from different
+// members of one WAN never collide.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emon::net {
+
+struct TdmaParams {
+  /// Superframe length (== T_measure, paper: 100 ms).
+  sim::Duration superframe = sim::milliseconds(100);
+  /// Width of one slot (airtime granted per device per superframe).
+  sim::Duration slot_width = sim::milliseconds(5);
+};
+
+/// Slot assignment table kept by the aggregator.
+class TdmaSchedule {
+ public:
+  explicit TdmaSchedule(TdmaParams params);
+
+  /// Number of slots in the superframe — the WAN's device capacity.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return assignments_.size();
+  }
+  [[nodiscard]] bool full() const noexcept {
+    return allocated() >= capacity();
+  }
+
+  /// Assigns the lowest free slot to `device_id`.  Returns the slot index,
+  /// or nullopt if the schedule is full or the device already holds a slot.
+  std::optional<std::size_t> allocate(const std::string& device_id);
+
+  /// Releases the slot held by `device_id` (device left the WAN).
+  bool release(const std::string& device_id);
+
+  [[nodiscard]] std::optional<std::size_t> slot_of(
+      const std::string& device_id) const;
+
+  /// The slot's transmit offset within each superframe.
+  [[nodiscard]] std::optional<sim::Duration> offset_of(
+      const std::string& device_id) const;
+
+  /// Next transmit instant for `device_id` at-or-after `t`: the start of
+  /// its slot in the current or next superframe.
+  [[nodiscard]] std::optional<sim::SimTime> next_tx_time(
+      const std::string& device_id, sim::SimTime t) const;
+
+  [[nodiscard]] const TdmaParams& params() const noexcept { return params_; }
+
+ private:
+  TdmaParams params_;
+  std::map<std::string, std::size_t> assignments_;
+  std::vector<bool> used_;
+};
+
+}  // namespace emon::net

@@ -1,0 +1,20 @@
+#include "net/timesync.hpp"
+
+#include <cmath>
+
+namespace emon::net {
+
+TimeSyncAgent::TimeSyncAgent(hw::Ds3231& rtc, TimeSyncParams params)
+    : rtc_(rtc), params_(params) {}
+
+void TimeSyncAgent::on_beacon(sim::SimTime master_time_at_tx) {
+  ++beacons_;
+  // Best estimate of master "now": beacon timestamp + assumed propagation.
+  const sim::SimTime master_estimate =
+      master_time_at_tx + params_.assumed_propagation;
+  const sim::Duration offset = master_estimate - rtc_.local_time();
+  corrections_.add(std::fabs(offset.to_seconds()));
+  rtc_.adjust(offset);
+}
+
+}  // namespace emon::net

@@ -1,0 +1,196 @@
+#include "net/wifi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emon::net {
+
+double distance(Position a, Position b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double rssi_dbm(const PathLossParams& params, Position tx, Position rx,
+                std::uint64_t pair_hash) noexcept {
+  const double d = std::max(1.0, distance(tx, rx));
+  const double path_loss =
+      params.pl0_db + 10.0 * params.exponent * std::log10(d);
+  // Per-pair shadowing: hash -> approximately normal via Irwin-Hall of 4.
+  util::SplitMix64 sm{pair_hash};
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  const double unit = (acc - 2.0) * std::sqrt(3.0);
+  const double shadowing = params.shadowing_sigma_db * unit;
+  return params.tx_power_dbm - path_loss + shadowing;
+}
+
+void WifiMedium::add_access_point(AccessPoint ap) {
+  if (ap.ssid.empty()) {
+    throw std::invalid_argument("AccessPoint requires an SSID");
+  }
+  aps_[ap.ssid] = std::move(ap);
+}
+
+bool WifiMedium::remove_access_point(const std::string& ssid) {
+  return aps_.erase(ssid) > 0;
+}
+
+std::optional<AccessPoint> WifiMedium::find(const std::string& ssid) const {
+  const auto it = aps_.find(ssid);
+  if (it == aps_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<ScanEntry> WifiMedium::audible_from(
+    Position rx, const std::string& rx_id) const {
+  std::vector<ScanEntry> out;
+  for (const auto& [ssid, ap] : aps_) {
+    const std::uint64_t pair_hash =
+        util::fnv1a64(ssid) ^ util::fnv1a64(rx_id);
+    const double rssi = rssi_dbm(ap.radio, ap.position, rx, pair_hash);
+    if (rssi >= ap.radio.sensitivity_dbm) {
+      out.push_back(ScanEntry{ap, rssi});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ScanEntry& a, const ScanEntry& b) {
+    return a.rssi_dbm > b.rssi_dbm;
+  });
+  return out;
+}
+
+const char* to_string(WifiState s) noexcept {
+  switch (s) {
+    case WifiState::kIdle:
+      return "idle";
+    case WifiState::kScanning:
+      return "scanning";
+    case WifiState::kAssociating:
+      return "associating";
+    case WifiState::kConnected:
+      return "connected";
+  }
+  return "?";
+}
+
+WifiStation::WifiStation(WifiMedium& medium, std::string station_id,
+                         WifiStationParams params, util::Rng rng)
+    : medium_(medium),
+      station_id_(std::move(station_id)),
+      params_(params),
+      rng_(rng) {}
+
+bool WifiStation::start_scan(ScanCallback on_done) {
+  if (state_ != WifiState::kIdle || !on_done) {
+    return false;
+  }
+  state_ = WifiState::kScanning;
+  const sim::Duration scan_time =
+      params_.scan_dwell * static_cast<std::int64_t>(params_.channels);
+  total_acquisition_ += scan_time;
+  const std::uint64_t epoch = ++op_epoch_;
+  medium_.kernel().schedule_in(
+      scan_time, [this, epoch, cb = std::move(on_done)] {
+        if (epoch != op_epoch_ || state_ != WifiState::kScanning) {
+          return;  // superseded by disconnect/reset
+        }
+        state_ = WifiState::kIdle;
+        cb(medium_.audible_from(position_, station_id_));
+      });
+  return true;
+}
+
+bool WifiStation::associate(const std::string& ssid, AssocCallback on_done) {
+  if (state_ != WifiState::kIdle || !on_done) {
+    return false;
+  }
+  state_ = WifiState::kAssociating;
+  const double assoc_span = static_cast<double>(
+      (params_.assoc_max - params_.assoc_min).ns());
+  const sim::Duration assoc_time =
+      params_.assoc_min +
+      sim::nanoseconds(
+          static_cast<std::int64_t>(rng_.uniform(0.0, assoc_span)));
+  total_acquisition_ += assoc_time;
+  const std::uint64_t epoch = ++op_epoch_;
+  medium_.kernel().schedule_in(
+      assoc_time, [this, epoch, ssid, cb = std::move(on_done)] {
+        if (epoch != op_epoch_ || state_ != WifiState::kAssociating) {
+          return;
+        }
+        const auto ap = medium_.find(ssid);
+        if (!ap) {
+          state_ = WifiState::kIdle;
+          cb(false);
+          return;
+        }
+        const std::uint64_t pair_hash =
+            util::fnv1a64(ssid) ^ util::fnv1a64(station_id_);
+        const double rssi =
+            rssi_dbm(ap->radio, ap->position, position_, pair_hash);
+        if (rssi < ap->radio.sensitivity_dbm) {
+          state_ = WifiState::kIdle;
+          cb(false);
+          return;
+        }
+        finish_connect(ssid);
+        cb(true);
+      });
+  return true;
+}
+
+void WifiStation::finish_connect(const std::string& ssid) {
+  const auto ap = medium_.find(ssid);
+  state_ = WifiState::kConnected;
+  connected_ssid_ = ssid;
+  connected_host_ = ap->host_id;
+  uplink_ = std::make_shared<Channel>(
+      medium_.kernel(), params_.link,
+      util::Rng{util::fnv1a64(station_id_) ^ util::fnv1a64(ssid) ^ 0x1ULL});
+  downlink_ = std::make_shared<Channel>(
+      medium_.kernel(), params_.link,
+      util::Rng{util::fnv1a64(station_id_) ^ util::fnv1a64(ssid) ^ 0x2ULL});
+}
+
+void WifiStation::disconnect() {
+  ++op_epoch_;  // cancels in-flight scan/assoc completions
+  state_ = WifiState::kIdle;
+  connected_ssid_.clear();
+  connected_host_.clear();
+  if (uplink_) {
+    uplink_->set_open(false);
+  }
+  if (downlink_) {
+    downlink_->set_open(false);
+  }
+  uplink_.reset();
+  downlink_.reset();
+}
+
+void WifiStation::set_position(Position p) {
+  position_ = p;
+  if (state_ != WifiState::kConnected) {
+    return;
+  }
+  const auto ap = medium_.find(connected_ssid_);
+  bool still_audible = false;
+  if (ap) {
+    const std::uint64_t pair_hash =
+        util::fnv1a64(connected_ssid_) ^ util::fnv1a64(station_id_);
+    still_audible = rssi_dbm(ap->radio, ap->position, position_, pair_hash) >=
+                    ap->radio.sensitivity_dbm;
+  }
+  if (!still_audible) {
+    disconnect();
+    if (on_drop_) {
+      on_drop_();
+    }
+  }
+}
+
+}  // namespace emon::net

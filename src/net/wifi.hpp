@@ -1,0 +1,183 @@
+#pragma once
+// Wi-Fi medium: RSSI propagation, access points, and the station (STA)
+// scan/associate state machine.
+//
+// The paper's devices pick their reporting aggregator by RSSI (§II-C,
+// footnote 2) and the dominant cost of a network transition is the Wi-Fi
+// scan + association + registration sequence — the ~6 s T_handshake of the
+// evaluation.  Timing model:
+//   * passive scan: per-channel dwell (default 200 ms) x 13 channels,
+//   * association (auth + assoc + DHCP): uniform in [assoc_min, assoc_max].
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace emon::net {
+
+/// Planar coordinates in metres (testbed scale).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double distance(Position a, Position b) noexcept;
+
+/// Log-distance path-loss model with per-pair shadowing.
+struct PathLossParams {
+  double tx_power_dbm = 20.0;   // AP transmit power
+  double pl0_db = 40.0;         // path loss at d0 = 1 m (2.4 GHz indoor)
+  double exponent = 2.7;        // indoor with obstructions
+  double shadowing_sigma_db = 2.0;
+  double sensitivity_dbm = -85.0;  // below this, the AP is invisible
+};
+
+/// Deterministic RSSI for a TX-RX pair: shadowing is hashed from the pair
+/// identity, so repeated scans at the same position agree.
+[[nodiscard]] double rssi_dbm(const PathLossParams& params, Position tx,
+                              Position rx, std::uint64_t pair_hash) noexcept;
+
+/// An access point: the radio face of an aggregator's WAN.
+struct AccessPoint {
+  std::string ssid;       // == network name, e.g. "wan-1"
+  std::string host_id;    // aggregator id hosting the broker
+  Position position;
+  std::uint8_t channel = 1;
+  PathLossParams radio;
+};
+
+/// A scan result entry.
+struct ScanEntry {
+  AccessPoint ap;
+  double rssi_dbm = 0.0;
+};
+
+/// The shared radio environment: AP registry + propagation.
+class WifiMedium {
+ public:
+  explicit WifiMedium(sim::Kernel& kernel) : kernel_(kernel) {}
+
+  void add_access_point(AccessPoint ap);
+  bool remove_access_point(const std::string& ssid);
+  [[nodiscard]] std::optional<AccessPoint> find(const std::string& ssid) const;
+  [[nodiscard]] std::size_t access_point_count() const noexcept {
+    return aps_.size();
+  }
+
+  /// All APs audible from `rx` sorted by descending RSSI.
+  [[nodiscard]] std::vector<ScanEntry> audible_from(
+      Position rx, const std::string& rx_id) const;
+
+  [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+
+ private:
+  sim::Kernel& kernel_;
+  std::map<std::string, AccessPoint> aps_;
+};
+
+/// STA connection state.
+enum class WifiState : std::uint8_t {
+  kIdle,
+  kScanning,
+  kAssociating,
+  kConnected,
+};
+
+[[nodiscard]] const char* to_string(WifiState s) noexcept;
+
+struct WifiStationParams {
+  /// Passive-scan dwell per channel (ESP32 default passive dwell class).
+  sim::Duration scan_dwell = sim::milliseconds(250);
+  std::uint8_t channels = 13;
+  /// Association (auth + assoc + DHCP) duration bounds.
+  sim::Duration assoc_min = sim::milliseconds(1300);
+  sim::Duration assoc_max = sim::milliseconds(1700);
+  /// Channel characteristics of an established Wi-Fi link.
+  ChannelParams link;
+};
+
+/// The station radio on a device.  Asynchronous API driven by the kernel.
+class WifiStation {
+ public:
+  using ScanCallback = std::function<void(std::vector<ScanEntry>)>;
+  using AssocCallback = std::function<void(bool connected)>;
+  using DropCallback = std::function<void()>;
+
+  WifiStation(WifiMedium& medium, std::string station_id,
+              WifiStationParams params, util::Rng rng);
+
+  /// Begins a full passive scan; the callback fires after
+  /// channels x scan_dwell with the audible APs.  Fails (returns false)
+  /// unless the STA is idle.
+  bool start_scan(ScanCallback on_done);
+
+  /// Associates with `ssid`.  Completes after an association delay; fails
+  /// immediately (callback(false)) if the AP no longer exists or is out of
+  /// range.  STA must be idle.
+  bool associate(const std::string& ssid, AssocCallback on_done);
+
+  /// Tears down the link (radio leaving coverage or firmware disconnect).
+  void disconnect();
+
+  /// Moves the station (mobility).  If connected and the AP falls below
+  /// sensitivity at the new position, the link drops and `on_drop` fires.
+  void set_position(Position p);
+
+  void set_on_drop(DropCallback cb) { on_drop_ = std::move(cb); }
+
+  [[nodiscard]] WifiState state() const noexcept { return state_; }
+  [[nodiscard]] Position position() const noexcept { return position_; }
+  [[nodiscard]] const std::string& station_id() const noexcept {
+    return station_id_;
+  }
+  /// The SSID of the current association (empty when not connected).
+  [[nodiscard]] const std::string& connected_ssid() const noexcept {
+    return connected_ssid_;
+  }
+  /// Host (aggregator) id behind the current association.
+  [[nodiscard]] const std::string& connected_host() const noexcept {
+    return connected_host_;
+  }
+
+  /// Uplink channel of the current association (null when disconnected).
+  /// Shared so protocol layers can hold weak references across roaming.
+  [[nodiscard]] std::shared_ptr<Channel> uplink() const noexcept {
+    return uplink_;
+  }
+  /// Downlink channel of the current association.
+  [[nodiscard]] std::shared_ptr<Channel> downlink() const noexcept {
+    return downlink_;
+  }
+
+  /// Total time the STA has spent scanning+associating (diagnostics).
+  [[nodiscard]] sim::Duration total_acquisition_time() const noexcept {
+    return total_acquisition_;
+  }
+
+ private:
+  void finish_connect(const std::string& ssid);
+
+  WifiMedium& medium_;
+  std::string station_id_;
+  WifiStationParams params_;
+  util::Rng rng_;
+  Position position_{};
+  WifiState state_ = WifiState::kIdle;
+  std::string connected_ssid_;
+  std::string connected_host_;
+  std::shared_ptr<Channel> uplink_;
+  std::shared_ptr<Channel> downlink_;
+  DropCallback on_drop_;
+  sim::Duration total_acquisition_{};
+  std::uint64_t op_epoch_ = 0;  // invalidates in-flight scan/assoc callbacks
+};
+
+}  // namespace emon::net

@@ -1,0 +1,116 @@
+#include "sim/kernel.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace emon::sim {
+
+std::string to_string(Duration d) {
+  std::ostringstream out;
+  const std::int64_t ns = d.ns();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000'000) {
+    out << static_cast<double>(ns) / 1e9 << " s";
+  } else if (abs_ns >= 1'000'000) {
+    out << static_cast<double>(ns) / 1e6 << " ms";
+  } else if (abs_ns >= 1'000) {
+    out << static_cast<double>(ns) / 1e3 << " us";
+  } else {
+    out << ns << " ns";
+  }
+  return out.str();
+}
+
+std::string to_string(SimTime t) { return to_string(t - SimTime::zero()); }
+
+EventId Kernel::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("schedule_at(" + to_string(t) +
+                           ") is in the past (now=" + to_string(now_) + ")");
+  }
+  if (!cb) {
+    throw std::invalid_argument("schedule_at requires a callable");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_events_;
+  return EventId{id};
+}
+
+EventId Kernel::schedule_in(Duration delay, Callback cb) {
+  if (delay < Duration{0}) {
+    throw std::logic_error("schedule_in with negative delay " +
+                           to_string(delay));
+  }
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Kernel::cancel(EventId id) noexcept {
+  if (!id.valid()) {
+    return false;
+  }
+  const auto it = callbacks_.find(id.raw());
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  --live_events_;
+  // The queue entry stays; step() skips entries whose callback is gone.
+  return true;
+}
+
+bool Kernel::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) {
+      continue;  // cancelled
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    now_ = entry.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Kernel::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) {
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Kernel::run_until(SimTime t) {
+  if (t < now_) {
+    throw std::logic_error("run_until(" + to_string(t) + ") is in the past");
+  }
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Peek through cancelled entries to find the next live event.
+    QueueEntry entry = queue_.top();
+    while (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();
+      if (queue_.empty()) {
+        now_ = t;
+        return n;
+      }
+      entry = queue_.top();
+    }
+    if (entry.time > t) {
+      break;
+    }
+    step();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace emon::sim

@@ -1,0 +1,95 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-order)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled.  Everything in the testbed — sensor conversions, MQTT
+// deliveries, Wi-Fi scan phases, block production — is an event on this
+// kernel.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emon::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+class EventId {
+ public:
+  constexpr EventId() noexcept = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return id_; }
+
+  friend constexpr bool operator==(EventId, EventId) noexcept = default;
+
+ private:
+  friend class Kernel;
+  constexpr explicit EventId(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The event kernel.  Not copyable; components hold a `Kernel&`.
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t`.  `t` must not be in the past.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventId schedule_in(Duration delay, Callback cb);
+
+  /// Cancels a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id) noexcept;
+
+  /// Runs a single event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= `t`, then advances the clock to exactly
+  /// `t` (even if no event fired at `t`).
+  std::size_t run_until(SimTime t);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint64_t id;
+
+    /// std::priority_queue is a max-heap; invert so earliest fires first.
+    friend bool operator<(const QueueEntry& a, const QueueEntry& b) noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<QueueEntry> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace emon::sim

@@ -1,0 +1,126 @@
+#pragma once
+// Simulated time.
+//
+// All simulation timing is integer nanoseconds (int64) from the start of the
+// experiment — deterministic, free of floating-point accumulation error, and
+// wide enough for ~292 years of simulated time.  Double-based helpers exist
+// only at the boundary (reports, plots).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace emon::sim {
+
+/// A span of simulated time in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(std::int64_t ns) noexcept : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) noexcept {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr Duration operator-(Duration d) noexcept {
+    return Duration{-d.ns_};
+  }
+  constexpr Duration& operator+=(Duration other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since experiment start).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) noexcept {
+    return SimTime{t.ns_ + d.ns()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) noexcept {
+    return t + d;
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) noexcept {
+    return SimTime{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) noexcept {
+    return Duration{a.ns_ - b.ns_};
+  }
+
+  static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  /// The far future — used as "never" for deadlines.
+  static constexpr SimTime max() noexcept {
+    return SimTime{INT64_MAX};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// -- Duration constructors. ----------------------------------------------------
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t ns) noexcept {
+  return Duration{ns};
+}
+[[nodiscard]] constexpr Duration microseconds(std::int64_t us) noexcept {
+  return Duration{us * 1'000};
+}
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t ms) noexcept {
+  return Duration{ms * 1'000'000};
+}
+[[nodiscard]] constexpr Duration seconds(std::int64_t s) noexcept {
+  return Duration{s * 1'000'000'000};
+}
+[[nodiscard]] constexpr Duration minutes(std::int64_t m) noexcept {
+  return Duration{m * 60'000'000'000};
+}
+[[nodiscard]] constexpr Duration hours(std::int64_t h) noexcept {
+  return Duration{h * 3'600'000'000'000};
+}
+/// Converts fractional seconds, rounding to the nearest nanosecond.
+[[nodiscard]] constexpr Duration seconds_f(double s) noexcept {
+  return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// Human-readable rendering ("1.500 s", "250 ms", "10 us", "42 ns").
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace emon::sim

@@ -1,0 +1,88 @@
+#include "sim/timer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace emon::sim {
+
+PeriodicTimer::PeriodicTimer(Kernel& kernel, Duration period, Callback cb)
+    : kernel_(kernel), period_(period), cb_(std::move(cb)) {
+  if (period_ <= Duration{0}) {
+    throw std::invalid_argument("PeriodicTimer period must be positive");
+  }
+  if (!cb_) {
+    throw std::invalid_argument("PeriodicTimer requires a callback");
+  }
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start(bool fire_immediately) {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (fire_immediately) {
+    pending_ = kernel_.schedule_in(Duration{0}, [this] { on_fire(); });
+  } else {
+    arm();
+  }
+}
+
+void PeriodicTimer::stop() noexcept {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  kernel_.cancel(pending_);
+  pending_ = EventId{};
+}
+
+void PeriodicTimer::set_period(Duration period) noexcept {
+  if (period > Duration{0}) {
+    period_ = period;
+  }
+}
+
+void PeriodicTimer::arm() {
+  pending_ = kernel_.schedule_in(period_, [this] { on_fire(); });
+}
+
+void PeriodicTimer::on_fire() {
+  if (!running_) {
+    return;
+  }
+  ++fires_;
+  // Re-arm before invoking so the callback can observe a consistent
+  // "running" state and may call stop() to break the chain.
+  arm();
+  cb_();
+}
+
+OneShotTimer::OneShotTimer(Kernel& kernel, Callback cb)
+    : kernel_(kernel), cb_(std::move(cb)) {
+  if (!cb_) {
+    throw std::invalid_argument("OneShotTimer requires a callback");
+  }
+}
+
+OneShotTimer::~OneShotTimer() { disarm(); }
+
+void OneShotTimer::arm(Duration delay) {
+  disarm();
+  armed_ = true;
+  pending_ = kernel_.schedule_in(delay, [this] {
+    armed_ = false;
+    cb_();
+  });
+}
+
+void OneShotTimer::disarm() noexcept {
+  if (armed_) {
+    kernel_.cancel(pending_);
+    armed_ = false;
+  }
+  pending_ = EventId{};
+}
+
+}  // namespace emon::sim

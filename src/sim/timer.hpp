@@ -1,0 +1,74 @@
+#pragma once
+// Periodic timer built on the kernel — drives T_measure sampling loops,
+// MQTT keep-alives, aggregator verification windows and block production.
+
+#include <functional>
+
+#include "sim/kernel.hpp"
+
+namespace emon::sim {
+
+/// Fires a callback every `period` until stopped.  The callback runs at
+/// start+period, start+2*period, ... (no immediate first fire unless
+/// `fire_immediately` is set).  Re-entrant safe: the callback may stop or
+/// restart its own timer.
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTimer(Kernel& kernel, Duration period, Callback cb);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Begins firing.  No-op if already running.
+  void start(bool fire_immediately = false);
+  /// Stops firing.  No-op if not running.
+  void stop() noexcept;
+  /// Changes the period; takes effect from the next scheduling decision.
+  void set_period(Duration period) noexcept;
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+  [[nodiscard]] std::uint64_t fires() const noexcept { return fires_; }
+
+ private:
+  void arm();
+  void on_fire();
+
+  Kernel& kernel_;
+  Duration period_;
+  Callback cb_;
+  EventId pending_{};
+  bool running_ = false;
+  std::uint64_t fires_ = 0;
+};
+
+/// One-shot timer with restart support — used for protocol timeouts
+/// (registration retry, ack timeout, membership expiry).
+class OneShotTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  OneShotTimer(Kernel& kernel, Callback cb);
+  ~OneShotTimer();
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// (Re)arms the timer to fire after `delay`; cancels any pending fire.
+  void arm(Duration delay);
+  /// Cancels a pending fire, if any.
+  void disarm() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  Kernel& kernel_;
+  Callback cb_;
+  EventId pending_{};
+  bool armed_ = false;
+};
+
+}  // namespace emon::sim

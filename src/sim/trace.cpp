@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace emon::sim {
+
+void Trace::append(std::string_view series, SimTime t, double value) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(series), std::vector<TracePoint>{}).first;
+  }
+  it->second.push_back(TracePoint{t, value});
+  ++points_;
+}
+
+bool Trace::has(std::string_view series) const {
+  return series_.find(series) != series_.end();
+}
+
+const std::vector<TracePoint>& Trace::series(std::string_view name) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) {
+    throw std::out_of_range("no trace series named '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Trace::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+double Trace::sum_in(std::string_view name, SimTime from, SimTime to) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& p : it->second) {
+    if (p.time >= from && p.time < to) {
+      sum += p.value;
+    }
+  }
+  return sum;
+}
+
+double Trace::mean_in(std::string_view name, SimTime from, SimTime to) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : it->second) {
+    if (p.time >= from && p.time < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void Trace::write_csv(std::ostream& out) const {
+  out << "time_s,series,value\n";
+  for (const auto& [name, points] : series_) {
+    for (const auto& p : points) {
+      out << p.time.to_seconds() << ',' << name << ',' << p.value << '\n';
+    }
+  }
+}
+
+void Trace::clear() noexcept {
+  series_.clear();
+  points_ = 0;
+}
+
+}  // namespace emon::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Time-series trace recorder.
+//
+// The repository's stand-in for the paper's Grafana dashboards: components
+// append (time, series, value) points; benches dump series as CSV or bin
+// them for ASCII charts (Figures 5 and 6).
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emon::sim {
+
+struct TracePoint {
+  SimTime time;
+  double value = 0.0;
+};
+
+/// Named time-series store.  Series are created on first append.
+class Trace {
+ public:
+  void append(std::string_view series, SimTime t, double value);
+
+  [[nodiscard]] bool has(std::string_view series) const;
+  [[nodiscard]] const std::vector<TracePoint>& series(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::size_t total_points() const noexcept { return points_; }
+
+  /// Sums values of a series within [from, to).
+  [[nodiscard]] double sum_in(std::string_view series, SimTime from,
+                              SimTime to) const;
+
+  /// Means of a series within [from, to); returns 0 for empty windows.
+  [[nodiscard]] double mean_in(std::string_view series, SimTime from,
+                               SimTime to) const;
+
+  /// Writes "time_s,series,value" rows for all series (long format).
+  void write_csv(std::ostream& out) const;
+
+  void clear() noexcept;
+
+ private:
+  std::map<std::string, std::vector<TracePoint>, std::less<>> series_;
+  std::size_t points_ = 0;
+};
+
+}  // namespace emon::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Byte-level serialization.
+//
+// Blocks, consumption records and protocol messages are serialized into a
+// canonical little-endian wire format; the block hash is computed over this
+// canonical form so that serialization is part of the tamper-evidence
+// guarantee (any bit flip changes the hash).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emon::util {
+
+/// Appends fixed-width little-endian integers, doubles (IEEE-754 bit
+/// pattern) and length-prefixed strings to a growing buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern; canonical across platforms we target.
+  void f64(double v);
+  /// u32 length prefix followed by raw bytes.
+  void str(std::string_view s);
+  void raw(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Thrown when a reader runs past the end of its buffer or a length prefix
+/// is inconsistent — i.e. the input is corrupt or truncated.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads back the `ByteWriter` format.  All methods throw `DecodeError` on
+/// truncation rather than returning garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace emon::util

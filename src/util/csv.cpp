@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+namespace emon::util {
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) {
+      *out_ << ',';
+    }
+    first = false;
+    *out_ << escape(cell);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvFile::CsvFile(const std::string& path)
+    : stream_(path), writer_(stream_) {}
+
+}  // namespace emon::util

@@ -1,0 +1,71 @@
+#pragma once
+// CSV export — the repository's replacement for the paper's Grafana live
+// dashboards.  Benches and examples write time series (reported current at an
+// aggregator, per-bin energy sums, ...) that can be plotted externally.
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace emon::util {
+
+/// Writes RFC-4180-style CSV rows to any std::ostream.  Fields containing
+/// commas, quotes or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> names) {
+    row_strings(std::vector<std::string>(names.begin(), names.end()));
+  }
+
+  /// Writes one row; accepts any streamable field types.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    row_strings(cells);
+  }
+
+  void row_strings(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Convenience: owns an ofstream and a CsvWriter together.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path);
+
+  [[nodiscard]] CsvWriter& writer() noexcept { return writer_; }
+  [[nodiscard]] bool ok() const noexcept { return stream_.good(); }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+}  // namespace emon::util

@@ -1,0 +1,21 @@
+#pragma once
+// Hex encoding helpers for hashes and wire dumps.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emon::util {
+
+/// Lowercase hex string of the given bytes ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parses a hex string (case-insensitive, even length) back into bytes.
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(
+    std::string_view hex);
+
+}  // namespace emon::util

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace emon::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+LogConfig::Sink g_sink;
+
+void default_sink(LogLevel level, std::string_view component,
+                  std::string_view message) {
+  std::cerr << '[' << to_string(level) << "] [" << component << "] " << message
+            << '\n';
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+LogLevel LogConfig::level() noexcept { return g_level; }
+
+void LogConfig::set_level(LogLevel level) noexcept { g_level = level; }
+
+void LogConfig::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void LogConfig::emit(LogLevel level, std::string_view component,
+                     std::string_view message) {
+  if (level < g_level) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+}
+
+}  // namespace emon::util

@@ -1,0 +1,91 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Components log through a per-instance `Logger` carrying a component tag
+// (e.g. "agg-1", "dev-3"); the global sink filters by level and can be
+// redirected into a string buffer by tests.  No macros — call sites pay one
+// level check.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace emon::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide log configuration.  Not thread-safe by design: the simulation
+/// kernel is single-threaded (see sim/kernel.hpp).
+class LogConfig {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+  /// Replaces the sink; pass nullptr to restore the default stderr sink.
+  static void set_sink(Sink sink);
+  static void emit(LogLevel level, std::string_view component,
+                   std::string_view message);
+};
+
+/// Cheap, copyable handle used by components to emit tagged messages.
+class Logger {
+ public:
+  Logger() = default;
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  [[nodiscard]] const std::string& component() const noexcept {
+    return component_;
+  }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= LogConfig::level();
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (!enabled(level)) {
+      return;
+    }
+    std::ostringstream out;
+    (out << ... << std::forward<Args>(args));
+    LogConfig::emit(level, component_, out.str());
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    log(LogLevel::kTrace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::kError, std::forward<Args>(args)...);
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace emon::util

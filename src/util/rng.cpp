@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emon::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm{seed};
+  for (auto& word : state_) {
+    word = sm.next();
+  }
+  // xoshiro256** requires a nonzero state; SplitMix64 of any seed yields one
+  // with overwhelming probability, but guard against the pathological case.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) {
+    return lo;
+  }
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t draw = next();
+  while (draw >= limit) {
+    draw = next();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = uniform();
+  while (u1 <= 1e-300) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) {
+    u = uniform();
+  }
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::uint64_t SeedSequence::derive(std::string_view name) const noexcept {
+  // Mix the experiment seed with the stream-name hash through SplitMix64 so
+  // that related names ("dev-1", "dev-2") still yield uncorrelated seeds.
+  SplitMix64 sm{experiment_seed_ ^ fnv1a64(name)};
+  sm.next();  // discard one output to decorrelate from the raw XOR
+  return sm.next();
+}
+
+}  // namespace emon::util

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic random number streams.
+//
+// Every stochastic component in the simulation (sensor noise, Wi-Fi scan
+// jitter, load profiles, clock drift, ...) draws from its own named stream
+// derived from a single experiment seed.  This keeps runs bit-reproducible
+// while still letting components be added or removed without perturbing the
+// draws seen by unrelated components — the property the benchmark harness
+// relies on when it reports per-seed statistics (e.g. the 15-run T_handshake
+// table).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace emon::util {
+
+/// SplitMix64 — used to whiten seeds and hash stream names.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a 64-bit hash of a string — stable across platforms, used to derive
+/// per-component sub-seeds from stream names.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** 1.0 — the workhorse generator.
+/// Reference: Blackman & Vigna, "Scrambled Linear Pseudorandom Number
+/// Generators", ACM TOMS 2021.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from a SplitMix64 sequence, as the
+  /// xoshiro authors recommend.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (cached pair).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) noexcept;
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Factory producing independent named streams from one experiment seed.
+///
+///   SeedSequence seq{42};
+///   Rng sensor_noise = seq.stream("ina219.device-3");
+///   Rng wifi_jitter  = seq.stream("wifi.scan.device-3");
+class SeedSequence {
+ public:
+  constexpr explicit SeedSequence(std::uint64_t experiment_seed) noexcept
+      : experiment_seed_(experiment_seed) {}
+
+  [[nodiscard]] std::uint64_t experiment_seed() const noexcept {
+    return experiment_seed_;
+  }
+
+  /// Derives the sub-seed for a named stream.  Deterministic in
+  /// (experiment_seed, name) and independent across names.
+  [[nodiscard]] std::uint64_t derive(std::string_view name) const noexcept;
+
+  /// Convenience: construct the generator for a named stream.
+  [[nodiscard]] Rng stream(std::string_view name) const noexcept {
+    return Rng{derive(name)};
+  }
+
+ private:
+  std::uint64_t experiment_seed_;
+};
+
+}  // namespace emon::util

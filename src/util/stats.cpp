@@ -1,0 +1,208 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace emon::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return min_; }
+
+double RunningStats::max() const noexcept { return max_; }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const noexcept {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double m2 = 0.0;
+  for (double s : samples_) {
+    m2 += (s - m) * (s - m);
+  }
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::min on empty set");
+  }
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::max on empty set");
+  }
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::quantile on empty set");
+  }
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  return sorted_[lower] * (1.0 - frac) + sorted_[lower + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << '[' << bin_lower(i) << ", " << bin_upper(i) << ") ";
+    out << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+std::optional<LinearFit> fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return std::nullopt;
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    return std::nullopt;  // vertical line: undefined slope
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 1e-12) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double resid = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += resid * resid;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1.0;  // constant data perfectly fit by horizontal line
+  }
+  return fit;
+}
+
+}  // namespace emon::util

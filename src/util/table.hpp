@@ -1,0 +1,60 @@
+#pragma once
+// ASCII table printer — every figure/table bench prints its rows through
+// this so the harness output reads like the paper's tables.
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace emon::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table with
+/// a separator under the header:
+///
+///   | run | T_handshake [s] |
+///   |-----|-----------------|
+///   | 1   | 5.91            |
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; its width must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric/string rows.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double value, int precision = 2);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return num_auto(value);
+    }
+  }
+  static std::string num_auto(double value);
+  static std::string num_auto(long long value);
+  static std::string num_auto(unsigned long long value);
+  template <typename I>
+  static std::string num_auto(I value)
+    requires std::is_integral_v<I>
+  {
+    return std::to_string(value);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emon::util

@@ -1,0 +1,164 @@
+#pragma once
+// Strong unit types for electrical and energy quantities.
+//
+// The paper reports currents in mA (Figures 5 and 6), voltages in V (device
+// supply characteristics) and energy implicitly in mWh (billing).  Using
+// distinct wrapper types keeps sensor plumbing honest: a shunt voltage cannot
+// silently be added to a bus voltage, and current cannot be passed where
+// energy is expected.
+//
+// The wrappers are intentionally minimal value types (a single double) so
+// they stay trivially copyable and cost nothing; arithmetic is provided only
+// where it is physically meaningful.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace emon::util {
+
+/// A physical quantity represented as a double with a phantom tag.
+/// `Tag` distinguishes incompatible quantities at compile time.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const noexcept = default;
+
+  constexpr Quantity& operator+=(Quantity other) noexcept {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) noexcept {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double scale) noexcept {
+    value_ *= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+  friend constexpr Quantity operator-(Quantity a) noexcept {
+    return Quantity{-a.value_};
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct AmpereTag {};
+struct VoltTag {};
+struct WattTag {};
+struct WattHourTag {};
+struct OhmTag {};
+
+/// Electric current in amperes.
+using Amperes = Quantity<AmpereTag>;
+/// Electric potential in volts.
+using Volts = Quantity<VoltTag>;
+/// Power in watts.
+using Watts = Quantity<WattTag>;
+/// Energy in watt-hours (the billing unit).
+using WattHours = Quantity<WattHourTag>;
+/// Resistance in ohms.
+using Ohms = Quantity<OhmTag>;
+
+// -- Convenience constructors in the magnitudes the paper uses. --------------
+
+[[nodiscard]] constexpr Amperes milliamps(double ma) noexcept {
+  return Amperes{ma / 1e3};
+}
+[[nodiscard]] constexpr Amperes amps(double a) noexcept { return Amperes{a}; }
+[[nodiscard]] constexpr Volts volts(double v) noexcept { return Volts{v}; }
+[[nodiscard]] constexpr Volts millivolts(double mv) noexcept {
+  return Volts{mv / 1e3};
+}
+[[nodiscard]] constexpr Ohms ohms(double o) noexcept { return Ohms{o}; }
+[[nodiscard]] constexpr Ohms milliohms(double mo) noexcept {
+  return Ohms{mo / 1e3};
+}
+[[nodiscard]] constexpr Watts watts(double w) noexcept { return Watts{w}; }
+[[nodiscard]] constexpr Watts milliwatts(double mw) noexcept {
+  return Watts{mw / 1e3};
+}
+[[nodiscard]] constexpr WattHours watt_hours(double wh) noexcept {
+  return WattHours{wh};
+}
+[[nodiscard]] constexpr WattHours milliwatt_hours(double mwh) noexcept {
+  return WattHours{mwh / 1e3};
+}
+
+// -- Accessors in reporting magnitudes. ---------------------------------------
+
+[[nodiscard]] constexpr double as_milliamps(Amperes i) noexcept {
+  return i.value() * 1e3;
+}
+[[nodiscard]] constexpr double as_millivolts(Volts v) noexcept {
+  return v.value() * 1e3;
+}
+[[nodiscard]] constexpr double as_milliwatts(Watts p) noexcept {
+  return p.value() * 1e3;
+}
+[[nodiscard]] constexpr double as_milliwatt_hours(WattHours e) noexcept {
+  return e.value() * 1e3;
+}
+
+// -- Physically meaningful cross-type operations. -----------------------------
+
+/// Ohm's law: V = I * R.
+[[nodiscard]] constexpr Volts operator*(Amperes i, Ohms r) noexcept {
+  return Volts{i.value() * r.value()};
+}
+[[nodiscard]] constexpr Volts operator*(Ohms r, Amperes i) noexcept {
+  return i * r;
+}
+/// I = V / R.
+[[nodiscard]] constexpr Amperes operator/(Volts v, Ohms r) noexcept {
+  return Amperes{v.value() / r.value()};
+}
+/// P = V * I.
+[[nodiscard]] constexpr Watts operator*(Volts v, Amperes i) noexcept {
+  return Watts{v.value() * i.value()};
+}
+[[nodiscard]] constexpr Watts operator*(Amperes i, Volts v) noexcept {
+  return v * i;
+}
+/// I = P / V.
+[[nodiscard]] constexpr Amperes operator/(Watts p, Volts v) noexcept {
+  return Amperes{p.value() / v.value()};
+}
+/// Energy accumulated over a duration expressed in seconds: E = P * t.
+[[nodiscard]] constexpr WattHours energy_over(Watts p, double seconds) noexcept {
+  return WattHours{p.value() * seconds / 3600.0};
+}
+
+/// Absolute difference between two like quantities.
+template <typename Tag>
+[[nodiscard]] Quantity<Tag> abs_diff(Quantity<Tag> a, Quantity<Tag> b) noexcept {
+  return Quantity<Tag>{std::fabs(a.value() - b.value())};
+}
+
+}  // namespace emon::util

@@ -1,0 +1,183 @@
+// Tests for the device-level consensus extension (the paper's future work:
+// aggregator-less operation with consensus among devices).
+
+#include <gtest/gtest.h>
+
+#include "chain/sha256.hpp"
+#include "core/consensus.hpp"
+
+namespace emon::core {
+namespace {
+
+using sim::seconds;
+using sim::SimTime;
+
+chain::RecordBytes record_bytes(int i) {
+  chain::RecordBytes bytes;
+  const std::string payload = "record-" + std::to_string(i);
+  bytes.assign(payload.begin(), payload.end());
+  return bytes;
+}
+
+struct ConsensusFixture : ::testing::Test {
+  sim::Kernel kernel;
+
+  ConsensusGroup make_group(std::size_t members) {
+    return ConsensusGroup{kernel, members, ConsensusParams{}, util::Rng{3}};
+  }
+};
+
+TEST_F(ConsensusFixture, RequiresTwoMembers) {
+  EXPECT_THROW(ConsensusGroup(kernel, 1, {}, util::Rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(ConsensusFixture, QuorumIsMajority) {
+  EXPECT_EQ(make_group(4).quorum(), 3u);
+  EXPECT_EQ(make_group(5).quorum(), 3u);
+  EXPECT_EQ(make_group(7).quorum(), 4u);
+  EXPECT_EQ(make_group(2).quorum(), 2u);
+}
+
+TEST_F(ConsensusFixture, SingleRoundCommits) {
+  ConsensusGroup group = make_group(4);
+  group.submit(record_bytes(1));
+  group.submit(record_bytes(2));
+  group.run_round();
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 1u);
+  EXPECT_EQ(group.metrics().rounds_failed, 0u);
+  for (std::size_t m = 0; m < 4; ++m) {
+    ASSERT_EQ(group.replica(m).size(), 1u) << "member " << m;
+    EXPECT_EQ(group.replica(m).at(0).records.size(), 2u);
+  }
+  EXPECT_TRUE(group.replicas_consistent());
+}
+
+TEST_F(ConsensusFixture, EmptyPoolSkipsRound) {
+  ConsensusGroup group = make_group(3);
+  group.run_round();
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_started, 0u);
+}
+
+TEST_F(ConsensusFixture, LeaderRotates) {
+  ConsensusGroup group = make_group(3);
+  for (int round = 0; round < 3; ++round) {
+    group.submit(record_bytes(round));
+    group.run_round();
+    kernel.run();
+  }
+  ASSERT_EQ(group.metrics().rounds_committed, 3u);
+  // Writers of the three blocks are three different members.
+  std::set<std::string> writers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    writers.insert(group.replica(0).at(i).header.writer);
+  }
+  EXPECT_EQ(writers.size(), 3u);
+}
+
+TEST_F(ConsensusFixture, CrashedLeaderFailsRoundAndRecovers) {
+  ConsensusGroup group = make_group(3);
+  group.set_faulty(0, true);  // round 0's leader
+  group.submit(record_bytes(1));
+  group.run_round();  // leader 0 crashed -> failure
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_failed, 1u);
+  EXPECT_EQ(group.metrics().rounds_committed, 0u);
+  // Next round has leader 1: records carried over and committed.
+  group.run_round();
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 1u);
+  EXPECT_EQ(group.replica(1).record_count(), 1u);
+}
+
+TEST_F(ConsensusFixture, MinoritySilentStillCommits) {
+  ConsensusGroup group = make_group(5);  // quorum 3
+  group.set_faulty(3, true);
+  group.set_faulty(4, true);
+  group.submit(record_bytes(1));
+  group.run_round();  // leader 0 + voters 1,2 = 3 votes = quorum
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 1u);
+  EXPECT_TRUE(group.replicas_consistent());
+  // Faulty members did not apply the commit.
+  EXPECT_EQ(group.replica(3).size(), 0u);
+}
+
+TEST_F(ConsensusFixture, MajoritySilentFailsRound) {
+  ConsensusGroup group = make_group(5);
+  group.set_faulty(1, true);
+  group.set_faulty(2, true);
+  group.set_faulty(3, true);
+  group.submit(record_bytes(1));
+  group.run_round();  // leader 0 + voter 4 = 2 < quorum 3
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 0u);
+  EXPECT_EQ(group.metrics().rounds_failed, 1u);
+}
+
+TEST_F(ConsensusFixture, PeriodicRoundsDrainPool) {
+  ConsensusGroup group = make_group(4);
+  group.start();
+  for (int i = 0; i < 30; ++i) {
+    group.submit(record_bytes(i));
+  }
+  kernel.run_until(SimTime{seconds(5).ns()});
+  group.stop();
+  EXPECT_GE(group.metrics().rounds_committed, 1u);
+  EXPECT_EQ(group.replica(0).record_count(), 30u);
+  EXPECT_TRUE(group.replicas_consistent());
+}
+
+TEST_F(ConsensusFixture, CommitLatencyRecorded) {
+  ConsensusGroup group = make_group(4);
+  group.submit(record_bytes(1));
+  group.run_round();
+  kernel.run();
+  ASSERT_EQ(group.metrics().commit_latency_s.count(), 1u);
+  const double latency = group.metrics().commit_latency_s.mean();
+  // One proposal hop + one vote hop: a few ms at the configured link.
+  EXPECT_GT(latency, 0.001);
+  EXPECT_LT(latency, 0.1);
+}
+
+TEST_F(ConsensusFixture, MessageComplexityLinearPerRound) {
+  ConsensusGroup group = make_group(6);
+  group.submit(record_bytes(1));
+  group.run_round();
+  kernel.run();
+  // proposal to 5 + up to 5 votes + commit to 5 <= 15; at least 5 + quorum.
+  EXPECT_GE(group.metrics().messages_sent, 10u);
+  EXPECT_LE(group.metrics().messages_sent, 15u);
+}
+
+TEST_F(ConsensusFixture, LateSubmissionsSurviveCommit) {
+  ConsensusGroup group = make_group(3);
+  group.submit(record_bytes(1));
+  group.run_round();
+  // Submit while the round is in flight.
+  group.submit(record_bytes(2));
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 1u);
+  // The late record is still pooled for the next round.
+  group.run_round();
+  kernel.run();
+  EXPECT_EQ(group.metrics().rounds_committed, 2u);
+  EXPECT_EQ(group.replica(0).record_count(), 2u);
+}
+
+TEST_F(ConsensusFixture, ReplicasChainValidates) {
+  ConsensusGroup group = make_group(4);
+  for (int r = 0; r < 5; ++r) {
+    group.submit(record_bytes(r));
+    group.run_round();
+    kernel.run();
+  }
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_TRUE(group.replica(m).validate().ok) << "member " << m;
+  }
+}
+
+}  // namespace
+}  // namespace emon::core

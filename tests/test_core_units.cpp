@@ -1,0 +1,554 @@
+// Unit tests for emon::core's pure components — records, protocol message
+// codecs, local store, membership table, energy meter, anomaly detector and
+// billing service.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/anomaly.hpp"
+#include "core/billing.hpp"
+#include "core/energy_meter.hpp"
+#include "core/local_store.hpp"
+#include "core/membership.hpp"
+#include "core/messages.hpp"
+#include "core/records.hpp"
+#include "hw/ina219.hpp"
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace emon::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+using sim::SimTime;
+
+ConsumptionRecord sample_record(std::uint64_t seq = 1) {
+  ConsumptionRecord r;
+  r.device_id = "dev-1";
+  r.sequence = seq;
+  r.timestamp_ns = 123'456'789;
+  r.interval_ns = 100'000'000;
+  r.current_ma = 42.5;
+  r.bus_voltage_mv = 4987.0;
+  r.energy_mwh = 0.0059;
+  r.network = "wan-1";
+  r.membership = MembershipKind::kTemporary;
+  r.stored_offline = true;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+TEST(Records, RoundTrip) {
+  const ConsumptionRecord r = sample_record();
+  const auto bytes = serialize_record(r);
+  const ConsumptionRecord back = deserialize_record(bytes);
+  EXPECT_EQ(back, r);
+}
+
+TEST(Records, BatchRoundTrip) {
+  std::vector<ConsumptionRecord> records;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    records.push_back(sample_record(i));
+  }
+  const auto bytes = serialize_records(records);
+  EXPECT_EQ(deserialize_records(bytes), records);
+}
+
+TEST(Records, EmptyBatch) {
+  const auto bytes = serialize_records({});
+  EXPECT_TRUE(deserialize_records(bytes).empty());
+}
+
+TEST(Records, CorruptionDetected) {
+  auto bytes = serialize_record(sample_record());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(deserialize_record(bytes), util::DecodeError);
+  auto batch = serialize_records({sample_record()});
+  batch.push_back(0xff);
+  EXPECT_THROW(deserialize_records(batch), util::DecodeError);
+}
+
+TEST(Records, BadMembershipRejected) {
+  auto bytes = serialize_record(sample_record());
+  // The membership byte is third-to-last (membership, stored_offline).
+  bytes[bytes.size() - 2] = 9;
+  EXPECT_THROW(deserialize_record(bytes), util::DecodeError);
+}
+
+TEST(Records, MembershipNames) {
+  EXPECT_STREQ(to_string(MembershipKind::kHome), "home");
+  EXPECT_STREQ(to_string(MembershipKind::kTemporary), "temporary");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+TEST(Messages, Topics) {
+  EXPECT_EQ(topic_register("dev-1"), "emon/register/dev-1");
+  EXPECT_EQ(topic_report("dev-1"), "emon/report/dev-1");
+  EXPECT_EQ(topic_ctrl("dev-1"), "emon/ctrl/dev-1");
+}
+
+TEST(Messages, RegisterRequestRoundTrip) {
+  const RegisterRequest m{"dev-1", "agg-1"};
+  const auto back = decode_register_request(encode(m));
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.master_addr, "agg-1");
+}
+
+TEST(Messages, ReportRoundTrip) {
+  Report m{"dev-1", {sample_record(1), sample_record(2)}};
+  const auto back = decode_report(encode(m));
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.records, m.records);
+}
+
+TEST(Messages, CtrlRoundTrip) {
+  CtrlMessage m;
+  m.type = CtrlType::kRegisterAccept;
+  m.device_id = "dev-2";
+  m.assigned_addr = "agg-2";
+  m.membership = MembershipKind::kTemporary;
+  m.slot = 7;
+  m.ack_sequence = 991;
+  m.reason = "ok";
+  const auto back = decode_ctrl(encode(m));
+  EXPECT_EQ(back.type, CtrlType::kRegisterAccept);
+  EXPECT_EQ(back.device_id, "dev-2");
+  EXPECT_EQ(back.assigned_addr, "agg-2");
+  EXPECT_EQ(back.membership, MembershipKind::kTemporary);
+  EXPECT_EQ(back.slot, 7u);
+  EXPECT_EQ(back.ack_sequence, 991u);
+  EXPECT_EQ(back.reason, "ok");
+}
+
+TEST(Messages, CtrlRejectsBadType) {
+  CtrlMessage m;
+  auto bytes = encode(m);
+  bytes[0] = 99;
+  EXPECT_THROW(decode_ctrl(bytes), util::DecodeError);
+}
+
+TEST(Messages, BeaconRoundTrip) {
+  const Beacon b{"agg-1", 123456789};
+  const auto back = decode_beacon(encode(b));
+  EXPECT_EQ(back.aggregator_id, "agg-1");
+  EXPECT_EQ(back.master_time_ns, 123456789);
+}
+
+TEST(Messages, BackhaulRoundTrips) {
+  const auto vq = decode_verify_query(encode(VerifyDeviceQuery{"d", "a2"}));
+  EXPECT_EQ(vq.device_id, "d");
+  EXPECT_EQ(vq.origin, "a2");
+
+  const auto vr =
+      decode_verify_response(encode(VerifyDeviceResponse{"d", true, "a1"}));
+  EXPECT_TRUE(vr.known);
+  EXPECT_EQ(vr.master, "a1");
+
+  RoamRecords roam{"d", "a2", {sample_record(5)}};
+  const auto rr = decode_roam_records(encode(roam));
+  EXPECT_EQ(rr.collector, "a2");
+  EXPECT_EQ(rr.records, roam.records);
+
+  const auto tm = decode_transfer(encode(TransferMembership{"d", "a3"}));
+  EXPECT_EQ(tm.new_master, "a3");
+
+  const auto rm = decode_remove(encode(RemoveDevice{"d", "lost"}));
+  EXPECT_EQ(rm.reason, "lost");
+}
+
+TEST(Messages, CtrlTypeNames) {
+  EXPECT_STREQ(to_string(CtrlType::kReportAck), "report-ack");
+  EXPECT_STREQ(to_string(CtrlType::kReportNack), "report-nack");
+}
+
+// ---------------------------------------------------------------------------
+// LocalStore
+// ---------------------------------------------------------------------------
+
+TEST(LocalStore, FifoOrder) {
+  LocalStore store{10};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(store.push(sample_record(i)));
+  }
+  const auto batch = store.pop_batch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].sequence, 1u);
+  EXPECT_EQ(batch[2].sequence, 3u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(LocalStore, OverflowDropsOldest) {
+  LocalStore store{3};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    store.push(sample_record(i));
+  }
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.dropped(), 2u);
+  const auto batch = store.pop_batch(10);
+  EXPECT_EQ(batch.front().sequence, 3u);  // 1 and 2 were dropped
+  EXPECT_EQ(batch.back().sequence, 5u);
+}
+
+TEST(LocalStore, PushFrontPreservesOrder) {
+  LocalStore store{10};
+  store.push(sample_record(4));
+  store.push_front({sample_record(1), sample_record(2), sample_record(3)});
+  const auto batch = store.pop_batch(10);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[i].sequence, i + 1);
+  }
+}
+
+TEST(LocalStore, PopBatchBounded) {
+  LocalStore store{10};
+  store.push(sample_record(1));
+  EXPECT_EQ(store.pop_batch(100).size(), 1u);
+  EXPECT_TRUE(store.pop_batch(100).empty());
+}
+
+TEST(LocalStore, PeakTracksHighWater) {
+  LocalStore store{100};
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    store.push(sample_record(i));
+  }
+  (void)store.pop_batch(25);
+  EXPECT_EQ(store.peak_size(), 30u);
+}
+
+TEST(LocalStore, RejectsZeroCapacity) {
+  EXPECT_THROW(LocalStore{0}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MembershipTable
+// ---------------------------------------------------------------------------
+
+TEST(Membership, AddFindRemove) {
+  MembershipTable table;
+  ASSERT_TRUE(table.add_home("d1", 0, SimTime{10}).has_value());
+  EXPECT_FALSE(table.add_home("d1", 1, SimTime{20}).has_value());
+  ASSERT_TRUE(table.add_temporary("d2", "agg-1", 1, SimTime{15}).has_value());
+
+  const MemberEntry* home = table.find("d1");
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->kind, MembershipKind::kHome);
+  const MemberEntry* temp = table.find("d2");
+  ASSERT_NE(temp, nullptr);
+  EXPECT_EQ(temp->master_addr, "agg-1");
+
+  const auto removed = table.remove("d1");
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->device_id, "d1");
+  EXPECT_FALSE(table.has("d1"));
+  EXPECT_FALSE(table.remove("d1").has_value());
+}
+
+TEST(Membership, TemporariesFiltered) {
+  MembershipTable table;
+  table.add_home("h1", 0, SimTime{0});
+  table.add_temporary("t1", "m", 1, SimTime{0});
+  table.add_temporary("t2", "m", 2, SimTime{0});
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.temporaries().size(), 2u);
+  EXPECT_EQ(table.all().size(), 3u);
+}
+
+TEST(Membership, StaleTemporariesByCutoff) {
+  MembershipTable table;
+  table.add_temporary("t1", "m", 0, SimTime{seconds(10).ns()});
+  table.add_temporary("t2", "m", 1, SimTime{seconds(100).ns()});
+  table.add_home("h1", 2, SimTime{0});  // home members never expire
+  const auto stale = table.stale_temporaries(SimTime{seconds(50).ns()});
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "t1");
+}
+
+// ---------------------------------------------------------------------------
+// EnergyMeter
+// ---------------------------------------------------------------------------
+
+struct MeterFixture : ::testing::Test {
+  sim::Kernel kernel;
+  hw::I2cBus bus;
+  double true_ma = 200.0;
+  hw::Ina219 sensor{0x40,
+                    [] {
+                      hw::Ina219Params p;
+                      p.max_offset = util::milliamps(0.0);
+                      p.max_gain_error = 0.0;
+                      p.adc_noise_rms = util::millivolts(0.0);
+                      return p;
+                    }(),
+                    [this] {
+                      return hw::OperatingPoint{util::milliamps(true_ma),
+                                                util::volts(5.0)};
+                    },
+                    util::Rng{1}};
+
+  MeterFixture() {
+    sensor.calibrate_for(util::amps(3.2));
+    bus.attach(sensor);
+  }
+};
+
+TEST_F(MeterFixture, IntegratesConstantPower) {
+  EnergyMeter meter{bus, sensor, [this] { return kernel.now(); }};
+  // 200 mA at ~5 V = ~1 W for 10 s = ~2.78 mWh.
+  for (int i = 0; i <= 100; ++i) {
+    kernel.run_until(SimTime{milliseconds(100 * i).ns()});
+    ASSERT_TRUE(meter.sample().has_value());
+  }
+  EXPECT_NEAR(util::as_milliwatt_hours(meter.total_energy()), 1.0 * 10 / 3.6,
+              0.05);
+  EXPECT_EQ(meter.samples_taken(), 101u);
+}
+
+TEST_F(MeterFixture, IntervalEnergyDrains) {
+  EnergyMeter meter{bus, sensor, [this] { return kernel.now(); }};
+  meter.sample();
+  kernel.run_until(SimTime{seconds(1).ns()});
+  meter.sample();
+  const double first = util::as_milliwatt_hours(meter.take_interval_energy());
+  EXPECT_GT(first, 0.0);
+  EXPECT_DOUBLE_EQ(
+      util::as_milliwatt_hours(meter.take_interval_energy()), 0.0);
+  // Total unaffected by draining intervals.
+  EXPECT_NEAR(util::as_milliwatt_hours(meter.total_energy()), first, 1e-12);
+}
+
+TEST_F(MeterFixture, ClearBaselineSkipsGap) {
+  EnergyMeter meter{bus, sensor, [this] { return kernel.now(); }};
+  meter.sample();
+  kernel.run_until(SimTime{seconds(1).ns()});
+  meter.sample();
+  const double before = util::as_milliwatt_hours(meter.total_energy());
+  // Simulate a 100 s unpowered gap: baseline cleared, then resume.
+  kernel.run_until(SimTime{seconds(101).ns()});
+  meter.clear_baseline();
+  meter.sample();  // no energy added across the gap
+  EXPECT_NEAR(util::as_milliwatt_hours(meter.total_energy()), before, 1e-12);
+  kernel.run_until(SimTime{seconds(102).ns()});
+  meter.sample();  // 1 more second of integration
+  EXPECT_NEAR(util::as_milliwatt_hours(meter.total_energy()), 2.0 * before,
+              0.01 * before);
+}
+
+TEST_F(MeterFixture, ResetClearsTotals) {
+  EnergyMeter meter{bus, sensor, [this] { return kernel.now(); }};
+  meter.sample();
+  kernel.run_until(SimTime{seconds(1).ns()});
+  meter.sample();
+  meter.reset();
+  EXPECT_DOUBLE_EQ(util::as_milliwatt_hours(meter.total_energy()), 0.0);
+  EXPECT_FALSE(meter.last_sample().has_value());
+}
+
+TEST_F(MeterFixture, UncalibratedSensorYieldsNoSample) {
+  hw::Ina219 raw{0x40, {},
+                 [] {
+                   return hw::OperatingPoint{util::milliamps(10),
+                                             util::volts(5)};
+                 },
+                 util::Rng{2}};
+  hw::I2cBus bus2;
+  bus2.attach(raw);
+  EnergyMeter meter{bus2, raw, [this] { return kernel.now(); }};
+  EXPECT_FALSE(meter.sample().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// AnomalyDetector
+// ---------------------------------------------------------------------------
+
+AnomalyParams detector_params() {
+  AnomalyParams p;
+  p.expected_overhead = util::milliamps(2.0);
+  p.expected_loss_fraction = 0.03;
+  p.abs_tolerance = util::milliamps(3.0);
+  p.rel_tolerance = 0.04;
+  return p;
+}
+
+TEST(Anomaly, HonestWindowPasses) {
+  AnomalyDetector det{detector_params()};
+  // Reports sum to 150; feeder = 150*1.03 + 2 = 156.5: residual 0.
+  const auto result = det.evaluate(SimTime{0}, SimTime{seconds(1).ns()},
+                                   156.5, {{"d1", 100.0}, {"d2", 50.0}});
+  EXPECT_FALSE(result.anomalous);
+  EXPECT_NEAR(result.residual_ma, 0.0, 1e-9);
+  EXPECT_TRUE(result.suspect.empty());
+}
+
+TEST(Anomaly, UnderReportingFlagged) {
+  AnomalyDetector det{detector_params()};
+  // d1 under-reports by 40 mA: feeder still sees the true 150 mA load.
+  const auto result = det.evaluate(SimTime{0}, SimTime{seconds(1).ns()},
+                                   156.5, {{"d1", 60.0}, {"d2", 50.0}});
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_GT(result.residual_ma, 30.0);
+}
+
+TEST(Anomaly, ToleranceScalesWithLoad) {
+  AnomalyDetector det{detector_params()};
+  // 10 mA residual at 1 A load is within 4 % relative tolerance.
+  const auto result = det.evaluate(SimTime{0}, SimTime{seconds(1).ns()},
+                                   1032.0 + 10.0, {{"d1", 1000.0}});
+  EXPECT_FALSE(result.anomalous);
+}
+
+TEST(Anomaly, CulpritIdentifiedByProfileDeviation) {
+  AnomalyDetector det{detector_params()};
+  // Build honest profiles over several windows.
+  for (int i = 0; i < 10; ++i) {
+    det.evaluate(SimTime{i}, SimTime{i + 1}, 156.5,
+                 {{"d1", 100.0}, {"d2", 50.0}});
+  }
+  ASSERT_TRUE(det.profile_of("d1").has_value());
+  EXPECT_NEAR(*det.profile_of("d1"), 100.0, 1e-6);
+  // d1 suddenly reports 40 instead of 100 while the feeder is unchanged.
+  const auto result = det.evaluate(SimTime{100}, SimTime{101}, 156.5,
+                                   {{"d1", 40.0}, {"d2", 50.0}});
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_EQ(result.suspect, "d1");
+  EXPECT_EQ(det.anomalies_flagged(), 1u);
+}
+
+TEST(Anomaly, ProfilesNotPoisonedByAnomalousWindows) {
+  AnomalyDetector det{detector_params()};
+  for (int i = 0; i < 5; ++i) {
+    det.evaluate(SimTime{i}, SimTime{i + 1}, 156.5,
+                 {{"d1", 100.0}, {"d2", 50.0}});
+  }
+  // Tampering windows must not drag the EWMA down.
+  for (int i = 5; i < 20; ++i) {
+    det.evaluate(SimTime{i}, SimTime{i + 1}, 156.5,
+                 {{"d1", 40.0}, {"d2", 50.0}});
+  }
+  EXPECT_NEAR(*det.profile_of("d1"), 100.0, 1e-6);
+}
+
+TEST(Anomaly, OverReportingAlsoFlagged) {
+  AnomalyDetector det{detector_params()};
+  // Device claims more than the feeder delivers (billing inflation attack
+  // against a *other* device, or a faulty sensor).
+  const auto result = det.evaluate(SimTime{0}, SimTime{1}, 156.5,
+                                   {{"d1", 180.0}, {"d2", 50.0}});
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_LT(result.residual_ma, 0.0);
+}
+
+TEST(Anomaly, EmptyWindowWithLoadFlagged) {
+  AnomalyDetector det{detector_params()};
+  // Feeder sees load but nobody reported: unmetered consumption.
+  const auto result = det.evaluate(SimTime{0}, SimTime{1}, 100.0, {});
+  EXPECT_TRUE(result.anomalous);
+}
+
+TEST(Anomaly, CountsWindows) {
+  AnomalyDetector det{detector_params()};
+  det.evaluate(SimTime{0}, SimTime{1}, 2.0, {});
+  det.evaluate(SimTime{1}, SimTime{2}, 2.0, {});
+  EXPECT_EQ(det.windows_evaluated(), 2u);
+  EXPECT_EQ(det.anomalies_flagged(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BillingService
+// ---------------------------------------------------------------------------
+
+ConsumptionRecord billing_record(std::uint64_t seq, const NetworkId& network,
+                                 double mwh) {
+  ConsumptionRecord r = sample_record(seq);
+  r.network = network;
+  r.energy_mwh = mwh;
+  return r;
+}
+
+TEST(Billing, HomeEnergyAtHomeRate) {
+  BillingService billing{"wan-1", Tariff{0.25, 1.15}};
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    billing.ingest(billing_record(i, "wan-1", 100.0));  // 1000 mWh total
+  }
+  const auto invoice = billing.invoice_for("dev-1");
+  ASSERT_EQ(invoice.lines.size(), 1u);
+  EXPECT_FALSE(invoice.lines[0].roamed);
+  EXPECT_NEAR(invoice.total_energy_mwh, 1000.0, 1e-9);
+  // 1000 mWh = 1e-3 kWh at 0.25/kWh.
+  EXPECT_NEAR(invoice.total_cost, 0.25e-3, 1e-12);
+}
+
+TEST(Billing, RoamedEnergySurcharged) {
+  BillingService billing{"wan-1", Tariff{0.25, 2.0}};
+  billing.ingest(billing_record(1, "wan-2", 1000.0));
+  const auto invoice = billing.invoice_for("dev-1");
+  ASSERT_EQ(invoice.lines.size(), 1u);
+  EXPECT_TRUE(invoice.lines[0].roamed);
+  EXPECT_NEAR(invoice.total_cost, 0.25e-3 * 2.0, 1e-12);
+}
+
+TEST(Billing, DuplicateSequencesSkipped) {
+  BillingService billing{"wan-1", Tariff{}};
+  billing.ingest(billing_record(1, "wan-1", 50.0));
+  billing.ingest(billing_record(1, "wan-1", 50.0));  // duplicate
+  EXPECT_EQ(billing.duplicates_skipped(), 1u);
+  EXPECT_NEAR(billing.total_energy_mwh(), 50.0, 1e-12);
+}
+
+TEST(Billing, MultiDeviceMultiNetwork) {
+  BillingService billing{"wan-1", Tariff{}};
+  ConsumptionRecord a = billing_record(1, "wan-1", 10.0);
+  ConsumptionRecord b = billing_record(1, "wan-2", 20.0);
+  b.device_id = "dev-2";
+  billing.ingest(a);
+  billing.ingest(b);
+  EXPECT_EQ(billing.billed_devices().size(), 2u);
+  EXPECT_NEAR(billing.total_energy_mwh(), 30.0, 1e-12);
+  const auto inv2 = billing.invoice_for("dev-2");
+  EXPECT_EQ(inv2.lines.size(), 1u);
+  EXPECT_TRUE(inv2.lines[0].roamed);
+}
+
+TEST(Billing, UnknownDeviceEmptyInvoice) {
+  BillingService billing{"wan-1", Tariff{}};
+  const auto invoice = billing.invoice_for("ghost");
+  EXPECT_TRUE(invoice.lines.empty());
+  EXPECT_DOUBLE_EQ(invoice.total_cost, 0.0);
+}
+
+TEST(Billing, IngestLedgerReplays) {
+  BillingService live{"wan-1", Tariff{}};
+  chain::Ledger ledger;
+  std::vector<chain::RecordBytes> blob;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    const auto rec = billing_record(i, "wan-1", 5.0);
+    live.ingest(rec);
+    blob.push_back(serialize_record(rec));
+  }
+  ledger.append(std::move(blob), 100, "agg-1");
+
+  BillingService audit{"wan-1", Tariff{}};
+  audit.ingest_ledger(ledger);
+  EXPECT_NEAR(audit.total_energy_mwh(), live.total_energy_mwh(), 1e-12);
+  EXPECT_EQ(audit.records_ingested(), 6u);
+}
+
+TEST(Billing, ForeignPayloadSkipped) {
+  chain::Ledger ledger;
+  ledger.append({{0x01, 0x02}}, 0, "w");  // not a ConsumptionRecord
+  BillingService audit{"wan-1", Tariff{}};
+  audit.ingest_ledger(ledger);
+  EXPECT_EQ(audit.foreign_records_skipped(), 1u);
+  EXPECT_EQ(audit.records_ingested(), 0u);
+}
+
+}  // namespace
+}  // namespace emon::core

@@ -1,0 +1,282 @@
+// Edge cases and failure injection: lifecycle races, malformed input on
+// the wire, and boundary conditions that the happy-path suites don't hit.
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "net/mqtt.hpp"
+#include "util/bytes.hpp"
+
+namespace emon::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+using sim::SimTime;
+
+ScenarioParams small_params(std::uint64_t seed) {
+  ScenarioParams params;
+  params.networks = 2;
+  params.devices_per_network = 1;
+  params.sys.seed = seed;
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Device lifecycle races
+// ---------------------------------------------------------------------------
+
+TEST(Lifecycle, UnplugDuringScanIsClean) {
+  Testbed bed{small_params(1)};
+  bed.start();
+  bed.run_for(seconds(1));  // mid-scan (scan takes 3.25 s)
+  ASSERT_EQ(bed.device(0).state(), DeviceState::kAcquiring);
+  bed.device(0).unplug();
+  bed.run_for(seconds(10));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
+  EXPECT_EQ(bed.device(0).stats().reports_sent, 0u);
+  // Replug: full fresh handshake works.
+  bed.device(0).plug_into("wan-1");
+  bed.run_for(seconds(10));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
+}
+
+TEST(Lifecycle, UnplugDuringSettleIsClean) {
+  Testbed bed{small_params(2)};
+  bed.start();
+  bed.run_for(seconds(5));  // past scan+assoc, inside settle
+  bed.device(0).unplug();
+  bed.run_for(seconds(5));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
+  bed.device(0).plug_into("wan-1");
+  bed.run_for(seconds(10));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
+}
+
+TEST(Lifecycle, MoveSupersedesMove) {
+  Testbed bed{small_params(3)};
+  bed.start();
+  bed.run_for(seconds(12));
+  auto& dev = bed.device(0);
+  ASSERT_EQ(dev.state(), DeviceState::kReporting);
+  // First move is pre-empted by a second one issued during transit.
+  dev.move_to("wan-2", net::Position{122.0, 0.0}, seconds(30));
+  bed.run_for(seconds(5));
+  dev.move_to("wan-1", net::Position{2.0, 0.0}, seconds(5));
+  bed.run_for(seconds(40));
+  EXPECT_EQ(dev.plugged_network(), "wan-1");
+  EXPECT_EQ(dev.state(), DeviceState::kReporting);
+}
+
+TEST(Lifecycle, PlugIntoUnknownNetworkIsHarmless) {
+  Testbed bed{small_params(4)};
+  bed.device(0).plug_into("wan-99");
+  bed.run_for(seconds(5));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
+  EXPECT_EQ(bed.device(0).stats().samples, 0u);
+}
+
+TEST(Lifecycle, DoublePlugReplacesCleanly) {
+  Testbed bed{small_params(5)};
+  bed.device(0).plug_into("wan-1");
+  bed.run_for(seconds(2));
+  bed.device(0).plug_into("wan-2");  // implicit unplug from wan-1
+  EXPECT_FALSE(bed.grid_of(0).is_plugged("dev-1"));
+  EXPECT_TRUE(bed.grid_of(1).is_plugged("dev-1"));
+  bed.run_for(seconds(12));
+  EXPECT_EQ(bed.device(0).plugged_network(), "wan-2");
+}
+
+TEST(Lifecycle, UnplugIdempotent) {
+  Testbed bed{small_params(6)};
+  bed.device(0).unplug();
+  bed.device(0).unplug();
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input on the wire
+// ---------------------------------------------------------------------------
+
+TEST(Malformed, GarbageOnProtocolTopicsDoesNotCrash) {
+  Testbed bed{small_params(7)};
+  bed.start();
+  bed.run_for(seconds(12));
+  auto& broker = bed.aggregator(0).broker();
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  broker.publish_from_host(
+      net::MqttMessage{"emon/register/evil", garbage, 0, "evil"});
+  broker.publish_from_host(
+      net::MqttMessage{"emon/report/evil", garbage, 0, "evil"});
+  broker.publish_from_host(net::MqttMessage{"emon/beacon", garbage, 0, ""});
+  bed.run_for(seconds(2));
+  // The honest device keeps reporting.
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
+}
+
+TEST(Malformed, GarbageOnBackhaulDoesNotCrash) {
+  Testbed bed{small_params(8)};
+  bed.start();
+  bed.run_for(seconds(12));
+  const std::vector<std::uint8_t> garbage{0x00, 0xff, 0x13};
+  bed.backhaul().send(
+      net::BackhaulMessage{"agg-1", "agg-2", "verify_device", garbage});
+  bed.backhaul().send(
+      net::BackhaulMessage{"agg-1", "agg-2", "roam_records", garbage});
+  bed.backhaul().send(
+      net::BackhaulMessage{"agg-1", "agg-2", "chain_block", garbage});
+  bed.backhaul().send(
+      net::BackhaulMessage{"agg-1", "agg-2", "unknown_kind", garbage});
+  bed.run_for(seconds(2));
+  EXPECT_TRUE(bed.chain().validate().ok);
+}
+
+TEST(Malformed, ReportForForeignDeviceGetsNack) {
+  Testbed bed{small_params(9)};
+  bed.start();
+  bed.run_for(seconds(12));
+  // A syntactically valid report from a device nobody registered.
+  Report rogue{"ghost-device", {}};
+  const auto nacks_before = bed.aggregator(0).stats().nacks_sent;
+  bed.aggregator(0).broker().publish_from_host(net::MqttMessage{
+      topic_report("ghost-device"), encode(rogue), 0, "ghost-device"});
+  bed.run_for(seconds(1));
+  EXPECT_EQ(bed.aggregator(0).stats().nacks_sent, nacks_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Roam denial paths
+// ---------------------------------------------------------------------------
+
+TEST(RoamDenial, UnknownMasterVerificationTimesOut) {
+  // Device claims a master that is not on the backhaul: the temporary
+  // registration must eventually be rejected, not hang.
+  Testbed bed{small_params(10)};
+  bed.start();
+  bed.run_for(seconds(12));
+  // Forge a registration with a bogus master directly at agg-2's broker.
+  RegisterRequest req{"dev-1", "agg-nonexistent"};
+  bed.aggregator(1).broker().publish_from_host(net::MqttMessage{
+      topic_register("dev-1"), encode(req), 0, "dev-1"});
+  bed.run_for(seconds(40));  // expiry sweep runs at 30 s cadence
+  EXPECT_EQ(bed.aggregator(1).members().find("dev-1"), nullptr);
+  EXPECT_GE(bed.aggregator(1).stats().registrations_rejected, 1u);
+}
+
+TEST(RoamDenial, MasterRefusesUnknownDevice) {
+  Testbed bed{small_params(11)};
+  bed.start();
+  bed.run_for(seconds(12));
+  // agg-2 asks agg-1 about a device agg-1 has never seen.
+  RegisterRequest req{"stranger", "agg-1"};
+  bed.aggregator(1).broker().publish_from_host(net::MqttMessage{
+      topic_register("stranger"), encode(req), 0, "stranger"});
+  bed.run_for(seconds(5));
+  EXPECT_EQ(bed.aggregator(1).members().find("stranger"), nullptr);
+  EXPECT_GE(bed.aggregator(1).stats().registrations_rejected, 1u);
+  EXPECT_GE(bed.aggregator(0).stats().verify_queries_answered, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel re-entrancy
+// ---------------------------------------------------------------------------
+
+TEST(KernelEdge, CancelInsideCallback) {
+  sim::Kernel kernel;
+  sim::EventId later{};
+  bool later_ran = false;
+  later = kernel.schedule_at(SimTime{20}, [&] { later_ran = true; });
+  kernel.schedule_at(SimTime{10}, [&] { kernel.cancel(later); });
+  kernel.run();
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(KernelEdge, ScheduleAtCurrentTimeInsideCallbackRunsAfter) {
+  sim::Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule_at(SimTime{10}, [&] {
+    order.push_back(1);
+    kernel.schedule_at(kernel.now(), [&] { order.push_back(2); });
+  });
+  kernel.schedule_at(SimTime{10}, [&] { order.push_back(3); });
+  kernel.run();
+  // FIFO among same-time events: the nested event runs after pre-existing
+  // same-time events.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Store boundary conditions
+// ---------------------------------------------------------------------------
+
+TEST(StoreEdge, PushFrontBeyondCapacityTrimsOldest) {
+  LocalStore store{3};
+  std::vector<ConsumptionRecord> batch(5);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    batch[i].sequence = i + 1;
+  }
+  store.push_front(std::move(batch));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.dropped(), 2u);
+  const auto out = store.pop_batch(10);
+  EXPECT_EQ(out.front().sequence, 3u);  // oldest two trimmed
+  EXPECT_EQ(out.back().sequence, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Channel boundary conditions
+// ---------------------------------------------------------------------------
+
+TEST(ChannelEdge, ReliableSendOnClosedChannelDrops) {
+  sim::Kernel kernel;
+  net::Channel ch{kernel, {}, util::Rng{1}};
+  ch.set_open(false);
+  bool delivered = false;
+  EXPECT_FALSE(ch.send_reliable(10, [&](std::uint64_t) { delivered = true; }));
+  kernel.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(ChannelEdge, ReliableSendSurvivesHeavyLoss) {
+  sim::Kernel kernel;
+  net::ChannelParams params;
+  params.loss_probability = 0.5;
+  net::Channel ch{kernel, params, util::Rng{3}};
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(ch.send_reliable(10, [&](std::uint64_t) { ++delivered; }));
+  }
+  kernel.run();
+  EXPECT_EQ(delivered, 200);  // loss becomes delay, never silence
+}
+
+TEST(ChannelEdge, ZeroBandwidthSkipsSerializationTerm) {
+  sim::Kernel kernel;
+  net::ChannelParams params;
+  params.base_latency = milliseconds(1);
+  params.jitter = sim::Duration{0};
+  params.bandwidth_bps = 0.0;
+  net::Channel ch{kernel, params, util::Rng{1}};
+  EXPECT_EQ(ch.sample_delay(1'000'000'000).ns(), milliseconds(1).ns());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator stop/start
+// ---------------------------------------------------------------------------
+
+TEST(AggregatorEdge, StopHaltsPeriodicDuties) {
+  Testbed bed{small_params(12)};
+  bed.start();
+  bed.run_for(seconds(15));
+  auto& agg = bed.aggregator(0);
+  const auto windows = agg.verification_history().size();
+  agg.stop();
+  bed.run_for(seconds(10));
+  EXPECT_EQ(agg.verification_history().size(), windows);
+  agg.start();
+  bed.run_for(seconds(5));
+  EXPECT_GT(agg.verification_history().size(), windows);
+}
+
+}  // namespace
+}  // namespace emon::core

@@ -1,0 +1,500 @@
+// Unit tests for emon::hw — I2C bus routing, the register-accurate INA219,
+// the drifting DS3231 and the ESP32 power/load models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/ds3231.hpp"
+#include "hw/esp32.hpp"
+#include "hw/i2c.hpp"
+#include "hw/ina219.hpp"
+#include "hw/load_profile.hpp"
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace emon::hw {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+using sim::SimTime;
+using util::milliamps;
+using util::volts;
+
+/// A fake register peripheral for bus tests.
+class FakePeripheral final : public I2cPeripheral {
+ public:
+  explicit FakePeripheral(std::uint8_t addr) : addr_(addr) {}
+  [[nodiscard]] std::uint8_t address() const noexcept override { return addr_; }
+  std::optional<std::uint16_t> read_register(std::uint8_t reg) override {
+    if (reg > 3) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(reg * 100 + addr_);
+  }
+  bool write_register(std::uint8_t reg, std::uint16_t value) override {
+    if (reg > 3) {
+      return false;
+    }
+    last_write_ = {reg, value};
+    return true;
+  }
+  std::pair<std::uint8_t, std::uint16_t> last_write_{};
+
+ private:
+  std::uint8_t addr_;
+};
+
+// ---------------------------------------------------------------------------
+// I2C bus
+// ---------------------------------------------------------------------------
+
+TEST(I2c, RoutesByAddress) {
+  I2cBus bus;
+  FakePeripheral a{0x40}, b{0x41};
+  EXPECT_TRUE(bus.attach(a));
+  EXPECT_TRUE(bus.attach(b));
+  EXPECT_FALSE(bus.attach(a));  // address collision
+
+  const auto ra = bus.read(0x40, 1);
+  ASSERT_TRUE(ra.has_value());
+  EXPECT_EQ(ra->value, 100 + 0x40);
+  const auto rb = bus.read(0x41, 2);
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(rb->value, 200 + 0x41);
+}
+
+TEST(I2c, NackOnMissingDeviceOrRegister) {
+  I2cBus bus;
+  FakePeripheral a{0x40};
+  bus.attach(a);
+  EXPECT_FALSE(bus.read(0x50, 0).has_value());
+  EXPECT_FALSE(bus.read(0x40, 9).has_value());
+  EXPECT_FALSE(bus.write(0x40, 9, 1).has_value());
+}
+
+TEST(I2c, WriteReachesPeripheral) {
+  I2cBus bus;
+  FakePeripheral a{0x40};
+  bus.attach(a);
+  ASSERT_TRUE(bus.write(0x40, 2, 0xbeef).has_value());
+  EXPECT_EQ(a.last_write_.first, 2);
+  EXPECT_EQ(a.last_write_.second, 0xbeef);
+}
+
+TEST(I2c, BusTimeScalesWithClock) {
+  I2cBus fast{400'000};
+  I2cBus slow{100'000};
+  FakePeripheral a{0x40}, b{0x40};
+  fast.attach(a);
+  slow.attach(b);
+  const auto tf = fast.read(0x40, 0)->bus_time;
+  const auto ts = slow.read(0x40, 0)->bus_time;
+  EXPECT_NEAR(static_cast<double>(ts.ns()) / static_cast<double>(tf.ns()), 4.0,
+              0.01);
+  // 5 bytes x 9 bits at 100 kHz = 450 us.
+  EXPECT_NEAR(ts.to_seconds(), 450e-6, 1e-9);
+}
+
+TEST(I2c, DetachRemoves) {
+  I2cBus bus;
+  FakePeripheral a{0x40};
+  bus.attach(a);
+  EXPECT_TRUE(bus.detach(0x40));
+  EXPECT_FALSE(bus.detach(0x40));
+  EXPECT_FALSE(bus.read(0x40, 0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// INA219
+// ---------------------------------------------------------------------------
+
+Ina219 make_sensor(double true_ma, Ina219Params params = {},
+                   std::uint64_t seed = 42) {
+  return Ina219{0x40, params,
+                [true_ma] {
+                  return OperatingPoint{milliamps(true_ma), volts(5.0)};
+                },
+                util::Rng{seed}};
+}
+
+TEST(Ina219, RequiresCalibrationForCurrent) {
+  Ina219 s = make_sensor(100.0);
+  s.convert();
+  EXPECT_FALSE(s.decode_current().has_value());
+  EXPECT_FALSE(s.decode_power().has_value());
+  s.calibrate_for(util::amps(3.2));
+  s.convert();
+  EXPECT_TRUE(s.decode_current().has_value());
+}
+
+TEST(Ina219, MeasuresWithinErrorBudget) {
+  // 0.5 mA offset + 0.5 % gain + quantization: a 100 mA reading must land
+  // within ~1.2 mA of the truth.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Ina219 s = make_sensor(100.0, {}, seed);
+    s.calibrate_for(util::amps(3.2));
+    s.convert();
+    const auto i = s.decode_current();
+    ASSERT_TRUE(i.has_value());
+    EXPECT_NEAR(util::as_milliamps(*i), 100.0, 1.5) << "seed " << seed;
+  }
+}
+
+TEST(Ina219, OffsetWithinDatasheetBound) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Ina219 s = make_sensor(0.0, {}, seed);
+    EXPECT_LE(std::fabs(util::as_milliamps(s.true_offset())), 0.5);
+    EXPECT_NEAR(s.true_gain(), 1.0, 0.005);
+  }
+}
+
+TEST(Ina219, BusVoltageQuantizedTo4mV) {
+  Ina219 s{0x40, {},
+           [] { return OperatingPoint{milliamps(10.0), volts(5.001)}; },
+           util::Rng{1}};
+  s.convert();
+  const double mv = util::as_millivolts(s.decode_bus_voltage());
+  EXPECT_NEAR(mv, 5000.0, 4.1);
+  EXPECT_DOUBLE_EQ(std::fmod(mv, 4.0), 0.0);
+}
+
+TEST(Ina219, PgaSaturates) {
+  // 40 mV full scale with 0.1 ohm shunt saturates at 400 mA.
+  Ina219Params params;
+  params.pga = Ina219Pga::kDiv1_40mV;
+  Ina219 s = make_sensor(2000.0, params);
+  s.calibrate_for(util::amps(3.2));
+  s.convert();
+  const auto i = s.decode_current();
+  ASSERT_TRUE(i.has_value());
+  EXPECT_LE(util::as_milliamps(*i), 405.0);  // clamped at PGA range
+}
+
+TEST(Ina219, NegativeCurrentSupported) {
+  Ina219 s = make_sensor(-150.0);
+  s.calibrate_for(util::amps(3.2));
+  s.convert();
+  const auto i = s.decode_current();
+  ASSERT_TRUE(i.has_value());
+  EXPECT_NEAR(util::as_milliamps(*i), -150.0, 1.5);
+}
+
+TEST(Ina219, PowerRegisterConsistent) {
+  Ina219 s = make_sensor(200.0);
+  s.calibrate_for(util::amps(3.2));
+  s.convert();
+  const auto p = s.decode_power();
+  ASSERT_TRUE(p.has_value());
+  // P = V * I = 5 V * 0.2 A = 1 W (within sensor error + power LSB).
+  EXPECT_NEAR(p->value(), 1.0, 0.03);
+}
+
+TEST(Ina219, RegisterInterfaceMatchesDecoders) {
+  Ina219 s = make_sensor(100.0);
+  s.calibrate_for(util::amps(3.2));
+  I2cBus bus;
+  bus.attach(s);
+  s.convert();
+  const auto current_reg =
+      bus.read(0x40, static_cast<std::uint8_t>(Ina219Register::kCurrent));
+  ASSERT_TRUE(current_reg.has_value());
+  const auto decoded = s.decode_current();
+  ASSERT_TRUE(decoded.has_value());
+  // Register is the raw int16 backing the decode.
+  const auto raw = static_cast<std::int16_t>(current_reg->value);
+  EXPECT_EQ(raw == 0, util::as_milliamps(*decoded) == 0.0);
+}
+
+TEST(Ina219, ResultRegistersReadOnly) {
+  Ina219 s = make_sensor(10.0);
+  EXPECT_FALSE(s.write_register(
+      static_cast<std::uint8_t>(Ina219Register::kCurrent), 1));
+  EXPECT_FALSE(s.write_register(
+      static_cast<std::uint8_t>(Ina219Register::kBusVoltage), 1));
+  EXPECT_TRUE(s.write_register(
+      static_cast<std::uint8_t>(Ina219Register::kConfig), 0x399f));
+}
+
+TEST(Ina219, ConversionTimeMatchesDatasheet) {
+  Ina219 s = make_sensor(10.0);
+  EXPECT_EQ(s.convert().ns(), sim::microseconds(532).ns());
+  EXPECT_EQ(s.conversions(), 1u);
+}
+
+TEST(Ina219, CalibrationRejectsNonPositive) {
+  Ina219 s = make_sensor(10.0);
+  EXPECT_THROW(s.calibrate_for(util::amps(0.0)), std::invalid_argument);
+}
+
+TEST(Ina219, ConstructionRequiresProbeAndShunt) {
+  EXPECT_THROW(Ina219(0x40, {}, nullptr, util::Rng{1}), std::invalid_argument);
+  Ina219Params bad;
+  bad.shunt = util::ohms(0.0);
+  EXPECT_THROW(Ina219(0x40, bad,
+                      [] {
+                        return OperatingPoint{};
+                      },
+                      util::Rng{1}),
+               std::invalid_argument);
+}
+
+class Ina219AccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Ina219AccuracySweep, RelativeErrorBounded) {
+  // Property: across the operating range, |error| <= offset + gain*I + LSB.
+  const double true_ma = GetParam();
+  Ina219 s = make_sensor(true_ma, {}, 7);
+  s.calibrate_for(util::amps(3.2));
+  s.convert();
+  const auto i = s.decode_current();
+  ASSERT_TRUE(i.has_value());
+  const double lsb_ma = 3200.0 / 32768.0;  // calibration LSB
+  const double budget =
+      0.5 + 0.005 * true_ma + 2.0 * lsb_ma + 0.12 /*noise 1 sigma-ish*/;
+  EXPECT_NEAR(util::as_milliamps(*i), true_ma, budget) << true_ma << " mA";
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, Ina219AccuracySweep,
+                         ::testing::Values(1.0, 5.0, 20.0, 50.0, 100.0, 250.0,
+                                           500.0, 1000.0, 2000.0, 3000.0));
+
+// ---------------------------------------------------------------------------
+// DS3231
+// ---------------------------------------------------------------------------
+
+TEST(Ds3231, BcdHelpers) {
+  EXPECT_EQ(to_bcd(0), 0x00);
+  EXPECT_EQ(to_bcd(9), 0x09);
+  EXPECT_EQ(to_bcd(10), 0x10);
+  EXPECT_EQ(to_bcd(59), 0x59);
+  for (std::uint8_t v = 0; v < 60; ++v) {
+    EXPECT_EQ(from_bcd(to_bcd(v)), v);
+  }
+}
+
+TEST(Ds3231, DriftWithinDatasheetBand) {
+  sim::Kernel k;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Ds3231 rtc{0x68, {}, [&k] { return k.now(); }, util::Rng{seed}};
+    EXPECT_LE(std::fabs(rtc.true_drift_ppm()), 2.0);
+  }
+}
+
+TEST(Ds3231, ClockDriftsAtConfiguredRate) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, {}, [&k] { return k.now(); }, util::Rng{3}};
+  const double ppm = rtc.true_drift_ppm();
+  k.run_until(SimTime{seconds(1000).ns()});
+  // After 1000 s, error = 1000 * ppm * 1e-6 seconds.
+  EXPECT_NEAR(rtc.error().to_seconds(), 1000.0 * ppm * 1e-6, 1e-6);
+}
+
+TEST(Ds3231, AdjustSlewsClock) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, {}, [&k] { return k.now(); }, util::Rng{3}};
+  k.run_until(SimTime{seconds(100).ns()});
+  rtc.adjust(-rtc.error());
+  EXPECT_NEAR(rtc.error().to_seconds(), 0.0, 1e-9);
+  // Drift resumes after the correction.
+  k.run_until(SimTime{seconds(200).ns()});
+  EXPECT_NEAR(rtc.error().to_seconds(), 100.0 * rtc.true_drift_ppm() * 1e-6,
+              1e-6);
+}
+
+TEST(Ds3231, TimeRegistersReadBcdClock) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, Ds3231Params{0.0, 0.0}, [&k] { return k.now(); },
+             util::Rng{3}};
+  // 1 h 2 min 3 s.
+  k.run_until(SimTime{(3600 + 120 + 3) * 1'000'000'000LL});
+  EXPECT_EQ(rtc.read_register(0x00).value(), to_bcd(3));   // seconds
+  EXPECT_EQ(rtc.read_register(0x01).value(), to_bcd(2));   // minutes
+  EXPECT_EQ(rtc.read_register(0x02).value(), to_bcd(1));   // hours
+}
+
+TEST(Ds3231, SetLocalTime) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, {}, [&k] { return k.now(); }, util::Rng{3}};
+  rtc.set_local_time(SimTime{seconds(500).ns()});
+  EXPECT_NEAR(rtc.local_time().to_seconds(), 500.0, 1e-9);
+}
+
+TEST(Ds3231, WritingSecondsRegisterSetsClock) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, Ds3231Params{0.0, 0.0}, [&k] { return k.now(); },
+             util::Rng{3}};
+  ASSERT_TRUE(rtc.write_register(0x00, to_bcd(42)));
+  EXPECT_EQ(rtc.read_register(0x00).value(), to_bcd(42));
+}
+
+TEST(Ds3231, TemperatureReadOnly) {
+  sim::Kernel k;
+  Ds3231 rtc{0x68, {}, [&k] { return k.now(); }, util::Rng{3}};
+  EXPECT_FALSE(rtc.write_register(0x11, 50));
+  EXPECT_EQ(rtc.read_register(0x11).value(), 25);
+}
+
+// ---------------------------------------------------------------------------
+// Load profiles
+// ---------------------------------------------------------------------------
+
+TEST(LoadProfile, ConstantIsConstant) {
+  ConstantLoad load{milliamps(42.0)};
+  EXPECT_DOUBLE_EQ(util::as_milliamps(load.current_at(SimTime{0})), 42.0);
+  EXPECT_DOUBLE_EQ(
+      util::as_milliamps(load.current_at(SimTime{seconds(100).ns()})), 42.0);
+}
+
+TEST(LoadProfile, DutyCycleShape) {
+  DutyCycleLoad load{milliamps(10.0), milliamps(100.0), seconds(10), 0.3};
+  // First 3 s high, rest low.
+  EXPECT_DOUBLE_EQ(util::as_milliamps(load.current_at(SimTime{0})), 100.0);
+  EXPECT_DOUBLE_EQ(
+      util::as_milliamps(load.current_at(SimTime{seconds(2).ns()})), 100.0);
+  EXPECT_DOUBLE_EQ(
+      util::as_milliamps(load.current_at(SimTime{seconds(4).ns()})), 10.0);
+  // Periodic.
+  EXPECT_DOUBLE_EQ(
+      util::as_milliamps(load.current_at(SimTime{seconds(12).ns()})), 100.0);
+}
+
+TEST(LoadProfile, DutyCycleValidation) {
+  EXPECT_THROW(
+      DutyCycleLoad(milliamps(1), milliamps(2), sim::Duration{0}, 0.5),
+      std::invalid_argument);
+  EXPECT_THROW(DutyCycleLoad(milliamps(1), milliamps(2), seconds(1), 1.5),
+               std::invalid_argument);
+}
+
+TEST(LoadProfile, NoisyLoadIsDeterministicPerTime) {
+  auto base = std::make_shared<ConstantLoad>(milliamps(100.0));
+  NoisyLoad noisy{base, 0.1, milliseconds(50), 12345};
+  const auto t = SimTime{seconds(1).ns()};
+  EXPECT_DOUBLE_EQ(noisy.current_at(t).value(), noisy.current_at(t).value());
+  // Different bins differ (almost surely).
+  const auto t2 = SimTime{seconds(2).ns()};
+  EXPECT_NE(noisy.current_at(t).value(), noisy.current_at(t2).value());
+}
+
+TEST(LoadProfile, NoisyLoadMeanPreserved) {
+  auto base = std::make_shared<ConstantLoad>(milliamps(100.0));
+  NoisyLoad noisy{base, 0.05, milliseconds(10), 9};
+  double sum = 0.0;
+  constexpr int kN = 10'000;
+  for (int i = 0; i < kN; ++i) {
+    sum += util::as_milliamps(noisy.current_at(SimTime{i * 10'000'000LL}));
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+}
+
+TEST(LoadProfile, NoisyLoadNeverNegative) {
+  auto base = std::make_shared<ConstantLoad>(milliamps(1.0));
+  NoisyLoad noisy{base, 3.0, milliseconds(10), 9};  // huge sigma
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_GE(noisy.current_at(SimTime{i * 10'000'000LL}).value(), 0.0);
+  }
+}
+
+TEST(LoadProfile, CcCvChargeCurve) {
+  const auto cc_end = SimTime{seconds(100).ns()};
+  CcCvChargeLoad charge{milliamps(1000.0), cc_end, seconds(50),
+                        milliamps(50.0)};
+  EXPECT_DOUBLE_EQ(
+      util::as_milliamps(charge.current_at(SimTime{seconds(10).ns()})),
+      1000.0);
+  EXPECT_DOUBLE_EQ(util::as_milliamps(charge.current_at(cc_end)), 1000.0);
+  // One time constant into CV: floor + (cc - floor)/e.
+  const double at_tau = util::as_milliamps(
+      charge.current_at(SimTime{seconds(150).ns()}));
+  EXPECT_NEAR(at_tau, 50.0 + 950.0 / std::numbers::e, 1.0);
+  // Far tail approaches the floor.
+  const double tail = util::as_milliamps(
+      charge.current_at(SimTime{seconds(1000).ns()}));
+  EXPECT_NEAR(tail, 50.0, 1.0);
+}
+
+TEST(LoadProfile, CcCvBeforeStartIsZero) {
+  CcCvChargeLoad charge{milliamps(1000.0), SimTime{seconds(100).ns()},
+                        seconds(50), milliamps(50.0),
+                        SimTime{seconds(10).ns()}};
+  EXPECT_DOUBLE_EQ(charge.current_at(SimTime{0}).value(), 0.0);
+}
+
+TEST(LoadProfile, CompositeSums) {
+  auto a = std::make_shared<ConstantLoad>(milliamps(10.0));
+  auto b = std::make_shared<ConstantLoad>(milliamps(20.0));
+  CompositeLoad both{{a, b}};
+  EXPECT_DOUBLE_EQ(util::as_milliamps(both.current_at(SimTime{0})), 30.0);
+}
+
+TEST(LoadProfile, CompositeRejectsNull) {
+  EXPECT_THROW(CompositeLoad({nullptr}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ESP32
+// ---------------------------------------------------------------------------
+
+TEST(Esp32, ModeCurrentsOrdered) {
+  Esp32Soc soc{"dev", {}};
+  const auto t = SimTime{0};
+  soc.set_mode(Esp32PowerMode::kDeepSleep);
+  const double deep = soc.current_demand(t).value();
+  soc.set_mode(Esp32PowerMode::kLightSleep);
+  const double light = soc.current_demand(t).value();
+  soc.set_mode(Esp32PowerMode::kModemSleep);
+  const double modem = soc.current_demand(t).value();
+  soc.set_mode(Esp32PowerMode::kActive);
+  const double active = soc.current_demand(t).value();
+  EXPECT_LT(deep, light);
+  EXPECT_LT(light, modem);
+  EXPECT_LT(modem, active);
+}
+
+TEST(Esp32, TxBurstAddsCurrentWhileActive) {
+  Esp32Soc soc{"dev", {}};
+  soc.set_mode(Esp32PowerMode::kActive);
+  const double base = util::as_milliamps(soc.current_demand(SimTime{0}));
+  soc.radio_tx_until(SimTime{milliseconds(10).ns()});
+  const double bursting =
+      util::as_milliamps(soc.current_demand(SimTime{milliseconds(5).ns()}));
+  const double after =
+      util::as_milliamps(soc.current_demand(SimTime{milliseconds(15).ns()}));
+  EXPECT_NEAR(bursting - base, 120.0, 1e-9);
+  EXPECT_DOUBLE_EQ(after, base);
+}
+
+TEST(Esp32, RadioBurstIgnoredInDeepSleep) {
+  Esp32Soc soc{"dev", {}};
+  soc.set_mode(Esp32PowerMode::kDeepSleep);
+  soc.radio_tx_until(SimTime{seconds(1).ns()});
+  EXPECT_NEAR(util::as_milliamps(soc.current_demand(SimTime{0})), 0.01, 1e-9);
+}
+
+TEST(Esp32, TxTakesPrecedenceOverRx) {
+  Esp32Soc soc{"dev", {}};
+  soc.set_mode(Esp32PowerMode::kActive);
+  soc.radio_rx_until(SimTime{seconds(1).ns()});
+  soc.radio_tx_until(SimTime{seconds(1).ns()});
+  const double draw = util::as_milliamps(soc.current_demand(SimTime{0}));
+  EXPECT_NEAR(draw, 45.0 + 120.0, 1e-9);
+}
+
+TEST(Esp32, AttachedLoadAdds) {
+  Esp32Soc soc{"dev", {}};
+  soc.set_mode(Esp32PowerMode::kActive);
+  const double before = util::as_milliamps(soc.current_demand(SimTime{0}));
+  soc.attach_load(std::make_shared<ConstantLoad>(milliamps(500.0)));
+  const double after = util::as_milliamps(soc.current_demand(SimTime{0}));
+  EXPECT_NEAR(after - before, 500.0, 1e-9);
+}
+
+TEST(Esp32, ModeNames) {
+  EXPECT_STREQ(to_string(Esp32PowerMode::kActive), "active");
+  EXPECT_STREQ(to_string(Esp32PowerMode::kDeepSleep), "deep-sleep");
+}
+
+}  // namespace
+}  // namespace emon::hw

@@ -1,0 +1,338 @@
+// Unit tests for emon::sim — SimTime/Duration, the event kernel, timers
+// and the trace recorder.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+#include "sim/trace.hpp"
+
+namespace emon::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+TEST(Time, DurationConstructors) {
+  EXPECT_EQ(nanoseconds(5).ns(), 5);
+  EXPECT_EQ(microseconds(5).ns(), 5'000);
+  EXPECT_EQ(milliseconds(5).ns(), 5'000'000);
+  EXPECT_EQ(seconds(5).ns(), 5'000'000'000);
+  EXPECT_EQ(minutes(2).ns(), 120'000'000'000);
+  EXPECT_EQ(hours(1).ns(), 3'600'000'000'000);
+}
+
+TEST(Time, FractionalSecondsRounds) {
+  EXPECT_EQ(seconds_f(0.5).ns(), 500'000'000);
+  EXPECT_EQ(seconds_f(1e-9).ns(), 1);
+  EXPECT_EQ(seconds_f(-0.25).ns(), -250'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  const SimTime t = SimTime::zero() + seconds(2);
+  EXPECT_EQ((t + milliseconds(500)).ns(), 2'500'000'000);
+  EXPECT_EQ((t - milliseconds(500)).ns(), 1'500'000'000);
+  EXPECT_EQ((t - SimTime::zero()).ns(), seconds(2).ns());
+  EXPECT_EQ((seconds(10) / seconds(3)), 3);
+  EXPECT_EQ((seconds(3) * 4).ns(), seconds(12).ns());
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(SimTime{1}, SimTime{2});
+  EXPECT_LE(seconds(1), seconds(1));
+  EXPECT_GT(SimTime::max(), SimTime{1});
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(seconds(2)), "2 s");
+  EXPECT_EQ(to_string(milliseconds(250)), "250 ms");
+  EXPECT_EQ(to_string(microseconds(10)), "10 us");
+  EXPECT_EQ(to_string(nanoseconds(42)), "42 ns");
+}
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(seconds(3).to_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).to_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(SimTime{2'000'000'000}.to_seconds(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+TEST(Kernel, RunsEventsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  k.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  k.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now().ns(), 30);
+}
+
+TEST(Kernel, SameTimeIsFifo) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    k.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  k.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Kernel, ScheduleInIsRelative) {
+  Kernel k;
+  SimTime fired;
+  k.schedule_at(SimTime{50}, [&] {
+    k.schedule_in(Duration{25}, [&] { fired = k.now(); });
+  });
+  k.run();
+  EXPECT_EQ(fired.ns(), 75);
+}
+
+TEST(Kernel, RejectsPastAndNull) {
+  Kernel k;
+  k.schedule_at(SimTime{10}, [] {});
+  k.run();
+  EXPECT_THROW(k.schedule_at(SimTime{5}, [] {}), std::logic_error);
+  EXPECT_THROW(k.schedule_in(Duration{-1}, [] {}), std::logic_error);
+  EXPECT_THROW(k.schedule_at(SimTime{20}, nullptr), std::invalid_argument);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel k;
+  bool ran = false;
+  const EventId id = k.schedule_at(SimTime{10}, [&] { ran = true; });
+  EXPECT_TRUE(k.cancel(id));
+  EXPECT_FALSE(k.cancel(id));  // second cancel is a no-op
+  k.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Kernel, CancelInvalidIdIsSafe) {
+  Kernel k;
+  EXPECT_FALSE(k.cancel(EventId{}));
+}
+
+TEST(Kernel, PendingCountTracksLiveEvents) {
+  Kernel k;
+  const EventId a = k.schedule_at(SimTime{10}, [] {});
+  k.schedule_at(SimTime{20}, [] {});
+  EXPECT_EQ(k.pending(), 2u);
+  k.cancel(a);
+  EXPECT_EQ(k.pending(), 1u);
+  k.run();
+  EXPECT_EQ(k.pending(), 0u);
+}
+
+TEST(Kernel, RunUntilAdvancesClockWithoutEvents) {
+  Kernel k;
+  EXPECT_EQ(k.run_until(SimTime{1'000}), 0u);
+  EXPECT_EQ(k.now().ns(), 1'000);
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  Kernel k;
+  std::vector<int> fired;
+  k.schedule_at(SimTime{10}, [&] { fired.push_back(1); });
+  k.schedule_at(SimTime{20}, [&] { fired.push_back(2); });
+  k.schedule_at(SimTime{30}, [&] { fired.push_back(3); });
+  k.run_until(SimTime{20});
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // inclusive boundary
+  EXPECT_EQ(k.now().ns(), 20);
+  k.run_until(SimTime{100});
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(k.now().ns(), 100);
+}
+
+TEST(Kernel, RunUntilPastThrows) {
+  Kernel k;
+  k.run_until(SimTime{100});
+  EXPECT_THROW(k.run_until(SimTime{50}), std::logic_error);
+}
+
+TEST(Kernel, EventsCanScheduleEvents) {
+  Kernel k;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      k.schedule_in(Duration{1}, recurse);
+    }
+  };
+  k.schedule_in(Duration{1}, recurse);
+  k.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(k.executed(), 100u);
+}
+
+TEST(Kernel, RunLimitBounds) {
+  Kernel k;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    k.schedule_at(SimTime{i + 1}, [&] { ++count; });
+  }
+  EXPECT_EQ(k.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  k.run();
+  EXPECT_EQ(count, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Kernel k;
+  std::vector<std::int64_t> fire_times;
+  PeriodicTimer t{k, milliseconds(100), [&] { fire_times.push_back(k.now().ns()); }};
+  t.start();
+  k.run_until(SimTime{milliseconds(350).ns()});
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_EQ(fire_times[0], milliseconds(100).ns());
+  EXPECT_EQ(fire_times[1], milliseconds(200).ns());
+  EXPECT_EQ(fire_times[2], milliseconds(300).ns());
+}
+
+TEST(PeriodicTimer, ImmediateFire) {
+  Kernel k;
+  int fires = 0;
+  PeriodicTimer t{k, milliseconds(100), [&] { ++fires; }};
+  t.start(/*fire_immediately=*/true);
+  k.run_until(SimTime{milliseconds(100).ns()});
+  EXPECT_EQ(fires, 2);  // at t=0 and t=100ms
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Kernel k;
+  int fires = 0;
+  PeriodicTimer t{k, milliseconds(10), [&] { ++fires; }};
+  t.start();
+  k.run_until(SimTime{milliseconds(35).ns()});
+  t.stop();
+  k.run_until(SimTime{milliseconds(100).ns()});
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackCanStopItself) {
+  Kernel k;
+  int fires = 0;
+  PeriodicTimer t{k, milliseconds(10), [&] {
+    if (++fires == 2) {
+      t.stop();
+    }
+  }};
+  t.start();
+  k.run_until(SimTime{seconds(1).ns()});
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Kernel k;
+  int fires = 0;
+  {
+    PeriodicTimer t{k, milliseconds(10), [&] { ++fires; }};
+    t.start();
+  }
+  k.run_until(SimTime{milliseconds(100).ns()});
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(PeriodicTimer, RejectsBadConstruction) {
+  Kernel k;
+  EXPECT_THROW(PeriodicTimer(k, Duration{0}, [] {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicTimer(k, milliseconds(1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(OneShotTimer, FiresOnce) {
+  Kernel k;
+  int fires = 0;
+  OneShotTimer t{k, [&] { ++fires; }};
+  t.arm(milliseconds(50));
+  EXPECT_TRUE(t.armed());
+  k.run_until(SimTime{seconds(1).ns()});
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(OneShotTimer, RearmReplacesPending) {
+  Kernel k;
+  std::vector<std::int64_t> fire_times;
+  OneShotTimer t{k, [&] { fire_times.push_back(k.now().ns()); }};
+  t.arm(milliseconds(50));
+  t.arm(milliseconds(200));  // replaces
+  k.run_until(SimTime{seconds(1).ns()});
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], milliseconds(200).ns());
+}
+
+TEST(OneShotTimer, DisarmCancels) {
+  Kernel k;
+  int fires = 0;
+  OneShotTimer t{k, [&] { ++fires; }};
+  t.arm(milliseconds(50));
+  t.disarm();
+  k.run_until(SimTime{seconds(1).ns()});
+  EXPECT_EQ(fires, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+TEST(Trace, AppendsAndReadsBack) {
+  Trace trace;
+  trace.append("s1", SimTime{10}, 1.5);
+  trace.append("s1", SimTime{20}, 2.5);
+  trace.append("s2", SimTime{10}, -1.0);
+  EXPECT_TRUE(trace.has("s1"));
+  EXPECT_FALSE(trace.has("s3"));
+  EXPECT_EQ(trace.series("s1").size(), 2u);
+  EXPECT_EQ(trace.total_points(), 3u);
+  EXPECT_EQ(trace.series_names(), (std::vector<std::string>{"s1", "s2"}));
+}
+
+TEST(Trace, UnknownSeriesThrows) {
+  Trace trace;
+  EXPECT_THROW((void)trace.series("nope"), std::out_of_range);
+}
+
+TEST(Trace, WindowAggregates) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.append("v", SimTime{i * 10}, static_cast<double>(i));
+  }
+  // [20, 50) -> values 2, 3, 4.
+  EXPECT_DOUBLE_EQ(trace.sum_in("v", SimTime{20}, SimTime{50}), 9.0);
+  EXPECT_DOUBLE_EQ(trace.mean_in("v", SimTime{20}, SimTime{50}), 3.0);
+  EXPECT_DOUBLE_EQ(trace.mean_in("v", SimTime{1000}, SimTime{2000}), 0.0);
+  EXPECT_DOUBLE_EQ(trace.sum_in("absent", SimTime{0}, SimTime{10}), 0.0);
+}
+
+TEST(Trace, CsvLongFormat) {
+  Trace trace;
+  trace.append("a", SimTime{seconds(1).ns()}, 2.0);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "time_s,series,value\n1,a,2\n");
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.append("a", SimTime{1}, 1.0);
+  trace.clear();
+  EXPECT_EQ(trace.total_points(), 0u);
+  EXPECT_FALSE(trace.has("a"));
+}
+
+}  // namespace
+}  // namespace emon::sim
