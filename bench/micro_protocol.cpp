@@ -1,9 +1,11 @@
 // Microbenchmarks for the simulation and protocol substrates: event kernel
-// throughput, MQTT topic matching and dispatch, record serialization, and
+// throughput, MQTT topic matching and dispatch, record serialization,
+// envelope seal/decode throughput with per-message byte overhead, and
 // whole-testbed simulation rate (simulated seconds per wall second).
 
 #include <benchmark/benchmark.h>
 
+#include "core/protocol.hpp"
 #include "core/records.hpp"
 #include "util/log.hpp"
 #include "core/scenario.hpp"
@@ -103,6 +105,93 @@ void BM_ReportBatchSerialize(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ReportBatchSerialize)->Arg(1)->Arg(64)->Arg(256);
+
+// -- Envelope framing (core/protocol.hpp) -------------------------------------
+
+core::ConsumptionRecord bench_record(std::uint64_t seq) {
+  core::ConsumptionRecord r;
+  r.device_id = "dev-1";
+  r.sequence = seq;
+  r.timestamp_ns = 987654321;
+  r.interval_ns = 100000000;
+  r.current_ma = 123.456;
+  r.bus_voltage_mv = 4998.0;
+  r.energy_mwh = 0.0171;
+  r.network = "wan-1";
+  return r;
+}
+
+core::Report bench_report(std::size_t records) {
+  core::Report report;
+  report.device_id = "dev-1";
+  for (std::size_t i = 0; i < records; ++i) {
+    report.records.push_back(bench_record(i + 1));
+  }
+  return report;
+}
+
+void BM_EnvelopeSealReport(benchmark::State& state) {
+  const auto report = bench_report(static_cast<std::size_t>(state.range(0)));
+  std::size_t frame_bytes = 0;
+  std::size_t payload_bytes = 0;
+  for (auto _ : state) {
+    auto frame = core::protocol::seal(report);
+    frame_bytes = frame.size();
+    payload_bytes = frame.size() - core::protocol::kHeaderSize;
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame_bytes));
+  state.counters["frame_bytes"] = static_cast<double>(frame_bytes);
+  state.counters["overhead_bytes"] =
+      static_cast<double>(frame_bytes - payload_bytes);
+  state.counters["overhead_pct"] =
+      100.0 * static_cast<double>(frame_bytes - payload_bytes) /
+      static_cast<double>(frame_bytes);
+}
+BENCHMARK(BM_EnvelopeSealReport)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_EnvelopeDecodeReport(benchmark::State& state) {
+  const auto frame = core::protocol::seal(
+      bench_report(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = core::protocol::decode_any(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_EnvelopeDecodeReport)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_EnvelopeRoundTripCtrl(benchmark::State& state) {
+  // The smallest common frame: header overhead dominates here.
+  core::CtrlMessage ctrl;
+  ctrl.type = core::CtrlType::kReportAck;
+  ctrl.device_id = "dev-1";
+  ctrl.ack_sequence = 42;
+  std::size_t frame_bytes = 0;
+  for (auto _ : state) {
+    auto frame = core::protocol::seal(ctrl);
+    frame_bytes = frame.size();
+    auto decoded = core::protocol::decode_any(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["frame_bytes"] = static_cast<double>(frame_bytes);
+  state.counters["overhead_bytes"] =
+      static_cast<double>(core::protocol::kHeaderSize);
+}
+BENCHMARK(BM_EnvelopeRoundTripCtrl);
+
+void BM_EnvelopeRejectGarbage(benchmark::State& state) {
+  // Fast-path rejection cost for a frame that fails the magic check.
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  for (auto _ : state) {
+    auto decoded = core::protocol::decode_any(
+        std::span<const std::uint8_t>(garbage.data(), garbage.size()));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_EnvelopeRejectGarbage);
 
 void BM_TestbedSimulationRate(benchmark::State& state) {
   // Simulated seconds per wall second for the full Figure 4 testbed

@@ -22,8 +22,7 @@ int main() {
 
   std::map<std::string, sim::SimTime> received_at;
   for (const char* id : {"agg-1", "agg-2", "agg-3", "agg-4"}) {
-    mesh.add_node(id, [&received_at, &kernel, id](
-                          const net::BackhaulMessage&) {
+    mesh.add_node(id, [&received_at, &kernel, id](const net::Frame&) {
       received_at[id] = kernel.now();
     });
   }
@@ -47,9 +46,8 @@ int main() {
       util::SampleSet lat;
       for (int i = 0; i < 200; ++i) {
         const sim::SimTime sent = kernel.now();
-        mesh.send(net::BackhaulMessage{
-            from, to, "roam_records",
-            std::vector<std::uint8_t>(payload, 0xaa)});
+        mesh.send(net::Frame{
+            from, to, std::vector<std::uint8_t>(payload, 0xaa), 0});
         kernel.run();
         lat.add((received_at[to] - sent).to_millis());
       }

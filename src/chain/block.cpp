@@ -72,8 +72,8 @@ std::vector<std::uint8_t> serialize_block(const Block& block) {
   return w.take();
 }
 
-Block deserialize_block(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+Block deserialize_block(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   Block block;
   block.header.index = r.u64();
   auto take_digest = [&r]() {

@@ -8,6 +8,7 @@
 // proven without the full block.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,7 +70,6 @@ struct Block {
 
 /// Parses `serialize_block` output.  Throws util::DecodeError on corrupt
 /// input.  Integrity is *not* validated here; call verify_block_integrity.
-[[nodiscard]] Block deserialize_block(
-    const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] Block deserialize_block(std::span<const std::uint8_t> bytes);
 
 }  // namespace emon::chain

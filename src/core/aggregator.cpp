@@ -44,15 +44,18 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
         return feeder_sensor_.get();
       }(), [&kernel] { return kernel.now(); }) {
   chain_.register_writer(chain::WriterKey{id_, chain_secret_});
-  backhaul_.add_node(id_, [this](const net::BackhaulMessage& m) {
-    handle_backhaul(m);
-  });
-  broker_.subscribe_local("emon/register/+", [this](const net::MqttMessage& m) {
-    handle_register(m);
-  });
-  broker_.subscribe_local("emon/report/+", [this](const net::MqttMessage& m) {
-    handle_report(m);
-  });
+  if (trace_ != nullptr) {
+    broker_.bind_trace(trace_, "wire.mqtt." + id_);
+  }
+  backhaul_.add_node(id_, [this](const net::Frame& f) { handle_backhaul(f); });
+  broker_.subscribe_local(std::string(protocol::kFilterRegister),
+                          [this](const net::MqttMessage& m) {
+                            handle_device_frame(m);
+                          });
+  broker_.subscribe_local(std::string(protocol::kFilterReport),
+                          [this](const net::MqttMessage& m) {
+                            handle_device_frame(m);
+                          });
 }
 
 void Aggregator::start() {
@@ -93,14 +96,28 @@ void Aggregator::stop() {
 // MQTT ingress
 // ---------------------------------------------------------------------------
 
-void Aggregator::handle_register(const net::MqttMessage& msg) {
-  RegisterRequest req;
-  try {
-    req = decode_register_request(msg.payload);
-  } catch (const util::DecodeError& e) {
-    log_.warn("malformed register request: ", e.what());
+void Aggregator::handle_device_frame(const net::MqttMessage& msg) {
+  auto decoded = protocol::decode_any(msg.payload);
+  if (!decoded) {
+    ++stats_.malformed_frames;
+    log_.warn("malformed frame on ", msg.topic, ": ",
+              to_string(decoded.failure().fault), " (",
+              decoded.failure().detail, ")");
     return;
   }
+  std::visit(protocol::Overload{
+                 [this](const RegisterRequest& req) { handle_register(req); },
+                 [this](const Report& report) { handle_report(report); },
+                 [this](const auto& other) {
+                   ++stats_.unexpected_frames;
+                   log_.warn("unexpected ", protocol::wire_name_of(other),
+                             " on a device uplink topic");
+                 },
+             },
+             decoded.value());
+}
+
+void Aggregator::handle_register(const RegisterRequest& req) {
   log_.debug("register request from ", req.device_id, " master='",
              req.master_addr, "'");
 
@@ -151,18 +168,10 @@ void Aggregator::handle_register(const net::MqttMessage& msg) {
   pending_temp_[req.device_id] =
       PendingTempReg{req.master_addr, kernel_.now()};
   VerifyDeviceQuery query{req.device_id, id_};
-  backhaul_.send(net::BackhaulMessage{id_, req.master_addr, "verify_device",
-                                      encode(query)});
+  backhaul_.send(net::Frame{id_, req.master_addr, protocol::seal(query)});
 }
 
-void Aggregator::handle_report(const net::MqttMessage& msg) {
-  Report report;
-  try {
-    report = decode_report(msg.payload);
-  } catch (const util::DecodeError& e) {
-    log_.warn("malformed report: ", e.what());
-    return;
-  }
+void Aggregator::handle_report(const Report& report) {
   MemberEntry* member = members_.find(report.device_id);
   if (member == nullptr) {
     // Figure 3: Nack — the device must (re-)register here first.
@@ -215,8 +224,7 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
     // Forward on behalf of the master ("These values are in turn
     // transmitted back to the home network using the Master address").
     RoamRecords roam{report.device_id, id_, std::move(fresh)};
-    backhaul_.send(net::BackhaulMessage{id_, member.master_addr,
-                                        "roam_records", encode(roam)});
+    backhaul_.send(net::Frame{id_, member.master_addr, protocol::seal(roam)});
     ++stats_.roam_batches_forwarded;
   }
 
@@ -236,61 +244,73 @@ void Aggregator::queue_for_chain(const ConsumptionRecord& record) {
 // Backhaul ingress
 // ---------------------------------------------------------------------------
 
-void Aggregator::handle_backhaul(const net::BackhaulMessage& msg) {
-  try {
-    if (msg.kind == "verify_device") {
-      const VerifyDeviceQuery query = decode_verify_query(msg.payload);
-      const MemberEntry* member = members_.find(query.device_id);
-      const bool known =
-          member != nullptr && member->kind == MembershipKind::kHome;
-      ++stats_.verify_queries_answered;
-      VerifyDeviceResponse resp{query.device_id, known, id_};
-      backhaul_.send(net::BackhaulMessage{id_, query.origin,
-                                          "verify_device_resp", encode(resp)});
-    } else if (msg.kind == "verify_device_resp") {
-      const VerifyDeviceResponse resp = decode_verify_response(msg.payload);
-      finish_temp_registration(resp.device_id, resp.known);
-    } else if (msg.kind == "roam_records") {
-      const RoamRecords roam = decode_roam_records(msg.payload);
-      MemberEntry* member = members_.find(roam.device_id);
-      if (member == nullptr || member->kind != MembershipKind::kHome) {
-        log_.warn("roam records for unknown device ", roam.device_id);
-        return;
-      }
-      member->roaming_host = roam.collector;
-      for (const auto& record : roam.records) {
-        ++stats_.roam_records_received;
-        queue_for_chain(record);
-        billing_.ingest(record);
-        if (trace_ != nullptr) {
-          trace_->append("reported." + id_ + "." + record.device_id,
-                         sim::SimTime{record.timestamp_ns}, record.current_ma);
-          trace_->append("arrival." + id_ + "." + record.device_id,
-                         kernel_.now(), record.current_ma);
-        }
-      }
-    } else if (msg.kind == "transfer_membership") {
-      const TransferMembership transfer = decode_transfer(msg.payload);
-      // We are the receiving (new master) side: promote an existing
-      // temporary membership, or pre-authorize a future registration.
-      if (MemberEntry* member = members_.find(transfer.device_id)) {
-        member->kind = MembershipKind::kHome;
-        member->master_addr.clear();
-        last_membership_change_ = kernel_.now();
-        log_.info("membership of ", transfer.device_id,
-                  " promoted to home (ownership transfer)");
-      }
-    } else if (msg.kind == "remove_device") {
-      const RemoveDevice remove = decode_remove(msg.payload);
-      remove_membership(remove.device_id, remove.reason);
-    } else if (msg.kind == "chain_block") {
-      sync_replica(chain::deserialize_block(msg.payload));
-    } else {
-      log_.warn("unknown backhaul kind '", msg.kind, "'");
-    }
-  } catch (const util::DecodeError& e) {
-    log_.warn("malformed backhaul message kind='", msg.kind, "': ", e.what());
+void Aggregator::handle_backhaul(const net::Frame& frame) {
+  auto decoded = protocol::decode_any(frame.bytes);
+  if (!decoded) {
+    ++stats_.malformed_frames;
+    log_.warn("malformed backhaul frame from ", frame.from, ": ",
+              to_string(decoded.failure().fault), " (",
+              decoded.failure().detail, ")");
+    return;
   }
+  std::visit(
+      protocol::Overload{
+          [this](const VerifyDeviceQuery& query) {
+            const MemberEntry* member = members_.find(query.device_id);
+            const bool known =
+                member != nullptr && member->kind == MembershipKind::kHome;
+            ++stats_.verify_queries_answered;
+            VerifyDeviceResponse resp{query.device_id, known, id_};
+            backhaul_.send(
+                net::Frame{id_, query.origin, protocol::seal(resp)});
+          },
+          [this](const VerifyDeviceResponse& resp) {
+            finish_temp_registration(resp.device_id, resp.known);
+          },
+          [this](const RoamRecords& roam) {
+            MemberEntry* member = members_.find(roam.device_id);
+            if (member == nullptr || member->kind != MembershipKind::kHome) {
+              log_.warn("roam records for unknown device ", roam.device_id);
+              return;
+            }
+            member->roaming_host = roam.collector;
+            for (const auto& record : roam.records) {
+              ++stats_.roam_records_received;
+              queue_for_chain(record);
+              billing_.ingest(record);
+              if (trace_ != nullptr) {
+                trace_->append("reported." + id_ + "." + record.device_id,
+                               sim::SimTime{record.timestamp_ns},
+                               record.current_ma);
+                trace_->append("arrival." + id_ + "." + record.device_id,
+                               kernel_.now(), record.current_ma);
+              }
+            }
+          },
+          [this](const TransferMembership& transfer) {
+            // We are the receiving (new master) side: promote an existing
+            // temporary membership, or pre-authorize a future registration.
+            if (MemberEntry* member = members_.find(transfer.device_id)) {
+              member->kind = MembershipKind::kHome;
+              member->master_addr.clear();
+              last_membership_change_ = kernel_.now();
+              log_.info("membership of ", transfer.device_id,
+                        " promoted to home (ownership transfer)");
+            }
+          },
+          [this](const RemoveDevice& remove) {
+            remove_membership(remove.device_id, remove.reason);
+          },
+          [this](const protocol::ChainBlock& msg) {
+            sync_replica(msg.block);
+          },
+          [this, &frame](const auto& other) {
+            ++stats_.unexpected_frames;
+            log_.warn("unexpected ", protocol::wire_name_of(other),
+                      " on the backhaul from ", frame.from);
+          },
+      },
+      decoded.value());
 }
 
 void Aggregator::finish_temp_registration(const DeviceId& device,
@@ -399,12 +419,13 @@ void Aggregator::on_block_timer() {
 }
 
 void Aggregator::broadcast_block(const chain::Block& block) {
-  const auto bytes = chain::serialize_block(block);
+  // Seal once, fan the same frame bytes out to every peer.
+  const auto frame_bytes = protocol::seal(protocol::ChainBlock{block});
   // Replicate to every other aggregator (and to our own replica directly).
   sync_replica(block);
   for (const auto& peer : backhaul_.nodes()) {
     if (peer != id_) {
-      backhaul_.send(net::BackhaulMessage{id_, peer, "chain_block", bytes});
+      backhaul_.send(net::Frame{id_, peer, frame_bytes});
     }
   }
 }
@@ -428,8 +449,8 @@ void Aggregator::sync_replica(chain::Block block) {
 
 void Aggregator::on_beacon_timer() {
   Beacon beacon{id_, kernel_.now().ns()};
-  broker_.publish_from_host(
-      net::MqttMessage{topic_beacon(), encode(beacon), 0, id_});
+  broker_.send(net::Frame{id_, std::string(protocol::kTopicBeacon),
+                          protocol::seal(beacon)});
 }
 
 void Aggregator::on_expiry_sweep() {
@@ -479,14 +500,13 @@ void Aggregator::remove_membership(const DeviceId& device,
 void Aggregator::transfer_membership(const DeviceId& device,
                                      const std::string& new_master) {
   TransferMembership transfer{device, new_master};
-  backhaul_.send(net::BackhaulMessage{id_, new_master, "transfer_membership",
-                                      encode(transfer)});
+  backhaul_.send(net::Frame{id_, new_master, protocol::seal(transfer)});
   remove_membership(device, "ownership transferred to " + new_master);
 }
 
 void Aggregator::send_ctrl(const CtrlMessage& message) {
-  broker_.publish_from_host(net::MqttMessage{
-      topic_ctrl(message.device_id), encode(message), 0, id_});
+  broker_.send(net::Frame{id_, protocol::topic_ctrl(message.device_id),
+                          protocol::seal(message)});
 }
 
 }  // namespace emon::core

@@ -25,6 +25,7 @@
 #include "core/energy_meter.hpp"
 #include "core/membership.hpp"
 #include "core/messages.hpp"
+#include "core/protocol.hpp"
 #include "grid/distribution.hpp"
 #include "hw/i2c.hpp"
 #include "hw/ina219.hpp"
@@ -53,6 +54,11 @@ struct AggregatorStats {
   std::uint64_t roam_records_received = 0;
   std::uint64_t blocks_written = 0;
   std::uint64_t memberships_expired = 0;
+  /// Frames that failed envelope or payload decode (typed DecodeFailure).
+  std::uint64_t malformed_frames = 0;
+  /// Well-formed frames of a type that does not belong on the path they
+  /// arrived on (e.g. a Beacon on a register topic).
+  std::uint64_t unexpected_frames = 0;
 };
 
 class Aggregator {
@@ -105,11 +111,13 @@ class Aggregator {
 
  private:
   // -- MQTT ingress -----------------------------------------------------------
-  void handle_register(const net::MqttMessage& msg);
-  void handle_report(const net::MqttMessage& msg);
+  /// Decodes an uplink envelope and dispatches to the typed handlers.
+  void handle_device_frame(const net::MqttMessage& msg);
+  void handle_register(const RegisterRequest& req);
+  void handle_report(const Report& report);
 
   // -- Backhaul ingress --------------------------------------------------------
-  void handle_backhaul(const net::BackhaulMessage& msg);
+  void handle_backhaul(const net::Frame& frame);
   void finish_temp_registration(const DeviceId& device, bool verified);
 
   // -- Periodic duties ----------------------------------------------------------

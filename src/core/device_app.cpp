@@ -74,21 +74,36 @@ DeviceApp::DeviceApp(sim::Kernel& kernel, DeviceId id,
     throw std::invalid_argument("DeviceApp requires grid and broker resolvers");
   }
   wifi_.set_on_drop([this] { on_wifi_drop(); });
-  mqtt_.subscribe(topic_ctrl(id_), [this](const net::MqttMessage& m) {
-    try {
-      on_ctrl(decode_ctrl(m.payload));
-    } catch (const util::DecodeError& e) {
-      log_.warn("malformed ctrl: ", e.what());
-    }
-  });
-  mqtt_.subscribe(topic_beacon(), [this](const net::MqttMessage& m) {
-    try {
-      const Beacon beacon = decode_beacon(m.payload);
-      timesync_.on_beacon(sim::SimTime{beacon.master_time_ns});
-    } catch (const util::DecodeError& e) {
-      log_.warn("malformed beacon: ", e.what());
-    }
-  });
+  if (trace_ != nullptr) {
+    mqtt_.bind_trace(trace_, "wire.device." + id_);
+  }
+  mqtt_.subscribe(protocol::topic_ctrl(id_),
+                  [this](const net::MqttMessage& m) { on_downlink_frame(m); });
+  mqtt_.subscribe(std::string(protocol::kTopicBeacon),
+                  [this](const net::MqttMessage& m) { on_downlink_frame(m); });
+}
+
+void DeviceApp::on_downlink_frame(const net::MqttMessage& msg) {
+  auto decoded = protocol::decode_any(msg.payload);
+  if (!decoded) {
+    ++stats_.malformed_frames;
+    log_.warn("malformed frame on ", msg.topic, ": ",
+              to_string(decoded.failure().fault), " (",
+              decoded.failure().detail, ")");
+    return;
+  }
+  std::visit(protocol::Overload{
+                 [this](const CtrlMessage& ctrl) { on_ctrl(ctrl); },
+                 [this](const Beacon& beacon) {
+                   timesync_.on_beacon(sim::SimTime{beacon.master_time_ns});
+                 },
+                 [this](const auto& other) {
+                   ++stats_.unexpected_frames;
+                   log_.warn("unexpected ", protocol::wire_name_of(other),
+                             " on a downlink topic");
+                 },
+             },
+             decoded.value());
 }
 
 DeviceApp::~DeviceApp() { unplug(); }
@@ -344,11 +359,13 @@ void DeviceApp::send_register() {
   RegisterRequest req{id_, master_addr_ == reporting_addr_ ? std::string{}
                                                            : master_addr_};
   soc_.radio_tx_until(kernel_.now() + kTxBurst);
-  mqtt_.publish(topic_register(id_), encode(req), 1, [this](bool acked) {
-    if (!acked) {
-      registration_in_flight_ = false;
-    }
-  });
+  mqtt_.send(net::Frame{id_, protocol::topic_register(id_),
+                        protocol::seal(req), 1},
+             [this](bool acked) {
+               if (!acked) {
+                 registration_in_flight_ = false;
+               }
+             });
   // Response watchdog: the RegisterAccept/Reject rides a fire-and-forget
   // ctrl message that a lossy downlink can eat.  If no decision arrived by
   // the retry deadline, re-issue the request (the aggregator re-accepts
@@ -476,8 +493,8 @@ void DeviceApp::send_report(std::vector<ConsumptionRecord> records) {
   ++stats_.reports_sent;
   Report report{id_, records};
   soc_.radio_tx_until(kernel_.now() + kTxBurst);
-  mqtt_.publish(
-      topic_report(id_), encode(report), 1,
+  mqtt_.send(
+      net::Frame{id_, protocol::topic_report(id_), protocol::seal(report), 1},
       [this, records = std::move(records)](bool acked) mutable {
         if (acked) {
           return;  // Ack handling happens on the ctrl topic

@@ -25,6 +25,7 @@
 #include "core/local_store.hpp"
 #include "core/membership.hpp"
 #include "core/messages.hpp"
+#include "core/protocol.hpp"
 #include "grid/distribution.hpp"
 #include "hw/ds3231.hpp"
 #include "hw/esp32.hpp"
@@ -62,6 +63,10 @@ struct DeviceStats {
   std::uint64_t registrations_accepted = 0;
   std::uint64_t registrations_rejected = 0;
   std::uint64_t scans = 0;
+  /// Downlink frames that failed envelope or payload decode.
+  std::uint64_t malformed_frames = 0;
+  /// Well-formed downlink frames of a type devices never consume.
+  std::uint64_t unexpected_frames = 0;
 };
 
 /// One measured network-transition handshake.
@@ -153,6 +158,8 @@ class DeviceApp {
   void on_scan_done(std::vector<net::ScanEntry> results);
   void on_associated(bool ok);
   void on_mqtt_connected(bool ok);
+  /// Decodes a downlink envelope and dispatches (ctrl / beacon).
+  void on_downlink_frame(const net::MqttMessage& msg);
   void on_ctrl(const CtrlMessage& msg);
   void on_sample_tick();
   void send_report(std::vector<ConsumptionRecord> records);

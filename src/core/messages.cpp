@@ -4,12 +4,6 @@
 
 namespace emon::core {
 
-std::string topic_register(const DeviceId& id) {
-  return "emon/register/" + id;
-}
-std::string topic_report(const DeviceId& id) { return "emon/report/" + id; }
-std::string topic_ctrl(const DeviceId& id) { return "emon/ctrl/" + id; }
-
 const char* to_string(CtrlType t) noexcept {
   switch (t) {
     case CtrlType::kRegisterAccept:
@@ -34,8 +28,8 @@ std::vector<std::uint8_t> encode(const RegisterRequest& m) {
 }
 
 RegisterRequest decode_register_request(
-    const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   RegisterRequest m;
   m.device_id = r.str();
   m.master_addr = r.str();
@@ -51,8 +45,8 @@ std::vector<std::uint8_t> encode(const Report& m) {
   return w.take();
 }
 
-Report decode_report(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+Report decode_report(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   Report m;
   m.device_id = r.str();
   const std::uint32_t len = r.u32();
@@ -72,8 +66,8 @@ std::vector<std::uint8_t> encode(const CtrlMessage& m) {
   return w.take();
 }
 
-CtrlMessage decode_ctrl(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+CtrlMessage decode_ctrl(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   CtrlMessage m;
   const std::uint8_t type = r.u8();
   if (type > static_cast<std::uint8_t>(CtrlType::kMembershipRemoved)) {
@@ -96,8 +90,8 @@ std::vector<std::uint8_t> encode(const Beacon& m) {
   return w.take();
 }
 
-Beacon decode_beacon(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+Beacon decode_beacon(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   Beacon m;
   m.aggregator_id = r.str();
   m.master_time_ns = r.i64();
@@ -111,8 +105,8 @@ std::vector<std::uint8_t> encode(const VerifyDeviceQuery& m) {
   return w.take();
 }
 
-VerifyDeviceQuery decode_verify_query(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+VerifyDeviceQuery decode_verify_query(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   VerifyDeviceQuery m;
   m.device_id = r.str();
   m.origin = r.str();
@@ -128,8 +122,8 @@ std::vector<std::uint8_t> encode(const VerifyDeviceResponse& m) {
 }
 
 VerifyDeviceResponse decode_verify_response(
-    const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   VerifyDeviceResponse m;
   m.device_id = r.str();
   m.known = r.u8() != 0;
@@ -147,8 +141,8 @@ std::vector<std::uint8_t> encode(const RoamRecords& m) {
   return w.take();
 }
 
-RoamRecords decode_roam_records(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+RoamRecords decode_roam_records(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   RoamRecords m;
   m.device_id = r.str();
   m.collector = r.str();
@@ -164,8 +158,8 @@ std::vector<std::uint8_t> encode(const TransferMembership& m) {
   return w.take();
 }
 
-TransferMembership decode_transfer(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+TransferMembership decode_transfer(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   TransferMembership m;
   m.device_id = r.str();
   m.new_master = r.str();
@@ -179,8 +173,8 @@ std::vector<std::uint8_t> encode(const RemoveDevice& m) {
   return w.take();
 }
 
-RemoveDevice decode_remove(const std::vector<std::uint8_t>& bytes) {
-  util::ByteReader r{std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+RemoveDevice decode_remove(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
   RemoveDevice m;
   m.device_id = r.str();
   m.reason = r.str();

@@ -1,35 +1,25 @@
 #pragma once
-// Application-layer protocol messages (Figure 3 of the paper).
+// Application-layer protocol message bodies (Figure 3 of the paper).
 //
-// Device <-> aggregator messages ride MQTT topics:
-//   emon/register/<device_id>   registration requests   (device -> agg)
-//   emon/report/<device_id>     consumption reports      (device -> agg)
-//   emon/ctrl/<device_id>       responses: Ack/Nack/registration results
-//   emon/beacon                 time-sync beacons        (agg -> devices)
+// These structs and their payload codecs are the *bodies* of protocol
+// frames; the framing itself — versioned envelope, MsgType discriminator,
+// topic map — lives in core/protocol.hpp.  Every message below travels
+// inside an envelope, device<->aggregator over MQTT and aggregator<->
+// aggregator over the backhaul, through the net::Transport interface.
 //
-// Aggregator <-> aggregator messages ride the backhaul with `kind` strings:
-//   verify_device / verify_device_resp   temporary-membership verification
-//   roam_records                          roamed-device data to the master
-//   transfer_membership / remove_device   sequence 3 of Figure 3
-//   chain_block                           permissioned-chain replication
+// The per-type encode()/decode_*() functions operate on raw payload bytes
+// (no header); prefer protocol::seal()/protocol::decode_any() unless you
+// are the codec layer or its tests.
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/records.hpp"
 
 namespace emon::core {
-
-// -- Topics -------------------------------------------------------------------
-
-[[nodiscard]] std::string topic_register(const DeviceId& id);
-[[nodiscard]] std::string topic_report(const DeviceId& id);
-[[nodiscard]] std::string topic_ctrl(const DeviceId& id);
-[[nodiscard]] constexpr const char* topic_beacon() noexcept {
-  return "emon/beacon";
-}
 
 // -- Device -> aggregator -----------------------------------------------------
 
@@ -84,7 +74,7 @@ struct Beacon {
   std::int64_t master_time_ns = 0;
 };
 
-// -- Serialization (MQTT payloads) ---------------------------------------------
+// -- Serialization (envelope payloads) -----------------------------------------
 
 [[nodiscard]] std::vector<std::uint8_t> encode(const RegisterRequest& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const Report& m);
@@ -92,10 +82,10 @@ struct Beacon {
 [[nodiscard]] std::vector<std::uint8_t> encode(const Beacon& m);
 
 [[nodiscard]] RegisterRequest decode_register_request(
-    const std::vector<std::uint8_t>& bytes);
-[[nodiscard]] Report decode_report(const std::vector<std::uint8_t>& bytes);
-[[nodiscard]] CtrlMessage decode_ctrl(const std::vector<std::uint8_t>& bytes);
-[[nodiscard]] Beacon decode_beacon(const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] Report decode_report(std::span<const std::uint8_t> bytes);
+[[nodiscard]] CtrlMessage decode_ctrl(std::span<const std::uint8_t> bytes);
+[[nodiscard]] Beacon decode_beacon(std::span<const std::uint8_t> bytes);
 
 // -- Backhaul payloads ----------------------------------------------------------
 
@@ -134,14 +124,14 @@ struct RemoveDevice {
 [[nodiscard]] std::vector<std::uint8_t> encode(const RemoveDevice& m);
 
 [[nodiscard]] VerifyDeviceQuery decode_verify_query(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 [[nodiscard]] VerifyDeviceResponse decode_verify_response(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 [[nodiscard]] RoamRecords decode_roam_records(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 [[nodiscard]] TransferMembership decode_transfer(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 [[nodiscard]] RemoveDevice decode_remove(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace emon::core

@@ -1,0 +1,236 @@
+#include "core/protocol.hpp"
+
+#include <exception>
+
+#include "util/bytes.hpp"
+
+namespace emon::core::protocol {
+
+std::string_view wire_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kRegisterRequest:
+      return "register_request";
+    case MsgType::kReport:
+      return "report";
+    case MsgType::kCtrl:
+      return "ctrl";
+    case MsgType::kBeacon:
+      return "beacon";
+    case MsgType::kVerifyDeviceQuery:
+      return "verify_device";
+    case MsgType::kVerifyDeviceResponse:
+      return "verify_device_resp";
+    case MsgType::kRoamRecords:
+      return "roam_records";
+    case MsgType::kTransferMembership:
+      return "transfer_membership";
+    case MsgType::kRemoveDevice:
+      return "remove_device";
+    case MsgType::kChainBlock:
+      return "chain_block";
+  }
+  return "?";
+}
+
+bool is_known_msg_type(std::uint8_t raw) noexcept {
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kRegisterRequest:
+    case MsgType::kReport:
+    case MsgType::kCtrl:
+    case MsgType::kBeacon:
+    case MsgType::kVerifyDeviceQuery:
+    case MsgType::kVerifyDeviceResponse:
+    case MsgType::kRoamRecords:
+    case MsgType::kTransferMembership:
+    case MsgType::kRemoveDevice:
+    case MsgType::kChainBlock:
+      return true;
+  }
+  return false;
+}
+
+MsgType msg_type_of(const Message& m) noexcept {
+  return std::visit(
+      [](const auto& alt) {
+        return kMsgTypeFor<std::decay_t<decltype(alt)>>;
+      },
+      m);
+}
+
+const char* to_string(DecodeFault f) noexcept {
+  switch (f) {
+    case DecodeFault::kTruncatedHeader:
+      return "truncated-header";
+    case DecodeFault::kBadMagic:
+      return "bad-magic";
+    case DecodeFault::kUnsupportedVersion:
+      return "unsupported-version";
+    case DecodeFault::kUnknownType:
+      return "unknown-type";
+    case DecodeFault::kLengthMismatch:
+      return "length-mismatch";
+    case DecodeFault::kMalformedPayload:
+      return "malformed-payload";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> seal(MsgType type,
+                               std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ChainBlock& m) {
+  return chain::serialize_block(m.block);
+}
+
+std::vector<std::uint8_t> seal(const Message& m) {
+  return std::visit([](const auto& alt) { return seal(alt); }, m);
+}
+
+namespace {
+
+std::string to_hex(std::uint32_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    const auto nibble = (v >> shift) & 0xF;
+    if (nibble != 0 || started || shift == 0) {
+      out.push_back(kDigits[nibble]);
+      started = true;
+    }
+  }
+  return out;
+}
+
+/// Validated header fields plus a view of the payload (no copy).
+struct HeaderView {
+  std::uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kRegisterRequest;
+  std::span<const std::uint8_t> payload;
+};
+
+Result<HeaderView> parse_header(std::span<const std::uint8_t> frame) {
+  util::ByteReader r{frame};
+  const auto magic = r.try_u16();
+  const auto version = r.try_u8();
+  const auto type = r.try_u8();
+  const auto length = r.try_u32();
+  if (!magic || !version || !type || !length) {
+    return DecodeFailure{DecodeFault::kTruncatedHeader,
+                         "frame of " + std::to_string(frame.size()) +
+                             " bytes is shorter than the header"};
+  }
+  if (*magic != kMagic) {
+    return DecodeFailure{DecodeFault::kBadMagic, "magic " + to_hex(*magic)};
+  }
+  if (*version > kProtocolVersion) {
+    return DecodeFailure{DecodeFault::kUnsupportedVersion,
+                         "version " + std::to_string(*version) +
+                             " > supported " +
+                             std::to_string(kProtocolVersion)};
+  }
+  if (!is_known_msg_type(*type)) {
+    return DecodeFailure{DecodeFault::kUnknownType, "type " + to_hex(*type)};
+  }
+  if (*length != r.remaining()) {
+    return DecodeFailure{DecodeFault::kLengthMismatch,
+                         "declared " + std::to_string(*length) +
+                             " payload bytes, " +
+                             std::to_string(r.remaining()) + " present"};
+  }
+  HeaderView view;
+  view.version = *version;
+  view.type = static_cast<MsgType>(*type);
+  view.payload = frame.subspan(kHeaderSize);
+  return view;
+}
+
+}  // namespace
+
+Result<Envelope> open(std::span<const std::uint8_t> frame) {
+  Result<HeaderView> parsed = parse_header(frame);
+  if (!parsed) {
+    return parsed.failure();
+  }
+  Envelope env;
+  env.version = parsed.value().version;
+  env.type = parsed.value().type;
+  env.payload.assign(parsed.value().payload.begin(),
+                     parsed.value().payload.end());
+  return env;
+}
+
+namespace {
+
+/// Runs a throwing payload codec, mapping any failure to a typed error.
+template <typename Decode>
+Result<Message> decode_payload(MsgType type, Decode&& decode) {
+  try {
+    return Message{decode()};
+  } catch (const std::exception& e) {
+    return DecodeFailure{DecodeFault::kMalformedPayload,
+                         std::string(wire_name(type)) + ": " + e.what()};
+  }
+}
+
+}  // namespace
+
+Result<Message> decode_any(std::span<const std::uint8_t> frame) {
+  Result<HeaderView> parsed = parse_header(frame);
+  if (!parsed) {
+    return parsed.failure();
+  }
+  const HeaderView& env = parsed.value();
+  const std::span<const std::uint8_t> p = env.payload;
+  switch (env.type) {
+    case MsgType::kRegisterRequest:
+      return decode_payload(env.type,
+                            [&] { return decode_register_request(p); });
+    case MsgType::kReport:
+      return decode_payload(env.type, [&] { return decode_report(p); });
+    case MsgType::kCtrl:
+      return decode_payload(env.type, [&] { return decode_ctrl(p); });
+    case MsgType::kBeacon:
+      return decode_payload(env.type, [&] { return decode_beacon(p); });
+    case MsgType::kVerifyDeviceQuery:
+      return decode_payload(env.type, [&] { return decode_verify_query(p); });
+    case MsgType::kVerifyDeviceResponse:
+      return decode_payload(env.type,
+                            [&] { return decode_verify_response(p); });
+    case MsgType::kRoamRecords:
+      return decode_payload(env.type, [&] { return decode_roam_records(p); });
+    case MsgType::kTransferMembership:
+      return decode_payload(env.type, [&] { return decode_transfer(p); });
+    case MsgType::kRemoveDevice:
+      return decode_payload(env.type, [&] { return decode_remove(p); });
+    case MsgType::kChainBlock:
+      return decode_payload(env.type, [&] {
+        return ChainBlock{chain::deserialize_block(p)};
+      });
+  }
+  return DecodeFailure{DecodeFault::kUnknownType, "unreachable"};
+}
+
+Result<Message> decode_any(const std::vector<std::uint8_t>& frame) {
+  return decode_any(std::span<const std::uint8_t>(frame.data(), frame.size()));
+}
+
+std::string topic_register(const DeviceId& id) {
+  return std::string(kTopicRegisterPrefix) + id;
+}
+std::string topic_report(const DeviceId& id) {
+  return std::string(kTopicReportPrefix) + id;
+}
+std::string topic_ctrl(const DeviceId& id) {
+  return std::string(kTopicCtrlPrefix) + id;
+}
+
+}  // namespace emon::core::protocol

@@ -1,0 +1,223 @@
+#pragma once
+// The unified wire protocol: every device<->aggregator and aggregator<->
+// aggregator message travels as one versioned, self-describing frame
+//
+//   offset 0  u16  magic            0x4D45 ("EM", little-endian)
+//   offset 2  u8   protocol version kProtocolVersion
+//   offset 3  u8   message type     MsgType
+//   offset 4  u32  payload length   bytes following the header
+//   offset 8  ...  payload          per-type body (messages.hpp codecs)
+//
+// `seal()` wraps a typed message into a frame; `decode_any()` parses a frame
+// into a `Message` variant or a typed `DecodeFailure` — malformed input
+// (truncated, corrupted, bad magic, future version) always yields an error
+// value, never undefined behaviour and never an uncaught exception.  Callers
+// dispatch with `std::visit` (see `Overload`) instead of switching on topic
+// or kind strings.
+//
+// This header is also the single home of the MQTT topic map and the legacy
+// backhaul kind names (now just the MsgType's wire name, kept for logs and
+// trace series).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "core/messages.hpp"
+
+namespace emon::core::protocol {
+
+// -- Frame constants ----------------------------------------------------------
+
+inline constexpr std::uint16_t kMagic = 0x4D45;  // "EM"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// magic(2) + version(1) + type(1) + payload length(4).
+inline constexpr std::size_t kHeaderSize = 8;
+
+// -- Message types ------------------------------------------------------------
+
+enum class MsgType : std::uint8_t {
+  // Device -> aggregator (MQTT uplink).
+  kRegisterRequest = 0x01,
+  kReport = 0x02,
+  // Aggregator -> device (MQTT downlink).
+  kCtrl = 0x03,
+  kBeacon = 0x04,
+  // Aggregator <-> aggregator (backhaul).
+  kVerifyDeviceQuery = 0x10,
+  kVerifyDeviceResponse = 0x11,
+  kRoamRecords = 0x12,
+  kTransferMembership = 0x13,
+  kRemoveDevice = 0x14,
+  kChainBlock = 0x20,
+};
+
+/// Stable wire name (the former backhaul `kind` strings), for logs/traces.
+[[nodiscard]] std::string_view wire_name(MsgType t) noexcept;
+
+/// True if `raw` is a defined MsgType value.
+[[nodiscard]] bool is_known_msg_type(std::uint8_t raw) noexcept;
+
+/// Permissioned-chain block replication (was backhaul kind "chain_block").
+struct ChainBlock {
+  chain::Block block;
+};
+
+/// The closed set of protocol messages.  Everything on the wire is exactly
+/// one of these.
+using Message =
+    std::variant<RegisterRequest, Report, CtrlMessage, Beacon,
+                 VerifyDeviceQuery, VerifyDeviceResponse, RoamRecords,
+                 TransferMembership, RemoveDevice, ChainBlock>;
+
+/// Compile-time MsgType of a message struct.  The primary template fails to
+/// compile, so a message added to `Message` without a mapping is a build
+/// error, not a frame with a zero type byte.
+template <typename M>
+inline constexpr MsgType kMsgTypeFor = [] {
+  static_assert(sizeof(M) == 0, "no MsgType mapping for this message type");
+  return MsgType{};
+}();
+template <>
+inline constexpr MsgType kMsgTypeFor<RegisterRequest> =
+    MsgType::kRegisterRequest;
+template <>
+inline constexpr MsgType kMsgTypeFor<Report> = MsgType::kReport;
+template <>
+inline constexpr MsgType kMsgTypeFor<CtrlMessage> = MsgType::kCtrl;
+template <>
+inline constexpr MsgType kMsgTypeFor<Beacon> = MsgType::kBeacon;
+template <>
+inline constexpr MsgType kMsgTypeFor<VerifyDeviceQuery> =
+    MsgType::kVerifyDeviceQuery;
+template <>
+inline constexpr MsgType kMsgTypeFor<VerifyDeviceResponse> =
+    MsgType::kVerifyDeviceResponse;
+template <>
+inline constexpr MsgType kMsgTypeFor<RoamRecords> = MsgType::kRoamRecords;
+template <>
+inline constexpr MsgType kMsgTypeFor<TransferMembership> =
+    MsgType::kTransferMembership;
+template <>
+inline constexpr MsgType kMsgTypeFor<RemoveDevice> = MsgType::kRemoveDevice;
+template <>
+inline constexpr MsgType kMsgTypeFor<ChainBlock> = MsgType::kChainBlock;
+
+/// Runtime MsgType of a Message variant.
+[[nodiscard]] MsgType msg_type_of(const Message& m) noexcept;
+
+/// Wire name of a message struct instance — for the generic fallback arm of
+/// a visitor, where only the deduced type identifies the message.
+template <typename M>
+[[nodiscard]] std::string_view wire_name_of(const M&) noexcept {
+  return wire_name(kMsgTypeFor<std::decay_t<M>>);
+}
+
+// -- Decode errors ------------------------------------------------------------
+
+enum class DecodeFault : std::uint8_t {
+  kTruncatedHeader,      // fewer than kHeaderSize bytes
+  kBadMagic,             // first two bytes are not kMagic
+  kUnsupportedVersion,   // version newer than kProtocolVersion
+  kUnknownType,          // type byte outside the MsgType enum
+  kLengthMismatch,       // declared payload length != bytes present
+  kMalformedPayload,     // header fine, body failed its codec
+};
+
+[[nodiscard]] const char* to_string(DecodeFault f) noexcept;
+
+struct DecodeFailure {
+  DecodeFault fault = DecodeFault::kMalformedPayload;
+  std::string detail;
+};
+
+/// Minimal expected-or-error: a decode either yields T or a DecodeFailure.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT implicit
+  Result(DecodeFailure failure) : v_(std::move(failure)) {} // NOLINT implicit
+
+  [[nodiscard]] bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() { return std::get<0>(v_); }
+  [[nodiscard]] const T& value() const { return std::get<0>(v_); }
+  [[nodiscard]] const DecodeFailure& failure() const { return std::get<1>(v_); }
+
+ private:
+  std::variant<T, DecodeFailure> v_;
+};
+
+// -- Envelope -----------------------------------------------------------------
+
+/// A parsed frame header plus its (still encoded) payload.
+struct Envelope {
+  std::uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kRegisterRequest;
+  std::vector<std::uint8_t> payload;
+
+  /// Total frame size this envelope seals to.
+  [[nodiscard]] std::size_t frame_size() const noexcept {
+    return kHeaderSize + payload.size();
+  }
+};
+
+/// Frames a payload: header + body bytes.
+[[nodiscard]] std::vector<std::uint8_t> seal(
+    MsgType type, std::span<const std::uint8_t> payload);
+
+/// Frames a typed message (encodes the body, then seals it).
+[[nodiscard]] std::vector<std::uint8_t> seal(const Message& m);
+template <typename M>
+[[nodiscard]] std::vector<std::uint8_t> seal(const M& m) {
+  return seal(kMsgTypeFor<M>, encode(m));
+}
+[[nodiscard]] std::vector<std::uint8_t> encode(const ChainBlock& m);
+
+/// Header-only parse: validates magic/version/type/length and hands back the
+/// envelope without decoding the body.  Never throws.
+[[nodiscard]] Result<Envelope> open(std::span<const std::uint8_t> frame);
+
+/// Full parse: open() + per-type payload decode.  Never throws.
+[[nodiscard]] Result<Message> decode_any(std::span<const std::uint8_t> frame);
+[[nodiscard]] Result<Message> decode_any(
+    const std::vector<std::uint8_t>& frame);
+
+// -- Dispatch -----------------------------------------------------------------
+
+/// Lambda-overload set for `std::visit` over `Message`:
+///   std::visit(Overload{
+///       [&](const Report& r) { ... },
+///       [&](const auto& other) { ... fallback ... },
+///   }, message);
+template <class... Fs>
+struct Overload : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overload(Fs...) -> Overload<Fs...>;
+
+// -- Topic map (device<->aggregator, MQTT) ------------------------------------
+//
+// The one home of every topic string in the system; nothing else spells
+// "emon/..." out by hand.
+
+inline constexpr std::string_view kTopicRegisterPrefix = "emon/register/";
+inline constexpr std::string_view kTopicReportPrefix = "emon/report/";
+inline constexpr std::string_view kTopicCtrlPrefix = "emon/ctrl/";
+inline constexpr std::string_view kTopicBeacon = "emon/beacon";
+
+/// Aggregator-side subscription filters.
+inline constexpr std::string_view kFilterRegister = "emon/register/+";
+inline constexpr std::string_view kFilterReport = "emon/report/+";
+
+[[nodiscard]] std::string topic_register(const DeviceId& id);
+[[nodiscard]] std::string topic_report(const DeviceId& id);
+[[nodiscard]] std::string topic_ctrl(const DeviceId& id);
+
+}  // namespace emon::core::protocol

@@ -33,6 +33,9 @@ Testbed::Testbed(ScenarioParams params)
   if (!params_.load_factory) {
     params_.load_factory = default_device_load;
   }
+  // Wire-level byte accounting for the inter-aggregator mesh; aggregators
+  // and devices bind their own MQTT transports in their constructors.
+  backhaul_.bind_trace(&trace_, "wire.backhaul");
 
   // Grids + access points.
   for (std::size_t n = 0; n < params_.networks; ++n) {

@@ -7,6 +7,11 @@
 
 namespace emon::net {
 
+namespace {
+/// Per-hop link-layer framing charged on top of the envelope bytes.
+constexpr std::uint64_t kHopOverheadBytes = 64;
+}  // namespace
+
 Backhaul::Backhaul(sim::Kernel& kernel, util::Rng rng)
     : kernel_(kernel), rng_(rng) {}
 
@@ -87,32 +92,45 @@ std::vector<std::string> Backhaul::nodes() const {
   return out;
 }
 
-bool Backhaul::send(BackhaulMessage message) {
-  auto path = route(message.from, message.to);
+bool Backhaul::send(Frame frame, AckFn on_ack) {
+  auto path = route(frame.from, frame.to);
   if (!path || path->empty()) {
+    note_dropped();
+    if (on_ack) {
+      on_ack(false);
+    }
     return false;
   }
-  ++sent_;
+  note_sent(kernel_.now(), frame.bytes.size());
   // Drop the source node; what remains is the hop sequence to traverse.
   path->erase(path->begin());
-  forward(message, std::move(*path));
+  forward(std::move(frame), std::move(on_ack), std::move(*path));
   return true;
 }
 
-void Backhaul::forward(const BackhaulMessage& message,
+void Backhaul::deliver(const Frame& frame) {
+  note_delivered(kernel_.now(), frame.bytes.size());
+  nodes_.at(frame.to).handler(frame);
+}
+
+void Backhaul::forward(Frame frame, AckFn on_ack,
                        std::vector<std::string> remaining_path) {
-  // Hop-by-hop store-and-forward: each hop charges its channel's delay,
-  // then the next node either delivers or forwards further.
+  // Hop-by-hop store-and-forward: each hop charges its channel's delay for
+  // the full frame (envelope header included — protocol overhead is part of
+  // the latency model), then the next node delivers or forwards further.
   struct Stepper : std::enable_shared_from_this<Stepper> {
     Backhaul* self;
-    BackhaulMessage message;
+    Frame frame;
+    AckFn on_ack;
     std::vector<std::string> path;  // nodes still to visit; back() == dest
     std::size_t next_index = 0;
 
     void step(const std::string& at) {
       if (next_index >= path.size()) {
-        ++self->delivered_;
-        self->nodes_.at(at).handler(message);
+        self->deliver(frame);
+        if (on_ack) {
+          on_ack(true);
+        }
         return;
       }
       const std::string next = path[next_index];
@@ -122,29 +140,43 @@ void Backhaul::forward(const BackhaulMessage& message,
           std::find_if(node.links.begin(), node.links.end(),
                        [&next](const Link& l) { return l.peer == next; });
       if (link_it == node.links.end()) {
-        return;  // route invalidated mid-flight: drop
+        // Route invalidated mid-flight: drop.
+        self->note_dropped();
+        if (on_ack) {
+          on_ack(false);
+        }
+        return;
       }
       auto keep_alive = shared_from_this();
-      link_it->channel->send(message.payload.size() + 64,
-                             [keep_alive, next](std::uint64_t) {
-                               keep_alive->step(next);
-                             });
+      const bool sent = link_it->channel->send(
+          frame.bytes.size() + kHopOverheadBytes,
+          [keep_alive, next](std::uint64_t) { keep_alive->step(next); });
+      if (!sent) {
+        // Channel-level drop (loss or closed link): the frame is gone.
+        self->note_dropped();
+        if (on_ack) {
+          on_ack(false);
+        }
+      }
     }
   };
 
   auto stepper = std::make_shared<Stepper>();
   stepper->self = this;
-  stepper->message = message;
+  stepper->frame = std::move(frame);
+  stepper->on_ack = std::move(on_ack);
   stepper->path = std::move(remaining_path);
   if (stepper->path.empty()) {
     // Self-send: deliver asynchronously with zero transport cost.
-    kernel_.schedule_in(sim::Duration{0}, [this, message] {
-      ++delivered_;
-      nodes_.at(message.to).handler(message);
+    kernel_.schedule_in(sim::Duration{0}, [stepper] {
+      stepper->self->deliver(stepper->frame);
+      if (stepper->on_ack) {
+        stepper->on_ack(true);
+      }
     });
     return;
   }
-  stepper->step(message.from);
+  stepper->step(stepper->frame.from);
 }
 
 }  // namespace emon::net

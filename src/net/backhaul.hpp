@@ -17,23 +17,19 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/transport.hpp"
 #include "sim/kernel.hpp"
 #include "util/rng.hpp"
 
 namespace emon::net {
 
-/// A datagram handed to a backhaul endpoint.
-struct BackhaulMessage {
-  std::string from;
-  std::string to;
-  std::string kind;  // application-level discriminator
-  std::vector<std::uint8_t> payload;
-};
-
-/// The mesh.  Nodes register a receive handler; links are added pairwise.
-class Backhaul {
+/// The mesh, as a Transport whose addresses are node ids.  Nodes register a
+/// receive handler; links are added pairwise.  Frames carry sealed protocol
+/// envelopes — the MsgType inside the envelope replaces the old per-message
+/// `kind` string.
+class Backhaul : public Transport {
  public:
-  using Handler = std::function<void(const BackhaulMessage&)>;
+  using Handler = Transport::Handler;
 
   Backhaul(sim::Kernel& kernel, util::Rng rng);
 
@@ -44,10 +40,16 @@ class Backhaul {
   void add_link(const std::string& a, const std::string& b,
                 ChannelParams params);
 
-  /// Sends a message; it is routed over the min-latency path and delivered
-  /// to the destination's handler after the cumulative hop delays.
-  /// Returns false if no route exists (message dropped).
-  bool send(BackhaulMessage message);
+  /// Sends a frame; it is routed over the min-latency path and delivered to
+  /// the destination's handler after the cumulative hop delays.  `on_ack`
+  /// fires true at delivery, false if no route exists or the route breaks
+  /// mid-flight.  Returns false when unroutable (frame dropped).
+  bool send(Frame frame, AckFn on_ack) override;
+  using Transport::send;
+
+  [[nodiscard]] std::string transport_name() const override {
+    return "backhaul";
+  }
 
   /// Min-latency route between two nodes (node ids, inclusive), or nullopt.
   [[nodiscard]] std::optional<std::vector<std::string>> route(
@@ -58,9 +60,11 @@ class Backhaul {
   }
   /// Ids of all registered nodes (for broadcast fan-out).
   [[nodiscard]] std::vector<std::string> nodes() const;
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return transport_stats().frames_sent;
+  }
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
-    return delivered_;
+    return transport_stats().frames_delivered;
   }
 
  private:
@@ -74,14 +78,13 @@ class Backhaul {
     std::vector<Link> links;
   };
 
-  void forward(const BackhaulMessage& message,
+  void deliver(const Frame& frame);
+  void forward(Frame frame, AckFn on_ack,
                std::vector<std::string> remaining_path);
 
   sim::Kernel& kernel_;
   util::Rng rng_;
   std::map<std::string, Node> nodes_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
 };
 
 }  // namespace emon::net

@@ -5,6 +5,26 @@ namespace emon::net {
 Channel::Channel(sim::Kernel& kernel, ChannelParams params, util::Rng rng)
     : kernel_(kernel), params_(params), rng_(rng) {}
 
+Channel::~Channel() { *alive_ = false; }
+
+void Channel::schedule_delivery(sim::SimTime deliver_at, std::uint64_t bytes,
+                                DeliverFn on_deliver) {
+  // A channel can be destroyed while datagrams are in flight (a roaming
+  // device drops its Wi-Fi association): the delivery still fires — the
+  // packet already left the radio — but must not touch the dead channel's
+  // counters, hence the shared liveness token instead of a bare `this`.
+  kernel_.schedule_at(
+      deliver_at,
+      [self = this, alive = alive_, bytes, cb = std::move(on_deliver)] {
+        if (*alive) {
+          ++self->delivered_;
+        }
+        if (cb) {
+          cb(bytes);
+        }
+      });
+}
+
 sim::Duration Channel::sample_delay(std::uint64_t bytes) {
   sim::Duration delay = params_.base_latency;
   if (params_.jitter > sim::Duration{0}) {
@@ -39,12 +59,7 @@ bool Channel::send_reliable(std::uint64_t bytes, DeliverFn on_deliver) {
     deliver_at = last_delivery_;
   }
   last_delivery_ = deliver_at;
-  kernel_.schedule_at(deliver_at, [this, bytes, cb = std::move(on_deliver)] {
-    ++delivered_;
-    if (cb) {
-      cb(bytes);
-    }
-  });
+  schedule_delivery(deliver_at, bytes, std::move(on_deliver));
   return true;
 }
 
@@ -64,12 +79,7 @@ bool Channel::send(std::uint64_t bytes, DeliverFn on_deliver) {
     deliver_at = last_delivery_;  // FIFO: no overtaking on one stream
   }
   last_delivery_ = deliver_at;
-  kernel_.schedule_at(deliver_at, [this, bytes, cb = std::move(on_deliver)] {
-    ++delivered_;
-    if (cb) {
-      cb(bytes);
-    }
-  });
+  schedule_delivery(deliver_at, bytes, std::move(on_deliver));
   return true;
 }
 

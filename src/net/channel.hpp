@@ -36,6 +36,10 @@ class Channel {
   using DeliverFn = std::function<void(std::uint64_t bytes)>;
 
   Channel(sim::Kernel& kernel, ChannelParams params, util::Rng rng);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
   /// Sends `bytes` and schedules `on_deliver` at the receive instant.
   /// Returns false if the datagram was dropped (closed channel or loss).
@@ -63,9 +67,15 @@ class Channel {
   [[nodiscard]] sim::Duration sample_delay(std::uint64_t bytes);
 
  private:
+  void schedule_delivery(sim::SimTime deliver_at, std::uint64_t bytes,
+                         DeliverFn on_deliver);
+
   sim::Kernel& kernel_;
   ChannelParams params_;
   util::Rng rng_;
+  /// Cleared by the destructor; guards in-flight delivery events against
+  /// touching a destroyed channel (the event may outlive the object).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool open_ = true;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;

@@ -57,6 +57,18 @@ std::uint64_t publish_wire_size(const MqttMessage& m) noexcept {
 MqttBroker::MqttBroker(sim::Kernel& kernel, std::string broker_id)
     : kernel_(kernel), broker_id_(std::move(broker_id)) {}
 
+bool MqttBroker::send(Frame frame, AckFn on_ack) {
+  // Byte accounting happens per matched subscriber inside dispatch();
+  // counting here as well would double-book broker-originated frames.
+  MqttMessage message{std::move(frame.to), std::move(frame.bytes), frame.qos,
+                      broker_id_};
+  const std::size_t recipients = dispatch(message);
+  if (on_ack) {
+    on_ack(recipients > 0);
+  }
+  return recipients > 0;
+}
+
 void MqttBroker::subscribe_local(std::string filter, LocalHandler handler) {
   if (!handler) {
     throw std::invalid_argument("subscribe_local requires a handler");
@@ -95,6 +107,8 @@ std::size_t MqttBroker::live_sessions() const {
 void MqttBroker::handle_publish(const std::shared_ptr<MqttSession>& session,
                                 MqttMessage message) {
   message.sender = session ? session->client_id : broker_id_;
+  // Frame arrived at the broker host (post-uplink-delay).
+  note_delivered(kernel_.now(), message.payload.size());
   dispatch(message);
 }
 
@@ -110,11 +124,13 @@ void MqttBroker::handle_subscribe(const std::shared_ptr<MqttSession>& session,
   }
 }
 
-void MqttBroker::dispatch(const MqttMessage& message) {
+std::size_t MqttBroker::dispatch(const MqttMessage& message) {
   ++routed_;
+  std::size_t recipients = 0;
   for (const auto& [filter, handler] : local_subs_) {
     if (topic_matches(filter, message.topic)) {
       handler(message);
+      ++recipients;
     }
   }
   // Remote subscribers: deliver over each session's downlink.
@@ -135,6 +151,8 @@ void MqttBroker::dispatch(const MqttMessage& message) {
       }
       if (matches && session->downlink) {
         const std::uint64_t size = publish_wire_size(message);
+        note_sent(kernel_.now(), message.payload.size());
+        ++recipients;
         std::weak_ptr<MqttSession> weak = session;
         session->downlink->send(size, [weak, message](std::uint64_t) {
           if (const auto live = weak.lock(); live && live->on_message) {
@@ -145,6 +163,7 @@ void MqttBroker::dispatch(const MqttMessage& message) {
     }
     ++it;
   }
+  return recipients;
 }
 
 MqttClient::MqttClient(sim::Kernel& kernel, std::string client_id,
@@ -215,6 +234,20 @@ void MqttClient::connect(MqttBroker& broker, std::shared_ptr<Channel> uplink,
     broker_ = nullptr;
     fail();
   }
+}
+
+bool MqttClient::send(Frame frame, AckFn on_ack) {
+  if (!connected_ || !session_ || !session_->uplink) {
+    note_dropped();
+    if (on_ack) {
+      on_ack(false);
+    }
+    return false;
+  }
+  note_sent(kernel_.now(), frame.bytes.size());
+  publish(std::move(frame.to), std::move(frame.bytes), frame.qos,
+          std::move(on_ack));
+  return true;
 }
 
 void MqttClient::publish(std::string topic, std::vector<std::uint8_t> payload,
@@ -323,6 +356,7 @@ void MqttClient::arm_timeout(std::uint16_t packet_id) {
 }
 
 void MqttClient::handle_incoming(const MqttMessage& message) {
+  note_delivered(kernel_.now(), message.payload.size());
   for (const auto& [filter, handler] : handlers_) {
     if (topic_matches(filter, message.topic)) {
       handler(message);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/transport.hpp"
 #include "sim/kernel.hpp"
 #include "sim/timer.hpp"
 
@@ -57,12 +58,22 @@ struct MqttSession {
   std::vector<std::string> filters;
 };
 
-/// The broker (one per aggregator host).
-class MqttBroker {
+/// The broker (one per aggregator host).  As a Transport, `send()`
+/// publishes a sealed envelope from the broker host onto a topic (Frame.to)
+/// — the aggregator's downlink path for ctrl messages and beacons.  The ack
+/// reports whether the publish matched at least one subscriber at dispatch
+/// time; per-subscriber fan-out delivery is not individually confirmed.
+class MqttBroker : public Transport {
  public:
   using LocalHandler = std::function<void(const MqttMessage&)>;
 
   MqttBroker(sim::Kernel& kernel, std::string broker_id);
+
+  bool send(Frame frame, AckFn on_ack) override;
+  using Transport::send;
+  [[nodiscard]] std::string transport_name() const override {
+    return "mqtt-broker:" + broker_id_;
+  }
 
   /// Subscribes a colocated consumer (the aggregator process): no
   /// transport delay, no session.
@@ -96,7 +107,9 @@ class MqttBroker {
   }
 
  private:
-  void dispatch(const MqttMessage& message);
+  /// Routes to local handlers and matching sessions; returns how many
+  /// recipients the message reached (handlers + scheduled downlink sends).
+  std::size_t dispatch(const MqttMessage& message);
 
   sim::Kernel& kernel_;
   std::string broker_id_;
@@ -112,8 +125,10 @@ struct MqttClientParams {
   int max_attempts = 3;
 };
 
-/// A device-side MQTT client.
-class MqttClient {
+/// A device-side MQTT client.  As a Transport, `send()` publishes a sealed
+/// envelope onto a topic (Frame.to) with the frame's QoS; the ack callback
+/// maps to PUBACK for QoS 1.
+class MqttClient : public Transport {
  public:
   using ConnectCallback = std::function<void(bool)>;
   using AckCallback = std::function<void(bool acked)>;
@@ -125,6 +140,14 @@ class MqttClient {
 
   MqttClient(const MqttClient&) = delete;
   MqttClient& operator=(const MqttClient&) = delete;
+
+  /// Transport entry point: publishes `frame.bytes` on topic `frame.to`
+  /// with `frame.qos`.  Returns false (acking false) when not connected.
+  bool send(Frame frame, AckFn on_ack) override;
+  using Transport::send;
+  [[nodiscard]] std::string transport_name() const override {
+    return "mqtt:" + client_id_;
+  }
 
   /// Connects to `broker` through the given channels (the current Wi-Fi
   /// association).  CONNECT/CONNACK round trip; `on_done(true)` on success.

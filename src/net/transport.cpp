@@ -1,0 +1,30 @@
+#include "net/transport.hpp"
+
+#include "sim/trace.hpp"
+
+namespace emon::net {
+
+void Transport::bind_trace(sim::Trace* trace, std::string series_prefix) {
+  trace_ = trace;
+  trace_prefix_ = std::move(series_prefix);
+}
+
+void Transport::note_sent(sim::SimTime now, std::size_t bytes) {
+  ++tstats_.frames_sent;
+  tstats_.bytes_sent += bytes;
+  if (trace_ != nullptr) {
+    trace_->append(trace_prefix_ + ".tx_bytes", now,
+                   static_cast<double>(bytes));
+  }
+}
+
+void Transport::note_delivered(sim::SimTime now, std::size_t bytes) {
+  ++tstats_.frames_delivered;
+  tstats_.bytes_delivered += bytes;
+  if (trace_ != nullptr) {
+    trace_->append(trace_prefix_ + ".rx_bytes", now,
+                   static_cast<double>(bytes));
+  }
+}
+
+}  // namespace emon::net

@@ -1,0 +1,87 @@
+#pragma once
+// Pluggable frame transport.
+//
+// Everything that moves protocol envelopes — the MQTT client/broker pair on
+// the device<->aggregator path and the inter-aggregator backhaul — speaks
+// this one interface.  Applications hand a sealed envelope to `send()` and
+// receive whole frames back; the transport owns addressing (topic or node
+// id), delivery scheduling and loss, and accounts every frame's byte size
+// so protocol overhead shows up in transport stats and trace series.
+//
+// Today's implementations are in-process simulation loopbacks riding
+// `Channel`s; a socket or multi-process backend drops in by implementing
+// `send()` against the same Frame contract.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emon::sim {
+class Trace;
+}  // namespace emon::sim
+
+namespace emon::net {
+
+/// One protocol envelope in flight between two endpoints.  `to` is a
+/// transport-level address: an MQTT topic on the pub/sub path, a node id on
+/// the backhaul.  `bytes` is a sealed protocol::Envelope frame.
+struct Frame {
+  std::string from;
+  std::string to;
+  std::vector<std::uint8_t> bytes;
+  /// Delivery-effort hint: 0 = fire-and-forget, 1 = acknowledged
+  /// (MQTT QoS semantics; transports without acks treat 1 as 0).
+  std::uint8_t qos = 0;
+};
+
+/// Frame/byte accounting every transport keeps, envelope overhead included.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Frame&)>;
+  /// `delivered` is transport-level: the frame was handed to the receiving
+  /// endpoint (or positively acknowledged), not merely serialized.  Pub/sub
+  /// transports with fan-out ack at dispatch time — true means the frame
+  /// matched at least one subscriber, not that every copy arrived.
+  using AckFn = std::function<void(bool delivered)>;
+
+  virtual ~Transport() = default;
+
+  /// Queues a frame for delivery.  Returns false (and fires `on_ack(false)`
+  /// if provided) when the frame is unroutable or refused at send time.
+  virtual bool send(Frame frame, AckFn on_ack) = 0;
+  bool send(Frame frame) { return send(std::move(frame), nullptr); }
+
+  /// Human-readable identity for logs ("backhaul", "mqtt:dev-1", ...).
+  [[nodiscard]] virtual std::string transport_name() const = 0;
+
+  [[nodiscard]] const TransportStats& transport_stats() const noexcept {
+    return tstats_;
+  }
+
+  /// Mirrors tx/rx frame sizes into `<prefix>.tx_bytes` / `<prefix>.rx_bytes`
+  /// trace series so wire overhead lands next to the latency data.
+  void bind_trace(sim::Trace* trace, std::string series_prefix);
+
+ protected:
+  void note_sent(sim::SimTime now, std::size_t bytes);
+  void note_delivered(sim::SimTime now, std::size_t bytes);
+  void note_dropped() noexcept { ++tstats_.frames_dropped; }
+
+ private:
+  TransportStats tstats_;
+  sim::Trace* trace_ = nullptr;
+  std::string trace_prefix_;
+};
+
+}  // namespace emon::net

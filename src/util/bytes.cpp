@@ -91,6 +91,9 @@ double ByteReader::f64() {
 std::string ByteReader::str() {
   const std::uint32_t n = u32();
   require(n);
+  if (n == 0) {
+    return {};  // data() may be null on an empty span; don't touch it
+  }
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return s;
@@ -98,11 +101,69 @@ std::string ByteReader::str() {
 
 std::vector<std::uint8_t> ByteReader::raw(std::size_t n) {
   require(n);
+  if (n == 0) {
+    return {};
+  }
   std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                 data_.begin() +
                                     static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
+}
+
+std::optional<std::uint8_t> ByteReader::try_u8() noexcept {
+  if (remaining() < 1) {
+    return std::nullopt;
+  }
+  return u8();
+}
+
+std::optional<std::uint16_t> ByteReader::try_u16() noexcept {
+  if (remaining() < 2) {
+    return std::nullopt;
+  }
+  return u16();
+}
+
+std::optional<std::uint32_t> ByteReader::try_u32() noexcept {
+  if (remaining() < 4) {
+    return std::nullopt;
+  }
+  return u32();
+}
+
+std::optional<std::uint64_t> ByteReader::try_u64() noexcept {
+  if (remaining() < 8) {
+    return std::nullopt;
+  }
+  return u64();
+}
+
+std::optional<std::string> ByteReader::try_str() {
+  // The length prefix and the body must both fit; otherwise leave the
+  // position where it was so the caller sees a consistent reader.
+  if (remaining() < 4) {
+    return std::nullopt;
+  }
+  const std::size_t mark = pos_;
+  const std::uint32_t n = u32();
+  if (remaining() < n) {
+    pos_ = mark;
+    return std::nullopt;
+  }
+  if (n == 0) {
+    return std::string{};
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::optional<std::vector<std::uint8_t>> ByteReader::try_raw(std::size_t n) {
+  if (remaining() < n) {
+    return std::nullopt;
+  }
+  return raw(n);
 }
 
 }  // namespace emon::util

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -50,8 +51,11 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Reads back the `ByteWriter` format.  All methods throw `DecodeError` on
-/// truncation rather than returning garbage.
+/// Reads back the `ByteWriter` format.  All throwing methods raise
+/// `DecodeError` on truncation rather than returning garbage; the `try_*`
+/// family instead returns `std::nullopt`, leaving the read position
+/// untouched, so frame parsers can surface recoverable decode errors
+/// without exception control flow.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) noexcept
@@ -65,6 +69,16 @@ class ByteReader {
   [[nodiscard]] double f64();
   [[nodiscard]] std::string str();
   [[nodiscard]] std::vector<std::uint8_t> raw(std::size_t n);
+
+  // Non-throwing variants.  On truncation they return nullopt and do not
+  // advance, so the caller can report the error and stop cleanly.
+  [[nodiscard]] std::optional<std::uint8_t> try_u8() noexcept;
+  [[nodiscard]] std::optional<std::uint16_t> try_u16() noexcept;
+  [[nodiscard]] std::optional<std::uint32_t> try_u32() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> try_u64() noexcept;
+  [[nodiscard]] std::optional<std::string> try_str();
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> try_raw(
+      std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;

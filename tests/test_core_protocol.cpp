@@ -1,429 +1,322 @@
-// Integration tests of the registration / reporting / mobility protocol
-// (Figure 3) running on the fully wired testbed: device firmware +
-// aggregator + MQTT + Wi-Fi + grid + chain, all on the event kernel.
+// Unit tests for the unified wire protocol (core/protocol.hpp): envelope
+// framing, round-trips for every message type through seal()/decode_any(),
+// and adversarial malformed-frame handling — truncation at every byte
+// boundary, bad magic, future versions, unknown types, length mismatches
+// and corrupted payloads must all yield typed decode errors, never crashes
+// or uncaught exceptions.
 
 #include <gtest/gtest.h>
 
-#include "core/mobility.hpp"
-#include "core/scenario.hpp"
+#include <cstdint>
+#include <span>
+#include <vector>
 
-namespace emon::core {
+#include "chain/ledger.hpp"
+#include "core/protocol.hpp"
+#include "util/bytes.hpp"
+
+namespace emon::core::protocol {
 namespace {
 
-using sim::milliseconds;
-using sim::seconds;
-using sim::SimTime;
+ConsumptionRecord sample_record(std::uint64_t seq) {
+  ConsumptionRecord r;
+  r.device_id = "dev-1";
+  r.sequence = seq;
+  r.timestamp_ns = 123456789;
+  r.interval_ns = 100000000;
+  r.current_ma = 42.5;
+  r.bus_voltage_mv = 4987.0;
+  r.energy_mwh = 0.0123;
+  r.network = "wan-1";
+  r.membership = MembershipKind::kTemporary;
+  r.stored_offline = true;
+  return r;
+}
 
-ScenarioParams two_by_two(std::uint64_t seed = 42) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = seed;
-  return params;
+template <typename M>
+M roundtrip(const M& m) {
+  const auto frame = seal(m);
+  auto decoded = decode_any(frame);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(msg_type_of(decoded.value()), kMsgTypeFor<M>);
+  return std::get<M>(decoded.value());
 }
 
 // ---------------------------------------------------------------------------
-// Sequence 1: membership registration
+// Envelope framing
 // ---------------------------------------------------------------------------
 
-TEST(Protocol, DevicesRegisterAtHome) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(10));
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    auto& dev = bed.device(i);
-    EXPECT_EQ(dev.state(), DeviceState::kReporting) << dev.id();
-    EXPECT_EQ(dev.membership(), MembershipKind::kHome) << dev.id();
-    EXPECT_EQ(dev.master_addr(),
-              bed.aggregator(bed.home_of(i)).id())
-        << dev.id();
-  }
-  EXPECT_EQ(bed.aggregator(0).members().size(), 2u);
-  EXPECT_EQ(bed.aggregator(1).members().size(), 2u);
-  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, 2u);
+TEST(Envelope, HeaderLayout) {
+  const std::vector<std::uint8_t> payload{0xAA, 0xBB};
+  const auto frame =
+      seal(MsgType::kBeacon, std::span<const std::uint8_t>(payload));
+  ASSERT_EQ(frame.size(), kHeaderSize + 2);
+  EXPECT_EQ(frame[0], 0x45);  // 'E' (magic low byte)
+  EXPECT_EQ(frame[1], 0x4D);  // 'M'
+  EXPECT_EQ(frame[2], kProtocolVersion);
+  EXPECT_EQ(frame[3], static_cast<std::uint8_t>(MsgType::kBeacon));
+  EXPECT_EQ(frame[4], 2u);  // payload length, little-endian u32
+  EXPECT_EQ(frame[5], 0u);
+  EXPECT_EQ(frame[8], 0xAA);
+  EXPECT_EQ(frame[9], 0xBB);
 }
 
-TEST(Protocol, InitialHandshakeWithinPaperBand) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(10));
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    const auto& handshakes = bed.device(i).handshakes();
-    ASSERT_EQ(handshakes.size(), 1u);
-    const double t = handshakes[0].duration().to_seconds();
-    EXPECT_GE(t, 5.0) << bed.device(i).id();
-    EXPECT_LE(t, 7.0) << bed.device(i).id();
-  }
+TEST(Envelope, OpenExposesHeaderWithoutBodyDecode) {
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const auto frame =
+      seal(MsgType::kReport, std::span<const std::uint8_t>(payload));
+  auto opened = open(frame);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().version, kProtocolVersion);
+  EXPECT_EQ(opened.value().type, MsgType::kReport);
+  EXPECT_EQ(opened.value().payload, payload);
+  EXPECT_EQ(opened.value().frame_size(), frame.size());
 }
 
-TEST(Protocol, DistinctTdmaSlotsPerNetwork) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(10));
-  for (std::size_t n = 0; n < 2; ++n) {
-    const auto members = bed.aggregator(n).members().all();
-    ASSERT_EQ(members.size(), 2u);
-    EXPECT_NE(members[0]->slot, members[1]->slot);
-  }
+TEST(Envelope, WireNamesAreStable) {
+  EXPECT_EQ(wire_name(MsgType::kVerifyDeviceQuery), "verify_device");
+  EXPECT_EQ(wire_name(MsgType::kVerifyDeviceResponse), "verify_device_resp");
+  EXPECT_EQ(wire_name(MsgType::kRoamRecords), "roam_records");
+  EXPECT_EQ(wire_name(MsgType::kTransferMembership), "transfer_membership");
+  EXPECT_EQ(wire_name(MsgType::kRemoveDevice), "remove_device");
+  EXPECT_EQ(wire_name(MsgType::kChainBlock), "chain_block");
 }
 
 // ---------------------------------------------------------------------------
-// Steady-state reporting
+// Round-trips: every protocol message through the envelope
 // ---------------------------------------------------------------------------
 
-TEST(Protocol, ReportsFlowAtTmeasure) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    const auto& stats = bed.device(i).stats();
-    // ~300 samples in 30 s at 10 Hz; the first ~60 buffered during the
-    // handshake, the rest reported live.
-    EXPECT_GT(stats.samples, 280u);
-    EXPECT_GT(stats.reports_acked, 200u);
-    EXPECT_LE(stats.reports_acked, stats.reports_sent);
-    EXPECT_LE(stats.reports_sent - stats.reports_acked, 2u);  // in flight
-  }
+TEST(RoundTrip, RegisterRequest) {
+  const auto back = roundtrip(RegisterRequest{"dev-1", "agg-2"});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.master_addr, "agg-2");
 }
 
-TEST(Protocol, HandshakeBacklogIsFlushed) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    // Everything buffered during the handshake must reach the aggregator.
-    EXPECT_EQ(bed.device(i).local_store().size(), 0u) << bed.device(i).id();
-  }
-  // Aggregator saw those buffered records flagged stored_offline.
-  EXPECT_GT(bed.aggregator(0).stats().offline_records_accepted, 50u);
+TEST(RoundTrip, Report) {
+  const auto back =
+      roundtrip(Report{"dev-1", {sample_record(1), sample_record(2)}});
+  EXPECT_EQ(back.device_id, "dev-1");
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0], sample_record(1));
+  EXPECT_EQ(back.records[1], sample_record(2));
 }
 
-TEST(Protocol, NoRecordLossInSteadyState) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  for (std::size_t n = 0; n < 2; ++n) {
-    std::uint64_t sampled = 0;
-    for (std::size_t d = 0; d < 2; ++d) {
-      sampled += bed.device(n * 2 + d).stats().samples;
-    }
-    const auto& agg = bed.aggregator(n).stats();
-    // Records at the aggregator + any still in flight/buffered == samples.
-    std::uint64_t buffered = 0;
-    for (std::size_t d = 0; d < 2; ++d) {
-      buffered += bed.device(n * 2 + d).local_store().size();
-    }
-    EXPECT_LE(agg.records_accepted, sampled);
-    EXPECT_GE(agg.records_accepted + buffered + 4 /*in flight*/, sampled);
-  }
+TEST(RoundTrip, CtrlMessage) {
+  CtrlMessage m;
+  m.type = CtrlType::kRegisterAccept;
+  m.device_id = "dev-9";
+  m.assigned_addr = "agg-3";
+  m.membership = MembershipKind::kTemporary;
+  m.slot = 11;
+  m.ack_sequence = 777;
+  m.reason = "ok";
+  const auto back = roundtrip(m);
+  EXPECT_EQ(back.type, CtrlType::kRegisterAccept);
+  EXPECT_EQ(back.device_id, "dev-9");
+  EXPECT_EQ(back.assigned_addr, "agg-3");
+  EXPECT_EQ(back.membership, MembershipKind::kTemporary);
+  EXPECT_EQ(back.slot, 11u);
+  EXPECT_EQ(back.ack_sequence, 777u);
+  EXPECT_EQ(back.reason, "ok");
 }
 
-TEST(Protocol, VerificationWindowsArePredominantlyClean) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(60));
-  for (std::size_t n = 0; n < 2; ++n) {
-    const auto& history = bed.aggregator(n).verification_history();
-    ASSERT_GT(history.size(), 50u);
-    std::size_t anomalous = 0;
-    for (const auto& v : history) {
-      anomalous += v.anomalous ? 1 : 0;
-    }
-    // Only the pre-registration warm-up may flag.
-    EXPECT_LE(anomalous, 8u) << bed.aggregator(n).id();
-    // Steady state (second half) must be entirely clean.
-    for (std::size_t i = history.size() / 2; i < history.size(); ++i) {
-      EXPECT_FALSE(history[i].anomalous) << "window " << i;
-    }
-  }
+TEST(RoundTrip, Beacon) {
+  const auto back = roundtrip(Beacon{"agg-1", 987654321});
+  EXPECT_EQ(back.aggregator_id, "agg-1");
+  EXPECT_EQ(back.master_time_ns, 987654321);
 }
 
-TEST(Protocol, BlocksAccumulateAndChainValidates) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  EXPECT_GT(bed.chain().ledger().size(), 5u);
-  EXPECT_GT(bed.chain().ledger().record_count(), 800u);
-  EXPECT_TRUE(bed.chain().validate().ok);
+TEST(RoundTrip, VerifyDeviceQuery) {
+  const auto back = roundtrip(VerifyDeviceQuery{"dev-1", "agg-2"});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.origin, "agg-2");
 }
 
-TEST(Protocol, ReplicasSyncAcrossBackhaul) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  // Each aggregator's replica mirrors the shared chain (modulo the last
-  // in-flight block).
-  const auto& shared = bed.chain().ledger();
-  for (std::size_t n = 0; n < 2; ++n) {
-    const auto& replica = bed.aggregator(n).replica();
-    // Both writers produce a block on the same timer tick, so up to two
-    // broadcasts can be in flight at the observation instant.
-    EXPECT_GE(replica.size() + 2, shared.size());
-    EXPECT_TRUE(replica.validate().ok);
-    for (std::size_t i = 0; i < replica.size(); ++i) {
-      EXPECT_EQ(replica.at(i).hash, shared.at(i).hash) << "block " << i;
-    }
-  }
+TEST(RoundTrip, VerifyDeviceResponse) {
+  const auto back = roundtrip(VerifyDeviceResponse{"dev-1", true, "agg-1"});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_TRUE(back.known);
+  EXPECT_EQ(back.master, "agg-1");
 }
 
-TEST(Protocol, TimeSyncKeepsClocksAligned) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(120));
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    EXPECT_LT(std::fabs(bed.device(i).rtc().error().to_seconds()), 0.01)
-        << bed.device(i).id();
-  }
+TEST(RoundTrip, RoamRecords) {
+  const auto back =
+      roundtrip(RoamRecords{"dev-1", "agg-2", {sample_record(5)}});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.collector, "agg-2");
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0], sample_record(5));
+}
+
+TEST(RoundTrip, TransferMembership) {
+  const auto back = roundtrip(TransferMembership{"dev-1", "agg-3"});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.new_master, "agg-3");
+}
+
+TEST(RoundTrip, RemoveDevice) {
+  const auto back = roundtrip(RemoveDevice{"dev-1", "lost"});
+  EXPECT_EQ(back.device_id, "dev-1");
+  EXPECT_EQ(back.reason, "lost");
+}
+
+TEST(RoundTrip, ChainBlock) {
+  chain::Ledger ledger;
+  const chain::Block block = ledger.append(
+      {chain::RecordBytes{1, 2, 3}, chain::RecordBytes{4, 5}}, 42, "agg-1");
+  const auto back = roundtrip(ChainBlock{block});
+  EXPECT_EQ(back.block.hash, block.hash);
+  EXPECT_EQ(back.block.header.index, block.header.index);
+  EXPECT_EQ(back.block.records, block.records);
+}
+
+TEST(RoundTrip, MessageVariantSealMatchesTypedSeal) {
+  const Message m = Beacon{"agg-1", 5};
+  EXPECT_EQ(seal(m), seal(Beacon{"agg-1", 5}));
 }
 
 // ---------------------------------------------------------------------------
-// Sequence 2: mobility and temporary membership
+// Malformed frames: typed errors, no crashes, no throws
 // ---------------------------------------------------------------------------
 
-struct RoamingFixture : ::testing::Test {
-  Testbed bed{two_by_two(7)};
-
-  void roam_dev0_to_wan2(sim::Duration transit = seconds(15)) {
-    bed.start();
-    bed.run_for(seconds(20));  // settle at home
-    auto& dev = bed.device(0);
-    ASSERT_EQ(dev.state(), DeviceState::kReporting);
-    dev.move_to(bed.network_name(1),
-                net::Position{bed.network_position(1).x + 2.0, 0.0}, transit);
-  }
-};
-
-TEST_F(RoamingFixture, TemporaryMembershipEstablished) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(40));
-  auto& dev = bed.device(0);
-  EXPECT_EQ(dev.state(), DeviceState::kReporting);
-  EXPECT_EQ(dev.membership(), MembershipKind::kTemporary);
-  EXPECT_EQ(dev.master_addr(), "agg-1");  // home retained
-  EXPECT_EQ(dev.plugged_network(), "wan-2");
-  const MemberEntry* temp = bed.aggregator(1).members().find("dev-1");
-  ASSERT_NE(temp, nullptr);
-  EXPECT_EQ(temp->kind, MembershipKind::kTemporary);
-  EXPECT_EQ(temp->master_addr, "agg-1");
-  // Home membership retained at all times (§II-C).
-  const MemberEntry* home = bed.aggregator(0).members().find("dev-1");
-  ASSERT_NE(home, nullptr);
-  EXPECT_EQ(home->kind, MembershipKind::kHome);
-}
-
-TEST_F(RoamingFixture, NackTriggersTemporaryRegistration) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(40));
-  EXPECT_GE(bed.device(0).stats().nacks_received, 1u);
-  EXPECT_EQ(bed.aggregator(1).stats().registrations_temporary, 1u);
-  EXPECT_EQ(bed.aggregator(0).stats().verify_queries_answered, 1u);
-}
-
-TEST_F(RoamingFixture, RoamHandshakeInPaperBand) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(40));
-  const auto& handshakes = bed.device(0).handshakes();
-  ASSERT_EQ(handshakes.size(), 2u);  // home join + roam
-  const auto& roam = handshakes[1];
-  EXPECT_EQ(roam.membership, MembershipKind::kTemporary);
-  EXPECT_GE(roam.duration().to_seconds(), 5.0);
-  EXPECT_LE(roam.duration().to_seconds(), 7.0);
-}
-
-TEST_F(RoamingFixture, RoamedRecordsForwardedToMaster) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(60));
-  EXPECT_GT(bed.aggregator(1).stats().roam_batches_forwarded, 0u);
-  EXPECT_GT(bed.aggregator(0).stats().roam_records_received, 100u);
-  // Master knows where its device roams.
-  const MemberEntry* home = bed.aggregator(0).members().find("dev-1");
-  ASSERT_NE(home, nullptr);
-  EXPECT_EQ(home->roaming_host, "agg-2");
-}
-
-TEST_F(RoamingFixture, EnergyConservedAcrossRoam) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(60));
-  auto& dev = bed.device(0);
-  const auto invoice = bed.aggregator(0).billing().invoice_for("dev-1");
-  const double metered = util::as_milliwatt_hours(dev.meter().total_energy());
-  // Everything metered ends up billed at home (within in-flight slack).
-  EXPECT_NEAR(invoice.total_energy_mwh, metered, 0.05 * metered + 0.05);
-  // Both networks appear on the bill, wan-2 as roamed.
-  ASSERT_EQ(invoice.lines.size(), 2u);
-  EXPECT_FALSE(invoice.lines[0].roamed);  // wan-1
-  EXPECT_TRUE(invoice.lines[1].roamed);   // wan-2
-}
-
-TEST_F(RoamingFixture, NoConsumptionDuringTransit) {
-  roam_dev0_to_wan2(seconds(15));
-  // In transit the device is unplugged: zero samples, zero state.
-  bed.run_for(seconds(5));
-  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
-  const auto before = bed.device(0).stats().samples;
-  bed.run_for(seconds(5));
-  EXPECT_EQ(bed.device(0).stats().samples, before);  // no sampling unplugged
-}
-
-TEST_F(RoamingFixture, ReturnHomeWithoutReregistration) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(40));
-  auto& dev = bed.device(0);
-  const auto regs_before = bed.aggregator(0).stats().registrations_home;
-  // Ride back home.
-  dev.move_to(bed.network_name(0),
-              net::Position{bed.network_position(0).x + 1.5, 0.0},
-              seconds(10));
-  bed.run_for(seconds(30));
-  EXPECT_EQ(dev.state(), DeviceState::kReporting);
-  EXPECT_EQ(dev.membership(), MembershipKind::kHome);
-  // "A stationary device undergoes a single registration process in its
-  // lifetime" — home rejoin rides the Ack path, not a new registration.
-  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, regs_before);
-}
-
-TEST_F(RoamingFixture, TemporaryMembershipExpiresAfterDeparture) {
-  roam_dev0_to_wan2();
-  bed.run_for(seconds(40));
-  ASSERT_NE(bed.aggregator(1).members().find("dev-1"), nullptr);
-  // Leave wan-2 and stay off-grid past the expiry timeout.
-  bed.device(0).unplug();
-  bed.run_for(seconds(70));  // > temp_member_timeout (30 s) + sweep period
-  EXPECT_EQ(bed.aggregator(1).members().find("dev-1"), nullptr);
-  EXPECT_GE(bed.aggregator(1).stats().memberships_expired, 1u);
-  // Home membership still retained.
-  EXPECT_NE(bed.aggregator(0).members().find("dev-1"), nullptr);
-}
-
-TEST_F(RoamingFixture, MobilityPlanRunsSteps) {
-  bed.start();
-  bed.run_for(seconds(15));
-  MobilityPlan plan{
-      {SimTime{seconds(20).ns()}, bed.network_name(1),
-       net::Position{bed.network_position(1).x + 2.0, 0.0}, seconds(5)},
-      {SimTime{seconds(60).ns()}, bed.network_name(0),
-       net::Position{bed.network_position(0).x + 1.5, 0.0}, seconds(5)},
-  };
-  schedule_plan(bed.kernel(), bed.device(0), plan);
-  bed.run_for(seconds(45));  // t=60: departed back
-  bed.run_for(seconds(30));
-  EXPECT_EQ(bed.device(0).plugged_network(), "wan-1");
-  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
-  EXPECT_EQ(bed.device(0).handshakes().size(), 3u);
-}
-
-TEST(ProtocolEdge, MobilityPlanMustBeSorted) {
-  Testbed bed{two_by_two()};
-  MobilityPlan bad{
-      {SimTime{seconds(20).ns()}, "wan-2", {}, seconds(5)},
-      {SimTime{seconds(10).ns()}, "wan-1", {}, seconds(5)},
-  };
-  EXPECT_THROW(schedule_plan(bed.kernel(), bed.device(0), bad),
-               std::invalid_argument);
-}
-
-// ---------------------------------------------------------------------------
-// Sequence 3: membership removal / ownership transfer
-// ---------------------------------------------------------------------------
-
-TEST(Protocol, RemoveMembershipNotifiesDevice) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(15));
-  ASSERT_EQ(bed.device(0).state(), DeviceState::kReporting);
-  const auto regs_before = bed.aggregator(0).stats().registrations_home;
-  bed.aggregator(0).remove_membership("dev-1", "device reported lost");
-  // The removal notice reaches the device, which re-registers afresh
-  // (sequence 3 of Figure 3 ends with an updated membership).
-  bed.run_for(seconds(15));
-  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
-  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, regs_before + 1);
-  const MemberEntry* entry = bed.aggregator(0).members().find("dev-1");
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->kind, MembershipKind::kHome);
-}
-
-TEST(Protocol, OwnershipTransferPromotesTemporary) {
-  Testbed bed{two_by_two(7)};
-  bed.start();
-  bed.run_for(seconds(20));
-  auto& dev = bed.device(0);
-  dev.move_to(bed.network_name(1),
-              net::Position{bed.network_position(1).x + 2.0, 0.0},
-              seconds(10));
-  bed.run_for(seconds(30));
-  ASSERT_EQ(dev.membership(), MembershipKind::kTemporary);
-  // Owner sells the scooter to someone in wan-2: transfer master to agg-2.
-  bed.aggregator(0).transfer_membership("dev-1", "agg-2");
-  bed.run_for(seconds(10));
-  EXPECT_EQ(bed.aggregator(0).members().find("dev-1"), nullptr);
-  const MemberEntry* entry = bed.aggregator(1).members().find("dev-1");
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->kind, MembershipKind::kHome);
-}
-
-// ---------------------------------------------------------------------------
-// Tamper detection (extension: the "ground truth problem")
-// ---------------------------------------------------------------------------
-
-TEST(Protocol, UnderReportingDeviceFlaggedAndIdentified) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));  // build honest profiles
-  bed.device(0).set_tamper_factor(0.5);  // report half the real draw
-  bed.run_for(seconds(20));
-  const auto& history = bed.aggregator(0).verification_history();
-  std::size_t flagged = 0;
-  std::size_t suspect_hits = 0;
-  // Inspect the tampered era only (last 20 windows).
-  for (std::size_t i = history.size() - 18; i < history.size(); ++i) {
-    if (history[i].anomalous) {
-      ++flagged;
-      suspect_hits += history[i].suspect == "dev-1" ? 1 : 0;
+TEST(Malformed, TruncationAtEveryByteBoundary) {
+  const auto frame = seal(RegisterRequest{"dev-1", "agg-1"});
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::span<const std::uint8_t> cut(frame.data(), len);
+    auto decoded = decode_any(cut);
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " bytes";
+    if (len < kHeaderSize) {
+      EXPECT_EQ(decoded.failure().fault, DecodeFault::kTruncatedHeader)
+          << "at " << len;
+    } else {
+      // Header intact but the declared payload length exceeds the bytes
+      // present.
+      EXPECT_EQ(decoded.failure().fault, DecodeFault::kLengthMismatch)
+          << "at " << len;
     }
   }
-  EXPECT_GT(flagged, 10u);
-  // The deviation score must point at the right device most of the time.
-  EXPECT_GT(suspect_hits * 2, flagged);
 }
 
-TEST(Protocol, HonestAgainAfterTamperEnds) {
-  Testbed bed{two_by_two()};
-  bed.start();
-  bed.run_for(seconds(30));
-  bed.device(0).set_tamper_factor(0.5);
-  bed.run_for(seconds(10));
-  bed.device(0).set_tamper_factor(1.0);
-  bed.run_for(seconds(20));
-  const auto& history = bed.aggregator(0).verification_history();
-  for (std::size_t i = history.size() - 10; i < history.size(); ++i) {
-    EXPECT_FALSE(history[i].anomalous) << "window " << i;
+TEST(Malformed, EmptyFrame) {
+  auto decoded = decode_any(std::span<const std::uint8_t>{});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kTruncatedHeader);
+}
+
+TEST(Malformed, BadMagic) {
+  auto frame = seal(Beacon{"agg-1", 1});
+  frame[0] ^= 0xFF;
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kBadMagic);
+}
+
+TEST(Malformed, FutureVersionRejected) {
+  auto frame = seal(Beacon{"agg-1", 1});
+  frame[2] = kProtocolVersion + 1;
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kUnsupportedVersion);
+}
+
+TEST(Malformed, UnknownTypeRejected) {
+  auto frame = seal(Beacon{"agg-1", 1});
+  frame[3] = 0xEE;
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kUnknownType);
+  EXPECT_FALSE(is_known_msg_type(0xEE));
+}
+
+TEST(Malformed, TrailingBytesRejected) {
+  auto frame = seal(Beacon{"agg-1", 1});
+  frame.push_back(0x00);  // one byte more than the header declares
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kLengthMismatch);
+}
+
+TEST(Malformed, CorruptPayloadIsTypedError) {
+  // Valid header, garbage body: the per-type codec must fail cleanly.
+  const std::vector<std::uint8_t> garbage{0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  for (const auto type :
+       {MsgType::kRegisterRequest, MsgType::kReport, MsgType::kCtrl,
+        MsgType::kBeacon, MsgType::kVerifyDeviceQuery,
+        MsgType::kVerifyDeviceResponse, MsgType::kRoamRecords,
+        MsgType::kTransferMembership, MsgType::kRemoveDevice,
+        MsgType::kChainBlock}) {
+    const auto frame =
+        seal(type, std::span<const std::uint8_t>(garbage));
+    auto decoded = decode_any(frame);
+    ASSERT_FALSE(decoded.ok()) << wire_name(type);
+    EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload)
+        << wire_name(type);
+    EXPECT_FALSE(decoded.failure().detail.empty());
   }
 }
 
+TEST(Malformed, PayloadTruncatedAtFieldBoundaries) {
+  // Cut a Report's payload at every byte (keeping the header consistent):
+  // the codec hits a different field boundary at each length and must
+  // always surface kMalformedPayload.
+  const auto payload = encode(Report{"dev-1", {sample_record(1)}});
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const auto frame = seal(
+        MsgType::kReport, std::span<const std::uint8_t>(payload.data(), len));
+    auto decoded = decode_any(frame);
+    ASSERT_FALSE(decoded.ok()) << "payload cut to " << len;
+    EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload)
+        << "payload cut to " << len;
+  }
+}
+
+TEST(Malformed, OversizedLengthPrefixInsidePayload) {
+  // A string length prefix far beyond the buffer must not allocate or read
+  // out of bounds.
+  util::ByteWriter w;
+  w.u32(0xFFFFFFFF);  // device_id "length"
+  const auto frame =
+      seal(MsgType::kRegisterRequest,
+           std::span<const std::uint8_t>(w.bytes().data(), w.bytes().size()));
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload);
+}
+
 // ---------------------------------------------------------------------------
-// Capacity limits
+// ByteReader try_* API (recoverable decode errors)
 // ---------------------------------------------------------------------------
 
-TEST(Protocol, TdmaCapacityBoundsMembership) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 6;
-  params.sys.seed = 5;
-  // Only 4 slots available.
-  params.sys.aggregator.tdma.superframe = milliseconds(100);
-  params.sys.aggregator.tdma.slot_width = milliseconds(25);
-  Testbed bed{params};
-  bed.start();
-  bed.run_for(seconds(30));
-  EXPECT_EQ(bed.aggregator(0).members().size(), 4u);
-  EXPECT_GT(bed.aggregator(0).stats().registrations_rejected, 0u);
-  std::size_t reporting = 0;
-  for (std::size_t i = 0; i < bed.device_count(); ++i) {
-    reporting += bed.device(i).state() == DeviceState::kReporting ? 1 : 0;
-  }
-  EXPECT_EQ(reporting, 4u);
+TEST(TryReader, ReturnsNulloptInsteadOfThrowing) {
+  const std::vector<std::uint8_t> two{0x01, 0x02};
+  util::ByteReader r{std::span<const std::uint8_t>(two.data(), two.size())};
+  EXPECT_EQ(r.try_u32(), std::nullopt);  // needs 4, only 2 left
+  EXPECT_EQ(r.remaining(), 2u);          // position untouched on failure
+  EXPECT_EQ(r.try_u16(), 0x0201);
+  EXPECT_EQ(r.try_u8(), std::nullopt);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(TryReader, TryStrRestoresPositionOnTruncatedBody) {
+  util::ByteWriter w;
+  w.u32(10);  // declares 10 bytes
+  w.u8(0xAB);  // but only 1 follows
+  const auto& bytes = w.bytes();
+  util::ByteReader r{
+      std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  EXPECT_EQ(r.try_str(), std::nullopt);
+  EXPECT_EQ(r.remaining(), 5u);  // length prefix not consumed
+}
+
+TEST(TryReader, TryStrReadsValidString) {
+  util::ByteWriter w;
+  w.str("hello");
+  const auto& bytes = w.bytes();
+  util::ByteReader r{
+      std::span<const std::uint8_t>(bytes.data(), bytes.size())};
+  EXPECT_EQ(r.try_str(), "hello");
+  EXPECT_TRUE(r.done());
 }
 
 }  // namespace
-}  // namespace emon::core
+}  // namespace emon::core::protocol

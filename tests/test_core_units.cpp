@@ -12,6 +12,7 @@
 #include "core/local_store.hpp"
 #include "core/membership.hpp"
 #include "core/messages.hpp"
+#include "core/protocol.hpp"
 #include "core/records.hpp"
 #include "hw/ina219.hpp"
 #include "sim/kernel.hpp"
@@ -90,9 +91,10 @@ TEST(Records, MembershipNames) {
 // ---------------------------------------------------------------------------
 
 TEST(Messages, Topics) {
-  EXPECT_EQ(topic_register("dev-1"), "emon/register/dev-1");
-  EXPECT_EQ(topic_report("dev-1"), "emon/report/dev-1");
-  EXPECT_EQ(topic_ctrl("dev-1"), "emon/ctrl/dev-1");
+  EXPECT_EQ(protocol::topic_register("dev-1"), "emon/register/dev-1");
+  EXPECT_EQ(protocol::topic_report("dev-1"), "emon/report/dev-1");
+  EXPECT_EQ(protocol::topic_ctrl("dev-1"), "emon/ctrl/dev-1");
+  EXPECT_EQ(protocol::kTopicBeacon, "emon/beacon");
 }
 
 TEST(Messages, RegisterRequestRoundTrip) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/protocol.hpp"
 #include "core/scenario.hpp"
 #include "net/mqtt.hpp"
 #include "util/bytes.hpp"
@@ -118,16 +119,22 @@ TEST(Malformed, GarbageOnBackhaulDoesNotCrash) {
   Testbed bed{small_params(8)};
   bed.start();
   bed.run_for(seconds(12));
+  // Raw garbage (no envelope), a frame with a corrupted body, and frames
+  // from the future: typed decode errors at the receiver, never a crash.
   const std::vector<std::uint8_t> garbage{0x00, 0xff, 0x13};
-  bed.backhaul().send(
-      net::BackhaulMessage{"agg-1", "agg-2", "verify_device", garbage});
-  bed.backhaul().send(
-      net::BackhaulMessage{"agg-1", "agg-2", "roam_records", garbage});
-  bed.backhaul().send(
-      net::BackhaulMessage{"agg-1", "agg-2", "chain_block", garbage});
-  bed.backhaul().send(
-      net::BackhaulMessage{"agg-1", "agg-2", "unknown_kind", garbage});
+  bed.backhaul().send(net::Frame{"agg-1", "agg-2", garbage, 0});
+  bed.backhaul().send(net::Frame{
+      "agg-1", "agg-2",
+      core::protocol::seal(core::protocol::MsgType::kRoamRecords,
+                           std::span<const std::uint8_t>(garbage)),
+      0});
+  auto future = core::protocol::seal(
+      core::protocol::MsgType::kVerifyDeviceQuery,
+      std::span<const std::uint8_t>(garbage));
+  future[2] = 99;  // version from the future
+  bed.backhaul().send(net::Frame{"agg-1", "agg-2", future, 0});
   bed.run_for(seconds(2));
+  EXPECT_GE(bed.aggregator(1).stats().malformed_frames, 3u);
   EXPECT_TRUE(bed.chain().validate().ok);
 }
 
@@ -139,7 +146,8 @@ TEST(Malformed, ReportForForeignDeviceGetsNack) {
   Report rogue{"ghost-device", {}};
   const auto nacks_before = bed.aggregator(0).stats().nacks_sent;
   bed.aggregator(0).broker().publish_from_host(net::MqttMessage{
-      topic_report("ghost-device"), encode(rogue), 0, "ghost-device"});
+      protocol::topic_report("ghost-device"), protocol::seal(rogue), 0,
+      "ghost-device"});
   bed.run_for(seconds(1));
   EXPECT_EQ(bed.aggregator(0).stats().nacks_sent, nacks_before + 1);
 }
@@ -157,7 +165,7 @@ TEST(RoamDenial, UnknownMasterVerificationTimesOut) {
   // Forge a registration with a bogus master directly at agg-2's broker.
   RegisterRequest req{"dev-1", "agg-nonexistent"};
   bed.aggregator(1).broker().publish_from_host(net::MqttMessage{
-      topic_register("dev-1"), encode(req), 0, "dev-1"});
+      protocol::topic_register("dev-1"), protocol::seal(req), 0, "dev-1"});
   bed.run_for(seconds(40));  // expiry sweep runs at 30 s cadence
   EXPECT_EQ(bed.aggregator(1).members().find("dev-1"), nullptr);
   EXPECT_GE(bed.aggregator(1).stats().registrations_rejected, 1u);
@@ -170,7 +178,8 @@ TEST(RoamDenial, MasterRefusesUnknownDevice) {
   // agg-2 asks agg-1 about a device agg-1 has never seen.
   RegisterRequest req{"stranger", "agg-1"};
   bed.aggregator(1).broker().publish_from_host(net::MqttMessage{
-      topic_register("stranger"), encode(req), 0, "stranger"});
+      protocol::topic_register("stranger"), protocol::seal(req), 0,
+      "stranger"});
   bed.run_for(seconds(5));
   EXPECT_EQ(bed.aggregator(1).members().find("stranger"), nullptr);
   EXPECT_GE(bed.aggregator(1).stats().registrations_rejected, 1u);

@@ -11,8 +11,10 @@
 #include "net/mqtt.hpp"
 #include "net/tdma.hpp"
 #include "net/timesync.hpp"
+#include "net/transport.hpp"
 #include "net/wifi.hpp"
 #include "sim/kernel.hpp"
+#include "sim/trace.hpp"
 
 namespace emon::net {
 namespace {
@@ -549,10 +551,10 @@ TEST(Tdma, ValidatesParams) {
 struct BackhaulFixture : ::testing::Test {
   sim::Kernel kernel;
   Backhaul mesh{kernel, util::Rng{7}};
-  std::map<std::string, std::vector<BackhaulMessage>> inbox;
+  std::map<std::string, std::vector<Frame>> inbox;
 
   void add(const std::string& id) {
-    mesh.add_node(id, [this, id](const BackhaulMessage& m) {
+    mesh.add_node(id, [this, id](const Frame& m) {
       inbox[id].push_back(m);
     });
   }
@@ -570,10 +572,10 @@ TEST_F(BackhaulFixture, DirectDelivery) {
   add("a");
   add("b");
   mesh.add_link("a", "b", fast_link());
-  EXPECT_TRUE(mesh.send({"a", "b", "k", {1, 2}}));
+  EXPECT_TRUE(mesh.send({"a", "b", {1, 2}, 0}));
   kernel.run();
   ASSERT_EQ(inbox["b"].size(), 1u);
-  EXPECT_EQ(inbox["b"][0].kind, "k");
+  EXPECT_EQ(inbox["b"][0].bytes, (std::vector<std::uint8_t>{1, 2}));
   // ~1 ms one hop (the paper's backhaul latency).
   EXPECT_LT(kernel.now().to_seconds(), 0.002);
   EXPECT_GT(kernel.now().to_seconds(), 0.0005);
@@ -588,7 +590,7 @@ TEST_F(BackhaulFixture, MultiHopRouting) {
   const auto route = mesh.route("a", "c");
   ASSERT_TRUE(route.has_value());
   EXPECT_EQ(*route, (std::vector<std::string>{"a", "b", "c"}));
-  EXPECT_TRUE(mesh.send({"a", "c", "k", {}}));
+  EXPECT_TRUE(mesh.send({"a", "c", {}, 0}));
   kernel.run();
   EXPECT_EQ(inbox["c"].size(), 1u);
   EXPECT_TRUE(inbox["b"].empty());  // intermediate only forwards
@@ -611,14 +613,14 @@ TEST_F(BackhaulFixture, PicksLowerLatencyPath) {
 TEST_F(BackhaulFixture, NoRouteFails) {
   add("a");
   add("b");
-  EXPECT_FALSE(mesh.send({"a", "b", "k", {}}));
+  EXPECT_FALSE(mesh.send({"a", "b", {}, 0}));
   EXPECT_FALSE(mesh.route("a", "b").has_value());
-  EXPECT_FALSE(mesh.send({"a", "ghost", "k", {}}));
+  EXPECT_FALSE(mesh.send({"a", "ghost", {}, 0}));
 }
 
 TEST_F(BackhaulFixture, SelfSendDelivers) {
   add("a");
-  EXPECT_TRUE(mesh.send({"a", "a", "k", {}}));
+  EXPECT_TRUE(mesh.send({"a", "a", {}, 0}));
   kernel.run();
   EXPECT_EQ(inbox["a"].size(), 1u);
 }
@@ -627,9 +629,137 @@ TEST_F(BackhaulFixture, NodesListed) {
   add("a");
   add("b");
   EXPECT_EQ(mesh.nodes().size(), 2u);
-  EXPECT_FALSE(mesh.add_node("a", [](const BackhaulMessage&) {}));
+  EXPECT_FALSE(mesh.add_node("a", [](const Frame&) {}));
   EXPECT_THROW(mesh.add_link("a", "ghost", fast_link()),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Transport interface (shared by backhaul and MQTT)
+// ---------------------------------------------------------------------------
+
+TEST_F(BackhaulFixture, AckFiresOnDelivery) {
+  add("a");
+  add("b");
+  mesh.add_link("a", "b", fast_link());
+  int acks = 0;
+  bool last = false;
+  EXPECT_TRUE(mesh.send(Frame{"a", "b", {1, 2, 3}, 0}, [&](bool ok) {
+    ++acks;
+    last = ok;
+  }));
+  EXPECT_EQ(acks, 0);  // not before delivery
+  kernel.run();
+  EXPECT_EQ(acks, 1);
+  EXPECT_TRUE(last);
+}
+
+TEST_F(BackhaulFixture, AckFiresFalseWhenUnroutable) {
+  add("a");
+  add("b");  // no link
+  int acks = 0;
+  bool last = true;
+  EXPECT_FALSE(mesh.send(Frame{"a", "b", {1}, 0}, [&](bool ok) {
+    ++acks;
+    last = ok;
+  }));
+  EXPECT_EQ(acks, 1);
+  EXPECT_FALSE(last);
+  EXPECT_EQ(mesh.transport_stats().frames_dropped, 1u);
+}
+
+TEST_F(BackhaulFixture, ChannelDropFiresAckFalse) {
+  add("a");
+  add("b");
+  ChannelParams lossy = fast_link();
+  lossy.loss_probability = 1.0;  // every datagram lost
+  mesh.add_link("a", "b", lossy);
+  int acks = 0;
+  bool last = true;
+  EXPECT_TRUE(mesh.send(Frame{"a", "b", {1}, 0}, [&](bool ok) {
+    ++acks;
+    last = ok;
+  }));  // routable, so accepted — but the hop drops it
+  kernel.run();
+  EXPECT_EQ(acks, 1);
+  EXPECT_FALSE(last);
+  EXPECT_EQ(mesh.transport_stats().frames_dropped, 1u);
+  EXPECT_EQ(mesh.transport_stats().frames_delivered, 0u);
+}
+
+TEST_F(BackhaulFixture, TransportStatsCountFrameBytes) {
+  add("a");
+  add("b");
+  mesh.add_link("a", "b", fast_link());
+  mesh.send(Frame{"a", "b", std::vector<std::uint8_t>(40), 0});
+  kernel.run();
+  const auto& stats = mesh.transport_stats();
+  EXPECT_EQ(stats.frames_sent, 1u);
+  EXPECT_EQ(stats.frames_delivered, 1u);
+  EXPECT_EQ(stats.bytes_sent, 40u);
+  EXPECT_EQ(stats.bytes_delivered, 40u);
+  EXPECT_EQ(mesh.transport_name(), "backhaul");
+}
+
+TEST_F(BackhaulFixture, BindTraceRecordsWireBytes) {
+  sim::Trace trace;
+  mesh.bind_trace(&trace, "wire.backhaul");
+  add("a");
+  add("b");
+  mesh.add_link("a", "b", fast_link());
+  mesh.send(Frame{"a", "b", std::vector<std::uint8_t>(16), 0});
+  kernel.run();
+  ASSERT_TRUE(trace.has("wire.backhaul.tx_bytes"));
+  ASSERT_TRUE(trace.has("wire.backhaul.rx_bytes"));
+  EXPECT_EQ(trace.series("wire.backhaul.tx_bytes")[0].value, 16.0);
+}
+
+TEST_F(MqttFixture, ClientSendsFrameThroughTransportApi) {
+  std::vector<std::uint8_t> seen;
+  broker.subscribe_local("emon/report/+", [&](const MqttMessage& m) {
+    seen = m.payload;
+  });
+  MqttClient client{kernel, "dev-1"};
+  auto [up, down] = channels();
+  client.connect(broker, up, down, [](bool) {});
+  kernel.run();
+  bool acked = false;
+  EXPECT_TRUE(client.send(Frame{"dev-1", "emon/report/dev-1", {7, 8}, 1},
+                          [&](bool ok) { acked = ok; }));
+  kernel.run();
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{7, 8}));
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(client.transport_name(), "mqtt:dev-1");
+  EXPECT_EQ(client.transport_stats().frames_sent, 1u);
+  EXPECT_EQ(client.transport_stats().bytes_sent, 2u);
+  // The broker saw the frame arrive.
+  EXPECT_EQ(broker.transport_stats().frames_delivered, 1u);
+}
+
+TEST_F(MqttFixture, DisconnectedClientRefusesFrame) {
+  MqttClient client{kernel, "dev-1"};
+  bool acked = true;
+  EXPECT_FALSE(client.send(Frame{"dev-1", "t", {1}, 0},
+                           [&](bool ok) { acked = ok; }));
+  EXPECT_FALSE(acked);
+  EXPECT_EQ(client.transport_stats().frames_dropped, 1u);
+}
+
+TEST_F(MqttFixture, BrokerSendsFrameToSubscribedClient) {
+  MqttClient client{kernel, "dev-1"};
+  auto [up, down] = channels();
+  client.connect(broker, up, down, [](bool) {});
+  kernel.run();
+  std::vector<std::uint8_t> seen;
+  client.subscribe("emon/ctrl/dev-1",
+                   [&](const MqttMessage& m) { seen = m.payload; });
+  kernel.run();
+  EXPECT_TRUE(broker.send(Frame{"agg-1", "emon/ctrl/dev-1", {4, 5, 6}, 0}));
+  kernel.run();
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{4, 5, 6}));
+  EXPECT_EQ(broker.transport_name(), "mqtt-broker:agg-1");
+  EXPECT_EQ(client.transport_stats().frames_delivered, 1u);
+  EXPECT_EQ(client.transport_stats().bytes_delivered, 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,429 @@
+// Integration tests of the registration / reporting / mobility protocol
+// (Figure 3) running on the fully wired testbed: device firmware +
+// aggregator + MQTT + Wi-Fi + grid + chain, all on the event kernel.
+
+#include <gtest/gtest.h>
+
+#include "core/mobility.hpp"
+#include "core/scenario.hpp"
+
+namespace emon::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+using sim::SimTime;
+
+ScenarioParams two_by_two(std::uint64_t seed = 42) {
+  ScenarioParams params;
+  params.networks = 2;
+  params.devices_per_network = 2;
+  params.sys.seed = seed;
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Sequence 1: membership registration
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, DevicesRegisterAtHome) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(10));
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    auto& dev = bed.device(i);
+    EXPECT_EQ(dev.state(), DeviceState::kReporting) << dev.id();
+    EXPECT_EQ(dev.membership(), MembershipKind::kHome) << dev.id();
+    EXPECT_EQ(dev.master_addr(),
+              bed.aggregator(bed.home_of(i)).id())
+        << dev.id();
+  }
+  EXPECT_EQ(bed.aggregator(0).members().size(), 2u);
+  EXPECT_EQ(bed.aggregator(1).members().size(), 2u);
+  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, 2u);
+}
+
+TEST(Protocol, InitialHandshakeWithinPaperBand) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(10));
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    const auto& handshakes = bed.device(i).handshakes();
+    ASSERT_EQ(handshakes.size(), 1u);
+    const double t = handshakes[0].duration().to_seconds();
+    EXPECT_GE(t, 5.0) << bed.device(i).id();
+    EXPECT_LE(t, 7.0) << bed.device(i).id();
+  }
+}
+
+TEST(Protocol, DistinctTdmaSlotsPerNetwork) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(10));
+  for (std::size_t n = 0; n < 2; ++n) {
+    const auto members = bed.aggregator(n).members().all();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_NE(members[0]->slot, members[1]->slot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state reporting
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, ReportsFlowAtTmeasure) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    const auto& stats = bed.device(i).stats();
+    // ~300 samples in 30 s at 10 Hz; the first ~60 buffered during the
+    // handshake, the rest reported live.
+    EXPECT_GT(stats.samples, 280u);
+    EXPECT_GT(stats.reports_acked, 200u);
+    EXPECT_LE(stats.reports_acked, stats.reports_sent);
+    EXPECT_LE(stats.reports_sent - stats.reports_acked, 2u);  // in flight
+  }
+}
+
+TEST(Protocol, HandshakeBacklogIsFlushed) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    // Everything buffered during the handshake must reach the aggregator.
+    EXPECT_EQ(bed.device(i).local_store().size(), 0u) << bed.device(i).id();
+  }
+  // Aggregator saw those buffered records flagged stored_offline.
+  EXPECT_GT(bed.aggregator(0).stats().offline_records_accepted, 50u);
+}
+
+TEST(Protocol, NoRecordLossInSteadyState) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  for (std::size_t n = 0; n < 2; ++n) {
+    std::uint64_t sampled = 0;
+    for (std::size_t d = 0; d < 2; ++d) {
+      sampled += bed.device(n * 2 + d).stats().samples;
+    }
+    const auto& agg = bed.aggregator(n).stats();
+    // Records at the aggregator + any still in flight/buffered == samples.
+    std::uint64_t buffered = 0;
+    for (std::size_t d = 0; d < 2; ++d) {
+      buffered += bed.device(n * 2 + d).local_store().size();
+    }
+    EXPECT_LE(agg.records_accepted, sampled);
+    EXPECT_GE(agg.records_accepted + buffered + 4 /*in flight*/, sampled);
+  }
+}
+
+TEST(Protocol, VerificationWindowsArePredominantlyClean) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(60));
+  for (std::size_t n = 0; n < 2; ++n) {
+    const auto& history = bed.aggregator(n).verification_history();
+    ASSERT_GT(history.size(), 50u);
+    std::size_t anomalous = 0;
+    for (const auto& v : history) {
+      anomalous += v.anomalous ? 1 : 0;
+    }
+    // Only the pre-registration warm-up may flag.
+    EXPECT_LE(anomalous, 8u) << bed.aggregator(n).id();
+    // Steady state (second half) must be entirely clean.
+    for (std::size_t i = history.size() / 2; i < history.size(); ++i) {
+      EXPECT_FALSE(history[i].anomalous) << "window " << i;
+    }
+  }
+}
+
+TEST(Protocol, BlocksAccumulateAndChainValidates) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  EXPECT_GT(bed.chain().ledger().size(), 5u);
+  EXPECT_GT(bed.chain().ledger().record_count(), 800u);
+  EXPECT_TRUE(bed.chain().validate().ok);
+}
+
+TEST(Protocol, ReplicasSyncAcrossBackhaul) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  // Each aggregator's replica mirrors the shared chain (modulo the last
+  // in-flight block).
+  const auto& shared = bed.chain().ledger();
+  for (std::size_t n = 0; n < 2; ++n) {
+    const auto& replica = bed.aggregator(n).replica();
+    // Both writers produce a block on the same timer tick, so up to two
+    // broadcasts can be in flight at the observation instant.
+    EXPECT_GE(replica.size() + 2, shared.size());
+    EXPECT_TRUE(replica.validate().ok);
+    for (std::size_t i = 0; i < replica.size(); ++i) {
+      EXPECT_EQ(replica.at(i).hash, shared.at(i).hash) << "block " << i;
+    }
+  }
+}
+
+TEST(Protocol, TimeSyncKeepsClocksAligned) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(120));
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    EXPECT_LT(std::fabs(bed.device(i).rtc().error().to_seconds()), 0.01)
+        << bed.device(i).id();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence 2: mobility and temporary membership
+// ---------------------------------------------------------------------------
+
+struct RoamingFixture : ::testing::Test {
+  Testbed bed{two_by_two(7)};
+
+  void roam_dev0_to_wan2(sim::Duration transit = seconds(15)) {
+    bed.start();
+    bed.run_for(seconds(20));  // settle at home
+    auto& dev = bed.device(0);
+    ASSERT_EQ(dev.state(), DeviceState::kReporting);
+    dev.move_to(bed.network_name(1),
+                net::Position{bed.network_position(1).x + 2.0, 0.0}, transit);
+  }
+};
+
+TEST_F(RoamingFixture, TemporaryMembershipEstablished) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(40));
+  auto& dev = bed.device(0);
+  EXPECT_EQ(dev.state(), DeviceState::kReporting);
+  EXPECT_EQ(dev.membership(), MembershipKind::kTemporary);
+  EXPECT_EQ(dev.master_addr(), "agg-1");  // home retained
+  EXPECT_EQ(dev.plugged_network(), "wan-2");
+  const MemberEntry* temp = bed.aggregator(1).members().find("dev-1");
+  ASSERT_NE(temp, nullptr);
+  EXPECT_EQ(temp->kind, MembershipKind::kTemporary);
+  EXPECT_EQ(temp->master_addr, "agg-1");
+  // Home membership retained at all times (§II-C).
+  const MemberEntry* home = bed.aggregator(0).members().find("dev-1");
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->kind, MembershipKind::kHome);
+}
+
+TEST_F(RoamingFixture, NackTriggersTemporaryRegistration) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(40));
+  EXPECT_GE(bed.device(0).stats().nacks_received, 1u);
+  EXPECT_EQ(bed.aggregator(1).stats().registrations_temporary, 1u);
+  EXPECT_EQ(bed.aggregator(0).stats().verify_queries_answered, 1u);
+}
+
+TEST_F(RoamingFixture, RoamHandshakeInPaperBand) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(40));
+  const auto& handshakes = bed.device(0).handshakes();
+  ASSERT_EQ(handshakes.size(), 2u);  // home join + roam
+  const auto& roam = handshakes[1];
+  EXPECT_EQ(roam.membership, MembershipKind::kTemporary);
+  EXPECT_GE(roam.duration().to_seconds(), 5.0);
+  EXPECT_LE(roam.duration().to_seconds(), 7.0);
+}
+
+TEST_F(RoamingFixture, RoamedRecordsForwardedToMaster) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(60));
+  EXPECT_GT(bed.aggregator(1).stats().roam_batches_forwarded, 0u);
+  EXPECT_GT(bed.aggregator(0).stats().roam_records_received, 100u);
+  // Master knows where its device roams.
+  const MemberEntry* home = bed.aggregator(0).members().find("dev-1");
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->roaming_host, "agg-2");
+}
+
+TEST_F(RoamingFixture, EnergyConservedAcrossRoam) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(60));
+  auto& dev = bed.device(0);
+  const auto invoice = bed.aggregator(0).billing().invoice_for("dev-1");
+  const double metered = util::as_milliwatt_hours(dev.meter().total_energy());
+  // Everything metered ends up billed at home (within in-flight slack).
+  EXPECT_NEAR(invoice.total_energy_mwh, metered, 0.05 * metered + 0.05);
+  // Both networks appear on the bill, wan-2 as roamed.
+  ASSERT_EQ(invoice.lines.size(), 2u);
+  EXPECT_FALSE(invoice.lines[0].roamed);  // wan-1
+  EXPECT_TRUE(invoice.lines[1].roamed);   // wan-2
+}
+
+TEST_F(RoamingFixture, NoConsumptionDuringTransit) {
+  roam_dev0_to_wan2(seconds(15));
+  // In transit the device is unplugged: zero samples, zero state.
+  bed.run_for(seconds(5));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kUnplugged);
+  const auto before = bed.device(0).stats().samples;
+  bed.run_for(seconds(5));
+  EXPECT_EQ(bed.device(0).stats().samples, before);  // no sampling unplugged
+}
+
+TEST_F(RoamingFixture, ReturnHomeWithoutReregistration) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(40));
+  auto& dev = bed.device(0);
+  const auto regs_before = bed.aggregator(0).stats().registrations_home;
+  // Ride back home.
+  dev.move_to(bed.network_name(0),
+              net::Position{bed.network_position(0).x + 1.5, 0.0},
+              seconds(10));
+  bed.run_for(seconds(30));
+  EXPECT_EQ(dev.state(), DeviceState::kReporting);
+  EXPECT_EQ(dev.membership(), MembershipKind::kHome);
+  // "A stationary device undergoes a single registration process in its
+  // lifetime" — home rejoin rides the Ack path, not a new registration.
+  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, regs_before);
+}
+
+TEST_F(RoamingFixture, TemporaryMembershipExpiresAfterDeparture) {
+  roam_dev0_to_wan2();
+  bed.run_for(seconds(40));
+  ASSERT_NE(bed.aggregator(1).members().find("dev-1"), nullptr);
+  // Leave wan-2 and stay off-grid past the expiry timeout.
+  bed.device(0).unplug();
+  bed.run_for(seconds(70));  // > temp_member_timeout (30 s) + sweep period
+  EXPECT_EQ(bed.aggregator(1).members().find("dev-1"), nullptr);
+  EXPECT_GE(bed.aggregator(1).stats().memberships_expired, 1u);
+  // Home membership still retained.
+  EXPECT_NE(bed.aggregator(0).members().find("dev-1"), nullptr);
+}
+
+TEST_F(RoamingFixture, MobilityPlanRunsSteps) {
+  bed.start();
+  bed.run_for(seconds(15));
+  MobilityPlan plan{
+      {SimTime{seconds(20).ns()}, bed.network_name(1),
+       net::Position{bed.network_position(1).x + 2.0, 0.0}, seconds(5)},
+      {SimTime{seconds(60).ns()}, bed.network_name(0),
+       net::Position{bed.network_position(0).x + 1.5, 0.0}, seconds(5)},
+  };
+  schedule_plan(bed.kernel(), bed.device(0), plan);
+  bed.run_for(seconds(45));  // t=60: departed back
+  bed.run_for(seconds(30));
+  EXPECT_EQ(bed.device(0).plugged_network(), "wan-1");
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
+  EXPECT_EQ(bed.device(0).handshakes().size(), 3u);
+}
+
+TEST(ProtocolEdge, MobilityPlanMustBeSorted) {
+  Testbed bed{two_by_two()};
+  MobilityPlan bad{
+      {SimTime{seconds(20).ns()}, "wan-2", {}, seconds(5)},
+      {SimTime{seconds(10).ns()}, "wan-1", {}, seconds(5)},
+  };
+  EXPECT_THROW(schedule_plan(bed.kernel(), bed.device(0), bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence 3: membership removal / ownership transfer
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, RemoveMembershipNotifiesDevice) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(15));
+  ASSERT_EQ(bed.device(0).state(), DeviceState::kReporting);
+  const auto regs_before = bed.aggregator(0).stats().registrations_home;
+  bed.aggregator(0).remove_membership("dev-1", "device reported lost");
+  // The removal notice reaches the device, which re-registers afresh
+  // (sequence 3 of Figure 3 ends with an updated membership).
+  bed.run_for(seconds(15));
+  EXPECT_EQ(bed.device(0).state(), DeviceState::kReporting);
+  EXPECT_EQ(bed.aggregator(0).stats().registrations_home, regs_before + 1);
+  const MemberEntry* entry = bed.aggregator(0).members().find("dev-1");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MembershipKind::kHome);
+}
+
+TEST(Protocol, OwnershipTransferPromotesTemporary) {
+  Testbed bed{two_by_two(7)};
+  bed.start();
+  bed.run_for(seconds(20));
+  auto& dev = bed.device(0);
+  dev.move_to(bed.network_name(1),
+              net::Position{bed.network_position(1).x + 2.0, 0.0},
+              seconds(10));
+  bed.run_for(seconds(30));
+  ASSERT_EQ(dev.membership(), MembershipKind::kTemporary);
+  // Owner sells the scooter to someone in wan-2: transfer master to agg-2.
+  bed.aggregator(0).transfer_membership("dev-1", "agg-2");
+  bed.run_for(seconds(10));
+  EXPECT_EQ(bed.aggregator(0).members().find("dev-1"), nullptr);
+  const MemberEntry* entry = bed.aggregator(1).members().find("dev-1");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MembershipKind::kHome);
+}
+
+// ---------------------------------------------------------------------------
+// Tamper detection (extension: the "ground truth problem")
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, UnderReportingDeviceFlaggedAndIdentified) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));  // build honest profiles
+  bed.device(0).set_tamper_factor(0.5);  // report half the real draw
+  bed.run_for(seconds(20));
+  const auto& history = bed.aggregator(0).verification_history();
+  std::size_t flagged = 0;
+  std::size_t suspect_hits = 0;
+  // Inspect the tampered era only (last 20 windows).
+  for (std::size_t i = history.size() - 18; i < history.size(); ++i) {
+    if (history[i].anomalous) {
+      ++flagged;
+      suspect_hits += history[i].suspect == "dev-1" ? 1 : 0;
+    }
+  }
+  EXPECT_GT(flagged, 10u);
+  // The deviation score must point at the right device most of the time.
+  EXPECT_GT(suspect_hits * 2, flagged);
+}
+
+TEST(Protocol, HonestAgainAfterTamperEnds) {
+  Testbed bed{two_by_two()};
+  bed.start();
+  bed.run_for(seconds(30));
+  bed.device(0).set_tamper_factor(0.5);
+  bed.run_for(seconds(10));
+  bed.device(0).set_tamper_factor(1.0);
+  bed.run_for(seconds(20));
+  const auto& history = bed.aggregator(0).verification_history();
+  for (std::size_t i = history.size() - 10; i < history.size(); ++i) {
+    EXPECT_FALSE(history[i].anomalous) << "window " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity limits
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, TdmaCapacityBoundsMembership) {
+  ScenarioParams params;
+  params.networks = 1;
+  params.devices_per_network = 6;
+  params.sys.seed = 5;
+  // Only 4 slots available.
+  params.sys.aggregator.tdma.superframe = milliseconds(100);
+  params.sys.aggregator.tdma.slot_width = milliseconds(25);
+  Testbed bed{params};
+  bed.start();
+  bed.run_for(seconds(30));
+  EXPECT_EQ(bed.aggregator(0).members().size(), 4u);
+  EXPECT_GT(bed.aggregator(0).stats().registrations_rejected, 0u);
+  std::size_t reporting = 0;
+  for (std::size_t i = 0; i < bed.device_count(); ++i) {
+    reporting += bed.device(i).state() == DeviceState::kReporting ? 1 : 0;
+  }
+  EXPECT_EQ(reporting, 4u);
+}
+
+}  // namespace
+}  // namespace emon::core
