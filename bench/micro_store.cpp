@@ -1,0 +1,208 @@
+// Microbenchmarks for the embedded time-series store (src/store/): ingest
+// throughput, sealed-segment compression vs the serialize_record wire
+// baseline, lazy decode rate and query latencies.  Counters carry the
+// storage metrics (bytes_per_record, compression_x, records pruned) so the
+// google-benchmark JSON output (--benchmark_format/--benchmark_out=json, the
+// CI bench-smoke step) is machine-readable end to end.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/records.hpp"
+#include "store/segment.hpp"
+#include "store/series_store.hpp"
+#include "store/tsdb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emon;
+
+/// The benchmark workload: a realistic 10 Hz stream — jittered timestamps,
+/// noisy current over a slow ramp, occasional network changes.
+std::vector<core::ConsumptionRecord> workload(std::size_t n,
+                                              std::uint64_t seed,
+                                              const std::string& device) {
+  util::Rng rng{seed};
+  std::vector<core::ConsumptionRecord> out;
+  out.reserve(n);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 100'000'000 + static_cast<std::int64_t>(rng.uniform(-50e3, 50e3));
+    core::ConsumptionRecord r;
+    r.device_id = device;
+    r.sequence = i + 1;
+    r.timestamp_ns = t;
+    r.interval_ns = 100'000'000;
+    r.current_ma =
+        250.0 + 0.05 * static_cast<double>(i % 4096) + rng.uniform(-4.0, 4.0);
+    r.bus_voltage_mv = 5000.0 + rng.uniform(-8.0, 8.0);
+    r.energy_mwh = r.current_ma * 5.0 * (0.1 / 3600.0);
+    r.network = i % 97 == 0 ? "wan-2" : "wan-1";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// -- Compression vs the wire baseline ----------------------------------------
+
+void BM_SegmentSealCompression(benchmark::State& state) {
+  const auto records =
+      workload(static_cast<std::size_t>(state.range(0)), 1, "dev-1");
+  std::size_t baseline_bytes = 0;
+  for (const auto& r : records) {
+    baseline_bytes += core::serialize_record(r).size();
+  }
+  std::size_t sealed_bytes = 0;
+  for (auto _ : state) {
+    store::SegmentBuilder builder;
+    for (const auto& r : records) {
+      builder.append(r);
+    }
+    store::Segment seg = builder.seal();
+    sealed_bytes = seg.byte_size();
+    benchmark::DoNotOptimize(seg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  const auto n = static_cast<double>(records.size());
+  state.counters["sealed_bytes"] = static_cast<double>(sealed_bytes);
+  state.counters["baseline_bytes"] = static_cast<double>(baseline_bytes);
+  state.counters["bytes_per_record"] = static_cast<double>(sealed_bytes) / n;
+  state.counters["baseline_bytes_per_record"] =
+      static_cast<double>(baseline_bytes) / n;
+  // The acceptance bar: sealed storage >= 3x smaller than serialize_record.
+  state.counters["compression_x"] =
+      static_cast<double>(baseline_bytes) / static_cast<double>(sealed_bytes);
+}
+BENCHMARK(BM_SegmentSealCompression)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_SegmentDecode(benchmark::State& state) {
+  const auto records =
+      workload(static_cast<std::size_t>(state.range(0)), 2, "dev-1");
+  store::SegmentBuilder builder;
+  for (const auto& r : records) {
+    builder.append(r);
+  }
+  const store::Segment seg = builder.seal();
+  for (auto _ : state) {
+    store::SegmentCursor cur = seg.cursor();
+    while (auto rec = cur.next()) {
+      benchmark::DoNotOptimize(*rec);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SegmentDecode)->Arg(256)->Arg(4096);
+
+// -- Ingest throughput --------------------------------------------------------
+
+void BM_TsdbIngest(benchmark::State& state) {
+  const auto records = workload(100'000, 3, "dev-1");
+  std::size_t i = 0;
+  store::Tsdb db;
+  std::uint64_t rebuilds = 0;
+  for (auto _ : state) {
+    if (i == records.size()) {
+      // Fresh store once the prepared stream is exhausted (sequence dedup
+      // would otherwise reject everything).
+      state.PauseTiming();
+      db = store::Tsdb{};
+      i = 0;
+      ++rebuilds;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(db.ingest(records[i++]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["sealed_bytes"] =
+      static_cast<double>(db.stats().sealed_bytes);
+}
+BENCHMARK(BM_TsdbIngest);
+
+void BM_SeriesStorePush(benchmark::State& state) {
+  const auto records = workload(100'000, 4, "dev-1");
+  store::SeriesStoreOptions opt;
+  opt.byte_budget = 256 * 1024;
+  store::SeriesStore series{opt};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(series.push(records[i])) ;
+    i = (i + 1) % records.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["bytes_used"] = static_cast<double>(series.bytes_used());
+  state.counters["dropped"] = static_cast<double>(series.dropped());
+}
+BENCHMARK(BM_SeriesStorePush);
+
+// -- Query latency ------------------------------------------------------------
+
+store::Tsdb& query_fixture() {
+  static store::Tsdb db = [] {
+    store::Tsdb built{store::TsdbOptions{8, 256}};
+    for (std::size_t d = 0; d < 8; ++d) {
+      for (const auto& r :
+           workload(20'000, 10 + d, "dev-" + std::to_string(d + 1))) {
+        built.ingest(r);
+      }
+    }
+    return built;
+  }();
+  return db;
+}
+
+void BM_TsdbRangeAggregate(benchmark::State& state) {
+  // ~2000 s of history per device; aggregate the middle half.
+  store::Tsdb& db = query_fixture();
+  const std::int64_t t0 = 500'000'000'000;
+  const std::int64_t t1 = 1'500'000'000'000;
+  for (auto _ : state) {
+    auto agg = db.aggregate("dev-3", t0, t1);
+    benchmark::DoNotOptimize(agg);
+  }
+  state.counters["summary_hits"] =
+      static_cast<double>(db.stats().summary_hits);
+}
+BENCHMARK(BM_TsdbRangeAggregate);
+
+void BM_TsdbWindowScan(benchmark::State& state) {
+  // The aggregator's verification-window read: 1 s of live records.
+  store::Tsdb& db = query_fixture();
+  store::RecordFilter live;
+  live.network = "wan-1";
+  live.stored_offline = false;
+  std::int64_t t0 = 0;
+  for (auto _ : state) {
+    auto stats = db.current_stats("dev-5", t0, t0 + 1'000'000'000, live);
+    benchmark::DoNotOptimize(stats);
+    t0 = (t0 + 1'000'000'000) % 1'900'000'000'000;
+  }
+}
+BENCHMARK(BM_TsdbWindowScan);
+
+void BM_TsdbDownsample(benchmark::State& state) {
+  // Dashboard-style query: 100 s of history in 10 s buckets.
+  store::Tsdb& db = query_fixture();
+  for (auto _ : state) {
+    auto windows = db.downsample("dev-2", 0, 100'000'000'000,
+                                 10'000'000'000);
+    benchmark::DoNotOptimize(windows);
+  }
+}
+BENCHMARK(BM_TsdbDownsample);
+
+void BM_TsdbNetworkBreakdown(benchmark::State& state) {
+  // The billing read: per-network subtotals from segment dictionaries.
+  store::Tsdb& db = query_fixture();
+  for (auto _ : state) {
+    auto breakdown = db.network_breakdown("dev-7");
+    benchmark::DoNotOptimize(breakdown);
+  }
+}
+BENCHMARK(BM_TsdbNetworkBreakdown);
+
+}  // namespace

@@ -65,6 +65,26 @@ int main() {
                 util::Table::num(invoice.total_cost, 6));
     }
   }
-  std::cout << bills.render();
+  std::cout << bills.render() << '\n';
+
+  // Historical queries against the aggregator's embedded time-series store:
+  // "energy for dev-1 over [10 s, 20 s)", downsampled into 2 s windows.
+  const auto& tsdb = bed.aggregator(0).tsdb();
+  const std::int64_t t0 = sim::seconds(10).ns();
+  const std::int64_t t1 = sim::seconds(20).ns();
+  util::Table windows({"window start [s]", "records", "avg current [mA]",
+                       "energy [mWh]"});
+  for (const auto& w :
+       tsdb.downsample("dev-1", t0, t1, sim::seconds(2).ns())) {
+    windows.row(util::Table::num(static_cast<double>(w.start_ns) / 1e9, 0),
+                w.count, util::Table::num(w.avg_current_ma, 1),
+                util::Table::num(w.sum_energy_mwh, 3));
+  }
+  std::cout << "store query: dev-1 over [10 s, 20 s), 2 s windows\n"
+            << windows.render();
+  if (const auto agg10 = tsdb.aggregate("dev-1", t0, t1)) {
+    std::cout << "range total: " << util::Table::num(agg10->sum_energy_mwh, 3)
+              << " mWh across " << agg10->count << " records\n";
+  }
   return 0;
 }

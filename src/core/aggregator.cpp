@@ -44,6 +44,7 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
         return feeder_sensor_.get();
       }(), [&kernel] { return kernel.now(); }) {
   chain_.register_writer(chain::WriterKey{id_, chain_secret_});
+  billing_.bind_store(&tsdb_);
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -147,6 +148,7 @@ void Aggregator::handle_register(const RegisterRequest& req) {
       return;
     }
     members_.add_home(req.device_id, *slot, kernel_.now());
+    billing_.mark_billable(req.device_id);
     last_membership_change_ = kernel_.now();
     ++stats_.registrations_home;
     CtrlMessage accept;
@@ -203,11 +205,11 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
     ++stats_.records_accepted;
     if (record.stored_offline) {
       ++stats_.offline_records_accepted;
-    } else {
-      // Live records feed the current verification window.  Buffered ones
-      // describe past windows and would double-count.
-      window_reported_ma_[record.device_id].add(record.current_ma);
     }
+    // Every accepted record becomes queryable history; the verification
+    // window reads it back as a store query (live records only — buffered
+    // ones describe past windows and would double-count).
+    tsdb_.ingest(record);
     if (trace_ != nullptr) {
       trace_->append("reported." + id_ + "." + record.device_id,
                      sim::SimTime{record.timestamp_ns}, record.current_ma);
@@ -216,7 +218,6 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
     }
     if (member.kind == MembershipKind::kHome) {
       queue_for_chain(record);
-      billing_.ingest(record);
     }
   }
 
@@ -274,10 +275,13 @@ void Aggregator::handle_backhaul(const net::Frame& frame) {
               return;
             }
             member->roaming_host = roam.collector;
+            billing_.mark_billable(roam.device_id);
             for (const auto& record : roam.records) {
               ++stats_.roam_records_received;
+              if (!tsdb_.ingest(record)) {
+                continue;  // duplicate forward — already on the books
+              }
               queue_for_chain(record);
-              billing_.ingest(record);
               if (trace_ != nullptr) {
                 trace_->append("reported." + id_ + "." + record.device_id,
                                sim::SimTime{record.timestamp_ns},
@@ -293,6 +297,10 @@ void Aggregator::handle_backhaul(const net::Frame& frame) {
             if (MemberEntry* member = members_.find(transfer.device_id)) {
               member->kind = MembershipKind::kHome;
               member->master_addr.clear();
+              // Bill from the transfer on: the visiting-era history in our
+              // store was forwarded home and invoiced by the old master.
+              billing_.mark_billable(transfer.device_id,
+                                     kernel_.now().ns());
               last_membership_change_ = kernel_.now();
               log_.info("membership of ", transfer.device_id,
                         " promoted to home (ownership transfer)");
@@ -373,12 +381,29 @@ void Aggregator::on_feeder_sample() {
 
 void Aggregator::on_verify_window() {
   const sim::SimTime window_end = kernel_.now();
+  // The reported side of the window is a store query: mean live current per
+  // device over [window_start, window_end), restricted to records drawn at
+  // *this* grid-location (roamed history carries its host's network and
+  // must not be checked against our feeder).
+  // Only current members can have live records at this location in the
+  // window (departed devices' history stays queryable but is not verified).
+  // A record sampled in the window's last superframe may arrive after the
+  // window closes and is then counted in no window — it carries the same
+  // mean as its neighbours, so the per-device window mean is unbiased.
+  store::RecordFilter live_here;
+  live_here.network = network_;
+  live_here.stored_offline = false;
   std::map<DeviceId, double> reported;
-  for (const auto& [device, stats] : window_reported_ma_) {
+  double reported_total_ma = 0.0;
+  for (const MemberEntry* member : members_.all()) {
+    const auto stats = tsdb_.current_stats(
+        member->device_id, window_start_.ns(), window_end.ns(), live_here);
     if (!stats.empty()) {
-      reported[device] = stats.mean();
+      reported[member->device_id] = stats.mean();
+      reported_total_ma += stats.mean();
     }
   }
+  forecaster_.observe(reported_total_ma);
   const double feeder_ma =
       window_feeder_ma_.empty() ? 0.0 : window_feeder_ma_.mean();
 
@@ -399,7 +424,6 @@ void Aggregator::on_verify_window() {
   verification_history_.push_back(std::move(result));
 
   window_feeder_ma_.reset();
-  window_reported_ma_.clear();
   window_start_ = window_end;
 }
 

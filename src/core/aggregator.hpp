@@ -9,6 +9,9 @@
 //   * liaises with other aggregators over the backhaul for device
 //     verification, roamed-record forwarding and membership transfer,
 //   * broadcasts time-sync beacons,
+//   * ingests every accepted record into an embedded time-series store
+//     (store::Tsdb) that answers billing, verification-window and forecast
+//     reads as historical queries,
 //   * bills its home devices (location-independent per-device billing).
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include "core/billing.hpp"
 #include "core/config.hpp"
 #include "core/energy_meter.hpp"
+#include "core/forecast.hpp"
 #include "core/membership.hpp"
 #include "core/messages.hpp"
 #include "core/protocol.hpp"
@@ -34,6 +38,7 @@
 #include "net/tdma.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
+#include "store/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -91,6 +96,12 @@ class Aggregator {
   }
   [[nodiscard]] const BillingService& billing() const noexcept {
     return billing_;
+  }
+  /// Historical store: every accepted record, queryable by time range.
+  [[nodiscard]] const store::Tsdb& tsdb() const noexcept { return tsdb_; }
+  /// Demand forecaster fed from per-window store queries.
+  [[nodiscard]] const DemandForecaster& forecaster() const noexcept {
+    return forecaster_;
   }
   [[nodiscard]] const chain::Ledger& replica() const noexcept {
     return replica_;
@@ -151,7 +162,11 @@ class Aggregator {
   net::TdmaSchedule tdma_;
   MembershipTable members_;
   AnomalyDetector detector_;
+  /// Single source of historical truth: billing, verification windows and
+  /// forecasting all read from here instead of keeping accumulators.
+  store::Tsdb tsdb_;
   BillingService billing_;
+  DemandForecaster forecaster_;
   chain::Ledger replica_;  // local replica fed by chain_block broadcasts
 
   // Feeder ground-truth instrumentation (the "centralized meter").
@@ -159,9 +174,9 @@ class Aggregator {
   std::unique_ptr<hw::Ina219> feeder_sensor_;
   EnergyMeter feeder_meter_;
 
-  // Verification window accumulators.
+  // Verification window state.  The feeder side keeps a running mean (the
+  // feeder is not a device stream); the reported side is a store query.
   util::RunningStats window_feeder_ma_;
-  std::map<DeviceId, util::RunningStats> window_reported_ma_;
   sim::SimTime window_start_{};
   sim::SimTime last_membership_change_{};
   std::vector<VerificationResult> verification_history_;

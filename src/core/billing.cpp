@@ -7,6 +7,10 @@ namespace emon::core {
 BillingService::BillingService(NetworkId home_network, Tariff tariff)
     : home_(std::move(home_network)), tariff_(tariff) {}
 
+void BillingService::mark_billable(const DeviceId& id, std::int64_t from_ns) {
+  billable_.try_emplace(id, from_ns);
+}
+
 void BillingService::ingest(const ConsumptionRecord& record) {
   // Duplicate suppression on (device, sequence): retransmitted or doubly
   // forwarded records must not double-bill.
@@ -36,14 +40,11 @@ void BillingService::ingest_ledger(const chain::Ledger& ledger) {
   }
 }
 
-Invoice BillingService::invoice_for(const DeviceId& id) const {
+Invoice BillingService::price(const DeviceId& id,
+                              const std::map<NetworkId, Bucket>& usage) const {
   Invoice invoice;
   invoice.device_id = id;
-  const auto it = buckets_.find(id);
-  if (it == buckets_.end()) {
-    return invoice;
-  }
-  for (const auto& [network, bucket] : it->second) {
+  for (const auto& [network, bucket] : usage) {
     InvoiceLine line;
     line.network = network;
     line.energy_mwh = bucket.energy_mwh;
@@ -59,13 +60,54 @@ Invoice BillingService::invoice_for(const DeviceId& id) const {
   return invoice;
 }
 
+Invoice BillingService::invoice_for(const DeviceId& id) const {
+  if (store_backed()) {
+    const auto mark = billable_.find(id);
+    const std::int64_t from_ns =
+        mark == billable_.end() ? INT64_MIN : mark->second;
+    std::map<NetworkId, Bucket> usage;
+    for (const auto& [network, use] : tsdb_->network_breakdown(id, from_ns)) {
+      usage[network] = Bucket{use.energy_mwh, use.records};
+    }
+    return price(id, usage);
+  }
+  const auto it = buckets_.find(id);
+  if (it == buckets_.end()) {
+    return price(id, {});
+  }
+  return price(id, it->second);
+}
+
 std::vector<DeviceId> BillingService::billed_devices() const {
   std::vector<DeviceId> out;
+  if (store_backed()) {
+    out.reserve(billable_.size());
+    for (const auto& [id, _] : billable_) {
+      if (tsdb_->has_device(id)) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
   out.reserve(buckets_.size());
   for (const auto& [id, _] : buckets_) {
     out.push_back(id);
   }
   return out;
+}
+
+double BillingService::total_energy_mwh() const {
+  if (store_backed()) {
+    double total = 0.0;
+    for (const auto& [id, from_ns] : billable_) {
+      for (const auto& [network, use] : tsdb_->network_breakdown(id, from_ns)) {
+        (void)network;
+        total += use.energy_mwh;
+      }
+    }
+    return total;
+  }
+  return total_mwh_;
 }
 
 }  // namespace emon::core

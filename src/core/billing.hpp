@@ -2,12 +2,23 @@
 // Billing service (application layer of Figure 2; "services such as
 // billing").
 //
-// The home aggregator bills each of its devices from chain records:
-// location-independent per-device billing is the architecture's headline
-// capability ("offering location-independent per-device billing", abstract).
-// Energy consumed while roaming arrives via roam_records and is billed at
-// home, optionally with a per-network surcharge (host networks may charge
-// for infrastructure use).
+// The home aggregator bills each of its devices: location-independent
+// per-device billing is the architecture's headline capability ("offering
+// location-independent per-device billing", abstract).  Energy consumed
+// while roaming arrives via roam_records and is billed at home, optionally
+// with a per-network surcharge (host networks may charge for infrastructure
+// use).
+//
+// Two modes share the pricing logic:
+//   * store-backed (the aggregator's mode): bind_store() points the service
+//     at the aggregator's Tsdb and invoices are priced from
+//     `network_breakdown()` queries — the store is the single source of
+//     historical truth, there is no second accumulator to drift from it.
+//     mark_billable() scopes invoicing to home members (the store also holds
+//     visiting devices' history, which their *home* aggregator bills).
+//   * standalone accumulator: `ingest()`/`ingest_ledger()` keep exact
+//     per-device/per-network buckets — used for audit replay of the chain
+//     and as an independent reference in tests.
 
 #include <cstdint>
 #include <map>
@@ -16,6 +27,7 @@
 
 #include "chain/ledger.hpp"
 #include "core/records.hpp"
+#include "store/tsdb.hpp"
 
 namespace emon::core {
 
@@ -42,10 +54,23 @@ struct Invoice {
   double total_cost = 0.0;
 };
 
-/// Accumulates records into per-device, per-network energy totals.
 class BillingService {
  public:
   BillingService(NetworkId home_network, Tariff tariff);
+
+  // -- Store-backed mode -------------------------------------------------------
+
+  /// Prices invoices from `tsdb` queries instead of internal buckets.
+  void bind_store(const store::Tsdb* tsdb) noexcept { tsdb_ = tsdb; }
+  [[nodiscard]] bool store_backed() const noexcept { return tsdb_ != nullptr; }
+  /// Registers a device this service is responsible for billing (home
+  /// members; visiting devices are billed by their own home aggregator).
+  /// `from_ns` scopes billing to records from that timestamp on — an
+  /// ownership transfer must not re-bill visiting-era history the previous
+  /// master already invoiced.  An earlier existing mark is kept.
+  void mark_billable(const DeviceId& id, std::int64_t from_ns = INT64_MIN);
+
+  // -- Standalone accumulator mode ---------------------------------------------
 
   /// Ingests a single validated record.
   void ingest(const ConsumptionRecord& record);
@@ -54,10 +79,13 @@ class BillingService {
   /// records not parseable as ConsumptionRecord are counted as foreign).
   void ingest_ledger(const chain::Ledger& ledger);
 
+  // -- Invoicing (both modes) --------------------------------------------------
+
   [[nodiscard]] Invoice invoice_for(const DeviceId& id) const;
   [[nodiscard]] std::vector<DeviceId> billed_devices() const;
-  /// Total energy across all devices and networks (conservation checks).
-  [[nodiscard]] double total_energy_mwh() const noexcept { return total_mwh_; }
+  /// Total energy across all billed devices and networks (conservation
+  /// checks).
+  [[nodiscard]] double total_energy_mwh() const;
   [[nodiscard]] std::uint64_t records_ingested() const noexcept {
     return ingested_;
   }
@@ -74,11 +102,18 @@ class BillingService {
     std::uint64_t records = 0;
   };
 
+  /// Prices one device's per-network usage under the tariff.
+  [[nodiscard]] Invoice price(const DeviceId& id,
+                              const std::map<NetworkId, Bucket>& usage) const;
+
   NetworkId home_;
   Tariff tariff_;
-  // device -> network -> bucket
+  const store::Tsdb* tsdb_ = nullptr;
+  /// Billable devices -> earliest record timestamp this service bills.
+  std::map<DeviceId, std::int64_t> billable_;
+  // Accumulator mode: device -> network -> bucket.
   std::map<DeviceId, std::map<NetworkId, Bucket>> buckets_;
-  // device -> seen sequence numbers' high-water mark per network source
+  // device -> seen sequence numbers (duplicate suppression).
   std::map<DeviceId, std::map<std::uint64_t, bool>> seen_sequences_;
   double total_mwh_ = 0.0;
   std::uint64_t ingested_ = 0;

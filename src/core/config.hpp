@@ -18,6 +18,11 @@ struct DeviceConfig {
   sim::Duration t_measure = sim::milliseconds(100);
   /// Local storage capacity in records; at 10 Hz, 18000 records = 30 min.
   std::size_t local_store_capacity = 18'000;
+  /// Byte budget of the device's compressed offline series (store/); at
+  /// ~10 B/record sealed this holds hours of history.  0 disables.
+  std::size_t local_store_bytes = 256 * 1024;
+  /// Records per sealed segment of the offline series.
+  std::size_t local_store_seal_records = 64;
   /// Settle time after association before the firmware trusts the link and
   /// begins registration (RSSI stability confirmation).
   sim::Duration join_settle_min = sim::milliseconds(1000);

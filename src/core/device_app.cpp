@@ -69,7 +69,10 @@ DeviceApp::DeviceApp(sim::Kernel& kernel, DeviceId id,
       wifi_(medium, id_, config.wifi, seeds.stream("wifi." + id_)),
       mqtt_(kernel, id_),
       timesync_(rtc_),
-      store_(config.device.local_store_capacity) {
+      store_(store::SeriesStoreOptions{
+          config.device.local_store_bytes,
+          config.device.local_store_capacity,
+          config.device.local_store_seal_records}) {
   if (!grids_ || !brokers_) {
     throw std::invalid_argument("DeviceApp requires grid and broker resolvers");
   }

@@ -4,7 +4,8 @@
 //   physical   — Esp32Soc power model, INA219 + DS3231 on an I2C bus
 //   middleware — sampling loop (EnergyMeter) on a periodic timer
 //   network    — WifiStation (scan/associate by RSSI) + MqttClient + TDMA
-//   data       — LocalStore offline buffering, record serialization
+//   data       — store::SeriesStore offline buffering (compressed columnar
+//                segments under a byte budget), record serialization
 //   application— registration state machine (Figure 3), reporting, billing
 //                hooks, time-sync agent
 //
@@ -22,7 +23,6 @@
 
 #include "core/config.hpp"
 #include "core/energy_meter.hpp"
-#include "core/local_store.hpp"
 #include "core/membership.hpp"
 #include "core/messages.hpp"
 #include "core/protocol.hpp"
@@ -36,6 +36,7 @@
 #include "net/wifi.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
+#include "store/series_store.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -140,7 +141,7 @@ class DeviceApp {
     return state_ == DeviceState::kReporting;
   }
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const LocalStore& local_store() const noexcept {
+  [[nodiscard]] const store::SeriesStore& local_store() const noexcept {
     return store_;
   }
   [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
@@ -191,8 +192,9 @@ class DeviceApp {
   net::MqttClient mqtt_;
   net::TimeSyncAgent timesync_;
 
-  // Data layer.
-  LocalStore store_;
+  // Data layer: compressed offline series (store/), replacing the flat
+  // LocalStore FIFO — same push/pop_batch contract, byte-budgeted history.
+  store::SeriesStore store_;
 
   // Application state.
   DeviceState state_ = DeviceState::kUnplugged;

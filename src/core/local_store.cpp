@@ -51,4 +51,9 @@ void LocalStore::push_front(std::vector<ConsumptionRecord> records) {
 
 void LocalStore::clear() noexcept { queue_.clear(); }
 
+void LocalStore::reset_counters() noexcept {
+  dropped_ = 0;
+  peak_ = queue_.size();
+}
+
 }  // namespace emon::core

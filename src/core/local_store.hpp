@@ -33,12 +33,19 @@ class LocalStore {
   [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Records lost to overflow since construction.
+  /// Records lost to overflow since construction or the last
+  /// reset_counters() — clear() does NOT reset this.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
-  /// High-water mark of the queue.
+  /// High-water mark of the queue since construction or the last
+  /// reset_counters().
   [[nodiscard]] std::size_t peak_size() const noexcept { return peak_; }
 
+  /// Discards buffered records.  Counters are preserved; call
+  /// reset_counters() when reusing the store across scenario phases.
   void clear() noexcept;
+
+  /// Zeroes dropped() and re-bases peak_size() to the current size.
+  void reset_counters() noexcept;
 
  private:
   std::size_t capacity_;

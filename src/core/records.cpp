@@ -79,6 +79,14 @@ std::vector<ConsumptionRecord> deserialize_records(
   util::ByteReader r{
       std::span<const std::uint8_t>(bytes.data(), bytes.size())};
   const std::uint32_t count = r.u32();
+  // A record is at least kRecordWireFixedBytes (fixed fields + two empty
+  // strings); an adversarial count prefix must not drive a giant reserve()
+  // before the per-record reads hit end-of-buffer.
+  if (count > r.remaining() / kRecordWireFixedBytes) {
+    throw util::DecodeError("record count " + std::to_string(count) +
+                            " exceeds remaining " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
   std::vector<ConsumptionRecord> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

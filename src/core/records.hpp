@@ -52,6 +52,11 @@ struct ConsumptionRecord {
                          const ConsumptionRecord&) = default;
 };
 
+/// Fixed-field wire size of `serialize_record` output (both strings empty):
+/// 2 length prefixes + u64 + 2*i64 + 3*f64 + 2*u8.  The floor for batch
+/// count validation and the per-record cost of uncompressed buffering.
+inline constexpr std::size_t kRecordWireFixedBytes = 58;
+
 /// Canonical serialization (the byte form committed into blocks).
 [[nodiscard]] chain::RecordBytes serialize_record(const ConsumptionRecord& r);
 

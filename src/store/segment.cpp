@@ -1,0 +1,520 @@
+#include "store/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace emon::store {
+
+namespace {
+
+// "ESG1" little-endian.
+constexpr std::uint32_t kSegmentMagic = 0x31475345;
+constexpr std::uint8_t kSegmentVersion = 1;
+
+/// Column order inside a sealed segment.
+enum Column : std::size_t {
+  kColTimestamps = 0,
+  kColSequences = 1,
+  kColIntervals = 2,
+  kColCurrents = 3,
+  kColVoltages = 4,
+  kColEnergies = 5,
+  kColNetworks = 6,
+  kColFlags = 7,
+  kColumnCount = 8,
+};
+
+constexpr std::uint8_t kFlagTemporary = 0x1;
+constexpr std::uint8_t kFlagOffline = 0x2;
+
+}  // namespace
+
+std::int64_t quantize(double value, double scale) noexcept {
+  return std::llround(value * scale);
+}
+
+double dequantize(std::int64_t q, double scale) noexcept {
+  return static_cast<double>(q) / scale;
+}
+
+const char* to_string(SegmentFault f) noexcept {
+  switch (f) {
+    case SegmentFault::kBadMagic:
+      return "bad-magic";
+    case SegmentFault::kBadVersion:
+      return "bad-version";
+    case SegmentFault::kTruncated:
+      return "truncated";
+    case SegmentFault::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Parse (foreign bytes -> validated Segment)
+// ---------------------------------------------------------------------------
+
+SegmentResult<Segment> Segment::parse(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  const auto magic = r.try_u32();
+  if (!magic) {
+    return SegmentError{SegmentFault::kTruncated, "no room for magic"};
+  }
+  if (*magic != kSegmentMagic) {
+    return SegmentError{SegmentFault::kBadMagic, "not a segment"};
+  }
+  const auto version = r.try_u8();
+  if (!version) {
+    return SegmentError{SegmentFault::kTruncated, "no room for version"};
+  }
+  if (*version > kSegmentVersion) {
+    return SegmentError{SegmentFault::kBadVersion,
+                        "segment version " + std::to_string(*version)};
+  }
+
+  Segment seg;
+  auto device = r.try_str();
+  if (!device) {
+    return SegmentError{SegmentFault::kTruncated, "device id"};
+  }
+  seg.device_ = std::move(*device);
+
+  // Summary block.
+  auto& s = seg.summary_;
+  const auto count = r.try_varint();
+  const auto t_min = r.try_zigzag();
+  const auto t_max = r.try_zigzag();
+  const auto seq_min = r.try_varint();
+  const auto seq_max = r.try_varint();
+  const auto cur_min = r.try_zigzag();
+  const auto cur_max = r.try_zigzag();
+  const auto cur_sum = r.try_zigzag();
+  const auto volt_min = r.try_zigzag();
+  const auto volt_max = r.try_zigzag();
+  const auto energy_sum = r.try_zigzag();
+  if (!count || !t_min || !t_max || !seq_min || !seq_max || !cur_min ||
+      !cur_max || !cur_sum || !volt_min || !volt_max || !energy_sum) {
+    return SegmentError{SegmentFault::kTruncated, "summary block"};
+  }
+  // Each record costs at least one byte per varint column plus 2 bits of
+  // flags; an adversarial count cannot exceed the bytes present (and the
+  // bound keeps later (count + 3) / 4 arithmetic overflow-free).
+  if (*count > r.remaining()) {
+    return SegmentError{SegmentFault::kCorrupt,
+                        "record count exceeds remaining bytes"};
+  }
+  s.count = *count;
+  s.t_min_ns = *t_min;
+  s.t_max_ns = *t_max;
+  s.seq_min = *seq_min;
+  s.seq_max = *seq_max;
+  s.current_q_min = *cur_min;
+  s.current_q_max = *cur_max;
+  s.current_q_sum = *cur_sum;
+  s.voltage_q_min = *volt_min;
+  s.voltage_q_max = *volt_max;
+  s.energy_q_sum = *energy_sum;
+
+  // Network dictionary with per-network subtotals.
+  const auto dict_count = r.try_varint();
+  if (!dict_count) {
+    return SegmentError{SegmentFault::kTruncated, "dictionary count"};
+  }
+  // Each entry needs at least a 4-byte length prefix + 2 varint bytes, so an
+  // adversarial count cannot force a giant allocation.
+  if (*dict_count > r.remaining() / 6 + 1) {
+    return SegmentError{SegmentFault::kCorrupt,
+                        "dictionary count exceeds remaining bytes"};
+  }
+  std::uint64_t dict_records = 0;
+  seg.dictionary_.reserve(static_cast<std::size_t>(*dict_count));
+  s.networks.reserve(static_cast<std::size_t>(*dict_count));
+  for (std::uint64_t i = 0; i < *dict_count; ++i) {
+    auto name = r.try_str();
+    const auto records = r.try_varint();
+    const auto energy_q = r.try_zigzag();
+    if (!name || !records || !energy_q) {
+      return SegmentError{SegmentFault::kTruncated, "dictionary entry"};
+    }
+    dict_records += *records;
+    seg.dictionary_.push_back(*name);
+    s.networks.push_back(NetworkSubtotal{std::move(*name), *records,
+                                         *energy_q});
+  }
+  if (dict_records != s.count) {
+    return SegmentError{SegmentFault::kCorrupt,
+                        "dictionary subtotals disagree with record count"};
+  }
+
+  // Column blocks.
+  const auto n_columns = r.try_u8();
+  if (!n_columns) {
+    return SegmentError{SegmentFault::kTruncated, "column count"};
+  }
+  if (*n_columns != kColumnCount) {
+    return SegmentError{SegmentFault::kCorrupt,
+                        "expected " + std::to_string(kColumnCount) +
+                            " columns, got " + std::to_string(*n_columns)};
+  }
+  seg.columns_.reserve(kColumnCount);
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    const auto len = r.try_u32();
+    if (!len) {
+      return SegmentError{SegmentFault::kTruncated, "column length"};
+    }
+    if (r.remaining() < *len) {
+      return SegmentError{SegmentFault::kTruncated, "column body"};
+    }
+    seg.columns_.push_back(
+        ColumnSpan{bytes.size() - r.remaining(), *len});
+    (void)r.try_raw(*len);
+  }
+  if (!r.done()) {
+    return SegmentError{SegmentFault::kCorrupt, "trailing bytes"};
+  }
+  // The flags column is fixed-width: exactly 2 bits per record.
+  if (seg.columns_[kColFlags].length != (s.count + 3) / 4) {
+    return SegmentError{SegmentFault::kCorrupt, "flags column size"};
+  }
+  seg.bytes_.assign(bytes.begin(), bytes.end());
+  return seg;
+}
+
+SegmentCursor Segment::cursor() const { return SegmentCursor{*this}; }
+
+std::vector<ConsumptionRecord> Segment::decode_all() const {
+  std::vector<ConsumptionRecord> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  SegmentCursor cur{*this};
+  while (auto rec = cur.next()) {
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor (lazy decode)
+// ---------------------------------------------------------------------------
+
+SegmentCursor::SegmentCursor(const Segment& segment)
+    : segment_(&segment),
+      timestamps_(column(kColTimestamps)),
+      sequences_(column(kColSequences)),
+      intervals_(column(kColIntervals)),
+      currents_(column(kColCurrents)),
+      voltages_(column(kColVoltages)),
+      energies_(column(kColEnergies)),
+      networks_(column(kColNetworks)),
+      flags_(column(kColFlags)) {}
+
+util::ByteReader SegmentCursor::column(std::size_t index) const {
+  const auto& span = segment_->columns_[index];
+  return util::ByteReader{std::span<const std::uint8_t>(
+      segment_->bytes_.data() + span.offset, span.length)};
+}
+
+std::optional<ConsumptionRecord> SegmentCursor::next() {
+  if (done()) {
+    return std::nullopt;
+  }
+  const auto fail = [this](const char* what) -> std::optional<ConsumptionRecord> {
+    error_ = SegmentError{SegmentFault::kCorrupt,
+                          std::string(what) + " column exhausted at record " +
+                              std::to_string(decoded_)};
+    return std::nullopt;
+  };
+
+  // Timestamps: raw, then delta, then delta-of-delta.
+  const auto ts = timestamps_.try_zigzag();
+  if (!ts) {
+    return fail("timestamp");
+  }
+  if (decoded_ == 0) {
+    last_ts_ = *ts;
+  } else if (decoded_ == 1) {
+    last_ts_delta_ = *ts;
+    last_ts_ += last_ts_delta_;
+  } else {
+    last_ts_delta_ += *ts;
+    last_ts_ += last_ts_delta_;
+  }
+
+  // Sequences: raw first value, then signed deltas.
+  if (decoded_ == 0) {
+    const auto seq = sequences_.try_varint();
+    if (!seq) {
+      return fail("sequence");
+    }
+    last_seq_ = *seq;
+  } else {
+    const auto d = sequences_.try_zigzag();
+    if (!d) {
+      return fail("sequence");
+    }
+    last_seq_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(last_seq_) + *d);
+  }
+
+  const auto decode_delta = [this](util::ByteReader& r,
+                                   std::int64_t& last) -> bool {
+    const auto v = r.try_zigzag();
+    if (!v) {
+      return false;
+    }
+    last = decoded_ == 0 ? *v : last + *v;
+    return true;
+  };
+  if (!decode_delta(intervals_, last_interval_)) {
+    return fail("interval");
+  }
+  if (!decode_delta(currents_, last_current_q_)) {
+    return fail("current");
+  }
+  if (!decode_delta(voltages_, last_voltage_q_)) {
+    return fail("voltage");
+  }
+  if (!decode_delta(energies_, last_energy_q_)) {
+    return fail("energy");
+  }
+
+  const auto net_idx = networks_.try_varint();
+  if (!net_idx) {
+    return fail("network");
+  }
+  if (*net_idx >= segment_->dictionary_.size()) {
+    error_ = SegmentError{SegmentFault::kCorrupt,
+                          "network index " + std::to_string(*net_idx) +
+                              " outside dictionary"};
+    return std::nullopt;
+  }
+
+  if (decoded_ % 4 == 0) {
+    const auto packed = flags_.try_u8();
+    if (!packed) {
+      return fail("flags");
+    }
+    flags_byte_ = *packed;
+  }
+  const std::uint8_t flags =
+      (flags_byte_ >> ((decoded_ % 4) * 2)) & 0x3;
+
+  ConsumptionRecord rec;
+  rec.device_id = segment_->device_;
+  rec.sequence = last_seq_;
+  rec.timestamp_ns = last_ts_;
+  rec.interval_ns = last_interval_;
+  rec.current_ma = dequantize(last_current_q_, kCurrentScale);
+  rec.bus_voltage_mv = dequantize(last_voltage_q_, kVoltageScale);
+  rec.energy_mwh = dequantize(last_energy_q_, kEnergyScale);
+  rec.network = segment_->dictionary_[static_cast<std::size_t>(*net_idx)];
+  rec.membership = (flags & kFlagTemporary) != 0
+                       ? core::MembershipKind::kTemporary
+                       : core::MembershipKind::kHome;
+  rec.stored_offline = (flags & kFlagOffline) != 0;
+  ++decoded_;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+void SegmentBuilder::append(const ConsumptionRecord& record) {
+  if (empty()) {
+    device_ = record.device_id;
+  }
+  timestamps_.push_back(record.timestamp_ns);
+  sequences_.push_back(record.sequence);
+  intervals_.push_back(record.interval_ns);
+  currents_q_.push_back(quantize(record.current_ma, kCurrentScale));
+  voltages_q_.push_back(quantize(record.bus_voltage_mv, kVoltageScale));
+  energies_q_.push_back(quantize(record.energy_mwh, kEnergyScale));
+
+  std::uint32_t net_id = 0;
+  const auto it =
+      std::find(dictionary_.begin(), dictionary_.end(), record.network);
+  if (it == dictionary_.end()) {
+    net_id = static_cast<std::uint32_t>(dictionary_.size());
+    dictionary_.push_back(record.network);
+  } else {
+    net_id = static_cast<std::uint32_t>(it - dictionary_.begin());
+  }
+  network_ids_.push_back(net_id);
+
+  std::uint8_t flags = 0;
+  if (record.membership == core::MembershipKind::kTemporary) {
+    flags |= kFlagTemporary;
+  }
+  if (record.stored_offline) {
+    flags |= kFlagOffline;
+  }
+  flags_.push_back(flags);
+}
+
+SegmentSummary SegmentBuilder::summary() const {
+  SegmentSummary s;
+  s.count = count();
+  if (empty()) {
+    return s;
+  }
+  s.t_min_ns = *std::min_element(timestamps_.begin(), timestamps_.end());
+  s.t_max_ns = *std::max_element(timestamps_.begin(), timestamps_.end());
+  s.seq_min = *std::min_element(sequences_.begin(), sequences_.end());
+  s.seq_max = *std::max_element(sequences_.begin(), sequences_.end());
+  s.current_q_min = *std::min_element(currents_q_.begin(), currents_q_.end());
+  s.current_q_max = *std::max_element(currents_q_.begin(), currents_q_.end());
+  s.voltage_q_min = *std::min_element(voltages_q_.begin(), voltages_q_.end());
+  s.voltage_q_max = *std::max_element(voltages_q_.begin(), voltages_q_.end());
+  for (const auto q : currents_q_) {
+    s.current_q_sum += q;
+  }
+  for (const auto q : energies_q_) {
+    s.energy_q_sum += q;
+  }
+  s.networks.resize(dictionary_.size());
+  for (std::size_t i = 0; i < dictionary_.size(); ++i) {
+    s.networks[i].network = dictionary_[i];
+  }
+  for (std::size_t i = 0; i < network_ids_.size(); ++i) {
+    auto& sub = s.networks[network_ids_[i]];
+    sub.records += 1;
+    sub.energy_q_sum += energies_q_[i];
+  }
+  return s;
+}
+
+std::size_t SegmentBuilder::open_bytes() const noexcept {
+  // Six 8-byte columns, a 4-byte dictionary id and a flags byte per record,
+  // plus the dictionary strings.
+  std::size_t bytes = count() * (6 * 8 + 4 + 1) + device_.size();
+  for (const auto& name : dictionary_) {
+    bytes += name.size();
+  }
+  return bytes;
+}
+
+ConsumptionRecord SegmentBuilder::record_at(std::size_t i) const {
+  ConsumptionRecord rec;
+  rec.device_id = device_;
+  rec.sequence = sequences_[i];
+  rec.timestamp_ns = timestamps_[i];
+  rec.interval_ns = intervals_[i];
+  rec.current_ma = dequantize(currents_q_[i], kCurrentScale);
+  rec.bus_voltage_mv = dequantize(voltages_q_[i], kVoltageScale);
+  rec.energy_mwh = dequantize(energies_q_[i], kEnergyScale);
+  rec.network = dictionary_[network_ids_[i]];
+  rec.membership = (flags_[i] & kFlagTemporary) != 0
+                       ? core::MembershipKind::kTemporary
+                       : core::MembershipKind::kHome;
+  rec.stored_offline = (flags_[i] & kFlagOffline) != 0;
+  return rec;
+}
+
+Segment SegmentBuilder::seal() {
+  const SegmentSummary s = summary();
+  const std::size_t n = timestamps_.size();
+
+  util::ByteWriter cols[kColumnCount];
+  std::int64_t prev_ts = 0;
+  std::int64_t prev_ts_delta = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Timestamps: raw, delta, then delta-of-delta.
+    if (i == 0) {
+      cols[kColTimestamps].zigzag(timestamps_[0]);
+    } else {
+      const std::int64_t delta = timestamps_[i] - prev_ts;
+      cols[kColTimestamps].zigzag(i == 1 ? delta : delta - prev_ts_delta);
+      prev_ts_delta = delta;
+    }
+    prev_ts = timestamps_[i];
+
+    if (i == 0) {
+      cols[kColSequences].varint(sequences_[0]);
+      cols[kColIntervals].zigzag(intervals_[0]);
+      cols[kColCurrents].zigzag(currents_q_[0]);
+      cols[kColVoltages].zigzag(voltages_q_[0]);
+      cols[kColEnergies].zigzag(energies_q_[0]);
+    } else {
+      cols[kColSequences].zigzag(static_cast<std::int64_t>(sequences_[i]) -
+                                 static_cast<std::int64_t>(sequences_[i - 1]));
+      cols[kColIntervals].zigzag(intervals_[i] - intervals_[i - 1]);
+      cols[kColCurrents].zigzag(currents_q_[i] - currents_q_[i - 1]);
+      cols[kColVoltages].zigzag(voltages_q_[i] - voltages_q_[i - 1]);
+      cols[kColEnergies].zigzag(energies_q_[i] - energies_q_[i - 1]);
+    }
+    cols[kColNetworks].varint(network_ids_[i]);
+  }
+  for (std::size_t i = 0; i < n; i += 4) {
+    std::uint8_t packed = 0;
+    for (std::size_t j = 0; j < 4 && i + j < n; ++j) {
+      packed = static_cast<std::uint8_t>(packed |
+                                         ((flags_[i + j] & 0x3) << (j * 2)));
+    }
+    cols[kColFlags].u8(packed);
+  }
+
+  util::ByteWriter w;
+  w.u32(kSegmentMagic);
+  w.u8(kSegmentVersion);
+  w.str(device_);
+  w.varint(s.count);
+  w.zigzag(s.t_min_ns);
+  w.zigzag(s.t_max_ns);
+  w.varint(s.seq_min);
+  w.varint(s.seq_max);
+  w.zigzag(s.current_q_min);
+  w.zigzag(s.current_q_max);
+  w.zigzag(s.current_q_sum);
+  w.zigzag(s.voltage_q_min);
+  w.zigzag(s.voltage_q_max);
+  w.zigzag(s.energy_q_sum);
+  w.varint(dictionary_.size());
+  for (const auto& sub : s.networks) {
+    w.str(sub.network);
+    w.varint(sub.records);
+    w.zigzag(sub.energy_q_sum);
+  }
+  w.u8(kColumnCount);
+  Segment seg;
+  seg.device_ = device_;
+  seg.summary_ = s;
+  seg.dictionary_ = dictionary_;
+  seg.columns_.reserve(kColumnCount);
+  // Column offsets are only known as we lay the blocks down.
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    const auto& bytes = cols[c].bytes();
+    w.u32(static_cast<std::uint32_t>(bytes.size()));
+    seg.columns_.push_back(Segment::ColumnSpan{w.size(), bytes.size()});
+    w.raw(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  }
+  seg.bytes_ = w.take();
+  clear();
+  return seg;
+}
+
+std::vector<ConsumptionRecord> SegmentBuilder::drain() {
+  std::vector<ConsumptionRecord> out;
+  out.reserve(timestamps_.size());
+  for (std::size_t i = 0; i < timestamps_.size(); ++i) {
+    out.push_back(record_at(i));
+  }
+  clear();
+  return out;
+}
+
+void SegmentBuilder::clear() {
+  device_.clear();
+  timestamps_.clear();
+  sequences_.clear();
+  intervals_.clear();
+  currents_q_.clear();
+  voltages_q_.clear();
+  energies_q_.clear();
+  network_ids_.clear();
+  dictionary_.clear();
+  flags_.clear();
+}
+
+}  // namespace emon::store

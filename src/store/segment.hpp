@@ -1,0 +1,283 @@
+#pragma once
+// Columnar consumption-record segments — the storage unit of the embedded
+// time-series store (src/store/).
+//
+// A segment holds one device's records for a contiguous span of its stream,
+// encoded column-by-column so that each column's redundancy is exploited:
+//
+//   timestamps  delta-of-delta, zigzag varint   (regular sampling ≈ 1 B/rec)
+//   sequences   first value + zigzag varint deltas (monotone +1 ≈ 1 B/rec)
+//   intervals   zigzag varint deltas               (constant ≈ 1 B/rec)
+//   current     fixed-point µA (x1000), zigzag varint deltas
+//   voltage     fixed-point 10 µV (x100), zigzag varint deltas
+//   energy      fixed-point nWh (x1e6), zigzag varint deltas
+//   network     per-segment string dictionary + varint indices
+//   flags       membership + stored_offline, 2 bits/record packed
+//
+// Quantization tolerances (documented, asserted in tests/test_store.cpp):
+// current ±0.0005 mA, voltage ±0.005 mV, energy ±5e-7 mWh per record — so a
+// sum over N records is exact to N * 5e-7 mWh.
+//
+// Every sealed segment carries a summary block (count, time range, per-column
+// min/max/sum, per-network record/energy subtotals) so range queries can
+// prune whole segments and aggregate queries can be answered without
+// decoding.  Parsing foreign bytes never throws: `Segment::parse` returns a
+// typed `SegmentError` (util::ByteReader try_* API underneath), and the lazy
+// decoding cursor surfaces mid-stream corruption the same way.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/records.hpp"
+#include "util/bytes.hpp"
+
+namespace emon::store {
+
+using core::ConsumptionRecord;
+using core::DeviceId;
+using core::NetworkId;
+
+// -- Fixed-point quantization ---------------------------------------------------
+
+inline constexpr double kCurrentScale = 1000.0;   // mA -> µA
+inline constexpr double kVoltageScale = 100.0;    // mV -> 10 µV
+inline constexpr double kEnergyScale = 1e6;       // mWh -> nWh
+
+/// Worst-case per-record quantization error, in the record's own units.
+inline constexpr double kCurrentToleranceMa = 0.5 / kCurrentScale;
+inline constexpr double kVoltageToleranceMv = 0.5 / kVoltageScale;
+inline constexpr double kEnergyToleranceMwh = 0.5 / kEnergyScale;
+
+[[nodiscard]] std::int64_t quantize(double value, double scale) noexcept;
+[[nodiscard]] double dequantize(std::int64_t q, double scale) noexcept;
+
+// -- Typed parse/decode errors --------------------------------------------------
+
+enum class SegmentFault : std::uint8_t {
+  kBadMagic,        // first bytes are not the segment magic
+  kBadVersion,      // format version newer than this build understands
+  kTruncated,       // ran out of bytes mid-structure
+  kCorrupt,         // structurally complete but internally inconsistent
+};
+
+[[nodiscard]] const char* to_string(SegmentFault f) noexcept;
+
+struct SegmentError {
+  SegmentFault fault = SegmentFault::kCorrupt;
+  std::string detail;
+};
+
+/// Minimal expected-or-error for parse results (mirrors protocol::Result).
+template <typename T>
+class [[nodiscard]] SegmentResult {
+ public:
+  SegmentResult(T value) : v_(std::move(value)) {}            // NOLINT implicit
+  SegmentResult(SegmentError error) : v_(std::move(error)) {} // NOLINT implicit
+
+  [[nodiscard]] bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() { return std::get<0>(v_); }
+  [[nodiscard]] const T& value() const { return std::get<0>(v_); }
+  [[nodiscard]] const SegmentError& error() const { return std::get<1>(v_); }
+
+ private:
+  std::variant<T, SegmentError> v_;
+};
+
+// -- Summary ---------------------------------------------------------------------
+
+/// Per-network subtotal inside a segment (drives billing breakdowns without
+/// decoding the columns).
+struct NetworkSubtotal {
+  NetworkId network;
+  std::uint64_t records = 0;
+  std::int64_t energy_q_sum = 0;  // quantized nWh
+
+  [[nodiscard]] double energy_mwh() const noexcept {
+    return dequantize(energy_q_sum, kEnergyScale);
+  }
+};
+
+/// Pre-aggregated answers + pruning metadata, stored ahead of the columns.
+struct SegmentSummary {
+  std::uint64_t count = 0;
+  std::int64_t t_min_ns = 0;
+  std::int64_t t_max_ns = 0;
+  std::uint64_t seq_min = 0;
+  std::uint64_t seq_max = 0;
+  std::int64_t current_q_min = 0;
+  std::int64_t current_q_max = 0;
+  std::int64_t current_q_sum = 0;
+  std::int64_t voltage_q_min = 0;
+  std::int64_t voltage_q_max = 0;
+  std::int64_t energy_q_sum = 0;
+  std::vector<NetworkSubtotal> networks;
+
+  [[nodiscard]] double energy_mwh() const noexcept {
+    return dequantize(energy_q_sum, kEnergyScale);
+  }
+  [[nodiscard]] double mean_current_ma() const noexcept {
+    return count == 0 ? 0.0
+                      : dequantize(current_q_sum, kCurrentScale) /
+                            static_cast<double>(count);
+  }
+  /// True if [t_min, t_max] intersects the half-open query range [t0, t1).
+  [[nodiscard]] bool overlaps(std::int64_t t0_ns,
+                              std::int64_t t1_ns) const noexcept {
+    return t_min_ns < t1_ns && t_max_ns >= t0_ns;
+  }
+  /// True if every record's timestamp lies inside [t0, t1).
+  [[nodiscard]] bool contained_in(std::int64_t t0_ns,
+                                  std::int64_t t1_ns) const noexcept {
+    return t_min_ns >= t0_ns && t_max_ns < t1_ns;
+  }
+};
+
+// -- Sealed segment --------------------------------------------------------------
+
+class SegmentCursor;
+
+/// An immutable, sealed segment: encoded bytes + the parsed summary.
+class Segment {
+ public:
+  /// Validates and adopts an encoded segment.  Structural errors (bad magic,
+  /// future version, truncation, inconsistent column lengths) come back as
+  /// typed SegmentError values — never exceptions, never UB.
+  [[nodiscard]] static SegmentResult<Segment> parse(
+      std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const DeviceId& device() const noexcept { return device_; }
+  [[nodiscard]] const SegmentSummary& summary() const noexcept {
+    return summary_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return summary_.count; }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return bytes_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Lazy decoding cursor positioned at the first record.
+  [[nodiscard]] SegmentCursor cursor() const;
+
+  /// Decodes every record.  Intended for self-produced segments; on a
+  /// corrupt column stream it returns the records decoded so far (the cursor
+  /// API exposes the typed error for untrusted input).
+  [[nodiscard]] std::vector<ConsumptionRecord> decode_all() const;
+
+ private:
+  friend class SegmentBuilder;
+  friend class SegmentCursor;
+  Segment() = default;
+
+  DeviceId device_;
+  SegmentSummary summary_;
+  std::vector<std::uint8_t> bytes_;
+  // Column block offsets/lengths inside bytes_ (validated by parse()).
+  struct ColumnSpan {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  std::vector<ColumnSpan> columns_;
+  std::vector<NetworkId> dictionary_;
+};
+
+/// Streaming decoder over a sealed segment: `next()` yields records one at a
+/// time without materializing the whole segment; a corrupt column stream
+/// stops iteration and surfaces a typed error.
+class SegmentCursor {
+ public:
+  explicit SegmentCursor(const Segment& segment);
+
+  /// Decodes the next record, or nullopt at end-of-segment / on error.
+  [[nodiscard]] std::optional<ConsumptionRecord> next();
+
+  [[nodiscard]] std::uint64_t decoded() const noexcept { return decoded_; }
+  [[nodiscard]] bool done() const noexcept {
+    return decoded_ == segment_->count() || error_.has_value();
+  }
+  /// Set iff iteration stopped on corruption rather than end-of-segment.
+  [[nodiscard]] const std::optional<SegmentError>& error() const noexcept {
+    return error_;
+  }
+
+ private:
+  [[nodiscard]] util::ByteReader column(std::size_t index) const;
+
+  const Segment* segment_;
+  std::uint64_t decoded_ = 0;
+  std::optional<SegmentError> error_;
+  // Per-column readers (indices match the Column enum in segment.cpp).
+  util::ByteReader timestamps_;
+  util::ByteReader sequences_;
+  util::ByteReader intervals_;
+  util::ByteReader currents_;
+  util::ByteReader voltages_;
+  util::ByteReader energies_;
+  util::ByteReader networks_;
+  util::ByteReader flags_;
+  // Running decode state.
+  std::int64_t last_ts_ = 0;
+  std::int64_t last_ts_delta_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::int64_t last_interval_ = 0;
+  std::int64_t last_current_q_ = 0;
+  std::int64_t last_voltage_q_ = 0;
+  std::int64_t last_energy_q_ = 0;
+  std::uint8_t flags_byte_ = 0;
+};
+
+// -- Builder ---------------------------------------------------------------------
+
+/// Append-only open head of a series.  Records are quantized on append (so
+/// the open head and sealed segments agree bit-for-bit on stored values) and
+/// kept in columnar arrays until `seal()` encodes them.
+class SegmentBuilder {
+ public:
+  SegmentBuilder() = default;
+
+  void append(const ConsumptionRecord& record);
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return static_cast<std::uint64_t>(timestamps_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return timestamps_.empty(); }
+  [[nodiscard]] const DeviceId& device() const noexcept { return device_; }
+  /// Summary over the records appended so far (same shape as a sealed
+  /// segment's, so queries treat the head uniformly).
+  [[nodiscard]] SegmentSummary summary() const;
+  /// In-memory footprint of the open columns (the byte-budget contribution
+  /// of the head before it compresses).
+  [[nodiscard]] std::size_t open_bytes() const noexcept;
+
+  /// Reconstructs the i-th appended record (dequantized values).
+  [[nodiscard]] ConsumptionRecord record_at(std::size_t i) const;
+
+  /// Encodes the columns into a sealed Segment and resets the builder.
+  [[nodiscard]] Segment seal();
+
+  /// Returns all appended records (dequantized) and resets the builder.
+  [[nodiscard]] std::vector<ConsumptionRecord> drain();
+
+  void clear();
+
+ private:
+  DeviceId device_;
+  std::vector<std::int64_t> timestamps_;
+  std::vector<std::uint64_t> sequences_;
+  std::vector<std::int64_t> intervals_;
+  std::vector<std::int64_t> currents_q_;
+  std::vector<std::int64_t> voltages_q_;
+  std::vector<std::int64_t> energies_q_;
+  std::vector<std::uint32_t> network_ids_;
+  std::vector<NetworkId> dictionary_;
+  std::vector<std::uint8_t> flags_;  // bit0 temporary-membership, bit1 offline
+};
+
+}  // namespace emon::store

@@ -1,0 +1,323 @@
+#include "store/tsdb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emon::store {
+
+namespace {
+/// Sequences remembered per device for duplicate suppression.  At 10 Hz
+/// reporting this covers ~7 minutes of re-arrival horizon in O(1) memory.
+constexpr std::size_t kDedupWindow = 4096;
+
+/// Stable FNV-1a so shard placement is identical across runs and builds
+/// (std::hash<std::string> makes no such promise).
+std::size_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+}  // namespace
+
+Tsdb::Tsdb(TsdbOptions options) : options_(options) {
+  if (options_.shards == 0 || options_.seal_threshold == 0) {
+    throw std::invalid_argument("Tsdb needs positive shards/seal_threshold");
+  }
+  shards_.resize(options_.shards);
+}
+
+std::size_t Tsdb::shard_of(const DeviceId& id) const noexcept {
+  return fnv1a(id) % shards_.size();
+}
+
+bool Tsdb::ingest(const ConsumptionRecord& record) {
+  auto& shard = shards_[shard_of(record.device_id)];
+  auto [it, created] = shard.series.try_emplace(record.device_id);
+  DeviceSeries& series = it->second;
+  if (created) {
+    ++stats_.devices;
+  }
+  if (!series.seen_sequences.insert(record.sequence).second) {
+    ++stats_.duplicates_dropped;
+    return false;
+  }
+  while (series.seen_sequences.size() > kDedupWindow) {
+    series.seen_sequences.erase(series.seen_sequences.begin());
+  }
+  series.head.append(record);
+  if (series.head.count() >= options_.seal_threshold) {
+    Segment seg = series.head.seal();
+    stats_.sealed_bytes += seg.byte_size();
+    ++stats_.segments_sealed;
+    series.sealed.push_back(std::move(seg));
+  }
+  ++stats_.records_ingested;
+  return true;
+}
+
+bool Tsdb::has_device(const DeviceId& id) const {
+  return find_series(id) != nullptr;
+}
+
+std::vector<DeviceId> Tsdb::devices() const {
+  std::vector<DeviceId> out;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, _] : shard.series) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Tsdb::DeviceSeries* Tsdb::find_series(const DeviceId& id) const {
+  const auto& shard = shards_[shard_of(id)];
+  const auto it = shard.series.find(id);
+  return it == shard.series.end() ? nullptr : &it->second;
+}
+
+void Tsdb::for_each_in_range(
+    const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns,
+    const RecordFilter& filter,
+    const std::function<void(const ConsumptionRecord&)>& fn) const {
+  const auto in_range = [&](const ConsumptionRecord& r) {
+    return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
+           filter.matches(r);
+  };
+  for (const auto& seg : series.sealed) {
+    if (!seg.summary().overlaps(t0_ns, t1_ns)) {
+      ++stats_.segments_pruned;
+      continue;
+    }
+    SegmentCursor cur = seg.cursor();
+    while (auto rec = cur.next()) {
+      if (in_range(*rec)) {
+        fn(*rec);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < series.head.count(); ++i) {
+    const ConsumptionRecord rec = series.head.record_at(i);
+    if (in_range(rec)) {
+      fn(rec);
+    }
+  }
+}
+
+std::vector<ConsumptionRecord> Tsdb::scan(const DeviceId& device,
+                                          std::int64_t t0_ns,
+                                          std::int64_t t1_ns,
+                                          const RecordFilter& filter) const {
+  std::vector<ConsumptionRecord> out;
+  if (const DeviceSeries* series = find_series(device)) {
+    for_each_in_range(*series, t0_ns, t1_ns, filter,
+                      [&out](const ConsumptionRecord& r) { out.push_back(r); });
+  }
+  return out;
+}
+
+std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
+                                              std::int64_t t0_ns,
+                                              std::int64_t t1_ns,
+                                              std::int64_t window_ns,
+                                              const RecordFilter& filter) const {
+  if (window_ns <= 0 || t1_ns <= t0_ns) {
+    return {};
+  }
+  const auto n_windows =
+      static_cast<std::size_t>((t1_ns - t0_ns + window_ns - 1) / window_ns);
+  std::vector<WindowAggregate> out(n_windows);
+  std::vector<double> current_sums(n_windows, 0.0);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    out[i].start_ns = t0_ns + static_cast<std::int64_t>(i) * window_ns;
+  }
+  if (const DeviceSeries* series = find_series(device)) {
+    for_each_in_range(
+        *series, t0_ns, t1_ns, filter, [&](const ConsumptionRecord& r) {
+          const auto w =
+              static_cast<std::size_t>((r.timestamp_ns - t0_ns) / window_ns);
+          auto& agg = out[w];
+          agg.count += 1;
+          current_sums[w] += r.current_ma;
+          agg.max_current_ma = std::max(agg.max_current_ma, r.current_ma);
+          agg.sum_energy_mwh += r.energy_mwh;
+        });
+  }
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    if (out[i].count > 0) {
+      out[i].avg_current_ma =
+          current_sums[i] / static_cast<double>(out[i].count);
+    }
+  }
+  return out;
+}
+
+std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
+                                               std::int64_t t0_ns,
+                                               std::int64_t t1_ns) const {
+  const DeviceSeries* series = find_series(device);
+  if (series == nullptr) {
+    return std::nullopt;
+  }
+  DeviceAggregate agg;
+  std::int64_t current_q_sum = 0;
+  std::int64_t energy_q_sum = 0;
+  std::int64_t current_q_min = 0;
+  std::int64_t current_q_max = 0;
+  const auto fold_quantized = [&](std::uint64_t count, std::int64_t t_min,
+                                  std::int64_t t_max, std::int64_t q_min,
+                                  std::int64_t q_max, std::int64_t q_cur_sum,
+                                  std::int64_t q_energy_sum) {
+    if (count == 0) {
+      return;
+    }
+    if (agg.count == 0) {
+      agg.t_min_ns = t_min;
+      agg.t_max_ns = t_max;
+      current_q_min = q_min;
+      current_q_max = q_max;
+    } else {
+      agg.t_min_ns = std::min(agg.t_min_ns, t_min);
+      agg.t_max_ns = std::max(agg.t_max_ns, t_max);
+      current_q_min = std::min(current_q_min, q_min);
+      current_q_max = std::max(current_q_max, q_max);
+    }
+    agg.count += count;
+    current_q_sum += q_cur_sum;
+    energy_q_sum += q_energy_sum;
+  };
+
+  const auto fold_decoded = [&](const auto& decode_range) {
+    decode_range([&](const ConsumptionRecord& r) {
+      const std::int64_t q_cur = quantize(r.current_ma, kCurrentScale);
+      const std::int64_t q_energy = quantize(r.energy_mwh, kEnergyScale);
+      fold_quantized(1, r.timestamp_ns, r.timestamp_ns, q_cur, q_cur, q_cur,
+                     q_energy);
+    });
+  };
+
+  for (const auto& seg : series->sealed) {
+    const SegmentSummary& s = seg.summary();
+    if (!s.overlaps(t0_ns, t1_ns)) {
+      ++stats_.segments_pruned;
+      continue;
+    }
+    if (s.contained_in(t0_ns, t1_ns)) {
+      // Pre-aggregated answer: no decode needed.
+      ++stats_.summary_hits;
+      fold_quantized(s.count, s.t_min_ns, s.t_max_ns, s.current_q_min,
+                     s.current_q_max, s.current_q_sum, s.energy_q_sum);
+      continue;
+    }
+    fold_decoded([&](auto&& fn) {
+      SegmentCursor cur = seg.cursor();
+      while (auto rec = cur.next()) {
+        if (rec->timestamp_ns >= t0_ns && rec->timestamp_ns < t1_ns) {
+          fn(*rec);
+        }
+      }
+    });
+  }
+  fold_decoded([&](auto&& fn) {
+    for (std::size_t i = 0; i < series->head.count(); ++i) {
+      const ConsumptionRecord rec = series->head.record_at(i);
+      if (rec.timestamp_ns >= t0_ns && rec.timestamp_ns < t1_ns) {
+        fn(rec);
+      }
+    }
+  });
+
+  if (agg.count == 0) {
+    return std::nullopt;
+  }
+  agg.min_current_ma = dequantize(current_q_min, kCurrentScale);
+  agg.max_current_ma = dequantize(current_q_max, kCurrentScale);
+  agg.avg_current_ma = dequantize(current_q_sum, kCurrentScale) /
+                       static_cast<double>(agg.count);
+  agg.sum_energy_mwh = dequantize(energy_q_sum, kEnergyScale);
+  return agg;
+}
+
+util::RunningStats Tsdb::current_stats(const DeviceId& device,
+                                       std::int64_t t0_ns, std::int64_t t1_ns,
+                                       const RecordFilter& filter) const {
+  util::RunningStats stats;
+  if (const DeviceSeries* series = find_series(device)) {
+    for_each_in_range(
+        *series, t0_ns, t1_ns, filter,
+        [&stats](const ConsumptionRecord& r) { stats.add(r.current_ma); });
+  }
+  return stats;
+}
+
+std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
+    const DeviceId& device, std::int64_t from_ns) const {
+  std::map<NetworkId, NetworkUsage> out;
+  const DeviceSeries* series = find_series(device);
+  if (series == nullptr) {
+    return out;
+  }
+  // Sealed segments entirely past `from_ns` answer from their dictionary
+  // subtotals; only straddlers decode.  The open head walks its (small)
+  // column arrays unless the bound excludes or includes it whole.
+  std::map<NetworkId, std::int64_t> energy_q;
+  const auto fold_record = [&](const ConsumptionRecord& r) {
+    if (r.timestamp_ns < from_ns) {
+      return;
+    }
+    out[r.network].records += 1;
+    energy_q[r.network] += quantize(r.energy_mwh, kEnergyScale);
+  };
+  for (const auto& seg : series->sealed) {
+    const SegmentSummary& s = seg.summary();
+    if (s.t_max_ns < from_ns) {
+      ++stats_.segments_pruned;
+      continue;
+    }
+    if (s.t_min_ns >= from_ns) {
+      ++stats_.summary_hits;
+      for (const auto& sub : s.networks) {
+        out[sub.network].records += sub.records;
+        energy_q[sub.network] += sub.energy_q_sum;
+      }
+      continue;
+    }
+    SegmentCursor cur = seg.cursor();
+    while (auto rec = cur.next()) {
+      fold_record(*rec);
+    }
+  }
+  const SegmentSummary head = series->head.summary();
+  if (head.count > 0 && head.t_min_ns >= from_ns) {
+    for (const auto& sub : head.networks) {
+      out[sub.network].records += sub.records;
+      energy_q[sub.network] += sub.energy_q_sum;
+    }
+  } else {
+    for (std::size_t i = 0; i < series->head.count(); ++i) {
+      fold_record(series->head.record_at(i));
+    }
+  }
+  for (auto& [network, usage] : out) {
+    usage.energy_mwh = dequantize(energy_q[network], kEnergyScale);
+  }
+  return out;
+}
+
+double Tsdb::total_energy_mwh(const DeviceId& device) const {
+  const DeviceSeries* series = find_series(device);
+  if (series == nullptr) {
+    return 0.0;
+  }
+  std::int64_t energy_q = 0;
+  for (const auto& seg : series->sealed) {
+    energy_q += seg.summary().energy_q_sum;
+  }
+  energy_q += series->head.summary().energy_q_sum;
+  return dequantize(energy_q, kEnergyScale);
+}
+
+}  // namespace emon::store

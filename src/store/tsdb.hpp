@@ -1,0 +1,171 @@
+#pragma once
+// Aggregator-side embedded time-series database for consumption records.
+//
+// Series are sharded by DeviceId (stable hash), one shard owning a map of
+// device -> { open SegmentBuilder head, sealed columnar segments }.  Every
+// record an aggregator accepts is ingested here (with per-device sequence
+// dedup), which makes the store the single source of truth for historical
+// reads: billing breakdowns, verification-window demand, demand forecasting
+// inputs and dashboard queries ("energy for device D over [t0, t1)") are all
+// answered from store queries instead of ad-hoc accumulators.
+//
+// Query surface:
+//   scan()              time-range scan (summary-pruned, lazy decode)
+//   downsample()        fixed windows: avg/max current, energy sum per window
+//   aggregate()         per-device totals over a range; fully-covered sealed
+//                       segments are answered from their summary block alone
+//   current_stats()     filtered mean/min/max of current (verification reads)
+//   network_breakdown() per-network record/energy subtotals (billing reads),
+//                       answered entirely from segment dictionaries
+//
+// Timestamps are the records' device-RTC timestamps (ns); ranges are
+// half-open [t0, t1).  Out-of-order arrivals (offline flushes, roamed
+// batches) are fine: summaries track true min/max and scans filter
+// per-record.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/segment.hpp"
+#include "util/stats.hpp"
+
+namespace emon::store {
+
+struct TsdbOptions {
+  /// Number of device shards (a stable hash of the DeviceId picks one).
+  std::size_t shards = 8;
+  /// Records per sealed segment.
+  std::size_t seal_threshold = 256;
+};
+
+/// One downsampling window's pre-aggregated answer.
+struct WindowAggregate {
+  std::int64_t start_ns = 0;
+  std::uint64_t count = 0;
+  double avg_current_ma = 0.0;
+  double max_current_ma = 0.0;
+  double sum_energy_mwh = 0.0;
+};
+
+/// Per-device roll-up over a query range.
+struct DeviceAggregate {
+  std::uint64_t count = 0;
+  std::int64_t t_min_ns = 0;
+  std::int64_t t_max_ns = 0;
+  double min_current_ma = 0.0;
+  double max_current_ma = 0.0;
+  double avg_current_ma = 0.0;
+  double sum_energy_mwh = 0.0;
+};
+
+/// Per-network usage subtotal (billing's unit of account).
+struct NetworkUsage {
+  std::uint64_t records = 0;
+  double energy_mwh = 0.0;
+};
+
+/// Record predicate for filtered queries.
+struct RecordFilter {
+  /// Only records reported at this grid-location.
+  std::optional<NetworkId> network;
+  /// Only live (false) or only offline-buffered (true) records.
+  std::optional<bool> stored_offline;
+
+  [[nodiscard]] bool matches(const ConsumptionRecord& r) const noexcept {
+    return (!network || r.network == *network) &&
+           (!stored_offline || r.stored_offline == *stored_offline);
+  }
+};
+
+struct TsdbStats {
+  std::uint64_t records_ingested = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t segments_sealed = 0;
+  std::size_t sealed_bytes = 0;
+  std::size_t devices = 0;
+  /// Sealed segments skipped by summary pruning across all queries.
+  mutable std::uint64_t segments_pruned = 0;
+  /// Aggregate queries answered (partly) from summary blocks alone.
+  mutable std::uint64_t summary_hits = 0;
+};
+
+class Tsdb {
+ public:
+  explicit Tsdb(TsdbOptions options = {});
+
+  /// Ingests one record; returns false for a per-device duplicate sequence.
+  bool ingest(const ConsumptionRecord& record);
+
+  [[nodiscard]] bool has_device(const DeviceId& id) const;
+  [[nodiscard]] std::vector<DeviceId> devices() const;
+
+  /// All records of `device` with timestamp in [t0, t1), in storage order.
+  [[nodiscard]] std::vector<ConsumptionRecord> scan(
+      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
+
+  /// Splits [t0, t1) into fixed `window_ns` buckets and aggregates each
+  /// (records land by timestamp).  Empty windows are included with count 0.
+  [[nodiscard]] std::vector<WindowAggregate> downsample(
+      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns,
+      std::int64_t window_ns, const RecordFilter& filter = {}) const;
+
+  /// Range roll-up; sealed segments fully inside an unfiltered range are
+  /// answered from their summary without decoding.
+  [[nodiscard]] std::optional<DeviceAggregate> aggregate(
+      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns) const;
+
+  /// Mean/min/max of current over matching records (verification reads).
+  [[nodiscard]] util::RunningStats current_stats(
+      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
+
+  /// Per-network record/energy subtotals from `from_ns` onward (whole
+  /// history by default).  Segments entirely past the bound are answered
+  /// from their dictionaries (no column decode); only straddlers decode.
+  [[nodiscard]] std::map<NetworkId, NetworkUsage> network_breakdown(
+      const DeviceId& device, std::int64_t from_ns = INT64_MIN) const;
+
+  /// Whole-history energy total for one device.
+  [[nodiscard]] double total_energy_mwh(const DeviceId& device) const;
+
+  [[nodiscard]] const TsdbStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(const DeviceId& id) const noexcept;
+
+ private:
+  struct DeviceSeries {
+    SegmentBuilder head;
+    std::vector<Segment> sealed;
+    /// Per-device dedup over (sequence) — retransmissions and probe/backlog
+    /// overlaps must not double-count history.  Bounded: the oldest entries
+    /// are pruned past kDedupWindow (dedup memory must not outgrow the
+    /// compressed data; every duplicate source — QoS-1 retransmit, probe
+    /// overlap, double roam-forward — re-arrives near the high-water mark).
+    std::set<std::uint64_t> seen_sequences;
+  };
+  struct Shard {
+    std::map<DeviceId, DeviceSeries> series;
+  };
+
+  [[nodiscard]] const DeviceSeries* find_series(const DeviceId& id) const;
+  /// Applies `fn` to every record of `series` in [t0, t1) passing `filter`,
+  /// pruning sealed segments whose summary cannot overlap.
+  void for_each_in_range(
+      const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter,
+      const std::function<void(const ConsumptionRecord&)>& fn) const;
+
+  TsdbOptions options_;
+  std::vector<Shard> shards_;
+  TsdbStats stats_;
+};
+
+}  // namespace emon::store

@@ -37,6 +37,14 @@ void ByteWriter::raw(std::span<const std::uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
 void ByteReader::require(std::size_t n) const {
   if (remaining() < n) {
     throw DecodeError("truncated input: need " + std::to_string(n) +
@@ -164,6 +172,20 @@ std::optional<std::vector<std::uint8_t>> ByteReader::try_raw(std::size_t n) {
     return std::nullopt;
   }
   return raw(n);
+}
+
+std::optional<std::uint64_t> ByteReader::try_varint() noexcept {
+  std::uint64_t v = 0;
+  std::size_t i = 0;
+  for (; i < 10 && pos_ + i < data_.size(); ++i) {
+    const std::uint8_t byte = data_[pos_ + i];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      pos_ += i + 1;
+      return v;
+    }
+  }
+  return std::nullopt;  // truncated, or continuation bits past 10 bytes
 }
 
 }  // namespace emon::util

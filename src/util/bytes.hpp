@@ -31,6 +31,13 @@ class ByteWriter {
   /// u32 length prefix followed by raw bytes.
   void str(std::string_view s);
   void raw(std::span<const std::uint8_t> bytes);
+  /// LEB128 variable-length unsigned integer (1-10 bytes).
+  void varint(std::uint64_t v);
+  /// ZigZag-mapped signed varint: small magnitudes (either sign) stay short.
+  void zigzag(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
     return buf_;
@@ -79,6 +86,16 @@ class ByteReader {
   [[nodiscard]] std::optional<std::string> try_str();
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> try_raw(
       std::size_t n);
+  /// LEB128 varint; nullopt (position untouched) on truncation or a
+  /// malformed >10-byte encoding.
+  [[nodiscard]] std::optional<std::uint64_t> try_varint() noexcept;
+  [[nodiscard]] std::optional<std::int64_t> try_zigzag() noexcept {
+    const auto raw = try_varint();
+    if (!raw) {
+      return std::nullopt;
+    }
+    return static_cast<std::int64_t>((*raw >> 1) ^ (~(*raw & 1) + 1));
+  }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;

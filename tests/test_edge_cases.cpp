@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/local_store.hpp"
 #include "core/protocol.hpp"
+#include "core/records.hpp"
 #include "core/scenario.hpp"
 #include "net/mqtt.hpp"
 #include "util/bytes.hpp"
@@ -150,6 +152,62 @@ TEST(Malformed, ReportForForeignDeviceGetsNack) {
       "ghost-device"});
   bed.run_for(seconds(1));
   EXPECT_EQ(bed.aggregator(0).stats().nacks_sent, nacks_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed record batches (deserialize_records hardening)
+// ---------------------------------------------------------------------------
+
+ConsumptionRecord sample_record(std::uint64_t seq) {
+  ConsumptionRecord r;
+  r.device_id = "dev-1";
+  r.sequence = seq;
+  r.timestamp_ns = 1'000'000;
+  r.interval_ns = 100'000'000;
+  r.current_ma = 123.4;
+  r.bus_voltage_mv = 4998.0;
+  r.energy_mwh = 0.017;
+  r.network = "wan-1";
+  return r;
+}
+
+TEST(MalformedBatch, HugeCountPrefixRejectedWithoutAllocation) {
+  // A count prefix of ~4 billion with no body behind it must be rejected
+  // by the count/remaining-bytes check, not by an OOM inside reserve().
+  util::ByteWriter w;
+  w.u32(0xffffffff);
+  EXPECT_THROW((void)deserialize_records(w.take()), util::DecodeError);
+}
+
+TEST(MalformedBatch, CountLargerThanBodyRejected) {
+  // A plausible-looking batch whose count claims more records than the
+  // bytes that follow could possibly hold.
+  auto bytes = serialize_records({sample_record(1), sample_record(2)});
+  bytes[0] = 200;  // count 2 -> 200, body unchanged
+  EXPECT_THROW((void)deserialize_records(bytes), util::DecodeError);
+}
+
+TEST(MalformedBatch, TruncatedMidRecordRejected) {
+  auto bytes = serialize_records({sample_record(1), sample_record(2)});
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW((void)deserialize_records(bytes), util::DecodeError);
+}
+
+TEST(MalformedBatch, TrailingBytesRejected) {
+  auto bytes = serialize_records({sample_record(1)});
+  bytes.push_back(0x00);
+  EXPECT_THROW((void)deserialize_records(bytes), util::DecodeError);
+}
+
+TEST(MalformedBatch, BadMembershipKindRejected) {
+  auto bytes = serialize_records({sample_record(1)});
+  bytes[bytes.size() - 2] = 7;  // membership byte precedes stored_offline
+  EXPECT_THROW((void)deserialize_records(bytes), util::DecodeError);
+}
+
+TEST(MalformedBatch, EmptyBatchStillRoundTrips) {
+  const auto bytes = serialize_records({});
+  EXPECT_TRUE(deserialize_records(bytes).empty());
 }
 
 // ---------------------------------------------------------------------------
