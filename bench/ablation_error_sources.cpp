@@ -30,23 +30,26 @@ struct Config {
 
 double measure_gap_pct(const Config& config, double level_scale) {
   using namespace emon;
-  core::ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 77;
-  params.grid.loss_fraction = config.loss_fraction;
-  params.grid.overhead_quiescent = util::milliamps(config.overhead_ma);
-  params.load_factory = [level_scale](const core::DeviceId& id,
+  grid::DistributionParams grid_params;
+  grid_params.loss_fraction = config.loss_fraction;
+  grid_params.overhead_quiescent = util::milliamps(config.overhead_ma);
+  core::Testbed bed{
+      core::FleetBuilder{}
+          .name("ablation")
+          .networks(1, 2)
+          .seed(77)
+          .grid(grid_params)
+          .load_factory([level_scale](const core::DeviceId& id,
                                       std::size_t index,
                                       const util::SeedSequence& seeds) {
-    (void)seeds;
-    (void)id;
-    const double base = (30.0 + 40.0 * static_cast<double>(index)) *
-                        level_scale;
-    return hw::LoadProfilePtr(
-        std::make_shared<hw::ConstantLoad>(util::milliamps(base)));
-  };
-  core::Testbed bed{params};
+            (void)seeds;
+            (void)id;
+            const double base =
+                (30.0 + 40.0 * static_cast<double>(index)) * level_scale;
+            return hw::LoadProfilePtr(
+                std::make_shared<hw::ConstantLoad>(util::milliamps(base)));
+          })
+          .spec()};
   bed.start();
   bed.run_for(sim::seconds(50));
 

@@ -25,11 +25,11 @@ int main() {
                "suspect = dev-1", "suspect accuracy [%]"});
 
   for (double factor : {0.9, 0.8, 0.7, 0.5, 0.3, 0.1}) {
-    core::ScenarioParams params;
-    params.networks = 1;
-    params.devices_per_network = 3;
-    params.sys.seed = 404;
-    core::Testbed bed{params};
+    core::Testbed bed{core::FleetBuilder{}
+                          .name("ext_tamper")
+                          .networks(1, 3)
+                          .seed(404)
+                          .spec()};
     bed.start();
     bed.run_for(sim::seconds(40));  // honest profile building
     const std::size_t windows_before =

@@ -23,15 +23,11 @@ int main() {
   emon::util::LogConfig::set_level(emon::util::LogLevel::kError);
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 11;
   // Strongly varying duty cycles so the 10 s bins span light and heavy
   // load mixes — at light load the fixed overhead terms dominate and the
   // relative gap rises, which is how the paper's band reaches 8.2 %.
-  params.load_factory = [](const core::DeviceId& id, std::size_t index,
-                           const util::SeedSequence& seeds) {
+  const auto wide_duty = [](const core::DeviceId& id, std::size_t index,
+                            const util::SeedSequence& seeds) {
     const double low_ma = 3.0 + 2.0 * static_cast<double>(index);
     const double high_ma = 120.0 + 60.0 * static_cast<double>(index);
     const auto period =
@@ -46,7 +42,12 @@ int main() {
         seeds.derive("load." + id)));
   };
 
-  core::Testbed bed{params};
+  core::Testbed bed{core::FleetBuilder{}
+                        .name("fig5")
+                        .networks(1, 2)
+                        .seed(11)
+                        .load_factory(wide_duty)
+                        .spec()};
   bed.start();
   const auto warmup = sim::seconds(20);  // registration handshakes
   const int bins = 10;

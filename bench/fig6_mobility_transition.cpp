@@ -25,12 +25,7 @@ int main() {
   emon::util::LogConfig::set_level(emon::util::LogLevel::kError);
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 2020;
-
-  core::Testbed bed{params};
+  core::Testbed bed{core::paper_figure4(/*seed=*/2020)};
   bed.start();
 
   const auto depart = sim::seconds(60);

@@ -197,11 +197,7 @@ void BM_TestbedSimulationRate(benchmark::State& state) {
   // Simulated seconds per wall second for the full Figure 4 testbed
   // (2 networks x 2 devices at 10 Hz reporting).
   for (auto _ : state) {
-    core::ScenarioParams params;
-    params.networks = 2;
-    params.devices_per_network = 2;
-    params.sys.seed = 1;
-    core::Testbed bed{params};
+    core::Testbed bed{core::paper_figure4(/*seed=*/1)};
     bed.start();
     bed.run_for(sim::seconds(10));
     benchmark::DoNotOptimize(bed.kernel().executed());
@@ -213,12 +209,12 @@ BENCHMARK(BM_TestbedSimulationRate)->Unit(benchmark::kMillisecond);
 void BM_TestbedScaling(benchmark::State& state) {
   const auto networks = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    core::ScenarioParams params;
-    params.networks = networks;
-    params.devices_per_network = 4;
-    params.network_spacing_m = 200.0;
-    params.sys.seed = 1;
-    core::Testbed bed{params};
+    core::Testbed bed{core::FleetBuilder{}
+                          .name("scaling")
+                          .networks(networks, 4)
+                          .spacing_m(200.0)
+                          .seed(1)
+                          .spec()};
     bed.start();
     bed.run_for(sim::seconds(5));
     benchmark::DoNotOptimize(bed.kernel().executed());

@@ -24,12 +24,8 @@ int main() {
                      "assoc+settle+protocol [s]"});
 
   for (int run = 0; run < kRuns; ++run) {
-    core::ScenarioParams params;
-    params.networks = 2;
-    params.devices_per_network = 2;
-    params.sys.seed = 1000 + static_cast<std::uint64_t>(run);
-
-    core::Testbed bed{params};
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(run);
+    core::Testbed bed{core::paper_figure4(seed)};
     bed.start();
     bed.run_for(sim::seconds(20));
     bed.device(0).move_to(bed.network_name(1),
@@ -46,9 +42,9 @@ int main() {
     const double t = handshakes[1].duration().to_seconds();
     samples.add(t);
     const double scan_s =
-        bed.params().sys.wifi.scan_dwell.to_seconds() *
-        bed.params().sys.wifi.channels;
-    table.row(run + 1, params.sys.seed, util::Table::num(t, 2),
+        bed.spec().sys.wifi.scan_dwell.to_seconds() *
+        bed.spec().sys.wifi.channels;
+    table.row(run + 1, seed, util::Table::num(t, 2),
               util::Table::num(scan_s, 2), util::Table::num(t - scan_s, 2));
   }
 

@@ -15,13 +15,9 @@
 int main() {
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 2020;
   // dev-1 is the e-scooter: CC-CV charging at ~1.2 A, tapering after 40 s.
-  params.load_factory = [](const core::DeviceId& id, std::size_t index,
-                           const util::SeedSequence& seeds) {
+  const auto scooter_load = [](const core::DeviceId& id, std::size_t index,
+                               const util::SeedSequence& seeds) {
     if (id == "dev-1") {
       return hw::LoadProfilePtr(std::make_shared<hw::CcCvChargeLoad>(
           util::milliamps(1200), sim::SimTime{sim::seconds(40).ns()},
@@ -30,7 +26,12 @@ int main() {
     return core::default_device_load(id, index, seeds);
   };
 
-  core::Testbed bed{params};
+  core::Testbed bed{core::FleetBuilder{}
+                        .name("escooter_roaming")
+                        .networks(2, 2)
+                        .seed(2020)
+                        .load_factory(scooter_load)
+                        .spec()};
   auto& scooter = bed.device(0);
 
   // Ride to WAN 2 at t=60 s; 20 s in transit (no grid connection).

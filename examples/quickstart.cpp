@@ -13,12 +13,8 @@
 int main() {
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 7;
-
-  core::Testbed bed{params};
+  // The paper's testbed shape, as a canned scenario spec.
+  core::Testbed bed{core::paper_figure4(/*seed=*/7)};
   bed.start();
   bed.run_for(sim::seconds(30));
 

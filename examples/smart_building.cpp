@@ -17,13 +17,8 @@
 int main() {
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 4;
-  params.devices_per_network = 6;
-  params.network_spacing_m = 200.0;
-  params.sys.seed = 88;
-  params.load_factory = [](const core::DeviceId& id, std::size_t index,
-                           const util::SeedSequence& seeds) {
+  const auto floor_loads = [](const core::DeviceId& id, std::size_t index,
+                              const util::SeedSequence& seeds) {
     switch (index % 3) {
       case 0:  // HVAC-style: slow heavy duty cycle
         return hw::LoadProfilePtr(std::make_shared<hw::NoisyLoad>(
@@ -43,7 +38,13 @@ int main() {
     }
   };
 
-  core::Testbed bed{params};
+  core::Testbed bed{core::FleetBuilder{}
+                        .name("smart_building")
+                        .networks(4, 6)
+                        .spacing_m(200.0)
+                        .seed(88)
+                        .load_factory(floor_loads)
+                        .spec()};
 
   // The cleaning robot (dev-1, home floor 1) visits floors 2 and 3.
   core::MobilityPlan plan{

@@ -15,12 +15,11 @@
 int main() {
   using namespace emon;
 
-  core::ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 3;
-  params.sys.seed = 13;
-
-  core::Testbed bed{params};
+  core::Testbed bed{core::FleetBuilder{}
+                        .name("tamper_walkthrough")
+                        .networks(1, 3)
+                        .seed(13)
+                        .spec()};
   bed.start();
   bed.run_for(sim::seconds(40));
 

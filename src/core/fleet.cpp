@@ -1,0 +1,405 @@
+#include "core/fleet.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scenario.hpp"
+
+namespace emon::core {
+
+// ---------------------------------------------------------------------------
+// Archetype library
+// ---------------------------------------------------------------------------
+
+const char* to_string(LoadArchetype a) noexcept {
+  switch (a) {
+    case LoadArchetype::kDutyCycle:
+      return "duty_cycle";
+    case LoadArchetype::kBursty:
+      return "bursty";
+    case LoadArchetype::kEvCharge:
+      return "ev_charge";
+    case LoadArchetype::kThermostat:
+      return "thermostat";
+    case LoadArchetype::kIdleHeavy:
+      return "idle_heavy";
+  }
+  return "?";
+}
+
+const char* to_string(MeshTopology m) noexcept {
+  switch (m) {
+    case MeshTopology::kFullMesh:
+      return "full_mesh";
+    case MeshTopology::kRing:
+      return "ring";
+    case MeshTopology::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+const char* to_string(FaultSpec::Kind k) noexcept {
+  switch (k) {
+    case FaultSpec::Kind::kApOutage:
+      return "ap_outage";
+    case FaultSpec::Kind::kBackhaulPartition:
+      return "backhaul_partition";
+    case FaultSpec::Kind::kTamperBurst:
+      return "tamper_burst";
+  }
+  return "?";
+}
+
+hw::LoadProfilePtr default_device_load(const DeviceId& id, std::size_t index,
+                                       const util::SeedSequence& seeds) {
+  // Staggered duty cycles: devices alternate between a light phase and a
+  // heavier working phase, out of phase with each other, with 5 % band-
+  // limited noise — enough variation to exercise every current level the
+  // Figure 5 bins compare.
+  const double low_ma = 8.0 + 4.0 * static_cast<double>(index % 3);
+  const double high_ma = 55.0 + 20.0 * static_cast<double>(index % 4);
+  const auto period = sim::milliseconds(4000 + 700 * static_cast<std::int64_t>(
+                                                        index % 5));
+  const auto phase = sim::milliseconds(900 * static_cast<std::int64_t>(index));
+  auto duty = std::make_shared<hw::DutyCycleLoad>(
+      util::milliamps(low_ma), util::milliamps(high_ma), period, 0.5, phase);
+  return std::make_shared<hw::NoisyLoad>(std::move(duty), 0.05,
+                                         sim::milliseconds(50),
+                                         seeds.derive("load." + id));
+}
+
+hw::LoadProfilePtr make_archetype_load(LoadArchetype archetype,
+                                       const DeviceId& id, std::size_t index,
+                                       const util::SeedSequence& seeds) {
+  const auto i = static_cast<std::int64_t>(index);
+  switch (archetype) {
+    case LoadArchetype::kDutyCycle:
+      return default_device_load(id, index, seeds);
+    case LoadArchetype::kBursty: {
+      // Short hard bursts out of a quiet floor (actuators, radio uplinks).
+      const double high_ma = 180.0 + 40.0 * static_cast<double>(index % 5);
+      const auto period = sim::milliseconds(1600 + 350 * (i % 7));
+      const auto phase = sim::milliseconds(230 * i);
+      auto duty = std::make_shared<hw::DutyCycleLoad>(
+          util::milliamps(2.5), util::milliamps(high_ma), period, 0.12, phase);
+      return std::make_shared<hw::NoisyLoad>(std::move(duty), 0.08,
+                                             sim::milliseconds(40),
+                                             seeds.derive("load." + id));
+    }
+    case LoadArchetype::kEvCharge: {
+      // CC-CV charge ramp: constant current, then an exponential taper.
+      const double cc_ma = 600.0 + 75.0 * static_cast<double>(index % 5);
+      const auto cc_end = sim::SimTime{sim::seconds(30 + 8 * (i % 4)).ns()};
+      auto charge = std::make_shared<hw::CcCvChargeLoad>(
+          util::milliamps(cc_ma), cc_end, sim::seconds(20 + 4 * (i % 3)),
+          util::milliamps(30.0));
+      // Vehicle electronics idle alongside the charger.
+      auto electronics =
+          std::make_shared<hw::ConstantLoad>(util::milliamps(12.0));
+      auto sum = std::make_shared<hw::CompositeLoad>(std::vector<
+          hw::LoadProfilePtr>{std::move(charge), std::move(electronics)});
+      return std::make_shared<hw::NoisyLoad>(std::move(sum), 0.03,
+                                             sim::milliseconds(80),
+                                             seeds.derive("load." + id));
+    }
+    case LoadArchetype::kThermostat: {
+      // Slow heavy on/off cycling (compressor-style).
+      const double high_ma = 220.0 + 45.0 * static_cast<double>(index % 4);
+      const auto period = sim::seconds(60 + 9 * (i % 5));
+      const auto phase = sim::seconds(7 * (i % 11));
+      auto duty = std::make_shared<hw::DutyCycleLoad>(
+          util::milliamps(9.0), util::milliamps(high_ma), period, 0.35, phase);
+      return std::make_shared<hw::NoisyLoad>(std::move(duty), 0.03,
+                                             sim::milliseconds(200),
+                                             seeds.derive("load." + id));
+    }
+    case LoadArchetype::kIdleHeavy: {
+      // Near-idle with rare short wake-ups.
+      const auto period = sim::seconds(10 + 2 * (i % 4));
+      const auto phase = sim::milliseconds(640 * i);
+      auto wake = std::make_shared<hw::DutyCycleLoad>(
+          util::milliamps(0.0), util::milliamps(110.0), period, 0.04, phase);
+      auto floor_draw =
+          std::make_shared<hw::ConstantLoad>(util::milliamps(3.2));
+      auto sum = std::make_shared<hw::CompositeLoad>(
+          std::vector<hw::LoadProfilePtr>{std::move(wake),
+                                          std::move(floor_draw)});
+      return std::make_shared<hw::NoisyLoad>(std::move(sum), 0.06,
+                                             sim::milliseconds(60),
+                                             seeds.derive("load." + id));
+    }
+  }
+  return default_device_load(id, index, seeds);
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+FleetBuilder& FleetBuilder::name(std::string n) {
+  spec_.name = std::move(n);
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::seed(std::uint64_t s) {
+  spec_.sys.seed = s;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::system(const SystemConfig& sys) {
+  spec_.sys = sys;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::spacing_m(double metres) {
+  spec_.network_spacing_m = metres;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::grid(const grid::DistributionParams& params) {
+  spec_.grid = params;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::mesh(MeshTopology topology) {
+  spec_.mesh = topology;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::plug_stagger(sim::Duration stagger) {
+  spec_.plug_stagger = stagger;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::auto_size_tdma(bool enabled) {
+  spec_.auto_size_tdma = enabled;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::networks(std::size_t n, std::size_t devices,
+                                     LoadArchetype archetype) {
+  for (std::size_t i = 0; i < n; ++i) {
+    NetworkSpec net;
+    if (devices > 0) {
+      net.populations.push_back(DevicePopulation{devices, archetype});
+    }
+    spec_.networks.push_back(std::move(net));
+  }
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::add_network(
+    std::vector<DevicePopulation> populations) {
+  spec_.networks.push_back(NetworkSpec{std::move(populations)});
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::population(std::size_t count,
+                                       LoadArchetype archetype) {
+  for (auto& net : spec_.networks) {
+    net.populations.push_back(DevicePopulation{count, archetype});
+  }
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::churn(const ChurnSpec& c) {
+  spec_.churn = c;
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::fault(const FaultSpec& f) {
+  spec_.faults.push_back(f);
+  return *this;
+}
+
+FleetBuilder& FleetBuilder::ap_outage(std::size_t network, sim::SimTime at,
+                                      sim::Duration duration) {
+  FaultSpec f;
+  f.kind = FaultSpec::Kind::kApOutage;
+  f.network = network;
+  f.at = at;
+  f.duration = duration;
+  return fault(f);
+}
+
+FleetBuilder& FleetBuilder::backhaul_partition(std::size_t network,
+                                               sim::SimTime at,
+                                               sim::Duration duration) {
+  FaultSpec f;
+  f.kind = FaultSpec::Kind::kBackhaulPartition;
+  f.network = network;
+  f.at = at;
+  f.duration = duration;
+  return fault(f);
+}
+
+FleetBuilder& FleetBuilder::tamper_burst(std::size_t device, sim::SimTime at,
+                                         sim::Duration duration,
+                                         double factor) {
+  FaultSpec f;
+  f.kind = FaultSpec::Kind::kTamperBurst;
+  f.device = device;
+  f.at = at;
+  f.duration = duration;
+  f.tamper_factor = factor;
+  return fault(f);
+}
+
+FleetBuilder& FleetBuilder::load_factory(ScenarioSpec::LoadFactory factory) {
+  spec_.load_factory = std::move(factory);
+  return *this;
+}
+
+std::unique_ptr<Testbed> FleetBuilder::build() const {
+  return std::make_unique<Testbed>(spec_);
+}
+
+// ---------------------------------------------------------------------------
+// Canned scenarios
+// ---------------------------------------------------------------------------
+
+ScenarioSpec paper_figure4(std::uint64_t seed) {
+  return FleetBuilder{}
+      .name("paper_figure4")
+      .networks(2, 2, LoadArchetype::kDutyCycle)
+      .seed(seed)
+      .spec();
+}
+
+ScenarioSpec campus_roaming(std::uint64_t seed) {
+  ChurnSpec churn;
+  churn.roamer_fraction = 0.25;
+  churn.trips_per_roamer = 3;
+  churn.first_departure = sim::seconds(25);
+  churn.dwell_min = sim::seconds(15);
+  churn.dwell_max = sim::seconds(40);
+  churn.transit = sim::seconds(8);
+  return FleetBuilder{}
+      .name("campus_roaming")
+      .add_network({{5, LoadArchetype::kDutyCycle},
+                    {2, LoadArchetype::kIdleHeavy},
+                    {1, LoadArchetype::kEvCharge}})
+      .add_network({{5, LoadArchetype::kDutyCycle},
+                    {2, LoadArchetype::kIdleHeavy},
+                    {1, LoadArchetype::kEvCharge}})
+      .add_network({{4, LoadArchetype::kThermostat},
+                    {4, LoadArchetype::kDutyCycle}})
+      .add_network({{4, LoadArchetype::kThermostat},
+                    {4, LoadArchetype::kBursty}})
+      .spacing_m(150.0)
+      .mesh(MeshTopology::kRing)
+      .churn(churn)
+      .seed(seed)
+      .spec();
+}
+
+ScenarioSpec metro_fleet(std::size_t networks, std::size_t devices,
+                         std::uint64_t seed) {
+  if (networks == 0 || devices == 0) {
+    throw std::invalid_argument("metro_fleet needs networks and devices");
+  }
+  FleetBuilder builder;
+  builder.name("metro_fleet").seed(seed).spacing_m(400.0).mesh(
+      MeshTopology::kFullMesh);
+  for (std::size_t n = 0; n < networks; ++n) {
+    // Distribute the fleet as evenly as possible, mixing archetypes
+    // 50/15/15/10/10 within each network.
+    const std::size_t total = devices / networks + (n < devices % networks);
+    const std::size_t bursty = total * 15 / 100;
+    const std::size_t thermo = total * 15 / 100;
+    const std::size_t ev = total / 10;
+    const std::size_t idle = total / 10;
+    const std::size_t duty = total - bursty - thermo - ev - idle;
+    builder.add_network({{duty, LoadArchetype::kDutyCycle},
+                         {bursty, LoadArchetype::kBursty},
+                         {thermo, LoadArchetype::kThermostat},
+                         {ev, LoadArchetype::kEvCharge},
+                         {idle, LoadArchetype::kIdleHeavy}});
+  }
+  ChurnSpec churn;
+  churn.roamer_fraction = 0.01;
+  churn.trips_per_roamer = 1;
+  churn.first_departure = sim::seconds(12);
+  churn.dwell_min = sim::seconds(20);
+  churn.dwell_max = sim::seconds(40);
+  churn.transit = sim::seconds(6);
+  builder.churn(churn);
+  builder.plug_stagger(sim::microseconds(500));
+  builder.auto_size_tdma();
+  ScenarioSpec spec = std::move(builder).spec();
+  // Cadence tuned for fleet scale: metering relaxes to 4 Hz, verification
+  // and chain batching stretch so per-window work stays proportionate.
+  spec.grid.solve_cache_window = sim::milliseconds(100);
+  spec.sys.device.t_measure = sim::milliseconds(250);
+  spec.sys.aggregator.tdma.superframe = sim::milliseconds(250);
+  spec.sys.aggregator.verify_interval = sim::seconds(2);
+  spec.sys.aggregator.block_interval = sim::seconds(60);
+  spec.sys.aggregator.beacon_interval = sim::seconds(30);
+  return spec;
+}
+
+ScenarioSpec flash_crowd(std::uint64_t seed) {
+  ScenarioSpec spec = FleetBuilder{}
+                          .name("flash_crowd")
+                          .networks(6, 0)
+                          .population(220, LoadArchetype::kBursty)
+                          .population(30, LoadArchetype::kDutyCycle)
+                          .spacing_m(400.0)
+                          .plug_stagger(sim::microseconds(100))
+                          .auto_size_tdma()
+                          .seed(seed)
+                          .spec();
+  // Everyone associates and registers within a fraction of a second of
+  // each other; stretch chain batching so the burst dominates the run.
+  spec.grid.solve_cache_window = sim::milliseconds(50);
+  spec.sys.aggregator.block_interval = sim::seconds(30);
+  return spec;
+}
+
+ScenarioSpec blackout_drill(std::uint64_t seed) {
+  return FleetBuilder{}
+      .name("blackout_drill")
+      .add_network({{4, LoadArchetype::kDutyCycle},
+                    {2, LoadArchetype::kThermostat}})
+      .add_network({{4, LoadArchetype::kDutyCycle},
+                    {2, LoadArchetype::kThermostat}})
+      .add_network({{4, LoadArchetype::kDutyCycle},
+                    {2, LoadArchetype::kBursty}})
+      .spacing_m(150.0)
+      .ap_outage(1, sim::SimTime{sim::seconds(30).ns()}, sim::seconds(20))
+      .backhaul_partition(2, sim::SimTime{sim::seconds(35).ns()},
+                          sim::seconds(15))
+      .tamper_burst(2, sim::SimTime{sim::seconds(40).ns()}, sim::seconds(20),
+                    0.3)
+      .seed(seed)
+      .spec();
+}
+
+std::vector<std::string> canned_scenario_names() {
+  return {"paper_figure4", "campus_roaming", "metro_fleet", "flash_crowd",
+          "blackout_drill"};
+}
+
+ScenarioSpec canned_scenario(std::string_view name, std::uint64_t seed) {
+  if (name == "paper_figure4") {
+    return paper_figure4(seed);
+  }
+  if (name == "campus_roaming") {
+    return campus_roaming(seed);
+  }
+  if (name == "metro_fleet") {
+    return metro_fleet(32, 10'000, seed);
+  }
+  if (name == "flash_crowd") {
+    return flash_crowd(seed);
+  }
+  if (name == "blackout_drill") {
+    return blackout_drill(seed);
+  }
+  throw std::invalid_argument("unknown canned scenario '" + std::string(name) +
+                              "'");
+}
+
+}  // namespace emon::core

@@ -1,0 +1,258 @@
+#pragma once
+// Declarative fleet scenarios.
+//
+// A `ScenarioSpec` describes a whole deployment — per-network device
+// populations drawn from a library of load archetypes, the backhaul mesh
+// shape, generated roaming/churn plans, and scripted fault injections —
+// and `Testbed` (core/scenario.hpp) wires and runs it.  `FleetBuilder` is
+// the fluent way to assemble a spec; `canned_scenario()` serves the named
+// scenarios the examples, benches and tests share.
+//
+// Canned scenarios:
+//   paper_figure4   — the paper's testbed: 2 WANs x 2 duty-cycled devices.
+//   campus_roaming  — 4 WANs on a ring backhaul, a quarter of the fleet
+//                     roams between buildings.
+//   metro_fleet     — 32 WANs x ~310 devices each (10k total), mixed
+//                     archetypes, light churn; the scale benchmark.
+//   flash_crowd     — 1.5k bursty devices all plugging in nearly at once.
+//   blackout_drill  — AP outage + backhaul partition + tamper burst.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/records.hpp"
+#include "grid/distribution.hpp"
+#include "hw/load_profile.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace emon::core {
+
+class Testbed;
+
+// ---------------------------------------------------------------------------
+// Load archetypes
+// ---------------------------------------------------------------------------
+
+/// Named application-load shapes a population can be built from.
+enum class LoadArchetype : std::uint8_t {
+  kDutyCycle,   // staggered firmware duty cycle (the paper's default)
+  kBursty,      // mostly quiet, short hard bursts (radio beacons, actuators)
+  kEvCharge,    // CC-CV charge ramp with taper (e-scooter / EV chargers)
+  kThermostat,  // slow heavy on/off cycling (HVAC-like)
+  kIdleHeavy,   // near-idle with rare wake-ups (sensors sleeping hard)
+};
+
+[[nodiscard]] const char* to_string(LoadArchetype a) noexcept;
+
+/// Deterministic per-device load for an archetype.  `index` is the global
+/// device index; parameters vary with it so fleets are heterogeneous.
+[[nodiscard]] hw::LoadProfilePtr make_archetype_load(
+    LoadArchetype archetype, const DeviceId& id, std::size_t index,
+    const util::SeedSequence& seeds);
+
+/// The default application load: duty-cycled draw with multiplicative noise
+/// whose phase/level varies per device index (== kDutyCycle; kept for the
+/// paper-parity call sites).
+[[nodiscard]] hw::LoadProfilePtr default_device_load(
+    const DeviceId& id, std::size_t index, const util::SeedSequence& seeds);
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// `count` devices of one archetype within a network.
+struct DevicePopulation {
+  std::size_t count = 0;
+  LoadArchetype archetype = LoadArchetype::kDutyCycle;
+};
+
+/// One WAN: its device populations (concatenated in order).
+struct NetworkSpec {
+  std::vector<DevicePopulation> populations;
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : populations) {
+      n += p.count;
+    }
+    return n;
+  }
+};
+
+/// Inter-aggregator mesh shape.
+enum class MeshTopology : std::uint8_t {
+  kFullMesh,  // every pair linked (the paper's two-RPi LAN, generalized)
+  kRing,      // i <-> i+1 mod n: multi-hop routing gets exercised
+  kStar,      // all spokes through network 0
+};
+
+[[nodiscard]] const char* to_string(MeshTopology m) noexcept;
+
+/// Generated roaming churn: a deterministic fraction of the fleet makes
+/// `trips_per_roamer` moves to random other networks, dwelling between
+/// `dwell_min` and `dwell_max` at each stop.
+struct ChurnSpec {
+  double roamer_fraction = 0.0;
+  std::size_t trips_per_roamer = 0;
+  sim::Duration first_departure = sim::seconds(20);
+  sim::Duration dwell_min = sim::seconds(20);
+  sim::Duration dwell_max = sim::seconds(60);
+  sim::Duration transit = sim::seconds(8);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return roamer_fraction > 0.0 && trips_per_roamer > 0;
+  }
+};
+
+/// A scripted fault: window [at, at + duration).
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kApOutage,           // the network's access point goes dark
+    kBackhaulPartition,  // the network's aggregator is cut off the mesh
+    kTamperBurst,        // a device under-reports by `tamper_factor`
+  };
+
+  Kind kind = Kind::kApOutage;
+  sim::SimTime at{};
+  sim::Duration duration = sim::seconds(10);
+  std::size_t network = 0;  // target for kApOutage / kBackhaulPartition
+  std::size_t device = 0;   // target for kTamperBurst (global index)
+  double tamper_factor = 0.5;
+};
+
+[[nodiscard]] const char* to_string(FaultSpec::Kind k) noexcept;
+
+/// The whole deployment, declaratively.  Plain data: construct directly,
+/// via FleetBuilder, or from `canned_scenario()` — then hand to Testbed.
+struct ScenarioSpec {
+  using LoadFactory = std::function<hw::LoadProfilePtr(
+      const DeviceId&, std::size_t, const util::SeedSequence&)>;
+
+  std::string name = "custom";
+  SystemConfig sys{};
+  std::vector<NetworkSpec> networks;
+  /// Physical spacing between WANs (m); devices still pick their local AP
+  /// by RSSI, as in the paper.
+  double network_spacing_m = 120.0;
+  grid::DistributionParams grid{};
+  MeshTopology mesh = MeshTopology::kFullMesh;
+  /// Plug-in stagger between consecutive devices at start() (keeps
+  /// registration bursts from running in lockstep).
+  sim::Duration plug_stagger = sim::milliseconds(37);
+  /// Widen the TDMA schedule (shrink slot_width) when a network's
+  /// population exceeds the configured capacity.  Off by default so specs
+  /// that deliberately under-provision slots keep their meaning.
+  bool auto_size_tdma = false;
+  ChurnSpec churn{};
+  std::vector<FaultSpec> faults;
+  /// Optional override replacing the archetype library for every device.
+  LoadFactory load_factory;
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& net : networks) {
+      n += net.device_count();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t max_devices_per_network() const noexcept {
+    std::size_t m = 0;
+    for (const auto& net : networks) {
+      m = std::max(m, net.device_count());
+    }
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Fluent assembly of a ScenarioSpec.
+///
+///   Testbed bed{FleetBuilder{}
+///                   .name("two-by-two")
+///                   .networks(2, 2)
+///                   .seed(42)
+///                   .spec()};
+class FleetBuilder {
+ public:
+  FleetBuilder& name(std::string n);
+  FleetBuilder& seed(std::uint64_t s);
+  FleetBuilder& system(const SystemConfig& sys);
+  FleetBuilder& spacing_m(double metres);
+  FleetBuilder& grid(const grid::DistributionParams& params);
+  FleetBuilder& mesh(MeshTopology topology);
+  FleetBuilder& plug_stagger(sim::Duration stagger);
+  FleetBuilder& auto_size_tdma(bool enabled = true);
+
+  /// `n` identical networks of `devices` devices each, all one archetype.
+  FleetBuilder& networks(std::size_t n, std::size_t devices,
+                         LoadArchetype archetype = LoadArchetype::kDutyCycle);
+  /// Appends one network with the given populations.
+  FleetBuilder& add_network(std::vector<DevicePopulation> populations);
+  /// Adds `count` devices of `archetype` to every existing network.
+  FleetBuilder& population(std::size_t count, LoadArchetype archetype);
+
+  FleetBuilder& churn(const ChurnSpec& c);
+  FleetBuilder& fault(const FaultSpec& f);
+  FleetBuilder& ap_outage(std::size_t network, sim::SimTime at,
+                          sim::Duration duration);
+  FleetBuilder& backhaul_partition(std::size_t network, sim::SimTime at,
+                                   sim::Duration duration);
+  FleetBuilder& tamper_burst(std::size_t device, sim::SimTime at,
+                             sim::Duration duration, double factor);
+
+  FleetBuilder& load_factory(ScenarioSpec::LoadFactory factory);
+
+  [[nodiscard]] const ScenarioSpec& spec() const& noexcept { return spec_; }
+  [[nodiscard]] ScenarioSpec spec() && noexcept { return std::move(spec_); }
+
+  /// Convenience: wires a Testbed from the current spec.
+  [[nodiscard]] std::unique_ptr<Testbed> build() const;
+
+ private:
+  ScenarioSpec spec_;
+};
+
+// ---------------------------------------------------------------------------
+// Canned scenarios
+// ---------------------------------------------------------------------------
+
+/// The paper's Figure 4 testbed, exactly as the seed repository wired it:
+/// 2 WANs x 2 devices, default duty-cycle loads, full-mesh backhaul.
+[[nodiscard]] ScenarioSpec paper_figure4(std::uint64_t seed = 42);
+
+/// Four campus buildings on a ring backhaul; 25 % of devices roam.
+[[nodiscard]] ScenarioSpec campus_roaming(std::uint64_t seed = 7);
+
+/// The fleet-scale workload: `networks` WANs sharing `devices` devices of
+/// mixed archetypes, light churn, chain/verification cadence tuned for
+/// scale.  Defaults reproduce the 10k-device benchmark shape.
+[[nodiscard]] ScenarioSpec metro_fleet(std::size_t networks = 32,
+                                       std::size_t devices = 10'000,
+                                       std::uint64_t seed = 1);
+
+/// 6 WANs x 250 bursty devices plugging in almost simultaneously.
+[[nodiscard]] ScenarioSpec flash_crowd(std::uint64_t seed = 3);
+
+/// Faults on a small fleet: AP outage, backhaul partition, tamper burst.
+[[nodiscard]] ScenarioSpec blackout_drill(std::uint64_t seed = 5);
+
+/// Names accepted by `canned_scenario()`.
+[[nodiscard]] std::vector<std::string> canned_scenario_names();
+
+/// Looks a canned scenario up by name; throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] ScenarioSpec canned_scenario(std::string_view name,
+                                           std::uint64_t seed);
+
+}  // namespace emon::core

@@ -1,46 +1,62 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/mobility.hpp"
 
 namespace emon::core {
 
-hw::LoadProfilePtr default_device_load(const DeviceId& id, std::size_t index,
-                                       const util::SeedSequence& seeds) {
-  // Staggered duty cycles: devices alternate between a light phase and a
-  // heavier working phase, out of phase with each other, with 5 % band-
-  // limited noise — enough variation to exercise every current level the
-  // Figure 5 bins compare.
-  const double low_ma = 8.0 + 4.0 * static_cast<double>(index % 3);
-  const double high_ma = 55.0 + 20.0 * static_cast<double>(index % 4);
-  const auto period = sim::milliseconds(4000 + 700 * static_cast<std::int64_t>(
-                                                        index % 5));
-  const auto phase = sim::milliseconds(900 * static_cast<std::int64_t>(index));
-  auto duty = std::make_shared<hw::DutyCycleLoad>(
-      util::milliamps(low_ma), util::milliamps(high_ma), period, 0.5, phase);
-  return std::make_shared<hw::NoisyLoad>(std::move(duty), 0.05,
-                                         sim::milliseconds(50),
-                                         seeds.derive("load." + id));
-}
-
-Testbed::Testbed(ScenarioParams params)
-    : params_(std::move(params)),
-      seeds_(params_.sys.seed),
+Testbed::Testbed(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      seeds_(spec_.sys.seed),
       medium_(kernel_),
       backhaul_(kernel_, seeds_.stream("backhaul")) {
-  if (params_.networks == 0) {
+  if (spec_.networks.empty()) {
     throw std::invalid_argument("Testbed needs at least one network");
   }
-  if (!params_.load_factory) {
-    params_.load_factory = default_device_load;
+  for (const auto& fault : spec_.faults) {
+    if ((fault.kind == FaultSpec::Kind::kApOutage ||
+         fault.kind == FaultSpec::Kind::kBackhaulPartition) &&
+        fault.network >= spec_.networks.size()) {
+      throw std::invalid_argument("fault targets unknown network");
+    }
+    if (fault.kind == FaultSpec::Kind::kTamperBurst &&
+        fault.device >= spec_.device_count()) {
+      throw std::invalid_argument("fault targets unknown device");
+    }
   }
+
+  // TDMA auto-fit: widen the schedule when a population exceeds the
+  // configured slot capacity (opt-in — capacity tests under-provision on
+  // purpose).  25 % headroom leaves room for roamed-in temporaries.
+  if (spec_.auto_size_tdma) {
+    auto& tdma = spec_.sys.aggregator.tdma;
+    const std::size_t max_dev = spec_.max_devices_per_network();
+    const std::size_t want = max_dev + max_dev / 4 + 1;
+    const auto capacity =
+        static_cast<std::size_t>(tdma.superframe / tdma.slot_width);
+    if (want > capacity) {
+      const sim::Duration width{tdma.superframe.ns() /
+                                static_cast<std::int64_t>(want)};
+      if (width <= sim::Duration{0}) {
+        throw std::invalid_argument(
+            "population too large for the TDMA superframe");
+      }
+      tdma.slot_width = width;
+    }
+  }
+
   // Wire-level byte accounting for the inter-aggregator mesh; aggregators
   // and devices bind their own MQTT transports in their constructors.
   backhaul_.bind_trace(&trace_, "wire.backhaul");
 
   // Grids + access points.
-  for (std::size_t n = 0; n < params_.networks; ++n) {
+  const std::size_t n_networks = spec_.networks.size();
+  for (std::size_t n = 0; n < n_networks; ++n) {
     grids_.push_back(std::make_unique<grid::DistributionNetwork>(
-        network_name(n), params_.grid, [this] { return kernel_.now(); }));
+        network_name(n), spec_.grid, [this] { return kernel_.now(); }));
+    grids_by_name_.emplace(network_name(n), grids_.back().get());
     net::AccessPoint ap;
     ap.ssid = network_name(n);
     ap.host_id = "agg-" + std::to_string(n + 1);
@@ -50,50 +66,75 @@ Testbed::Testbed(ScenarioParams params)
   }
 
   // Aggregators (backhaul nodes + chain writers).
-  for (std::size_t n = 0; n < params_.networks; ++n) {
+  for (std::size_t n = 0; n < n_networks; ++n) {
     aggregators_.push_back(std::make_unique<Aggregator>(
-        kernel_, "agg-" + std::to_string(n + 1), network_name(n), params_.sys,
+        kernel_, "agg-" + std::to_string(n + 1), network_name(n), spec_.sys,
         *grids_[n], backhaul_, chain_, seeds_, &trace_));
-  }
-  // Full-mesh backhaul, as in the paper's testbed (two RPis on one LAN).
-  for (std::size_t a = 0; a < params_.networks; ++a) {
-    for (std::size_t b = a + 1; b < params_.networks; ++b) {
-      backhaul_.add_link(aggregators_[a]->id(), aggregators_[b]->id(),
-                         params_.sys.backhaul);
-    }
+    brokers_by_host_.emplace(aggregators_.back()->id(),
+                             &aggregators_.back()->broker());
   }
 
-  // Devices at their home networks.
-  auto broker_resolver = [this](const std::string& host) -> net::MqttBroker* {
-    for (const auto& agg : aggregators_) {
-      if (agg->id() == host) {
-        return &agg->broker();
+  // Inter-aggregator mesh in the spec's topology.
+  switch (spec_.mesh) {
+    case MeshTopology::kFullMesh:
+      for (std::size_t a = 0; a < n_networks; ++a) {
+        for (std::size_t b = a + 1; b < n_networks; ++b) {
+          backhaul_.add_link(aggregators_[a]->id(), aggregators_[b]->id(),
+                             spec_.sys.backhaul);
+        }
       }
-    }
-    return nullptr;
+      break;
+    case MeshTopology::kRing:
+      for (std::size_t a = 0; a + 1 < n_networks; ++a) {
+        backhaul_.add_link(aggregators_[a]->id(), aggregators_[a + 1]->id(),
+                           spec_.sys.backhaul);
+      }
+      if (n_networks > 2) {
+        backhaul_.add_link(aggregators_[n_networks - 1]->id(),
+                           aggregators_[0]->id(), spec_.sys.backhaul);
+      }
+      break;
+    case MeshTopology::kStar:
+      for (std::size_t a = 1; a < n_networks; ++a) {
+        backhaul_.add_link(aggregators_[0]->id(), aggregators_[a]->id(),
+                           spec_.sys.backhaul);
+      }
+      break;
+  }
+
+  // Devices at their home networks.  Resolution is O(1) via the registries
+  // regardless of network count.
+  auto broker_resolver = [this](const std::string& host) -> net::MqttBroker* {
+    const auto it = brokers_by_host_.find(host);
+    return it == brokers_by_host_.end() ? nullptr : it->second;
   };
   auto grid_resolver =
       [this](const NetworkId& network) -> grid::DistributionNetwork* {
-    for (const auto& g : grids_) {
-      if (g->name() == network) {
-        return g.get();
-      }
-    }
-    return nullptr;
+    const auto it = grids_by_name_.find(network);
+    return it == grids_by_name_.end() ? nullptr : it->second;
   };
   std::size_t global = 0;
-  for (std::size_t n = 0; n < params_.networks; ++n) {
-    for (std::size_t d = 0; d < params_.devices_per_network; ++d) {
-      const DeviceId id = "dev-" + std::to_string(global + 1);
-      auto device = std::make_unique<DeviceApp>(
-          kernel_, id, params_.sys, medium_, grid_resolver, broker_resolver,
-          seeds_, &trace_);
-      device->attach_load(params_.load_factory(id, global, seeds_));
-      net::Position pos = network_position(n);
-      pos.x += 1.5 * static_cast<double>(d + 1);
-      device->set_position(pos);
-      devices_.push_back(std::move(device));
-      ++global;
+  for (std::size_t n = 0; n < n_networks; ++n) {
+    std::size_t ordinal = 0;
+    for (const auto& population : spec_.networks[n].populations) {
+      for (std::size_t d = 0; d < population.count; ++d) {
+        const DeviceId id = "dev-" + std::to_string(global + 1);
+        auto device = std::make_unique<DeviceApp>(
+            kernel_, id, spec_.sys, medium_, grid_resolver, broker_resolver,
+            seeds_, &trace_);
+        device->attach_load(
+            spec_.load_factory
+                ? spec_.load_factory(id, global, seeds_)
+                : make_archetype_load(population.archetype, id, global,
+                                      seeds_));
+        device->set_position(device_position(n, ordinal));
+        devices_.push_back(std::move(device));
+        device_home_.push_back(n);
+        device_archetype_.push_back(population.archetype);
+        device_ordinal_.push_back(ordinal);
+        ++ordinal;
+        ++global;
+      }
     }
   }
 }
@@ -106,16 +147,118 @@ void Testbed::start() {
   for (const auto& agg : aggregators_) {
     agg->start();
   }
-  std::size_t global = 0;
-  for (std::size_t n = 0; n < params_.networks; ++n) {
-    for (std::size_t d = 0; d < params_.devices_per_network; ++d) {
-      DeviceApp* device = devices_[global].get();
-      const NetworkId home = network_name(n);
-      // Stagger plug-ins so registration bursts don't collide.
-      kernel_.schedule_in(
-          sim::milliseconds(37 * static_cast<std::int64_t>(global)),
-          [device, home] { device->plug_into(home); });
-      ++global;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    DeviceApp* device = devices_[i].get();
+    const NetworkId home = network_name(device_home_[i]);
+    // Stagger plug-ins so registration bursts don't collide.
+    kernel_.schedule_in(spec_.plug_stagger * static_cast<std::int64_t>(i),
+                        [device, home] { device->plug_into(home); });
+  }
+  schedule_churn();
+  for (const auto& fault : spec_.faults) {
+    schedule_fault(fault);
+  }
+}
+
+void Testbed::schedule_churn() {
+  const ChurnSpec& churn = spec_.churn;
+  if (!churn.enabled() || network_count() < 2) {
+    return;
+  }
+  util::Rng rng = seeds_.stream("fleet.churn");
+  const double dwell_span =
+      std::max(0.0, (churn.dwell_max - churn.dwell_min).to_seconds());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!rng.bernoulli(churn.roamer_fraction)) {
+      continue;
+    }
+    MobilityPlan plan;
+    std::size_t at_net = device_home_[i];
+    sim::SimTime depart = kernel_.now() + churn.first_departure +
+                          sim::seconds_f(rng.uniform(0.0, dwell_span));
+    for (std::size_t trip = 0; trip < churn.trips_per_roamer; ++trip) {
+      // Uniform choice among the other networks.
+      auto dest = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(network_count()) - 2));
+      if (dest >= at_net) {
+        ++dest;
+      }
+      plan.push_back(MobilityStep{depart, network_name(dest),
+                                  device_position(dest, device_ordinal_[i]),
+                                  churn.transit});
+      depart = depart + churn.transit + churn.dwell_min +
+               sim::seconds_f(rng.uniform(0.0, dwell_span));
+      at_net = dest;
+    }
+    schedule_plan(kernel_, *devices_[i], plan);
+  }
+}
+
+void Testbed::schedule_fault(const FaultSpec& fault) {
+  const sim::SimTime at = std::max(fault.at, kernel_.now());
+  const sim::SimTime until = at + fault.duration;
+  switch (fault.kind) {
+    case FaultSpec::Kind::kApOutage: {
+      const NetworkId ssid = network_name(fault.network);
+      kernel_.schedule_at(at, [this, ssid] {
+        if (active_outages_[ssid]++ > 0) {
+          return;  // already dark from an overlapping window
+        }
+        if (const auto ap = medium_.find(ssid)) {
+          downed_aps_.emplace(ssid, *ap);
+          medium_.remove_access_point(ssid);
+          trace_.append("fault.ap_outage." + ssid, kernel_.now(), 1.0);
+        }
+      });
+      kernel_.schedule_at(until, [this, ssid] {
+        if (--active_outages_[ssid] > 0) {
+          return;  // an overlapping window is still active
+        }
+        const auto it = downed_aps_.find(ssid);
+        if (it != downed_aps_.end()) {
+          medium_.add_access_point(it->second);
+          downed_aps_.erase(it);
+          trace_.append("fault.ap_outage." + ssid, kernel_.now(), 0.0);
+        }
+      });
+      break;
+    }
+    case FaultSpec::Kind::kBackhaulPartition: {
+      const std::string agg_id = "agg-" + std::to_string(fault.network + 1);
+      kernel_.schedule_at(at, [this, agg_id] {
+        if (active_partitions_[agg_id]++ == 0) {
+          backhaul_.set_node_up(agg_id, false);
+          trace_.append("fault.partition." + agg_id, kernel_.now(), 1.0);
+        }
+      });
+      kernel_.schedule_at(until, [this, agg_id] {
+        if (--active_partitions_[agg_id] == 0) {
+          backhaul_.set_node_up(agg_id, true);
+          trace_.append("fault.partition." + agg_id, kernel_.now(), 0.0);
+        }
+      });
+      break;
+    }
+    case FaultSpec::Kind::kTamperBurst: {
+      const std::size_t device = fault.device;
+      const double factor = fault.tamper_factor;
+      kernel_.schedule_at(at, [this, device, factor] {
+        ++active_tampers_[device];
+        // Overlapping bursts: the most recent onset wins while any is
+        // active; honesty returns only when the last window closes.
+        devices_[device]->set_tamper_factor(factor);
+        trace_.append("fault.tamper." + devices_[device]->id(), kernel_.now(),
+                      factor);
+      });
+      kernel_.schedule_at(until, [this, device] {
+        if (--active_tampers_[device] > 0) {
+          return;
+        }
+        devices_[device]->set_tamper_factor(1.0);
+        trace_.append("fault.tamper." + devices_[device]->id(), kernel_.now(),
+                      1.0);
+      });
+      break;
     }
   }
 }
@@ -129,8 +272,17 @@ NetworkId Testbed::network_name(std::size_t i) const {
 }
 
 net::Position Testbed::network_position(std::size_t i) const {
-  return net::Position{params_.network_spacing_m * static_cast<double>(i),
-                       0.0};
+  return net::Position{spec_.network_spacing_m * static_cast<double>(i), 0.0};
+}
+
+net::Position Testbed::device_position(std::size_t network,
+                                       std::size_t ordinal) const {
+  // 16-wide grid: matches the seed's single-row layout for small networks
+  // and keeps 300-device populations within ~30 m of their AP.
+  net::Position pos = network_position(network);
+  pos.x += 1.5 * static_cast<double>(ordinal % 16 + 1);
+  pos.y += 1.5 * static_cast<double>(ordinal / 16);
+  return pos;
 }
 
 grid::DistributionNetwork& Testbed::grid_of(std::size_t i) {
@@ -144,7 +296,11 @@ DeviceApp& Testbed::device(std::size_t global_index) {
 }
 
 std::size_t Testbed::home_of(std::size_t global_index) const {
-  return global_index / params_.devices_per_network;
+  return device_home_.at(global_index);
+}
+
+LoadArchetype Testbed::archetype_of(std::size_t global_index) const {
+  return device_archetype_.at(global_index);
 }
 
 }  // namespace emon::core

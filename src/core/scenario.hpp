@@ -1,20 +1,27 @@
 #pragma once
-// Scenario builder: constructs the paper's testbed (Figure 4) — or scaled
-// variants of it — fully wired: kernel, radio medium, per-WAN distribution
-// grids, aggregators (broker + feeder meter + chain writer + backhaul
-// node), and devices (SoC + sensors + firmware), each at its home network.
+// The wired testbed: takes a declarative ScenarioSpec (core/fleet.hpp) and
+// constructs the whole deployment — kernel, radio medium, per-WAN
+// distribution grids, aggregators (broker + feeder meter + chain writer +
+// backhaul node) and devices (SoC + sensors + firmware) at their home
+// networks — then runs it.
+//
+// Wiring is registry-based: device->aggregator broker resolution and
+// device->grid resolution are O(1) hash lookups however many networks the
+// scenario declares (the seed code scanned every network per lookup).
+// start() additionally materializes the spec's generated churn plans and
+// scripted fault injections onto the kernel.
 //
 // This is the entry point examples, benches and integration tests use.
 
-#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "chain/permissioned.hpp"
 #include "core/aggregator.hpp"
-#include "core/config.hpp"
 #include "core/device_app.hpp"
+#include "core/fleet.hpp"
 #include "grid/distribution.hpp"
 #include "net/backhaul.hpp"
 #include "net/wifi.hpp"
@@ -24,31 +31,18 @@
 
 namespace emon::core {
 
-struct ScenarioParams {
-  SystemConfig sys{};
-  std::size_t networks = 2;
-  std::size_t devices_per_network = 2;
-  /// Physical spacing between WANs (m); devices still pick their local AP
-  /// by RSSI, as in the paper.
-  double network_spacing_m = 120.0;
-  grid::DistributionParams grid{};
-  /// Factory for each device's application load (index is global).  The
-  /// default is a per-device phase-shifted, noise-modulated duty cycle.
-  std::function<hw::LoadProfilePtr(const DeviceId&, std::size_t,
-                                   const util::SeedSequence&)>
-      load_factory;
-};
-
 /// The fully wired testbed.  Owns everything; movable only via unique_ptr.
 class Testbed {
  public:
-  explicit Testbed(ScenarioParams params);
+  explicit Testbed(ScenarioSpec spec);
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  /// Starts aggregators and plugs every device into its home network
-  /// (slightly staggered so registrations don't run in lockstep).
+  /// Starts aggregators, plugs every device into its home network
+  /// (staggered by the spec's plug_stagger so registrations don't run in
+  /// lockstep), schedules the generated churn plans and the scripted
+  /// fault injections.
   void start();
 
   /// Advances simulated time by `d`.
@@ -73,18 +67,25 @@ class Testbed {
 
   [[nodiscard]] NetworkId network_name(std::size_t i) const;
   [[nodiscard]] net::Position network_position(std::size_t i) const;
+  /// Physical socket position of the `ordinal`-th device of a network
+  /// (a 16-wide grid around the AP, so big populations stay clustered).
+  [[nodiscard]] net::Position device_position(std::size_t network,
+                                              std::size_t ordinal) const;
   [[nodiscard]] grid::DistributionNetwork& grid_of(std::size_t i);
   [[nodiscard]] Aggregator& aggregator(std::size_t i);
   [[nodiscard]] DeviceApp& device(std::size_t global_index);
   /// Home network index of a device by global index.
   [[nodiscard]] std::size_t home_of(std::size_t global_index) const;
+  /// Load archetype the device was populated with.
+  [[nodiscard]] LoadArchetype archetype_of(std::size_t global_index) const;
 
-  [[nodiscard]] const ScenarioParams& params() const noexcept {
-    return params_;
-  }
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
 
  private:
-  ScenarioParams params_;
+  void schedule_churn();
+  void schedule_fault(const FaultSpec& fault);
+
+  ScenarioSpec spec_;
   sim::Kernel kernel_;
   util::SeedSequence seeds_;
   sim::Trace trace_;
@@ -94,13 +95,21 @@ class Testbed {
   std::vector<std::unique_ptr<grid::DistributionNetwork>> grids_;
   std::vector<std::unique_ptr<Aggregator>> aggregators_;
   std::vector<std::unique_ptr<DeviceApp>> devices_;
+  std::vector<std::size_t> device_home_;
+  std::vector<LoadArchetype> device_archetype_;
+  std::vector<std::size_t> device_ordinal_;  // index within home network
+  // O(1) wiring registries (devices resolve through these on every
+  // connect/report instead of scanning all networks).
+  std::unordered_map<std::string, net::MqttBroker*> brokers_by_host_;
+  std::unordered_map<NetworkId, grid::DistributionNetwork*> grids_by_name_;
+  // APs taken down by an active outage fault, for restoration.
+  std::unordered_map<std::string, net::AccessPoint> downed_aps_;
+  // Active fault windows per target: overlapping windows on one target
+  // only restore when the last of them ends.
+  std::unordered_map<std::string, int> active_outages_;
+  std::unordered_map<std::string, int> active_partitions_;
+  std::unordered_map<std::size_t, int> active_tampers_;
   bool started_ = false;
 };
-
-/// The default application load: duty-cycled draw with multiplicative noise
-/// whose phase/level varies per device index (used when `load_factory` is
-/// not supplied).
-[[nodiscard]] hw::LoadProfilePtr default_device_load(
-    const DeviceId& id, std::size_t index, const util::SeedSequence& seeds);
 
 }  // namespace emon::core

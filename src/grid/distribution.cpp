@@ -1,6 +1,7 @@
 #include "grid/distribution.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace emon::grid {
 
@@ -23,10 +24,12 @@ bool DistributionNetwork::plug(const std::string& device_id, DemandFn demand) {
   if (!demand) {
     throw std::invalid_argument("plug requires a demand function");
   }
+  cache_valid_ = false;  // the socket set changed
   return sockets_.emplace(device_id, std::move(demand)).second;
 }
 
 bool DistributionNetwork::unplug(const std::string& device_id) {
+  cache_valid_ = false;
   return sockets_.erase(device_id) > 0;
 }
 
@@ -64,22 +67,52 @@ NetworkState DistributionNetwork::solve(sim::SimTime t) const {
   return state;
 }
 
+std::pair<util::Amperes, util::Volts> DistributionNetwork::solve_feeder(
+    sim::SimTime t) const {
+  util::Amperes delivered{0.0};
+  for (const auto& [id, demand] : sockets_) {
+    delivered += demand(t);
+  }
+  const util::Amperes feeder =
+      util::Amperes{delivered.value() * (1.0 + params_.loss_fraction)} +
+      params_.overhead_quiescent;
+  const util::Volts board =
+      params_.supply - feeder * params_.feeder_resistance;
+  cache_valid_ = true;
+  cache_time_ = t;
+  cached_board_voltage_ = board;
+  return {feeder, board};
+}
+
+util::Volts DistributionNetwork::board_voltage_at(sim::SimTime t) const {
+  if (cache_valid_ && params_.solve_cache_window > sim::Duration{0} &&
+      t >= cache_time_ && t - cache_time_ <= params_.solve_cache_window) {
+    return cached_board_voltage_;
+  }
+  return solve_feeder(t).second;
+}
+
 hw::OperatingPoint DistributionNetwork::device_operating_point(
     const std::string& device_id, sim::SimTime t) const {
-  const NetworkState state = solve(t);
-  for (const auto& socket : state.sockets) {
-    if (socket.device_id == device_id) {
-      return hw::OperatingPoint{socket.current, socket.bus_voltage};
-    }
+  const auto it = sockets_.find(device_id);
+  if (it == sockets_.end()) {
+    // Unplugged: the sensor travels with the device and sees a dead bus.
+    return hw::OperatingPoint{util::Amperes{0.0}, util::Volts{0.0}};
   }
-  // Unplugged: the sensor travels with the device and sees a dead bus.
-  return hw::OperatingPoint{util::Amperes{0.0}, util::Volts{0.0}};
+  // O(1) per query: only this device's demand is evaluated; the shared
+  // board voltage comes from the (possibly cached) feeder solve.
+  const util::Amperes draw = it->second(t);
+  const util::Volts board = board_voltage_at(t);
+  return hw::OperatingPoint{draw,
+                            board - draw * params_.line_resistance};
 }
 
 hw::OperatingPoint DistributionNetwork::feeder_operating_point(
     sim::SimTime t) const {
-  const NetworkState state = solve(t);
-  return hw::OperatingPoint{state.feeder_current, state.feeder_voltage};
+  // The centralized meter is always exact (it is the verification ground
+  // truth); its solve also refreshes the board-voltage cache.
+  const auto [feeder, board] = solve_feeder(t);
+  return hw::OperatingPoint{feeder, board};
 }
 
 hw::ElectricalProbe DistributionNetwork::probe_for_device(

@@ -45,6 +45,13 @@ struct DistributionParams {
   util::Amperes overhead_quiescent = util::milliamps(2.0);
   /// Extra supply current per amp of delivered load (losses, inefficiency).
   double loss_fraction = 0.03;
+  /// Board-voltage cache window for device-side operating-point queries:
+  /// the shared board voltage (which needs a full O(devices) feeder solve)
+  /// is reused while it is at most this old.  The device's own current is
+  /// always evaluated exactly at the query instant.  0 (default) re-solves
+  /// on every query — bit-exact with the uncached model; fleet scenarios
+  /// set a window so a superframe costs O(devices), not O(devices^2).
+  sim::Duration solve_cache_window{0};
 };
 
 /// One socket's electrical state at an instant.
@@ -105,10 +112,23 @@ class DistributionNetwork {
   [[nodiscard]] hw::ElectricalProbe feeder_probe();
 
  private:
+  /// Sum of all socket demands at `t`, as seen at the feeder (with losses
+  /// and overhead) and the resulting board voltage.  Refreshes the cache.
+  [[nodiscard]] std::pair<util::Amperes, util::Volts> solve_feeder(
+      sim::SimTime t) const;
+  /// Board voltage for a device-side query: cached within
+  /// `solve_cache_window`, exact otherwise.
+  [[nodiscard]] util::Volts board_voltage_at(sim::SimTime t) const;
+
   std::string name_;
   DistributionParams params_;
   std::function<sim::SimTime()> now_;
   std::map<std::string, DemandFn> sockets_;
+  // Last full feeder solve (device-side queries reuse it within the
+  // configured window; plug/unplug invalidates it).
+  mutable bool cache_valid_ = false;
+  mutable sim::SimTime cache_time_{};
+  mutable util::Volts cached_board_voltage_{0.0};
 };
 
 }  // namespace emon::grid

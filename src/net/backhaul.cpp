@@ -39,9 +39,24 @@ void Backhaul::add_link(const std::string& a, const std::string& b,
            cost_s});
 }
 
+void Backhaul::set_node_up(const std::string& id, bool up) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second.up = up;
+  }
+}
+
+bool Backhaul::node_up(const std::string& id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.up;
+}
+
 std::optional<std::vector<std::string>> Backhaul::route(
     const std::string& from, const std::string& to) const {
-  if (nodes_.find(from) == nodes_.end() || nodes_.find(to) == nodes_.end()) {
+  const auto from_it = nodes_.find(from);
+  const auto to_it = nodes_.find(to);
+  if (from_it == nodes_.end() || to_it == nodes_.end() ||
+      !from_it->second.up || !to_it->second.up) {
     return std::nullopt;
   }
   // Dijkstra over expected hop latency.
@@ -61,6 +76,9 @@ std::optional<std::vector<std::string>> Backhaul::route(
       break;
     }
     for (const auto& link : nodes_.at(id).links) {
+      if (!nodes_.at(link.peer).up) {
+        continue;  // partitioned hop
+      }
       const double nd = d + link.cost_s;
       const auto it = dist.find(link.peer);
       if (it == dist.end() || nd < it->second) {
@@ -126,6 +144,16 @@ void Backhaul::forward(Frame frame, AckFn on_ack,
     std::size_t next_index = 0;
 
     void step(const std::string& at) {
+      auto& node = self->nodes_.at(at);
+      if (!node.up) {
+        // The node went down while the frame was in flight on a channel
+        // toward it: the hop is lost.
+        self->note_dropped();
+        if (on_ack) {
+          on_ack(false);
+        }
+        return;
+      }
       if (next_index >= path.size()) {
         self->deliver(frame);
         if (on_ack) {
@@ -135,7 +163,6 @@ void Backhaul::forward(Frame frame, AckFn on_ack,
       }
       const std::string next = path[next_index];
       ++next_index;
-      auto& node = self->nodes_.at(at);
       const auto link_it =
           std::find_if(node.links.begin(), node.links.end(),
                        [&next](const Link& l) { return l.peer == next; });

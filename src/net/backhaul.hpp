@@ -40,6 +40,13 @@ class Backhaul : public Transport {
   void add_link(const std::string& a, const std::string& b,
                 ChannelParams params);
 
+  /// Fault injection: marks a node down (backhaul partition) or back up.
+  /// A down node neither originates, forwards nor receives frames; routes
+  /// through it are recomputed around it, and frames caught mid-flight at a
+  /// downed hop are dropped (ack false).  Unknown ids are ignored.
+  void set_node_up(const std::string& id, bool up);
+  [[nodiscard]] bool node_up(const std::string& id) const;
+
   /// Sends a frame; it is routed over the min-latency path and delivered to
   /// the destination's handler after the cumulative hop delays.  `on_ack`
   /// fires true at delivery, false if no route exists or the route breaks
@@ -76,6 +83,7 @@ class Backhaul : public Transport {
   struct Node {
     Handler handler;
     std::vector<Link> links;
+    bool up = true;
   };
 
   void deliver(const Frame& frame);

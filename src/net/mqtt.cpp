@@ -119,9 +119,46 @@ void MqttBroker::publish_from_host(MqttMessage message) {
 
 void MqttBroker::handle_subscribe(const std::shared_ptr<MqttSession>& session,
                                   std::string filter) {
-  if (session) {
-    session->filters.push_back(std::move(filter));
+  if (!session) {
+    return;
   }
+  // Idempotent per session: a repeated SUBSCRIBE for the same filter must
+  // not produce duplicate deliveries (the index holds one entry per
+  // (session, filter) pair).
+  for (const auto& existing : session->filters) {
+    if (existing == filter) {
+      return;
+    }
+  }
+  if (filter.find_first_of("+#") == std::string::npos) {
+    exact_subs_[filter].push_back(session);
+  } else {
+    wildcard_subs_.emplace_back(filter, session);
+  }
+  session->filters.push_back(std::move(filter));
+}
+
+bool MqttBroker::deliver_to(const std::shared_ptr<MqttSession>& session,
+                            const MqttMessage& message) {
+  // Don't echo a message back to its publisher.
+  if (session->client_id == message.sender || !session->downlink) {
+    return false;
+  }
+  // Only the live session for a client id receives (a stale index entry
+  // from before an eviction/reconnect must stay silent).
+  const auto it = sessions_.find(session->client_id);
+  if (it == sessions_.end() || it->second.lock() != session) {
+    return false;
+  }
+  const std::uint64_t size = publish_wire_size(message);
+  note_sent(kernel_.now(), message.payload.size());
+  std::weak_ptr<MqttSession> weak = session;
+  session->downlink->send(size, [weak, message](std::uint64_t) {
+    if (const auto live = weak.lock(); live && live->on_message) {
+      live->on_message(message);
+    }
+  });
+  return true;
 }
 
 std::size_t MqttBroker::dispatch(const MqttMessage& message) {
@@ -133,35 +170,36 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
       ++recipients;
     }
   }
-  // Remote subscribers: deliver over each session's downlink.
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    const auto session = it->second.lock();
-    if (!session) {
-      it = sessions_.erase(it);
+  // Remote subscribers, via the index: one hash lookup for the exact-topic
+  // bucket (the fleet-scale hot path) plus a scan of the short wildcard
+  // list.  A session subscribed to the same topic through both an exact
+  // and a wildcard filter would receive the message twice; device firmware
+  // uses disjoint exact filters, so the overlap does not arise.
+  if (const auto bucket = exact_subs_.find(message.topic);
+      bucket != exact_subs_.end()) {
+    auto& subs = bucket->second;
+    std::erase_if(subs, [](const std::weak_ptr<MqttSession>& weak) {
+      return weak.expired();
+    });
+    for (const auto& weak : subs) {
+      if (const auto session = weak.lock()) {
+        recipients += deliver_to(session, message) ? 1 : 0;
+      }
+    }
+    if (subs.empty()) {
+      exact_subs_.erase(bucket);
+    }
+  }
+  std::erase_if(wildcard_subs_, [](const auto& entry) {
+    return entry.second.expired();
+  });
+  for (const auto& [filter, weak] : wildcard_subs_) {
+    if (!topic_matches(filter, message.topic)) {
       continue;
     }
-    // Don't echo a message back to its publisher.
-    if (session->client_id != message.sender) {
-      bool matches = false;
-      for (const auto& filter : session->filters) {
-        if (topic_matches(filter, message.topic)) {
-          matches = true;
-          break;
-        }
-      }
-      if (matches && session->downlink) {
-        const std::uint64_t size = publish_wire_size(message);
-        note_sent(kernel_.now(), message.payload.size());
-        ++recipients;
-        std::weak_ptr<MqttSession> weak = session;
-        session->downlink->send(size, [weak, message](std::uint64_t) {
-          if (const auto live = weak.lock(); live && live->on_message) {
-            live->on_message(message);
-          }
-        });
-      }
+    if (const auto session = weak.lock()) {
+      recipients += deliver_to(session, message) ? 1 : 0;
     }
-    ++it;
   }
   return recipients;
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -110,11 +111,23 @@ class MqttBroker : public Transport {
   /// Routes to local handlers and matching sessions; returns how many
   /// recipients the message reached (handlers + scheduled downlink sends).
   std::size_t dispatch(const MqttMessage& message);
+  /// Downlink delivery to one session if it is still the live session for
+  /// its client id.  Returns true if a send was scheduled.
+  bool deliver_to(const std::shared_ptr<MqttSession>& session,
+                  const MqttMessage& message);
 
   sim::Kernel& kernel_;
   std::string broker_id_;
   std::vector<std::pair<std::string, LocalHandler>> local_subs_;
   std::map<std::string, std::weak_ptr<MqttSession>> sessions_;
+  // Subscription index: exact filters (the overwhelming majority — every
+  // device's ctrl topic and the beacon topic) dispatch with one hash
+  // lookup; '+'/'#' filters fall back to a scan of this short list.
+  // Expired sessions are pruned lazily as their buckets are touched.
+  std::unordered_map<std::string, std::vector<std::weak_ptr<MqttSession>>>
+      exact_subs_;
+  std::vector<std::pair<std::string, std::weak_ptr<MqttSession>>>
+      wildcard_subs_;
   std::uint64_t routed_ = 0;
 };
 

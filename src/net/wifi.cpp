@@ -36,7 +36,25 @@ void WifiMedium::add_access_point(AccessPoint ap) {
 }
 
 bool WifiMedium::remove_access_point(const std::string& ssid) {
-  return aps_.erase(ssid) > 0;
+  if (aps_.erase(ssid) == 0) {
+    return false;
+  }
+  // Links have no physics of their own: with the AP gone, every station
+  // associated with it drops immediately.  Iterate over a copy — drop
+  // handlers may schedule rescans but must not mutate the station set.
+  const std::vector<WifiStation*> stations = stations_;
+  for (WifiStation* station : stations) {
+    station->on_ap_lost(ssid);
+  }
+  return true;
+}
+
+void WifiMedium::register_station(WifiStation* station) {
+  stations_.push_back(station);
+}
+
+void WifiMedium::unregister_station(WifiStation* station) noexcept {
+  std::erase(stations_, station);
 }
 
 std::optional<AccessPoint> WifiMedium::find(const std::string& ssid) const {
@@ -83,7 +101,21 @@ WifiStation::WifiStation(WifiMedium& medium, std::string station_id,
     : medium_(medium),
       station_id_(std::move(station_id)),
       params_(params),
-      rng_(rng) {}
+      rng_(rng) {
+  medium_.register_station(this);
+}
+
+WifiStation::~WifiStation() { medium_.unregister_station(this); }
+
+void WifiStation::on_ap_lost(const std::string& ssid) {
+  if (state_ != WifiState::kConnected || connected_ssid_ != ssid) {
+    return;
+  }
+  disconnect();
+  if (on_drop_) {
+    on_drop_();
+  }
+}
 
 bool WifiStation::start_scan(ScanCallback on_done) {
   if (state_ != WifiState::kIdle || !on_done) {

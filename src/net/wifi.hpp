@@ -60,12 +60,18 @@ struct ScanEntry {
   double rssi_dbm = 0.0;
 };
 
-/// The shared radio environment: AP registry + propagation.
+class WifiStation;
+
+/// The shared radio environment: AP registry + propagation.  Stations
+/// register themselves so that tearing an AP down (fault injection: outage,
+/// power loss) immediately drops every link riding on it.
 class WifiMedium {
  public:
   explicit WifiMedium(sim::Kernel& kernel) : kernel_(kernel) {}
 
   void add_access_point(AccessPoint ap);
+  /// Removes an AP.  Every station associated with it loses its link (its
+  /// drop callback fires), exactly as if the radio went dark.
   bool remove_access_point(const std::string& ssid);
   [[nodiscard]] std::optional<AccessPoint> find(const std::string& ssid) const;
   [[nodiscard]] std::size_t access_point_count() const noexcept {
@@ -79,8 +85,13 @@ class WifiMedium {
   [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
 
  private:
+  friend class WifiStation;
+  void register_station(WifiStation* station);
+  void unregister_station(WifiStation* station) noexcept;
+
   sim::Kernel& kernel_;
   std::map<std::string, AccessPoint> aps_;
+  std::vector<WifiStation*> stations_;
 };
 
 /// STA connection state.
@@ -113,6 +124,10 @@ class WifiStation {
 
   WifiStation(WifiMedium& medium, std::string station_id,
               WifiStationParams params, util::Rng rng);
+  ~WifiStation();
+
+  WifiStation(const WifiStation&) = delete;
+  WifiStation& operator=(const WifiStation&) = delete;
 
   /// Begins a full passive scan; the callback fires after
   /// channels x scan_dwell with the audible APs.  Fails (returns false)
@@ -163,7 +178,10 @@ class WifiStation {
   }
 
  private:
+  friend class WifiMedium;
   void finish_connect(const std::string& ssid);
+  /// The AP carrying the current association went dark (outage fault).
+  void on_ap_lost(const std::string& ssid);
 
   WifiMedium& medium_;
   std::string station_id_;

@@ -1,5 +1,6 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -23,6 +24,56 @@ std::string to_string(Duration d) {
 
 std::string to_string(SimTime t) { return to_string(t - SimTime::zero()); }
 
+bool Kernel::decode_id(EventId id, std::uint32_t& slot,
+                       std::uint32_t& gen) noexcept {
+  if (!id.valid()) {
+    return false;
+  }
+  slot = static_cast<std::uint32_t>(id.raw() & 0xffffffffULL) - 1;
+  gen = static_cast<std::uint32_t>(id.raw() >> 32);
+  return true;
+}
+
+std::uint32_t Kernel::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  // Keep the free list's capacity >= the slab size so release_slot (which
+  // must stay noexcept) never needs to allocate.
+  free_slots_.reserve(slots_.capacity());
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Kernel::release_slot(std::uint32_t index) noexcept {
+  Slot& s = slots_[index];
+  s.cb = nullptr;
+  s.live = false;
+  s.firing = false;
+  s.cancelled_in_fire = false;
+  s.period_ns = 0;
+  if (++s.generation != 0) {  // retire the slot if the generation wraps
+    free_slots_.push_back(index);
+  }
+}
+
+void Kernel::push_entry(SimTime t, std::uint32_t slot, std::uint32_t gen) {
+  heap_.push_back(QueueEntry{t, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Kernel::pop_top() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+bool Kernel::stale(const QueueEntry& e) const noexcept {
+  const Slot& s = slots_[e.slot];
+  return !s.live || s.generation != e.gen;
+}
+
 EventId Kernel::schedule_at(SimTime t, Callback cb) {
   if (t < now_) {
     throw std::logic_error("schedule_at(" + to_string(t) +
@@ -31,11 +82,14 @@ EventId Kernel::schedule_at(SimTime t, Callback cb) {
   if (!cb) {
     throw std::invalid_argument("schedule_at requires a callable");
   }
-  const std::uint64_t id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.live = true;
+  ++callbacks_stored_;
   ++live_events_;
-  return EventId{id};
+  push_entry(t, slot, s.generation);
+  return make_id(slot, s.generation);
 }
 
 EventId Kernel::schedule_in(Duration delay, Callback cb) {
@@ -46,34 +100,125 @@ EventId Kernel::schedule_in(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-bool Kernel::cancel(EventId id) noexcept {
-  if (!id.valid()) {
+EventId Kernel::schedule_every(Duration period, Duration initial_delay,
+                               Callback cb) {
+  if (period <= Duration{0}) {
+    throw std::invalid_argument("schedule_every requires a positive period");
+  }
+  if (initial_delay < Duration{0}) {
+    throw std::logic_error("schedule_every with negative initial delay " +
+                           to_string(initial_delay));
+  }
+  if (!cb) {
+    throw std::invalid_argument("schedule_every requires a callable");
+  }
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.period_ns = period.ns();
+  s.live = true;
+  ++callbacks_stored_;
+  ++live_events_;
+  push_entry(now_ + initial_delay, slot, s.generation);
+  return make_id(slot, s.generation);
+}
+
+EventId Kernel::schedule_every(Duration period, Callback cb) {
+  return schedule_every(period, period, std::move(cb));
+}
+
+bool Kernel::set_period(EventId id, Duration period) noexcept {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  if (period <= Duration{0} || !decode_id(id, slot, gen) ||
+      slot >= slots_.size()) {
     return false;
   }
-  const auto it = callbacks_.find(id.raw());
-  if (it == callbacks_.end()) {
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != gen || s.period_ns <= 0) {
     return false;
   }
-  callbacks_.erase(it);
-  --live_events_;
-  // The queue entry stays; step() skips entries whose callback is gone.
+  s.period_ns = period.ns();
   return true;
 }
 
+bool Kernel::cancel(EventId id) noexcept {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  if (!decode_id(id, slot, gen) || slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != gen) {
+    return false;
+  }
+  --live_events_;
+  ++tombstones_;  // its queued entry stays behind until reaped
+  if (s.firing) {
+    // A periodic callback cancelling its own event mid-fire: the callback
+    // object is executing right now, so defer the slot release until the
+    // fire returns.  Bumping the generation here already kills the
+    // rescheduled queue entry.
+    ++s.generation;
+    s.live = false;
+    s.cancelled_in_fire = true;
+  } else {
+    release_slot(slot);
+  }
+  maybe_compact();
+  return true;
+}
+
+void Kernel::maybe_compact() noexcept {
+  if (heap_.size() < kMinCompactionSize ||
+      tombstones_ <= heap_.size() - tombstones_) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const QueueEntry& e) { return stale(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tombstones_ = 0;
+  ++compactions_;
+}
+
 bool Kernel::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    const auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) {
-      continue;  // cancelled
+  while (!heap_.empty()) {
+    const QueueEntry entry = heap_.front();
+    pop_top();
+    if (stale(entry)) {
+      --tombstones_;
+      continue;
     }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --live_events_;
     now_ = entry.time;
     ++executed_;
-    cb();
+    if (slots_[entry.slot].period_ns > 0) {
+      // Periodic fast path.  Re-queue before invoking (so the callback can
+      // cancel to break the chain) and run the stored callback through a
+      // move-out/move-in shuffle: user code may grow the slab (relocating
+      // slots) while it runs, and moving a std::function never allocates.
+      push_entry(entry.time + Duration{slots_[entry.slot].period_ns},
+                 entry.slot, entry.gen);
+      slots_[entry.slot].firing = true;
+      Callback cb = std::move(slots_[entry.slot].cb);
+      cb();
+      Slot& s = slots_[entry.slot];
+      s.firing = false;
+      if (s.cancelled_in_fire) {
+        s.cancelled_in_fire = false;
+        s.period_ns = 0;
+        if (s.generation != 0) {  // generation was bumped by cancel()
+          free_slots_.push_back(entry.slot);
+        }
+      } else {
+        s.cb = std::move(cb);
+      }
+    } else {
+      Callback cb = std::move(slots_[entry.slot].cb);
+      release_slot(entry.slot);
+      --live_events_;
+      cb();
+    }
     return true;
   }
   return false;
@@ -92,18 +237,13 @@ std::size_t Kernel::run_until(SimTime t) {
     throw std::logic_error("run_until(" + to_string(t) + ") is in the past");
   }
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    // Peek through cancelled entries to find the next live event.
-    QueueEntry entry = queue_.top();
-    while (callbacks_.find(entry.id) == callbacks_.end()) {
-      queue_.pop();
-      if (queue_.empty()) {
-        now_ = t;
-        return n;
-      }
-      entry = queue_.top();
+  for (;;) {
+    // Reap tombstones at the top so the boundary check sees a live event.
+    while (!heap_.empty() && stale(heap_.front())) {
+      pop_top();
+      --tombstones_;
     }
-    if (entry.time > t) {
+    if (heap_.empty() || heap_.front().time > t) {
       break;
     }
     step();

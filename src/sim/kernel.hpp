@@ -6,11 +6,19 @@
 // were scheduled.  Everything in the testbed — sensor conversions, MQTT
 // deliveries, Wi-Fi scan phases, block production — is an event on this
 // kernel.
+//
+// Storage model (the fleet-scale fast path):
+//  * Callbacks live in a slab of generation-tagged slots; an EventId packs
+//    (slot, generation), so lookup, cancellation and the hot dispatch loop
+//    are array indexing instead of hash-map probes.
+//  * `schedule_every` covers the dominant event pattern — periodic work —
+//    by storing its callback once and re-queueing the same slot each fire,
+//    instead of allocating a fresh std::function per tick.
+//  * `cancel` leaves a tombstoned heap entry behind; when tombstones
+//    outnumber live entries the heap is compacted in one pass.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -51,7 +59,20 @@ class Kernel {
   /// Schedules `cb` after `delay` (>= 0) from now.
   EventId schedule_in(Duration delay, Callback cb);
 
+  /// Fast path for periodic work: stores `cb` once and fires it every
+  /// `period` (> 0), first at now + `initial_delay`.  Each fire re-queues
+  /// the stored callback — no per-tick allocation.  The callback may cancel
+  /// its own event (via the returned id) to break the chain.
+  EventId schedule_every(Duration period, Duration initial_delay, Callback cb);
+  EventId schedule_every(Duration period, Callback cb);
+
+  /// Changes the period of a pending periodic event.  Takes effect from the
+  /// next scheduling decision (the already queued fire keeps its time).
+  /// Returns false if `id` is not a live periodic event.
+  bool set_period(EventId id, Duration period) noexcept;
+
   /// Cancels a pending event.  Returns true if the event was still pending.
+  /// For periodic events this stops all future fires.
   bool cancel(EventId id) noexcept;
 
   /// Runs a single event.  Returns false if the queue is empty.
@@ -67,15 +88,40 @@ class Kernel {
 
   [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  /// Cancelled heap entries not yet reaped.  Bounded by compaction: once
+  /// tombstones outnumber live entries the heap is rebuilt in one pass.
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+  /// Number of tombstone-triggered heap rebuilds so far.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+  /// Callbacks materialized into slab storage.  An allocation-pressure
+  /// proxy: a `schedule_every` event counts once no matter how many times
+  /// it fires, while a schedule_in-per-tick loop counts every tick.
+  [[nodiscard]] std::uint64_t callbacks_stored() const noexcept {
+    return callbacks_stored_;
+  }
 
  private:
+  struct Slot {
+    Callback cb;
+    std::int64_t period_ns = 0;  // > 0 while a periodic event owns the slot
+    std::uint32_t generation = 1;
+    bool live = false;
+    bool firing = false;             // its periodic fire is executing now
+    bool cancelled_in_fire = false;  // release deferred until fire returns
+  };
+
   struct QueueEntry {
     SimTime time;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-    /// std::priority_queue is a max-heap; invert so earliest fires first.
-    friend bool operator<(const QueueEntry& a, const QueueEntry& b) noexcept {
+  /// Comparator for std::*_heap: a min-heap on (time, seq).
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
       if (a.time != b.time) {
         return a.time > b.time;
       }
@@ -83,13 +129,33 @@ class Kernel {
     }
   };
 
+  /// Below this queue size compaction is never worth the rebuild.
+  static constexpr std::size_t kMinCompactionSize = 64;
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) |
+                   (static_cast<std::uint64_t>(slot) + 1)};
+  }
+  static bool decode_id(EventId id, std::uint32_t& slot,
+                        std::uint32_t& gen) noexcept;
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t index) noexcept;
+  void push_entry(SimTime t, std::uint32_t slot, std::uint32_t gen);
+  void pop_top() noexcept;
+  [[nodiscard]] bool stale(const QueueEntry& e) const noexcept;
+  void maybe_compact() noexcept;
+
   SimTime now_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t callbacks_stored_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t live_events_ = 0;
-  std::priority_queue<QueueEntry> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t tombstones_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<QueueEntry> heap_;
 };
 
 }  // namespace emon::sim

@@ -22,11 +22,11 @@ void PeriodicTimer::start(bool fire_immediately) {
     return;
   }
   running_ = true;
-  if (fire_immediately) {
-    pending_ = kernel_.schedule_in(Duration{0}, [this] { on_fire(); });
-  } else {
-    arm();
-  }
+  // One periodic kernel event per timer: the callback is stored once and
+  // re-queued every period (the kernel's schedule_every fast path).
+  pending_ = kernel_.schedule_every(
+      period_, fire_immediately ? Duration{0} : period_,
+      [this] { on_fire(); });
 }
 
 void PeriodicTimer::stop() noexcept {
@@ -41,11 +41,10 @@ void PeriodicTimer::stop() noexcept {
 void PeriodicTimer::set_period(Duration period) noexcept {
   if (period > Duration{0}) {
     period_ = period;
+    // Takes effect from the kernel's next scheduling decision; the already
+    // queued fire keeps its time.
+    kernel_.set_period(pending_, period);
   }
-}
-
-void PeriodicTimer::arm() {
-  pending_ = kernel_.schedule_in(period_, [this] { on_fire(); });
 }
 
 void PeriodicTimer::on_fire() {
@@ -53,9 +52,6 @@ void PeriodicTimer::on_fire() {
     return;
   }
   ++fires_;
-  // Re-arm before invoking so the callback can observe a consistent
-  // "running" state and may call stop() to break the chain.
-  arm();
   cb_();
 }
 

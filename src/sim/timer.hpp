@@ -34,7 +34,6 @@ class PeriodicTimer {
   [[nodiscard]] std::uint64_t fires() const noexcept { return fires_; }
 
  private:
-  void arm();
   void on_fire();
 
   Kernel& kernel_;

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace emon::sim {
@@ -72,6 +73,31 @@ void Trace::write_csv(std::ostream& out) const {
       out << p.time.to_seconds() << ',' << name << ',' << p.value << '\n';
     }
   }
+}
+
+std::uint64_t Trace::digest() const noexcept {
+  // FNV-1a over (name, time, value-bits) of every point, in the map's
+  // deterministic (sorted) series order.  Two runs of the same scenario and
+  // seed must produce the same digest — the determinism contract the fleet
+  // tests pin down.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [name, points] : series_) {
+    for (const char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    for (const auto& p : points) {
+      mix(static_cast<std::uint64_t>(p.time.ns()));
+      mix(std::bit_cast<std::uint64_t>(p.value));
+    }
+  }
+  return h;
 }
 
 void Trace::clear() noexcept {

@@ -5,6 +5,7 @@
 // append (time, series, value) points; benches dump series as CSV or bin
 // them for ASCII charts (Figures 5 and 6).
 
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
@@ -38,6 +39,11 @@ class Trace {
   /// Means of a series within [from, to); returns 0 for empty windows.
   [[nodiscard]] double mean_in(std::string_view series, SimTime from,
                                SimTime to) const;
+
+  /// Order-sensitive FNV-1a digest of every (series, time, value) point —
+  /// the reproducibility fingerprint of a run (same scenario + seed ==>
+  /// same digest).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
 
   /// Writes "time_s,series,value" rows for all series (long format).
   void write_csv(std::ostream& out) const;

@@ -17,12 +17,8 @@ using sim::milliseconds;
 using sim::seconds;
 using sim::SimTime;
 
-ScenarioParams small_params(std::uint64_t seed) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 1;
-  params.sys.seed = seed;
-  return params;
+ScenarioSpec small_params(std::uint64_t seed) {
+  return FleetBuilder{}.name("two_by_one").networks(2, 1).seed(seed).spec();
 }
 
 // ---------------------------------------------------------------------------

@@ -19,11 +19,7 @@ using sim::SimTime;
 // ---------------------------------------------------------------------------
 
 TEST(Figure5, AggregatorReadsHigherThanDeviceSumWithinBand) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 11;
-  Testbed bed{params};
+  Testbed bed{FleetBuilder{}.name("fig5").networks(1, 2).seed(11).spec()};
   bed.start();
   bed.run_for(seconds(80));
 
@@ -53,11 +49,7 @@ TEST(Figure5, AggregatorReadsHigherThanDeviceSumWithinBand) {
 // ---------------------------------------------------------------------------
 
 TEST(Figure6, ReportedTraceShowsIdleGapThenBackfill) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 21;
-  Testbed bed{params};
+  Testbed bed{paper_figure4(21)};
   bed.start();
   bed.run_for(seconds(30));
   auto& dev = bed.device(0);
@@ -108,11 +100,7 @@ TEST(Figure6, ReportedTraceShowsIdleGapThenBackfill) {
 
 TEST(Reproducibility, SameSeedSameOutcome) {
   auto run = [](std::uint64_t seed) {
-    ScenarioParams params;
-    params.networks = 2;
-    params.devices_per_network = 2;
-    params.sys.seed = seed;
-    Testbed bed{params};
+    Testbed bed{paper_figure4(seed)};
     bed.start();
     bed.run_for(seconds(25));
     std::ostringstream fingerprint;
@@ -136,12 +124,12 @@ TEST(Reproducibility, SameSeedSameOutcome) {
 // ---------------------------------------------------------------------------
 
 TEST(Scale, FourNetworksTwelveDevices) {
-  ScenarioParams params;
-  params.networks = 4;
-  params.devices_per_network = 3;
-  params.network_spacing_m = 150.0;
-  params.sys.seed = 31;
-  Testbed bed{params};
+  Testbed bed{FleetBuilder{}
+                  .name("four_by_three")
+                  .networks(4, 3)
+                  .spacing_m(150.0)
+                  .seed(31)
+                  .spec()};
   bed.start();
   bed.run_for(seconds(40));
   for (std::size_t i = 0; i < bed.device_count(); ++i) {
@@ -156,15 +144,18 @@ TEST(Scale, FourNetworksTwelveDevices) {
 }
 
 TEST(Scale, RoamAcrossMultiHopBackhaul) {
-  // Devices of wan-1 roam to wan-3; verification and roam records must
-  // traverse agg-1 <-> agg-2 <-> agg-3 if no direct link exists.  The
-  // default testbed wires a full mesh, so build a chain topology by hand.
-  ScenarioParams params;
-  params.networks = 3;
-  params.devices_per_network = 1;
-  params.network_spacing_m = 150.0;
-  params.sys.seed = 33;
-  Testbed bed{params};
+  // A wan-1 device roams to wan-3; verification and roam records must
+  // traverse an intermediate aggregator.  Four networks on a ring:
+  // agg-1 and agg-3 have no direct link, so the agg-3 -> agg-1 path is
+  // genuinely two hops (via agg-2 or agg-4).
+  Testbed bed{FleetBuilder{}
+                  .name("multi_hop")
+                  .networks(4, 1)
+                  .spacing_m(150.0)
+                  .mesh(MeshTopology::kRing)
+                  .seed(33)
+                  .spec()};
+  ASSERT_FALSE(bed.backhaul().route("agg-1", "agg-3")->size() < 3);
   bed.start();
   bed.run_for(seconds(20));
   auto& dev = bed.device(0);
@@ -183,11 +174,7 @@ TEST(Scale, RoamAcrossMultiHopBackhaul) {
 // ---------------------------------------------------------------------------
 
 TEST(Audit, LedgerReplayMatchesLiveBilling) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 51;
-  Testbed bed{params};
+  Testbed bed{paper_figure4(51)};
   bed.start();
   bed.run_for(seconds(40));
 
@@ -206,11 +193,7 @@ TEST(Audit, LedgerReplayMatchesLiveBilling) {
 }
 
 TEST(Audit, TamperedChainFailsAudit) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 52;
-  Testbed bed{params};
+  Testbed bed{FleetBuilder{}.name("tamper_audit").networks(1, 2).seed(52).spec()};
   bed.start();
   bed.run_for(seconds(30));
   ASSERT_TRUE(bed.chain().validate().ok);
@@ -228,12 +211,10 @@ TEST(Audit, TamperedChainFailsAudit) {
 // ---------------------------------------------------------------------------
 
 TEST(Robustness, LossyWifiStillDeliversEverything) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 61;
-  params.sys.wifi.link.loss_probability = 0.05;  // 5 % datagram loss
-  Testbed bed{params};
+  ScenarioSpec spec =
+      FleetBuilder{}.name("lossy_wifi").networks(1, 2).seed(61).spec();
+  spec.sys.wifi.link.loss_probability = 0.05;  // 5 % datagram loss
+  Testbed bed{std::move(spec)};
   bed.start();
   bed.run_for(seconds(40));
   for (std::size_t i = 0; i < bed.device_count(); ++i) {
@@ -252,12 +233,10 @@ TEST(Robustness, LossyWifiStillDeliversEverything) {
 }
 
 TEST(Robustness, LongOfflineOverflowsGracefully) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 1;
-  params.sys.seed = 62;
-  params.sys.device.local_store_capacity = 50;  // tiny store
-  Testbed bed{params};
+  ScenarioSpec spec =
+      FleetBuilder{}.name("long_offline").networks(2, 1).seed(62).spec();
+  spec.sys.device.local_store_capacity = 50;  // tiny store
+  Testbed bed{std::move(spec)};
   bed.start();
   bed.run_for(seconds(20));
   auto& dev = bed.device(0);

@@ -27,11 +27,7 @@ using sim::SimTime;
 class HandshakeSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HandshakeSeedSweep, TemporaryRegistrationWithinBand) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = GetParam();
-  Testbed bed{params};
+  Testbed bed{paper_figure4(GetParam())};
   bed.start();
   bed.run_for(seconds(20));
   ASSERT_EQ(bed.device(0).state(), DeviceState::kReporting);
@@ -58,11 +54,7 @@ class TransitSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(TransitSweep, BilledEnergyMatchesMeterForAnyTransit) {
   const int transit_s = GetParam();
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = 7000 + static_cast<std::uint64_t>(transit_s);
-  Testbed bed{params};
+  Testbed bed{paper_figure4(7000 + static_cast<std::uint64_t>(transit_s))};
   bed.start();
   bed.run_for(seconds(15));
   bed.device(0).move_to(bed.network_name(1),
@@ -314,11 +306,7 @@ TEST(Scheduler, ConservesEnergy) {
 // ---------------------------------------------------------------------------
 
 TEST(ForecastIntegration, PredictsAggregatorWindowDemand) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 2;
-  params.sys.seed = 99;
-  Testbed bed{params};
+  Testbed bed{FleetBuilder{}.name("forecast").networks(1, 2).seed(99).spec()};
   bed.start();
   bed.run_for(seconds(90));
 

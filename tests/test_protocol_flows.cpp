@@ -14,12 +14,8 @@ using sim::milliseconds;
 using sim::seconds;
 using sim::SimTime;
 
-ScenarioParams two_by_two(std::uint64_t seed = 42) {
-  ScenarioParams params;
-  params.networks = 2;
-  params.devices_per_network = 2;
-  params.sys.seed = seed;
-  return params;
+ScenarioSpec two_by_two(std::uint64_t seed = 42) {
+  return paper_figure4(seed);
 }
 
 // ---------------------------------------------------------------------------
@@ -406,14 +402,13 @@ TEST(Protocol, HonestAgainAfterTamperEnds) {
 // ---------------------------------------------------------------------------
 
 TEST(Protocol, TdmaCapacityBoundsMembership) {
-  ScenarioParams params;
-  params.networks = 1;
-  params.devices_per_network = 6;
-  params.sys.seed = 5;
-  // Only 4 slots available.
-  params.sys.aggregator.tdma.superframe = milliseconds(100);
-  params.sys.aggregator.tdma.slot_width = milliseconds(25);
-  Testbed bed{params};
+  ScenarioSpec spec =
+      FleetBuilder{}.name("tdma_capacity").networks(1, 6).seed(5).spec();
+  // Only 4 slots available (auto_size_tdma stays off: under-provisioning
+  // is the point).
+  spec.sys.aggregator.tdma.superframe = milliseconds(100);
+  spec.sys.aggregator.tdma.slot_width = milliseconds(25);
+  Testbed bed{std::move(spec)};
   bed.start();
   bed.run_for(seconds(30));
   EXPECT_EQ(bed.aggregator(0).members().size(), 4u);

@@ -173,6 +173,157 @@ TEST(Kernel, EventsCanScheduleEvents) {
   EXPECT_EQ(k.executed(), 100u);
 }
 
+TEST(Kernel, ScheduleEveryFiresAtPeriod) {
+  Kernel k;
+  std::vector<std::int64_t> fire_times;
+  k.schedule_every(Duration{10}, [&] { fire_times.push_back(k.now().ns()); });
+  k.run_until(SimTime{35});
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_EQ(k.pending(), 1u);  // the chain stays armed
+}
+
+TEST(Kernel, ScheduleEveryInitialDelay) {
+  Kernel k;
+  std::vector<std::int64_t> fire_times;
+  k.schedule_every(Duration{10}, Duration{0},
+                   [&] { fire_times.push_back(k.now().ns()); });
+  k.run_until(SimTime{25});
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{0, 10, 20}));
+}
+
+TEST(Kernel, ScheduleEveryCancelStopsChain) {
+  Kernel k;
+  int fires = 0;
+  const EventId id = k.schedule_every(Duration{10}, [&] { ++fires; });
+  k.run_until(SimTime{25});
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(k.cancel(id));
+  EXPECT_FALSE(k.cancel(id));
+  EXPECT_EQ(k.pending(), 0u);
+  k.run_until(SimTime{100});
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Kernel, ScheduleEveryCallbackCanCancelItself) {
+  Kernel k;
+  int fires = 0;
+  EventId id{};
+  id = k.schedule_every(Duration{10}, [&] {
+    if (++fires == 3) {
+      EXPECT_TRUE(k.cancel(id));
+    }
+  });
+  k.run_until(SimTime{1'000});
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(k.pending(), 0u);
+}
+
+TEST(Kernel, ScheduleEveryStoresCallbackOnce) {
+  // The allocation-pressure contract of the fast path: one stored callback
+  // however many times the event fires, vs one per tick the naive way.
+  Kernel k;
+  int fast_fires = 0;
+  k.schedule_every(Duration{1}, [&] { ++fast_fires; });
+  k.run_until(SimTime{1'000});
+  EXPECT_EQ(fast_fires, 1'000);
+  EXPECT_EQ(k.callbacks_stored(), 1u);
+  EXPECT_EQ(k.executed(), 1'000u);
+
+  Kernel naive;
+  int naive_fires = 0;
+  std::function<void()> tick;
+  tick = [&] {
+    ++naive_fires;
+    if (naive_fires < 1'000) {
+      naive.schedule_in(Duration{1}, tick);
+    }
+  };
+  naive.schedule_in(Duration{1}, tick);
+  naive.run_until(SimTime{1'000});
+  EXPECT_EQ(naive_fires, 1'000);
+  EXPECT_EQ(naive.callbacks_stored(), 1'000u);
+}
+
+TEST(Kernel, SetPeriodTakesEffectAtNextReschedule) {
+  Kernel k;
+  std::vector<std::int64_t> fire_times;
+  const EventId id = k.schedule_every(
+      Duration{100}, [&] { fire_times.push_back(k.now().ns()); });
+  k.run_until(SimTime{150});  // one fire at 100; next already queued at 200
+  EXPECT_TRUE(k.set_period(id, Duration{50}));
+  k.run_until(SimTime{300});
+  EXPECT_EQ(fire_times, (std::vector<std::int64_t>{100, 200, 250, 300}));
+}
+
+TEST(Kernel, SetPeriodRejectsNonPeriodic) {
+  Kernel k;
+  const EventId once = k.schedule_at(SimTime{10}, [] {});
+  EXPECT_FALSE(k.set_period(once, Duration{5}));
+  EXPECT_FALSE(k.set_period(EventId{}, Duration{5}));
+  const EventId every = k.schedule_every(Duration{10}, [] {});
+  EXPECT_FALSE(k.set_period(every, Duration{0}));
+  EXPECT_TRUE(k.set_period(every, Duration{5}));
+}
+
+TEST(Kernel, ScheduleEveryRejectsBadArguments) {
+  Kernel k;
+  EXPECT_THROW(k.schedule_every(Duration{0}, [] {}), std::invalid_argument);
+  EXPECT_THROW(k.schedule_every(Duration{10}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(k.schedule_every(Duration{10}, Duration{-1}, [] {}),
+               std::logic_error);
+}
+
+TEST(Kernel, TombstonesTrackCancelledEntries) {
+  Kernel k;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(k.schedule_at(SimTime{10 + i}, [] {}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    k.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(k.tombstones(), 3u);
+  EXPECT_EQ(k.pending(), 7u);
+  k.run();
+  EXPECT_EQ(k.tombstones(), 0u);  // reaped while stepping
+  EXPECT_EQ(k.executed(), 7u);
+}
+
+TEST(Kernel, CompactionWhenTombstonesDominate) {
+  // Cancel 150 of 200 pending events: tombstones would outnumber live
+  // entries, so the heap must compact instead of hoarding them.
+  Kernel k;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(k.schedule_at(SimTime{10 + i}, [&] { ++fired; }));
+  }
+  for (int i = 0; i < 150; ++i) {
+    EXPECT_TRUE(k.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_GE(k.compactions(), 1u);
+  EXPECT_LT(k.tombstones(), 150u);
+  EXPECT_EQ(k.pending(), 50u);
+  k.run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(k.tombstones(), 0u);
+}
+
+TEST(Kernel, CancelledSlotsAreRecycled) {
+  // Slab slots free on cancel and get reused: scheduling/cancelling in a
+  // loop must not grow storage or leak pending events.
+  Kernel k;
+  for (int i = 0; i < 1'000; ++i) {
+    const EventId id = k.schedule_in(Duration{5}, [] {});
+    EXPECT_TRUE(k.cancel(id));
+  }
+  EXPECT_EQ(k.pending(), 0u);
+  k.run_until(SimTime{100});
+  EXPECT_EQ(k.executed(), 0u);
+  EXPECT_EQ(k.tombstones(), 0u);
+}
+
 TEST(Kernel, RunLimitBounds) {
   Kernel k;
   int count = 0;
