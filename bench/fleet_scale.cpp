@@ -10,17 +10,28 @@
 //     runs it single-threaded to completion, reporting wall time, executed
 //     events, events/sec and end-state fleet counters.
 //
+// A third measurement when --shards N (N > 1) is given: the same scenario
+// runs again on the sharded engine (per-WAN event queues on worker
+// threads, conservative lookahead over the backhaul latency) and the
+// Trace::digest() of both runs is compared — bit parity is a hard shape
+// check; the wall-clock speedup is recorded to BENCH_shard.json.
+//
 // Flags: --scenario NAME  (default metro_fleet; any canned scenario)
 //        --networks N --devices N   (metro_fleet shape, default 32/10000)
 //        --duration-s S  (simulated seconds, default 15)
 //        --seed N        (default 1)
 //        --out FILE      (default BENCH_fleet.json)
+//        --shards N      (default 1 = skip the sharded comparison)
+//        --shard-out FILE (default BENCH_shard.json)
+//        --min-speedup X (shape-check floor, only enforced when the
+//                         machine has >= N hardware threads; default 0)
 
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/scenario.hpp"
 #include "util/log.hpp"
@@ -101,8 +112,11 @@ int main(int argc, char** argv) {
 
   std::string scenario = "metro_fleet";
   std::string out_path = "BENCH_fleet.json";
+  std::string shard_out_path = "BENCH_shard.json";
   std::size_t networks = 32;
   std::size_t devices = 10'000;
+  std::size_t shards = 1;
+  double min_speedup = 0.0;
   std::uint64_t seed = 1;
   double duration_s = 15.0;
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -120,6 +134,12 @@ int main(int argc, char** argv) {
       seed = std::stoull(value);
     } else if (flag == "--out") {
       out_path = value;
+    } else if (flag == "--shards") {
+      shards = std::stoul(value);
+    } else if (flag == "--shard-out") {
+      shard_out_path = value;
+    } else if (flag == "--min-speedup") {
+      min_speedup = std::stod(value);
     } else {
       std::cerr << "unknown flag " << flag << '\n';
       return 2;
@@ -151,9 +171,12 @@ int main(int argc, char** argv) {
             << kernel_table.render() << '\n';
 
   // -- 2. The fleet scenario ---------------------------------------------------
-  core::ScenarioSpec spec = scenario == "metro_fleet"
-                                ? core::metro_fleet(networks, devices, seed)
-                                : core::canned_scenario(scenario, seed);
+  const auto make_spec = [&] {
+    return scenario == "metro_fleet"
+               ? core::metro_fleet(networks, devices, seed)
+               : core::canned_scenario(scenario, seed);
+  };
+  core::ScenarioSpec spec = make_spec();
   const auto build_t0 = Clock::now();
   core::Testbed bed{std::move(spec)};
   const double build_wall_s = seconds_since(build_t0);
@@ -167,7 +190,7 @@ int main(int argc, char** argv) {
   bed.run_for(sim::seconds_f(duration_s));
   const double run_wall_s = seconds_since(run_t0);
 
-  const std::uint64_t events = bed.kernel().executed();
+  const std::uint64_t events = bed.executed_events();
   const double events_per_sec = static_cast<double>(events) / run_wall_s;
 
   std::size_t reporting = 0;
@@ -234,6 +257,75 @@ int main(int argc, char** argv) {
        << "}\n";
   std::cout << "json: " << out_path << '\n';
 
+  // -- 3. Sharded execution vs the single-threaded run -------------------------
+  bool shard_ok = true;
+  if (shards > 1) {
+    core::ScenarioSpec shard_spec = make_spec();
+    const auto shard_build_t0 = Clock::now();
+    core::Testbed sharded{std::move(shard_spec), core::TestbedOptions{shards}};
+    const double shard_build_wall_s = seconds_since(shard_build_t0);
+    // Clock only the run so the speedup compares the same phase as the
+    // single-threaded run_wall_s (construction is measured separately).
+    const auto shard_t0 = Clock::now();
+    sharded.start();
+    sharded.run_for(sim::seconds_f(duration_s));
+    const double shard_wall_s = seconds_since(shard_t0);
+    const std::uint64_t digest_seq = bed.trace().digest();
+    const std::uint64_t digest_par = sharded.trace().digest();
+    const bool parity = digest_seq == digest_par;
+    const double speedup = shard_wall_s > 0.0 ? run_wall_s / shard_wall_s : 0.0;
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const bool speedup_enforceable = hw_threads >= sharded.shard_count();
+
+    util::Table shard_table({"metric", "value"});
+    shard_table.row("effective shards", sharded.shard_count());
+    shard_table.row("hardware threads", hw_threads);
+    shard_table.row("build wall [s]", util::Table::num(shard_build_wall_s, 2));
+    shard_table.row("run wall [s]", util::Table::num(shard_wall_s, 2));
+    shard_table.row("speedup vs 1 thread", util::Table::num(speedup, 2) + " x");
+    shard_table.row("events", sharded.executed_events());
+    shard_table.row("cross-shard posts", sharded.engine().cross_posts());
+    shard_table.row("sync rounds", sharded.engine().sync_rounds());
+    shard_table.row("digest parity", parity ? "PASS" : "FAIL");
+    std::cout << "=== Sharded run (--shards " << shards << ") ===\n\n"
+              << shard_table.render() << '\n';
+
+    std::ofstream shard_json(shard_out_path);
+    shard_json << "{\n"
+               << "  \"scenario\": \"" << sharded.spec().name << "\""
+               << ", \"networks\": " << sharded.network_count()
+               << ", \"devices\": " << sharded.device_count()
+               << ", \"sim_duration_s\": " << duration_s
+               << ", \"requested_shards\": " << shards
+               << ", \"effective_shards\": " << sharded.shard_count()
+               << ", \"hardware_threads\": " << hw_threads
+               << ", \"single_thread_wall_s\": " << run_wall_s
+               << ", \"sharded_build_wall_s\": " << shard_build_wall_s
+               << ", \"sharded_wall_s\": " << shard_wall_s
+               << ", \"speedup\": " << speedup
+               << ", \"events\": " << sharded.executed_events()
+               << ", \"cross_shard_posts\": " << sharded.engine().cross_posts()
+               << ", \"sync_rounds\": " << sharded.engine().sync_rounds()
+               << ", \"digest_single\": " << digest_seq
+               << ", \"digest_sharded\": " << digest_par
+               << ", \"digest_parity\": " << (parity ? "true" : "false")
+               << "\n}\n";
+    std::cout << "json: " << shard_out_path << '\n';
+
+    shard_ok = parity;
+    if (speedup_enforceable && min_speedup > 0.0 && speedup < min_speedup) {
+      shard_ok = false;
+    }
+    std::cout << "shard shape: parity " << (parity ? "PASS" : "FAIL");
+    if (min_speedup > 0.0) {
+      std::cout << "; speedup >= " << min_speedup << ": "
+                << (speedup >= min_speedup
+                        ? "PASS"
+                        : (speedup_enforceable ? "FAIL" : "SKIP (cores)"));
+    }
+    std::cout << '\n';
+  }
+
   // Shape checks: the fleet must actually form, and the fast path must beat
   // the per-tick baseline on stored callbacks (it stores each source once).
   const bool fleet_ok =
@@ -244,5 +336,5 @@ int main(int argc, char** argv) {
   std::cout << "shape check: fleet formed: " << (fleet_ok ? "PASS" : "FAIL")
             << "; fast path cheaper: " << (fast_path_ok ? "PASS" : "FAIL")
             << '\n';
-  return fleet_ok && fast_path_ok ? 0 : 1;
+  return fleet_ok && fast_path_ok && shard_ok ? 0 : 1;
 }

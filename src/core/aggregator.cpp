@@ -15,7 +15,8 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
                        const SystemConfig& config,
                        grid::DistributionNetwork& grid_net,
                        net::Backhaul& backhaul, chain::PermissionedChain& chain,
-                       const util::SeedSequence& seeds, sim::Trace* trace)
+                       ChainCommitQueue& commits, const util::SeedSequence& seeds,
+                       sim::Trace* trace)
     : kernel_(kernel),
       id_(std::move(id)),
       network_(std::move(network)),
@@ -23,6 +24,7 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
       grid_(grid_net),
       backhaul_(backhaul),
       chain_(chain),
+      commits_(commits),
       chain_secret_("secret-" + id_),
       trace_(trace),
       log_(id_),
@@ -44,6 +46,7 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
         return feeder_sensor_.get();
       }(), [&kernel] { return kernel.now(); }) {
   chain_.register_writer(chain::WriterKey{id_, chain_secret_});
+  commits_.register_writer(id_);
   billing_.bind_store(&tsdb_);
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
@@ -431,15 +434,26 @@ void Aggregator::on_block_timer() {
   if (pending_records_.empty()) {
     return;  // no empty blocks: the chain commits data, not heartbeats
   }
-  auto block = chain_.append(id_, chain_secret_, std::move(pending_records_),
-                             kernel_.now().ns());
+  // Two-phase commit: stage the batch now (the block timestamp), collect
+  // the sealed block one commit-latency later.  The deferred collect is
+  // what lets sharded runs order same-instant blocks from different
+  // threads identically to a sequential run (see core/chain_commit.hpp).
+  const sim::SimTime at = kernel_.now();
+  const std::uint64_t ticket =
+      commits_.submit(id_, chain_secret_, std::move(pending_records_), at);
   pending_records_.clear();
-  if (!block) {
-    log_.error("chain append rejected (writer not authorized?)");
-    return;
-  }
-  ++stats_.blocks_written;
-  broadcast_block(*block);
+  kernel_.schedule_at(at + config_.aggregator.chain_commit_latency,
+                      [this, ticket, at] {
+                        auto block = commits_.collect(ticket, at);
+                        if (!block) {
+                          log_.error(
+                              "chain append rejected (writer not "
+                              "authorized?)");
+                          return;
+                        }
+                        ++stats_.blocks_written;
+                        broadcast_block(*block);
+                      });
 }
 
 void Aggregator::broadcast_block(const chain::Block& block) {

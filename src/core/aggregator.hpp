@@ -24,6 +24,7 @@
 #include "chain/permissioned.hpp"
 #include "core/anomaly.hpp"
 #include "core/billing.hpp"
+#include "core/chain_commit.hpp"
 #include "core/config.hpp"
 #include "core/energy_meter.hpp"
 #include "core/forecast.hpp"
@@ -69,11 +70,13 @@ struct AggregatorStats {
 class Aggregator {
  public:
   /// `network` is the WAN/grid-location this aggregator owns (its SSID).
-  /// The aggregator registers itself as a backhaul node and a chain writer.
+  /// The aggregator registers itself as a backhaul node and a chain writer
+  /// (its commit rank in `commits` is its construction order).
   Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
              const SystemConfig& config, grid::DistributionNetwork& grid_net,
              net::Backhaul& backhaul, chain::PermissionedChain& chain,
-             const util::SeedSequence& seeds, sim::Trace* trace = nullptr);
+             ChainCommitQueue& commits, const util::SeedSequence& seeds,
+             sim::Trace* trace = nullptr);
 
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
@@ -154,6 +157,7 @@ class Aggregator {
   grid::DistributionNetwork& grid_;
   net::Backhaul& backhaul_;
   chain::PermissionedChain& chain_;
+  ChainCommitQueue& commits_;
   std::string chain_secret_;
   sim::Trace* trace_;
   util::Logger log_;

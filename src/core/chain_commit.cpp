@@ -1,0 +1,69 @@
+#include "core/chain_commit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emon::core {
+
+void ChainCommitQueue::register_writer(const std::string& writer_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_rank_.emplace(writer_id, writer_rank_.size());
+}
+
+std::uint64_t ChainCommitQueue::submit(const std::string& writer_id,
+                                       const std::string& secret,
+                                       std::vector<chain::RecordBytes> records,
+                                       sim::SimTime at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto rank = writer_rank_.find(writer_id);
+  if (rank == writer_rank_.end()) {
+    throw std::logic_error("ChainCommitQueue: writer '" + writer_id +
+                           "' submitted without registering");
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  staged_.push_back(Pending{at, rank->second, ticket, writer_id, secret,
+                            std::move(records)});
+  return ticket;
+}
+
+std::optional<chain::Block> ChainCommitQueue::collect(std::uint64_t ticket,
+                                                      sim::SimTime up_to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Commit the ripe prefix in (submit time, writer rank, ticket) order —
+  // the same total order a sequential run produces, whichever writer's
+  // collect event reaches the queue first.
+  auto ripe_end =
+      std::partition(staged_.begin(), staged_.end(),
+                     [up_to](const Pending& p) { return p.at <= up_to; });
+  std::sort(staged_.begin(), ripe_end, [](const Pending& a, const Pending& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    if (a.writer_rank != b.writer_rank) {
+      return a.writer_rank < b.writer_rank;
+    }
+    return a.ticket < b.ticket;
+  });
+  for (auto it = staged_.begin(); it != ripe_end; ++it) {
+    results_[it->ticket] = chain_.append(it->writer_id, it->secret,
+                                         std::move(it->records), it->at.ns());
+    ++committed_;
+  }
+  staged_.erase(staged_.begin(), ripe_end);
+
+  const auto found = results_.find(ticket);
+  if (found == results_.end()) {
+    throw std::logic_error(
+        "ChainCommitQueue::collect before the ticket's submit time");
+  }
+  std::optional<chain::Block> block = std::move(found->second);
+  results_.erase(found);
+  return block;
+}
+
+std::uint64_t ChainCommitQueue::committed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return committed_;
+}
+
+}  // namespace emon::core

@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic deferred chain commits.
+//
+// Aggregators used to append to the shared PermissionedChain synchronously
+// from their block timers.  With per-WAN scenario sharding the chain is the
+// one genuinely global data structure left, so appends now go through a
+// two-phase commit queue instead:
+//
+//   submit(at)   — the writer stages its record batch at block-timer time
+//                  `at` (which becomes the block timestamp), and schedules
+//                  a local collect event at `at + chain_commit_latency`.
+//   collect(at') — commits every staged submission with submit time <= at'
+//                  in (submit time, writer registration order) order, then
+//                  hands the writer its sealed block for broadcasting.
+//
+// The latency models the commit round-trip a real permissioned chain pays.
+// Determinism: block heights are a pure function of (submit time, writer
+// order), independent of which thread reaches the queue first — in a
+// sharded run the conservative horizon protocol guarantees that when a
+// collect event executes at `at + latency`, every shard has already passed
+// `at` (this requires latency >= the shard lookahead), so all earlier
+// submissions are staged no matter how the threads raced.  A sequential
+// run takes exactly the same code path, making shards=1 and shards=N runs
+// commit identical chains.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/permissioned.hpp"
+#include "sim/time.hpp"
+
+namespace emon::core {
+
+class ChainCommitQueue {
+ public:
+  explicit ChainCommitQueue(chain::PermissionedChain& chain) : chain_(chain) {}
+
+  ChainCommitQueue(const ChainCommitQueue&) = delete;
+  ChainCommitQueue& operator=(const ChainCommitQueue&) = delete;
+
+  /// Fixes the writer's tie-break rank for same-instant submissions.
+  /// Call once per writer, during (single-threaded) construction, in
+  /// creation order.  Re-registration keeps the original rank.
+  void register_writer(const std::string& writer_id);
+
+  /// Stages a block submission with timestamp `at`.  Returns the ticket to
+  /// collect the sealed block with.  Thread-safe.
+  [[nodiscard]] std::uint64_t submit(const std::string& writer_id,
+                                     const std::string& secret,
+                                     std::vector<chain::RecordBytes> records,
+                                     sim::SimTime at);
+
+  /// Commits every staged submission with submit time <= `up_to` (in
+  /// deterministic order), then returns the sealed block for `ticket` —
+  /// nullopt if the chain rejected the writer.  Call at submit time +
+  /// chain_commit_latency on the submitting writer's kernel.  Thread-safe.
+  [[nodiscard]] std::optional<chain::Block> collect(std::uint64_t ticket,
+                                                    sim::SimTime up_to);
+
+  [[nodiscard]] std::uint64_t committed() const;
+
+ private:
+  struct Pending {
+    sim::SimTime at;
+    std::size_t writer_rank = 0;
+    std::uint64_t ticket = 0;
+    std::string writer_id;
+    std::string secret;
+    std::vector<chain::RecordBytes> records;
+  };
+
+  mutable std::mutex mutex_;
+  chain::PermissionedChain& chain_;
+  std::map<std::string, std::size_t> writer_rank_;
+  std::vector<Pending> staged_;
+  std::map<std::uint64_t, std::optional<chain::Block>> results_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t committed_ = 0;
+};
+
+}  // namespace emon::core

@@ -38,6 +38,11 @@ struct AggregatorConfig {
   sim::Duration verify_interval = sim::seconds(1);
   /// Block production interval (records accumulated per block).
   sim::Duration block_interval = sim::seconds(5);
+  /// Deferred chain commit: a submitted block commits and returns to its
+  /// writer this much after the block timer fires (the permissioned
+  /// chain's commit round-trip).  Must be >= the shard lookahead when the
+  /// testbed runs sharded.
+  sim::Duration chain_commit_latency = sim::milliseconds(2);
   /// Time-sync beacon interval.
   sim::Duration beacon_interval = sim::seconds(10);
   /// TDMA slot plan (superframe should equal the devices' t_measure).

@@ -31,7 +31,7 @@ DeviceApp::DeviceApp(sim::Kernel& kernel, DeviceId id,
                      const SystemConfig& config, net::WifiMedium& medium,
                      GridResolver grids, BrokerResolver brokers,
                      const util::SeedSequence& seeds, sim::Trace* trace)
-    : kernel_(kernel),
+    : kernel_(&kernel),
       id_(std::move(id)),
       config_(config),
       grids_(std::move(grids)),
@@ -41,7 +41,7 @@ DeviceApp::DeviceApp(sim::Kernel& kernel, DeviceId id,
       rng_(seeds.stream("device.app." + id_)),
       soc_(id_, hw::Esp32Params{}),
       sensor_(),
-      rtc_(0x68, hw::Ds3231Params{}, [&kernel] { return kernel.now(); },
+      rtc_(0x68, hw::Ds3231Params{}, [this] { return kernel_->now(); },
            seeds.stream("ds3231." + id_)),
       meter_(i2c_, *[&]() -> hw::Ina219* {
         // The device's INA219 probes whatever network the device is
@@ -58,14 +58,14 @@ DeviceApp::DeviceApp(sim::Kernel& kernel, DeviceId id,
                 return hw::OperatingPoint{util::Amperes{0.0},
                                           util::Volts{0.0}};
               }
-              return net->device_operating_point(id_, kernel_.now());
+              return net->device_operating_point(id_, kernel_->now());
             },
             seeds.stream("ina219.device." + id_));
         sensor_->calibrate_for(util::amps(kDeviceMaxExpectedAmps));
         i2c_.attach(*sensor_);
         i2c_.attach(rtc_);
         return sensor_.get();
-      }(), [&kernel] { return kernel.now(); }),
+      }(), [this] { return kernel_->now(); }),
       wifi_(medium, id_, config.wifi, seeds.stream("wifi." + id_)),
       mqtt_(kernel, id_),
       timesync_(rtc_),
@@ -131,18 +131,18 @@ void DeviceApp::plug_into(const NetworkId& network) {
   ++plug_epoch_;
   plugged_network_ = network;
   state_ = DeviceState::kAcquiring;
-  handshake_started_ = kernel_.now();
+  handshake_started_ = kernel_->now();
   soc_.set_mode(hw::Esp32PowerMode::kActive);
   grid_net->plug(id_, [this](sim::SimTime t) { return soc_.current_demand(t); });
 
   // The measurement loop runs from the instant power is present —
   // consumption during the handshake goes to local storage (Figure 6).
   sample_timer_ = std::make_unique<sim::PeriodicTimer>(
-      kernel_, config_.device.t_measure, [this] { on_sample_tick(); });
+      *kernel_, config_.device.t_measure, [this] { on_sample_tick(); });
   sample_timer_->start();
   meter_.clear_baseline();  // no integration across the power gap
 
-  log_.info("plugged into ", network, " at t=", sim::to_string(kernel_.now()));
+  log_.info("plugged into ", network, " at t=", sim::to_string(kernel_->now()));
   begin_acquisition();
 }
 
@@ -163,14 +163,14 @@ void DeviceApp::unplug() {
   handshake_started_.reset();
   state_ = DeviceState::kUnplugged;
   soc_.set_mode(hw::Esp32PowerMode::kDeepSleep);
-  log_.info("unplugged at t=", sim::to_string(kernel_.now()));
+  log_.info("unplugged at t=", sim::to_string(kernel_->now()));
 }
 
 void DeviceApp::move_to(const NetworkId& network, net::Position position,
                         sim::Duration transit) {
   unplug();
   const std::uint64_t epoch = plug_epoch_;
-  kernel_.schedule_in(transit, [this, epoch, network, position] {
+  kernel_->schedule_in(transit, [this, epoch, network, position] {
     if (epoch != plug_epoch_) {
       return;  // superseded by another lifecycle action
     }
@@ -180,6 +180,25 @@ void DeviceApp::move_to(const NetworkId& network, net::Position position,
 }
 
 void DeviceApp::set_position(net::Position p) { wifi_.set_position(p); }
+
+void DeviceApp::detach_for_migration() {
+  unplug();
+  wifi_.detach_medium();
+}
+
+void DeviceApp::adopt(sim::Kernel& kernel, net::WifiMedium& medium,
+                      sim::Trace* trace) {
+  if (state_ != DeviceState::kUnplugged) {
+    throw std::logic_error("DeviceApp::adopt while plugged in");
+  }
+  kernel_ = &kernel;
+  mqtt_.rebind_kernel(kernel);
+  wifi_.attach_medium(medium);
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    mqtt_.bind_trace(trace_, "wire.device." + id_);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Acquisition: scan -> associate -> settle -> MQTT connect
@@ -192,7 +211,7 @@ void DeviceApp::begin_acquisition() {
   ++stats_.scans;
   const sim::Duration scan_time =
       config_.wifi.scan_dwell * static_cast<std::int64_t>(config_.wifi.channels);
-  soc_.radio_rx_until(kernel_.now() + scan_time);
+  soc_.radio_rx_until(kernel_->now() + scan_time);
   if (!wifi_.start_scan([this](std::vector<net::ScanEntry> results) {
         on_scan_done(std::move(results));
       })) {
@@ -202,7 +221,7 @@ void DeviceApp::begin_acquisition() {
 
 void DeviceApp::retry_acquisition(sim::Duration delay) {
   const std::uint64_t epoch = plug_epoch_;
-  kernel_.schedule_in(delay, [this, epoch] {
+  kernel_->schedule_in(delay, [this, epoch] {
     if (epoch == plug_epoch_) {
       begin_acquisition();
     }
@@ -222,7 +241,7 @@ void DeviceApp::on_scan_done(std::vector<net::ScanEntry> results) {
   }
   // RSSI rule (§II-C footnote 2): strongest AP is the reporting aggregator.
   const net::ScanEntry best = results.front();
-  soc_.radio_rx_until(kernel_.now() + config_.wifi.assoc_max);
+  soc_.radio_rx_until(kernel_->now() + config_.wifi.assoc_max);
   if (!wifi_.associate(best.ap.ssid,
                        [this](bool ok) { on_associated(ok); })) {
     retry_acquisition(sim::milliseconds(500));
@@ -244,7 +263,7 @@ void DeviceApp::on_associated(bool ok) {
       config_.device.join_settle_min +
       sim::nanoseconds(static_cast<std::int64_t>(rng_.uniform(0.0, settle_span)));
   const std::uint64_t epoch = plug_epoch_;
-  kernel_.schedule_in(settle, [this, epoch] {
+  kernel_->schedule_in(settle, [this, epoch] {
     if (epoch != plug_epoch_ || state_ != DeviceState::kAcquiring) {
       return;
     }
@@ -308,7 +327,7 @@ void DeviceApp::on_ctrl(const CtrlMessage& msg) {
       ++stats_.registrations_rejected;
       log_.warn("registration rejected: ", msg.reason);
       const std::uint64_t epoch = plug_epoch_;
-      kernel_.schedule_in(config_.device.registration_retry, [this, epoch] {
+      kernel_->schedule_in(config_.device.registration_retry, [this, epoch] {
         if (epoch == plug_epoch_ && state_ == DeviceState::kConnected) {
           send_register();
         }
@@ -361,7 +380,7 @@ void DeviceApp::send_register() {
   ++stats_.registrations_sent;
   RegisterRequest req{id_, master_addr_ == reporting_addr_ ? std::string{}
                                                            : master_addr_};
-  soc_.radio_tx_until(kernel_.now() + kTxBurst);
+  soc_.radio_tx_until(kernel_->now() + kTxBurst);
   mqtt_.send(net::Frame{id_, protocol::topic_register(id_),
                         protocol::seal(req), 1},
              [this](bool acked) {
@@ -374,7 +393,7 @@ void DeviceApp::send_register() {
   // the retry deadline, re-issue the request (the aggregator re-accepts
   // known members idempotently).
   const std::uint64_t epoch = plug_epoch_;
-  kernel_.schedule_in(config_.device.registration_retry, [this, epoch] {
+  kernel_->schedule_in(config_.device.registration_retry, [this, epoch] {
     if (epoch == plug_epoch_ && state_ == DeviceState::kConnected) {
       registration_in_flight_ = false;
       send_register();
@@ -388,7 +407,7 @@ void DeviceApp::complete_handshake(MembershipKind kind) {
   }
   HandshakeRecord rec;
   rec.plugged_at = *handshake_started_;
-  rec.completed_at = kernel_.now();
+  rec.completed_at = kernel_->now();
   rec.membership = kind;
   rec.network = plugged_network_;
   handshakes_.push_back(rec);
@@ -407,7 +426,7 @@ void DeviceApp::on_wifi_drop() {
   mqtt_.drop();
   if (state_ != DeviceState::kAcquiring) {
     state_ = DeviceState::kAcquiring;
-    handshake_started_ = kernel_.now();
+    handshake_started_ = kernel_->now();
   }
   begin_acquisition();
 }
@@ -474,7 +493,7 @@ void DeviceApp::on_sample_tick() {
   const sim::Duration offset =
       config_.aggregator.tdma.slot_width * static_cast<std::int64_t>(slot_);
   const std::uint64_t epoch = plug_epoch_;
-  kernel_.schedule_in(offset, [this, epoch, batch = std::move(batch),
+  kernel_->schedule_in(offset, [this, epoch, batch = std::move(batch),
                                flushed]() mutable {
     if (epoch != plug_epoch_) {
       return;
@@ -495,7 +514,7 @@ void DeviceApp::send_report(std::vector<ConsumptionRecord> records) {
   }
   ++stats_.reports_sent;
   Report report{id_, records};
-  soc_.radio_tx_until(kernel_.now() + kTxBurst);
+  soc_.radio_tx_until(kernel_->now() + kTxBurst);
   mqtt_.send(
       net::Frame{id_, protocol::topic_report(id_), protocol::seal(report), 1},
       [this, records = std::move(records)](bool acked) mutable {

@@ -114,6 +114,23 @@ class DeviceApp {
 
   void set_position(net::Position p);
 
+  // -- Cross-shard migration ---------------------------------------------------
+  // A roaming device whose destination WAN lives on another shard changes
+  // event queues mid-transit.  The owning shard calls
+  // `detach_for_migration()` at departure (unplug + leave the local radio
+  // medium; afterwards no pending event on the old shard touches this
+  // object beyond the epoch-guarded stragglers, which the horizon protocol
+  // orders before the adopting shard's first access).  The destination
+  // shard calls `adopt()` at arrival, before `set_position`/`plug_into`.
+
+  /// Unplugs and leaves the current Wi-Fi medium (radio off, in transit).
+  void detach_for_migration();
+  /// Re-homes the device onto `kernel`, `medium` and `trace` (the
+  /// destination shard's).  All timers, channels, clock reads and trace
+  /// appends ride them afterwards.
+  void adopt(sim::Kernel& kernel, net::WifiMedium& medium,
+             sim::Trace* trace);
+
   // -- Application-load control ---------------------------------------------------
 
   /// Attaches an application load (e.g. a CC-CV charger) on top of the SoC.
@@ -168,7 +185,7 @@ class DeviceApp {
   void complete_handshake(MembershipKind kind);
   void on_wifi_drop();
 
-  sim::Kernel& kernel_;
+  sim::Kernel* kernel_;  // rebindable: migration re-homes the device
   DeviceId id_;
   SystemConfig config_;
   GridResolver grids_;

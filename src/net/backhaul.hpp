@@ -7,6 +7,22 @@
 // (§III-B).  The model is a graph of point-to-point links; multi-hop
 // messages are routed over the minimum-latency path (Dijkstra) and each hop
 // is a `Channel` with its own latency/bandwidth.
+//
+// Sharded execution: the graph is split into per-shard *segments* sharing
+// one immutable `BackhaulFabric` (topology, per-edge channel seeds, fault
+// windows).  Each segment owns the outgoing channels of its nodes on its
+// own kernel; a hop whose next node lives on another shard reserves the
+// channel delay locally (same RNG draws as a sequential run) and posts the
+// continuation to the destination shard as a time-stamped mailbox delivery
+// — the minimum link latency is exactly the conservative lookahead the
+// sharded kernel synchronizes on.  A standalone `Backhaul{kernel, rng}`
+// owns a private single-segment fabric and behaves as it always did.
+//
+// Scripted partitions (fault injection from a ScenarioSpec) are *static
+// down-windows* on the fabric: `up_at(node, t)` is a pure function of the
+// scenario, so routing decisions made concurrently on different shards
+// agree without sharing mutable flags.  The runtime `set_node_up()` flag
+// remains for manual/sequential use.
 
 #include <cstdint>
 #include <functional>
@@ -14,29 +30,104 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/channel.hpp"
 #include "net/transport.hpp"
 #include "sim/kernel.hpp"
+#include "sim/sharded_kernel.hpp"
 #include "util/rng.hpp"
 
 namespace emon::net {
 
-/// The mesh, as a Transport whose addresses are node ids.  Nodes register a
-/// receive handler; links are added pairwise.  Frames carry sealed protocol
-/// envelopes — the MsgType inside the envelope replaces the old per-message
-/// `kind` string.
+class Backhaul;
+
+/// Topology + routing state shared by every segment of one mesh.
+/// Immutable after wiring (nodes, links, windows are added while the
+/// scenario is constructed, single-threaded); the only runtime-mutable
+/// state is the manual up/down flag, which sharded scenarios never touch.
+class BackhaulFabric {
+ public:
+  explicit BackhaulFabric(util::Rng rng) : rng_(rng) {}
+
+  /// Registers `segment` as the executor for `shard`.
+  void attach_segment(std::size_t shard, Backhaul* segment);
+
+  bool add_node(const std::string& id, std::size_t shard,
+                Transport::Handler on_receive);
+  void add_link(const std::string& a, const std::string& b,
+                ChannelParams params);
+
+  /// Scripted partition: `id` is down during [from, to).  Windows compose
+  /// with the manual flag (down if the flag says down OR any window covers
+  /// `t`).
+  void add_down_window(const std::string& id, sim::SimTime from,
+                       sim::SimTime to);
+
+  void set_node_up(const std::string& id, bool up);
+  [[nodiscard]] bool up_at(const std::string& id, sim::SimTime t) const;
+
+  [[nodiscard]] std::optional<std::vector<std::string>> route(
+      const std::string& from, const std::string& to, sim::SimTime t) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::vector<std::string> nodes() const;
+  [[nodiscard]] std::size_t shard_of(const std::string& id) const;
+  [[nodiscard]] Backhaul& segment_of(const std::string& id) const;
+  [[nodiscard]] Transport::Handler& handler_of(const std::string& id);
+
+  /// Smallest base latency over all links — the safe conservative
+  /// lookahead for cross-shard traffic (zero when no links exist yet).
+  [[nodiscard]] sim::Duration min_link_latency() const noexcept {
+    return min_link_latency_;
+  }
+
+ private:
+  friend class Backhaul;
+
+  struct Peer {
+    std::string id;
+    double cost_s = 0.0;  // expected one-way latency, for routing
+  };
+  struct Node {
+    std::size_t shard = 0;
+    Transport::Handler handler;
+    std::vector<Peer> peers;
+    bool up = true;  // manual flag (sequential/tests)
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> down_windows;
+  };
+
+  util::Rng rng_;  // draws per-edge channel seeds, in add_link order
+  std::map<std::string, Node> nodes_;
+  std::vector<Backhaul*> segments_;
+  sim::Duration min_link_latency_{0};
+};
+
+/// One shard's segment of the mesh, as a Transport whose addresses are node
+/// ids.  The classic standalone constructor wires a single-segment fabric.
 class Backhaul : public Transport {
  public:
   using Handler = Transport::Handler;
 
+  /// Standalone (sequential) mesh: one segment that owns everything.
   Backhaul(sim::Kernel& kernel, util::Rng rng);
 
-  /// Registers a node (aggregator).  Returns false if the id exists.
+  /// One segment of a sharded mesh.  `router` posts cross-shard hop
+  /// continuations; it may be null for single-shard fabrics.
+  Backhaul(sim::Kernel& kernel, std::shared_ptr<BackhaulFabric> fabric,
+           std::size_t shard, sim::ShardedKernel* router);
+
+  /// Registers a node (aggregator) executed by this segment's shard.
+  /// Returns false if the id exists.
   bool add_node(const std::string& id, Handler on_receive);
 
-  /// Adds a bidirectional link.  Both nodes must exist.
+  /// Adds a bidirectional link.  Both nodes must exist.  The two directed
+  /// channels are created on their owning segments' kernels, with seeds
+  /// drawn in registration order (sharded and sequential wirings of the
+  /// same spec draw identical per-channel seeds).
   void add_link(const std::string& a, const std::string& b,
                 ChannelParams params);
 
@@ -44,13 +135,16 @@ class Backhaul : public Transport {
   /// A down node neither originates, forwards nor receives frames; routes
   /// through it are recomputed around it, and frames caught mid-flight at a
   /// downed hop are dropped (ack false).  Unknown ids are ignored.
+  /// Manual control for tests/sequential runs — scripted faults use the
+  /// fabric's static down-windows instead.
   void set_node_up(const std::string& id, bool up);
   [[nodiscard]] bool node_up(const std::string& id) const;
 
   /// Sends a frame; it is routed over the min-latency path and delivered to
   /// the destination's handler after the cumulative hop delays.  `on_ack`
   /// fires true at delivery, false if no route exists or the route breaks
-  /// mid-flight.  Returns false when unroutable (frame dropped).
+  /// mid-flight; when the route crosses shards it fires on the shard that
+  /// observes the outcome.  Returns false when unroutable (frame dropped).
   bool send(Frame frame, AckFn on_ack) override;
   using Transport::send;
 
@@ -58,15 +152,18 @@ class Backhaul : public Transport {
     return "backhaul";
   }
 
-  /// Min-latency route between two nodes (node ids, inclusive), or nullopt.
+  /// Min-latency route between two nodes (node ids, inclusive) at the
+  /// segment's current time, or nullopt.
   [[nodiscard]] std::optional<std::vector<std::string>> route(
       const std::string& from, const std::string& to) const;
 
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return nodes_.size();
+    return fabric_->node_count();
   }
   /// Ids of all registered nodes (for broadcast fan-out).
-  [[nodiscard]] std::vector<std::string> nodes() const;
+  [[nodiscard]] std::vector<std::string> nodes() const {
+    return fabric_->nodes();
+  }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept {
     return transport_stats().frames_sent;
   }
@@ -74,25 +171,26 @@ class Backhaul : public Transport {
     return transport_stats().frames_delivered;
   }
 
+  [[nodiscard]] BackhaulFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+
  private:
-  struct Link {
-    std::string peer;
-    std::unique_ptr<Channel> channel;
-    double cost_s;  // expected one-way latency, for routing
-  };
-  struct Node {
-    Handler handler;
-    std::vector<Link> links;
-    bool up = true;
-  };
+  friend class BackhaulFabric;
+  struct Stepper;
 
   void deliver(const Frame& frame);
   void forward(Frame frame, AckFn on_ack,
                std::vector<std::string> remaining_path);
+  [[nodiscard]] Channel* channel(const std::string& from,
+                                 const std::string& to);
 
   sim::Kernel& kernel_;
-  util::Rng rng_;
-  std::map<std::string, Node> nodes_;
+  std::shared_ptr<BackhaulFabric> fabric_;
+  std::size_t shard_ = 0;
+  sim::ShardedKernel* router_ = nullptr;
+  /// Outgoing channels of this segment's nodes: (from, to) -> channel.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Channel>>
+      channels_;
 };
 
 }  // namespace emon::net

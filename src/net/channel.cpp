@@ -63,15 +63,15 @@ bool Channel::send_reliable(std::uint64_t bytes, DeliverFn on_deliver) {
   return true;
 }
 
-bool Channel::send(std::uint64_t bytes, DeliverFn on_deliver) {
+std::optional<sim::SimTime> Channel::reserve_delivery(std::uint64_t bytes) {
   if (!open_) {
     ++dropped_;
-    return false;
+    return std::nullopt;
   }
   if (params_.loss_probability > 0.0 &&
       rng_.bernoulli(params_.loss_probability)) {
     ++dropped_;
-    return false;
+    return std::nullopt;
   }
   ++sent_;
   sim::SimTime deliver_at = kernel_.now() + sample_delay(bytes);
@@ -79,7 +79,15 @@ bool Channel::send(std::uint64_t bytes, DeliverFn on_deliver) {
     deliver_at = last_delivery_;  // FIFO: no overtaking on one stream
   }
   last_delivery_ = deliver_at;
-  schedule_delivery(deliver_at, bytes, std::move(on_deliver));
+  return deliver_at;
+}
+
+bool Channel::send(std::uint64_t bytes, DeliverFn on_deliver) {
+  const auto deliver_at = reserve_delivery(bytes);
+  if (!deliver_at) {
+    return false;
+  }
+  schedule_delivery(*deliver_at, bytes, std::move(on_deliver));
   return true;
 }
 

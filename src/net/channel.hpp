@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "sim/kernel.hpp"
 #include "util/rng.hpp"
@@ -65,6 +66,19 @@ class Channel {
 
   /// The delay the next datagram of `bytes` would experience (sampled).
   [[nodiscard]] sim::Duration sample_delay(std::uint64_t bytes);
+
+  /// Send-without-scheduling: applies the full send() model (open check,
+  /// loss draw, delay sample, FIFO no-overtake ordering, tx accounting)
+  /// and returns the delivery instant instead of scheduling a callback.
+  /// nullopt = dropped.  Used for cross-shard hops, where the delivery
+  /// event must be posted to another shard's event queue: the channel's
+  /// RNG and stream state advance exactly as a local send() would, so a
+  /// sharded run draws the same delays as a sequential one.  Note:
+  /// `delivered()` is not incremented for reserved sends — the arrival
+  /// executes on another shard, which must not touch this channel; the
+  /// hop's delivery shows up in the destination segment's transport stats.
+  [[nodiscard]] std::optional<sim::SimTime> reserve_delivery(
+      std::uint64_t bytes);
 
  private:
   void schedule_delivery(sim::SimTime deliver_at, std::uint64_t bytes,

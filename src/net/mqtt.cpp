@@ -1,5 +1,6 @@
 #include "net/mqtt.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace emon::net {
@@ -172,9 +173,24 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
   }
   // Remote subscribers, via the index: one hash lookup for the exact-topic
   // bucket (the fleet-scale hot path) plus a scan of the short wildcard
-  // list.  A session subscribed to the same topic through both an exact
-  // and a wildcard filter would receive the message twice; device firmware
-  // uses disjoint exact filters, so the overlap does not arise.
+  // list.  Recipients are deduped per publish: a session subscribed to the
+  // same topic through both an exact and a matching wildcard filter (or two
+  // overlapping wildcards) receives exactly one copy.  The dedup set is
+  // only materialized when a wildcard filter actually matches, so the pure
+  // exact-bucket fan-out path stays allocation-free.
+  std::erase_if(wildcard_subs_, [](const auto& entry) {
+    return entry.second.expired();
+  });
+  std::vector<std::shared_ptr<MqttSession>> wildcard_hits;
+  for (const auto& [filter, weak] : wildcard_subs_) {
+    if (!topic_matches(filter, message.topic)) {
+      continue;
+    }
+    if (auto session = weak.lock()) {
+      wildcard_hits.push_back(std::move(session));
+    }
+  }
+  std::vector<const MqttSession*> served;
   if (const auto bucket = exact_subs_.find(message.topic);
       bucket != exact_subs_.end()) {
     auto& subs = bucket->second;
@@ -184,29 +200,29 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
     for (const auto& weak : subs) {
       if (const auto session = weak.lock()) {
         recipients += deliver_to(session, message) ? 1 : 0;
+        if (!wildcard_hits.empty()) {
+          served.push_back(session.get());
+        }
       }
     }
     if (subs.empty()) {
       exact_subs_.erase(bucket);
     }
   }
-  std::erase_if(wildcard_subs_, [](const auto& entry) {
-    return entry.second.expired();
-  });
-  for (const auto& [filter, weak] : wildcard_subs_) {
-    if (!topic_matches(filter, message.topic)) {
-      continue;
+  for (const auto& session : wildcard_hits) {
+    if (std::find(served.begin(), served.end(), session.get()) !=
+        served.end()) {
+      continue;  // already served through an exact or earlier wildcard match
     }
-    if (const auto session = weak.lock()) {
-      recipients += deliver_to(session, message) ? 1 : 0;
-    }
+    served.push_back(session.get());
+    recipients += deliver_to(session, message) ? 1 : 0;
   }
   return recipients;
 }
 
 MqttClient::MqttClient(sim::Kernel& kernel, std::string client_id,
                        MqttClientParams params)
-    : kernel_(kernel), client_id_(std::move(client_id)), params_(params) {
+    : kernel_(&kernel), client_id_(std::move(client_id)), params_(params) {
   if (params_.max_attempts < 1) {
     throw std::invalid_argument("max_attempts must be >= 1");
   }
@@ -282,7 +298,7 @@ bool MqttClient::send(Frame frame, AckFn on_ack) {
     }
     return false;
   }
-  note_sent(kernel_.now(), frame.bytes.size());
+  note_sent(kernel_->now(), frame.bytes.size());
   publish(std::move(frame.to), std::move(frame.bytes), frame.qos,
           std::move(on_ack));
   return true;
@@ -374,8 +390,8 @@ void MqttClient::arm_timeout(std::uint16_t packet_id) {
   if (it == pending_.end()) {
     return;
   }
-  kernel_.cancel(it->second.timeout);
-  it->second.timeout = kernel_.schedule_in(params_.ack_timeout, [this,
+  kernel_->cancel(it->second.timeout);
+  it->second.timeout = kernel_->schedule_in(params_.ack_timeout, [this,
                                                                  packet_id] {
     auto pit = pending_.find(packet_id);
     if (pit == pending_.end()) {
@@ -394,7 +410,7 @@ void MqttClient::arm_timeout(std::uint16_t packet_id) {
 }
 
 void MqttClient::handle_incoming(const MqttMessage& message) {
-  note_delivered(kernel_.now(), message.payload.size());
+  note_delivered(kernel_->now(), message.payload.size());
   for (const auto& [filter, handler] : handlers_) {
     if (topic_matches(filter, message.topic)) {
       handler(message);
@@ -407,7 +423,7 @@ void MqttClient::handle_puback(std::uint16_t packet_id) {
   if (it == pending_.end()) {
     return;  // duplicate ack
   }
-  kernel_.cancel(it->second.timeout);
+  kernel_->cancel(it->second.timeout);
   AckCallback cb = std::move(it->second.on_ack);
   pending_.erase(it);
   if (cb) {
@@ -461,6 +477,13 @@ void MqttClient::disconnect() {
   drop();
 }
 
+void MqttClient::rebind_kernel(sim::Kernel& kernel) {
+  if (session_ || !pending_.empty()) {
+    throw std::logic_error("MqttClient::rebind_kernel with a live session");
+  }
+  kernel_ = &kernel;
+}
+
 void MqttClient::drop() {
   connected_ = false;
   session_.reset();
@@ -469,7 +492,7 @@ void MqttClient::drop() {
   auto pending = std::move(pending_);
   pending_.clear();
   for (auto& [id, pub] : pending) {
-    kernel_.cancel(pub.timeout);
+    kernel_->cancel(pub.timeout);
     if (pub.on_ack) {
       pub.on_ack(false);
     }
@@ -477,3 +500,4 @@ void MqttClient::drop() {
 }
 
 }  // namespace emon::net
+

@@ -182,6 +182,10 @@ class MqttClient : public Transport {
   /// Hard drop (Wi-Fi loss): session dies without notice to the broker.
   void drop();
 
+  /// Migration support: re-homes the client's timers onto another shard's
+  /// kernel.  Must be called with no live session (drop() first).
+  void rebind_kernel(sim::Kernel& kernel);
+
   [[nodiscard]] bool connected() const noexcept { return connected_; }
   [[nodiscard]] const std::string& client_id() const noexcept {
     return client_id_;
@@ -205,7 +209,7 @@ class MqttClient : public Transport {
   void handle_puback(std::uint16_t packet_id);
   void arm_timeout(std::uint16_t packet_id);
 
-  sim::Kernel& kernel_;
+  sim::Kernel* kernel_;  // rebindable: a migrating device changes shards
   std::string client_id_;
   MqttClientParams params_;
   MqttBroker* broker_ = nullptr;

@@ -98,14 +98,36 @@ const char* to_string(WifiState s) noexcept {
 
 WifiStation::WifiStation(WifiMedium& medium, std::string station_id,
                          WifiStationParams params, util::Rng rng)
-    : medium_(medium),
+    : medium_(&medium),
       station_id_(std::move(station_id)),
       params_(params),
       rng_(rng) {
-  medium_.register_station(this);
+  medium_->register_station(this);
 }
 
-WifiStation::~WifiStation() { medium_.unregister_station(this); }
+WifiStation::~WifiStation() {
+  if (medium_ != nullptr) {
+    medium_->unregister_station(this);
+  }
+}
+
+void WifiStation::detach_medium() {
+  if (medium_ == nullptr) {
+    return;
+  }
+  disconnect();
+  medium_->unregister_station(this);
+  medium_ = nullptr;
+}
+
+void WifiStation::attach_medium(WifiMedium& medium) {
+  if (medium_ == &medium) {
+    return;
+  }
+  detach_medium();
+  medium_ = &medium;
+  medium_->register_station(this);
+}
 
 void WifiStation::on_ap_lost(const std::string& ssid) {
   if (state_ != WifiState::kConnected || connected_ssid_ != ssid) {
@@ -118,7 +140,7 @@ void WifiStation::on_ap_lost(const std::string& ssid) {
 }
 
 bool WifiStation::start_scan(ScanCallback on_done) {
-  if (state_ != WifiState::kIdle || !on_done) {
+  if (state_ != WifiState::kIdle || !on_done || medium_ == nullptr) {
     return false;
   }
   state_ = WifiState::kScanning;
@@ -126,19 +148,19 @@ bool WifiStation::start_scan(ScanCallback on_done) {
       params_.scan_dwell * static_cast<std::int64_t>(params_.channels);
   total_acquisition_ += scan_time;
   const std::uint64_t epoch = ++op_epoch_;
-  medium_.kernel().schedule_in(
+  medium_->kernel().schedule_in(
       scan_time, [this, epoch, cb = std::move(on_done)] {
         if (epoch != op_epoch_ || state_ != WifiState::kScanning) {
           return;  // superseded by disconnect/reset
         }
         state_ = WifiState::kIdle;
-        cb(medium_.audible_from(position_, station_id_));
+        cb(medium_->audible_from(position_, station_id_));
       });
   return true;
 }
 
 bool WifiStation::associate(const std::string& ssid, AssocCallback on_done) {
-  if (state_ != WifiState::kIdle || !on_done) {
+  if (state_ != WifiState::kIdle || !on_done || medium_ == nullptr) {
     return false;
   }
   state_ = WifiState::kAssociating;
@@ -150,12 +172,12 @@ bool WifiStation::associate(const std::string& ssid, AssocCallback on_done) {
           static_cast<std::int64_t>(rng_.uniform(0.0, assoc_span)));
   total_acquisition_ += assoc_time;
   const std::uint64_t epoch = ++op_epoch_;
-  medium_.kernel().schedule_in(
+  medium_->kernel().schedule_in(
       assoc_time, [this, epoch, ssid, cb = std::move(on_done)] {
         if (epoch != op_epoch_ || state_ != WifiState::kAssociating) {
           return;
         }
-        const auto ap = medium_.find(ssid);
+        const auto ap = medium_->find(ssid);
         if (!ap) {
           state_ = WifiState::kIdle;
           cb(false);
@@ -177,15 +199,15 @@ bool WifiStation::associate(const std::string& ssid, AssocCallback on_done) {
 }
 
 void WifiStation::finish_connect(const std::string& ssid) {
-  const auto ap = medium_.find(ssid);
+  const auto ap = medium_->find(ssid);
   state_ = WifiState::kConnected;
   connected_ssid_ = ssid;
   connected_host_ = ap->host_id;
   uplink_ = std::make_shared<Channel>(
-      medium_.kernel(), params_.link,
+      medium_->kernel(), params_.link,
       util::Rng{util::fnv1a64(station_id_) ^ util::fnv1a64(ssid) ^ 0x1ULL});
   downlink_ = std::make_shared<Channel>(
-      medium_.kernel(), params_.link,
+      medium_->kernel(), params_.link,
       util::Rng{util::fnv1a64(station_id_) ^ util::fnv1a64(ssid) ^ 0x2ULL});
 }
 
@@ -209,7 +231,7 @@ void WifiStation::set_position(Position p) {
   if (state_ != WifiState::kConnected) {
     return;
   }
-  const auto ap = medium_.find(connected_ssid_);
+  const auto ap = medium_->find(connected_ssid_);
   bool still_audible = false;
   if (ap) {
     const std::uint64_t pair_hash =

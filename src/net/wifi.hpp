@@ -129,6 +129,14 @@ class WifiStation {
   WifiStation(const WifiStation&) = delete;
   WifiStation& operator=(const WifiStation&) = delete;
 
+  /// Migration support: removes the station from its medium (radio off, in
+  /// transit between shards).  The station must be disconnected first; any
+  /// in-flight scan/associate completion is invalidated.
+  void detach_medium();
+  /// Re-attaches the station to (another shard's) medium.  Subsequent
+  /// scans, associations and link channels ride that medium's kernel.
+  void attach_medium(WifiMedium& medium);
+
   /// Begins a full passive scan; the callback fires after
   /// channels x scan_dwell with the audible APs.  Fails (returns false)
   /// unless the STA is idle.
@@ -183,7 +191,7 @@ class WifiStation {
   /// The AP carrying the current association went dark (outage fault).
   void on_ap_lost(const std::string& ssid);
 
-  WifiMedium& medium_;
+  WifiMedium* medium_;  // null only while detached for migration
   std::string station_id_;
   WifiStationParams params_;
   util::Rng rng_;

@@ -48,7 +48,14 @@ std::uint32_t Kernel::alloc_slot() {
 }
 
 void Kernel::release_slot(std::uint32_t index) noexcept {
+  // Retire the slot *before* destroying its callback: the callback may own
+  // the last reference to an object whose destructor re-enters the kernel
+  // (cancelling its own chain is the classic case).  Destroying it first
+  // would let that re-entrant cancel() observe a half-released slot that
+  // still looks live — double-freeing the callback and pushing the slot
+  // onto the free list twice, aliasing two future events.
   Slot& s = slots_[index];
+  Callback doomed = std::move(s.cb);
   s.cb = nullptr;
   s.live = false;
   s.firing = false;
@@ -57,6 +64,9 @@ void Kernel::release_slot(std::uint32_t index) noexcept {
   if (++s.generation != 0) {  // retire the slot if the generation wraps
     free_slots_.push_back(index);
   }
+  // `doomed` is destroyed here, with the slot fully released and every
+  // counter consistent.  Note: its destructor may allocate new events and
+  // relocate `slots_`, so `s` must not be touched past this point.
 }
 
 void Kernel::push_entry(SimTime t, std::uint32_t slot, std::uint32_t gen) {

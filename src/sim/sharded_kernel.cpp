@@ -1,0 +1,202 @@
+#include "sim/sharded_kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace emon::sim {
+
+ShardedKernel::ShardedKernel(std::size_t shards, Duration lookahead)
+    : lookahead_(lookahead) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedKernel needs at least one shard");
+  }
+  if (shards > 1 && lookahead_ < Duration{2}) {
+    // The safe bound is min(other horizons) + lookahead - 1ns; with a 1 ns
+    // lookahead it never exceeds a shard's own horizon and every worker
+    // parks forever.
+    throw std::invalid_argument(
+        "ShardedKernel lookahead must be >= 2ns with multiple shards");
+  }
+  if (lookahead_ <= Duration{0}) {
+    throw std::invalid_argument("ShardedKernel lookahead must be positive");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->kernel = std::make_unique<Kernel>();
+    shards_.push_back(std::move(shard));
+  }
+  post_seq_.assign(shards + 1, std::vector<std::uint64_t>(shards, 0));
+  horizons_.assign(shards, SimTime{});
+}
+
+void ShardedKernel::post(std::size_t from, std::size_t to, SimTime at,
+                         std::function<void()> fn) {
+  if (to >= shards_.size() || from > shards_.size()) {
+    throw std::out_of_range("ShardedKernel::post shard index out of range");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ShardedKernel::post requires a callable");
+  }
+  Shard& dest = *shards_[to];
+  const std::uint64_t seq = post_seq_[from][to]++;
+  std::lock_guard<std::mutex> lock(dest.mailbox_mutex);
+  dest.mailbox.push_back(
+      Delivery{at, seq, static_cast<std::uint32_t>(from), std::move(fn)});
+  ++dest.posts_received;
+}
+
+SimTime ShardedKernel::safe_bound(std::size_t index, SimTime t) const {
+  SimTime min_other = t;  // no neighbours => the run target itself is safe
+  bool any = false;
+  for (std::size_t o = 0; o < horizons_.size(); ++o) {
+    if (o == index) {
+      continue;
+    }
+    if (!any || horizons_[o] < min_other) {
+      min_other = horizons_[o];
+      any = true;
+    }
+  }
+  if (!any) {
+    return t;
+  }
+  // Messages from a shard at horizon H are stamped >= H + lookahead, so
+  // everything at or below H + lookahead - 1ns is already determined.
+  return min_other + lookahead_ - Duration{1};
+}
+
+void ShardedKernel::run_shard(std::size_t index, SimTime t) {
+  Shard& self = *shards_[index];
+  Kernel& kernel = *self.kernel;
+  try {
+    for (;;) {
+      SimTime target;
+      {
+        std::unique_lock<std::mutex> lock(state_mutex_);
+        for (;;) {
+          if (abort_) {
+            return;
+          }
+          target = std::min(t, safe_bound(index, t));
+          // Proceed on progress — or on reaching the run target itself:
+          // the final pass must execute even when target == the committed
+          // horizon, so events stamped exactly `t` run (matching a plain
+          // Kernel::run_until boundary) and a run_until(now()) call
+          // flushes rather than parking every worker.
+          if (target > horizons_[index] || target == t) {
+            break;
+          }
+          horizon_cv_.wait(lock);
+        }
+      }
+
+      // Collect new mailbox deliveries.  Reading the horizons *before*
+      // draining matters: any delivery stamped <= target was posted before
+      // its origin committed the horizon we just read, so it is already
+      // visible here.
+      {
+        std::lock_guard<std::mutex> lock(self.mailbox_mutex);
+        self.staged.insert(self.staged.end(),
+                           std::make_move_iterator(self.mailbox.begin()),
+                           std::make_move_iterator(self.mailbox.end()));
+        self.mailbox.clear();
+      }
+
+      // Hand the ripe deliveries to the kernel in deterministic order.  At
+      // this point the set of deliveries stamped <= target is complete, so
+      // (time, origin, origin-sequence) order is scenario-determined.
+      auto ripe_end = std::partition(
+          self.staged.begin(), self.staged.end(),
+          [target](const Delivery& d) { return d.at <= target; });
+      std::sort(self.staged.begin(), ripe_end,
+                [](const Delivery& a, const Delivery& b) {
+                  if (a.at != b.at) {
+                    return a.at < b.at;
+                  }
+                  if (a.origin != b.origin) {
+                    return a.origin < b.origin;
+                  }
+                  return a.origin_seq < b.origin_seq;
+                });
+      for (auto it = self.staged.begin(); it != ripe_end; ++it) {
+        if (it->at < kernel.now()) {
+          throw std::logic_error(
+              "cross-shard delivery stamped in the destination's past "
+              "(sender violated the lookahead contract)");
+        }
+        kernel.schedule_at(it->at, std::move(it->fn));
+      }
+      self.staged.erase(self.staged.begin(), ripe_end);
+
+      kernel.run_until(target);
+
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        horizons_[index] = target;
+        ++sync_rounds_;
+      }
+      horizon_cv_.notify_all();
+      if (target == t) {
+        return;
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+    abort_ = true;
+    horizon_cv_.notify_all();
+  }
+}
+
+void ShardedKernel::run_until(SimTime t) {
+  if (t < now()) {
+    throw std::logic_error("ShardedKernel::run_until into the past");
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    horizons_[i] = shards_[i]->kernel->now();
+  }
+  first_error_ = nullptr;
+  abort_ = false;
+
+  if (shards_.size() == 1) {
+    // Sequential fast path: no thread, no horizon protocol — bit-exact
+    // with a plain Kernel::run_until (the mailbox is still honoured so
+    // driver-posted deliveries work in either mode).
+    run_shard(0, t);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      workers.emplace_back([this, i, t] { run_shard(i, t); });
+    }
+    for (auto& worker : workers) {
+      worker.join();
+    }
+  }
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+}
+
+std::uint64_t ShardedKernel::total_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->kernel->executed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedKernel::cross_posts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->posts_received;
+  }
+  return total;
+}
+
+}  // namespace emon::sim

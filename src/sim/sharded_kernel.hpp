@@ -1,0 +1,135 @@
+#pragma once
+// Parallel scenario execution: N independent event Kernels synchronized by
+// conservative lookahead (Chandy–Misra–Bryant style, with a global-minimum
+// horizon instead of per-link null messages).
+//
+// Model:
+//  * Every shard owns one ordinary `Kernel` and runs its event loop on its
+//    own thread.  All intra-shard scheduling uses the kernel directly — the
+//    slab/`schedule_every` fast path is untouched.
+//  * Cross-shard interaction is a time-stamped mailbox delivery: `post()`
+//    enqueues a closure to run on the destination shard at an absolute
+//    simulated time.  A sender at local time t may only stamp deliveries
+//    `>= t + lookahead` — in the testbed the lookahead is the minimum
+//    backhaul link latency, so every physical cross-shard path satisfies
+//    this by construction.
+//  * A shard may advance to `min(other shards' committed horizons) +
+//    lookahead - 1ns`: no message stamped at or below that bound can still
+//    be produced, so executing up to it is safe.
+//
+// Determinism: mailbox deliveries are staged per destination and only
+// handed to the kernel once their timestamp falls inside the safe bound, in
+// (time, origin shard, origin sequence) order.  By that point the set of
+// deliveries at each timestamp is complete, so the kernel insertion order —
+// and therefore same-instant tie-breaking — is a pure function of the
+// scenario, independent of thread scheduling.
+//
+// With one shard the bound is immediately the run target and no thread is
+// spawned: `run_until` degenerates to `Kernel::run_until`, bit-exact with
+// sequential execution.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace emon::sim {
+
+class ShardedKernel {
+ public:
+  /// `shards` >= 1; `lookahead` > 0 is the minimum cross-shard latency the
+  /// posters guarantee.
+  ShardedKernel(std::size_t shards, Duration lookahead);
+
+  ShardedKernel(const ShardedKernel&) = delete;
+  ShardedKernel& operator=(const ShardedKernel&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] Duration lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] Kernel& shard(std::size_t i) { return *shards_.at(i)->kernel; }
+  [[nodiscard]] const Kernel& shard(std::size_t i) const {
+    return *shards_.at(i)->kernel;
+  }
+
+  /// Origin id for `post()` calls made from outside any shard (the driver
+  /// thread between runs).
+  [[nodiscard]] std::size_t driver_origin() const noexcept {
+    return shards_.size();
+  }
+
+  /// Cross-shard delivery: runs `fn` on shard `to`'s thread at simulated
+  /// time `at`.  `from` is the posting shard (or `driver_origin()`); it
+  /// orders same-instant deliveries deterministically.  From a shard
+  /// thread mid-run, `at` must be >= the sender's local now + lookahead —
+  /// violations surface as a logic_error from `run_until`.
+  void post(std::size_t from, std::size_t to, SimTime at,
+            std::function<void()> fn);
+
+  /// Runs every shard to exactly `t` (all events with time <= `t` execute,
+  /// then each shard's clock is set to `t`).  Spawns one thread per shard
+  /// for the duration of the call; rethrows the first event exception.
+  void run_until(SimTime t);
+
+  /// Common clock after run_until (all shards agree between runs).
+  [[nodiscard]] SimTime now() const noexcept {
+    return shards_.empty() ? SimTime{} : shards_.front()->kernel->now();
+  }
+
+  [[nodiscard]] std::uint64_t total_executed() const noexcept;
+  /// Cross-shard deliveries posted so far.
+  [[nodiscard]] std::uint64_t cross_posts() const noexcept;
+  /// Horizon-protocol rounds summed over shards (sync-overhead proxy).
+  [[nodiscard]] std::uint64_t sync_rounds() const noexcept {
+    return sync_rounds_;
+  }
+
+ private:
+  struct Delivery {
+    SimTime at;
+    std::uint64_t origin_seq = 0;  // per-(origin, destination) counter
+    std::uint32_t origin = 0;
+    std::function<void()> fn;
+  };
+
+  struct Shard {
+    std::unique_ptr<Kernel> kernel;
+    // Mailbox: incoming cross-shard deliveries, under its own mutex so
+    // posters never contend with the horizon protocol.
+    std::mutex mailbox_mutex;
+    std::vector<Delivery> mailbox;
+    // Staged deliveries not yet safe to hand to the kernel (worker-local,
+    // only touched by this shard's worker thread).
+    std::vector<Delivery> staged;
+    std::uint64_t posts_received = 0;
+  };
+
+  /// Worker body for shard `index`, running to horizon `t`.
+  void run_shard(std::size_t index, SimTime t);
+  /// Safe execution bound for `index` given the other shards' horizons.
+  /// Caller must hold `state_mutex_`.
+  [[nodiscard]] SimTime safe_bound(std::size_t index, SimTime t) const;
+
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-(origin, destination) post counters; origin shards only ever touch
+  // their own row, the driver thread uses row `shards_.size()`.
+  std::vector<std::vector<std::uint64_t>> post_seq_;
+
+  // Horizon protocol state.
+  mutable std::mutex state_mutex_;
+  std::condition_variable horizon_cv_;
+  std::vector<SimTime> horizons_;
+  std::uint64_t sync_rounds_ = 0;
+  std::exception_ptr first_error_;
+  bool abort_ = false;
+};
+
+}  // namespace emon::sim

@@ -14,6 +14,16 @@ void Trace::append(std::string_view series, SimTime t, double value) {
   ++points_;
 }
 
+void Trace::append_points(std::string_view series,
+                          const std::vector<TracePoint>& points) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(series), std::vector<TracePoint>{}).first;
+  }
+  it->second.insert(it->second.end(), points.begin(), points.end());
+  points_ += points.size();
+}
+
 bool Trace::has(std::string_view series) const {
   return series_.find(series) != series_.end();
 }

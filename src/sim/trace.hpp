@@ -26,6 +26,10 @@ class Trace {
  public:
   void append(std::string_view series, SimTime t, double value);
 
+  /// Bulk append preserving order — the per-shard trace merge path.
+  void append_points(std::string_view series,
+                     const std::vector<TracePoint>& points);
+
   [[nodiscard]] bool has(std::string_view series) const;
   [[nodiscard]] const std::vector<TracePoint>& series(
       std::string_view name) const;

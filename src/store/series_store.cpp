@@ -1,6 +1,7 @@
 #include "store/series_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace emon::store {
@@ -121,12 +122,23 @@ bool SeriesStore::enforce_budget() {
     if (!front_.empty()) {
       drop_oldest_record();
     } else if (sealed_.size() > 1 || (!sealed_.empty() && !head_.empty())) {
-      const Segment& seg = sealed_.front();
-      const auto count = static_cast<std::size_t>(seg.count());
-      sealed_bytes_ -= seg.byte_size();
-      records_ -= std::min(count, records_);
-      dropped_ += count;
+      // Whole-segment eviction, without decoding.  Accounting must stay
+      // exact: every record in a sealed segment is counted in records_
+      // (stage_oldest_segment removes a segment from sealed_ the moment any
+      // of its records move to the front staging deque, so a record can
+      // never be counted here *and* by the stage-and-drop path), and
+      // builder-sealed segments keep summary count == payload count.  A
+      // silent clamp would let any future divergence inflate dropped_ and
+      // break the push == popped + size + dropped conservation contract —
+      // assert instead.
+      const Segment seg = std::move(sealed_.front());
       sealed_.pop_front();
+      const auto count = static_cast<std::size_t>(seg.count());
+      assert(count <= records_ &&
+             "sealed segment summary exceeds the store's record count");
+      sealed_bytes_ -= seg.byte_size();
+      records_ -= count;
+      dropped_ += count;
     } else {
       // The newest record lives in the only remaining container (the last
       // sealed segment, or the open head): stage it and drop record by

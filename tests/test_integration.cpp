@@ -176,7 +176,9 @@ TEST(Scale, RoamAcrossMultiHopBackhaul) {
 TEST(Audit, LedgerReplayMatchesLiveBilling) {
   Testbed bed{paper_figure4(51)};
   bed.start();
-  bed.run_for(seconds(40));
+  // Past the t=40 block boundary by more than the deferred chain-commit
+  // latency, so the final block is committed before the audit replay.
+  bed.run_for(seconds(40) + sim::milliseconds(100));
 
   // Replay the shared chain: per-device energy must match the live
   // billing at the respective home aggregators.

@@ -377,6 +377,73 @@ TEST_F(MqttFixture, RemoteSubscriberReceives) {
   EXPECT_EQ(seen[0], "emon/ctrl/dev-2");
 }
 
+TEST_F(MqttFixture, OverlappingExactAndWildcardFiltersDeliverOnce) {
+  // Regression: a session subscribed to a topic through both an exact
+  // filter and a matching wildcard filter used to receive the publish
+  // twice (once from the exact-topic bucket, once from the wildcard scan).
+  MqttClient pub{kernel, "dev-1"};
+  MqttClient sub{kernel, "dev-2"};
+  auto [up1, down1] = channels();
+  auto [up2, down2] = channels();
+  pub.connect(broker, up1, down1, [](bool) {});
+  sub.connect(broker, up2, down2, [](bool) {});
+  kernel.run();
+  int received = 0;
+  sub.subscribe("emon/ctrl/dev-2", [&](const MqttMessage&) { ++received; });
+  sub.subscribe("emon/ctrl/#", [&](const MqttMessage&) { ++received; });
+  kernel.run();
+  pub.publish("emon/ctrl/dev-2", {1}, 0);
+  kernel.run();
+  // One wire delivery; the client-side dispatcher runs it through both of
+  // its matching handlers (that part is correct MQTT fan-out).
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(sub.transport_stats().frames_delivered, 1u);
+}
+
+TEST_F(MqttFixture, OverlappingWildcardFiltersDeliverOnce) {
+  MqttClient pub{kernel, "dev-1"};
+  MqttClient sub{kernel, "dev-2"};
+  auto [up1, down1] = channels();
+  auto [up2, down2] = channels();
+  pub.connect(broker, up1, down1, [](bool) {});
+  sub.connect(broker, up2, down2, [](bool) {});
+  kernel.run();
+  int received = 0;
+  sub.subscribe("emon/ctrl/+", [&](const MqttMessage&) { ++received; });
+  sub.subscribe("emon/ctrl/#", [&](const MqttMessage&) { ++received; });
+  kernel.run();
+  pub.publish("emon/ctrl/dev-2", {1}, 0);
+  kernel.run();
+  EXPECT_EQ(received, 2);  // two matching handlers, one wire delivery
+  EXPECT_EQ(sub.transport_stats().frames_delivered, 1u);
+}
+
+TEST_F(MqttFixture, DistinctSessionsStillAllReceive) {
+  // Dedup is per-session, not per-publish: distinct subscribers matching
+  // through different filter kinds all get their copy.
+  MqttClient pub{kernel, "dev-1"};
+  MqttClient exact_sub{kernel, "dev-2"};
+  MqttClient wild_sub{kernel, "dev-3"};
+  auto [up1, down1] = channels();
+  auto [up2, down2] = channels();
+  auto [up3, down3] = channels();
+  pub.connect(broker, up1, down1, [](bool) {});
+  exact_sub.connect(broker, up2, down2, [](bool) {});
+  wild_sub.connect(broker, up3, down3, [](bool) {});
+  kernel.run();
+  int exact_seen = 0;
+  int wild_seen = 0;
+  exact_sub.subscribe("emon/ctrl/dev-2", [&](const MqttMessage&) {
+    ++exact_seen;
+  });
+  wild_sub.subscribe("emon/ctrl/#", [&](const MqttMessage&) { ++wild_seen; });
+  kernel.run();
+  pub.publish("emon/ctrl/dev-2", {1}, 0);
+  kernel.run();
+  EXPECT_EQ(exact_seen, 1);
+  EXPECT_EQ(wild_seen, 1);
+}
+
 TEST_F(MqttFixture, NoEchoToPublisher) {
   MqttClient client{kernel, "dev-1"};
   auto [up, down] = channels();

@@ -3,10 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/kernel.hpp"
+#include "sim/sharded_kernel.hpp"
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
@@ -324,6 +331,125 @@ TEST(Kernel, CancelledSlotsAreRecycled) {
   EXPECT_EQ(k.tombstones(), 0u);
 }
 
+TEST(Kernel, ReentrantCancelFromCallbackDestructor) {
+  // Regression: the stored callback of a schedule_every chain owns an RAII
+  // guard whose destructor cancels the chain (belt-and-braces cleanup).
+  // Cancelling the chain destroys the callback; release_slot() used to do
+  // that while the slot still looked live, so the re-entrant cancel()
+  // double-freed the callback and pushed the slot onto the free list twice
+  // — aliasing two future events on one slot.
+  Kernel k;
+  auto chain = std::make_shared<EventId>();
+  struct Guard {
+    Kernel* kernel;
+    std::shared_ptr<EventId> id;
+    ~Guard() {
+      if (kernel != nullptr && id->valid()) {
+        kernel->cancel(*id);  // re-enters while the callback is destroyed
+      }
+    }
+  };
+  auto guard = std::make_shared<Guard>(Guard{&k, chain});
+  *chain = k.schedule_every(milliseconds(10), [guard] {});
+  guard.reset();  // the kernel's stored callback now owns the guard
+
+  EXPECT_EQ(k.pending(), 1u);
+  EXPECT_TRUE(k.cancel(*chain));
+  EXPECT_EQ(k.pending(), 0u);
+
+  // With the slot double-freed these two would alias one slot; each must
+  // fire exactly once.
+  int a = 0;
+  int b = 0;
+  k.schedule_in(milliseconds(1), [&] { ++a; });
+  k.schedule_in(milliseconds(2), [&] { ++b; });
+  k.run_until(SimTime::zero() + milliseconds(50));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(k.pending(), 0u);
+}
+
+TEST(Kernel, SelfCancelWithCompactionInsideCancel) {
+  // A periodic callback cancels its own chain while the heap is ripe for
+  // compaction: cancel() bumps the generation, maybe_compact() reaps the
+  // requeued next occurrence, and the post-fire bookkeeping must still
+  // release the slot exactly once.
+  Kernel k;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(k.schedule_in(seconds(100 + i), [] {}));
+  }
+  for (int i = 0; i < 60; ++i) {
+    k.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  int fires = 0;
+  auto chain = std::make_shared<EventId>();
+  *chain = k.schedule_every(milliseconds(10), [&fires, chain, &k] {
+    if (++fires == 3) {
+      EXPECT_TRUE(k.cancel(*chain));  // triggers compaction mid-fire
+    }
+  });
+  k.run_until(SimTime::zero() + seconds(1));
+  EXPECT_EQ(fires, 3);
+
+  // The freed slot must be cleanly reusable.
+  int later = 0;
+  for (int i = 0; i < 50; ++i) {
+    k.schedule_in(milliseconds(i + 1), [&later] { ++later; });
+  }
+  k.run_until(SimTime::zero() + seconds(2));
+  EXPECT_EQ(later, 50);
+  EXPECT_EQ(fires, 3);  // the cancelled chain never fires again
+}
+
+TEST(Kernel, CancelOtherChainDuringFireWithCompaction) {
+  // Cancelling a *different* periodic chain from inside a firing callback
+  // (with compaction kicking in mid-fire) must not disturb the firing
+  // chain's own queued occurrence, and a follow-up self-cancel still works.
+  Kernel k;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 80; ++i) {
+    ids.push_back(k.schedule_in(seconds(50 + i), [] {}));
+  }
+  for (int i = 0; i < 39; ++i) {
+    k.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  int a_fires = 0;
+  int b_fires = 0;
+  auto a = std::make_shared<EventId>();
+  auto b = std::make_shared<EventId>();
+  *b = k.schedule_every(milliseconds(7), [&b_fires] { ++b_fires; });
+  *a = k.schedule_every(milliseconds(5), [&, a, b] {
+    if (++a_fires == 2) {
+      EXPECT_TRUE(k.cancel(*b));
+      EXPECT_TRUE(k.cancel(*a));
+    }
+  });
+  k.run_until(SimTime::zero() + seconds(1));
+  EXPECT_EQ(a_fires, 2);
+  EXPECT_EQ(b_fires, 1);  // b fires at 7 ms, dies at a's 10 ms fire
+}
+
+TEST(Kernel, SelfCancelThenRescheduleKeepsGenerationsApart) {
+  // Self-cancel followed by a fresh schedule_every from the same callback:
+  // the retired slot's generation must isolate the old chain's queued
+  // occurrence from any slot reuse.
+  Kernel k;
+  int first = 0;
+  int second = 0;
+  auto chain = std::make_shared<EventId>();
+  *chain = k.schedule_every(milliseconds(10), [&, chain] {
+    if (++first == 1) {
+      EXPECT_TRUE(k.cancel(*chain));
+      k.schedule_every(milliseconds(10), [&second] { ++second; });
+    }
+  });
+  k.run_until(SimTime::zero() + milliseconds(105));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 9);  // fires at 20, 30, ..., 100 ms
+  EXPECT_EQ(k.pending(), 1u);
+}
+
 TEST(Kernel, RunLimitBounds) {
   Kernel k;
   int count = 0;
@@ -334,6 +460,148 @@ TEST(Kernel, RunLimitBounds) {
   EXPECT_EQ(count, 3);
   k.run();
   EXPECT_EQ(count, 10);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedKernel — conservative-lookahead parallel driver
+// ---------------------------------------------------------------------------
+
+TEST(ShardedKernel, SingleShardMatchesPlainKernel) {
+  // shards=1 must be bit-exact with a plain Kernel run of the same
+  // workload: same fire order, same executed count.
+  std::vector<std::pair<std::int64_t, int>> plain;
+  {
+    Kernel k;
+    for (int i = 0; i < 5; ++i) {
+      k.schedule_every(milliseconds(3 + i), [&plain, i, &k] {
+        plain.emplace_back(k.now().ns(), i);
+      });
+    }
+    k.run_until(SimTime::zero() + milliseconds(100));
+  }
+  std::vector<std::pair<std::int64_t, int>> sharded;
+  ShardedKernel sk{1, milliseconds(1)};
+  Kernel& k = sk.shard(0);
+  for (int i = 0; i < 5; ++i) {
+    k.schedule_every(milliseconds(3 + i), [&sharded, i, &k] {
+      sharded.emplace_back(k.now().ns(), i);
+    });
+  }
+  sk.run_until(SimTime::zero() + milliseconds(100));
+  EXPECT_EQ(plain, sharded);
+  EXPECT_EQ(sk.now(), SimTime::zero() + milliseconds(100));
+}
+
+TEST(ShardedKernel, CrossShardPingPongIsDeterministic) {
+  // Two shards bounce a counter through the mailbox with exactly-lookahead
+  // stamps; the resulting event log must be identical across runs (and
+  // independent of thread interleaving).
+  const auto run_once = [] {
+    std::vector<std::pair<std::int64_t, int>> log;
+    ShardedKernel sk{2, milliseconds(2)};
+    std::function<void(std::size_t, int)> bounce =
+        [&](std::size_t at_shard, int hop) {
+          log.emplace_back(sk.shard(at_shard).now().ns(),
+                           static_cast<int>(at_shard) * 1000 + hop);
+          if (hop >= 20) {
+            return;
+          }
+          const std::size_t next = 1 - at_shard;
+          sk.post(at_shard, next,
+                  sk.shard(at_shard).now() + milliseconds(2),
+                  [&bounce, next, hop] { bounce(next, hop + 1); });
+        };
+    sk.shard(0).schedule_in(milliseconds(1), [&bounce] { bounce(0, 0); });
+    // Local background chatter on both shards so the mailbox path has to
+    // interleave with ordinary events (counters are per-shard: shard
+    // threads must never share mutable state outside the mailbox).
+    std::uint64_t ticks0 = 0;
+    std::uint64_t ticks1 = 0;
+    sk.shard(0).schedule_every(milliseconds(1), [&ticks0] { ++ticks0; });
+    sk.shard(1).schedule_every(milliseconds(1), [&ticks1] { ++ticks1; });
+    sk.run_until(SimTime::zero() + milliseconds(100));
+    log.emplace_back(static_cast<std::int64_t>(ticks0 + ticks1), -1);
+    return log;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  ASSERT_GE(first.size(), 21u);  // 21 bounce hops + tick tally
+}
+
+TEST(ShardedKernel, SameInstantCrossDeliveriesOrderByOrigin) {
+  // Deliveries from different origin shards stamped at the same instant
+  // must execute in (origin, sequence) order however the threads raced.
+  const auto run_once = [] {
+    std::vector<int> order;
+    ShardedKernel sk{3, milliseconds(5)};
+    const SimTime when = SimTime::zero() + milliseconds(10);
+    for (std::size_t origin = 0; origin < 2; ++origin) {
+      sk.shard(origin).schedule_in(milliseconds(1), [&sk, &order, origin,
+                                                     when] {
+        for (int i = 0; i < 3; ++i) {
+          sk.post(origin, 2, when, [&order, origin, i] {
+            order.push_back(static_cast<int>(origin) * 10 + i);
+          });
+        }
+      });
+    }
+    sk.run_until(SimTime::zero() + milliseconds(20));
+    return order;
+  };
+  const std::vector<int> expected{0, 1, 2, 10, 11, 12};
+  EXPECT_EQ(run_once(), expected);
+  EXPECT_EQ(run_once(), expected);
+}
+
+TEST(ShardedKernel, ManyShardsConserveWork) {
+  ShardedKernel sk{4, milliseconds(1)};
+  std::array<std::uint64_t, 4> ticks{};
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto& count = ticks[s];
+    sk.shard(s).schedule_every(milliseconds(2), [&count] { ++count; });
+  }
+  sk.run_until(SimTime::zero() + seconds(1));
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ticks[s], 500u) << "shard " << s;
+    EXPECT_EQ(sk.shard(s).now(), SimTime::zero() + seconds(1));
+  }
+  EXPECT_EQ(sk.total_executed(), 2000u);
+  EXPECT_GT(sk.sync_rounds(), 0u);
+}
+
+TEST(ShardedKernel, StaleDeliveryStampSurfacesAsError) {
+  // A delivery stamped in the destination's past is a lookahead-contract
+  // violation and must fail loudly, not silently reorder time.
+  ShardedKernel sk{1, milliseconds(1)};
+  sk.run_until(SimTime::zero() + milliseconds(10));
+  sk.post(sk.driver_origin(), 0, SimTime::zero() + milliseconds(5), [] {});
+  EXPECT_THROW(sk.run_until(SimTime::zero() + milliseconds(20)),
+               std::logic_error);
+}
+
+TEST(ShardedKernel, BoundaryEventsRunLikePlainKernel) {
+  // Events scheduled at exactly the current time must execute on a
+  // run_until(now) call, matching Kernel::run_until's inclusive boundary.
+  // Regression: an early return used to skip them (and with it, flush
+  // semantics after back-to-back run_until calls to the same instant).
+  ShardedKernel sk{2, milliseconds(2)};
+  const SimTime t = SimTime::zero() + milliseconds(10);
+  sk.run_until(t);
+  int fired = 0;
+  sk.shard(0).schedule_at(t, [&fired] { ++fired; });
+  sk.shard(1).schedule_at(t, [&fired] { ++fired; });
+  sk.run_until(t);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedKernel, RejectsBadConstruction) {
+  EXPECT_THROW(ShardedKernel(0, milliseconds(1)), std::invalid_argument);
+  EXPECT_THROW(ShardedKernel(2, Duration{0}), std::invalid_argument);
+  // A 1 ns lookahead makes the safe bound equal each shard's own horizon:
+  // every worker would park forever.  Regression: this used to deadlock.
+  EXPECT_THROW(ShardedKernel(2, Duration{1}), std::invalid_argument);
+  EXPECT_NO_THROW(ShardedKernel(1, Duration{1}));  // unused with one shard
 }
 
 // ---------------------------------------------------------------------------

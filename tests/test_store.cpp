@@ -403,6 +403,136 @@ TEST(SeriesStore, ByteBudgetEvictsOldestSegmentsWithAccounting) {
   EXPECT_GT(out.size(), 60u);
 }
 
+TEST(SeriesStore, DropAccountingConservesAcrossEvictionShapes) {
+  // Regression for the whole-segment eviction accounting: a record must be
+  // counted in dropped() exactly once, whether it falls to a front-staging
+  // drop, a wholesale segment eviction (summary-count path), or the
+  // stage-and-drop fallback that decodes the last remaining segment.  The
+  // sequence below forces all three branches while checking the
+  // conservation contract after every operation:
+  //     pushed == size() + popped + dropped()
+  SeriesStoreOptions opt;
+  opt.byte_budget = 900;  // roughly two sealed segments plus staging slack
+  opt.max_records = 0;
+  opt.seal_threshold = 16;
+  SeriesStore store{opt};
+  const auto records = synthetic_stream(600, 61);
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  const auto conserved = [&] {
+    return pushed == store.size() + popped + store.dropped();
+  };
+
+  // Phase 1: sustained offline buffering — seals segments and forces
+  // wholesale evictions of the oldest ones.
+  for (std::size_t i = 0; i < 400; ++i) {
+    store.push(records[i]);
+    ++pushed;
+    ASSERT_TRUE(conserved()) << "after push " << i;
+  }
+  EXPECT_GT(store.dropped(), 0u);
+  EXPECT_GT(store.segments_sealed(), 2u);
+
+  // Phase 2: partial flush + failed-transmit re-buffering (stages a sealed
+  // segment into the front, then pushes part of it back).
+  auto batch = store.pop_batch(24);
+  popped += batch.size();
+  ASSERT_TRUE(conserved());
+  std::vector<ConsumptionRecord> back(batch.begin() + 8, batch.end());
+  popped -= back.size();
+  store.push_front(std::move(back));
+  ASSERT_TRUE(conserved());
+
+  // Phase 3: more pressure with the front non-empty — drops come from the
+  // staged front while sealed segments are still evicted wholesale behind.
+  for (std::size_t i = 400; i < records.size(); ++i) {
+    store.push(records[i]);
+    ++pushed;
+    ASSERT_TRUE(conserved()) << "after push " << i;
+  }
+
+  // Phase 4: drain completely; every byte of accounting must return to
+  // zero and the ledger must balance exactly.
+  while (!store.empty()) {
+    popped += store.pop_batch(37).size();
+    ASSERT_TRUE(conserved());
+  }
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_EQ(pushed, popped + store.dropped());
+}
+
+TEST(SeriesStore, StageAndDropOfLastSegmentCountsOnce) {
+  // Budget below a single sealed segment with an empty head: eviction must
+  // take the stage-and-drop path (decode the only segment, drop records
+  // one by one, keep the newest) and count each record exactly once.
+  SeriesStoreOptions opt;
+  opt.byte_budget = 128;
+  opt.max_records = 0;
+  opt.seal_threshold = 8;
+  SeriesStore store{opt};
+  const auto records = synthetic_stream(8, 67);
+  std::uint64_t pushed = 0;
+  for (const auto& r : records) {
+    store.push(r);
+    ++pushed;
+    ASSERT_EQ(pushed, store.size() + store.dropped());
+  }
+  // The 8th push sealed the head into the only segment and blew the
+  // budget: survivors + dropped must still cover every push, and the
+  // newest record survives.
+  const auto out = store.pop_batch(100);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back().sequence, records.back().sequence);
+  EXPECT_EQ(pushed, out.size() + store.dropped());
+}
+
+TEST(SeriesStore, ConservationHoldsUnderRandomizedWorkload) {
+  // Distilled fuzz: random push bursts, partial pops, failed-transmit
+  // push_front cycles over tight budgets.  Conservation and drain-to-zero
+  // byte accounting must hold for every seed.
+  util::Rng rng{0xc0ffee};
+  for (int trial = 0; trial < 40; ++trial) {
+    SeriesStoreOptions opt;
+    opt.byte_budget = (rng() % 4 != 0) ? 60 + rng() % 900 : 0;
+    opt.max_records =
+        (opt.byte_budget == 0 || rng() % 2 != 0) ? 3 + rng() % 50 : 0;
+    opt.seal_threshold = 1 + rng() % 48;
+    SeriesStore store{opt};
+    const auto records = synthetic_stream(800, 1000 + static_cast<std::uint64_t>(trial));
+    std::size_t next = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    for (int op = 0; op < 300 && next < records.size(); ++op) {
+      const auto choice = rng() % 12;
+      if (choice < 7) {
+        const std::size_t burst =
+            std::min<std::size_t>(1 + rng() % 16, records.size() - next);
+        for (std::size_t i = 0; i < burst; ++i) {
+          store.push(records[next++]);
+          ++pushed;
+        }
+      } else {
+        auto batch = store.pop_batch(1 + rng() % 60);
+        popped += batch.size();
+        if ((rng() & 1) != 0 && !batch.empty()) {
+          const std::size_t keep = rng() % (batch.size() + 1);
+          std::vector<ConsumptionRecord> back(
+              batch.begin() + static_cast<std::ptrdiff_t>(keep), batch.end());
+          popped -= back.size();
+          store.push_front(std::move(back));
+        }
+      }
+      ASSERT_EQ(pushed, store.size() + popped + store.dropped())
+          << "trial " << trial << " op " << op;
+    }
+    while (!store.empty()) {
+      popped += store.pop_batch(1000).size();
+    }
+    ASSERT_EQ(pushed, popped + store.dropped()) << "trial " << trial;
+    ASSERT_EQ(store.bytes_used(), 0u) << "trial " << trial;
+  }
+}
+
 TEST(SeriesStore, TinyBudgetNeverDropsTheNewestRecord) {
   // Byte budget smaller than one sealed segment: eviction degrades to
   // record-by-record drops; the just-pushed record must always survive.
