@@ -34,6 +34,8 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
           grid_net.params().overhead_quiescent, grid_net.params().loss_fraction,
           config.aggregator.anomaly_abs_tolerance,
           config.aggregator.anomaly_rel_tolerance, 0.2}),
+      query_engine_(tsdb_,
+                    store::QueryEngineOptions{config.aggregator.query_workers}),
       billing_(network_, Tariff{}),
       feeder_meter_(feeder_bus_, *[&]() -> hw::Ina219* {
         // The feeder INA219 is created before EnergyMeter binds it; the
@@ -48,6 +50,7 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
   chain_.register_writer(chain::WriterKey{id_, chain_secret_});
   commits_.register_writer(id_);
   billing_.bind_store(&tsdb_);
+  billing_.bind_engine(&query_engine_);
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -396,13 +399,25 @@ void Aggregator::on_verify_window() {
   store::RecordFilter live_here;
   live_here.network = network_;
   live_here.stored_offline = false;
+  store::QuerySpec window_spec;
+  window_spec.t0_ns = window_start_.ns();
+  window_spec.t1_ns = window_end.ns();
+  window_spec.filter = live_here;
+  for (const MemberEntry* member : members_.all()) {
+    window_spec.devices.push_back(member->device_id);
+  }
+  // One fleet query answers the whole window (shard-parallel when the
+  // engine has workers; per_device comes back in sorted device order, the
+  // same order the old member loop folded in — bit-exact either way).
+  // Devices with no live records here this window are omitted, so an
+  // all-member spec never mistakes "no members" for "every device".
   std::map<DeviceId, double> reported;
   double reported_total_ma = 0.0;
-  for (const MemberEntry* member : members_.all()) {
-    const auto stats = tsdb_.current_stats(
-        member->device_id, window_start_.ns(), window_end.ns(), live_here);
-    if (!stats.empty()) {
-      reported[member->device_id] = stats.mean();
+  if (!window_spec.devices.empty()) {
+    const store::FleetStats window_stats =
+        query_engine_.current_stats(window_spec);
+    for (const auto& [device, stats] : window_stats.per_device) {
+      reported[device] = stats.mean();
       reported_total_ma += stats.mean();
     }
   }

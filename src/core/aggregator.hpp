@@ -39,6 +39,7 @@
 #include "net/tdma.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
+#include "store/query_engine.hpp"
 #include "store/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -102,6 +103,11 @@ class Aggregator {
   }
   /// Historical store: every accepted record, queryable by time range.
   [[nodiscard]] const store::Tsdb& tsdb() const noexcept { return tsdb_; }
+  /// Shard-parallel fleet query surface over the store (verification
+  /// windows, billing and dashboard reads run through here).
+  [[nodiscard]] const store::QueryEngine& query_engine() const noexcept {
+    return query_engine_;
+  }
   /// Demand forecaster fed from per-window store queries.
   [[nodiscard]] const DemandForecaster& forecaster() const noexcept {
     return forecaster_;
@@ -169,6 +175,9 @@ class Aggregator {
   /// Single source of historical truth: billing, verification windows and
   /// forecasting all read from here instead of keeping accumulators.
   store::Tsdb tsdb_;
+  /// Fleet-wide reads over tsdb_ (declared after it; workers from
+  /// config.aggregator.query_workers — 1 means inline, no pool threads).
+  store::QueryEngine query_engine_;
   BillingService billing_;
   DemandForecaster forecaster_;
   chain::Ledger replica_;  // local replica fed by chain_block broadcasts

@@ -78,6 +78,50 @@ Invoice BillingService::invoice_for(const DeviceId& id) const {
   return price(id, it->second);
 }
 
+store::QuerySpec BillingService::billable_spec() const {
+  store::QuerySpec spec;
+  spec.devices.reserve(billable_.size());
+  for (const auto& [id, from_ns] : billable_) {
+    spec.devices.push_back(id);
+    spec.t0_overrides.emplace(id, from_ns);
+  }
+  return spec;
+}
+
+std::vector<Invoice> BillingService::invoice_all() const {
+  std::vector<Invoice> out;
+  // An empty billable set must not fall into the engine's "empty device
+  // list = every device" convention.
+  if (store_backed() && engine_ != nullptr && !billable_.empty()) {
+    // One shard-parallel fleet query answers every device's breakdown.
+    // Merge-join against the billed set (both sorted) so a billable device
+    // whose history is entirely out of scope still gets its zero invoice,
+    // exactly like the per-device path.
+    const store::FleetBreakdown fleet =
+        engine_->network_breakdown(billable_spec());
+    const auto billed = billed_devices();
+    out.reserve(billed.size());
+    std::size_t i = 0;
+    for (const auto& id : billed) {
+      while (i < fleet.per_device.size() && fleet.per_device[i].first < id) {
+        ++i;
+      }
+      std::map<NetworkId, Bucket> buckets;
+      if (i < fleet.per_device.size() && fleet.per_device[i].first == id) {
+        for (const auto& [network, use] : fleet.per_device[i].second) {
+          buckets[network] = Bucket{use.energy_mwh, use.records};
+        }
+      }
+      out.push_back(price(id, buckets));
+    }
+    return out;
+  }
+  for (const auto& id : billed_devices()) {
+    out.push_back(invoice_for(id));
+  }
+  return out;
+}
+
 std::vector<DeviceId> BillingService::billed_devices() const {
   std::vector<DeviceId> out;
   if (store_backed()) {
@@ -98,6 +142,16 @@ std::vector<DeviceId> BillingService::billed_devices() const {
 
 double BillingService::total_energy_mwh() const {
   if (store_backed()) {
+    if (engine_ != nullptr) {
+      // One fleet query across all billable devices (per-device scope marks
+      // ride along as t0 overrides) instead of a per-device loop.  The
+      // empty set short-circuits: an empty device list means "every device"
+      // to the engine.
+      if (billable_.empty()) {
+        return 0.0;
+      }
+      return engine_->network_breakdown(billable_spec()).total_energy_mwh();
+    }
     double total = 0.0;
     for (const auto& [id, from_ns] : billable_) {
       for (const auto& [network, use] : tsdb_->network_breakdown(id, from_ns)) {

@@ -16,6 +16,9 @@
 //     historical truth, there is no second accumulator to drift from it.
 //     mark_billable() scopes invoicing to home members (the store also holds
 //     visiting devices' history, which their *home* aggregator bills).
+//     bind_engine() additionally routes the fleet-wide reads (all-device
+//     totals, invoice_all) through the shard-parallel store::QueryEngine as
+//     a single fleet query instead of a per-device loop.
 //   * standalone accumulator: `ingest()`/`ingest_ledger()` keep exact
 //     per-device/per-network buckets — used for audit replay of the chain
 //     and as an independent reference in tests.
@@ -27,6 +30,7 @@
 
 #include "chain/ledger.hpp"
 #include "core/records.hpp"
+#include "store/query_engine.hpp"
 #include "store/tsdb.hpp"
 
 namespace emon::core {
@@ -63,6 +67,12 @@ class BillingService {
   /// Prices invoices from `tsdb` queries instead of internal buckets.
   void bind_store(const store::Tsdb* tsdb) noexcept { tsdb_ = tsdb; }
   [[nodiscard]] bool store_backed() const noexcept { return tsdb_ != nullptr; }
+  /// Routes fleet-wide reads through the shard-parallel query engine (one
+  /// fleet query over the billable set instead of a per-device loop).  The
+  /// engine must wrap the same Tsdb passed to bind_store().
+  void bind_engine(const store::QueryEngine* engine) noexcept {
+    engine_ = engine;
+  }
   /// Registers a device this service is responsible for billing (home
   /// members; visiting devices are billed by their own home aggregator).
   /// `from_ns` scopes billing to records from that timestamp on — an
@@ -82,6 +92,10 @@ class BillingService {
   // -- Invoicing (both modes) --------------------------------------------------
 
   [[nodiscard]] Invoice invoice_for(const DeviceId& id) const;
+  /// Invoices every billed device (store-backed mode with an engine bound:
+  /// a single fleet breakdown query, shard-parallel; otherwise a per-device
+  /// loop).  Returned in sorted device order.
+  [[nodiscard]] std::vector<Invoice> invoice_all() const;
   [[nodiscard]] std::vector<DeviceId> billed_devices() const;
   /// Total energy across all billed devices and networks (conservation
   /// checks).
@@ -106,9 +120,14 @@ class BillingService {
   [[nodiscard]] Invoice price(const DeviceId& id,
                               const std::map<NetworkId, Bucket>& usage) const;
 
+  /// Builds the fleet query for the billable set (per-device scope marks as
+  /// t0 overrides).
+  [[nodiscard]] store::QuerySpec billable_spec() const;
+
   NetworkId home_;
   Tariff tariff_;
   const store::Tsdb* tsdb_ = nullptr;
+  const store::QueryEngine* engine_ = nullptr;
   /// Billable devices -> earliest record timestamp this service bills.
   std::map<DeviceId, std::int64_t> billable_;
   // Accumulator mode: device -> network -> bucket.

@@ -52,6 +52,13 @@ struct AggregatorConfig {
   double anomaly_rel_tolerance = 0.04;
   /// Membership expiry for temporary members with no traffic.
   sim::Duration temp_member_timeout = sim::seconds(30);
+  /// Worker count of the fleet-wide Tsdb query engine (verification-window
+  /// reads, store-backed billing, dashboard roll-ups).  1 runs queries
+  /// inline on the event thread with no pool threads — simulations keep the
+  /// default so a 32-aggregator fleet does not spawn 32 pools; a serving
+  /// deployment sizes this by cores.  Results are bit-identical for any
+  /// value (see store/query_engine.hpp).
+  std::size_t query_workers = 1;
 };
 
 struct SystemConfig {

@@ -1,0 +1,344 @@
+#include "store/query_engine.hpp"
+
+#include <algorithm>
+
+namespace emon::store {
+
+// ---------------------------------------------------------------------------
+// QueryPool
+// ---------------------------------------------------------------------------
+
+QueryPool::QueryPool(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t t = 0; t + 1 < workers_; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+QueryPool::~QueryPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void QueryPool::worker_loop(std::size_t index) {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || job_id_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = job_id_;
+    const auto* fn = job_;
+    const std::size_t n = job_n_;
+    lk.unlock();
+    // A throwing stride must not escape the thread entry (std::terminate);
+    // it is captured and rethrown by parallel_for after the join.
+    std::exception_ptr error = nullptr;
+    try {
+      for (std::size_t i = index; i < n; i += workers_) {
+        (*fn)(i);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lk.lock();
+    if (error != nullptr && job_error_ == nullptr) {
+      job_error_ = error;
+    }
+    if (++workers_done_ == threads_.size()) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void QueryPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) {
+    return;
+  }
+  if (threads_.empty()) {
+    // workers == 1: the reference sequential path.  Still one job at a
+    // time — the engine's contract serializes concurrent callers at every
+    // worker count (the Tsdb's shard-local counters rely on it).
+    const std::lock_guard<std::mutex> callers(caller_mu_);
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const std::lock_guard<std::mutex> callers(caller_mu_);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    workers_done_ = 0;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  // The caller participates as the last worker (stride workers_ - 1), then
+  // waits for every pool thread to check back in — which is what makes the
+  // next job unable to start while any stride of this one is unfinished.
+  // A throw on the caller's own stride must take the same join path before
+  // unwinding: workers may still be writing state the job captured by
+  // reference.
+  std::exception_ptr caller_error = nullptr;
+  try {
+    for (std::size_t i = workers_ - 1; i < n; i += workers_) {
+      fn(i);
+    }
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr worker_error = nullptr;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return workers_done_ == threads_.size(); });
+    job_ = nullptr;
+    worker_error = job_error_;
+    job_error_ = nullptr;
+  }
+  if (caller_error != nullptr) {
+    std::rethrow_exception(caller_error);
+  }
+  if (worker_error != nullptr) {
+    std::rethrow_exception(worker_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge helpers (plain code on the caller's thread, fixed fold order)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void merge_aggregate(DeviceAggregate& into, const DeviceAggregate& from) {
+  if (from.count == 0) {
+    return;
+  }
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.t_min_ns = std::min(into.t_min_ns, from.t_min_ns);
+  into.t_max_ns = std::max(into.t_max_ns, from.t_max_ns);
+  into.min_current_ma = std::min(into.min_current_ma, from.min_current_ma);
+  into.max_current_ma = std::max(into.max_current_ma, from.max_current_ma);
+  const double total =
+      static_cast<double>(into.count) + static_cast<double>(from.count);
+  into.avg_current_ma =
+      (into.avg_current_ma * static_cast<double>(into.count) +
+       from.avg_current_ma * static_cast<double>(from.count)) /
+      total;
+  into.sum_energy_mwh += from.sum_energy_mwh;
+  into.count += from.count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryEngine
+// ---------------------------------------------------------------------------
+
+QueryEngine::QueryEngine(const Tsdb& tsdb, QueryEngineOptions options)
+    : tsdb_(&tsdb), pool_(options.workers) {}
+
+std::vector<std::vector<DeviceId>> QueryEngine::partition(
+    const QuerySpec& spec) const {
+  std::vector<std::vector<DeviceId>> buckets(tsdb_->shard_count());
+  for (const auto& id : spec.devices) {
+    buckets[tsdb_->shard_of(id)].push_back(id);
+  }
+  for (auto& bucket : buckets) {
+    std::sort(bucket.begin(), bucket.end());
+    bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+  }
+  return buckets;
+}
+
+template <typename T, typename Fn>
+std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
+    const QuerySpec& spec, const Fn& fn) const {
+  const std::size_t shards = tsdb_->shard_count();
+  // One result slot per shard: a worker only writes its own shards' slots,
+  // so the parallel region shares nothing mutable across workers.
+  std::vector<std::vector<std::pair<DeviceId, T>>> slots(shards);
+  if (spec.devices.empty()) {
+    // All devices: iterate each shard's (sorted) series map in place — no
+    // per-query materialization of the whole fleet's id strings.
+    pool_.parallel_for(shards, [&](std::size_t s) {
+      tsdb_->for_each_device_in_shard(s, [&](const DeviceId& id) {
+        if (auto result = fn(id)) {
+          slots[s].emplace_back(id, std::move(*result));
+        }
+      });
+    });
+  } else {
+    const auto buckets = partition(spec);
+    pool_.parallel_for(buckets.size(), [&](std::size_t s) {
+      for (const auto& id : buckets[s]) {
+        if (auto result = fn(id)) {
+          slots[s].emplace_back(id, std::move(*result));
+        }
+      }
+    });
+  }
+  std::size_t total = 0;
+  for (const auto& slot : slots) {
+    total += slot.size();
+  }
+  std::vector<std::pair<DeviceId, T>> out;
+  out.reserve(total);
+  for (auto& slot : slots) {
+    for (auto& entry : slot) {
+      out.push_back(std::move(entry));
+    }
+  }
+  // Shard buckets are disjoint, so every device appears at most once;
+  // one sort re-establishes the global device order.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+FleetAggregate QueryEngine::aggregate(const QuerySpec& spec) const {
+  FleetAggregate out;
+  out.per_device = per_device<DeviceAggregate>(
+      spec, [&](const DeviceId& id) {
+        return tsdb_->aggregate(id, spec.t0_for(id), spec.t1_ns, spec.filter);
+      });
+  for (const auto& [id, agg] : out.per_device) {
+    (void)id;
+    merge_aggregate(out.merged, agg);
+  }
+  return out;
+}
+
+FleetStats QueryEngine::current_stats(const QuerySpec& spec) const {
+  FleetStats out;
+  out.per_device = per_device<util::RunningStats>(
+      spec, [&](const DeviceId& id) -> std::optional<util::RunningStats> {
+        util::RunningStats stats = tsdb_->current_stats(
+            id, spec.t0_for(id), spec.t1_ns, spec.filter);
+        if (stats.empty()) {
+          return std::nullopt;
+        }
+        return stats;
+      });
+  for (const auto& [id, stats] : out.per_device) {
+    (void)id;
+    out.merged.merge(stats);
+  }
+  return out;
+}
+
+FleetScan QueryEngine::scan(const QuerySpec& spec) const {
+  FleetScan out;
+  auto per = per_device<std::vector<ConsumptionRecord>>(
+      spec,
+      [&](const DeviceId& id) -> std::optional<std::vector<ConsumptionRecord>> {
+        auto records =
+            tsdb_->scan(id, spec.t0_for(id), spec.t1_ns, spec.filter);
+        if (records.empty()) {
+          return std::nullopt;
+        }
+        return records;
+      });
+  std::size_t total = 0;
+  for (const auto& [id, records] : per) {
+    (void)id;
+    total += records.size();
+  }
+  out.records.reserve(total);
+  out.per_device.reserve(per.size());
+  for (auto& [id, records] : per) {
+    out.per_device.push_back(
+        FleetScan::DeviceSpan{id, out.records.size(), records.size()});
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(records.begin()),
+                       std::make_move_iterator(records.end()));
+  }
+  return out;
+}
+
+FleetWindows QueryEngine::downsample(const QuerySpec& spec) const {
+  FleetWindows out;
+  if (spec.window_ns <= 0) {
+    return out;
+  }
+  // Deliberately spec.t0_ns, not t0_for(id): a per-device override would
+  // re-anchor that device's window grid and the fleet merge below would
+  // fold overlapping windows.  Overrides are a billing-scope concept; the
+  // downsample grid is shared or it is meaningless.
+  out.per_device = per_device<std::vector<WindowAggregate>>(
+      spec,
+      [&](const DeviceId& id) -> std::optional<std::vector<WindowAggregate>> {
+        auto windows = tsdb_->downsample(id, spec.t0_ns, spec.t1_ns,
+                                         spec.window_ns, spec.filter);
+        if (windows.empty()) {
+          return std::nullopt;
+        }
+        return windows;
+      });
+  // All devices queried with the same effective t0 share the t0-anchored
+  // grid (Tsdb::downsample clamps without re-anchoring), so the fleet merge
+  // is a fold by window start in sorted device order.
+  std::map<std::int64_t, WindowAggregate> merged;
+  std::map<std::int64_t, double> current_sums;
+  for (const auto& [id, windows] : out.per_device) {
+    (void)id;
+    for (const auto& w : windows) {
+      auto [it, created] = merged.try_emplace(w.start_ns);
+      if (created) {
+        it->second.start_ns = w.start_ns;
+      }
+      it->second.count += w.count;
+      it->second.max_current_ma =
+          std::max(it->second.max_current_ma, w.max_current_ma);
+      it->second.sum_energy_mwh += w.sum_energy_mwh;
+      current_sums[w.start_ns] +=
+          w.avg_current_ma * static_cast<double>(w.count);
+    }
+  }
+  out.merged.reserve(merged.size());
+  for (auto& [start_ns, window] : merged) {
+    if (window.count > 0) {
+      window.avg_current_ma =
+          current_sums[start_ns] / static_cast<double>(window.count);
+    }
+    out.merged.push_back(window);
+  }
+  return out;
+}
+
+FleetBreakdown QueryEngine::network_breakdown(const QuerySpec& spec) const {
+  FleetBreakdown out;
+  out.per_device = per_device<std::map<NetworkId, NetworkUsage>>(
+      spec,
+      [&](const DeviceId& id)
+          -> std::optional<std::map<NetworkId, NetworkUsage>> {
+        auto usage = tsdb_->network_breakdown(id, spec.t0_for(id));
+        if (usage.empty()) {
+          return std::nullopt;
+        }
+        return usage;
+      });
+  for (const auto& [id, usage] : out.per_device) {
+    (void)id;
+    for (const auto& [network, use] : usage) {
+      auto& total = out.merged[network];
+      total.records += use.records;
+      total.energy_mwh += use.energy_mwh;
+    }
+  }
+  return out;
+}
+
+}  // namespace emon::store

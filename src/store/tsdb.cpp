@@ -10,6 +10,13 @@ namespace {
 /// reporting this covers ~7 minutes of re-arrival horizon in O(1) memory.
 constexpr std::size_t kDedupWindow = 4096;
 
+/// Hard cap on windows a single downsample may materialize (~59 MB of
+/// WindowAggregate worst case).  Observed timestamps are unvalidated device
+/// RTC readings, so clamping the range to them is not enough: one corrupt
+/// or adversarial clock near INT64_MAX would still size an OOM allocation.
+/// A query wider than this returns empty rather than degrading silently.
+constexpr std::uint64_t kMaxWindowsPerQuery = 1ULL << 20;
+
 /// Stable FNV-1a so shard placement is identical across runs and builds
 /// (std::hash<std::string> makes no such promise).
 std::size_t fnv1a(const std::string& s) noexcept {
@@ -59,7 +66,7 @@ bool Tsdb::ingest(const ConsumptionRecord& record) {
 }
 
 bool Tsdb::has_device(const DeviceId& id) const {
-  return find_series(id) != nullptr;
+  return find_series(id).series != nullptr;
 }
 
 std::vector<DeviceId> Tsdb::devices() const {
@@ -73,15 +80,58 @@ std::vector<DeviceId> Tsdb::devices() const {
   return out;
 }
 
-const Tsdb::DeviceSeries* Tsdb::find_series(const DeviceId& id) const {
+void Tsdb::for_each_device_in_shard(
+    std::size_t shard, const std::function<void(const DeviceId&)>& fn) const {
+  if (shard >= shards_.size()) {
+    return;
+  }
+  for (const auto& [id, _] : shards_[shard].series) {
+    fn(id);  // std::map iteration: already sorted
+  }
+}
+
+TsdbStats Tsdb::stats() const {
+  TsdbStats out = stats_;
+  for (const auto& shard : shards_) {
+    out.segments_pruned += shard.query.segments_pruned;
+    out.summary_hits += shard.query.summary_hits;
+  }
+  return out;
+}
+
+Tsdb::SeriesLookup Tsdb::find_series(const DeviceId& id) const {
   const auto& shard = shards_[shard_of(id)];
   const auto it = shard.series.find(id);
-  return it == shard.series.end() ? nullptr : &it->second;
+  if (it == shard.series.end()) {
+    return {};
+  }
+  return SeriesLookup{&it->second, &shard.query};
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>> Tsdb::observed_bounds(
+    const DeviceSeries& series) {
+  std::optional<std::pair<std::int64_t, std::int64_t>> bounds;
+  const auto widen = [&bounds](std::int64_t t_min, std::int64_t t_max) {
+    if (!bounds) {
+      bounds = {t_min, t_max};
+      return;
+    }
+    bounds->first = std::min(bounds->first, t_min);
+    bounds->second = std::max(bounds->second, t_max);
+  };
+  for (const auto& seg : series.sealed) {
+    widen(seg.summary().t_min_ns, seg.summary().t_max_ns);
+  }
+  if (series.head.count() > 0) {
+    const SegmentSummary head = series.head.summary();
+    widen(head.t_min_ns, head.t_max_ns);
+  }
+  return bounds;
 }
 
 void Tsdb::for_each_in_range(
-    const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns,
-    const RecordFilter& filter,
+    const DeviceSeries& series, ShardQueryCounters& counters,
+    std::int64_t t0_ns, std::int64_t t1_ns, const RecordFilter& filter,
     const std::function<void(const ConsumptionRecord&)>& fn) const {
   const auto in_range = [&](const ConsumptionRecord& r) {
     return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
@@ -89,7 +139,7 @@ void Tsdb::for_each_in_range(
   };
   for (const auto& seg : series.sealed) {
     if (!seg.summary().overlaps(t0_ns, t1_ns)) {
-      ++stats_.segments_pruned;
+      ++counters.segments_pruned;
       continue;
     }
     SegmentCursor cur = seg.cursor();
@@ -112,8 +162,8 @@ std::vector<ConsumptionRecord> Tsdb::scan(const DeviceId& device,
                                           std::int64_t t1_ns,
                                           const RecordFilter& filter) const {
   std::vector<ConsumptionRecord> out;
-  if (const DeviceSeries* series = find_series(device)) {
-    for_each_in_range(*series, t0_ns, t1_ns, filter,
+  if (const SeriesLookup found = find_series(device); found.series != nullptr) {
+    for_each_in_range(*found.series, *found.counters, t0_ns, t1_ns, filter,
                       [&out](const ConsumptionRecord& r) { out.push_back(r); });
   }
   return out;
@@ -127,25 +177,76 @@ std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
   if (window_ns <= 0 || t1_ns <= t0_ns) {
     return {};
   }
-  const auto n_windows =
-      static_cast<std::size_t>((t1_ns - t0_ns + window_ns - 1) / window_ns);
+  const SeriesLookup found = find_series(device);
+  if (found.series == nullptr) {
+    return {};
+  }
+  const auto bounds = observed_bounds(*found.series);
+  if (!bounds) {
+    return {};
+  }
+  // Clamp the query range to the observed bounds *before* sizing the window
+  // array: a sentinel full-range query (t0 = INT64_MIN, t1 = INT64_MAX)
+  // would otherwise compute n_windows from the int64 extremes — signed
+  // overflow and an OOM-sized allocation.  The window grid stays anchored
+  // at the caller's t0: the clamped start is the last grid boundary at or
+  // below the first record, so every device queried with the same (t0,
+  // window) lands on the same grid whatever its data span (the fleet merge
+  // relies on this).
+  const auto [obs_min, obs_max] = *bounds;
+  const auto uw = static_cast<std::uint64_t>(window_ns);
+  std::int64_t t0c = t0_ns;
+  if (t0c < obs_min) {
+    // Align up in uint64 arithmetic: obs_min - t0 may not fit in int64, but
+    // its true value is in [0, 2^64) and two's-complement subtraction of
+    // the unsigned reinterpretations yields exactly that value.
+    const std::uint64_t span = static_cast<std::uint64_t>(obs_min) -
+                               static_cast<std::uint64_t>(t0_ns);
+    const std::uint64_t steps = span / uw;
+    t0c = static_cast<std::int64_t>(static_cast<std::uint64_t>(t0_ns) +
+                                    steps * uw);
+  }
+  std::int64_t t1c = t1_ns;
+  if (obs_max < INT64_MAX && t1c > obs_max + 1) {
+    t1c = obs_max + 1;
+  }
+  if (t1c <= t0c) {
+    return {};
+  }
+  // Ceil without the `span + uw - 1` rounding add: with corrupt clocks at
+  // both int64 extremes the span approaches 2^64 and that add wraps,
+  // sneaking a tiny window_count past the cap while records index far
+  // beyond it.  div+mod cannot overflow.
+  const std::uint64_t span = static_cast<std::uint64_t>(t1c) -
+                             static_cast<std::uint64_t>(t0c);
+  const std::uint64_t window_count = span / uw + (span % uw != 0 ? 1 : 0);
+  if (window_count > kMaxWindowsPerQuery) {
+    return {};
+  }
+  const auto n_windows = static_cast<std::size_t>(window_count);
   std::vector<WindowAggregate> out(n_windows);
   std::vector<double> current_sums(n_windows, 0.0);
   for (std::size_t i = 0; i < n_windows; ++i) {
-    out[i].start_ns = t0_ns + static_cast<std::int64_t>(i) * window_ns;
+    // uint64 like the span math above: with t0c near INT64_MIN and a huge
+    // window the int64 product i * window_ns overflows even though every
+    // start value itself fits (start < t1c).  Mod-2^64 arithmetic lands on
+    // exactly that in-range value.
+    out[i].start_ns = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(t0c) + static_cast<std::uint64_t>(i) * uw);
   }
-  if (const DeviceSeries* series = find_series(device)) {
-    for_each_in_range(
-        *series, t0_ns, t1_ns, filter, [&](const ConsumptionRecord& r) {
-          const auto w =
-              static_cast<std::size_t>((r.timestamp_ns - t0_ns) / window_ns);
-          auto& agg = out[w];
-          agg.count += 1;
-          current_sums[w] += r.current_ma;
-          agg.max_current_ma = std::max(agg.max_current_ma, r.current_ma);
-          agg.sum_energy_mwh += r.energy_mwh;
-        });
-  }
+  for_each_in_range(
+      *found.series, *found.counters, t0c, t1c, filter,
+      [&](const ConsumptionRecord& r) {
+        const auto w = static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(r.timestamp_ns) -
+             static_cast<std::uint64_t>(t0c)) /
+            uw);
+        auto& agg = out[w];
+        agg.count += 1;
+        current_sums[w] += r.current_ma;
+        agg.max_current_ma = std::max(agg.max_current_ma, r.current_ma);
+        agg.sum_energy_mwh += r.energy_mwh;
+      });
   for (std::size_t i = 0; i < n_windows; ++i) {
     if (out[i].count > 0) {
       out[i].avg_current_ma =
@@ -157,11 +258,14 @@ std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
 
 std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
                                                std::int64_t t0_ns,
-                                               std::int64_t t1_ns) const {
-  const DeviceSeries* series = find_series(device);
-  if (series == nullptr) {
+                                               std::int64_t t1_ns,
+                                               const RecordFilter& filter) const {
+  const SeriesLookup found = find_series(device);
+  if (found.series == nullptr) {
     return std::nullopt;
   }
+  const DeviceSeries& series = *found.series;
+  ShardQueryCounters& counters = *found.counters;
   DeviceAggregate agg;
   std::int64_t current_q_sum = 0;
   std::int64_t energy_q_sum = 0;
@@ -198,16 +302,22 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
                      q_energy);
     });
   };
+  const auto in_range = [&](const ConsumptionRecord& r) {
+    return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
+           filter.matches(r);
+  };
 
-  for (const auto& seg : series->sealed) {
+  for (const auto& seg : series.sealed) {
     const SegmentSummary& s = seg.summary();
     if (!s.overlaps(t0_ns, t1_ns)) {
-      ++stats_.segments_pruned;
+      ++counters.segments_pruned;
       continue;
     }
-    if (s.contained_in(t0_ns, t1_ns)) {
-      // Pre-aggregated answer: no decode needed.
-      ++stats_.summary_hits;
+    if (filter.empty() && s.contained_in(t0_ns, t1_ns)) {
+      // Pre-aggregated answer: no decode needed.  A non-empty filter must
+      // decode even fully-covered segments (summaries hold no per-filter
+      // breakdowns), so the fast path is gated on filter.empty().
+      ++counters.summary_hits;
       fold_quantized(s.count, s.t_min_ns, s.t_max_ns, s.current_q_min,
                      s.current_q_max, s.current_q_sum, s.energy_q_sum);
       continue;
@@ -215,16 +325,16 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
     fold_decoded([&](auto&& fn) {
       SegmentCursor cur = seg.cursor();
       while (auto rec = cur.next()) {
-        if (rec->timestamp_ns >= t0_ns && rec->timestamp_ns < t1_ns) {
+        if (in_range(*rec)) {
           fn(*rec);
         }
       }
     });
   }
   fold_decoded([&](auto&& fn) {
-    for (std::size_t i = 0; i < series->head.count(); ++i) {
-      const ConsumptionRecord rec = series->head.record_at(i);
-      if (rec.timestamp_ns >= t0_ns && rec.timestamp_ns < t1_ns) {
+    for (std::size_t i = 0; i < series.head.count(); ++i) {
+      const ConsumptionRecord rec = series.head.record_at(i);
+      if (in_range(rec)) {
         fn(rec);
       }
     }
@@ -245,9 +355,9 @@ util::RunningStats Tsdb::current_stats(const DeviceId& device,
                                        std::int64_t t0_ns, std::int64_t t1_ns,
                                        const RecordFilter& filter) const {
   util::RunningStats stats;
-  if (const DeviceSeries* series = find_series(device)) {
+  if (const SeriesLookup found = find_series(device); found.series != nullptr) {
     for_each_in_range(
-        *series, t0_ns, t1_ns, filter,
+        *found.series, *found.counters, t0_ns, t1_ns, filter,
         [&stats](const ConsumptionRecord& r) { stats.add(r.current_ma); });
   }
   return stats;
@@ -256,10 +366,12 @@ util::RunningStats Tsdb::current_stats(const DeviceId& device,
 std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     const DeviceId& device, std::int64_t from_ns) const {
   std::map<NetworkId, NetworkUsage> out;
-  const DeviceSeries* series = find_series(device);
-  if (series == nullptr) {
+  const SeriesLookup found = find_series(device);
+  if (found.series == nullptr) {
     return out;
   }
+  const DeviceSeries& series = *found.series;
+  ShardQueryCounters& counters = *found.counters;
   // Sealed segments entirely past `from_ns` answer from their dictionary
   // subtotals; only straddlers decode.  The open head walks its (small)
   // column arrays unless the bound excludes or includes it whole.
@@ -271,14 +383,14 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     out[r.network].records += 1;
     energy_q[r.network] += quantize(r.energy_mwh, kEnergyScale);
   };
-  for (const auto& seg : series->sealed) {
+  for (const auto& seg : series.sealed) {
     const SegmentSummary& s = seg.summary();
     if (s.t_max_ns < from_ns) {
-      ++stats_.segments_pruned;
+      ++counters.segments_pruned;
       continue;
     }
     if (s.t_min_ns >= from_ns) {
-      ++stats_.summary_hits;
+      ++counters.summary_hits;
       for (const auto& sub : s.networks) {
         out[sub.network].records += sub.records;
         energy_q[sub.network] += sub.energy_q_sum;
@@ -290,15 +402,15 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
       fold_record(*rec);
     }
   }
-  const SegmentSummary head = series->head.summary();
+  const SegmentSummary head = series.head.summary();
   if (head.count > 0 && head.t_min_ns >= from_ns) {
     for (const auto& sub : head.networks) {
       out[sub.network].records += sub.records;
       energy_q[sub.network] += sub.energy_q_sum;
     }
   } else {
-    for (std::size_t i = 0; i < series->head.count(); ++i) {
-      fold_record(series->head.record_at(i));
+    for (std::size_t i = 0; i < series.head.count(); ++i) {
+      fold_record(series.head.record_at(i));
     }
   }
   for (auto& [network, usage] : out) {
@@ -308,15 +420,15 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
 }
 
 double Tsdb::total_energy_mwh(const DeviceId& device) const {
-  const DeviceSeries* series = find_series(device);
-  if (series == nullptr) {
+  const SeriesLookup found = find_series(device);
+  if (found.series == nullptr) {
     return 0.0;
   }
   std::int64_t energy_q = 0;
-  for (const auto& seg : series->sealed) {
+  for (const auto& seg : found.series->sealed) {
     energy_q += seg.summary().energy_q_sum;
   }
-  energy_q += series->head.summary().energy_q_sum;
+  energy_q += found.series->head.summary().energy_q_sum;
   return dequantize(energy_q, kEnergyScale);
 }
 

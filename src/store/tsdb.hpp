@@ -9,11 +9,13 @@
 // inputs and dashboard queries ("energy for device D over [t0, t1)") are all
 // answered from store queries instead of ad-hoc accumulators.
 //
-// Query surface:
+// Query surface (per device; store/query_engine.hpp fans these out across
+// shards for fleet-wide reads):
 //   scan()              time-range scan (summary-pruned, lazy decode)
 //   downsample()        fixed windows: avg/max current, energy sum per window
-//   aggregate()         per-device totals over a range; fully-covered sealed
-//                       segments are answered from their summary block alone
+//   aggregate()         per-device totals over a range, optionally filtered;
+//                       fully-covered sealed segments under an empty filter
+//                       are answered from their summary block alone
 //   current_stats()     filtered mean/min/max of current (verification reads)
 //   network_breakdown() per-network record/energy subtotals (billing reads),
 //                       answered entirely from segment dictionaries
@@ -22,6 +24,10 @@
 // half-open [t0, t1).  Out-of-order arrivals (offline flushes, roamed
 // batches) are fine: summaries track true min/max and scans filter
 // per-record.
+//
+// Threading: ingest is single-writer.  Query paths only mutate shard-local
+// counters (ShardQueryCounters), so a query engine may fold *disjoint shards*
+// on concurrent workers; two threads must not query the same shard at once.
 
 #include <cstdint>
 #include <functional>
@@ -29,6 +35,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "store/segment.hpp"
@@ -76,10 +83,21 @@ struct RecordFilter {
   /// Only live (false) or only offline-buffered (true) records.
   std::optional<bool> stored_offline;
 
+  /// An empty filter matches everything — summary-only fast paths apply.
+  [[nodiscard]] bool empty() const noexcept {
+    return !network && !stored_offline;
+  }
   [[nodiscard]] bool matches(const ConsumptionRecord& r) const noexcept {
     return (!network || r.network == *network) &&
            (!stored_offline || r.stored_offline == *stored_offline);
   }
+};
+
+/// Query-path counters, kept shard-local so pool workers (which own disjoint
+/// shards) never write a shared location; Tsdb::stats() folds them on read.
+struct ShardQueryCounters {
+  std::uint64_t segments_pruned = 0;
+  std::uint64_t summary_hits = 0;
 };
 
 struct TsdbStats {
@@ -88,10 +106,11 @@ struct TsdbStats {
   std::uint64_t segments_sealed = 0;
   std::size_t sealed_bytes = 0;
   std::size_t devices = 0;
-  /// Sealed segments skipped by summary pruning across all queries.
-  mutable std::uint64_t segments_pruned = 0;
+  /// Sealed segments skipped by summary pruning across all queries
+  /// (folded from the per-shard counters).
+  std::uint64_t segments_pruned = 0;
   /// Aggregate queries answered (partly) from summary blocks alone.
-  mutable std::uint64_t summary_hits = 0;
+  std::uint64_t summary_hits = 0;
 };
 
 class Tsdb {
@@ -110,15 +129,26 @@ class Tsdb {
       const RecordFilter& filter = {}) const;
 
   /// Splits [t0, t1) into fixed `window_ns` buckets and aggregates each
-  /// (records land by timestamp).  Empty windows are included with count 0.
+  /// (records land by timestamp).  Empty windows inside the covered span are
+  /// included with count 0.  The range is clamped to the series' observed
+  /// [t_min, t_max] bounds before the window array is sized — a sentinel
+  /// full-range query (t0 = INT64_MIN, t1 = INT64_MAX) must not size windows
+  /// off the int64 extremes — with the grid still anchored at t0: the
+  /// clamped start is the last window boundary at or below the first record.
+  /// Observed timestamps are unvalidated device clocks, so the clamp alone
+  /// cannot bound the allocation: a query that would still materialize more
+  /// than 2^20 windows returns empty instead.
   [[nodiscard]] std::vector<WindowAggregate> downsample(
       const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns,
       std::int64_t window_ns, const RecordFilter& filter = {}) const;
 
-  /// Range roll-up; sealed segments fully inside an unfiltered range are
-  /// answered from their summary without decoding.
+  /// Range roll-up over records matching `filter`; under an empty filter,
+  /// sealed segments fully inside the range are answered from their summary
+  /// without decoding (a non-empty filter still prunes by time but must
+  /// decode matching segments).
   [[nodiscard]] std::optional<DeviceAggregate> aggregate(
-      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns) const;
+      const DeviceId& device, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
 
   /// Mean/min/max of current over matching records (verification reads).
   [[nodiscard]] util::RunningStats current_stats(
@@ -134,11 +164,18 @@ class Tsdb {
   /// Whole-history energy total for one device.
   [[nodiscard]] double total_energy_mwh(const DeviceId& device) const;
 
-  [[nodiscard]] const TsdbStats& stats() const noexcept { return stats_; }
+  /// Ingest-side counters plus the per-shard query counters folded on read.
+  [[nodiscard]] TsdbStats stats() const;
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
   [[nodiscard]] std::size_t shard_of(const DeviceId& id) const noexcept;
+  /// Visits every device id owned by shard `shard` in sorted order — the
+  /// query engine's unit of work partitioning, copy-free (a fleet query
+  /// must not materialize 10k id strings per shard just to iterate them).
+  void for_each_device_in_shard(
+      std::size_t shard,
+      const std::function<void(const DeviceId&)>& fn) const;
 
  private:
   struct DeviceSeries {
@@ -151,17 +188,30 @@ class Tsdb {
     /// overlap, double roam-forward — re-arrives near the high-water mark).
     std::set<std::uint64_t> seen_sequences;
   };
+  /// Shard-local storage: the series map plus this shard's query counters
+  /// (mutable so const query paths can count prunes without racing other
+  /// shards' workers).
   struct Shard {
     std::map<DeviceId, DeviceSeries> series;
+    mutable ShardQueryCounters query;
+  };
+  struct SeriesLookup {
+    const DeviceSeries* series = nullptr;
+    ShardQueryCounters* counters = nullptr;
   };
 
-  [[nodiscard]] const DeviceSeries* find_series(const DeviceId& id) const;
+  [[nodiscard]] SeriesLookup find_series(const DeviceId& id) const;
   /// Applies `fn` to every record of `series` in [t0, t1) passing `filter`,
-  /// pruning sealed segments whose summary cannot overlap.
+  /// pruning sealed segments whose summary cannot overlap (prunes counted
+  /// into the owning shard's `counters`).
   void for_each_in_range(
-      const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns,
-      const RecordFilter& filter,
+      const DeviceSeries& series, ShardQueryCounters& counters,
+      std::int64_t t0_ns, std::int64_t t1_ns, const RecordFilter& filter,
       const std::function<void(const ConsumptionRecord&)>& fn) const;
+  /// Observed [t_min, t_max] over sealed summaries and the open head;
+  /// nullopt for an empty series.
+  [[nodiscard]] static std::optional<std::pair<std::int64_t, std::int64_t>>
+  observed_bounds(const DeviceSeries& series);
 
   TsdbOptions options_;
   std::vector<Shard> shards_;

@@ -711,6 +711,217 @@ TEST(Tsdb, DownsampleMatchesNaiveWindowMath) {
   }
 }
 
+TEST(Tsdb, DownsampleFullRangeSentinelClampsToObservedBounds) {
+  // Regression: n_windows used to be sized straight from (t1 - t0), so the
+  // sentinel full-range query below was signed-overflow UB and an OOM-sized
+  // allocation.  The range must clamp to the series' observed bounds first.
+  Tsdb db{TsdbOptions{2, 32}};
+  const auto records = synthetic_stream(300, 107);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  const std::int64_t window = 1'000'000'000;
+  const auto sentinel = db.downsample("dev-1", INT64_MIN, INT64_MAX, window);
+  ASSERT_FALSE(sentinel.empty());
+  // Same records as the explicit-range query; windows stay modest.
+  const std::int64_t t0 = records.front().timestamp_ns;
+  const std::int64_t t1 = records.back().timestamp_ns + 1;
+  EXPECT_LE(sentinel.size(),
+            static_cast<std::size_t>((t1 - t0 + window - 1) / window) + 1);
+  std::uint64_t sentinel_count = 0;
+  for (const auto& w : sentinel) {
+    sentinel_count += w.count;
+  }
+  EXPECT_EQ(sentinel_count, records.size());
+  // An empty-range or unknown-device sentinel stays empty (no allocation).
+  EXPECT_TRUE(db.downsample("dev-none", INT64_MIN, INT64_MAX, window).empty());
+  EXPECT_TRUE(db.downsample("dev-1", INT64_MAX, INT64_MIN, window).empty());
+  // One-sided sentinels clamp the open end only.
+  const auto from_min = db.downsample("dev-1", INT64_MIN, t1, window);
+  const auto to_max = db.downsample("dev-1", t0, INT64_MAX, window);
+  std::uint64_t from_min_count = 0;
+  std::uint64_t to_max_count = 0;
+  for (const auto& w : from_min) {
+    from_min_count += w.count;
+  }
+  for (const auto& w : to_max) {
+    to_max_count += w.count;
+  }
+  EXPECT_EQ(from_min_count, records.size());
+  EXPECT_EQ(to_max_count, records.size());
+}
+
+TEST(Tsdb, DownsampleExtremeTimestampCannotForceHugeAllocation) {
+  // The observed-bounds clamp alone is not enough: timestamps are
+  // unvalidated device clocks, so one corrupt/adversarial record near
+  // INT64_MAX would still widen the clamped range to an OOM-sized window
+  // array.  Queries past the window cap return empty instead.
+  Tsdb db{TsdbOptions{2, 32}};
+  const auto records = synthetic_stream(50, 137);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  ConsumptionRecord evil = records.back();
+  evil.sequence = 999'999;
+  evil.timestamp_ns = INT64_MAX - 1;
+  ASSERT_TRUE(db.ingest(evil));
+  // ~9e9 one-second windows would be needed: guarded, not allocated.
+  EXPECT_TRUE(db.downsample("dev-1", INT64_MIN, INT64_MAX, 1'000'000'000)
+                  .empty());
+  EXPECT_TRUE(db.downsample("dev-1", 0, INT64_MAX, 1'000'000'000).empty());
+  // Corrupt clocks at *both* extremes: the span approaches 2^64, where a
+  // naive ceil's rounding add would wrap to a tiny window count that
+  // passes the cap while records index far past the array.  Must stay
+  // empty, not corrupt memory.
+  ConsumptionRecord evil_low = records.back();
+  evil_low.sequence = 999'998;
+  evil_low.timestamp_ns = INT64_MIN;
+  ASSERT_TRUE(db.ingest(evil_low));
+  EXPECT_TRUE(db.downsample("dev-1", INT64_MIN, INT64_MAX, 1'000'000'000)
+                  .empty());
+  EXPECT_TRUE(db.downsample("dev-1", INT64_MIN, INT64_MAX, 3).empty());
+  // A window sized so the count lands exactly at the cap does allocate —
+  // and the window-start arithmetic (t0c near INT64_MIN, giant window)
+  // must not overflow int64 (UBSan-pinned).  Starts ascend by one window.
+  const auto giant = db.downsample("dev-1", INT64_MIN, INT64_MAX, INT64_C(1) << 44);
+  ASSERT_FALSE(giant.empty());
+  EXPECT_EQ(giant.front().start_ns, INT64_MIN);
+  for (std::size_t i = 1; i < giant.size(); ++i) {
+    EXPECT_EQ(giant[i].start_ns - giant[i - 1].start_ns, INT64_C(1) << 44);
+  }
+  std::uint64_t giant_count = 0;
+  for (const auto& w : giant) {
+    giant_count += w.count;
+  }
+  EXPECT_EQ(giant_count, records.size() + 2);  // both evil records included
+  // A sane explicit range on the same series still answers normally.
+  const auto windows =
+      db.downsample("dev-1", records.front().timestamp_ns,
+                    records.back().timestamp_ns + 1, 1'000'000'000);
+  ASSERT_FALSE(windows.empty());
+  std::uint64_t count = 0;
+  for (const auto& w : windows) {
+    count += w.count;
+  }
+  EXPECT_EQ(count, records.size());
+}
+
+TEST(Tsdb, DownsampleClampKeepsGridAnchoredAtT0) {
+  // The clamp must not re-anchor the window grid: a t0 below the first
+  // record starts the array at the last grid boundary at or below it, so
+  // fleet merges across devices stay aligned.
+  Tsdb db{TsdbOptions{2, 64}};
+  const auto records = synthetic_stream(50, 109, /*t0_ns=*/10'000'000'000);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  const std::int64_t window = 1'000'000'000;
+  const std::int64_t t0 = records.front().timestamp_ns - window * 5 - 123;
+  const auto windows = db.downsample("dev-1", t0, INT64_MAX, window);
+  ASSERT_FALSE(windows.empty());
+  // First window sits on the t0-anchored grid, within one window of the
+  // first record, and leading all-empty windows are trimmed.
+  EXPECT_EQ((windows.front().start_ns - t0) % window, 0);
+  EXPECT_LE(windows.front().start_ns, records.front().timestamp_ns);
+  EXPECT_GT(windows.front().start_ns + window, records.front().timestamp_ns);
+  // In-bounds t0 is untouched: same grid, same counts as before the clamp.
+  const auto exact = db.downsample("dev-1", records.front().timestamp_ns,
+                                   records.back().timestamp_ns + 1, window);
+  ASSERT_FALSE(exact.empty());
+  EXPECT_EQ(exact.front().start_ns, records.front().timestamp_ns);
+}
+
+TEST(Tsdb, AggregateFilterOverloadMatchesScanReference) {
+  // Regression for the missing RecordFilter overload: filtered roll-ups now
+  // run inside aggregate() (time-pruned, quantized fold) instead of forcing
+  // callers through a full scan() decode.
+  Tsdb db{TsdbOptions{4, 32}};
+  const auto records = synthetic_stream(400, 113);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  RecordFilter live_wan1;
+  live_wan1.network = "wan-1";
+  live_wan1.stored_offline = false;
+  const auto agg = db.aggregate("dev-1", INT64_MIN, INT64_MAX, live_wan1);
+  ASSERT_TRUE(agg.has_value());
+  const auto decoded = db.scan("dev-1", INT64_MIN, INT64_MAX, live_wan1);
+  ASSERT_FALSE(decoded.empty());
+  EXPECT_EQ(agg->count, decoded.size());
+  double current_sum = 0.0;
+  double energy = 0.0;
+  double min_cur = decoded.front().current_ma;
+  double max_cur = decoded.front().current_ma;
+  for (const auto& r : decoded) {
+    current_sum += r.current_ma;
+    energy += r.energy_mwh;
+    min_cur = std::min(min_cur, r.current_ma);
+    max_cur = std::max(max_cur, r.current_ma);
+  }
+  EXPECT_NEAR(agg->avg_current_ma,
+              current_sum / static_cast<double>(decoded.size()), 1e-6);
+  EXPECT_NEAR(agg->min_current_ma, min_cur, 1e-9);
+  EXPECT_NEAR(agg->max_current_ma, max_cur, 1e-9);
+  EXPECT_NEAR(agg->sum_energy_mwh, energy, 1e-6);
+  EXPECT_EQ(agg->t_min_ns, decoded.front().timestamp_ns);
+  EXPECT_EQ(agg->t_max_ns, decoded.back().timestamp_ns);
+  // A filter matching nothing yields nullopt, not a zero aggregate.
+  RecordFilter nothing;
+  nothing.network = "wan-none";
+  EXPECT_FALSE(db.aggregate("dev-1", INT64_MIN, INT64_MAX, nothing));
+}
+
+TEST(Tsdb, AggregateKeepsSummaryFastPathOnlyForEmptyFilter) {
+  Tsdb db{TsdbOptions{2, 40}};
+  const auto records = synthetic_stream(400, 127);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  const auto before = db.stats();
+  // Empty filter over the whole history: interior segments answer from
+  // summaries.
+  ASSERT_TRUE(db.aggregate("dev-1", INT64_MIN, INT64_MAX, RecordFilter{}));
+  const auto after_empty = db.stats();
+  EXPECT_GT(after_empty.summary_hits, before.summary_hits);
+  // A non-empty filter must decode fully-covered segments: summaries hold
+  // no per-filter breakdowns, so summary_hits must not move.
+  RecordFilter offline_only;
+  offline_only.stored_offline = true;
+  ASSERT_TRUE(db.aggregate("dev-1", INT64_MIN, INT64_MAX, offline_only));
+  const auto after_filtered = db.stats();
+  EXPECT_EQ(after_filtered.summary_hits, after_empty.summary_hits);
+}
+
+TEST(Tsdb, QueryCountersAreShardLocalAndFoldOnRead) {
+  // The counters moved off the (shared) TsdbStats into per-shard storage so
+  // pool workers never write one location; stats() folds them.  Two devices
+  // on different shards must both contribute.
+  Tsdb db{TsdbOptions{8, 16}};
+  const auto records = fleet_stream(8, 100, 131);
+  for (const auto& r : records) {
+    db.ingest(r);
+  }
+  std::vector<core::DeviceId> ids = db.devices();
+  ASSERT_GE(ids.size(), 2u);
+  // Pick two devices on different shards.
+  const core::DeviceId a = ids.front();
+  core::DeviceId b;
+  for (const auto& id : ids) {
+    if (db.shard_of(id) != db.shard_of(a)) {
+      b = id;
+      break;
+    }
+  }
+  ASSERT_FALSE(b.empty());
+  const auto t1 = db.aggregate(a, INT64_MIN, INT64_MAX);
+  const std::uint64_t hits_a = db.stats().summary_hits;
+  const auto t2 = db.aggregate(b, INT64_MIN, INT64_MAX);
+  const std::uint64_t hits_ab = db.stats().summary_hits;
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_GT(hits_a, 0u);
+  EXPECT_GT(hits_ab, hits_a);
+}
+
 TEST(Tsdb, AggregateSummaryPathAgreesWithDecodePath) {
   Tsdb db{TsdbOptions{2, 50}};
   const auto records = synthetic_stream(500, 79);
