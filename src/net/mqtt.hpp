@@ -110,11 +110,15 @@ class MqttBroker : public Transport {
  private:
   /// Routes to local handlers and matching sessions; returns how many
   /// recipients the message reached (handlers + scheduled downlink sends).
+  /// Fan-out publishes are batched at the wire-accounting level: one sent
+  /// frame per publish, recipients 2..N counted as coalesced copies
+  /// (TransportStats::frames_coalesced) — the beacon broadcast path.
   std::size_t dispatch(const MqttMessage& message);
   /// Downlink delivery to one session if it is still the live session for
-  /// its client id.  Returns true if a send was scheduled.
+  /// its client id.  Returns true if a send was scheduled; `coalesced`
+  /// marks a copy riding an earlier recipient's wire frame.
   bool deliver_to(const std::shared_ptr<MqttSession>& session,
-                  const MqttMessage& message);
+                  const MqttMessage& message, bool coalesced);
 
   sim::Kernel& kernel_;
   std::string broker_id_;

@@ -44,6 +44,12 @@ struct TransportStats {
   std::uint64_t frames_dropped = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Fan-out copies served from one serialized wire frame (broker beacon/
+  /// push broadcast): recipients 2..N of a publish.  Counted separately
+  /// from frames_sent so envelope-overhead figures show what batching
+  /// saved without hiding that the copies were delivered.
+  std::uint64_t frames_coalesced = 0;
+  std::uint64_t bytes_coalesced = 0;
 };
 
 class Transport {
@@ -77,6 +83,13 @@ class Transport {
   void note_sent(sim::SimTime now, std::size_t bytes);
   void note_delivered(sim::SimTime now, std::size_t bytes);
   void note_dropped() noexcept { ++tstats_.frames_dropped; }
+  /// A fan-out copy that rode an already-counted wire frame: accounted as
+  /// coalesced, not sent, and not mirrored into the tx trace (it put no new
+  /// bytes on the wire).
+  void note_coalesced(std::size_t bytes) noexcept {
+    ++tstats_.frames_coalesced;
+    tstats_.bytes_coalesced += bytes;
+  }
 
  private:
   TransportStats tstats_;

@@ -114,37 +114,12 @@ void QueryPool::parallel_for(
 }
 
 // ---------------------------------------------------------------------------
-// Merge helpers (plain code on the caller's thread, fixed fold order)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-void merge_aggregate(DeviceAggregate& into, const DeviceAggregate& from) {
-  if (from.count == 0) {
-    return;
-  }
-  if (into.count == 0) {
-    into = from;
-    return;
-  }
-  into.t_min_ns = std::min(into.t_min_ns, from.t_min_ns);
-  into.t_max_ns = std::max(into.t_max_ns, from.t_max_ns);
-  into.min_current_ma = std::min(into.min_current_ma, from.min_current_ma);
-  into.max_current_ma = std::max(into.max_current_ma, from.max_current_ma);
-  const double total =
-      static_cast<double>(into.count) + static_cast<double>(from.count);
-  into.avg_current_ma =
-      (into.avg_current_ma * static_cast<double>(into.count) +
-       from.avg_current_ma * static_cast<double>(from.count)) /
-      total;
-  into.sum_energy_mwh += from.sum_energy_mwh;
-  into.count += from.count;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
 // QueryEngine
+//
+// Fleet merges fold per-device partials with the shared merge_aggregate()
+// (store/tsdb.hpp) in sorted device order — the same fold the rollup
+// engine's maintained windows use, which is what keeps push results
+// bit-identical to cold queries.
 // ---------------------------------------------------------------------------
 
 QueryEngine::QueryEngine(const Tsdb& tsdb, QueryEngineOptions options)
@@ -153,8 +128,14 @@ QueryEngine::QueryEngine(const Tsdb& tsdb, QueryEngineOptions options)
 std::vector<std::vector<DeviceId>> QueryEngine::partition(
     const QuerySpec& spec) const {
   std::vector<std::vector<DeviceId>> buckets(tsdb_->shard_count());
-  for (const auto& id : spec.devices) {
+  for (const auto& id : spec.device_list()) {
     buckets[tsdb_->shard_of(id)].push_back(id);
+  }
+  if (spec.devices_presorted) {
+    // Bucketing a sorted list preserves order within each bucket, and a
+    // duplicate-free input cannot grow duplicates — the caller's promise
+    // makes the per-query sort+unique pure waste.
+    return buckets;
   }
   for (auto& bucket : buckets) {
     std::sort(bucket.begin(), bucket.end());
@@ -170,21 +151,24 @@ std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
   // One result slot per shard: a worker only writes its own shards' slots,
   // so the parallel region shares nothing mutable across workers.
   std::vector<std::vector<std::pair<DeviceId, T>>> slots(shards);
-  if (spec.devices.empty()) {
+  if (spec.device_list().empty()) {
     // All devices: iterate each shard's (sorted) series map in place — no
-    // per-query materialization of the whole fleet's id strings.
+    // per-query materialization of the whole fleet's id strings, and the
+    // fold gets the series ref straight from the map walk instead of
+    // re-hashing every id through the public lookup.
     pool_.parallel_for(shards, [&](std::size_t s) {
-      tsdb_->for_each_device_in_shard(s, [&](const DeviceId& id) {
-        if (auto result = fn(id)) {
-          slots[s].emplace_back(id, std::move(*result));
-        }
-      });
+      tsdb_->for_each_series_in_shard(
+          s, [&](const DeviceId& id, Tsdb::SeriesRef ref) {
+            if (auto result = fn(id, ref)) {
+              slots[s].emplace_back(id, std::move(*result));
+            }
+          });
     });
   } else {
     const auto buckets = partition(spec);
     pool_.parallel_for(buckets.size(), [&](std::size_t s) {
       for (const auto& id : buckets[s]) {
-        if (auto result = fn(id)) {
+        if (auto result = fn(id, tsdb_->lookup(id))) {
           slots[s].emplace_back(id, std::move(*result));
         }
       }
@@ -211,8 +195,8 @@ std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
 FleetAggregate QueryEngine::aggregate(const QuerySpec& spec) const {
   FleetAggregate out;
   out.per_device = per_device<DeviceAggregate>(
-      spec, [&](const DeviceId& id) {
-        return tsdb_->aggregate(id, spec.t0_for(id), spec.t1_ns, spec.filter);
+      spec, [&](const DeviceId& id, Tsdb::SeriesRef ref) {
+        return tsdb_->aggregate(ref, spec.t0_for(id), spec.t1_ns, spec.filter);
       });
   for (const auto& [id, agg] : out.per_device) {
     (void)id;
@@ -224,9 +208,11 @@ FleetAggregate QueryEngine::aggregate(const QuerySpec& spec) const {
 FleetStats QueryEngine::current_stats(const QuerySpec& spec) const {
   FleetStats out;
   out.per_device = per_device<util::RunningStats>(
-      spec, [&](const DeviceId& id) -> std::optional<util::RunningStats> {
+      spec,
+      [&](const DeviceId& id,
+          Tsdb::SeriesRef ref) -> std::optional<util::RunningStats> {
         util::RunningStats stats = tsdb_->current_stats(
-            id, spec.t0_for(id), spec.t1_ns, spec.filter);
+            ref, spec.t0_for(id), spec.t1_ns, spec.filter);
         if (stats.empty()) {
           return std::nullopt;
         }
@@ -243,9 +229,10 @@ FleetScan QueryEngine::scan(const QuerySpec& spec) const {
   FleetScan out;
   auto per = per_device<std::vector<ConsumptionRecord>>(
       spec,
-      [&](const DeviceId& id) -> std::optional<std::vector<ConsumptionRecord>> {
+      [&](const DeviceId& id, Tsdb::SeriesRef ref)
+          -> std::optional<std::vector<ConsumptionRecord>> {
         auto records =
-            tsdb_->scan(id, spec.t0_for(id), spec.t1_ns, spec.filter);
+            tsdb_->scan(ref, spec.t0_for(id), spec.t1_ns, spec.filter);
         if (records.empty()) {
           return std::nullopt;
         }
@@ -279,8 +266,10 @@ FleetWindows QueryEngine::downsample(const QuerySpec& spec) const {
   // downsample grid is shared or it is meaningless.
   out.per_device = per_device<std::vector<WindowAggregate>>(
       spec,
-      [&](const DeviceId& id) -> std::optional<std::vector<WindowAggregate>> {
-        auto windows = tsdb_->downsample(id, spec.t0_ns, spec.t1_ns,
+      [&](const DeviceId& id, Tsdb::SeriesRef ref)
+          -> std::optional<std::vector<WindowAggregate>> {
+        (void)id;
+        auto windows = tsdb_->downsample(ref, spec.t0_ns, spec.t1_ns,
                                          spec.window_ns, spec.filter);
         if (windows.empty()) {
           return std::nullopt;
@@ -322,9 +311,9 @@ FleetBreakdown QueryEngine::network_breakdown(const QuerySpec& spec) const {
   FleetBreakdown out;
   out.per_device = per_device<std::map<NetworkId, NetworkUsage>>(
       spec,
-      [&](const DeviceId& id)
+      [&](const DeviceId& id, Tsdb::SeriesRef ref)
           -> std::optional<std::map<NetworkId, NetworkUsage>> {
-        auto usage = tsdb_->network_breakdown(id, spec.t0_for(id));
+        auto usage = tsdb_->network_breakdown(ref, spec.t0_for(id));
         if (usage.empty()) {
           return std::nullopt;
         }

@@ -101,6 +101,14 @@ struct QuerySpec {
   /// Devices to query; empty = every device in the store.  Duplicates are
   /// collapsed.
   std::vector<DeviceId> devices;
+  /// Borrowed device list: when set, queried *instead of* `devices` without
+  /// copying — for callers that keep a long-lived id list (membership
+  /// table, billing scope) and query it every window.  Must outlive the
+  /// query; same empty-means-all rule.
+  const std::vector<DeviceId>* borrowed_devices = nullptr;
+  /// Caller's promise that the effective device list is already sorted and
+  /// duplicate-free — partition() then skips its per-query sort+unique.
+  bool devices_presorted = false;
   /// Half-open time range [t0, t1).
   std::int64_t t0_ns = INT64_MIN;
   std::int64_t t1_ns = INT64_MAX;
@@ -116,6 +124,10 @@ struct QuerySpec {
   [[nodiscard]] std::int64_t t0_for(const DeviceId& id) const {
     const auto it = t0_overrides.find(id);
     return it == t0_overrides.end() ? t0_ns : std::max(t0_ns, it->second);
+  }
+  /// The effective device list (borrowed list wins).
+  [[nodiscard]] const std::vector<DeviceId>& device_list() const noexcept {
+    return borrowed_devices != nullptr ? *borrowed_devices : devices;
   }
 };
 
@@ -177,6 +189,9 @@ class QueryEngine {
     return pool_.workers();
   }
   [[nodiscard]] const Tsdb& tsdb() const noexcept { return *tsdb_; }
+  /// The engine's worker pool, shared with other shard-parallel folds over
+  /// the same store (the rollup engine's window drains ride it).
+  [[nodiscard]] const QueryPool& pool() const noexcept { return pool_; }
 
   /// Range roll-up per device + count-weighted fleet merge.
   [[nodiscard]] FleetAggregate aggregate(const QuerySpec& spec) const;
@@ -199,8 +214,11 @@ class QueryEngine {
   [[nodiscard]] std::vector<std::vector<DeviceId>> partition(
       const QuerySpec& spec) const;
 
-  /// Runs `fn(device)` for every spec device, one shard per pool task, and
-  /// returns the non-nullopt results sorted by device id.
+  /// Runs `fn(device, ref)` for every spec device, one shard per pool task,
+  /// and returns the non-nullopt results sorted by device id.  The ref is
+  /// pre-resolved (falsy for unknown devices): the all-devices walk hands
+  /// out each shard-map entry in place, so folds skip the public per-device
+  /// re-hash entirely; explicit lists resolve each id once.
   template <typename T, typename Fn>
   [[nodiscard]] std::vector<std::pair<DeviceId, T>> per_device(
       const QuerySpec& spec, const Fn& fn) const;

@@ -1,0 +1,890 @@
+#include "store/rollup.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace emon::store {
+
+namespace {
+
+/// Pane sequence numbers and window ends must survive `* slide + window`
+/// arithmetic in int64; timestamps further than ~73 years from the anchor
+/// (unvalidated device RTCs can report anything) are ignored rather than
+/// risked through the window math — the cold path still stores them.
+constexpr std::int64_t kMaxHorizonNs = std::int64_t{1} << 61;
+/// Ceiling on window width / slide / lateness so E + W + L stays bounded.
+constexpr std::int64_t kMaxGeometryNs = std::int64_t{1} << 55;
+/// Ceiling on ring slots per series ((W + L) / S + slack).
+constexpr std::int64_t kMaxPanes = std::int64_t{1} << 20;
+/// One watermark jump may close at most this many windows; older ones are
+/// skipped (counted) instead of flooding memory with a window per slide.
+constexpr std::int64_t kMaxWindowsPerDrain = 1024;
+
+constexpr std::int64_t kPaneUnset = INT64_MIN;
+
+/// Interned-network sentinel: an unused inline subtotal slot.
+constexpr std::uint32_t kNoNet = 0xffffffffu;
+/// Ordinal-table sentinels: series not seen yet / outside the device scope.
+constexpr std::uint32_t kCellUnset = 0xffffffffu;
+constexpr std::uint32_t kCellOut = 0xfffffffeu;
+
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  return a / b - ((a % b != 0 && (a ^ b) < 0) ? 1 : 0);
+}
+
+/// Dictionary-interned per-network subtotal (`net` indexes the rollup's
+/// net_dict).
+struct NetSub {
+  std::uint32_t net = kNoNet;
+  std::uint64_t records = 0;
+  std::int64_t energy_q_sum = 0;
+};
+
+/// One slot of the rollup-global network-subtotal ring.  The emitted
+/// breakdown is merged across devices anyway, so these sums live *outside*
+/// the per-series panes: every accepted record in a pane lands in the same
+/// slot whatever its device, which keeps the whole ring (a few hundred
+/// bytes) cache-hot and the per-series pane at exactly one cache line.
+/// Two inline slots cover a pane dominated by one or two networks; fleets
+/// mixing more networks per pane spill to the vector (an L1-resident linear
+/// scan of interned u32 ids).
+struct NetPane {
+  std::int64_t seq = kPaneUnset;
+  NetSub nets[2];
+  std::vector<NetSub> net_spill;
+
+  void reset(std::int64_t pane) noexcept {
+    seq = pane;
+    nets[0] = NetSub{};
+    nets[1] = NetSub{};
+    net_spill.clear();
+  }
+
+  void add(std::uint32_t net, std::int64_t energy_q) {
+    for (auto& s : nets) {
+      if (s.net == net) {
+        s.records += 1;
+        s.energy_q_sum += energy_q;
+        return;
+      }
+      if (s.net == kNoNet) {
+        s = NetSub{net, 1, energy_q};
+        return;
+      }
+    }
+    for (auto& s : net_spill) {
+      if (s.net == net) {
+        s.records += 1;
+        s.energy_q_sum += energy_q;
+        return;
+      }
+    }
+    net_spill.push_back(NetSub{net, 1, energy_q});
+  }
+};
+
+}  // namespace
+
+/// Pane partial aggregate in the quantized integer domain (the lifted
+/// element of the two-stacks fold).  Integer sums/min/max commute, which is
+/// what makes maintained answers bit-identical to cold re-folds.  Network
+/// subtotals are *not* kept here — they live in the rollup-global NetPane
+/// ring (the breakdown is merged across devices anyway) — so this struct
+/// plus Pane::seq is exactly one 64-byte cache line, the whole footprint of
+/// the per-record fold.  Voltage is not maintained either: no rollup
+/// consumer (DeviceAggregate, HotWindow) reads it; the cold path still
+/// serves voltage queries from segment summaries.
+struct RollupEngine::PanePartial {
+  std::uint64_t count = 0;
+  std::int64_t t_min_ns = 0;
+  std::int64_t t_max_ns = 0;
+  std::int64_t current_q_min = 0;
+  std::int64_t current_q_max = 0;
+  std::int64_t current_q_sum = 0;
+  std::int64_t energy_q_sum = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  /// lift + combine of one record — the hot ingest fold.  Same quantization
+  /// the segment builder applies on append, so a pane's integer sums match
+  /// what a cold re-fold of the stored records computes.  Returns the
+  /// record's quantized energy so the caller can feed the network ring
+  /// without quantizing twice.
+  std::int64_t fold(const ConsumptionRecord& r) {
+    const std::int64_t q_cur = quantize(r.current_ma, kCurrentScale);
+    const std::int64_t q_energy = quantize(r.energy_mwh, kEnergyScale);
+    if (count == 0) {
+      t_min_ns = r.timestamp_ns;
+      t_max_ns = r.timestamp_ns;
+      current_q_min = q_cur;
+      current_q_max = q_cur;
+    } else {
+      t_min_ns = std::min(t_min_ns, r.timestamp_ns);
+      t_max_ns = std::max(t_max_ns, r.timestamp_ns);
+      current_q_min = std::min(current_q_min, q_cur);
+      current_q_max = std::max(current_q_max, q_cur);
+    }
+    count += 1;
+    current_q_sum += q_cur;
+    energy_q_sum += q_energy;
+    return q_energy;
+  }
+
+  /// Associative + commutative merge (commutative because every field is a
+  /// min/max/sum), so fold order never changes the result bits.
+  void combine_from(const PanePartial& o) {
+    if (o.count == 0) {
+      return;
+    }
+    if (count == 0) {
+      *this = o;
+      return;
+    }
+    t_min_ns = std::min(t_min_ns, o.t_min_ns);
+    t_max_ns = std::max(t_max_ns, o.t_max_ns);
+    current_q_min = std::min(current_q_min, o.current_q_min);
+    current_q_max = std::max(current_q_max, o.current_q_max);
+    count += o.count;
+    current_q_sum += o.current_q_sum;
+    energy_q_sum += o.energy_q_sum;
+  }
+
+  /// lower: finish into the query-surface aggregate (bit-identical to the
+  /// epilogue of Tsdb::aggregate: same dequantize, same sum-then-divide).
+  [[nodiscard]] DeviceAggregate lower() const {
+    DeviceAggregate agg;
+    if (count == 0) {
+      return agg;
+    }
+    agg.count = count;
+    agg.t_min_ns = t_min_ns;
+    agg.t_max_ns = t_max_ns;
+    agg.min_current_ma = dequantize(current_q_min, kCurrentScale);
+    agg.max_current_ma = dequantize(current_q_max, kCurrentScale);
+    agg.avg_current_ma =
+        dequantize(current_q_sum, kCurrentScale) / static_cast<double>(count);
+    agg.sum_energy_mwh = dequantize(energy_q_sum, kEnergyScale);
+    return agg;
+  }
+};
+
+struct alignas(64) RollupEngine::Pane {
+  /// Pane sequence this slot currently holds (kPaneUnset = never written).
+  /// Slots are reused modulo the ring capacity; a stale seq means the slot's
+  /// pane aged out and the slot is free for its successor.
+  std::int64_t seq = kPaneUnset;
+  /// seq + the partial's seven words are exactly one cache line — the whole
+  /// per-series footprint of the per-record fold.
+  PanePartial partial;
+};
+
+struct RollupEngine::SeriesState {
+  /// Copied once at first touch — fold results need the id, and the engine
+  /// must not dangle into store internals.
+  DeviceId device;
+  // Two-stacks FIFO over pane sequences [fifo_begin, fifo_end):
+  //   front: suffix partials of [fifo_begin, flip_end), oldest at back()
+  //   back_agg: running partial of [flip_end, fifo_end)
+  // so the window query is combine(front.back(), back_agg) — O(1); a flip
+  // re-folds the span from the ring once per W/S evictions.  Unused by
+  // tumbling rollups (the window is its single pane).
+  std::int64_t fifo_begin = 0;
+  std::int64_t fifo_end = 0;
+  std::int64_t flip_end = 0;
+  bool fifo_init = false;
+  /// A late record patched a pane already folded into the stacks; the next
+  /// window query rebuilds this series from the ring.
+  bool dirty = false;
+  std::vector<PanePartial> front;
+  PanePartial back_agg;
+};
+
+/// Shard-local state: series headers in creation order plus one flat pane
+/// arena.  The arena is *slot-major* — pane slot s of series i lives at
+/// panes[s * stride + i] — because fleet ingest arrives round-robin across
+/// devices inside a pane: consecutive records then walk consecutive arena
+/// lines (per shard), which the hardware stream prefetcher hides, instead
+/// of hopping cap-sized strides through a multi-megabyte arena.  `stride`
+/// is the series capacity, grown geometrically with an O(arena) re-layout
+/// (amortized constant per series, quiet after the fleet's first round).
+struct RollupEngine::ShardState {
+  std::vector<SeriesState> series;
+  std::vector<Pane> panes;
+  std::size_t stride = 0;
+  /// Per-series window-fold results, one slot per series (count == 0 means
+  /// no matching records).  Owned by this shard so pool workers never write
+  /// across shards; the caller merges in the rollup's cached sorted order.
+  std::vector<PanePartial> scratch;
+};
+
+struct RollupEngine::Rollup {
+  std::uint64_t id = 0;
+  RollupSpec spec;
+  /// Sorted+deduped copy of spec.devices (empty = all) for O(log n) scope
+  /// checks, memoized per series through `cells`.
+  std::vector<DeviceId> devices_sorted;
+  /// Per-shard series/pane storage, partitioned by the owning Tsdb's shard
+  /// map — window folds ride the query pool with one worker per shard.
+  std::vector<ShardState> shards;
+  /// Store series ordinal -> packed dispatch word.  Low 32 bits: index
+  /// inside the owning shard (kCellUnset until first seen, kCellOut once
+  /// the device scope check rejects it — the binary search runs once per
+  /// series, not once per record).  High 32 bits: the series' last interned
+  /// network id + 1 (0 = none yet) — devices rarely roam, so the network
+  /// memo rides the same cache line the per-record dispatch already loads
+  /// and interning costs one short-string compare instead of a hash probe.
+  std::vector<std::uint64_t> cells;
+  /// Interned network dictionary (index = NetSub::net).
+  std::vector<NetworkId> net_dict;
+  std::unordered_map<NetworkId, std::uint32_t> net_ids;
+  /// Rollup-global per-pane network subtotals (cap slots, shared by every
+  /// device): all the state the emitted breakdown needs, kept off the
+  /// per-series hot line.  Single-writer like the rest of ingest.
+  std::vector<NetPane> net_panes;
+  std::int64_t watermark = 0;
+  bool has_watermark = false;
+  /// End of the next window to emit; everything before it is sealed — late
+  /// records aimed below it are dropped to the cold path.
+  std::int64_t next_close_e = 0;
+  bool has_next_close = false;
+  /// pane_of(next_close_e - window): oldest pane a still-unemitted window
+  /// needs.  Maintained alongside next_close_e (sync_first_needed) so the
+  /// per-record ring-safety check is a subtraction, not a division.
+  std::int64_t first_needed_pane = 0;
+  std::int64_t newest_dropped_ts = 0;
+  bool has_dropped = false;
+  /// Pane memo for the ingest path: arrival order is near time-sorted, so
+  /// almost every record repeats its predecessor's pane and the range check
+  /// replaces the floor-div.
+  std::int64_t memo_pane = 0;
+  std::int64_t memo_pane_t0 = 0;
+  bool memo_valid = false;
+  /// Global merge order — every live series as (shard, in-shard index),
+  /// sorted by device id.  The device set is stable once a fleet has
+  /// reported, so window folds reuse this instead of re-sorting device
+  /// strings per close; series creation marks it stale.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sorted_series;
+  bool sorted_stale = false;
+  /// Force-drained windows awaiting the next drain() call.
+  std::vector<ClosedWindow> pending;
+  RollupStats stats;
+  std::int64_t cap = 0;  // ring slots per series, power of two
+  std::int64_t panes_per_window = 0;
+
+  [[nodiscard]] std::int64_t pane_of(std::int64_t ts_ns) const noexcept {
+    return floor_div(ts_ns - spec.anchor_ns, spec.slide_ns);
+  }
+  [[nodiscard]] std::int64_t pane_of_memo(std::int64_t ts_ns) noexcept {
+    if (memo_valid && ts_ns >= memo_pane_t0 &&
+        ts_ns - memo_pane_t0 < spec.slide_ns) {
+      return memo_pane;
+    }
+    memo_pane = pane_of(ts_ns);
+    memo_pane_t0 = spec.anchor_ns + memo_pane * spec.slide_ns;
+    memo_valid = true;
+    return memo_pane;
+  }
+  void sync_first_needed() noexcept {
+    // next_close_e - window is pane-aligned, so plain division is exact.
+    first_needed_pane =
+        (next_close_e - spec.window_ns - spec.anchor_ns) / spec.slide_ns;
+  }
+  [[nodiscard]] std::size_t slot_of(std::int64_t pane) const noexcept {
+    // cap is a power of two; masking handles negative panes too.
+    return static_cast<std::size_t>(pane & (cap - 1));
+  }
+  [[nodiscard]] bool sane_ts(std::int64_t ts_ns) const noexcept {
+    // |anchor| <= kMaxHorizonNs (spec validation), so neither bound wraps.
+    return ts_ns >= spec.anchor_ns - kMaxHorizonNs &&
+           ts_ns <= spec.anchor_ns + kMaxHorizonNs;
+  }
+  [[nodiscard]] bool device_in_scope(const DeviceId& id) const {
+    return devices_sorted.empty() ||
+           std::binary_search(devices_sorted.begin(), devices_sorted.end(),
+                              id);
+  }
+  [[nodiscard]] bool in_scope(const ConsumptionRecord& r) const {
+    return device_in_scope(r.device_id) && spec.filter.matches(r);
+  }
+
+  [[nodiscard]] std::uint64_t& cell(std::uint64_t ordinal) {
+    if (ordinal >= cells.size()) {
+      cells.resize(ordinal + 1, kCellUnset);
+    }
+    return cells[ordinal];
+  }
+
+  std::uint32_t create_series(std::size_t shard, const DeviceId& device) {
+    ShardState& s = shards[shard];
+    s.series.emplace_back();
+    s.series.back().device = device;
+    sorted_stale = true;
+    if (s.series.size() > s.stride) {
+      const std::size_t new_stride = std::max<std::size_t>(s.stride * 2, 16);
+      std::vector<Pane> grown(static_cast<std::size_t>(cap) * new_stride);
+      for (std::size_t slot = 0; slot < static_cast<std::size_t>(cap);
+           ++slot) {
+        for (std::size_t c = 0; c < s.stride; ++c) {
+          grown[slot * new_stride + c] = s.panes[slot * s.stride + c];
+        }
+      }
+      s.panes = std::move(grown);
+      s.stride = new_stride;
+    }
+    return static_cast<std::uint32_t>(s.series.size() - 1);
+  }
+
+  /// The pane's partial, or nullptr while the pane holds no data.
+  [[nodiscard]] const PanePartial* pane_at(const ShardState& s,
+                                           std::size_t idx,
+                                           std::int64_t pane) const {
+    const Pane& p = s.panes[slot_of(pane) * s.stride + idx];
+    return (p.seq == pane && p.partial.count > 0) ? &p.partial : nullptr;
+  }
+
+  [[nodiscard]] std::uint32_t intern(const NetworkId& network) {
+    const auto [it, fresh] = net_ids.try_emplace(
+        network, static_cast<std::uint32_t>(net_dict.size()));
+    if (fresh) {
+      net_dict.push_back(network);
+    }
+    return it->second;
+  }
+
+  /// Resolves a record's network id through the memo packed into the high
+  /// 32 bits of the series' cells word.  The dispatch loads that word for
+  /// every record anyway, so a memo hit (devices rarely roam) costs one
+  /// short-string compare and zero extra cache traffic; a miss pays the
+  /// dictionary probe once and re-arms the word.
+  [[nodiscard]] std::uint32_t net_of(std::uint64_t& cellw,
+                                     const NetworkId& network) {
+    const auto memo = static_cast<std::uint32_t>(cellw >> 32);
+    if (memo != 0 && net_dict[memo - 1] == network) {
+      return memo - 1;
+    }
+    const std::uint32_t id = intern(network);
+    cellw = (static_cast<std::uint64_t>(id) + 1) << 32 |
+            static_cast<std::uint32_t>(cellw);
+    return id;
+  }
+
+  /// Folds one matching record (acceptance already checked) into its pane.
+  /// Returns false for the defensive stale-slot case (the slot already
+  /// advanced past this pane; acceptance should have dropped it first).
+  bool fold_record(std::size_t shard, std::uint64_t& cellw, std::int64_t pane,
+                   const ConsumptionRecord& record) {
+    const auto idx = static_cast<std::uint32_t>(cellw);
+    ShardState& ss = shards[shard];
+    Pane& p = ss.panes[slot_of(pane) * ss.stride + idx];
+    if (p.seq != pane) {
+      if (p.seq != kPaneUnset && p.seq > pane) {
+        ++stats.records_dropped_late;  // never fold backwards
+        return false;
+      }
+      p.seq = pane;
+      p.partial = PanePartial{};
+    }
+    const std::int64_t q_energy = p.partial.fold(record);
+    NetPane& np = net_panes[slot_of(pane)];
+    if (np.seq != pane) {
+      // A stale (newer-seq) slot is impossible post-acceptance: any
+      // accepted pane sits within cap-2 of the watermark pane (the
+      // force-drain invariant), so its slot's prior occupant is older.
+      np.reset(pane);
+    }
+    np.add(net_of(cellw, record.network), q_energy);
+    if (panes_per_window > 1) {
+      SeriesState& series = ss.series[idx];
+      if (series.fifo_init && pane < series.fifo_end && !series.dirty) {
+        series.dirty = true;
+        ++stats.pane_patches;
+      }
+    }
+    ++stats.records_folded;
+    return true;
+  }
+};
+
+bool RollupSpec::valid() const noexcept {
+  if (window_ns <= 0 || slide_ns <= 0 || lateness_ns < 0) {
+    return false;
+  }
+  if (window_ns > kMaxGeometryNs || slide_ns > kMaxGeometryNs ||
+      lateness_ns > kMaxGeometryNs) {
+    return false;
+  }
+  if (window_ns % slide_ns != 0) {
+    return false;
+  }
+  if (anchor_ns < -kMaxHorizonNs || anchor_ns > kMaxHorizonNs) {
+    return false;
+  }
+  return (window_ns + lateness_ns) / slide_ns + 4 <= kMaxPanes;
+}
+
+RollupEngine::RollupEngine(const Tsdb& tsdb) : tsdb_(&tsdb) {}
+
+RollupEngine::~RollupEngine() = default;
+
+RollupEngine::Rollup* RollupEngine::find(std::uint64_t id) noexcept {
+  for (auto& r : rollups_) {
+    if (r->id == id) {
+      return r.get();
+    }
+  }
+  return nullptr;
+}
+
+const RollupEngine::Rollup* RollupEngine::find(std::uint64_t id) const noexcept {
+  for (const auto& r : rollups_) {
+    if (r->id == id) {
+      return r.get();
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t RollupEngine::register_rollup(RollupSpec spec) {
+  if (!spec.valid()) {
+    throw std::invalid_argument("RollupEngine: invalid RollupSpec");
+  }
+  auto r = std::make_unique<Rollup>();
+  r->id = next_id_++;
+  r->spec = std::move(spec);
+  r->devices_sorted = r->spec.devices;
+  std::sort(r->devices_sorted.begin(), r->devices_sorted.end());
+  r->devices_sorted.erase(
+      std::unique(r->devices_sorted.begin(), r->devices_sorted.end()),
+      r->devices_sorted.end());
+  r->shards.resize(tsdb_->shard_count());
+  r->cells.assign(tsdb_->series_total(), kCellUnset);
+  r->panes_per_window = r->spec.window_ns / r->spec.slide_ns;
+  // Power-of-two ring so the hot-path slot is a mask, not a modulo.
+  r->cap = static_cast<std::int64_t>(std::bit_ceil(static_cast<std::uint64_t>(
+      (r->spec.window_ns + r->spec.lateness_ns) / r->spec.slide_ns + 4)));
+  r->net_panes.assign(static_cast<std::size_t>(r->cap), NetPane{});
+  backfill(*r);
+  const std::uint64_t id = r->id;
+  rollups_.push_back(std::move(r));
+  return id;
+}
+
+void RollupEngine::unregister(std::uint64_t id) {
+  rollups_.erase(std::remove_if(rollups_.begin(), rollups_.end(),
+                                [id](const auto& r) { return r->id == id; }),
+                 rollups_.end());
+}
+
+void RollupEngine::on_ingest(const ConsumptionRecord& record,
+                             std::size_t shard,
+                             std::uint64_t series_ordinal) {
+  for (auto& rp : rollups_) {
+    Rollup& r = *rp;
+    if (!r.sane_ts(record.timestamp_ns)) {
+      if (r.in_scope(record)) {
+        ++r.stats.records_dropped_late;
+        if (!r.has_dropped || record.timestamp_ns > r.newest_dropped_ts) {
+          r.newest_dropped_ts = record.timestamp_ns;
+          r.has_dropped = true;
+        }
+      }
+      continue;
+    }
+    const std::int64_t pane = r.pane_of_memo(record.timestamp_ns);
+    std::uint64_t& cellw = r.cell(series_ordinal);
+    const auto cell = static_cast<std::uint32_t>(cellw);
+    if (cell < kCellOut) {
+      // Known in-scope series: start pulling its pane line now so the
+      // watermark/filter/quantize work below overlaps the memory latency.
+      const ShardState& ss = r.shards[shard];
+      __builtin_prefetch(&ss.panes[r.slot_of(pane) * ss.stride + cell], 1, 3);
+    }
+    // The watermark advances on *every* sane record (not just in-scope
+    // ones), so a rollup over a quiet device set still closes its windows
+    // while the rest of the fleet keeps reporting.
+    if (!r.has_watermark || record.timestamp_ns > r.watermark) {
+      r.watermark = record.timestamp_ns;
+      r.has_watermark = true;
+      if (!r.has_next_close) {
+        // First window end strictly above the first observation.
+        r.next_close_e = r.spec.anchor_ns + (pane + 1) * r.spec.slide_ns;
+        r.has_next_close = true;
+        r.sync_first_needed();
+      }
+      // Ring-safety: if the watermark ran more than the ring can span ahead
+      // of the oldest still-open window, seal what is closeable *now* (into
+      // pending) before any needed slot gets reused.  Correctness therefore
+      // never depends on how often the owner pumps drain().  The advancing
+      // record *is* the watermark, so `pane` is the watermark pane.
+      if (pane - r.first_needed_pane + 1 > r.cap - 2) {
+        drain_closes(r, nullptr);
+      }
+    }
+    if (cell == kCellOut) {
+      continue;
+    }
+    if (cell == kCellUnset) {
+      if (!r.device_in_scope(record.device_id)) {
+        cellw = kCellOut;
+        continue;
+      }
+      cellw = r.create_series(shard, record.device_id);
+    }
+    if (!r.spec.filter.matches(record)) {
+      continue;
+    }
+    const std::int64_t e_last =
+        pane * r.spec.slide_ns + r.spec.anchor_ns + r.spec.window_ns;
+    if (r.has_next_close && e_last < r.next_close_e) {
+      // Every window containing this record was already emitted: beyond the
+      // lateness horizon, cold queries remain the exact path.
+      ++r.stats.records_dropped_late;
+      if (!r.has_dropped || record.timestamp_ns > r.newest_dropped_ts) {
+        r.newest_dropped_ts = record.timestamp_ns;
+        r.has_dropped = true;
+      }
+      continue;
+    }
+    r.fold_record(shard, cellw, pane, record);
+  }
+}
+
+void RollupEngine::drain_closes(Rollup& r, const QueryPool* pool) {
+  if (!r.has_next_close || !r.has_watermark) {
+    return;
+  }
+  // Windows [E - W, E) with watermark >= E + L are closeable.
+  std::int64_t n =
+      floor_div(r.watermark - r.spec.lateness_ns - r.next_close_e,
+                r.spec.slide_ns) +
+      1;
+  if (n <= 0) {
+    return;
+  }
+  if (n > kMaxWindowsPerDrain) {
+    // Runaway watermark jump (gap in the data, corrupt far-future clock):
+    // skip the oldest windows instead of materializing one per slide.  The
+    // skipped span is still answerable by the cold path.
+    const std::int64_t skipped = n - kMaxWindowsPerDrain;
+    r.stats.windows_skipped += static_cast<std::uint64_t>(skipped);
+    r.next_close_e += skipped * r.spec.slide_ns;
+    n = kMaxWindowsPerDrain;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    ClosedWindow window = fold_window(r, r.next_close_e, pool);
+    ++r.stats.windows_closed;
+    r.next_close_e += r.spec.slide_ns;
+    if (!window.empty() || r.spec.emit_empty) {
+      r.pending.push_back(std::move(window));
+    }
+  }
+  r.sync_first_needed();
+}
+
+ClosedWindow RollupEngine::fold_window(Rollup& r, std::int64_t end_ns,
+                                       const QueryPool* pool) {
+  ClosedWindow out;
+  out.rollup_id = r.id;
+  out.t0_ns = end_ns - r.spec.window_ns;
+  out.t1_ns = end_ns;
+  const std::int64_t tb = r.pane_of(out.t0_ns);
+  const std::int64_t te = tb + r.panes_per_window;
+
+  // Workers write only their own shard's scratch; the caller merges in the
+  // rollup's cached device order.
+  const std::size_t shards = r.shards.size();
+  std::vector<std::uint64_t> rebuilds(shards, 0);
+  const auto fold_shard = [&](std::size_t s) {
+    ShardState& ss = r.shards[s];
+    ss.scratch.assign(ss.series.size(), PanePartial{});
+    if (r.panes_per_window == 1) {
+      // Tumbling fast path: the window *is* its single pane, so the
+      // two-stacks FIFO would only copy the partial around — read the ring
+      // directly.  (Late in-horizon folds land in the pane before its
+      // window closes, so no dirty/rebuild bookkeeping applies either.)
+      for (std::size_t i = 0; i < ss.series.size(); ++i) {
+        if (const PanePartial* p = r.pane_at(ss, i, tb)) {
+          ss.scratch[i] = *p;
+        }
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < ss.series.size(); ++i) {
+      SeriesState& series = ss.series[i];
+      if (!series.fifo_init || series.fifo_end < tb || series.fifo_begin > tb) {
+        // First window for this series, or the span jumped past the whole
+        // FIFO: restart it empty at tb.
+        series.fifo_begin = tb;
+        series.fifo_end = tb;
+        series.flip_end = tb;
+        series.front.clear();
+        series.back_agg = PanePartial{};
+        series.fifo_init = true;
+        series.dirty = false;
+      }
+      // Insert panes [fifo_end, te) into the back stack.
+      for (std::int64_t pane = series.fifo_end; pane < te; ++pane) {
+        if (const PanePartial* p = r.pane_at(ss, i, pane)) {
+          series.back_agg.combine_from(*p);
+        }
+      }
+      series.fifo_end = te;
+      if (series.dirty) {
+        // A late record patched a pane inside the stacks: re-fold the whole
+        // span from the ring (one full flip).
+        series.front.clear();
+        PanePartial acc;
+        for (std::int64_t pane = te - 1; pane >= tb; --pane) {
+          if (const PanePartial* p = r.pane_at(ss, i, pane)) {
+            acc.combine_from(*p);
+          }
+          series.front.push_back(acc);
+        }
+        series.fifo_begin = tb;
+        series.flip_end = te;
+        series.back_agg = PanePartial{};
+        series.dirty = false;
+        ++rebuilds[s];
+      } else {
+        // Evict panes [fifo_begin, tb) off the front stack.
+        while (series.fifo_begin < tb) {
+          if (series.front.empty()) {
+            // Flip: the back span becomes the new front suffix stack.
+            PanePartial acc;
+            for (std::int64_t pane = series.fifo_end - 1;
+                 pane >= series.fifo_begin; --pane) {
+              if (const PanePartial* p = r.pane_at(ss, i, pane)) {
+                acc.combine_from(*p);
+              }
+              series.front.push_back(acc);
+            }
+            series.flip_end = series.fifo_end;
+            series.back_agg = PanePartial{};
+          }
+          series.front.pop_back();
+          ++series.fifo_begin;
+        }
+      }
+      PanePartial result = series.front.empty() ? PanePartial{}
+                                                : series.front.back();
+      result.combine_from(series.back_agg);
+      ss.scratch[i] = result;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(shards, fold_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) {
+      fold_shard(s);
+    }
+  }
+  for (const std::uint64_t n : rebuilds) {
+    r.stats.window_rebuilds += n;
+  }
+
+  if (r.sorted_stale) {
+    r.sorted_series.clear();
+    r.sorted_series.reserve(r.cells.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t i = 0; i < r.shards[s].series.size(); ++i) {
+        r.sorted_series.emplace_back(static_cast<std::uint32_t>(s),
+                                     static_cast<std::uint32_t>(i));
+      }
+    }
+    std::sort(r.sorted_series.begin(), r.sorted_series.end(),
+              [&r](const auto& a, const auto& b) {
+                return r.shards[a.first].series[a.second].device <
+                       r.shards[b.first].series[b.second].device;
+              });
+    r.sorted_stale = false;
+  }
+
+  // Merge in sorted device order with the shared fold — the recipe that
+  // makes this bit-identical to the cold fleet query.
+  for (const auto& [s, i] : r.sorted_series) {
+    const PanePartial& partial = r.shards[s].scratch[i];
+    if (partial.count == 0) {
+      continue;
+    }
+    DeviceAggregate agg = partial.lower();
+    merge_aggregate(out.merged, agg);
+    out.per_device.emplace_back(r.shards[s].series[i].device, agg);
+  }
+
+  // Per-network breakdown from the rollup-global net ring: fleet-wide
+  // integer sums per network over the window's panes, one dequantize per
+  // network at the end (the oracle tests/test_rollup.cpp pins).
+  std::vector<NetSub> totals;
+  const auto fold_sub = [&totals](const NetSub& sub) {
+    for (auto& t : totals) {
+      if (t.net == sub.net) {
+        t.records += sub.records;
+        t.energy_q_sum += sub.energy_q_sum;
+        return;
+      }
+    }
+    totals.push_back(sub);
+  };
+  for (std::int64_t pane = tb; pane < te; ++pane) {
+    const NetPane& np = r.net_panes[r.slot_of(pane)];
+    if (np.seq != pane) {
+      continue;
+    }
+    for (const auto& sub : np.nets) {
+      if (sub.net == kNoNet) {
+        break;
+      }
+      fold_sub(sub);
+    }
+    for (const auto& sub : np.net_spill) {
+      fold_sub(sub);
+    }
+  }
+  for (const auto& t : totals) {
+    auto& usage = out.breakdown[r.net_dict[t.net]];
+    usage.records = t.records;
+    usage.energy_mwh = dequantize(t.energy_q_sum, kEnergyScale);
+  }
+  return out;
+}
+
+std::vector<ClosedWindow> RollupEngine::drain(std::uint64_t id,
+                                              const QueryPool* pool) {
+  Rollup* r = find(id);
+  if (r == nullptr) {
+    return {};
+  }
+  drain_closes(*r, pool);
+  std::vector<ClosedWindow> out;
+  out.swap(r->pending);
+  return out;
+}
+
+std::optional<HotWindow> RollupEngine::hot_window(std::uint64_t id,
+                                                  const DeviceId& device,
+                                                  std::int64_t t0_ns,
+                                                  std::int64_t t1_ns) const {
+  const Rollup* r = find(id);
+  if (r == nullptr || t1_ns <= t0_ns || !r->sane_ts(t0_ns) ||
+      !r->sane_ts(t1_ns)) {
+    return std::nullopt;
+  }
+  const std::int64_t s = r->spec.slide_ns;
+  const auto aligned = [&](std::int64_t t) {
+    return (t - r->spec.anchor_ns) % s == 0;
+  };
+  if (!aligned(t0_ns) || !aligned(t1_ns)) {
+    return std::nullopt;
+  }
+  if (r->has_dropped && r->newest_dropped_ts >= t0_ns) {
+    // A record at/after t0 fell beyond the horizon — the maintained answer
+    // would silently miss it.
+    return std::nullopt;
+  }
+  std::uint32_t cell = kCellUnset;
+  if (const Tsdb::SeriesRef ref = tsdb_->lookup(device)) {
+    const std::uint64_t ordinal = tsdb_->series_ordinal(ref);
+    if (ordinal < r->cells.size()) {
+      cell = static_cast<std::uint32_t>(r->cells[ordinal]);
+    }
+  }
+  if (cell == kCellUnset || cell == kCellOut) {
+    return HotWindow{};  // no matching records ever: a true zero
+  }
+  const ShardState& ss = r->shards[tsdb_->shard_of(device)];
+  PanePartial acc;
+  for (std::int64_t pane = r->pane_of(t0_ns); pane < r->pane_of(t1_ns);
+       ++pane) {
+    const Pane& slot = ss.panes[r->slot_of(pane) * ss.stride + cell];
+    if (slot.seq != kPaneUnset && slot.seq > pane) {
+      // The slot was reused: this pane's data aged out of the ring.
+      return std::nullopt;
+    }
+    if (slot.seq == pane && slot.partial.count > 0) {
+      acc.combine_from(slot.partial);
+    }
+  }
+  HotWindow out;
+  out.count = acc.count;
+  if (acc.count > 0) {
+    out.mean_current_ma = dequantize(acc.current_q_sum, kCurrentScale) /
+                          static_cast<double>(acc.count);
+    out.min_current_ma = dequantize(acc.current_q_min, kCurrentScale);
+    out.max_current_ma = dequantize(acc.current_q_max, kCurrentScale);
+    out.sum_energy_mwh = dequantize(acc.energy_q_sum, kEnergyScale);
+  }
+  return out;
+}
+
+void RollupEngine::backfill(Rollup& r) {
+  const auto max_ts = tsdb_->observed_max_ts();
+  if (!max_ts || !r.sane_ts(*max_ts)) {
+    return;  // empty (or insane) store: initialize lazily on first ingest
+  }
+  r.watermark = *max_ts;
+  r.has_watermark = true;
+  r.next_close_e =
+      r.spec.anchor_ns +
+      (floor_div(*max_ts - r.spec.lateness_ns - r.spec.anchor_ns,
+                 r.spec.slide_ns) +
+       1) *
+          r.spec.slide_ns;
+  r.has_next_close = true;
+  r.sync_first_needed();
+  // Re-fold every stored record that can still land in an unemitted window.
+  const std::int64_t from_ns = r.next_close_e - r.spec.window_ns;
+  const auto fold_series = [&](const DeviceId& id, Tsdb::SeriesRef ref,
+                               std::size_t shard) {
+    const std::uint64_t ordinal = tsdb_->series_ordinal(ref);
+    std::uint64_t& cellw = r.cell(ordinal);
+    for (const ConsumptionRecord& rec :
+         tsdb_->scan(ref, from_ns, INT64_MAX, r.spec.filter)) {
+      if (!r.sane_ts(rec.timestamp_ns)) {
+        continue;
+      }
+      if (static_cast<std::uint32_t>(cellw) == kCellUnset) {
+        cellw = r.create_series(shard, id);
+      }
+      if (r.fold_record(shard, cellw, r.pane_of(rec.timestamp_ns), rec)) {
+        ++r.stats.backfilled_records;
+        --r.stats.records_folded;  // counted as backfilled, not live folds
+      }
+    }
+  };
+  if (r.devices_sorted.empty()) {
+    for (std::size_t s = 0; s < tsdb_->shard_count(); ++s) {
+      tsdb_->for_each_series_in_shard(
+          s, [&](const DeviceId& id, Tsdb::SeriesRef ref) {
+            fold_series(id, ref, s);
+          });
+    }
+  } else {
+    for (const DeviceId& id : r.devices_sorted) {
+      if (Tsdb::SeriesRef ref = tsdb_->lookup(id)) {
+        fold_series(id, ref, tsdb_->shard_of(id));
+      }
+    }
+  }
+}
+
+const RollupSpec* RollupEngine::spec(std::uint64_t id) const {
+  const Rollup* r = find(id);
+  return r == nullptr ? nullptr : &r->spec;
+}
+
+const RollupStats* RollupEngine::stats(std::uint64_t id) const {
+  const Rollup* r = find(id);
+  return r == nullptr ? nullptr : &r->stats;
+}
+
+std::optional<std::int64_t> RollupEngine::watermark(std::uint64_t id) const {
+  const Rollup* r = find(id);
+  if (r == nullptr || !r->has_watermark) {
+    return std::nullopt;
+  }
+  return r->watermark;
+}
+
+}  // namespace emon::store

@@ -1,0 +1,203 @@
+#pragma once
+// Incremental roll-up engine: materialized sliding-window aggregates
+// maintained *at ingest*, so dashboard-shaped reads (verification windows,
+// fleet health, billing previews, push subscriptions) stop re-folding the
+// same sealed segments on every poll.
+//
+// Model — panes + two-stacks (DABA-Lite-style) window fold:
+//   * Event time is cut into panes of `slide_ns` anchored at `anchor_ns`.
+//     Every accepted record lifts into its pane's partial aggregate
+//     (quantized integer sums/min/max), so pane maintenance is O(1) per
+//     record and order-independent: the partial a pane holds is
+//     bit-identical whatever order its records arrived in.
+//   * A window [E - W, E) is the combine of W/S consecutive panes.  Each
+//     series keeps the classic two-stacks FIFO over its pane ring: evict,
+//     insert and query are amortized O(1) per pane (a flip re-folds at most
+//     W/S panes, once per W/S evictions) — the lift/combine/lower shape of
+//     DABA-Lite, with panes as the lifted elements.  Tumbling rollups
+//     (W == S, the dashboard default) skip the FIFO entirely: the window
+//     *is* its single pane.
+//   * Windows close on the watermark (max ingested record timestamp — the
+//     engine is ingest-driven, no wall clock): [E - W, E) closes once the
+//     watermark passes E + lateness.  Late/out-of-order records whose last
+//     containing window has not been emitted patch their pane (marking the
+//     affected series dirty for an O(W/S) rebuild at the next fold); records
+//     later than that are counted and dropped — the cold Tsdb query path
+//     still has them, so exact answers remain available.
+//
+// Bit-parity contract (pinned by tests/test_rollup.cpp): a ClosedWindow's
+// per-device aggregates and their merge are bit-identical to
+// QueryEngine::aggregate over the same range/filter/device-set, because both
+// sides fold the same quantized integer domain (store/segment.hpp scales)
+// and merge per-device results in sorted device order with the shared
+// merge_aggregate().
+//
+// Hot-path layout: per-rollup series state is keyed by the store's dense
+// series ordinal (Tsdb::IngestHook reports it), and each Tsdb shard keeps
+// its panes in one flat slot-major arena (pane slot s of series i lives at
+// s*stride + i, so a fleet reporting round-robin inside a pane walks
+// consecutive 64-byte lines the stream prefetcher hides) — no device-id
+// hashing or pointer chains per record.
+// Per-network subtotals (the emitted breakdown is merged across devices)
+// live off the per-series line, in one rollup-global pane ring whose slot
+// is shared by every device in a pane — a few hundred bytes that stay
+// cache-hot.  Network names are interned into a per-rollup dictionary; each
+// ring slot holds two inline interned subtotals and spills rarer mixes to a
+// side vector.
+//
+// Sharding/threading: the per-shard arenas follow the owning Tsdb's shard
+// map, so window folds can ride a QueryPool exactly like fleet queries
+// (disjoint shards per worker, merge on the caller).  Ingest is
+// single-writer, same contract as the Tsdb that drives the hook.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "store/query_engine.hpp"
+#include "store/tsdb.hpp"
+
+namespace emon::store {
+
+/// One registered materialized roll-up: window geometry, lateness horizon,
+/// device scope and record filter.
+struct RollupSpec {
+  /// Window width; every closed window spans [E - window_ns, E).
+  std::int64_t window_ns = 0;
+  /// Slide between window ends (also the pane width).  Must divide
+  /// window_ns.
+  std::int64_t slide_ns = 0;
+  /// Lateness horizon: [E - W, E) closes when the watermark reaches
+  /// E + lateness_ns; records arriving later than their last containing
+  /// window's close fall through to the cold query path.
+  std::int64_t lateness_ns = 0;
+  /// Window ends are anchored at anchor_ns + k * slide_ns.
+  std::int64_t anchor_ns = 0;
+  /// Devices to maintain; empty = every device the store ingests.
+  std::vector<DeviceId> devices;
+  RecordFilter filter;
+  /// Emit windows with no matching records (useful for differential
+  /// tests); off by default so idle fleets do not flood subscribers.
+  bool emit_empty = false;
+
+  [[nodiscard]] bool valid() const noexcept;
+  friend bool operator==(const RollupSpec&, const RollupSpec&) = default;
+};
+
+/// One emitted window: per-device aggregates (sorted by device), their
+/// count-weighted merge, and the merged per-network usage — the same shapes
+/// the cold fleet query surface produces.
+struct ClosedWindow {
+  std::uint64_t rollup_id = 0;
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::vector<std::pair<DeviceId, DeviceAggregate>> per_device;
+  DeviceAggregate merged;
+  std::map<NetworkId, NetworkUsage> breakdown;
+
+  [[nodiscard]] bool empty() const noexcept { return per_device.empty(); }
+};
+
+/// Maintained-window read for a colocated consumer (the verification
+/// window): pane-level fold over [t0, t1), available before the window
+/// closes.  Means come from quantized sums (dequantize(sum)/count).
+struct HotWindow {
+  std::uint64_t count = 0;
+  double mean_current_ma = 0.0;
+  double min_current_ma = 0.0;
+  double max_current_ma = 0.0;
+  double sum_energy_mwh = 0.0;
+};
+
+struct RollupStats {
+  std::uint64_t records_folded = 0;
+  /// Matching records whose last containing window was already emitted —
+  /// they fall through to the cold query path.
+  std::uint64_t records_dropped_late = 0;
+  /// Out-of-order folds into a pane already inside a series' window fold
+  /// (each forces one O(W/S) rebuild of that series at the next close).
+  std::uint64_t pane_patches = 0;
+  std::uint64_t window_rebuilds = 0;
+  std::uint64_t windows_closed = 0;
+  /// Windows skipped by the runaway-gap guard (watermark jumped more than
+  /// kMaxWindowsPerDrain slides at once; skipped spans stay cold-queryable).
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t backfilled_records = 0;
+};
+
+/// The engine: owns every registered rollup, bound to a Tsdb as its ingest
+/// hook.  Registration backfills open panes from the store, so a rollup
+/// registered mid-stream starts exact.
+class RollupEngine final : public Tsdb::IngestHook {
+ public:
+  explicit RollupEngine(const Tsdb& tsdb);
+  ~RollupEngine();
+
+  RollupEngine(const RollupEngine&) = delete;
+  RollupEngine& operator=(const RollupEngine&) = delete;
+
+  /// Registers a rollup and backfills it from the store.  Throws
+  /// std::invalid_argument on an invalid spec.  Returns the rollup id.
+  std::uint64_t register_rollup(RollupSpec spec);
+  /// Removes a rollup; pending un-drained windows are discarded.
+  void unregister(std::uint64_t id);
+
+  /// Tsdb::IngestHook — folds one accepted record into every matching
+  /// rollup's pane ring and advances the watermark.  Per-rollup series
+  /// state is keyed by the store's dense series ordinal, so the hot path
+  /// is a table index, not a device-id hash/compare per record.
+  void on_ingest(const ConsumptionRecord& record, std::size_t shard,
+                 std::uint64_t series_ordinal) override;
+
+  /// Emits every window closeable at the current watermark (plus any
+  /// force-drained backlog), oldest first.  With a pool, per-shard series
+  /// folds run on the pool's workers (disjoint shards, merge on the
+  /// caller) — results are bit-identical for any worker count.
+  [[nodiscard]] std::vector<ClosedWindow> drain(std::uint64_t id,
+                                                const QueryPool* pool = nullptr);
+
+  /// Pane-level fold of [t0, t1) for one device, readable before the window
+  /// closes.  nullopt when the rollup cannot answer exactly: unknown id,
+  /// boundaries not pane-aligned, a dropped-late record at/after t0, or
+  /// pane data aged out of the ring — callers fall back to a cold query.
+  /// A device with no matching records yields a zero-count HotWindow.
+  [[nodiscard]] std::optional<HotWindow> hot_window(std::uint64_t id,
+                                                    const DeviceId& device,
+                                                    std::int64_t t0_ns,
+                                                    std::int64_t t1_ns) const;
+
+  [[nodiscard]] const RollupSpec* spec(std::uint64_t id) const;
+  [[nodiscard]] const RollupStats* stats(std::uint64_t id) const;
+  [[nodiscard]] std::size_t rollup_count() const noexcept {
+    return rollups_.size();
+  }
+  /// Watermark (max ingested record timestamp) driving a rollup's closes;
+  /// nullopt before the first record.
+  [[nodiscard]] std::optional<std::int64_t> watermark(std::uint64_t id) const;
+
+ private:
+  struct PanePartial;
+  struct Pane;
+  struct SeriesState;
+  struct ShardState;
+  struct Rollup;
+
+  [[nodiscard]] Rollup* find(std::uint64_t id) noexcept;
+  [[nodiscard]] const Rollup* find(std::uint64_t id) const noexcept;
+
+  /// Advances next_close_E past every closeable window, appending emitted
+  /// windows to r.pending (the runaway-gap guard skips instead of flooding).
+  void drain_closes(Rollup& r, const QueryPool* pool);
+  /// Folds one window [E - W, E) across every series of `r`.
+  [[nodiscard]] ClosedWindow fold_window(Rollup& r, std::int64_t end_ns,
+                                         const QueryPool* pool);
+  void backfill(Rollup& r);
+
+  const Tsdb* tsdb_;
+  std::vector<std::unique_ptr<Rollup>> rollups_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace emon::store

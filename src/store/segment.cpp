@@ -30,14 +30,6 @@ constexpr std::uint8_t kFlagOffline = 0x2;
 
 }  // namespace
 
-std::int64_t quantize(double value, double scale) noexcept {
-  return std::llround(value * scale);
-}
-
-double dequantize(std::int64_t q, double scale) noexcept {
-  return static_cast<double>(q) / scale;
-}
-
 const char* to_string(SegmentFault f) noexcept {
   switch (f) {
     case SegmentFault::kBadMagic:

@@ -25,6 +25,7 @@
 // typed `SegmentError` (util::ByteReader try_* API underneath), and the lazy
 // decoding cursor surfaces mid-stream corruption the same way.
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -52,8 +53,15 @@ inline constexpr double kCurrentToleranceMa = 0.5 / kCurrentScale;
 inline constexpr double kVoltageToleranceMv = 0.5 / kVoltageScale;
 inline constexpr double kEnergyToleranceMwh = 0.5 / kEnergyScale;
 
-[[nodiscard]] std::int64_t quantize(double value, double scale) noexcept;
-[[nodiscard]] double dequantize(std::int64_t q, double scale) noexcept;
+/// Inline: both the segment builder's append and the rollup engine's
+/// per-record pane fold quantize on their hot paths — and they must agree
+/// bit-for-bit, which one shared definition guarantees.
+[[nodiscard]] inline std::int64_t quantize(double value, double scale) noexcept {
+  return std::llround(value * scale);
+}
+[[nodiscard]] inline double dequantize(std::int64_t q, double scale) noexcept {
+  return static_cast<double>(q) / scale;
+}
 
 // -- Typed parse/decode errors --------------------------------------------------
 

@@ -41,11 +41,13 @@ std::size_t Tsdb::shard_of(const DeviceId& id) const noexcept {
 }
 
 bool Tsdb::ingest(const ConsumptionRecord& record) {
-  auto& shard = shards_[shard_of(record.device_id)];
+  const std::size_t shard_index = shard_of(record.device_id);
+  auto& shard = shards_[shard_index];
   auto [it, created] = shard.series.try_emplace(record.device_id);
   DeviceSeries& series = it->second;
   if (created) {
     ++stats_.devices;
+    series.ordinal = next_ordinal_++;
   }
   if (!series.seen_sequences.insert(record.sequence).second) {
     ++stats_.duplicates_dropped;
@@ -59,14 +61,29 @@ bool Tsdb::ingest(const ConsumptionRecord& record) {
     Segment seg = series.head.seal();
     stats_.sealed_bytes += seg.byte_size();
     ++stats_.segments_sealed;
+    const SegmentSummary& s = seg.summary();
+    // Maintain the time index: the series stays binary-searchable while
+    // both bounds advance monotonically seal-to-seal.
+    if (!series.sealed.empty() && (s.t_min_ns < series.seg_t_min.back() ||
+                                   s.t_max_ns < series.seg_t_max.back())) {
+      series.time_ordered = false;
+    }
+    series.seg_t_min.push_back(s.t_min_ns);
+    series.seg_t_max.push_back(s.t_max_ns);
     series.sealed.push_back(std::move(seg));
   }
   ++stats_.records_ingested;
+  if (!max_ingested_ts_ || record.timestamp_ns > *max_ingested_ts_) {
+    max_ingested_ts_ = record.timestamp_ns;
+  }
+  if (hook_ != nullptr) {
+    hook_->on_ingest(record, shard_index, series.ordinal);
+  }
   return true;
 }
 
 bool Tsdb::has_device(const DeviceId& id) const {
-  return find_series(id).series != nullptr;
+  return static_cast<bool>(find_series(id));
 }
 
 std::vector<DeviceId> Tsdb::devices() const {
@@ -99,13 +116,68 @@ TsdbStats Tsdb::stats() const {
   return out;
 }
 
-Tsdb::SeriesLookup Tsdb::find_series(const DeviceId& id) const {
+Tsdb::SeriesRef Tsdb::find_series(const DeviceId& id) const {
   const auto& shard = shards_[shard_of(id)];
   const auto it = shard.series.find(id);
   if (it == shard.series.end()) {
     return {};
   }
-  return SeriesLookup{&it->second, &shard.query};
+  return SeriesRef{&it->second, &shard.query};
+}
+
+Tsdb::SeriesRef Tsdb::lookup(const DeviceId& id) const {
+  return find_series(id);
+}
+
+void Tsdb::for_each_series_in_shard(
+    std::size_t shard,
+    const std::function<void(const DeviceId&, SeriesRef)>& fn) const {
+  if (shard >= shards_.size()) {
+    return;
+  }
+  const Shard& s = shards_[shard];
+  for (const auto& [id, series] : s.series) {
+    fn(id, SeriesRef{&series, &s.query});  // std::map: sorted by device id
+  }
+}
+
+std::pair<std::size_t, std::size_t> Tsdb::sealed_overlap_range(
+    const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns) {
+  const std::size_t n = series.sealed.size();
+  if (!series.time_ordered || n == 0) {
+    return {0, n};
+  }
+  // Both bound arrays are non-decreasing.  Segments before `lo` have
+  // t_max < t0 (no overlap); segments at/after `hi` have t_min >= t1.
+  const auto lo_it = std::lower_bound(series.seg_t_max.begin(),
+                                      series.seg_t_max.end(), t0_ns);
+  const auto hi_it = std::lower_bound(series.seg_t_min.begin(),
+                                      series.seg_t_min.end(), t1_ns);
+  const auto lo = static_cast<std::size_t>(lo_it - series.seg_t_max.begin());
+  const auto hi = static_cast<std::size_t>(hi_it - series.seg_t_min.begin());
+  return {lo, std::max(lo, hi)};
+}
+
+void merge_aggregate(DeviceAggregate& into, const DeviceAggregate& from) {
+  if (from.count == 0) {
+    return;
+  }
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.t_min_ns = std::min(into.t_min_ns, from.t_min_ns);
+  into.t_max_ns = std::max(into.t_max_ns, from.t_max_ns);
+  into.min_current_ma = std::min(into.min_current_ma, from.min_current_ma);
+  into.max_current_ma = std::max(into.max_current_ma, from.max_current_ma);
+  const double total =
+      static_cast<double>(into.count) + static_cast<double>(from.count);
+  into.avg_current_ma =
+      (into.avg_current_ma * static_cast<double>(into.count) +
+       from.avg_current_ma * static_cast<double>(from.count)) /
+      total;
+  into.sum_energy_mwh += from.sum_energy_mwh;
+  into.count += from.count;
 }
 
 std::optional<std::pair<std::int64_t, std::int64_t>> Tsdb::observed_bounds(
@@ -137,7 +209,14 @@ void Tsdb::for_each_in_range(
     return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
            filter.matches(r);
   };
-  for (const auto& seg : series.sealed) {
+  // Time-ordered series: [lo, hi) is the only run the summaries allow to
+  // overlap, so everything outside it is pruned without touching a summary.
+  // Unordered series keep the linear walk (lo = 0, hi = n) and the
+  // per-segment check below does the pruning.
+  const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
+  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Segment& seg = series.sealed[i];
     if (!seg.summary().overlaps(t0_ns, t1_ns)) {
       ++counters.segments_pruned;
       continue;
@@ -161,9 +240,15 @@ std::vector<ConsumptionRecord> Tsdb::scan(const DeviceId& device,
                                           std::int64_t t0_ns,
                                           std::int64_t t1_ns,
                                           const RecordFilter& filter) const {
+  return scan(find_series(device), t0_ns, t1_ns, filter);
+}
+
+std::vector<ConsumptionRecord> Tsdb::scan(SeriesRef ref, std::int64_t t0_ns,
+                                          std::int64_t t1_ns,
+                                          const RecordFilter& filter) const {
   std::vector<ConsumptionRecord> out;
-  if (const SeriesLookup found = find_series(device); found.series != nullptr) {
-    for_each_in_range(*found.series, *found.counters, t0_ns, t1_ns, filter,
+  if (ref) {
+    for_each_in_range(*ref.series, *ref.counters, t0_ns, t1_ns, filter,
                       [&out](const ConsumptionRecord& r) { out.push_back(r); });
   }
   return out;
@@ -174,14 +259,17 @@ std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
                                               std::int64_t t1_ns,
                                               std::int64_t window_ns,
                                               const RecordFilter& filter) const {
-  if (window_ns <= 0 || t1_ns <= t0_ns) {
+  return downsample(find_series(device), t0_ns, t1_ns, window_ns, filter);
+}
+
+std::vector<WindowAggregate> Tsdb::downsample(SeriesRef ref, std::int64_t t0_ns,
+                                              std::int64_t t1_ns,
+                                              std::int64_t window_ns,
+                                              const RecordFilter& filter) const {
+  if (window_ns <= 0 || t1_ns <= t0_ns || !ref) {
     return {};
   }
-  const SeriesLookup found = find_series(device);
-  if (found.series == nullptr) {
-    return {};
-  }
-  const auto bounds = observed_bounds(*found.series);
+  const auto bounds = observed_bounds(*ref.series);
   if (!bounds) {
     return {};
   }
@@ -235,7 +323,7 @@ std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
         static_cast<std::uint64_t>(t0c) + static_cast<std::uint64_t>(i) * uw);
   }
   for_each_in_range(
-      *found.series, *found.counters, t0c, t1c, filter,
+      *ref.series, *ref.counters, t0c, t1c, filter,
       [&](const ConsumptionRecord& r) {
         const auto w = static_cast<std::size_t>(
             (static_cast<std::uint64_t>(r.timestamp_ns) -
@@ -260,12 +348,18 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
                                                std::int64_t t0_ns,
                                                std::int64_t t1_ns,
                                                const RecordFilter& filter) const {
-  const SeriesLookup found = find_series(device);
-  if (found.series == nullptr) {
+  return aggregate(find_series(device), t0_ns, t1_ns, filter);
+}
+
+std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
+                                               std::int64_t t0_ns,
+                                               std::int64_t t1_ns,
+                                               const RecordFilter& filter) const {
+  if (!ref) {
     return std::nullopt;
   }
-  const DeviceSeries& series = *found.series;
-  ShardQueryCounters& counters = *found.counters;
+  const DeviceSeries& series = *ref.series;
+  ShardQueryCounters& counters = *ref.counters;
   DeviceAggregate agg;
   std::int64_t current_q_sum = 0;
   std::int64_t energy_q_sum = 0;
@@ -307,7 +401,10 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
            filter.matches(r);
   };
 
-  for (const auto& seg : series.sealed) {
+  const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
+  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Segment& seg = series.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (!s.overlaps(t0_ns, t1_ns)) {
       ++counters.segments_pruned;
@@ -354,10 +451,16 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
 util::RunningStats Tsdb::current_stats(const DeviceId& device,
                                        std::int64_t t0_ns, std::int64_t t1_ns,
                                        const RecordFilter& filter) const {
+  return current_stats(find_series(device), t0_ns, t1_ns, filter);
+}
+
+util::RunningStats Tsdb::current_stats(SeriesRef ref, std::int64_t t0_ns,
+                                       std::int64_t t1_ns,
+                                       const RecordFilter& filter) const {
   util::RunningStats stats;
-  if (const SeriesLookup found = find_series(device); found.series != nullptr) {
+  if (ref) {
     for_each_in_range(
-        *found.series, *found.counters, t0_ns, t1_ns, filter,
+        *ref.series, *ref.counters, t0_ns, t1_ns, filter,
         [&stats](const ConsumptionRecord& r) { stats.add(r.current_ma); });
   }
   return stats;
@@ -365,13 +468,17 @@ util::RunningStats Tsdb::current_stats(const DeviceId& device,
 
 std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     const DeviceId& device, std::int64_t from_ns) const {
+  return network_breakdown(find_series(device), from_ns);
+}
+
+std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
+    SeriesRef ref, std::int64_t from_ns) const {
   std::map<NetworkId, NetworkUsage> out;
-  const SeriesLookup found = find_series(device);
-  if (found.series == nullptr) {
+  if (!ref) {
     return out;
   }
-  const DeviceSeries& series = *found.series;
-  ShardQueryCounters& counters = *found.counters;
+  const DeviceSeries& series = *ref.series;
+  ShardQueryCounters& counters = *ref.counters;
   // Sealed segments entirely past `from_ns` answer from their dictionary
   // subtotals; only straddlers decode.  The open head walks its (small)
   // column arrays unless the bound excludes or includes it whole.
@@ -383,7 +490,10 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     out[r.network].records += 1;
     energy_q[r.network] += quantize(r.energy_mwh, kEnergyScale);
   };
-  for (const auto& seg : series.sealed) {
+  const auto [lo, hi] = sealed_overlap_range(series, from_ns, INT64_MAX);
+  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Segment& seg = series.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (s.t_max_ns < from_ns) {
       ++counters.segments_pruned;
@@ -420,15 +530,15 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
 }
 
 double Tsdb::total_energy_mwh(const DeviceId& device) const {
-  const SeriesLookup found = find_series(device);
-  if (found.series == nullptr) {
+  const SeriesRef ref = find_series(device);
+  if (!ref) {
     return 0.0;
   }
   std::int64_t energy_q = 0;
-  for (const auto& seg : found.series->sealed) {
+  for (const auto& seg : ref.series->sealed) {
     energy_q += seg.summary().energy_q_sum;
   }
-  energy_q += found.series->head.summary().energy_q_sum;
+  energy_q += ref.series->head.summary().energy_q_sum;
   return dequantize(energy_q, kEnergyScale);
 }
 

@@ -76,6 +76,13 @@ struct NetworkUsage {
   double energy_mwh = 0.0;
 };
 
+/// Count-weighted fold of one device aggregate into a running fleet merge.
+/// Shared by the query engine and the rollup engine: fleet merges are
+/// double arithmetic, so both sides must run the *same* fold in the same
+/// (sorted-device) order for maintained push results to be bit-identical
+/// to cold fleet queries.
+void merge_aggregate(DeviceAggregate& into, const DeviceAggregate& from);
+
 /// Record predicate for filtered queries.
 struct RecordFilter {
   /// Only records reported at this grid-location.
@@ -91,6 +98,7 @@ struct RecordFilter {
     return (!network || r.network == *network) &&
            (!stored_offline || r.stored_offline == *stored_offline);
   }
+  friend bool operator==(const RecordFilter&, const RecordFilter&) = default;
 };
 
 /// Query-path counters, kept shard-local so pool workers (which own disjoint
@@ -114,8 +122,46 @@ struct TsdbStats {
 };
 
 class Tsdb {
+  struct DeviceSeries;
+
  public:
   explicit Tsdb(TsdbOptions options = {});
+
+  /// Ingest observer: called once per *accepted* record (after dedup and
+  /// append) with the owning shard index and the series' dense ordinal —
+  /// the rollup engine's maintenance entry point.  Ordinals are assigned
+  /// 0, 1, 2, ... in series-creation order and never reused, so a hook can
+  /// key per-series state by a vector index instead of re-hashing the
+  /// device id on every record.  Runs on the ingest thread; the hook must
+  /// not call back into this Tsdb's mutating API.
+  class IngestHook {
+   public:
+    virtual ~IngestHook() = default;
+    virtual void on_ingest(const ConsumptionRecord& record, std::size_t shard,
+                           std::uint64_t series_ordinal) = 0;
+  };
+  /// At most one hook; nullptr detaches.  Not owned.
+  void set_ingest_hook(IngestHook* hook) noexcept { hook_ = hook; }
+
+  /// Opaque handle to one device's series inside its shard.  A fleet query
+  /// iterating a shard already holds the series — the ref-based query
+  /// overloads below fold it directly instead of re-hashing the device id
+  /// through the public per-device entry points.  Valid until the next
+  /// ingest; never dereference a ref across a mutation.
+  class SeriesRef {
+   public:
+    SeriesRef() = default;
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return series != nullptr;
+    }
+
+   private:
+    friend class Tsdb;
+    SeriesRef(const DeviceSeries* s, ShardQueryCounters* c)
+        : series(s), counters(c) {}
+    const DeviceSeries* series = nullptr;
+    ShardQueryCounters* counters = nullptr;
+  };
 
   /// Ingests one record; returns false for a per-device duplicate sequence.
   bool ingest(const ConsumptionRecord& record);
@@ -164,6 +210,53 @@ class Tsdb {
   /// Whole-history energy total for one device.
   [[nodiscard]] double total_energy_mwh(const DeviceId& device) const;
 
+  /// Resolves a device to its series handle (falsy ref when absent) — one
+  /// hash+map lookup, after which the ref-based overloads below are
+  /// hash-free.
+  [[nodiscard]] SeriesRef lookup(const DeviceId& id) const;
+  /// Visits every series owned by shard `shard` in sorted device order.
+  /// The fleet engine's all-devices fold: the per-device re-hash of
+  /// for_each_device_in_shard + public lookup collapses into the map walk.
+  void for_each_series_in_shard(
+      std::size_t shard,
+      const std::function<void(const DeviceId&, SeriesRef)>& fn) const;
+
+  /// Ref-based query overloads — identical results to the DeviceId
+  /// overloads (which delegate here), minus the per-call device hash.
+  /// A falsy ref yields the same answer as an unknown device.
+  [[nodiscard]] std::vector<ConsumptionRecord> scan(
+      SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
+  [[nodiscard]] std::vector<WindowAggregate> downsample(
+      SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+      std::int64_t window_ns, const RecordFilter& filter = {}) const;
+  [[nodiscard]] std::optional<DeviceAggregate> aggregate(
+      SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
+  [[nodiscard]] util::RunningStats current_stats(
+      SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter = {}) const;
+  [[nodiscard]] std::map<NetworkId, NetworkUsage> network_breakdown(
+      SeriesRef ref, std::int64_t from_ns = INT64_MIN) const;
+
+  /// Max record timestamp ever ingested (nullopt while empty) — the
+  /// watermark seed for rollups registered against a non-empty store.
+  [[nodiscard]] std::optional<std::int64_t> observed_max_ts() const noexcept {
+    return max_ingested_ts_;
+  }
+
+  /// The creation-order ordinal on_ingest reports for this series — lets a
+  /// hook rebuild its ordinal-keyed state from existing series (backfill).
+  /// Falsy refs are invalid here.
+  [[nodiscard]] std::uint64_t series_ordinal(SeriesRef ref) const noexcept {
+    return ref.series->ordinal;
+  }
+  /// Ordinals handed out so far (== series ever created) — the size a hook
+  /// needs for an ordinal-indexed table.
+  [[nodiscard]] std::uint64_t series_total() const noexcept {
+    return next_ordinal_;
+  }
+
   /// Ingest-side counters plus the per-shard query counters folded on read.
   [[nodiscard]] TsdbStats stats() const;
   [[nodiscard]] std::size_t shard_count() const noexcept {
@@ -187,6 +280,17 @@ class Tsdb {
     /// compressed data; every duplicate source — QoS-1 retransmit, probe
     /// overlap, double roam-forward — re-arrives near the high-water mark).
     std::set<std::uint64_t> seen_sequences;
+    /// Time index over `sealed` (parallel arrays of summary t_min/t_max,
+    /// one entry per segment).  While both stay non-decreasing seal-to-seal
+    /// (`time_ordered`), a range query binary-searches the contiguous
+    /// overlapping run instead of walking every summary; one out-of-order
+    /// seal (offline flush, roamed batch) drops that series back to the
+    /// linear walk for good — correctness never depends on the index.
+    std::vector<std::int64_t> seg_t_min;
+    std::vector<std::int64_t> seg_t_max;
+    bool time_ordered = true;
+    /// Dense creation-order index reported to the ingest hook.
+    std::uint64_t ordinal = 0;
   };
   /// Shard-local storage: the series map plus this shard's query counters
   /// (mutable so const query paths can count prunes without racing other
@@ -195,12 +299,14 @@ class Tsdb {
     std::map<DeviceId, DeviceSeries> series;
     mutable ShardQueryCounters query;
   };
-  struct SeriesLookup {
-    const DeviceSeries* series = nullptr;
-    ShardQueryCounters* counters = nullptr;
-  };
 
-  [[nodiscard]] SeriesLookup find_series(const DeviceId& id) const;
+  [[nodiscard]] SeriesRef find_series(const DeviceId& id) const;
+  /// Storage-order index range [lo, hi) of sealed segments a [t0, t1) query
+  /// must visit.  Time-ordered series binary-search it (everything outside
+  /// is non-overlapping by construction); unordered series get the full
+  /// range and keep their per-segment overlap checks.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> sealed_overlap_range(
+      const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns);
   /// Applies `fn` to every record of `series` in [t0, t1) passing `filter`,
   /// pruning sealed segments whose summary cannot overlap (prunes counted
   /// into the owning shard's `counters`).
@@ -216,6 +322,9 @@ class Tsdb {
   TsdbOptions options_;
   std::vector<Shard> shards_;
   TsdbStats stats_;
+  IngestHook* hook_ = nullptr;
+  std::optional<std::int64_t> max_ingested_ts_;
+  std::uint64_t next_ordinal_ = 0;
 };
 
 }  // namespace emon::store

@@ -80,6 +80,10 @@ TEST(Envelope, WireNamesAreStable) {
   EXPECT_EQ(wire_name(MsgType::kTransferMembership), "transfer_membership");
   EXPECT_EQ(wire_name(MsgType::kRemoveDevice), "remove_device");
   EXPECT_EQ(wire_name(MsgType::kChainBlock), "chain_block");
+  EXPECT_EQ(wire_name(MsgType::kSubscribeRequest), "subscribe");
+  EXPECT_EQ(wire_name(MsgType::kSubscribeAck), "subscribe_ack");
+  EXPECT_EQ(wire_name(MsgType::kRollupPush), "rollup_push");
+  EXPECT_EQ(wire_name(MsgType::kUnsubscribe), "unsubscribe");
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +180,83 @@ TEST(RoundTrip, MessageVariantSealMatchesTypedSeal) {
 }
 
 // ---------------------------------------------------------------------------
+// Subscription extension round-trips (defaulted == includes every field;
+// doubles must survive bit-exactly — f64 travels as its IEEE-754 pattern)
+// ---------------------------------------------------------------------------
+
+WireAggregate sample_aggregate() {
+  WireAggregate a;
+  a.count = 12345;
+  a.t_min_ns = -7;
+  a.t_max_ns = 987654321012345;
+  a.min_current_ma = 0.1;  // not exactly representable: pattern must survive
+  a.max_current_ma = 512.75;
+  a.avg_current_ma = 182.53900000000002;
+  a.sum_energy_mwh = 1.0 / 3.0;
+  return a;
+}
+
+TEST(RoundTrip, SubscribeRequestAllFieldsSet) {
+  SubscribeRequest m;
+  m.client_id = "dash-1";
+  m.subscription_id = 42;
+  m.devices = {"dev-3", "dev-1"};  // order preserved, not canonicalized
+  m.window_ns = 60'000'000'000;
+  m.slide_ns = 15'000'000'000;
+  m.lateness_ns = 2'000'000'000;
+  m.network = "wan-2";
+  m.stored_offline = false;
+  m.include_per_device = true;
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(RoundTrip, SubscribeRequestOptionalsAbsent) {
+  SubscribeRequest m;
+  m.client_id = "dash-2";
+  m.subscription_id = 1;
+  m.window_ns = 1'000'000'000;
+  m.lateness_ns = -1;  // "use the service default" sentinel survives
+  const auto back = roundtrip(m);
+  EXPECT_EQ(back, m);
+  EXPECT_FALSE(back.network.has_value());
+  EXPECT_FALSE(back.stored_offline.has_value());
+}
+
+TEST(RoundTrip, SubscribeAckAcceptAndReject) {
+  SubscribeAck accept;
+  accept.subscription_id = 7;
+  accept.accepted = true;
+  accept.anchor_ns = 123'456'789;
+  EXPECT_EQ(roundtrip(accept), accept);
+
+  SubscribeAck reject;
+  reject.subscription_id = 8;
+  reject.accepted = false;
+  reject.reason = "invalid window geometry";
+  EXPECT_EQ(roundtrip(reject), reject);
+}
+
+TEST(RoundTrip, RollupPushWithAndWithoutDeviceRows) {
+  RollupPush m;
+  m.subscription_id = 9;
+  m.t0_ns = 5'000'000'000;
+  m.t1_ns = 6'000'000'000;
+  m.device_count = 2;
+  m.merged = sample_aggregate();
+  m.breakdown = {{"wan-0", 40, 0.25}, {"wan-1", 2, 1e-9}};
+  m.per_device = {{"dev-1", sample_aggregate()},
+                  {"dev-2", WireAggregate{}}};
+  EXPECT_EQ(roundtrip(m), m);
+
+  m.per_device.clear();  // merged-only push (large fleets)
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(RoundTrip, Unsubscribe) {
+  EXPECT_EQ(roundtrip(Unsubscribe{3, "dash-1"}), (Unsubscribe{3, "dash-1"}));
+}
+
+// ---------------------------------------------------------------------------
 // Malformed frames: typed errors, no crashes, no throws
 // ---------------------------------------------------------------------------
 
@@ -244,7 +325,9 @@ TEST(Malformed, CorruptPayloadIsTypedError) {
         MsgType::kBeacon, MsgType::kVerifyDeviceQuery,
         MsgType::kVerifyDeviceResponse, MsgType::kRoamRecords,
         MsgType::kTransferMembership, MsgType::kRemoveDevice,
-        MsgType::kChainBlock}) {
+        MsgType::kChainBlock, MsgType::kSubscribeRequest,
+        MsgType::kSubscribeAck, MsgType::kRollupPush,
+        MsgType::kUnsubscribe}) {
     const auto frame =
         seal(type, std::span<const std::uint8_t>(garbage));
     auto decoded = decode_any(frame);
@@ -268,6 +351,74 @@ TEST(Malformed, PayloadTruncatedAtFieldBoundaries) {
     EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload)
         << "payload cut to " << len;
   }
+}
+
+TEST(Malformed, SubscribeRequestPayloadTruncatedAtFieldBoundaries) {
+  SubscribeRequest m;
+  m.client_id = "dash-1";
+  m.subscription_id = 2;
+  m.devices = {"dev-1"};
+  m.window_ns = 1'000'000'000;
+  m.network = "wan-0";
+  m.stored_offline = true;
+  m.include_per_device = true;
+  const auto payload = encode(m);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const auto frame =
+        seal(MsgType::kSubscribeRequest,
+             std::span<const std::uint8_t>(payload.data(), len));
+    auto decoded = decode_any(frame);
+    ASSERT_FALSE(decoded.ok()) << "payload cut to " << len;
+    EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload)
+        << "payload cut to " << len;
+  }
+}
+
+TEST(Malformed, RollupPushPayloadTruncatedAtFieldBoundaries) {
+  RollupPush m;
+  m.subscription_id = 1;
+  m.t0_ns = 0;
+  m.t1_ns = 1'000'000'000;
+  m.device_count = 1;
+  m.merged = sample_aggregate();
+  m.breakdown = {{"wan-0", 3, 0.5}};
+  m.per_device = {{"dev-1", sample_aggregate()}};
+  const auto payload = encode(m);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const auto frame = seal(MsgType::kRollupPush,
+                            std::span<const std::uint8_t>(payload.data(), len));
+    auto decoded = decode_any(frame);
+    ASSERT_FALSE(decoded.ok()) << "payload cut to " << len;
+    EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload)
+        << "payload cut to " << len;
+  }
+}
+
+TEST(Malformed, NonBooleanFlagByteRejected) {
+  // Boolean wire fields are strict: only 0x00/0x01 decode.  A subscribe
+  // ack's `accepted` byte sits right after the u64 subscription id.
+  SubscribeAck ack;
+  ack.subscription_id = 5;
+  ack.accepted = true;
+  auto frame = seal(ack);
+  ASSERT_GT(frame.size(), kHeaderSize + 8);
+  ASSERT_EQ(frame[kHeaderSize + 8], 0x01);
+  frame[kHeaderSize + 8] = 0x02;
+  auto decoded = decode_any(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.failure().fault, DecodeFault::kMalformedPayload);
+
+  // Same strictness for a subscribe request's optional-field flags.
+  SubscribeRequest req;
+  req.client_id = "d";
+  req.window_ns = 1;
+  req.include_per_device = true;
+  auto req_frame = seal(req);
+  ASSERT_EQ(req_frame.back(), 0x01);  // include_per_device is the last byte
+  req_frame.back() = 0xCC;
+  auto req_decoded = decode_any(req_frame);
+  ASSERT_FALSE(req_decoded.ok());
+  EXPECT_EQ(req_decoded.failure().fault, DecodeFault::kMalformedPayload);
 }
 
 TEST(Malformed, OversizedLengthPrefixInsidePayload) {
