@@ -1,0 +1,192 @@
+// Observability overhead benchmark — the cost of leaving the unified
+// metrics layer on in Release, measured on the fleet-scale workload.
+//
+// Method: the same `metro_fleet` scenario runs 2 x --reps times with
+// metrics enabled and disabled *interleaved* (on, off, on, off, ...), so
+// host-level drift (thermal, cache, page-cache warmup) hits both arms
+// equally.  Each pair yields one overhead ratio wall_on / wall_off - 1;
+// the reported figure is the median pair ratio, which a single noisy rep
+// cannot move.  Disabled here means obs::set_enabled(false) — the
+// always-on branch-test cost stays in, which is exactly the cost a
+// shipping build pays to keep the kill switch.  A build with
+// -DEMON_OBS_OFF=ON compiles recording out entirely; run this bench on
+// both builds to separate branch cost from recording cost.
+//
+// Hard gates (exit 1):
+//   * Trace::digest() must be bit-identical across every run, metrics on
+//     or off — instrumentation must never perturb the simulation.
+//   * With --max-overhead X (> 0): median pair overhead must be <= X.
+//
+// The JSON artifact (--out, default BENCH_obs.json) embeds a full
+// obs::write_json registry snapshot from the final metrics-on run, so CI
+// archives the actual hot-path histograms alongside the overhead figure.
+//
+// Flags: --devices N      (default 10000)
+//        --networks N     (default 32)
+//        --duration-s S   (simulated seconds per run, default 10)
+//        --reps N         (pairs, default 3)
+//        --seed N         (default 1)
+//        --out FILE       (default BENCH_obs.json)
+//        --max-overhead X (gate, 0 = report only; CI passes 0.03)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace emon;
+  util::LogConfig::set_level(util::LogLevel::kError);
+
+  std::size_t devices = 10'000;
+  std::size_t networks = 32;
+  double duration_s = 10.0;
+  std::size_t reps = 3;
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_obs.json";
+  double max_overhead = 0.0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--devices") {
+      devices = std::stoul(value);
+    } else if (flag == "--networks") {
+      networks = std::stoul(value);
+    } else if (flag == "--duration-s") {
+      duration_s = std::stod(value);
+    } else if (flag == "--reps") {
+      reps = std::stoul(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--max-overhead") {
+      max_overhead = std::stod(value);
+    } else {
+      std::cerr << "unknown flag " << flag << '\n';
+      return 2;
+    }
+  }
+
+  const auto run_once = [&](bool metrics_on,
+                            std::string* snapshot_json) -> RunResult {
+    obs::set_enabled(metrics_on);
+    core::Testbed bed{core::metro_fleet(networks, devices, seed)};
+    const auto t0 = Clock::now();
+    bed.start();
+    bed.run_for(sim::seconds_f(duration_s));
+    RunResult r;
+    r.wall_s = seconds_since(t0);
+    r.events = bed.executed_events();
+    r.digest = bed.trace().digest();
+    if (snapshot_json != nullptr) {
+      std::ostringstream out;
+      obs::write_json(bed.aggregator(0).metrics().snapshot(), out);
+      *snapshot_json = out.str();
+    }
+    obs::set_enabled(true);
+    return r;
+  };
+
+  std::cout << "=== obs overhead: metro_fleet " << devices << " devices / "
+            << networks << " networks, " << duration_s
+            << " simulated seconds x " << reps << " interleaved pairs ===\n\n";
+
+  std::vector<RunResult> on_runs;
+  std::vector<RunResult> off_runs;
+  std::vector<double> pair_overheads;
+  std::string snapshot_json = "{}";
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const bool last = rep + 1 == reps;
+    on_runs.push_back(run_once(true, last ? &snapshot_json : nullptr));
+    off_runs.push_back(run_once(false, nullptr));
+    pair_overheads.push_back(on_runs.back().wall_s / off_runs.back().wall_s -
+                             1.0);
+  }
+
+  // -- Gates ------------------------------------------------------------------
+  bool digest_parity = true;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    digest_parity = digest_parity &&
+                    on_runs[rep].digest == off_runs[rep].digest &&
+                    on_runs[rep].digest == on_runs[0].digest;
+  }
+  const double overhead = median(pair_overheads);
+
+  // -- Report -----------------------------------------------------------------
+  util::Table table({"rep", "on [s]", "off [s]", "pair overhead"});
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    table.row(rep, util::Table::num(on_runs[rep].wall_s, 3),
+              util::Table::num(off_runs[rep].wall_s, 3),
+              util::Table::num(pair_overheads[rep] * 100.0, 2) + " %");
+  }
+  std::cout << table.render() << '\n'
+            << "median overhead: " << util::Table::num(overhead * 100.0, 2)
+            << " %\n";
+
+  // -- JSON artifact ----------------------------------------------------------
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"devices\": " << devices << ", \"networks\": " << networks
+       << ", \"duration_s\": " << duration_s << ", \"reps\": " << reps
+       << ", \"seed\": " << seed << ",\n  \"pair_overheads\": [";
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    json << (rep == 0 ? "" : ", ") << pair_overheads[rep];
+  }
+  json << "],\n"
+       << "  \"median_overhead\": " << overhead
+       << ", \"max_overhead_gate\": " << max_overhead
+       << ", \"digest_parity\": " << (digest_parity ? "true" : "false")
+       << ", \"digest\": " << on_runs[0].digest
+       << ", \"events_per_run\": " << on_runs[0].events << ",\n"
+       << "  \"metrics_snapshot\": " << snapshot_json << "\n}\n";
+  std::cout << "json: " << out_path << '\n';
+
+  // -- Verdict ----------------------------------------------------------------
+  bool ok = digest_parity;
+  std::cout << "shape check: digest parity "
+            << (digest_parity ? "PASS" : "FAIL");
+  if (max_overhead > 0.0) {
+    const bool overhead_ok = overhead <= max_overhead;
+    if (!overhead_ok) {
+      ok = false;
+    }
+    std::cout << "; overhead <= " << max_overhead << ": "
+              << (overhead_ok ? "PASS" : "FAIL");
+  }
+  std::cout << '\n';
+  return ok ? 0 : 1;
+}

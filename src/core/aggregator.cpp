@@ -28,18 +28,25 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
       chain_secret_("secret-" + id_),
       trace_(trace),
       log_(id_),
+      metrics_(std::max<std::size_t>(8, config.aggregator.query_workers)),
       broker_(kernel, id_),
       tdma_(config.aggregator.tdma),
       detector_(AnomalyParams{
           grid_net.params().overhead_quiescent, grid_net.params().loss_fraction,
           config.aggregator.anomaly_abs_tolerance,
           config.aggregator.anomaly_rel_tolerance, 0.2}),
-      query_engine_(tsdb_,
-                    store::QueryEngineOptions{config.aggregator.query_workers}),
-      rollup_engine_(tsdb_),
+      tsdb_([this] {
+        store::TsdbOptions o;
+        o.metrics = &metrics_;
+        return o;
+      }()),
+      query_engine_(tsdb_, store::QueryEngineOptions{
+                               config.aggregator.query_workers, &metrics_,
+                               config.aggregator.slow_query_warn_ns}),
+      rollup_engine_(tsdb_, &metrics_),
       subscriptions_(broker_, rollup_engine_, kernel.now().ns(),
                      config.aggregator.rollup_lateness.ns(),
-                     &query_engine_.pool()),
+                     &query_engine_.pool(), &metrics_),
       billing_(network_, Tariff{}),
       feeder_meter_(feeder_bus_, *[&]() -> hw::Ina219* {
         // The feeder INA219 is created before EnergyMeter binds it; the
@@ -58,6 +65,12 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
   // Every accepted record folds into the maintained roll-ups as it lands.
   tsdb_.set_ingest_hook(&rollup_engine_);
   subscriptions_.attach();
+  broker_.bind_metrics(metrics_);
+  ingest_frame_ns_ = metrics_.histogram("agg_ingest_frame_ns");
+  report_append_ns_ = metrics_.histogram("agg_report_append_ns");
+  ingest_lag_ns_ = metrics_.histogram("agg_ingest_lag_ns");
+  reports_total_ = metrics_.counter("agg_reports_total");
+  records_total_ = metrics_.counter("agg_records_total");
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -69,6 +82,10 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
   broker_.subscribe_local(std::string(protocol::kFilterReport),
                           [this](const net::MqttMessage& m) {
                             handle_device_frame(m);
+                          });
+  broker_.subscribe_local(std::string(protocol::kTopicMetrics),
+                          [this](const net::MqttMessage& m) {
+                            handle_stats(m);
                           });
 }
 
@@ -148,6 +165,7 @@ void Aggregator::stop() {
 // ---------------------------------------------------------------------------
 
 void Aggregator::handle_device_frame(const net::MqttMessage& msg) {
+  const obs::ScopedTimer timer(ingest_frame_ns_);
   auto decoded = protocol::decode_any(msg.payload);
   if (!decoded) {
     ++stats_.malformed_frames;
@@ -240,8 +258,11 @@ void Aggregator::handle_report(const Report& report) {
 }
 
 void Aggregator::accept_records(MemberEntry& member, const Report& report) {
+  const obs::ScopedTimer timer(report_append_ns_);
   ++stats_.reports_accepted;
+  reports_total_.inc();
   member.last_seen = kernel_.now();
+  const std::int64_t now_ns = kernel_.now().ns();
 
   std::vector<ConsumptionRecord> fresh;
   for (const auto& record : report.records) {
@@ -254,8 +275,15 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
 
   for (const auto& record : fresh) {
     ++stats_.records_accepted;
+    records_total_.inc();
     if (record.stored_offline) {
       ++stats_.offline_records_accepted;
+    }
+    // Sim-time staleness of the record at ingest (transport + buffering);
+    // offline-stored backlogs dominate the tail by design.
+    if (now_ns >= record.timestamp_ns) {
+      ingest_lag_ns_.record(
+          static_cast<std::uint64_t>(now_ns - record.timestamp_ns));
     }
     // Every accepted record becomes queryable history; the verification
     // window reads it back as a store query (live records only — buffered
@@ -289,6 +317,56 @@ void Aggregator::accept_records(MemberEntry& member, const Report& report) {
   // Freshly folded records may have advanced a roll-up past a window close;
   // push any closed windows now (O(1) when none closed).
   subscriptions_.pump();
+}
+
+void Aggregator::handle_stats(const net::MqttMessage& msg) {
+  auto decoded = protocol::decode_any(msg.payload);
+  if (!decoded) {
+    ++stats_.malformed_frames;
+    log_.warn("malformed frame on ", msg.topic, ": ",
+              to_string(decoded.failure().fault), " (",
+              decoded.failure().detail, ")");
+    return;
+  }
+  const auto* req = std::get_if<StatsRequest>(&decoded.value());
+  if (req == nullptr) {
+    ++stats_.unexpected_frames;
+    log_.warn("unexpected ", protocol::wire_name(
+                                 protocol::msg_type_of(decoded.value())),
+              " on ", protocol::kTopicMetrics);
+    return;
+  }
+  if (req->client_id.empty()) {
+    return;  // no push topic to answer on
+  }
+  const obs::MetricsSnapshot snap = metrics_.snapshot();
+  StatsResponse resp;
+  resp.request_id = req->request_id;
+  resp.aggregator_id = id_;
+  resp.sim_now_ns = kernel_.now().ns();
+  resp.counters.reserve(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    resp.counters.push_back(WireCounter{name, value});
+  }
+  resp.gauges.reserve(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    resp.gauges.push_back(WireGauge{name, value});
+  }
+  resp.histograms.reserve(snap.histograms.size());
+  for (const auto& [name, s] : snap.histograms) {
+    WireHistogram h;
+    h.name = name;
+    h.count = s.count;
+    h.sum = s.sum;
+    h.min = s.min;
+    h.max = s.max;
+    h.p50 = s.p50;
+    h.p95 = s.p95;
+    h.p99 = s.p99;
+    resp.histograms.push_back(std::move(h));
+  }
+  broker_.send(net::Frame{id_, protocol::topic_push(req->client_id),
+                          protocol::seal(resp)});
 }
 
 void Aggregator::queue_for_chain(const ConsumptionRecord& record) {

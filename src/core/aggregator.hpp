@@ -38,6 +38,7 @@
 #include "net/backhaul.hpp"
 #include "net/mqtt.hpp"
 #include "net/tdma.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
 #include "store/query_engine.hpp"
@@ -137,6 +138,13 @@ class Aggregator {
   [[nodiscard]] const chain::Ledger& replica() const noexcept {
     return replica_;
   }
+  /// This aggregator's metrics registry: store/query/rollup/push counters
+  /// and the pipeline stage histograms.  A deterministic snapshot of the
+  /// same numbers travels the wire as StatsResponse (see handle_stats).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
   [[nodiscard]] const AnomalyDetector& detector() const noexcept {
     return detector_;
   }
@@ -157,6 +165,10 @@ class Aggregator {
   void handle_device_frame(const net::MqttMessage& msg);
   void handle_register(const RegisterRequest& req);
   void handle_report(const Report& report);
+  /// emon/metrics admin endpoint: answers a StatsRequest with a sealed
+  /// StatsResponse (registry snapshot + sim time) on the requester's push
+  /// topic.
+  void handle_stats(const net::MqttMessage& msg);
 
   // -- Backhaul ingress --------------------------------------------------------
   void handle_backhaul(const net::Frame& frame);
@@ -192,6 +204,11 @@ class Aggregator {
   std::string chain_secret_;
   sim::Trace* trace_;
   util::Logger log_;
+
+  /// Unified per-aggregator metrics registry.  Declared before every
+  /// subsystem that records into it (store, query engine, rollups,
+  /// subscriptions, broker) so handles never outlive their storage.
+  obs::MetricsRegistry metrics_;
 
   net::MqttBroker broker_;
   net::TdmaSchedule tdma_;
@@ -252,6 +269,14 @@ class Aggregator {
 
   AggregatorStats stats_;
   bool started_ = false;
+
+  // Pipeline stage instruments (wall-clock timers are side-band; the
+  // sim-time lag histogram records values the sim already computed).
+  obs::Histogram ingest_frame_ns_;   // agg_ingest_frame_ns: decode+dispatch
+  obs::Histogram report_append_ns_;  // agg_report_append_ns: dedup+ingest fold
+  obs::Histogram ingest_lag_ns_;     // agg_ingest_lag_ns: sim arrival - stamp
+  obs::Counter reports_total_;       // agg_reports_total
+  obs::Counter records_total_;       // agg_records_total
 };
 
 }  // namespace emon::core

@@ -66,6 +66,11 @@ struct AggregatorConfig {
   /// (ack_timeout * max_attempts) so ordinary redelivery never makes a
   /// record "too late"; later records still land in the cold query path.
   sim::Duration rollup_lateness = sim::seconds(2);
+  /// Slow-query log threshold for the embedded query engine, in *wall*
+  /// nanoseconds (latency of the fleet query itself, not sim time).  A
+  /// query at or over it logs a warning and bumps the slow_queries
+  /// counter.  0 disables the slow-query log.
+  std::uint64_t slow_query_warn_ns = 0;
 };
 
 struct SystemConfig {

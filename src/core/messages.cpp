@@ -346,4 +346,107 @@ Unsubscribe decode_unsubscribe(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
+namespace {
+
+std::uint64_t read_varint(util::ByteReader& r, const char* what) {
+  const auto v = r.try_varint();
+  if (!v) {
+    throw util::DecodeError(std::string("truncated varint for ") + what);
+  }
+  return *v;
+}
+
+std::int64_t read_zigzag(util::ByteReader& r, const char* what) {
+  const auto v = r.try_zigzag();
+  if (!v) {
+    throw util::DecodeError(std::string("truncated zigzag for ") + what);
+  }
+  return *v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const StatsRequest& m) {
+  util::ByteWriter w;
+  w.str(m.client_id);
+  w.u64(m.request_id);
+  return w.take();
+}
+
+StatsRequest decode_stats_request(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  StatsRequest m;
+  m.client_id = r.str();
+  m.request_id = r.u64();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const StatsResponse& m) {
+  util::ByteWriter w;
+  w.u64(m.request_id);
+  w.str(m.aggregator_id);
+  w.i64(m.sim_now_ns);
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& c : m.counters) {
+    w.str(c.name);
+    w.varint(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(m.gauges.size()));
+  for (const auto& g : m.gauges) {
+    w.str(g.name);
+    w.zigzag(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(m.histograms.size()));
+  for (const auto& h : m.histograms) {
+    w.str(h.name);
+    w.varint(h.count);
+    w.varint(h.sum);
+    w.varint(h.min);
+    w.varint(h.max);
+    w.varint(h.p50);
+    w.varint(h.p95);
+    w.varint(h.p99);
+  }
+  return w.take();
+}
+
+StatsResponse decode_stats_response(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r{bytes};
+  StatsResponse m;
+  m.request_id = r.u64();
+  m.aggregator_id = r.str();
+  m.sim_now_ns = r.i64();
+  const std::uint32_t n_counters = r.u32();
+  m.counters.reserve(std::min<std::uint32_t>(n_counters, 4096));
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    WireCounter c;
+    c.name = r.str();
+    c.value = read_varint(r, "counter value");
+    m.counters.push_back(std::move(c));
+  }
+  const std::uint32_t n_gauges = r.u32();
+  m.gauges.reserve(std::min<std::uint32_t>(n_gauges, 4096));
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    WireGauge g;
+    g.name = r.str();
+    g.value = read_zigzag(r, "gauge value");
+    m.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t n_hists = r.u32();
+  m.histograms.reserve(std::min<std::uint32_t>(n_hists, 4096));
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    WireHistogram h;
+    h.name = r.str();
+    h.count = read_varint(r, "histogram count");
+    h.sum = read_varint(r, "histogram sum");
+    h.min = read_varint(r, "histogram min");
+    h.max = read_varint(r, "histogram max");
+    h.p50 = read_varint(r, "histogram p50");
+    h.p95 = read_varint(r, "histogram p95");
+    h.p99 = read_varint(r, "histogram p99");
+    m.histograms.push_back(std::move(h));
+  }
+  return m;
+}
+
 }  // namespace emon::core

@@ -229,6 +229,62 @@ struct Unsubscribe {
   friend bool operator==(const Unsubscribe&, const Unsubscribe&) = default;
 };
 
+// -- Metrics scrape (client <-> aggregator, MQTT admin) -----------------------
+
+/// stats_request: ask an aggregator for a point-in-time metrics snapshot.
+/// Published on emon/metrics; the response arrives on the client's push
+/// topic (emon/push/<client_id>).  `request_id` is echoed verbatim so a
+/// client can match responses to in-flight scrapes.
+struct StatsRequest {
+  std::string client_id;
+  std::uint64_t request_id = 0;
+
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+/// One folded counter in a StatsResponse.
+struct WireCounter {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const WireCounter&, const WireCounter&) = default;
+};
+
+/// One gauge in a StatsResponse.
+struct WireGauge {
+  std::string name;
+  std::int64_t value = 0;
+
+  friend bool operator==(const WireGauge&, const WireGauge&) = default;
+};
+
+/// One folded histogram in a StatsResponse (obs::HistogramSummary shape).
+struct WireHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+
+  friend bool operator==(const WireHistogram&, const WireHistogram&) = default;
+};
+
+/// stats_response: the aggregator's MetricsSnapshot, instruments in sorted
+/// name order (the snapshot's deterministic fold order).
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  std::string aggregator_id;
+  std::int64_t sim_now_ns = 0;
+  std::vector<WireCounter> counters;
+  std::vector<WireGauge> gauges;
+  std::vector<WireHistogram> histograms;
+
+  friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
+};
+
 [[nodiscard]] std::vector<std::uint8_t> encode(const SubscribeRequest& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const SubscribeAck& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const RollupPush& m);
@@ -241,6 +297,14 @@ struct Unsubscribe {
 [[nodiscard]] RollupPush decode_rollup_push(
     std::span<const std::uint8_t> bytes);
 [[nodiscard]] Unsubscribe decode_unsubscribe(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const StatsRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const StatsResponse& m);
+
+[[nodiscard]] StatsRequest decode_stats_request(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] StatsResponse decode_stats_response(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace emon::core

@@ -36,6 +36,10 @@ std::string_view wire_name(MsgType t) noexcept {
       return "rollup_push";
     case MsgType::kUnsubscribe:
       return "unsubscribe";
+    case MsgType::kStatsRequest:
+      return "stats_request";
+    case MsgType::kStatsResponse:
+      return "stats_response";
   }
   return "?";
 }
@@ -56,6 +60,8 @@ bool is_known_msg_type(std::uint8_t raw) noexcept {
     case MsgType::kSubscribeAck:
     case MsgType::kRollupPush:
     case MsgType::kUnsubscribe:
+    case MsgType::kStatsRequest:
+    case MsgType::kStatsResponse:
       return true;
   }
   return false;
@@ -236,6 +242,11 @@ Result<Message> decode_any(std::span<const std::uint8_t> frame) {
       return decode_payload(env.type, [&] { return decode_rollup_push(p); });
     case MsgType::kUnsubscribe:
       return decode_payload(env.type, [&] { return decode_unsubscribe(p); });
+    case MsgType::kStatsRequest:
+      return decode_payload(env.type, [&] { return decode_stats_request(p); });
+    case MsgType::kStatsResponse:
+      return decode_payload(env.type,
+                            [&] { return decode_stats_response(p); });
   }
   return DecodeFailure{DecodeFault::kUnknownType, "unreachable"};
 }

@@ -59,6 +59,9 @@ enum class MsgType : std::uint8_t {
   kSubscribeAck = 0x31,
   kRollupPush = 0x32,
   kUnsubscribe = 0x33,
+  // Metrics scrape (client <-> aggregator, MQTT admin).
+  kStatsRequest = 0x40,
+  kStatsResponse = 0x41,
 };
 
 /// Stable wire name (the former backhaul `kind` strings), for logs/traces.
@@ -78,7 +81,8 @@ using Message =
     std::variant<RegisterRequest, Report, CtrlMessage, Beacon,
                  VerifyDeviceQuery, VerifyDeviceResponse, RoamRecords,
                  TransferMembership, RemoveDevice, ChainBlock,
-                 SubscribeRequest, SubscribeAck, RollupPush, Unsubscribe>;
+                 SubscribeRequest, SubscribeAck, RollupPush, Unsubscribe,
+                 StatsRequest, StatsResponse>;
 
 /// Compile-time MsgType of a message struct.  The primary template fails to
 /// compile, so a message added to `Message` without a mapping is a build
@@ -121,6 +125,10 @@ template <>
 inline constexpr MsgType kMsgTypeFor<RollupPush> = MsgType::kRollupPush;
 template <>
 inline constexpr MsgType kMsgTypeFor<Unsubscribe> = MsgType::kUnsubscribe;
+template <>
+inline constexpr MsgType kMsgTypeFor<StatsRequest> = MsgType::kStatsRequest;
+template <>
+inline constexpr MsgType kMsgTypeFor<StatsResponse> = MsgType::kStatsResponse;
 
 /// Runtime MsgType of a Message variant.
 [[nodiscard]] MsgType msg_type_of(const Message& m) noexcept;
@@ -230,6 +238,9 @@ inline constexpr std::string_view kTopicBeacon = "emon/beacon";
 /// aggregator answers on the client's push topic (emon/push/<client_id>).
 inline constexpr std::string_view kTopicSubscribe = "emon/sub";
 inline constexpr std::string_view kTopicPushPrefix = "emon/push/";
+/// Admin clients publish StatsRequest frames here; the aggregator answers
+/// with a StatsResponse on the client's push topic (emon/push/<client_id>).
+inline constexpr std::string_view kTopicMetrics = "emon/metrics";
 
 /// Aggregator-side subscription filters.
 inline constexpr std::string_view kFilterRegister = "emon/register/+";

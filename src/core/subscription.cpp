@@ -12,12 +12,19 @@ SubscriptionService::SubscriptionService(net::MqttBroker& broker,
                                          store::RollupEngine& engine,
                                          std::int64_t anchor_ns,
                                          std::int64_t default_lateness_ns,
-                                         const store::QueryPool* pool)
+                                         const store::QueryPool* pool,
+                                         obs::MetricsRegistry* metrics)
     : broker_(broker),
       engine_(engine),
       anchor_ns_(anchor_ns),
       default_lateness_ns_(default_lateness_ns),
-      pool_(pool) {}
+      pool_(pool) {
+  if (metrics != nullptr) {
+    pump_ns_ = metrics->histogram("sub_pump_ns");
+    e2e_report_to_push_ns_ = metrics->histogram("e2e_report_to_push_ns");
+    watermark_lag_ns_ = metrics->gauge("rollup_watermark_lag_ns");
+  }
+}
 
 SubscriptionService::~SubscriptionService() = default;
 
@@ -154,6 +161,8 @@ void SubscriptionService::publish(const std::string& client_id,
 }
 
 void SubscriptionService::pump() {
+  const obs::ScopedTimer pump_timer(pump_ns_);
+  const std::int64_t now_ns = broker_.kernel().now().ns();
   // Index snapshot: a local handler may subscribe/unsubscribe re-entrantly,
   // so iterate by rollup id, not by iterator into rollups_.
   std::vector<std::uint64_t> ids;
@@ -161,10 +170,21 @@ void SubscriptionService::pump() {
   for (const auto& backing : rollups_) {
     ids.push_back(backing.rollup_id);
   }
+  std::int64_t max_lag_ns = 0;
   for (const std::uint64_t rollup_id : ids) {
+    if (const auto mark = engine_.watermark(rollup_id);
+        mark && now_ns >= *mark) {
+      max_lag_ns = std::max(max_lag_ns, now_ns - *mark);
+    }
     const auto windows = engine_.drain(rollup_id, pool_);
     for (const auto& window : windows) {
       ++stats_.windows_pushed;
+      // Report-to-push latency in sim time: fan-out happens `now`, the
+      // window's newest record carries t_max_ns.  Recorded once per window.
+      if (window.merged.count > 0 && now_ns >= window.merged.t_max_ns) {
+        e2e_report_to_push_ns_.record(
+            static_cast<std::uint64_t>(now_ns - window.merged.t_max_ns));
+      }
       for (const auto& [key, sub] : remote_) {
         (void)key;
         if (sub.rollup_id != rollup_id) {
@@ -186,6 +206,7 @@ void SubscriptionService::pump() {
       }
     }
   }
+  watermark_lag_ns_.set(max_lag_ns);
 }
 
 std::uint64_t SubscriptionService::subscribe_local(store::RollupSpec spec,

@@ -59,10 +59,16 @@ class SubscriptionService {
   /// Binds to the aggregator's broker and rollup engine.  `anchor_ns` pins
   /// the window grid every subscription shares (the aggregator passes its
   /// start time, aligning push windows with its verification windows).
-  /// `pool` (may be null) parallelizes window folds on drain.
+  /// `pool` (may be null) parallelizes window folds on drain.  `metrics`
+  /// (may be null) receives the pump timer (sub_pump_ns), the sim-time
+  /// report-to-push latency histogram (e2e_report_to_push_ns: push fan-out
+  /// time minus the window's newest record timestamp) and the watermark-lag
+  /// gauge (rollup_watermark_lag_ns: sim now minus the oldest rollup
+  /// watermark, refreshed each pump).
   SubscriptionService(net::MqttBroker& broker, store::RollupEngine& engine,
                       std::int64_t anchor_ns, std::int64_t default_lateness_ns,
-                      const store::QueryPool* pool = nullptr);
+                      const store::QueryPool* pool = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   SubscriptionService(const SubscriptionService&) = delete;
   SubscriptionService& operator=(const SubscriptionService&) = delete;
@@ -139,6 +145,10 @@ class SubscriptionService {
   std::vector<LocalSub> local_;
   std::uint64_t next_local_handle_ = 1;
   SubscriptionStats stats_;
+  // Registry instruments (no-ops when constructed without a registry).
+  obs::Histogram pump_ns_;
+  obs::Histogram e2e_report_to_push_ns_;
+  obs::Gauge watermark_lag_ns_;
 };
 
 /// Builds the wire form of a closed window for one subscription.  Exposed

@@ -167,7 +167,9 @@ bool MqttBroker::deliver_to(const std::shared_ptr<MqttSession>& session,
 }
 
 std::size_t MqttBroker::dispatch(const MqttMessage& message) {
+  const obs::ScopedTimer timer(dispatch_ns_);
   ++routed_;
+  routed_counter_.inc();
   std::size_t recipients = 0;
   for (const auto& [filter, handler] : local_subs_) {
     if (topic_matches(filter, message.topic)) {

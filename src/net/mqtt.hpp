@@ -23,6 +23,7 @@
 
 #include "net/channel.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/kernel.hpp"
 #include "sim/timer.hpp"
 
@@ -102,9 +103,20 @@ class MqttBroker : public Transport {
                         std::string filter);
 
   [[nodiscard]] const std::string& id() const noexcept { return broker_id_; }
+  /// The kernel this broker schedules on — lets colocated consumers
+  /// (SubscriptionService, the metrics endpoint) read sim time without
+  /// extra plumbing.
+  [[nodiscard]] sim::Kernel& kernel() const noexcept { return kernel_; }
   [[nodiscard]] std::size_t live_sessions() const;
   [[nodiscard]] std::uint64_t messages_routed() const noexcept {
     return routed_;
+  }
+
+  /// Wires the broker's registry mirrors: mqtt_messages_routed and the
+  /// mqtt_dispatch_ns fan-out timer.  The broker stays usable unbound.
+  void bind_metrics(obs::MetricsRegistry& reg) {
+    routed_counter_ = reg.counter("mqtt_messages_routed");
+    dispatch_ns_ = reg.histogram("mqtt_dispatch_ns");
   }
 
  private:
@@ -133,6 +145,8 @@ class MqttBroker : public Transport {
   std::vector<std::pair<std::string, std::weak_ptr<MqttSession>>>
       wildcard_subs_;
   std::uint64_t routed_ = 0;
+  obs::Counter routed_counter_;
+  obs::Histogram dispatch_ns_;
 };
 
 struct MqttClientParams {

@@ -38,6 +38,10 @@ struct Frame {
 };
 
 /// Frame/byte accounting every transport keeps, envelope overhead included.
+/// Plain fields, deliberately: a transport belongs to exactly one kernel
+/// shard and every note_* call runs on that shard's event thread, so there
+/// is no concurrent writer to race with.  Cross-shard roll-ups read these
+/// only at sync points (shard barriers / end of run).
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;

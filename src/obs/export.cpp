@@ -1,0 +1,103 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace emon::obs {
+
+namespace {
+
+/// Append `extra` (a `key="value"` pair) to a possibly-labelled name:
+/// `foo` -> `foo{extra}`, `foo{a="b"}` -> `foo{a="b",extra}`.
+std::string with_label(std::string_view name, std::string_view extra) {
+  std::string out;
+  if (!name.empty() && name.back() == '}') {
+    out.assign(name.substr(0, name.size() - 1));
+    out += ',';
+  } else {
+    out.assign(name);
+    out += '{';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+/// Append `suffix` to the base name, before any label block:
+/// `foo` -> `foo_count`, `foo{a="b"}` -> `foo_count{a="b"}`.
+std::string with_suffix(std::string_view name, std::string_view suffix) {
+  const auto brace = name.find('{');
+  std::string out;
+  if (brace == std::string_view::npos) {
+    out.assign(name);
+    out += suffix;
+  } else {
+    out.assign(name.substr(0, brace));
+    out += suffix;
+    out += name.substr(brace);
+  }
+  return out;
+}
+
+void json_escape(std::string_view s, std::ostream& os) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& [name, value] : snap.counters) {
+    os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << with_suffix(name, "_count") << ' ' << h.count << '\n';
+    os << with_suffix(name, "_sum") << ' ' << h.sum << '\n';
+    os << with_suffix(name, "_min") << ' ' << h.min << '\n';
+    os << with_suffix(name, "_max") << ' ' << h.max << '\n';
+    os << with_label(name, "quantile=\"0.5\"") << ' ' << h.p50 << '\n';
+    os << with_label(name, "quantile=\"0.95\"") << ' ' << h.p95 << '\n';
+    os << with_label(name, "quantile=\"0.99\"") << ' ' << h.p99 << '\n';
+  }
+}
+
+void write_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(name, os);
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+       << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << '}';
+  }
+  os << "}}";
+}
+
+}  // namespace emon::obs

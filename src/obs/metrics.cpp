@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emon::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  if (s_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& cell : s_->cells) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+
+/// Quantile from a folded bucket array: midpoint of the bucket holding the
+/// ceil(q * count)-th value, clamped to the observed [min, max].
+std::uint64_t quantile_from_buckets(
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets,
+    std::uint64_t count, std::uint64_t min, std::uint64_t max, double q) {
+  if (count == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t est = bucket_lower(i) + bucket_width(i) / 2;
+      return std::clamp(est, min, max);
+    }
+  }
+  return max;
+}
+
+}  // namespace
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary out;
+  if (s_ == nullptr) return out;
+  std::array<std::uint64_t, kHistogramBuckets> folded{};
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const auto& slot : s_->slots) {
+    out.count += slot->count.load(std::memory_order_relaxed);
+    out.sum += slot->sum.load(std::memory_order_relaxed);
+    min = std::min(min, slot->min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, slot->max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      folded[i] += slot->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count == 0) return out;
+  out.min = min;
+  out.p50 = quantile_from_buckets(folded, out.count, out.min, out.max, 0.50);
+  out.p95 = quantile_from_buckets(folded, out.count, out.min, out.max, 0.95);
+  out.p99 = quantile_from_buckets(folded, out.count, out.min, out.max, 0.99);
+  return out;
+}
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 1) return 1;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::size_t slots)
+    : slots_(round_up_pow2(slots)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, kind] : names_) {
+    if (n == name) {
+      if (kind != Kind::kCounter) {
+        throw std::logic_error("obs: '" + std::string(name) +
+                               "' already registered as a different kind");
+      }
+      for (const auto& c : counters_) {
+        if (c->name == name) return Counter(c.get());
+      }
+    }
+  }
+  auto storage = std::make_unique<detail::CounterStorage>();
+  storage->name = std::string(name);
+  storage->cells = std::vector<detail::PaddedCell>(slots_);
+  storage->mask = slots_ - 1;
+  Counter handle(storage.get());
+  counters_.push_back(std::move(storage));
+  names_.emplace_back(std::string(name), Kind::kCounter);
+  return handle;
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, kind] : names_) {
+    if (n == name) {
+      if (kind != Kind::kGauge) {
+        throw std::logic_error("obs: '" + std::string(name) +
+                               "' already registered as a different kind");
+      }
+      for (const auto& g : gauges_) {
+        if (g->name == name) return Gauge(g.get());
+      }
+    }
+  }
+  auto storage = std::make_unique<detail::GaugeStorage>();
+  storage->name = std::string(name);
+  Gauge handle(storage.get());
+  gauges_.push_back(std::move(storage));
+  names_.emplace_back(std::string(name), Kind::kGauge);
+  return handle;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, kind] : names_) {
+    if (n == name) {
+      if (kind != Kind::kHistogram) {
+        throw std::logic_error("obs: '" + std::string(name) +
+                               "' already registered as a different kind");
+      }
+      for (const auto& h : histograms_) {
+        if (h->name == name) return Histogram(h.get());
+      }
+    }
+  }
+  auto storage = std::make_unique<detail::HistogramStorage>();
+  storage->name = std::string(name);
+  storage->slots.reserve(slots_);
+  for (std::size_t i = 0; i < slots_; ++i) {
+    storage->slots.push_back(std::make_unique<detail::HistogramSlot>());
+  }
+  storage->mask = slots_ - 1;
+  Histogram handle(storage.get());
+  histograms_.push_back(std::move(storage));
+  names_.emplace_back(std::string(name), Kind::kHistogram);
+  return handle;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    out.counters.emplace_back(c->name, Counter(c.get()).value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    out.gauges.emplace_back(g->name, Gauge(g.get()).value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    out.histograms.emplace_back(h->name, Histogram(h.get()).summary());
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+MetricsRegistry& global_registry() {
+  // Leaked intentionally: log emission may outlive static destruction order.
+  static auto* reg = new MetricsRegistry(16);
+  return *reg;
+}
+
+}  // namespace emon::obs

@@ -1,0 +1,349 @@
+#pragma once
+// Unified metrics registry: counters, gauges and log-linear latency
+// histograms, cheap enough to stay on in Release builds.
+//
+// Design:
+//   * A MetricsRegistry hands out pointer-sized handles (Counter, Gauge,
+//     Histogram) by name.  Handles are trivially copyable; a
+//     default-constructed handle is a no-op sink, so instrumented code never
+//     branches on "is metrics wired up" beyond a null check.
+//   * Every instrument is *sharded*: it owns `slots` independent cells
+//     (rounded up to a power of two), each cache-line padded, and the
+//     recording site passes its worker/kernel-shard index.  Writers on
+//     different slots never share a line; all updates are relaxed atomics —
+//     there is no read-modify-write contention on the hot path beyond the
+//     slot's own line.
+//   * Histograms use HdrHistogram-style log-linear buckets: values < 16
+//     index buckets 0..15 exactly; larger values split each power-of-two
+//     octave into 16 sub-buckets, so the relative quantization error is
+//     bounded by 1/16.  976 buckets cover the full uint64 nanosecond range
+//     (sub-nanosecond to ~584 years).
+//   * MetricsSnapshot folds all slots of every instrument in a fixed order
+//     (slot 0..N-1, instruments sorted by name), so a snapshot of the same
+//     recorded multiset is deterministic regardless of which thread recorded
+//     what where.
+//
+// Enablement has two layers:
+//   * Runtime: obs::set_enabled(false) turns histogram recording and the
+//     scoped-timer clock reads into no-ops (a relaxed atomic bool test).
+//     Counters and gauges stay live — migrated bookkeeping (TsdbStats and
+//     friends) must keep counting or their accessor shims would lie.
+//   * Compile time: building with EMON_OBS_DISABLED (CMake option
+//     EMON_OBS_OFF) removes histogram recording and timer clock reads
+//     entirely; this is the "compiled-out baseline" the overhead bench
+//     compares against.
+//
+// Determinism: nothing recorded here feeds back into the simulation.
+// Wall-clock reads happen strictly between events; sim-time histograms
+// record values derived from state the sim already computed.  Trace::digest()
+// is bit-identical with metrics on, off, or compiled out (gated by
+// bench/obs_overhead.cpp and tests).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emon::obs {
+
+/// Runtime kill switch for histogram recording and timer clock reads.
+/// Counters/gauges are unaffected (see header comment).
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// ---------------------------------------------------------------------------
+// Log-linear bucket scheme (16 sub-buckets per power-of-two octave).
+
+inline constexpr std::size_t kHistogramBuckets = 976;  // 16 + 60 * 16
+
+/// Bucket index for a value: exact for v < 16, otherwise the top 4 bits
+/// after the leading one select one of 16 sub-buckets per octave.
+[[nodiscard]] constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+  if (v < 16) return static_cast<std::size_t>(v);
+  const int h = 63 - std::countl_zero(v);  // h >= 4
+  const std::uint64_t sub = v >> (h - 4);  // in [16, 32)
+  return (static_cast<std::size_t>(h - 3) << 4) +
+         static_cast<std::size_t>(sub - 16);
+}
+
+/// Inclusive lower bound of a bucket.
+[[nodiscard]] constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+  if (i < 16) return static_cast<std::uint64_t>(i);
+  const std::size_t octave = i >> 4;  // >= 1
+  const std::uint64_t sub = i & 15;
+  return (16 + sub) << (octave - 1);
+}
+
+/// Width of a bucket (all values in [lower, lower + width) share it).
+[[nodiscard]] constexpr std::uint64_t bucket_width(std::size_t i) noexcept {
+  if (i < 16) return 1;
+  return std::uint64_t{1} << ((i >> 4) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Storage (internal, but visible so handles can inline their hot path).
+
+namespace detail {
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct CounterStorage {
+  std::string name;
+  std::vector<PaddedCell> cells;  // power-of-two size
+  std::size_t mask = 0;
+};
+
+struct GaugeStorage {
+  std::string name;
+  std::atomic<std::int64_t> v{0};
+};
+
+struct alignas(64) HistogramSlot {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+struct HistogramStorage {
+  std::string name;
+  std::vector<std::unique_ptr<HistogramSlot>> slots;  // power-of-two count
+  std::size_t mask = 0;
+};
+
+extern std::atomic<bool> g_enabled;
+
+inline void atomic_min(std::atomic<std::uint64_t>& a,
+                       std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<std::uint64_t>& a,
+                       std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Handles.
+
+/// Monotonic counter.  Always live once bound (not gated by enabled()):
+/// migrated subsystem bookkeeping depends on it.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1, std::size_t slot = 0) const noexcept {
+    if (s_ == nullptr) return;
+    s_->cells[slot & s_->mask].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc(std::size_t slot = 0) const noexcept { add(1, slot); }
+  /// Folded total across slots (relaxed reads; exact once writers quiesce).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  [[nodiscard]] bool bound() const noexcept { return s_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterStorage* s) noexcept : s_(s) {}
+  detail::CounterStorage* s_ = nullptr;
+};
+
+/// Last-write-wins gauge (single cell; gauges are set, not accumulated).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const noexcept {
+    if (s_ != nullptr) s_->v.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return s_ == nullptr ? 0 : s_->v.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool bound() const noexcept { return s_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeStorage* s) noexcept : s_(s) {}
+  detail::GaugeStorage* s_ = nullptr;
+};
+
+/// Deterministic fold of one histogram (see MetricsSnapshot).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  friend bool operator==(const HistogramSummary&,
+                         const HistogramSummary&) = default;
+};
+
+/// Log-linear latency histogram.  record() is gated by obs::enabled() and
+/// compiled out under EMON_OBS_DISABLED.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t v, std::size_t slot = 0) const noexcept {
+#ifndef EMON_OBS_DISABLED
+    if (s_ == nullptr || !enabled()) return;
+    auto& hs = *s_->slots[slot & s_->mask];
+    hs.count.fetch_add(1, std::memory_order_relaxed);
+    hs.sum.fetch_add(v, std::memory_order_relaxed);
+    detail::atomic_min(hs.min, v);
+    detail::atomic_max(hs.max, v);
+    hs.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)v;
+    (void)slot;
+#endif
+  }
+  /// Fold all slots; quantiles are bucket midpoints clamped to [min, max],
+  /// so the relative error is bounded by the 1/16 bucket width.
+  [[nodiscard]] HistogramSummary summary() const;
+  [[nodiscard]] bool bound() const noexcept { return s_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramStorage* s) noexcept : s_(s) {}
+  detail::HistogramStorage* s_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Timers.
+
+/// Manual start/stop wall-clock timer.  Clock reads are skipped when
+/// metrics are disabled (runtime or compile time), so the "off" cost is a
+/// relaxed load and a branch.
+class StopWatch {
+ public:
+  void start() noexcept {
+#ifndef EMON_OBS_DISABLED
+    armed_ = enabled();
+    if (armed_) t0_ = std::chrono::steady_clock::now();
+#endif
+  }
+  /// Elapsed nanoseconds since start(), or 0 when the watch never armed.
+  [[nodiscard]] std::uint64_t stop() const noexcept {
+#ifndef EMON_OBS_DISABLED
+    if (armed_) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    }
+#endif
+    return 0;
+  }
+  [[nodiscard]] bool armed() const noexcept {
+#ifndef EMON_OBS_DISABLED
+    return armed_;
+#else
+    return false;
+#endif
+  }
+
+ private:
+#ifndef EMON_OBS_DISABLED
+  std::chrono::steady_clock::time_point t0_{};
+  bool armed_ = false;
+#endif
+};
+
+/// RAII stage timer: records elapsed wall nanoseconds into a histogram slot
+/// on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h, std::size_t slot = 0) noexcept
+      : h_(h), slot_(slot) {
+    w_.start();
+  }
+  ~ScopedTimer() {
+    if (w_.armed()) h_.record(w_.stop(), slot_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram h_;
+  std::size_t slot_;
+  StopWatch w_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot.
+
+/// Deterministic point-in-time fold of a registry: instruments sorted by
+/// name, slots folded 0..N-1.  Two snapshots of the same recorded multiset
+/// compare equal whatever the thread interleaving that produced it.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
+  [[nodiscard]] const std::int64_t* gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSummary* histogram(std::string_view name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Owns instrument storage; hands out stable handles by name (get-or-create).
+/// Instrument creation takes a mutex; recording through handles is lock-free.
+/// `slots` shards every counter/histogram (rounded up to a power of two) —
+/// size it to the worker/shard count recording into it.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t slots = 8);
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create.  A name names exactly one instrument kind; asking for a
+  /// different kind under an existing name throws std::logic_error.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name);
+
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_; }
+
+  /// Deterministic fold of every instrument (see MetricsSnapshot).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  std::size_t slots_;
+  mutable std::mutex mu_;
+  // unique_ptr storage => handles stay valid across vector growth.
+  std::vector<std::unique_ptr<detail::CounterStorage>> counters_;
+  std::vector<std::unique_ptr<detail::GaugeStorage>> gauges_;
+  std::vector<std::unique_ptr<detail::HistogramStorage>> histograms_;
+  std::vector<std::pair<std::string, Kind>> names_;  // kind map, unsorted
+};
+
+/// Process-wide fallback registry for call sites with no plumbed registry
+/// (the log sink counter).  Never destroyed before exit.
+[[nodiscard]] MetricsRegistry& global_registry();
+
+}  // namespace emon::obs

@@ -97,6 +97,7 @@ EventId Kernel::schedule_at(SimTime t, Callback cb) {
   s.cb = std::move(cb);
   s.live = true;
   ++callbacks_stored_;
+  callbacks_counter_.inc(metrics_slot_);
   ++live_events_;
   push_entry(t, slot, s.generation);
   return make_id(slot, s.generation);
@@ -128,6 +129,7 @@ EventId Kernel::schedule_every(Duration period, Duration initial_delay,
   s.period_ns = period.ns();
   s.live = true;
   ++callbacks_stored_;
+  callbacks_counter_.inc(metrics_slot_);
   ++live_events_;
   push_entry(now_ + initial_delay, slot, s.generation);
   return make_id(slot, s.generation);
@@ -190,6 +192,7 @@ void Kernel::maybe_compact() noexcept {
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   tombstones_ = 0;
   ++compactions_;
+  compactions_counter_.inc(metrics_slot_);
 }
 
 bool Kernel::step() {

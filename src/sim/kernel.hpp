@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace emon::sim {
@@ -102,6 +103,17 @@ class Kernel {
     return callbacks_stored_;
   }
 
+  /// Optional registry mirrors of the allocation-pressure counters
+  /// (sim_callbacks_stored / sim_heap_compactions), recorded at `slot` —
+  /// pass the kernel's shard index so a sharded fleet shares one registry
+  /// without false sharing.  The plain fields above stay authoritative; a
+  /// kernel is single-threaded, so they are race-free by construction.
+  void bind_metrics(obs::MetricsRegistry& reg, std::size_t slot = 0) {
+    metrics_slot_ = slot;
+    callbacks_counter_ = reg.counter("sim_callbacks_stored");
+    compactions_counter_ = reg.counter("sim_heap_compactions");
+  }
+
  private:
   struct Slot {
     Callback cb;
@@ -156,6 +168,9 @@ class Kernel {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<QueueEntry> heap_;
+  obs::Counter callbacks_counter_;    // no-ops until bind_metrics()
+  obs::Counter compactions_counter_;
+  std::size_t metrics_slot_ = 0;
 };
 
 }  // namespace emon::sim

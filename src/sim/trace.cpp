@@ -85,6 +85,24 @@ void Trace::write_csv(std::ostream& out) const {
   }
 }
 
+void Trace::write_json(std::ostream& out) const {
+  out << "[";
+  bool first = true;
+  for (const auto& [name, points] : series_) {
+    for (const auto& p : points) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"time_s\":" << p.time.to_seconds() << ",\"series\":\"";
+      for (const char c : name) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+      }
+      out << "\",\"value\":" << p.value << '}';
+    }
+  }
+  out << "]";
+}
+
 std::uint64_t Trace::digest() const noexcept {
   // FNV-1a over (name, time, value-bits) of every point, in the map's
   // deterministic (sorted) series order.  Two runs of the same scenario and

@@ -123,7 +123,33 @@ void QueryPool::parallel_for(
 // ---------------------------------------------------------------------------
 
 QueryEngine::QueryEngine(const Tsdb& tsdb, QueryEngineOptions options)
-    : tsdb_(&tsdb), pool_(options.workers) {}
+    : tsdb_(&tsdb),
+      pool_(options.workers),
+      slow_query_ns_(options.slow_query_ns) {
+  if (options.metrics != nullptr) {
+    auto& reg = *options.metrics;
+    aggregate_ns_ = reg.histogram("query_ns{kind=\"aggregate\"}");
+    current_stats_ns_ = reg.histogram("query_ns{kind=\"current_stats\"}");
+    scan_ns_ = reg.histogram("query_ns{kind=\"scan\"}");
+    downsample_ns_ = reg.histogram("query_ns{kind=\"downsample\"}");
+    breakdown_ns_ = reg.histogram("query_ns{kind=\"network_breakdown\"}");
+    slow_queries_ = reg.counter("slow_queries");
+  }
+}
+
+void QueryEngine::finish_query(const char* kind, obs::Histogram h,
+                               const obs::StopWatch& sw) const {
+  if (!sw.armed()) {
+    return;
+  }
+  const std::uint64_t ns = sw.stop();
+  h.record(ns);
+  if (slow_query_ns_ != 0 && ns >= slow_query_ns_) {
+    slow_queries_.inc();
+    log_.warn("slow query kind=", kind, " latency_ns=", ns,
+              " threshold_ns=", slow_query_ns_);
+  }
+}
 
 std::vector<std::vector<DeviceId>> QueryEngine::partition(
     const QuerySpec& spec) const {
@@ -193,6 +219,8 @@ std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
 }
 
 FleetAggregate QueryEngine::aggregate(const QuerySpec& spec) const {
+  obs::StopWatch sw;
+  sw.start();
   FleetAggregate out;
   out.per_device = per_device<DeviceAggregate>(
       spec, [&](const DeviceId& id, Tsdb::SeriesRef ref) {
@@ -202,10 +230,13 @@ FleetAggregate QueryEngine::aggregate(const QuerySpec& spec) const {
     (void)id;
     merge_aggregate(out.merged, agg);
   }
+  finish_query("aggregate", aggregate_ns_, sw);
   return out;
 }
 
 FleetStats QueryEngine::current_stats(const QuerySpec& spec) const {
+  obs::StopWatch sw;
+  sw.start();
   FleetStats out;
   out.per_device = per_device<util::RunningStats>(
       spec,
@@ -222,10 +253,13 @@ FleetStats QueryEngine::current_stats(const QuerySpec& spec) const {
     (void)id;
     out.merged.merge(stats);
   }
+  finish_query("current_stats", current_stats_ns_, sw);
   return out;
 }
 
 FleetScan QueryEngine::scan(const QuerySpec& spec) const {
+  obs::StopWatch sw;
+  sw.start();
   FleetScan out;
   auto per = per_device<std::vector<ConsumptionRecord>>(
       spec,
@@ -252,10 +286,13 @@ FleetScan QueryEngine::scan(const QuerySpec& spec) const {
                        std::make_move_iterator(records.begin()),
                        std::make_move_iterator(records.end()));
   }
+  finish_query("scan", scan_ns_, sw);
   return out;
 }
 
 FleetWindows QueryEngine::downsample(const QuerySpec& spec) const {
+  obs::StopWatch sw;
+  sw.start();
   FleetWindows out;
   if (spec.window_ns <= 0) {
     return out;
@@ -304,10 +341,13 @@ FleetWindows QueryEngine::downsample(const QuerySpec& spec) const {
     }
     out.merged.push_back(window);
   }
+  finish_query("downsample", downsample_ns_, sw);
   return out;
 }
 
 FleetBreakdown QueryEngine::network_breakdown(const QuerySpec& spec) const {
+  obs::StopWatch sw;
+  sw.start();
   FleetBreakdown out;
   out.per_device = per_device<std::map<NetworkId, NetworkUsage>>(
       spec,
@@ -327,6 +367,7 @@ FleetBreakdown QueryEngine::network_breakdown(const QuerySpec& spec) const {
       total.energy_mwh += use.energy_mwh;
     }
   }
+  finish_query("network_breakdown", breakdown_ns_, sw);
   return out;
 }
 

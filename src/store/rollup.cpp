@@ -424,7 +424,14 @@ bool RollupSpec::valid() const noexcept {
   return (window_ns + lateness_ns) / slide_ns + 4 <= kMaxPanes;
 }
 
-RollupEngine::RollupEngine(const Tsdb& tsdb) : tsdb_(&tsdb) {}
+RollupEngine::RollupEngine(const Tsdb& tsdb, obs::MetricsRegistry* metrics)
+    : tsdb_(&tsdb) {
+  if (metrics != nullptr) {
+    records_folded_ = metrics->counter("rollup_records_folded");
+    records_dropped_late_ = metrics->counter("rollup_records_dropped_late");
+    windows_closed_ = metrics->counter("rollup_windows_closed");
+  }
+}
 
 RollupEngine::~RollupEngine() = default;
 
@@ -485,6 +492,7 @@ void RollupEngine::on_ingest(const ConsumptionRecord& record,
     if (!r.sane_ts(record.timestamp_ns)) {
       if (r.in_scope(record)) {
         ++r.stats.records_dropped_late;
+        records_dropped_late_.inc();
         if (!r.has_dropped || record.timestamp_ns > r.newest_dropped_ts) {
           r.newest_dropped_ts = record.timestamp_ns;
           r.has_dropped = true;
@@ -541,13 +549,18 @@ void RollupEngine::on_ingest(const ConsumptionRecord& record,
       // Every window containing this record was already emitted: beyond the
       // lateness horizon, cold queries remain the exact path.
       ++r.stats.records_dropped_late;
+      records_dropped_late_.inc();
       if (!r.has_dropped || record.timestamp_ns > r.newest_dropped_ts) {
         r.newest_dropped_ts = record.timestamp_ns;
         r.has_dropped = true;
       }
       continue;
     }
-    r.fold_record(shard, cellw, pane, record);
+    if (r.fold_record(shard, cellw, pane, record)) {
+      records_folded_.inc();
+    } else {
+      records_dropped_late_.inc();  // stale-slot defensive drop
+    }
   }
 }
 
@@ -575,6 +588,7 @@ void RollupEngine::drain_closes(Rollup& r, const QueryPool* pool) {
   for (std::int64_t i = 0; i < n; ++i) {
     ClosedWindow window = fold_window(r, r.next_close_e, pool);
     ++r.stats.windows_closed;
+    windows_closed_.inc();
     r.next_close_e += r.spec.slide_ns;
     if (!window.empty() || r.spec.emit_empty) {
       r.pending.push_back(std::move(window));

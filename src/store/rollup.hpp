@@ -132,7 +132,13 @@ struct RollupStats {
 /// registered mid-stream starts exact.
 class RollupEngine final : public Tsdb::IngestHook {
  public:
-  explicit RollupEngine(const Tsdb& tsdb);
+  /// `metrics` (optional) receives engine-level mirrors of the hot
+  /// per-rollup counters — rollup_records_folded / rollup_records_dropped_late
+  /// / rollup_windows_closed, summed across rollups (live ingest only;
+  /// backfill is excluded).  The authoritative per-rollup numbers stay in
+  /// RollupStats.
+  explicit RollupEngine(const Tsdb& tsdb,
+                        obs::MetricsRegistry* metrics = nullptr);
   ~RollupEngine();
 
   RollupEngine(const RollupEngine&) = delete;
@@ -198,6 +204,10 @@ class RollupEngine final : public Tsdb::IngestHook {
   const Tsdb* tsdb_;
   std::vector<std::unique_ptr<Rollup>> rollups_;
   std::uint64_t next_id_ = 1;
+  // Engine-level registry mirrors (no-ops when unbound).
+  obs::Counter records_folded_;
+  obs::Counter records_dropped_late_;
+  obs::Counter windows_closed_;
 };
 
 }  // namespace emon::store

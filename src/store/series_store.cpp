@@ -105,6 +105,7 @@ void SeriesStore::drop_oldest_record() {
   front_.pop_front();
   --records_;
   ++dropped_;
+  dropped_counter_.inc(metrics_slot_);
 }
 
 bool SeriesStore::enforce_budget() {
@@ -139,6 +140,7 @@ bool SeriesStore::enforce_budget() {
       sealed_bytes_ -= seg.byte_size();
       records_ -= count;
       dropped_ += count;
+      dropped_counter_.add(count, metrics_slot_);
     } else {
       // The newest record lives in the only remaining container (the last
       // sealed segment, or the open head): stage it and drop record by

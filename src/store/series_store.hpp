@@ -20,6 +20,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "store/segment.hpp"
 
 namespace emon::store {
@@ -74,7 +75,18 @@ class SeriesStore {
 
   void clear() noexcept;
   /// Zeroes the "since construction" counters (dropped, peak, sealed).
+  /// Registry mirrors are monotonic and unaffected.
   void reset_counters() noexcept;
+
+  /// Optional registry mirror of the drop accounting: every budget-evicted
+  /// record also bumps device_records_dropped at `slot` (the owning kernel
+  /// shard).  The store's own counters stay authoritative — a store is
+  /// single-threaded on its shard, so the plain fields are race-free; the
+  /// mirror exists so a fleet's drops fold into one scrapeable number.
+  void bind_metrics(obs::MetricsRegistry& reg, std::size_t slot = 0) {
+    metrics_slot_ = slot;
+    dropped_counter_ = reg.counter("device_records_dropped");
+  }
 
  private:
   void seal_head();
@@ -102,6 +114,8 @@ class SeriesStore {
   std::uint64_t dropped_ = 0;
   std::size_t peak_ = 0;
   std::uint64_t sealed_total_ = 0;
+  obs::Counter dropped_counter_;  // no-op until bind_metrics()
+  std::size_t metrics_slot_ = 0;
 };
 
 }  // namespace emon::store

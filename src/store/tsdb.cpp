@@ -34,6 +34,18 @@ Tsdb::Tsdb(TsdbOptions options) : options_(options) {
     throw std::invalid_argument("Tsdb needs positive shards/seal_threshold");
   }
   shards_.resize(options_.shards);
+  obs::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(options_.shards);
+    reg = owned_metrics_.get();
+  }
+  records_ingested_ = reg->counter("tsdb_records_ingested");
+  duplicates_dropped_ = reg->counter("tsdb_duplicates_dropped");
+  segments_sealed_ = reg->counter("tsdb_segments_sealed");
+  sealed_bytes_ = reg->counter("tsdb_sealed_bytes");
+  devices_ = reg->counter("tsdb_devices");
+  segments_pruned_ = reg->counter("tsdb_segments_pruned");
+  summary_hits_ = reg->counter("tsdb_summary_hits");
 }
 
 std::size_t Tsdb::shard_of(const DeviceId& id) const noexcept {
@@ -46,11 +58,11 @@ bool Tsdb::ingest(const ConsumptionRecord& record) {
   auto [it, created] = shard.series.try_emplace(record.device_id);
   DeviceSeries& series = it->second;
   if (created) {
-    ++stats_.devices;
+    devices_.inc();
     series.ordinal = next_ordinal_++;
   }
   if (!series.seen_sequences.insert(record.sequence).second) {
-    ++stats_.duplicates_dropped;
+    duplicates_dropped_.inc();
     return false;
   }
   while (series.seen_sequences.size() > kDedupWindow) {
@@ -59,8 +71,8 @@ bool Tsdb::ingest(const ConsumptionRecord& record) {
   series.head.append(record);
   if (series.head.count() >= options_.seal_threshold) {
     Segment seg = series.head.seal();
-    stats_.sealed_bytes += seg.byte_size();
-    ++stats_.segments_sealed;
+    sealed_bytes_.add(seg.byte_size());
+    segments_sealed_.inc();
     const SegmentSummary& s = seg.summary();
     // Maintain the time index: the series stays binary-searchable while
     // both bounds advance monotonically seal-to-seal.
@@ -72,7 +84,7 @@ bool Tsdb::ingest(const ConsumptionRecord& record) {
     series.seg_t_max.push_back(s.t_max_ns);
     series.sealed.push_back(std::move(seg));
   }
-  ++stats_.records_ingested;
+  records_ingested_.inc();
   if (!max_ingested_ts_ || record.timestamp_ns > *max_ingested_ts_) {
     max_ingested_ts_ = record.timestamp_ns;
   }
@@ -108,21 +120,25 @@ void Tsdb::for_each_device_in_shard(
 }
 
 TsdbStats Tsdb::stats() const {
-  TsdbStats out = stats_;
-  for (const auto& shard : shards_) {
-    out.segments_pruned += shard.query.segments_pruned;
-    out.summary_hits += shard.query.summary_hits;
-  }
+  TsdbStats out;
+  out.records_ingested = records_ingested_.value();
+  out.duplicates_dropped = duplicates_dropped_.value();
+  out.segments_sealed = segments_sealed_.value();
+  out.sealed_bytes = static_cast<std::size_t>(sealed_bytes_.value());
+  out.devices = static_cast<std::size_t>(devices_.value());
+  out.segments_pruned = segments_pruned_.value();
+  out.summary_hits = summary_hits_.value();
   return out;
 }
 
 Tsdb::SeriesRef Tsdb::find_series(const DeviceId& id) const {
-  const auto& shard = shards_[shard_of(id)];
+  const std::size_t shard_index = shard_of(id);
+  const auto& shard = shards_[shard_index];
   const auto it = shard.series.find(id);
   if (it == shard.series.end()) {
     return {};
   }
-  return SeriesRef{&it->second, &shard.query};
+  return SeriesRef{&it->second, shard_index};
 }
 
 Tsdb::SeriesRef Tsdb::lookup(const DeviceId& id) const {
@@ -137,7 +153,7 @@ void Tsdb::for_each_series_in_shard(
   }
   const Shard& s = shards_[shard];
   for (const auto& [id, series] : s.series) {
-    fn(id, SeriesRef{&series, &s.query});  // std::map: sorted by device id
+    fn(id, SeriesRef{&series, shard});  // std::map: sorted by device id
   }
 }
 
@@ -202,8 +218,8 @@ std::optional<std::pair<std::int64_t, std::int64_t>> Tsdb::observed_bounds(
 }
 
 void Tsdb::for_each_in_range(
-    const DeviceSeries& series, ShardQueryCounters& counters,
-    std::int64_t t0_ns, std::int64_t t1_ns, const RecordFilter& filter,
+    const DeviceSeries& series, std::size_t shard, std::int64_t t0_ns,
+    std::int64_t t1_ns, const RecordFilter& filter,
     const std::function<void(const ConsumptionRecord&)>& fn) const {
   const auto in_range = [&](const ConsumptionRecord& r) {
     return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
@@ -214,11 +230,11 @@ void Tsdb::for_each_in_range(
   // Unordered series keep the linear walk (lo = 0, hi = n) and the
   // per-segment check below does the pruning.
   const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
-  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
   for (std::size_t i = lo; i < hi; ++i) {
     const Segment& seg = series.sealed[i];
     if (!seg.summary().overlaps(t0_ns, t1_ns)) {
-      ++counters.segments_pruned;
+      segments_pruned_.add(1, shard);
       continue;
     }
     SegmentCursor cur = seg.cursor();
@@ -248,7 +264,7 @@ std::vector<ConsumptionRecord> Tsdb::scan(SeriesRef ref, std::int64_t t0_ns,
                                           const RecordFilter& filter) const {
   std::vector<ConsumptionRecord> out;
   if (ref) {
-    for_each_in_range(*ref.series, *ref.counters, t0_ns, t1_ns, filter,
+    for_each_in_range(*ref.series, ref.shard, t0_ns, t1_ns, filter,
                       [&out](const ConsumptionRecord& r) { out.push_back(r); });
   }
   return out;
@@ -323,7 +339,7 @@ std::vector<WindowAggregate> Tsdb::downsample(SeriesRef ref, std::int64_t t0_ns,
         static_cast<std::uint64_t>(t0c) + static_cast<std::uint64_t>(i) * uw);
   }
   for_each_in_range(
-      *ref.series, *ref.counters, t0c, t1c, filter,
+      *ref.series, ref.shard, t0c, t1c, filter,
       [&](const ConsumptionRecord& r) {
         const auto w = static_cast<std::size_t>(
             (static_cast<std::uint64_t>(r.timestamp_ns) -
@@ -359,7 +375,7 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
     return std::nullopt;
   }
   const DeviceSeries& series = *ref.series;
-  ShardQueryCounters& counters = *ref.counters;
+  const std::size_t shard = ref.shard;
   DeviceAggregate agg;
   std::int64_t current_q_sum = 0;
   std::int64_t energy_q_sum = 0;
@@ -402,19 +418,19 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
   };
 
   const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
-  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
   for (std::size_t i = lo; i < hi; ++i) {
     const Segment& seg = series.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (!s.overlaps(t0_ns, t1_ns)) {
-      ++counters.segments_pruned;
+      segments_pruned_.add(1, shard);
       continue;
     }
     if (filter.empty() && s.contained_in(t0_ns, t1_ns)) {
       // Pre-aggregated answer: no decode needed.  A non-empty filter must
       // decode even fully-covered segments (summaries hold no per-filter
       // breakdowns), so the fast path is gated on filter.empty().
-      ++counters.summary_hits;
+      summary_hits_.add(1, shard);
       fold_quantized(s.count, s.t_min_ns, s.t_max_ns, s.current_q_min,
                      s.current_q_max, s.current_q_sum, s.energy_q_sum);
       continue;
@@ -460,7 +476,7 @@ util::RunningStats Tsdb::current_stats(SeriesRef ref, std::int64_t t0_ns,
   util::RunningStats stats;
   if (ref) {
     for_each_in_range(
-        *ref.series, *ref.counters, t0_ns, t1_ns, filter,
+        *ref.series, ref.shard, t0_ns, t1_ns, filter,
         [&stats](const ConsumptionRecord& r) { stats.add(r.current_ma); });
   }
   return stats;
@@ -478,7 +494,7 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     return out;
   }
   const DeviceSeries& series = *ref.series;
-  ShardQueryCounters& counters = *ref.counters;
+  const std::size_t shard = ref.shard;
   // Sealed segments entirely past `from_ns` answer from their dictionary
   // subtotals; only straddlers decode.  The open head walks its (small)
   // column arrays unless the bound excludes or includes it whole.
@@ -491,16 +507,16 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     energy_q[r.network] += quantize(r.energy_mwh, kEnergyScale);
   };
   const auto [lo, hi] = sealed_overlap_range(series, from_ns, INT64_MAX);
-  counters.segments_pruned += series.sealed.size() - (hi - lo);
+  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
   for (std::size_t i = lo; i < hi; ++i) {
     const Segment& seg = series.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (s.t_max_ns < from_ns) {
-      ++counters.segments_pruned;
+      segments_pruned_.add(1, shard);
       continue;
     }
     if (s.t_min_ns >= from_ns) {
-      ++counters.summary_hits;
+      summary_hits_.add(1, shard);
       for (const auto& sub : s.networks) {
         out[sub.network].records += sub.records;
         energy_q[sub.network] += sub.energy_q_sum;

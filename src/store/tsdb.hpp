@@ -25,19 +25,22 @@
 // batches) are fine: summaries track true min/max and scans filter
 // per-record.
 //
-// Threading: ingest is single-writer.  Query paths only mutate shard-local
-// counters (ShardQueryCounters), so a query engine may fold *disjoint shards*
-// on concurrent workers; two threads must not query the same shard at once.
+// Threading: ingest is single-writer.  Query paths only bump obs registry
+// counters at their shard's slot (relaxed atomics on per-slot cache lines),
+// so a query engine may fold *disjoint shards* on concurrent workers; two
+// threads must not query the same shard at once.
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "store/segment.hpp"
 #include "util/stats.hpp"
 
@@ -48,6 +51,10 @@ struct TsdbOptions {
   std::size_t shards = 8;
   /// Records per sealed segment.
   std::size_t seal_threshold = 256;
+  /// Registry the store's counters live in (tsdb_records_ingested,
+  /// tsdb_segments_pruned, ... recorded at slot = shard).  Null makes the
+  /// store own a private registry, so standalone stores keep full stats().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One downsampling window's pre-aggregated answer.
@@ -101,13 +108,9 @@ struct RecordFilter {
   friend bool operator==(const RecordFilter&, const RecordFilter&) = default;
 };
 
-/// Query-path counters, kept shard-local so pool workers (which own disjoint
-/// shards) never write a shared location; Tsdb::stats() folds them on read.
-struct ShardQueryCounters {
-  std::uint64_t segments_pruned = 0;
-  std::uint64_t summary_hits = 0;
-};
-
+/// Folded view of the store's registry counters (stats() shim — the
+/// counters themselves live in the obs registry, sharded per Tsdb shard so
+/// pool workers on disjoint shards never write a shared cache line).
 struct TsdbStats {
   std::uint64_t records_ingested = 0;
   std::uint64_t duplicates_dropped = 0;
@@ -157,10 +160,11 @@ class Tsdb {
 
    private:
     friend class Tsdb;
-    SeriesRef(const DeviceSeries* s, ShardQueryCounters* c)
-        : series(s), counters(c) {}
+    SeriesRef(const DeviceSeries* s, std::size_t shard_index)
+        : series(s), shard(shard_index) {}
     const DeviceSeries* series = nullptr;
-    ShardQueryCounters* counters = nullptr;
+    /// Owning shard — the registry slot query counters record into.
+    std::size_t shard = 0;
   };
 
   /// Ingests one record; returns false for a per-device duplicate sequence.
@@ -292,12 +296,10 @@ class Tsdb {
     /// Dense creation-order index reported to the ingest hook.
     std::uint64_t ordinal = 0;
   };
-  /// Shard-local storage: the series map plus this shard's query counters
-  /// (mutable so const query paths can count prunes without racing other
-  /// shards' workers).
+  /// Shard-local storage (query accounting moved to the obs registry,
+  /// recorded at this shard's slot).
   struct Shard {
     std::map<DeviceId, DeviceSeries> series;
-    mutable ShardQueryCounters query;
   };
 
   [[nodiscard]] SeriesRef find_series(const DeviceId& id) const;
@@ -309,10 +311,10 @@ class Tsdb {
       const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns);
   /// Applies `fn` to every record of `series` in [t0, t1) passing `filter`,
   /// pruning sealed segments whose summary cannot overlap (prunes counted
-  /// into the owning shard's `counters`).
+  /// at the owning shard's registry slot).
   void for_each_in_range(
-      const DeviceSeries& series, ShardQueryCounters& counters,
-      std::int64_t t0_ns, std::int64_t t1_ns, const RecordFilter& filter,
+      const DeviceSeries& series, std::size_t shard, std::int64_t t0_ns,
+      std::int64_t t1_ns, const RecordFilter& filter,
       const std::function<void(const ConsumptionRecord&)>& fn) const;
   /// Observed [t_min, t_max] over sealed summaries and the open head;
   /// nullopt for an empty series.
@@ -321,7 +323,18 @@ class Tsdb {
 
   TsdbOptions options_;
   std::vector<Shard> shards_;
-  TsdbStats stats_;
+  /// Private registry when TsdbOptions::metrics is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  // Registry handles (counters are always-on; stats() folds them back into
+  // the TsdbStats shim).  Ingest-side counters record at slot 0 (ingest is
+  // single-writer); query-side ones at the owning shard's slot.
+  obs::Counter records_ingested_;
+  obs::Counter duplicates_dropped_;
+  obs::Counter segments_sealed_;
+  obs::Counter sealed_bytes_;
+  obs::Counter devices_;
+  obs::Counter segments_pruned_;
+  obs::Counter summary_hits_;
   IngestHook* hook_ = nullptr;
   std::optional<std::int64_t> max_ingested_ts_;
   std::uint64_t next_ordinal_ = 0;

@@ -1,18 +1,40 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
+
+#include "obs/metrics.hpp"
 
 namespace emon::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink swaps against emits: a test replacing the sink while a
+// pool worker logs must never race the std::function's internals.  Held
+// across the sink call itself — sinks write to shared streams/buffers and
+// expect whole-message atomicity.
+std::mutex g_sink_mu;
 LogConfig::Sink g_sink;
 
 void default_sink(LogLevel level, std::string_view component,
                   std::string_view message) {
   std::cerr << '[' << to_string(level) << "] [" << component << "] " << message
             << '\n';
+}
+
+obs::Counter level_counter(LogLevel level) {
+  static const obs::Counter counters[] = {
+      obs::global_registry().counter("log_messages{level=\"trace\"}"),
+      obs::global_registry().counter("log_messages{level=\"debug\"}"),
+      obs::global_registry().counter("log_messages{level=\"info\"}"),
+      obs::global_registry().counter("log_messages{level=\"warn\"}"),
+      obs::global_registry().counter("log_messages{level=\"error\"}"),
+  };
+  const auto i = static_cast<std::size_t>(level);
+  return i < 5 ? counters[i] : obs::Counter{};
 }
 
 }  // namespace
@@ -35,17 +57,26 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
-LogLevel LogConfig::level() noexcept { return g_level; }
+LogLevel LogConfig::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
-void LogConfig::set_level(LogLevel level) noexcept { g_level = level; }
+void LogConfig::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-void LogConfig::set_sink(Sink sink) { g_sink = std::move(sink); }
+void LogConfig::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
 
 void LogConfig::emit(LogLevel level, std::string_view component,
                      std::string_view message) {
-  if (level < g_level) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  level_counter(level).inc();
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, component, message);
   } else {

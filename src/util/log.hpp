@@ -24,8 +24,11 @@ enum class LogLevel : int {
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
 
-/// Process-wide log configuration.  Not thread-safe by design: the simulation
-/// kernel is single-threaded (see sim/kernel.hpp).
+/// Process-wide log configuration.  Thread-safe: the sharded kernel (PR 4)
+/// and the query pool (PR 5) log from worker threads, so `level()` is a
+/// relaxed atomic read and sink swap/emit are serialized by a mutex.  Every
+/// emitted message also bumps the global obs registry counter
+/// `log_messages{level="..."}` (see obs/metrics.hpp).
 class LogConfig {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component,

@@ -84,6 +84,8 @@ TEST(Envelope, WireNamesAreStable) {
   EXPECT_EQ(wire_name(MsgType::kSubscribeAck), "subscribe_ack");
   EXPECT_EQ(wire_name(MsgType::kRollupPush), "rollup_push");
   EXPECT_EQ(wire_name(MsgType::kUnsubscribe), "unsubscribe");
+  EXPECT_EQ(wire_name(MsgType::kStatsRequest), "stats_request");
+  EXPECT_EQ(wire_name(MsgType::kStatsResponse), "stats_response");
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +256,40 @@ TEST(RoundTrip, RollupPushWithAndWithoutDeviceRows) {
 
 TEST(RoundTrip, Unsubscribe) {
   EXPECT_EQ(roundtrip(Unsubscribe{3, "dash-1"}), (Unsubscribe{3, "dash-1"}));
+}
+
+TEST(RoundTrip, StatsRequest) {
+  EXPECT_EQ(roundtrip(StatsRequest{"dash-1", 99}),
+            (StatsRequest{"dash-1", 99}));
+}
+
+TEST(RoundTrip, StatsResponseAllSections) {
+  StatsResponse resp;
+  resp.request_id = 7;
+  resp.aggregator_id = "agg-1";
+  resp.sim_now_ns = -5;  // zigzag path: negative values must survive
+  resp.counters = {{"tsdb_records_ingested", 12345},
+                   {"agg_reports_total", ~std::uint64_t{0}}};
+  resp.gauges = {{"rollup_watermark_lag_ns", -250}};
+  WireHistogram h;
+  h.name = "query_ns{kind=\"aggregate\"}";
+  h.count = 10;
+  h.sum = 5000;
+  h.min = 3;
+  h.max = 900;
+  h.p50 = 400;
+  h.p95 = 850;
+  h.p99 = 890;
+  resp.histograms = {h};
+  EXPECT_EQ(roundtrip(resp), resp);
+}
+
+TEST(RoundTrip, StatsResponseEmptySections) {
+  StatsResponse resp;
+  resp.request_id = 1;
+  resp.aggregator_id = "agg-2";
+  resp.sim_now_ns = 0;
+  EXPECT_EQ(roundtrip(resp), resp);
 }
 
 // ---------------------------------------------------------------------------
