@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/records.hpp"
@@ -103,23 +104,25 @@ BENCHMARK(BM_SegmentDecode)->Arg(256)->Arg(4096);
 void BM_TsdbIngest(benchmark::State& state) {
   const auto records = workload(100'000, 3, "dev-1");
   std::size_t i = 0;
-  store::Tsdb db;
+  // unique_ptr: Tsdb is immovable (it embeds the reader-epoch domain), so a
+  // fresh store means a fresh allocation.
+  auto db = std::make_unique<store::Tsdb>();
   std::uint64_t rebuilds = 0;
   for (auto _ : state) {
     if (i == records.size()) {
       // Fresh store once the prepared stream is exhausted (sequence dedup
       // would otherwise reject everything).
       state.PauseTiming();
-      db = store::Tsdb{};
+      db = std::make_unique<store::Tsdb>();
       i = 0;
       ++rebuilds;
       state.ResumeTiming();
     }
-    benchmark::DoNotOptimize(db.ingest(records[i++]));
+    benchmark::DoNotOptimize(db->ingest(records[i++]));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["sealed_bytes"] =
-      static_cast<double>(db.stats().sealed_bytes);
+      static_cast<double>(db->stats().sealed_bytes);
 }
 BENCHMARK(BM_TsdbIngest);
 
@@ -142,15 +145,15 @@ BENCHMARK(BM_SeriesStorePush);
 // -- Query latency ------------------------------------------------------------
 
 store::Tsdb& query_fixture() {
-  static store::Tsdb db = [] {
-    store::Tsdb built{store::TsdbOptions{8, 256}};
+  static store::Tsdb db{store::TsdbOptions{8, 256}};
+  [[maybe_unused]] static const bool loaded = [] {
     for (std::size_t d = 0; d < 8; ++d) {
       for (const auto& r :
            workload(20'000, 10 + d, "dev-" + std::to_string(d + 1))) {
-        built.ingest(r);
+        db.ingest(r);
       }
     }
-    return built;
+    return true;
   }();
   return db;
 }

@@ -1,0 +1,492 @@
+// Concurrent serving-path benchmark — sustained fleet ingest through the
+// ServePipeline while query threads hammer the same MVCC store.
+//
+// Two measured runs over the same 10,000-device / 32-network metro_fleet-
+// shaped workload (fresh store each):
+//
+//   baseline    pipeline ingest alone (one rollup maintained, windows
+//               fanned to a sink) — the no-readers ingest rate;
+//   concurrent  the same ingest racing N query threads, each running the
+//               dashboard mix (whole-history aggregate, live-only
+//               current_stats over the mid 60%, 1 s downsample) in a loop
+//               until the last record lands.
+//
+// Hard gates:
+//   * parity    — during the concurrent run a handful of aggregate answers
+//     capture their per-device snapshot cuts (QuerySpec::capture_cut);
+//     after quiesce each is replayed into a fresh store holding exactly
+//     that cut and must compare bit-identical (==, doubles included).
+//     Mid-ingest answers are real answers at a consistent watermark, or
+//     the bench fails.  Always enforced.
+//   * ingest degradation <= --max-degradation (default 0.10) with queries
+//     running — enforced only when every thread has a hardware thread of
+//     its own (ingest worker + producer + query_threads * workers);
+//     recorded either way.
+//
+// Query latency lands in the engines' obs histograms
+// (query_ns{kind="..."}); the artifact reports p50/p95/p99 per kind.
+//
+// Flags: --devices N          (default 10000)
+//        --networks N         (default 32)
+//        --records N          per device (default 60)
+//        --shards N           Tsdb shards (default 64)
+//        --query-threads N    concurrent reader threads (default 2)
+//        --workers N          pool workers per query engine (default 2)
+//        --batch N            records per submitted batch (default 512)
+//        --parity-checks N    cut-replay checks (default 3)
+//        --max-degradation X  ingest slowdown gate (default 0.10)
+//        --seed N             (default 1)
+//        --out FILE           (default BENCH_serve.json)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/records.hpp"
+#include "core/serve_pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "store/query_engine.hpp"
+#include "store/rollup.hpp"
+#include "store/tsdb.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using emon::core::ConsumptionRecord;
+using emon::core::DeviceId;
+using emon::core::NetworkId;
+
+double sec_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Workload {
+  std::vector<ConsumptionRecord> arrival_order;
+  std::vector<DeviceId> devices;
+  std::int64_t t_min_ns = 0;
+  std::int64_t t_max_ns = 0;
+};
+
+/// metro_fleet record shape, round-robin interleaved (same generator family
+/// as bench/query_scale.cpp): every 8th device roams for its middle sixth
+/// and that slice arrives last, 1-in-5 records offline-buffered.
+Workload make_workload(std::size_t devices, std::size_t networks,
+                       std::size_t per_device, std::uint64_t seed) {
+  Workload w;
+  std::vector<std::vector<ConsumptionRecord>> streams(devices);
+  emon::util::Rng rng{seed};
+  for (std::size_t d = 0; d < devices; ++d) {
+    const DeviceId id = "dev-" + std::to_string(d + 1);
+    const NetworkId home = "wan-" + std::to_string(d % networks);
+    const NetworkId visited = "wan-" + std::to_string((d + 1) % networks);
+    const bool roams = d % 8 == 0;
+    w.devices.push_back(id);
+    std::vector<ConsumptionRecord> live;
+    std::vector<ConsumptionRecord> roamed;
+    std::int64_t t = static_cast<std::int64_t>(d) * 9'000'000;
+    for (std::size_t i = 0; i < per_device; ++i) {
+      t += 100'000'000 + static_cast<std::int64_t>(rng.uniform(-50e3, 50e3));
+      ConsumptionRecord r;
+      r.device_id = id;
+      r.sequence = i + 1;
+      r.timestamp_ns = t;
+      r.interval_ns = 100'000'000;
+      r.current_ma = 150.0 + 40.0 * static_cast<double>(d % 7) +
+                     rng.uniform(-5.0, 5.0);
+      r.bus_voltage_mv = 5000.0 + rng.uniform(-10.0, 10.0);
+      r.energy_mwh = r.current_ma * 5.0 * (0.1 / 3600.0);
+      const bool away = roams && i >= per_device / 3 && i < per_device / 2;
+      r.network = away ? visited : home;
+      r.stored_offline = i % 5 == 0;
+      (away ? roamed : live).push_back(std::move(r));
+    }
+    live.insert(live.end(), std::make_move_iterator(roamed.begin()),
+                std::make_move_iterator(roamed.end()));
+    streams[d] = std::move(live);
+  }
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (auto& stream : streams) {
+      if (i < stream.size()) {
+        w.arrival_order.push_back(std::move(stream[i]));
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+  }
+  w.t_min_ns = INT64_MAX;
+  w.t_max_ns = INT64_MIN;
+  for (const auto& r : w.arrival_order) {
+    w.t_min_ns = std::min(w.t_min_ns, r.timestamp_ns);
+    w.t_max_ns = std::max(w.t_max_ns, r.timestamp_ns);
+  }
+  return w;
+}
+
+bool aggregates_equal(const emon::store::DeviceAggregate& a,
+                      const emon::store::DeviceAggregate& b) {
+  return a.count == b.count && a.t_min_ns == b.t_min_ns &&
+         a.t_max_ns == b.t_max_ns && a.min_current_ma == b.min_current_ma &&
+         a.max_current_ma == b.max_current_ma &&
+         a.avg_current_ma == b.avg_current_ma &&
+         a.sum_energy_mwh == b.sum_energy_mwh;
+}
+
+bool fleet_equal(const emon::store::FleetAggregate& a,
+                 const emon::store::FleetAggregate& b) {
+  if (a.per_device.size() != b.per_device.size() ||
+      !aggregates_equal(a.merged, b.merged)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.per_device.size(); ++i) {
+    if (a.per_device[i].first != b.per_device[i].first ||
+        !aggregates_equal(a.per_device[i].second, b.per_device[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One live answer pinned for post-quiesce replay: the spec it ran, the cut
+/// it was answered at, and the answer itself.
+struct ParitySample {
+  emon::store::QuerySpec spec;
+  emon::store::FleetCut cut;
+  emon::store::FleetAggregate answer;
+};
+
+/// Drives one full workload through a ServePipeline (rollup maintained,
+/// windows counted) and returns the wall seconds from first submit to
+/// quiesce.  `windows_pushed` and `records_accepted` come from the
+/// pipeline's own stats.
+double run_ingest(emon::store::Tsdb& db, const Workload& workload,
+                  std::size_t batch, emon::core::ServePipelineStats* out) {
+  emon::store::RollupEngine rollups{db};
+  db.set_ingest_hook(&rollups);
+  emon::store::RollupSpec rspec;
+  rspec.window_ns = 1'000'000'000;
+  rspec.slide_ns = 1'000'000'000;
+  rspec.lateness_ns = 500'000'000;
+  const std::uint64_t rollup_id = rollups.register_rollup(rspec);
+
+  emon::core::ServePipeline pipeline{db, &rollups};
+  std::uint64_t sink_windows = 0;
+  pipeline.add_window_sink(rollup_id,
+                           [&sink_windows](const emon::store::ClosedWindow&) {
+                             ++sink_windows;
+                           });
+  pipeline.start();
+  const auto t0 = Clock::now();
+  std::vector<ConsumptionRecord> chunk;
+  chunk.reserve(batch);
+  for (const auto& r : workload.arrival_order) {
+    chunk.push_back(r);
+    if (chunk.size() >= batch) {
+      pipeline.submit_records(std::move(chunk));
+      chunk = {};
+      chunk.reserve(batch);
+    }
+  }
+  if (!chunk.empty()) {
+    pipeline.submit_records(std::move(chunk));
+  }
+  pipeline.flush();
+  const double secs = sec_since(t0);
+  if (out != nullptr) {
+    *out = pipeline.stats();
+  }
+  pipeline.stop();
+  db.set_ingest_hook(nullptr);
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace emon;
+  util::LogConfig::set_level(util::LogLevel::kError);
+
+  std::size_t devices = 10'000;
+  std::size_t networks = 32;
+  std::size_t per_device = 60;
+  std::size_t shards = 64;
+  std::size_t query_threads = 2;
+  std::size_t workers = 2;
+  std::size_t batch = 512;
+  std::size_t parity_checks = 3;
+  double max_degradation = 0.10;
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--devices") {
+      devices = std::stoul(value);
+    } else if (flag == "--networks") {
+      networks = std::stoul(value);
+    } else if (flag == "--records") {
+      per_device = std::stoul(value);
+    } else if (flag == "--shards") {
+      shards = std::stoul(value);
+    } else if (flag == "--query-threads") {
+      query_threads = std::stoul(value);
+    } else if (flag == "--workers") {
+      workers = std::stoul(value);
+    } else if (flag == "--batch") {
+      batch = std::stoul(value);
+    } else if (flag == "--parity-checks") {
+      parity_checks = std::stoul(value);
+    } else if (flag == "--max-degradation") {
+      max_degradation = std::stod(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else {
+      std::cerr << "unknown flag " << flag << '\n';
+      return 2;
+    }
+  }
+  query_threads = std::max<std::size_t>(1, query_threads);
+  batch = std::max<std::size_t>(1, batch);
+
+  const Workload workload =
+      make_workload(devices, networks, per_device, seed);
+  const std::size_t total_records = workload.arrival_order.size();
+  // Per-device acceptance order (sequences are unique, so every record is
+  // accepted): the replay source for parity checks.
+  std::map<DeviceId, std::vector<const ConsumptionRecord*>> accepted;
+  for (const auto& r : workload.arrival_order) {
+    accepted[r.device_id].push_back(&r);
+  }
+
+  std::cout << "=== Concurrent serving: " << devices << " devices / "
+            << networks << " networks, " << total_records << " records, "
+            << query_threads << " query threads x " << workers
+            << " workers ===\n\n";
+
+  // -- Baseline: ingest alone -------------------------------------------------
+  const store::TsdbOptions opts{shards, 32};
+  double base_secs = 0.0;
+  {
+    store::Tsdb db{opts};
+    base_secs = run_ingest(db, workload, batch, nullptr);
+  }
+  const double base_rate = static_cast<double>(total_records) / base_secs;
+
+  // -- Concurrent: ingest racing the query mix --------------------------------
+  store::Tsdb db{opts};
+  obs::MetricsRegistry metrics;
+  std::atomic<bool> ingest_done{false};
+  std::atomic<std::uint64_t> queries_answered{0};
+  std::vector<ParitySample> samples(parity_checks);
+  std::atomic<std::size_t> samples_taken{0};
+
+  const std::int64_t span = workload.t_max_ns - workload.t_min_ns;
+  std::vector<std::thread> readers;
+  for (std::size_t q = 0; q < query_threads; ++q) {
+    readers.emplace_back([&, q] {
+      store::QueryEngineOptions eopts;
+      eopts.workers = workers;
+      eopts.metrics = &metrics;
+      const store::QueryEngine engine{db, eopts};
+      store::QuerySpec whole;  // dashboard roll-up
+      store::QuerySpec live_mid;  // verification read
+      live_mid.t0_ns = workload.t_min_ns + span / 5;
+      live_mid.t1_ns = workload.t_max_ns - span / 5;
+      live_mid.filter.stored_offline = false;
+      store::QuerySpec windows;  // 1 s fleet downsample
+      windows.window_ns = 1'000'000'000;
+      std::uint64_t answered = 0;
+      bool final_pass = false;
+      while (!final_pass) {
+        final_pass = ingest_done.load(std::memory_order_acquire);
+        // A few aggregates pin their cut for the post-quiesce replay gate;
+        // thread 0 takes them spread across its run.
+        const std::size_t slot = samples_taken.load(std::memory_order_relaxed);
+        if (q == 0 && slot < parity_checks && answered % 5 == 2) {
+          ParitySample& s = samples[slot];
+          s.spec = whole;
+          s.spec.capture_cut = &s.cut;
+          s.answer = engine.aggregate(s.spec);
+          s.spec.capture_cut = nullptr;
+          samples_taken.store(slot + 1, std::memory_order_relaxed);
+        } else {
+          (void)engine.aggregate(whole);
+        }
+        (void)engine.current_stats(live_mid);
+        (void)engine.downsample(windows);
+        answered += 3;
+      }
+      queries_answered.fetch_add(answered, std::memory_order_relaxed);
+    });
+  }
+
+  core::ServePipelineStats conc_stats;
+  const auto conc_t0 = Clock::now();
+  const double conc_secs = run_ingest(db, workload, batch, &conc_stats);
+  ingest_done.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  const double conc_rate = static_cast<double>(total_records) / conc_secs;
+  const double wall_secs = sec_since(conc_t0);
+  const double degradation = 1.0 - conc_rate / base_rate;
+
+  // -- Gate (a): cut-replay parity, always enforced --------------------------
+  bool parity = conc_stats.records_accepted == total_records;
+  if (!parity) {
+    std::cerr << "PARITY FAIL: pipeline accepted "
+              << conc_stats.records_accepted << " of " << total_records
+              << " records\n";
+  }
+  const std::size_t taken = samples_taken.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < taken; ++i) {
+    const ParitySample& s = samples[i];
+    auto replay = std::make_unique<store::Tsdb>(opts);
+    for (const auto& [id, n] : s.cut.per_device) {
+      const auto it = accepted.find(id);
+      if (it == accepted.end()) {
+        parity = false;
+        continue;
+      }
+      const std::uint64_t take =
+          std::min<std::uint64_t>(n, it->second.size());
+      for (std::uint64_t k = 0; k < take; ++k) {
+        replay->ingest(*it->second[k]);
+      }
+      if (take < n) {
+        parity = false;
+      }
+    }
+    const store::QueryEngine oracle{*replay, store::QueryEngineOptions{1}};
+    if (!fleet_equal(s.answer, oracle.aggregate(s.spec))) {
+      parity = false;
+      std::cerr << "PARITY FAIL: live answer " << i
+                << " != quiesced replay at its cut\n";
+    }
+  }
+  // The final answer at the full cut must equal a clean store of the whole
+  // workload — the quiesced differential, independent of the sampled cuts.
+  {
+    store::Tsdb clean{opts};
+    for (const auto& r : workload.arrival_order) {
+      clean.ingest(r);
+    }
+    const store::QueryEngine raced{db, store::QueryEngineOptions{workers}};
+    const store::QueryEngine quiet{clean, store::QueryEngineOptions{1}};
+    const store::QuerySpec whole;
+    if (!fleet_equal(raced.aggregate(whole), quiet.aggregate(whole))) {
+      parity = false;
+      std::cerr << "PARITY FAIL: quiesced raced store != clean store\n";
+    }
+  }
+
+  // -- Gate (b): ingest degradation, hardware-conditional --------------------
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  // The slowdown only measures the MVCC design (and not scheduler thrash)
+  // when every thread actually has a core: ingest worker + producer + each
+  // query thread with its pool workers.  Anything less records the number
+  // but skips the gate — same policy as the other benches on oversubscribed
+  // hosted runners.
+  const bool enforceable =
+      hw_threads >= static_cast<unsigned>(query_threads * workers + 2);
+  const bool degradation_ok = degradation <= max_degradation;
+
+  // -- Report -----------------------------------------------------------------
+  const auto q_summary = [&metrics](const char* kind) {
+    return metrics
+        .histogram(std::string("query_ns{kind=\"") + kind + "\"}")
+        .summary();
+  };
+  const obs::HistogramSummary agg_h = q_summary("aggregate");
+  const obs::HistogramSummary stats_h = q_summary("current_stats");
+  const obs::HistogramSummary down_h = q_summary("downsample");
+
+  util::Table table({"run", "records/s", "secs", "queries"});
+  table.row("ingest alone", util::Table::num(base_rate, 0),
+            util::Table::num(base_secs, 2), "-");
+  table.row("ingest + queries", util::Table::num(conc_rate, 0),
+            util::Table::num(conc_secs, 2),
+            std::to_string(queries_answered.load()));
+  std::cout << table.render() << '\n';
+
+  util::Table lat({"query", "count", "p50 [us]", "p95 [us]", "p99 [us]"});
+  const auto us = [](std::uint64_t ns) {
+    return util::Table::num(static_cast<double>(ns) / 1000.0, 1);
+  };
+  lat.row("aggregate", agg_h.count, us(agg_h.p50), us(agg_h.p95),
+          us(agg_h.p99));
+  lat.row("current_stats", stats_h.count, us(stats_h.p50), us(stats_h.p95),
+          us(stats_h.p99));
+  lat.row("downsample", down_h.count, us(down_h.p50), us(down_h.p95),
+          us(down_h.p99));
+  std::cout << lat.render() << '\n';
+
+  // -- JSON artifact ----------------------------------------------------------
+  const auto hist_json = [](const obs::HistogramSummary& h) {
+    std::string s = "{\"count\": " + std::to_string(h.count) +
+                    ", \"p50_ns\": " + std::to_string(h.p50) +
+                    ", \"p95_ns\": " + std::to_string(h.p95) +
+                    ", \"p99_ns\": " + std::to_string(h.p99) +
+                    ", \"max_ns\": " + std::to_string(h.max) + "}";
+    return s;
+  };
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"devices\": " << devices << ", \"networks\": " << networks
+       << ", \"records_per_device\": " << per_device
+       << ", \"records_total\": " << total_records
+       << ", \"shards\": " << shards
+       << ", \"query_threads\": " << query_threads
+       << ", \"workers\": " << workers
+       << ", \"hardware_threads\": " << hw_threads << ",\n"
+       << "  \"baseline_ingest_per_s\": " << base_rate
+       << ", \"concurrent_ingest_per_s\": " << conc_rate
+       << ", \"ingest_degradation\": " << degradation
+       << ", \"max_degradation\": " << max_degradation
+       << ", \"degradation_enforceable\": "
+       << (enforceable ? "true" : "false") << ",\n"
+       << "  \"wall_secs\": " << wall_secs
+       << ", \"queries_answered\": " << queries_answered.load()
+       << ", \"windows_pushed\": " << conc_stats.windows_pushed
+       << ", \"parity_checks\": " << taken << ",\n"
+       << "  \"query_latency\": {\n"
+       << "    \"aggregate\": " << hist_json(agg_h) << ",\n"
+       << "    \"current_stats\": " << hist_json(stats_h) << ",\n"
+       << "    \"downsample\": " << hist_json(down_h) << "\n"
+       << "  },\n"
+       << "  \"parity\": " << (parity ? "true" : "false")
+       << ", \"degradation_ok\": " << (degradation_ok ? "true" : "false")
+       << "\n}\n";
+  std::cout << "json: " << out_path << '\n';
+
+  // -- Gates ------------------------------------------------------------------
+  bool ok = parity;
+  std::cout << "gates: parity " << (parity ? "PASS" : "FAIL")
+            << "; ingest degradation " << util::Table::num(degradation * 100, 1)
+            << "% <= " << util::Table::num(max_degradation * 100, 0) << "%: ";
+  if (enforceable) {
+    if (!degradation_ok) {
+      ok = false;
+    }
+    std::cout << (degradation_ok ? "PASS" : "FAIL");
+  } else {
+    std::cout << "SKIP (" << hw_threads << " hardware threads)";
+  }
+  std::cout << '\n';
+  return ok ? 0 : 1;
+}

@@ -71,6 +71,21 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
   ingest_lag_ns_ = metrics_.histogram("agg_ingest_lag_ns");
   reports_total_ = metrics_.counter("agg_reports_total");
   records_total_ = metrics_.counter("agg_records_total");
+  // Stage-saturation gauges: busy fraction per pipeline stage, refreshed on
+  // each stats scrape from the stage histograms already recorded above /
+  // by the query engine and subscription pump (see handle_stats).
+  ingest_busy_ppm_ = metrics_.gauge("stage_busy_ppm{stage=\"ingest\"}");
+  query_busy_ppm_ = metrics_.gauge("stage_busy_ppm{stage=\"query\"}");
+  rollup_pump_busy_ppm_ =
+      metrics_.gauge("stage_busy_ppm{stage=\"rollup_pump\"}");
+  for (const char* kind :
+       {"aggregate", "current_stats", "scan", "downsample",
+        "network_breakdown"}) {
+    query_stage_ns_.push_back(metrics_.histogram(
+        std::string("query_ns{kind=\"") + kind + "\"}"));
+  }
+  pump_stage_ns_ = metrics_.histogram("sub_pump_ns");
+  wall_start_ = std::chrono::steady_clock::now();
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -339,6 +354,7 @@ void Aggregator::handle_stats(const net::MqttMessage& msg) {
   if (req->client_id.empty()) {
     return;  // no push topic to answer on
   }
+  refresh_stage_saturation();
   const obs::MetricsSnapshot snap = metrics_.snapshot();
   StatsResponse resp;
   resp.request_id = req->request_id;
@@ -367,6 +383,33 @@ void Aggregator::handle_stats(const net::MqttMessage& msg) {
   }
   broker_.send(net::Frame{id_, protocol::topic_push(req->client_id),
                           protocol::seal(resp)});
+}
+
+void Aggregator::refresh_stage_saturation() {
+  // Busy fraction (ppm of wall time since construction) per serving-path
+  // stage, from the stage histograms' wall-clock sums: ingest = frame
+  // decode+dispatch, query = every fleet query kind, rollup_pump = the
+  // subscription window drains.  These are what size the ingest/query
+  // worker split — a stage near 1e6 ppm is the bottleneck; the sum of all
+  // three near 1e6 says one thread still suffices.  Gauges refresh on each
+  // scrape, *before* the snapshot, so every StatsResponse carries them.
+  const auto wall = std::chrono::steady_clock::now() - wall_start_;
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  if (wall_ns == 0) {
+    return;
+  }
+  const auto busy_ppm = [wall_ns](std::uint64_t busy_ns) {
+    return static_cast<std::int64_t>(1e6 * static_cast<double>(busy_ns) /
+                                     static_cast<double>(wall_ns));
+  };
+  ingest_busy_ppm_.set(busy_ppm(ingest_frame_ns_.summary().sum));
+  std::uint64_t query_ns = 0;
+  for (const obs::Histogram& h : query_stage_ns_) {
+    query_ns += h.summary().sum;
+  }
+  query_busy_ppm_.set(busy_ppm(query_ns));
+  rollup_pump_busy_ppm_.set(busy_ppm(pump_stage_ns_.summary().sum));
 }
 
 void Aggregator::queue_for_chain(const ConsumptionRecord& record) {

@@ -14,6 +14,7 @@
 //     reads as historical queries,
 //   * bills its home devices (location-independent per-device billing).
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -277,6 +278,19 @@ class Aggregator {
   obs::Histogram ingest_lag_ns_;     // agg_ingest_lag_ns: sim arrival - stamp
   obs::Counter reports_total_;       // agg_reports_total
   obs::Counter records_total_;       // agg_records_total
+
+  /// Refreshes the stage_busy_ppm{stage=...} gauges from the stage
+  /// histograms (ingest vs query vs rollup-pump busy fractions of wall time
+  /// since construction) — the ingest/query worker-split sizing signal.
+  /// Called from handle_stats before each snapshot so every scrape carries
+  /// current values.
+  void refresh_stage_saturation();
+  std::chrono::steady_clock::time_point wall_start_;
+  obs::Gauge ingest_busy_ppm_;       // stage_busy_ppm{stage="ingest"}
+  obs::Gauge query_busy_ppm_;        // stage_busy_ppm{stage="query"}
+  obs::Gauge rollup_pump_busy_ppm_;  // stage_busy_ppm{stage="rollup_pump"}
+  std::vector<obs::Histogram> query_stage_ns_;  // query_ns{kind=...} handles
+  obs::Histogram pump_stage_ns_;                // sub_pump_ns handle
 };
 
 }  // namespace emon::core

@@ -1,0 +1,154 @@
+#pragma once
+// Concurrent serving-path pipeline: the thread harness that turns the
+// aggregator's storage stack into an ingest-while-serving system.
+//
+// The sim Aggregator (core/aggregator.hpp) is event-loop driven and
+// alternates ingest and reads on one thread.  This pipeline runs the same
+// stack — protocol::decode_any -> Report -> Tsdb::ingest (RollupEngine
+// riding the ingest hook) -> rollup drains fanned out to window sinks — with
+// a dedicated ingest worker, while any number of caller threads run fleet
+// queries against the same Tsdb through their own QueryEngines.  The MVCC
+// store (store/tsdb.hpp, store/mvcc.hpp) is what makes that safe: queries
+// pin epoch-protected snapshots, the ingest fast path takes no locks, and
+// neither side stalls the other.
+//
+// Thread roles:
+//   * producers (any threads): submit_frame()/submit_records() enqueue work
+//     into a bounded queue — blocking when full, so a slow store applies
+//     backpressure instead of unbounded memory growth;
+//   * ingest worker (one thread, owned): drains the queue in batches,
+//     decodes frames, ingests every record, and every `pump_every` items
+//     drains the registered rollups, invoking window sinks in line.  It is
+//     the Tsdb's single writer and the RollupEngine's owner thread — the
+//     hook, drain() and watermark logic run exactly where their
+//     single-owner contracts require;
+//   * query threads (any, not owned): run QueryEngine/Tsdb reads
+//     concurrently; no coordination with this pipeline is needed.
+//
+// flush() quiesces: it blocks until every submitted item is ingested, runs
+// a final rollup pump, and hands the caller a happens-before edge (via the
+// queue mutex) over everything the ingest worker wrote — after it returns,
+// the caller may read rollup state or replay-compare store contents exactly
+// (the differential tests' and benchmarks' sync point).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "obs/metrics.hpp"
+#include "store/rollup.hpp"
+#include "store/tsdb.hpp"
+
+namespace emon::core {
+
+struct ServePipelineOptions {
+  /// Max queued items (frames or record batches); submit blocks at the cap.
+  std::size_t queue_capacity = 4096;
+  /// Ingested items between rollup pumps (window drains + sink fan-out).
+  /// Watermarks only advance on ingest, so pumping more often than new
+  /// records arrive cannot close more windows — this just bounds drain
+  /// overhead per item.  0 pumps only at flush().
+  std::size_t pump_every = 64;
+  /// Registry for the stage instruments (serve_ingest_ns per-item timing,
+  /// serve_pump_ns per-pump timing, serve_queue_depth gauge); null = none.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Pipeline counters.  Written by the ingest worker, published under the
+/// queue mutex at batch boundaries — stats() is safe from any thread and
+/// exact once the pipeline is flushed or stopped.
+struct ServePipelineStats {
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t record_batches_ingested = 0;
+  std::uint64_t records_accepted = 0;
+  std::uint64_t records_duplicate = 0;
+  std::uint64_t malformed_frames = 0;
+  /// Well-formed frames that are not Reports (this path serves ingest only).
+  std::uint64_t unexpected_frames = 0;
+  std::uint64_t rollup_pumps = 0;
+  std::uint64_t windows_pushed = 0;
+};
+
+class ServePipeline {
+ public:
+  /// Closed-window consumer; runs on the ingest worker (or on the flush()
+  /// caller for the final pump).  Must not call back into the pipeline.
+  using WindowSink = std::function<void(const store::ClosedWindow&)>;
+
+  /// Binds to the store (whose single ingest writer the worker becomes) and
+  /// optionally the rollup engine to pump.  The caller keeps ownership of
+  /// both and wires the engine as the store's ingest hook itself; both must
+  /// outlive the pipeline.
+  ServePipeline(store::Tsdb& tsdb, store::RollupEngine* rollups,
+                ServePipelineOptions options = {});
+  ~ServePipeline();
+
+  ServePipeline(const ServePipeline&) = delete;
+  ServePipeline& operator=(const ServePipeline&) = delete;
+
+  /// Registers a rollup to drain on every pump, fanning each closed window
+  /// to `sink`.  Call before start() (the sink list is not guarded).
+  void add_window_sink(std::uint64_t rollup_id, WindowSink sink);
+
+  /// Spawns the ingest worker.  Idempotent.
+  void start();
+  /// Drains the queue, runs a final pump, joins the worker.  Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  /// Enqueues one encoded MQTT uplink frame (decoded on the ingest worker).
+  /// Blocks while the queue is at capacity; false once stop() began.
+  bool submit_frame(std::vector<std::uint8_t> frame);
+  /// Enqueues pre-decoded records — the bench fast path that measures the
+  /// store, not the codec.  Same backpressure rules.
+  bool submit_records(std::vector<ConsumptionRecord> records);
+
+  /// Blocks until every item submitted before this call is ingested, then
+  /// runs one rollup pump on the calling thread.  On return the pipeline is
+  /// quiesced and everything the worker wrote is visible to the caller.
+  void flush();
+
+  [[nodiscard]] ServePipelineStats stats() const;
+
+ private:
+  using Item =
+      std::variant<std::vector<std::uint8_t>, std::vector<ConsumptionRecord>>;
+
+  void worker_loop();
+  void ingest_item(Item& item, ServePipelineStats& local);
+  /// Drains every sink rollup; counts into `local`.  Caller must be the
+  /// ingest worker or hold the flush quiesce.
+  void pump(ServePipelineStats& local);
+
+  store::Tsdb* tsdb_;
+  store::RollupEngine* rollups_;
+  ServePipelineOptions options_;
+  struct Sink {
+    std::uint64_t rollup_id = 0;
+    WindowSink sink;
+  };
+  std::vector<Sink> sinks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable worker_cv_;    // queue non-empty or stopping
+  std::condition_variable producer_cv_;  // queue below capacity
+  std::condition_variable idle_cv_;      // queue empty and worker idle
+  std::deque<Item> queue_;
+  bool in_flight_ = false;  // worker is ingesting a swapped batch
+  bool stopping_ = false;
+  bool started_ = false;
+  ServePipelineStats stats_;  // guarded by mu_
+  std::thread worker_;
+
+  obs::Histogram ingest_item_ns_;  // serve_ingest_ns: decode+ingest per item
+  obs::Histogram pump_ns_;         // serve_pump_ns: one rollup pump
+  obs::Gauge queue_depth_;         // serve_queue_depth
+};
+
+}  // namespace emon::core

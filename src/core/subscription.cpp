@@ -206,6 +206,12 @@ void SubscriptionService::pump() {
       }
     }
   }
+  // Owner-thread update path: pump() runs wherever the rollup engine's
+  // owner thread runs (the sim event loop here; the serving pipeline's
+  // ingest worker there), and this gauge is only written from pump.  The
+  // store itself is an atomic (obs::Gauge), so concurrent *scrapes* from
+  // query threads read it safely — the single-writer discipline is about
+  // the rollup drain above, not the gauge.
   watermark_lag_ns_.set(max_lag_ns);
 }
 

@@ -41,7 +41,12 @@ struct Frame {
 /// Plain fields, deliberately: a transport belongs to exactly one kernel
 /// shard and every note_* call runs on that shard's event thread, so there
 /// is no concurrent writer to race with.  Cross-shard roll-ups read these
-/// only at sync points (shard barriers / end of run).
+/// only at sync points (shard barriers / end of run).  This stays true
+/// under the concurrent serving path: its query threads read the MVCC
+/// store directly (core/serve_pipeline.hpp) and never touch a transport,
+/// so the single-owner contract here is unchanged — unlike the old
+/// TsdbStats single-thread claim, which the epoch/snapshot contract in
+/// store/tsdb.hpp replaced.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;

@@ -175,16 +175,25 @@ std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
     const QuerySpec& spec, const Fn& fn) const {
   const std::size_t shards = tsdb_->shard_count();
   // One result slot per shard: a worker only writes its own shards' slots,
-  // so the parallel region shares nothing mutable across workers.
+  // so the parallel region shares nothing mutable across workers.  The cut
+  // slots follow the same discipline when the caller asked for a capture.
   std::vector<std::vector<std::pair<DeviceId, T>>> slots(shards);
+  FleetCut* cut = spec.capture_cut;
+  std::vector<std::vector<std::pair<DeviceId, std::uint64_t>>> cut_slots(
+      cut != nullptr ? shards : 0);
   if (spec.device_list().empty()) {
     // All devices: iterate each shard's (sorted) series map in place — no
     // per-query materialization of the whole fleet's id strings, and the
     // fold gets the series ref straight from the map walk instead of
     // re-hashing every id through the public lookup.
+    // for_each_series_in_shard pins the epoch domain around the walk, so
+    // the refs it hands out are protected for the duration of the fold.
     pool_.parallel_for(shards, [&](std::size_t s) {
       tsdb_->for_each_series_in_shard(
           s, [&](const DeviceId& id, Tsdb::SeriesRef ref) {
+            if (cut != nullptr) {
+              cut_slots[s].emplace_back(id, tsdb_->visible_records(ref));
+            }
             if (auto result = fn(id, ref)) {
               slots[s].emplace_back(id, std::move(*result));
             }
@@ -193,12 +202,27 @@ std::vector<std::pair<DeviceId, T>> QueryEngine::per_device(
   } else {
     const auto buckets = partition(spec);
     pool_.parallel_for(buckets.size(), [&](std::size_t s) {
+      // One reader pin per shard task: lookup() and every use of the refs
+      // it returns run under this guard (the ref-based query overloads
+      // require the caller to hold it — we are that caller here).
+      const ReadGuard guard = tsdb_->read_guard();
       for (const auto& id : buckets[s]) {
-        if (auto result = fn(id, tsdb_->lookup(id))) {
+        const Tsdb::SeriesRef ref = tsdb_->lookup(id);
+        if (cut != nullptr) {
+          cut_slots[s].emplace_back(id, tsdb_->visible_records(ref));
+        }
+        if (auto result = fn(id, ref)) {
           slots[s].emplace_back(id, std::move(*result));
         }
       }
     });
+  }
+  if (cut != nullptr) {
+    cut->per_device.clear();
+    for (auto& slot : cut_slots) {
+      cut->per_device.insert(cut->per_device.end(), slot.begin(), slot.end());
+    }
+    std::sort(cut->per_device.begin(), cut->per_device.end());
   }
   std::size_t total = 0;
   for (const auto& slot : slots) {

@@ -23,12 +23,18 @@
 // the caller — the reference sequential path the parallel runs must match.
 //
 // Threading: queries are synchronous (parallel_for joins before returning)
-// and the engine serializes concurrent callers internally, so the only
-// concurrency the Tsdb sees is disjoint shards folded in parallel — which
-// its per-shard registry counter slots are built for.  Ingest is
-// single-writer
-// and must not run concurrently with a query (the aggregator's event loop
-// already guarantees this).
+// and the engine serializes concurrent callers internally, so disjoint
+// shards fold in parallel — which the Tsdb's per-shard registry counter
+// slots are built for.  Queries run concurrently with live ingest: every
+// worker task pins the store's epoch domain (Tsdb::read_guard) and folds
+// epoch-protected snapshots, so the single ingest thread never stalls a
+// query and a query never blocks ingest (the MVCC contract in
+// store/tsdb.hpp / store/mvcc.hpp).  Each device's answer is computed from
+// the snapshot captured when its shard task reached it — a fleet query
+// racing ingest composes per-device prefixes ("cuts"); set
+// QuerySpec::capture_cut to learn exactly which cut each device was
+// answered at (the differential-replay hook).  Results stay bit-identical
+// for any worker count at a fixed cut.
 
 #include <condition_variable>
 #include <cstdint>
@@ -107,6 +113,16 @@ class QueryPool {
   std::vector<std::thread> threads_;
 };
 
+/// The per-device snapshot cut a fleet query was answered at: for every
+/// queried device, Tsdb::visible_records of the ref the fold used (0 for
+/// devices unknown at capture), sorted by device id.  Replaying each
+/// device's first `records` accepted records into a quiesced store and
+/// re-running the same query there must reproduce the answer bit-for-bit —
+/// the concurrent differential tests' ground truth.
+struct FleetCut {
+  std::vector<std::pair<DeviceId, std::uint64_t>> per_device;
+};
+
 /// Fleet-wide query description.
 struct QuerySpec {
   /// Devices to query; empty = every device in the store.  Duplicates are
@@ -131,6 +147,11 @@ struct QuerySpec {
   /// ignores them — an override would re-anchor that device's window grid
   /// and make the fleet merge fold overlapping windows.
   std::map<DeviceId, std::int64_t> t0_overrides;
+  /// When non-null, the engine records the snapshot cut each device was
+  /// answered at into *capture_cut (overwritten per query).  Must outlive
+  /// the query; the engine writes it from worker tasks into per-shard slots
+  /// and merges on the caller's thread, so the pointee needs no locking.
+  FleetCut* capture_cut = nullptr;
 
   [[nodiscard]] std::int64_t t0_for(const DeviceId& id) const {
     const auto it = t0_overrides.find(id);
@@ -236,6 +257,10 @@ class QueryEngine {
 
   /// Records one finished query: latency histogram for its kind, plus the
   /// slow-query warning/counter when the threshold is set and exceeded.
+  /// Safe from any number of concurrent query callers racing live ingest:
+  /// histogram/counter records are lock-free atomics and the logger
+  /// serializes emission internally (util/log.hpp) — nothing here assumes
+  /// a single query thread.
   void finish_query(const char* kind, obs::Histogram h,
                     const obs::StopWatch& sw) const;
 

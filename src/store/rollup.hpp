@@ -47,8 +47,14 @@
 //
 // Sharding/threading: the per-shard arenas follow the owning Tsdb's shard
 // map, so window folds can ride a QueryPool exactly like fleet queries
-// (disjoint shards per worker, merge on the caller).  Ingest is
-// single-writer, same contract as the Tsdb that drives the hook.
+// (disjoint shards per worker, merge on the caller).  The engine is
+// owner-thread state: on_ingest runs on the Tsdb's single ingest thread
+// (it is the ingest hook), and register/unregister/drain/hot_window/
+// watermark must run on that same thread (or strictly before/after it, as
+// the serving pipeline's flush() arranges) — the MVCC store lets *queries*
+// race ingest, not the rollup engine's own mutable state.  hot_window and
+// backfill read the store through the ingest thread's guard exemption
+// (store/tsdb.hpp); drains on a pool only ever touch disjoint shards.
 
 #include <cstdint>
 #include <map>

@@ -17,6 +17,14 @@ constexpr std::size_t kDedupWindow = 4096;
 /// A query wider than this returns empty rather than degrading silently.
 constexpr std::uint64_t kMaxWindowsPerQuery = 1ULL << 20;
 
+/// First open-chunk capacity.  Chunks grow geometrically by replacement up
+/// to the seal threshold, so a 10k-device fleet does not pre-pay a full
+/// head's columns per device the moment each device first reports.
+constexpr std::uint32_t kInitialChunkCapacity = 16;
+/// First open-chunk network-dictionary capacity (devices report on one or
+/// two grids; roamers a handful).  Grows by replacement like the columns.
+constexpr std::uint32_t kInitialDictCapacity = 4;
+
 /// Stable FNV-1a so shard placement is identical across runs and builds
 /// (std::hash<std::string> makes no such promise).
 std::size_t fnv1a(const std::string& s) noexcept {
@@ -27,13 +35,144 @@ std::size_t fnv1a(const std::string& s) noexcept {
   }
   return static_cast<std::size_t>(h);
 }
+
+constexpr std::uint8_t kChunkFlagTemporary = 0x1;
+constexpr std::uint8_t kChunkFlagOffline = 0x2;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Snapshot objects.  All are immutable once published (the head chunk's
+// columns are append-only: slots at index < count never change, and count
+// only grows) — see the threading contract in tsdb.hpp / store/mvcc.hpp.
+// ---------------------------------------------------------------------------
+
+/// Open head of one series: pre-sized columnar arrays the single writer
+/// appends into, plus a release-published record count.  A reader works
+/// against the count it acquired at capture; column slots below that count
+/// were fully written before the count store, so release/acquire on `count`
+/// is the only synchronization the data path needs.
+struct Tsdb::HeadChunk {
+  HeadChunk(DeviceId id, std::uint32_t cap, std::uint32_t dict_cap)
+      : device(std::move(id)),
+        capacity(cap),
+        dict_capacity(dict_cap),
+        timestamps(new std::int64_t[cap]),
+        intervals(new std::int64_t[cap]),
+        currents_q(new std::int64_t[cap]),
+        voltages_q(new std::int64_t[cap]),
+        energies_q(new std::int64_t[cap]),
+        sequences(new std::uint64_t[cap]),
+        network_ids(new std::uint32_t[cap]),
+        flags(new std::uint8_t[cap]),
+        dict(new NetworkId[dict_cap]) {}
+
+  DeviceId device;
+  std::uint32_t capacity;
+  std::uint32_t dict_capacity;
+  std::unique_ptr<std::int64_t[]> timestamps;
+  std::unique_ptr<std::int64_t[]> intervals;
+  std::unique_ptr<std::int64_t[]> currents_q;
+  std::unique_ptr<std::int64_t[]> voltages_q;
+  std::unique_ptr<std::int64_t[]> energies_q;
+  std::unique_ptr<std::uint64_t[]> sequences;
+  std::unique_ptr<std::uint32_t[]> network_ids;
+  std::unique_ptr<std::uint8_t[]> flags;
+  /// Slot j is written (once) before any record referencing j is published
+  /// through `count`, so a reader resolving a visible record's network index
+  /// always reads a fully-constructed name.
+  std::unique_ptr<NetworkId[]> dict;
+  std::atomic<std::uint32_t> count{0};
+
+  /// Reconstructs record i (dequantized) — must mirror
+  /// SegmentBuilder::record_at exactly: sealing re-appends these records
+  /// into a SegmentBuilder, and the quantization round-trip
+  /// (quantize(dequantize(q)) == q) is what keeps the sealed bytes
+  /// bit-identical to sealing the original records.
+  [[nodiscard]] ConsumptionRecord record_at(std::uint32_t i) const {
+    ConsumptionRecord rec;
+    rec.device_id = device;
+    rec.sequence = sequences[i];
+    rec.timestamp_ns = timestamps[i];
+    rec.interval_ns = intervals[i];
+    rec.current_ma = dequantize(currents_q[i], kCurrentScale);
+    rec.bus_voltage_mv = dequantize(voltages_q[i], kVoltageScale);
+    rec.energy_mwh = dequantize(energies_q[i], kEnergyScale);
+    rec.network = dict[network_ids[i]];
+    rec.membership = (flags[i] & kChunkFlagTemporary) != 0
+                         ? core::MembershipKind::kTemporary
+                         : core::MembershipKind::kHome;
+    rec.stored_offline = (flags[i] & kChunkFlagOffline) != 0;
+    return rec;
+  }
+};
+
+/// One series' published snapshot: the sealed-segment list (with its time
+/// index) and the current open chunk.  Replaced wholesale on seal and on
+/// chunk growth, so one seq_cst pointer load gives a reader a consistent
+/// (sealed, head) pair.
+struct Tsdb::SeriesView {
+  std::vector<const Segment*> sealed;
+  /// Time index over `sealed` (parallel arrays of summary t_min/t_max, one
+  /// entry per segment).  While both stay non-decreasing seal-to-seal
+  /// (`time_ordered`), a range query binary-searches the contiguous
+  /// overlapping run instead of walking every summary; one out-of-order
+  /// seal (offline flush, roamed batch) drops that series back to the
+  /// linear walk for good — correctness never depends on the index.
+  std::vector<std::int64_t> seg_t_min;
+  std::vector<std::int64_t> seg_t_max;
+  bool time_ordered = true;
+  /// Records in `sealed` combined (the head adds `head_visible` more).
+  std::uint64_t sealed_records = 0;
+  /// Dense creation-order index reported to the ingest hook.
+  std::uint64_t ordinal = 0;
+  const HeadChunk* head = nullptr;
+};
+
+/// Stable per-series cell the published pointers live in (address-stable in
+/// its map node for the store's lifetime, so indexes can point at it).
+struct Tsdb::SeriesHandle {
+  std::atomic<const SeriesView*> view{nullptr};
+};
+
+/// Published per-shard series index: sorted (device -> handle) pairs.  The
+/// id pointers alias the writer map's keys (address-stable, never erased);
+/// the vector itself is immutable — device creation publishes a successor.
+struct Tsdb::ShardIndex {
+  std::vector<std::pair<const DeviceId*, const SeriesHandle*>> entries;
+};
+
+/// Writer-only per-series state (map value).  Everything a reader needs
+/// lives behind `handle`; the rest is the ingest thread's private
+/// bookkeeping.
+struct Tsdb::WriterSeries {
+  SeriesHandle handle;
+  /// The writer's pointer to the current open chunk (== view->head).
+  HeadChunk* chunk = nullptr;
+  /// Writer mirrors of the chunk's fill (no atomic re-loads on the fast
+  /// path).
+  std::uint32_t count = 0;
+  std::uint32_t dict_size = 0;
+  /// Per-device dedup over (sequence) — retransmissions and probe/backlog
+  /// overlaps must not double-count history.  Bounded: the oldest entries
+  /// are pruned past kDedupWindow (dedup memory must not outgrow the
+  /// compressed data; every duplicate source — QoS-1 retransmit, probe
+  /// overlap, double roam-forward — re-arrives near the high-water mark).
+  std::set<std::uint64_t> seen_sequences;
+  std::uint64_t ordinal = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
 
 Tsdb::Tsdb(TsdbOptions options) : options_(options) {
   if (options_.shards == 0 || options_.seal_threshold == 0) {
     throw std::invalid_argument("Tsdb needs positive shards/seal_threshold");
   }
-  shards_.resize(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    Shard& shard = shards_.emplace_back();
+    shard.index.store(new ShardIndex{}, std::memory_order_relaxed);
+  }
   obs::MetricsRegistry* reg = options_.metrics;
   if (reg == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>(options_.shards);
@@ -48,61 +187,269 @@ Tsdb::Tsdb(TsdbOptions options) : options_(options) {
   summary_hits_ = reg->counter("tsdb_summary_hits");
 }
 
+Tsdb::~Tsdb() {
+  // No reader may be pinned at destruction (standard lifetime rule).  Free
+  // the *current* published objects here; everything older sits on the
+  // retired list and drains with the epoch domain.
+  for (Shard& shard : shards_) {
+    delete shard.index.load(std::memory_order_relaxed);
+    for (auto& [id, w] : shard.series) {
+      const SeriesView* view = w.handle.view.load(std::memory_order_relaxed);
+      delete view;
+      delete w.chunk;
+    }
+  }
+  epochs_.drain_retired();
+}
+
 std::size_t Tsdb::shard_of(const DeviceId& id) const noexcept {
   return fnv1a(id) % shards_.size();
 }
 
+// ---------------------------------------------------------------------------
+// Ingest (single writer)
+// ---------------------------------------------------------------------------
+
+void Tsdb::publish_view(WriterSeries& w, const SeriesView* next,
+                        bool retire_chunk) {
+  const SeriesView* old = w.handle.view.load(std::memory_order_relaxed);
+  const HeadChunk* old_chunk = old != nullptr ? old->head : nullptr;
+  w.handle.view.store(next, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    epochs_.retire(old);
+    if (retire_chunk && old_chunk != nullptr) {
+      epochs_.retire(old_chunk);
+    }
+  }
+}
+
+void Tsdb::grow_chunk(WriterSeries& w, std::uint32_t min_capacity,
+                      std::uint32_t min_dict) {
+  const HeadChunk& old = *w.chunk;
+  std::uint32_t cap = old.capacity;
+  while (cap < min_capacity) {
+    cap = std::min<std::uint32_t>(
+        cap * 2, static_cast<std::uint32_t>(options_.seal_threshold));
+  }
+  std::uint32_t dict_cap = old.dict_capacity;
+  while (dict_cap < min_dict) {
+    dict_cap *= 2;
+  }
+  auto* next = new HeadChunk(old.device, cap, dict_cap);
+  for (std::uint32_t i = 0; i < w.count; ++i) {
+    next->timestamps[i] = old.timestamps[i];
+    next->intervals[i] = old.intervals[i];
+    next->currents_q[i] = old.currents_q[i];
+    next->voltages_q[i] = old.voltages_q[i];
+    next->energies_q[i] = old.energies_q[i];
+    next->sequences[i] = old.sequences[i];
+    next->network_ids[i] = old.network_ids[i];
+    next->flags[i] = old.flags[i];
+  }
+  for (std::uint32_t j = 0; j < w.dict_size; ++j) {
+    next->dict[j] = old.dict[j];
+  }
+  // Not yet reader-visible: the view publish below is the release that
+  // covers these plain writes.
+  next->count.store(w.count, std::memory_order_relaxed);
+  const SeriesView* cur = w.handle.view.load(std::memory_order_relaxed);
+  auto* view = new SeriesView(*cur);
+  view->head = next;
+  w.chunk = next;
+  publish_view(w, view, /*retire_chunk=*/true);
+}
+
+void Tsdb::seal_head(Shard& shard, WriterSeries& w) {
+  // Rebuild the records through record_at and let the shared SegmentBuilder
+  // encode them: the quantization round-trip is exact, so the sealed bytes
+  // are bit-identical to sealing the originals (pinned by test_store).
+  SegmentBuilder builder;
+  for (std::uint32_t i = 0; i < w.count; ++i) {
+    builder.append(w.chunk->record_at(i));
+  }
+  Segment seg = builder.seal();
+  sealed_bytes_.add(seg.byte_size());
+  segments_sealed_.inc();
+  shard.segments.push_back(std::move(seg));
+  const Segment* stored = &shard.segments.back();
+  const SegmentSummary& s = stored->summary();
+
+  const SeriesView* cur = w.handle.view.load(std::memory_order_relaxed);
+  auto* view = new SeriesView(*cur);
+  // Maintain the time index: the series stays binary-searchable while both
+  // bounds advance monotonically seal-to-seal.
+  if (!view->sealed.empty() && (s.t_min_ns < view->seg_t_min.back() ||
+                                s.t_max_ns < view->seg_t_max.back())) {
+    view->time_ordered = false;
+  }
+  view->sealed.push_back(stored);
+  view->seg_t_min.push_back(s.t_min_ns);
+  view->seg_t_max.push_back(s.t_max_ns);
+  view->sealed_records += w.count;
+  auto* fresh = new HeadChunk(
+      w.chunk->device,
+      std::min<std::uint32_t>(kInitialChunkCapacity,
+                              static_cast<std::uint32_t>(
+                                  options_.seal_threshold)),
+      kInitialDictCapacity);
+  view->head = fresh;
+  w.chunk = fresh;
+  w.count = 0;
+  w.dict_size = 0;
+  publish_view(w, view, /*retire_chunk=*/true);
+}
+
 bool Tsdb::ingest(const ConsumptionRecord& record) {
   const std::size_t shard_index = shard_of(record.device_id);
-  auto& shard = shards_[shard_index];
+  Shard& shard = shards_[shard_index];
   auto [it, created] = shard.series.try_emplace(record.device_id);
-  DeviceSeries& series = it->second;
+  WriterSeries& w = it->second;
   if (created) {
     devices_.inc();
-    series.ordinal = next_ordinal_++;
+    w.ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    w.chunk = new HeadChunk(
+        record.device_id,
+        std::min<std::uint32_t>(kInitialChunkCapacity,
+                                static_cast<std::uint32_t>(
+                                    options_.seal_threshold)),
+        kInitialDictCapacity);
+    auto* view = new SeriesView();
+    view->ordinal = w.ordinal;
+    view->head = w.chunk;
+    w.handle.view.store(view, std::memory_order_seq_cst);
+    // Publish the successor index (readers find the handle through it, and
+    // the handle's view is already set).  O(shard series) per *new device*,
+    // not per record.
+    auto* index = new ShardIndex();
+    index->entries.reserve(shard.series.size());
+    for (const auto& [id, series] : shard.series) {
+      index->entries.emplace_back(&id, &series.handle);
+    }
+    const ShardIndex* old_index =
+        shard.index.load(std::memory_order_relaxed);
+    shard.index.store(index, std::memory_order_seq_cst);
+    epochs_.retire(old_index);
   }
-  if (!series.seen_sequences.insert(record.sequence).second) {
+  if (!w.seen_sequences.insert(record.sequence).second) {
     duplicates_dropped_.inc();
     return false;
   }
-  while (series.seen_sequences.size() > kDedupWindow) {
-    series.seen_sequences.erase(series.seen_sequences.begin());
+  while (w.seen_sequences.size() > kDedupWindow) {
+    w.seen_sequences.erase(w.seen_sequences.begin());
   }
-  series.head.append(record);
-  if (series.head.count() >= options_.seal_threshold) {
-    Segment seg = series.head.seal();
-    sealed_bytes_.add(seg.byte_size());
-    segments_sealed_.inc();
-    const SegmentSummary& s = seg.summary();
-    // Maintain the time index: the series stays binary-searchable while
-    // both bounds advance monotonically seal-to-seal.
-    if (!series.sealed.empty() && (s.t_min_ns < series.seg_t_min.back() ||
-                                   s.t_max_ns < series.seg_t_max.back())) {
-      series.time_ordered = false;
+
+  // Resolve the network against the open chunk's dictionary (first-seen
+  // append order, same as SegmentBuilder's).
+  HeadChunk* chunk = w.chunk;
+  std::uint32_t net_id = w.dict_size;
+  for (std::uint32_t j = 0; j < w.dict_size; ++j) {
+    if (chunk->dict[j] == record.network) {
+      net_id = j;
+      break;
     }
-    series.seg_t_min.push_back(s.t_min_ns);
-    series.seg_t_max.push_back(s.t_max_ns);
-    series.sealed.push_back(std::move(seg));
+  }
+  const bool new_network = net_id == w.dict_size;
+  if (w.count == chunk->capacity ||
+      (new_network && w.dict_size == chunk->dict_capacity)) {
+    grow_chunk(w, w.count + 1,
+               new_network ? w.dict_size + 1 : w.dict_size);
+    chunk = w.chunk;
+  }
+  if (new_network) {
+    chunk->dict[net_id] = record.network;  // before the count release below
+    ++w.dict_size;
+  }
+  const std::uint32_t i = w.count;
+  chunk->timestamps[i] = record.timestamp_ns;
+  chunk->intervals[i] = record.interval_ns;
+  chunk->currents_q[i] = quantize(record.current_ma, kCurrentScale);
+  chunk->voltages_q[i] = quantize(record.bus_voltage_mv, kVoltageScale);
+  chunk->energies_q[i] = quantize(record.energy_mwh, kEnergyScale);
+  chunk->sequences[i] = record.sequence;
+  chunk->network_ids[i] = net_id;
+  std::uint8_t f = 0;
+  if (record.membership == core::MembershipKind::kTemporary) {
+    f |= kChunkFlagTemporary;
+  }
+  if (record.stored_offline) {
+    f |= kChunkFlagOffline;
+  }
+  chunk->flags[i] = f;
+  w.count = i + 1;
+  // The one publish on the record fast path: everything above
+  // happens-before a reader that acquires the new count.
+  chunk->count.store(w.count, std::memory_order_release);
+
+  if (w.count >= options_.seal_threshold) {
+    seal_head(shard, w);
   }
   records_ingested_.inc();
-  if (!max_ingested_ts_ || record.timestamp_ns > *max_ingested_ts_) {
-    max_ingested_ts_ = record.timestamp_ns;
+  const std::int64_t prev_max =
+      max_ingested_ts_.load(std::memory_order_relaxed);
+  if (record.timestamp_ns > prev_max) {
+    max_ingested_ts_.store(record.timestamp_ns, std::memory_order_relaxed);
   }
   if (hook_ != nullptr) {
-    hook_->on_ingest(record, shard_index, series.ordinal);
+    hook_->on_ingest(record, shard_index, w.ordinal);
   }
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Lookup / iteration
+// ---------------------------------------------------------------------------
+
+Tsdb::SeriesRef Tsdb::capture(const SeriesHandle& handle,
+                              std::size_t shard_index) noexcept {
+  // seq_cst pointer load: pairs with the writer's publish/retire protocol
+  // (mvcc.hpp).  The head count is acquire — it orders the column data, not
+  // reclamation.
+  const SeriesView* view = handle.view.load(std::memory_order_seq_cst);
+  const std::uint32_t visible =
+      view->head->count.load(std::memory_order_acquire);
+  return SeriesRef{view, visible, shard_index};
+}
+
+Tsdb::SeriesRef Tsdb::find_series(const DeviceId& id) const {
+  const std::size_t shard_index = shard_of(id);
+  const ShardIndex* index =
+      shards_[shard_index].index.load(std::memory_order_seq_cst);
+  const auto it = std::lower_bound(
+      index->entries.begin(), index->entries.end(), id,
+      [](const auto& entry, const DeviceId& key) { return *entry.first < key; });
+  if (it == index->entries.end() || *it->first != id) {
+    return {};
+  }
+  return capture(*it->second, shard_index);
+}
+
+Tsdb::SeriesRef Tsdb::lookup(const DeviceId& id) const {
+  return find_series(id);
+}
+
+std::uint64_t Tsdb::series_ordinal(SeriesRef ref) const noexcept {
+  return ref.view->ordinal;
+}
+
+std::uint64_t Tsdb::visible_records(SeriesRef ref) const noexcept {
+  if (!ref) {
+    return 0;
+  }
+  return ref.view->sealed_records + ref.head_visible;
+}
+
 bool Tsdb::has_device(const DeviceId& id) const {
+  const ReadGuard guard = epochs_.pin();
   return static_cast<bool>(find_series(id));
 }
 
 std::vector<DeviceId> Tsdb::devices() const {
+  const ReadGuard guard = epochs_.pin();
   std::vector<DeviceId> out;
-  for (const auto& shard : shards_) {
-    for (const auto& [id, _] : shard.series) {
-      out.push_back(id);
+  for (const Shard& shard : shards_) {
+    const ShardIndex* index = shard.index.load(std::memory_order_seq_cst);
+    for (const auto& [id, handle] : index->entries) {
+      out.push_back(*id);
     }
   }
   std::sort(out.begin(), out.end());
@@ -114,8 +461,23 @@ void Tsdb::for_each_device_in_shard(
   if (shard >= shards_.size()) {
     return;
   }
-  for (const auto& [id, _] : shards_[shard].series) {
-    fn(id);  // std::map iteration: already sorted
+  const ReadGuard guard = epochs_.pin();
+  const ShardIndex* index = shards_[shard].index.load(std::memory_order_seq_cst);
+  for (const auto& [id, handle] : index->entries) {
+    fn(*id);  // index entries: already sorted by device id
+  }
+}
+
+void Tsdb::for_each_series_in_shard(
+    std::size_t shard,
+    const std::function<void(const DeviceId&, SeriesRef)>& fn) const {
+  if (shard >= shards_.size()) {
+    return;
+  }
+  const ReadGuard guard = epochs_.pin();
+  const ShardIndex* index = shards_[shard].index.load(std::memory_order_seq_cst);
+  for (const auto& [id, handle] : index->entries) {
+    fn(*id, capture(*handle, shard));  // sorted by device id
   }
 }
 
@@ -131,46 +493,24 @@ TsdbStats Tsdb::stats() const {
   return out;
 }
 
-Tsdb::SeriesRef Tsdb::find_series(const DeviceId& id) const {
-  const std::size_t shard_index = shard_of(id);
-  const auto& shard = shards_[shard_index];
-  const auto it = shard.series.find(id);
-  if (it == shard.series.end()) {
-    return {};
-  }
-  return SeriesRef{&it->second, shard_index};
-}
-
-Tsdb::SeriesRef Tsdb::lookup(const DeviceId& id) const {
-  return find_series(id);
-}
-
-void Tsdb::for_each_series_in_shard(
-    std::size_t shard,
-    const std::function<void(const DeviceId&, SeriesRef)>& fn) const {
-  if (shard >= shards_.size()) {
-    return;
-  }
-  const Shard& s = shards_[shard];
-  for (const auto& [id, series] : s.series) {
-    fn(id, SeriesRef{&series, shard});  // std::map: sorted by device id
-  }
-}
+// ---------------------------------------------------------------------------
+// Query folds (all against a captured SeriesRef)
+// ---------------------------------------------------------------------------
 
 std::pair<std::size_t, std::size_t> Tsdb::sealed_overlap_range(
-    const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns) {
-  const std::size_t n = series.sealed.size();
-  if (!series.time_ordered || n == 0) {
+    const SeriesView& view, std::int64_t t0_ns, std::int64_t t1_ns) {
+  const std::size_t n = view.sealed.size();
+  if (!view.time_ordered || n == 0) {
     return {0, n};
   }
   // Both bound arrays are non-decreasing.  Segments before `lo` have
   // t_max < t0 (no overlap); segments at/after `hi` have t_min >= t1.
-  const auto lo_it = std::lower_bound(series.seg_t_max.begin(),
-                                      series.seg_t_max.end(), t0_ns);
-  const auto hi_it = std::lower_bound(series.seg_t_min.begin(),
-                                      series.seg_t_min.end(), t1_ns);
-  const auto lo = static_cast<std::size_t>(lo_it - series.seg_t_max.begin());
-  const auto hi = static_cast<std::size_t>(hi_it - series.seg_t_min.begin());
+  const auto lo_it = std::lower_bound(view.seg_t_max.begin(),
+                                      view.seg_t_max.end(), t0_ns);
+  const auto hi_it = std::lower_bound(view.seg_t_min.begin(),
+                                      view.seg_t_min.end(), t1_ns);
+  const auto lo = static_cast<std::size_t>(lo_it - view.seg_t_max.begin());
+  const auto hi = static_cast<std::size_t>(hi_it - view.seg_t_min.begin());
   return {lo, std::max(lo, hi)};
 }
 
@@ -197,7 +537,7 @@ void merge_aggregate(DeviceAggregate& into, const DeviceAggregate& from) {
 }
 
 std::optional<std::pair<std::int64_t, std::int64_t>> Tsdb::observed_bounds(
-    const DeviceSeries& series) {
+    SeriesRef ref) {
   std::optional<std::pair<std::int64_t, std::int64_t>> bounds;
   const auto widen = [&bounds](std::int64_t t_min, std::int64_t t_max) {
     if (!bounds) {
@@ -207,20 +547,23 @@ std::optional<std::pair<std::int64_t, std::int64_t>> Tsdb::observed_bounds(
     bounds->first = std::min(bounds->first, t_min);
     bounds->second = std::max(bounds->second, t_max);
   };
-  for (const auto& seg : series.sealed) {
-    widen(seg.summary().t_min_ns, seg.summary().t_max_ns);
+  for (const Segment* seg : ref.view->sealed) {
+    widen(seg->summary().t_min_ns, seg->summary().t_max_ns);
   }
-  if (series.head.count() > 0) {
-    const SegmentSummary head = series.head.summary();
-    widen(head.t_min_ns, head.t_max_ns);
+  // The visible head prefix, not a head summary: the bounds must describe
+  // exactly the records this snapshot exposes.
+  const HeadChunk& head = *ref.view->head;
+  for (std::uint32_t i = 0; i < ref.head_visible; ++i) {
+    widen(head.timestamps[i], head.timestamps[i]);
   }
   return bounds;
 }
 
 void Tsdb::for_each_in_range(
-    const DeviceSeries& series, std::size_t shard, std::int64_t t0_ns,
-    std::int64_t t1_ns, const RecordFilter& filter,
+    SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+    const RecordFilter& filter,
     const std::function<void(const ConsumptionRecord&)>& fn) const {
+  const SeriesView& view = *ref.view;
   const auto in_range = [&](const ConsumptionRecord& r) {
     return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
            filter.matches(r);
@@ -229,12 +572,12 @@ void Tsdb::for_each_in_range(
   // overlap, so everything outside it is pruned without touching a summary.
   // Unordered series keep the linear walk (lo = 0, hi = n) and the
   // per-segment check below does the pruning.
-  const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
-  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
+  const auto [lo, hi] = sealed_overlap_range(view, t0_ns, t1_ns);
+  segments_pruned_.add(view.sealed.size() - (hi - lo), ref.shard);
   for (std::size_t i = lo; i < hi; ++i) {
-    const Segment& seg = series.sealed[i];
+    const Segment& seg = *view.sealed[i];
     if (!seg.summary().overlaps(t0_ns, t1_ns)) {
-      segments_pruned_.add(1, shard);
+      segments_pruned_.add(1, ref.shard);
       continue;
     }
     SegmentCursor cur = seg.cursor();
@@ -244,8 +587,9 @@ void Tsdb::for_each_in_range(
       }
     }
   }
-  for (std::size_t i = 0; i < series.head.count(); ++i) {
-    const ConsumptionRecord rec = series.head.record_at(i);
+  const HeadChunk& head = *view.head;
+  for (std::uint32_t i = 0; i < ref.head_visible; ++i) {
+    const ConsumptionRecord rec = head.record_at(i);
     if (in_range(rec)) {
       fn(rec);
     }
@@ -256,6 +600,7 @@ std::vector<ConsumptionRecord> Tsdb::scan(const DeviceId& device,
                                           std::int64_t t0_ns,
                                           std::int64_t t1_ns,
                                           const RecordFilter& filter) const {
+  const ReadGuard guard = epochs_.pin();
   return scan(find_series(device), t0_ns, t1_ns, filter);
 }
 
@@ -264,7 +609,7 @@ std::vector<ConsumptionRecord> Tsdb::scan(SeriesRef ref, std::int64_t t0_ns,
                                           const RecordFilter& filter) const {
   std::vector<ConsumptionRecord> out;
   if (ref) {
-    for_each_in_range(*ref.series, ref.shard, t0_ns, t1_ns, filter,
+    for_each_in_range(ref, t0_ns, t1_ns, filter,
                       [&out](const ConsumptionRecord& r) { out.push_back(r); });
   }
   return out;
@@ -275,6 +620,7 @@ std::vector<WindowAggregate> Tsdb::downsample(const DeviceId& device,
                                               std::int64_t t1_ns,
                                               std::int64_t window_ns,
                                               const RecordFilter& filter) const {
+  const ReadGuard guard = epochs_.pin();
   return downsample(find_series(device), t0_ns, t1_ns, window_ns, filter);
 }
 
@@ -285,7 +631,7 @@ std::vector<WindowAggregate> Tsdb::downsample(SeriesRef ref, std::int64_t t0_ns,
   if (window_ns <= 0 || t1_ns <= t0_ns || !ref) {
     return {};
   }
-  const auto bounds = observed_bounds(*ref.series);
+  const auto bounds = observed_bounds(ref);
   if (!bounds) {
     return {};
   }
@@ -339,7 +685,7 @@ std::vector<WindowAggregate> Tsdb::downsample(SeriesRef ref, std::int64_t t0_ns,
         static_cast<std::uint64_t>(t0c) + static_cast<std::uint64_t>(i) * uw);
   }
   for_each_in_range(
-      *ref.series, ref.shard, t0c, t1c, filter,
+      ref, t0c, t1c, filter,
       [&](const ConsumptionRecord& r) {
         const auto w = static_cast<std::size_t>(
             (static_cast<std::uint64_t>(r.timestamp_ns) -
@@ -364,6 +710,7 @@ std::optional<DeviceAggregate> Tsdb::aggregate(const DeviceId& device,
                                                std::int64_t t0_ns,
                                                std::int64_t t1_ns,
                                                const RecordFilter& filter) const {
+  const ReadGuard guard = epochs_.pin();
   return aggregate(find_series(device), t0_ns, t1_ns, filter);
 }
 
@@ -374,7 +721,7 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
   if (!ref) {
     return std::nullopt;
   }
-  const DeviceSeries& series = *ref.series;
+  const SeriesView& view = *ref.view;
   const std::size_t shard = ref.shard;
   DeviceAggregate agg;
   std::int64_t current_q_sum = 0;
@@ -404,23 +751,21 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
     energy_q_sum += q_energy_sum;
   };
 
-  const auto fold_decoded = [&](const auto& decode_range) {
-    decode_range([&](const ConsumptionRecord& r) {
-      const std::int64_t q_cur = quantize(r.current_ma, kCurrentScale);
-      const std::int64_t q_energy = quantize(r.energy_mwh, kEnergyScale);
-      fold_quantized(1, r.timestamp_ns, r.timestamp_ns, q_cur, q_cur, q_cur,
-                     q_energy);
-    });
+  const auto fold_record = [&](const ConsumptionRecord& r) {
+    const std::int64_t q_cur = quantize(r.current_ma, kCurrentScale);
+    const std::int64_t q_energy = quantize(r.energy_mwh, kEnergyScale);
+    fold_quantized(1, r.timestamp_ns, r.timestamp_ns, q_cur, q_cur, q_cur,
+                   q_energy);
   };
   const auto in_range = [&](const ConsumptionRecord& r) {
     return r.timestamp_ns >= t0_ns && r.timestamp_ns < t1_ns &&
            filter.matches(r);
   };
 
-  const auto [lo, hi] = sealed_overlap_range(series, t0_ns, t1_ns);
-  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
+  const auto [lo, hi] = sealed_overlap_range(view, t0_ns, t1_ns);
+  segments_pruned_.add(view.sealed.size() - (hi - lo), shard);
   for (std::size_t i = lo; i < hi; ++i) {
-    const Segment& seg = series.sealed[i];
+    const Segment& seg = *view.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (!s.overlaps(t0_ns, t1_ns)) {
       segments_pruned_.add(1, shard);
@@ -435,23 +780,24 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
                      s.current_q_max, s.current_q_sum, s.energy_q_sum);
       continue;
     }
-    fold_decoded([&](auto&& fn) {
-      SegmentCursor cur = seg.cursor();
-      while (auto rec = cur.next()) {
-        if (in_range(*rec)) {
-          fn(*rec);
-        }
-      }
-    });
-  }
-  fold_decoded([&](auto&& fn) {
-    for (std::size_t i = 0; i < series.head.count(); ++i) {
-      const ConsumptionRecord rec = series.head.record_at(i);
-      if (in_range(rec)) {
-        fn(rec);
+    SegmentCursor cur = seg.cursor();
+    while (auto rec = cur.next()) {
+      if (in_range(*rec)) {
+        fold_record(*rec);
       }
     }
-  });
+  }
+  // Visible head prefix: fold the stored quantized columns directly (the
+  // same integers fold_record would recompute through the round-trip).
+  const HeadChunk& head = *view.head;
+  for (std::uint32_t i = 0; i < ref.head_visible; ++i) {
+    const ConsumptionRecord rec = head.record_at(i);
+    if (in_range(rec)) {
+      fold_quantized(1, rec.timestamp_ns, rec.timestamp_ns,
+                     head.currents_q[i], head.currents_q[i],
+                     head.currents_q[i], head.energies_q[i]);
+    }
+  }
 
   if (agg.count == 0) {
     return std::nullopt;
@@ -467,6 +813,7 @@ std::optional<DeviceAggregate> Tsdb::aggregate(SeriesRef ref,
 util::RunningStats Tsdb::current_stats(const DeviceId& device,
                                        std::int64_t t0_ns, std::int64_t t1_ns,
                                        const RecordFilter& filter) const {
+  const ReadGuard guard = epochs_.pin();
   return current_stats(find_series(device), t0_ns, t1_ns, filter);
 }
 
@@ -476,7 +823,7 @@ util::RunningStats Tsdb::current_stats(SeriesRef ref, std::int64_t t0_ns,
   util::RunningStats stats;
   if (ref) {
     for_each_in_range(
-        *ref.series, ref.shard, t0_ns, t1_ns, filter,
+        ref, t0_ns, t1_ns, filter,
         [&stats](const ConsumptionRecord& r) { stats.add(r.current_ma); });
   }
   return stats;
@@ -484,6 +831,7 @@ util::RunningStats Tsdb::current_stats(SeriesRef ref, std::int64_t t0_ns,
 
 std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     const DeviceId& device, std::int64_t from_ns) const {
+  const ReadGuard guard = epochs_.pin();
   return network_breakdown(find_series(device), from_ns);
 }
 
@@ -493,11 +841,11 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
   if (!ref) {
     return out;
   }
-  const DeviceSeries& series = *ref.series;
+  const SeriesView& view = *ref.view;
   const std::size_t shard = ref.shard;
   // Sealed segments entirely past `from_ns` answer from their dictionary
-  // subtotals; only straddlers decode.  The open head walks its (small)
-  // column arrays unless the bound excludes or includes it whole.
+  // subtotals; only straddlers decode.  The visible head prefix folds its
+  // (small) column arrays per record — same quantized integers either way.
   std::map<NetworkId, std::int64_t> energy_q;
   const auto fold_record = [&](const ConsumptionRecord& r) {
     if (r.timestamp_ns < from_ns) {
@@ -506,10 +854,10 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
     out[r.network].records += 1;
     energy_q[r.network] += quantize(r.energy_mwh, kEnergyScale);
   };
-  const auto [lo, hi] = sealed_overlap_range(series, from_ns, INT64_MAX);
-  segments_pruned_.add(series.sealed.size() - (hi - lo), shard);
+  const auto [lo, hi] = sealed_overlap_range(view, from_ns, INT64_MAX);
+  segments_pruned_.add(view.sealed.size() - (hi - lo), shard);
   for (std::size_t i = lo; i < hi; ++i) {
-    const Segment& seg = series.sealed[i];
+    const Segment& seg = *view.sealed[i];
     const SegmentSummary& s = seg.summary();
     if (s.t_max_ns < from_ns) {
       segments_pruned_.add(1, shard);
@@ -528,16 +876,13 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
       fold_record(*rec);
     }
   }
-  const SegmentSummary head = series.head.summary();
-  if (head.count > 0 && head.t_min_ns >= from_ns) {
-    for (const auto& sub : head.networks) {
-      out[sub.network].records += sub.records;
-      energy_q[sub.network] += sub.energy_q_sum;
+  const HeadChunk& head = *view.head;
+  for (std::uint32_t i = 0; i < ref.head_visible; ++i) {
+    if (head.timestamps[i] < from_ns) {
+      continue;
     }
-  } else {
-    for (std::size_t i = 0; i < series.head.count(); ++i) {
-      fold_record(series.head.record_at(i));
-    }
+    out[head.dict[head.network_ids[i]]].records += 1;
+    energy_q[head.dict[head.network_ids[i]]] += head.energies_q[i];
   }
   for (auto& [network, usage] : out) {
     usage.energy_mwh = dequantize(energy_q[network], kEnergyScale);
@@ -546,15 +891,19 @@ std::map<NetworkId, NetworkUsage> Tsdb::network_breakdown(
 }
 
 double Tsdb::total_energy_mwh(const DeviceId& device) const {
+  const ReadGuard guard = epochs_.pin();
   const SeriesRef ref = find_series(device);
   if (!ref) {
     return 0.0;
   }
   std::int64_t energy_q = 0;
-  for (const auto& seg : ref.series->sealed) {
-    energy_q += seg.summary().energy_q_sum;
+  for (const Segment* seg : ref.view->sealed) {
+    energy_q += seg->summary().energy_q_sum;
   }
-  energy_q += ref.series->head.summary().energy_q_sum;
+  const HeadChunk& head = *ref.view->head;
+  for (std::uint32_t i = 0; i < ref.head_visible; ++i) {
+    energy_q += head.energies_q[i];
+  }
   return dequantize(energy_q, kEnergyScale);
 }
 

@@ -2,7 +2,7 @@
 // Aggregator-side embedded time-series database for consumption records.
 //
 // Series are sharded by DeviceId (stable hash), one shard owning a map of
-// device -> { open SegmentBuilder head, sealed columnar segments }.  Every
+// device -> { open columnar head chunk, sealed columnar segments }.  Every
 // record an aggregator accepts is ingested here (with per-device sequence
 // dedup), which makes the store the single source of truth for historical
 // reads: billing breakdowns, verification-window demand, demand forecasting
@@ -25,12 +25,40 @@
 // batches) are fine: summaries track true min/max and scans filter
 // per-record.
 //
-// Threading: ingest is single-writer.  Query paths only bump obs registry
-// counters at their shard's slot (relaxed atomics on per-slot cache lines),
-// so a query engine may fold *disjoint shards* on concurrent workers; two
-// threads must not query the same shard at once.
+// Threading — MVCC with epoch-protected snapshots (store/mvcc.hpp holds the
+// memory-order contract):
+//   * Ingest is single-writer: exactly one thread may call ingest() (and
+//     set_ingest_hook).  The fast path takes no locks — it appends into the
+//     open head chunk's pre-sized columns and publishes the new record count
+//     with one release store.
+//   * Queries run concurrently with ingest and with each other, on any
+//     number of threads.  All reader-visible state is immutable once
+//     published: sealed segments never change; the open head is append-only
+//     (a reader uses the count it captured, never more); series views and
+//     shard indexes are replaced wholesale via single seq_cst pointer
+//     publishes and the old objects retired to an EpochDomain, freed only
+//     after every reader that could hold them has unpinned.
+//   * A reader pins the domain with read_guard() for the duration of one
+//     query.  The DeviceId-keyed query overloads below pin internally; the
+//     SeriesRef-based overloads require the *caller* to hold a guard across
+//     both the ref acquisition and every use (or to be the ingest thread,
+//     which never races itself).  A SeriesRef is a captured snapshot: the
+//     records it exposes are frozen at acquisition ("the cut"), no matter
+//     how much ingest lands afterwards.
+//   * What readers may observe mid-ingest: a consistent per-series prefix —
+//     all sealed segments of the captured view plus the first
+//     `head_visible` records of its open head, which together are exactly
+//     the first visible_records(ref) accepted records of that device, in
+//     acceptance order.  Readers never see a torn record, a half-built
+//     segment, or a series mid-rebalance.  Two refs captured in one guard
+//     (one fleet query) may sit at different per-device cuts; per-device
+//     answers compose deterministically from per-device cuts.
+//   * stats()/observed_max_ts()/series_total() are safe from any thread
+//     (atomic counters; values are exact once the writer quiesces).
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,6 +69,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "store/mvcc.hpp"
 #include "store/segment.hpp"
 #include "util/stats.hpp"
 
@@ -111,6 +140,8 @@ struct RecordFilter {
 /// Folded view of the store's registry counters (stats() shim — the
 /// counters themselves live in the obs registry, sharded per Tsdb shard so
 /// pool workers on disjoint shards never write a shared cache line).
+/// Readable from any thread; relaxed counter folds, exact once the writer
+/// quiesces.
 struct TsdbStats {
   std::uint64_t records_ingested = 0;
   std::uint64_t duplicates_dropped = 0;
@@ -125,10 +156,18 @@ struct TsdbStats {
 };
 
 class Tsdb {
-  struct DeviceSeries;
+  struct HeadChunk;
+  struct SeriesView;
+  struct SeriesHandle;
+  struct ShardIndex;
+  struct WriterSeries;
 
  public:
   explicit Tsdb(TsdbOptions options = {});
+  ~Tsdb();
+
+  Tsdb(const Tsdb&) = delete;
+  Tsdb& operator=(const Tsdb&) = delete;
 
   /// Ingest observer: called once per *accepted* record (after dedup and
   /// append) with the owning shard index and the series' dense ordinal —
@@ -143,31 +182,42 @@ class Tsdb {
     virtual void on_ingest(const ConsumptionRecord& record, std::size_t shard,
                            std::uint64_t series_ordinal) = 0;
   };
-  /// At most one hook; nullptr detaches.  Not owned.
+  /// At most one hook; nullptr detaches.  Not owned.  Ingest-thread only,
+  /// and only while no ingest is in flight.
   void set_ingest_hook(IngestHook* hook) noexcept { hook_ = hook; }
 
-  /// Opaque handle to one device's series inside its shard.  A fleet query
-  /// iterating a shard already holds the series — the ref-based query
-  /// overloads below fold it directly instead of re-hashing the device id
-  /// through the public per-device entry points.  Valid until the next
-  /// ingest; never dereference a ref across a mutation.
+  /// Reader pin for the SeriesRef-based query surface (see the threading
+  /// contract above).  Hold the returned guard across lookup()/
+  /// for_each_series_in_shard() and every use of the refs they yield.
+  [[nodiscard]] ReadGuard read_guard() const { return epochs_.pin(); }
+
+  /// Opaque handle to one captured series snapshot inside its shard.  A
+  /// fleet query iterating a shard already holds the series — the ref-based
+  /// query overloads below fold it directly instead of re-hashing the
+  /// device id through the public per-device entry points.  Valid while the
+  /// guard it was captured under stays pinned (the ingest thread needs no
+  /// guard); the data it exposes is frozen at capture.
   class SeriesRef {
    public:
     SeriesRef() = default;
     [[nodiscard]] explicit operator bool() const noexcept {
-      return series != nullptr;
+      return view != nullptr;
     }
 
    private:
     friend class Tsdb;
-    SeriesRef(const DeviceSeries* s, std::size_t shard_index)
-        : series(s), shard(shard_index) {}
-    const DeviceSeries* series = nullptr;
+    SeriesRef(const SeriesView* v, std::uint32_t visible,
+              std::size_t shard_index)
+        : view(v), head_visible(visible), shard(shard_index) {}
+    const SeriesView* view = nullptr;
+    /// Open-head records visible at capture (acquire-loaded count).
+    std::uint32_t head_visible = 0;
     /// Owning shard — the registry slot query counters record into.
     std::size_t shard = 0;
   };
 
   /// Ingests one record; returns false for a per-device duplicate sequence.
+  /// Single-writer: one thread only.
   bool ingest(const ConsumptionRecord& record);
 
   [[nodiscard]] bool has_device(const DeviceId& id) const;
@@ -214,20 +264,24 @@ class Tsdb {
   /// Whole-history energy total for one device.
   [[nodiscard]] double total_energy_mwh(const DeviceId& device) const;
 
-  /// Resolves a device to its series handle (falsy ref when absent) — one
-  /// hash+map lookup, after which the ref-based overloads below are
-  /// hash-free.
+  /// Resolves a device to its captured series snapshot (falsy ref when
+  /// absent) — one hash + binary search, after which the ref-based
+  /// overloads below are hash-free.  Caller must hold a read_guard() (the
+  /// ingest thread is exempt).
   [[nodiscard]] SeriesRef lookup(const DeviceId& id) const;
   /// Visits every series owned by shard `shard` in sorted device order.
   /// The fleet engine's all-devices fold: the per-device re-hash of
-  /// for_each_device_in_shard + public lookup collapses into the map walk.
+  /// for_each_device_in_shard + public lookup collapses into the index
+  /// walk.  Pins internally; the refs handed to `fn` are valid only during
+  /// that call.
   void for_each_series_in_shard(
       std::size_t shard,
       const std::function<void(const DeviceId&, SeriesRef)>& fn) const;
 
   /// Ref-based query overloads — identical results to the DeviceId
   /// overloads (which delegate here), minus the per-call device hash.
-  /// A falsy ref yields the same answer as an unknown device.
+  /// A falsy ref yields the same answer as an unknown device.  Caller
+  /// holds the guard the ref was captured under.
   [[nodiscard]] std::vector<ConsumptionRecord> scan(
       SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
       const RecordFilter& filter = {}) const;
@@ -243,22 +297,30 @@ class Tsdb {
   [[nodiscard]] std::map<NetworkId, NetworkUsage> network_breakdown(
       SeriesRef ref, std::int64_t from_ns = INT64_MIN) const;
 
+  /// Records frozen into this ref's snapshot: the device's first
+  /// visible_records accepted records, in acceptance order — the cut a
+  /// differential test replays to reproduce this ref's answers exactly.
+  [[nodiscard]] std::uint64_t visible_records(SeriesRef ref) const noexcept;
+
   /// Max record timestamp ever ingested (nullopt while empty) — the
   /// watermark seed for rollups registered against a non-empty store.
+  /// Safe from any thread.
   [[nodiscard]] std::optional<std::int64_t> observed_max_ts() const noexcept {
-    return max_ingested_ts_;
+    const std::int64_t t = max_ingested_ts_.load(std::memory_order_relaxed);
+    if (t == INT64_MIN) {
+      return std::nullopt;
+    }
+    return t;
   }
 
   /// The creation-order ordinal on_ingest reports for this series — lets a
   /// hook rebuild its ordinal-keyed state from existing series (backfill).
   /// Falsy refs are invalid here.
-  [[nodiscard]] std::uint64_t series_ordinal(SeriesRef ref) const noexcept {
-    return ref.series->ordinal;
-  }
+  [[nodiscard]] std::uint64_t series_ordinal(SeriesRef ref) const noexcept;
   /// Ordinals handed out so far (== series ever created) — the size a hook
-  /// needs for an ordinal-indexed table.
+  /// needs for an ordinal-indexed table.  Safe from any thread.
   [[nodiscard]] std::uint64_t series_total() const noexcept {
-    return next_ordinal_;
+    return next_ordinal_.load(std::memory_order_relaxed);
   }
 
   /// Ingest-side counters plus the per-shard query counters folded on read.
@@ -270,64 +332,68 @@ class Tsdb {
   /// Visits every device id owned by shard `shard` in sorted order — the
   /// query engine's unit of work partitioning, copy-free (a fleet query
   /// must not materialize 10k id strings per shard just to iterate them).
+  /// Pins internally.
   void for_each_device_in_shard(
       std::size_t shard,
       const std::function<void(const DeviceId&)>& fn) const;
 
+  /// Snapshot objects retired but not yet reclaimed (tests/observability).
+  [[nodiscard]] std::size_t retired_snapshots() const noexcept {
+    return epochs_.retired_count();
+  }
+
  private:
-  struct DeviceSeries {
-    SegmentBuilder head;
-    std::vector<Segment> sealed;
-    /// Per-device dedup over (sequence) — retransmissions and probe/backlog
-    /// overlaps must not double-count history.  Bounded: the oldest entries
-    /// are pruned past kDedupWindow (dedup memory must not outgrow the
-    /// compressed data; every duplicate source — QoS-1 retransmit, probe
-    /// overlap, double roam-forward — re-arrives near the high-water mark).
-    std::set<std::uint64_t> seen_sequences;
-    /// Time index over `sealed` (parallel arrays of summary t_min/t_max,
-    /// one entry per segment).  While both stay non-decreasing seal-to-seal
-    /// (`time_ordered`), a range query binary-searches the contiguous
-    /// overlapping run instead of walking every summary; one out-of-order
-    /// seal (offline flush, roamed batch) drops that series back to the
-    /// linear walk for good — correctness never depends on the index.
-    std::vector<std::int64_t> seg_t_min;
-    std::vector<std::int64_t> seg_t_max;
-    bool time_ordered = true;
-    /// Dense creation-order index reported to the ingest hook.
-    std::uint64_t ordinal = 0;
-  };
-  /// Shard-local storage (query accounting moved to the obs registry,
-  /// recorded at this shard's slot).
+  /// Shard-local storage.  The series map and segment deque are
+  /// writer-only; readers go through the published `index`.  The deque
+  /// gives sealed segments stable addresses for the lifetime of the store,
+  /// so views can hold plain pointers and only the (small) view/chunk/index
+  /// objects ever need epoch reclamation.
   struct Shard {
-    std::map<DeviceId, DeviceSeries> series;
+    std::map<DeviceId, WriterSeries> series;
+    std::deque<Segment> segments;
+    std::atomic<const ShardIndex*> index{nullptr};
   };
 
   [[nodiscard]] SeriesRef find_series(const DeviceId& id) const;
+  [[nodiscard]] static SeriesRef capture(const SeriesHandle& handle,
+                                         std::size_t shard_index) noexcept;
   /// Storage-order index range [lo, hi) of sealed segments a [t0, t1) query
   /// must visit.  Time-ordered series binary-search it (everything outside
   /// is non-overlapping by construction); unordered series get the full
   /// range and keep their per-segment overlap checks.
   [[nodiscard]] static std::pair<std::size_t, std::size_t> sealed_overlap_range(
-      const DeviceSeries& series, std::int64_t t0_ns, std::int64_t t1_ns);
-  /// Applies `fn` to every record of `series` in [t0, t1) passing `filter`,
+      const SeriesView& view, std::int64_t t0_ns, std::int64_t t1_ns);
+  /// Applies `fn` to every record of `ref` in [t0, t1) passing `filter`,
   /// pruning sealed segments whose summary cannot overlap (prunes counted
   /// at the owning shard's registry slot).
   void for_each_in_range(
-      const DeviceSeries& series, std::size_t shard, std::int64_t t0_ns,
-      std::int64_t t1_ns, const RecordFilter& filter,
+      SeriesRef ref, std::int64_t t0_ns, std::int64_t t1_ns,
+      const RecordFilter& filter,
       const std::function<void(const ConsumptionRecord&)>& fn) const;
-  /// Observed [t_min, t_max] over sealed summaries and the open head;
-  /// nullopt for an empty series.
+  /// Observed [t_min, t_max] over sealed summaries and the visible head
+  /// prefix; nullopt for an empty snapshot.
   [[nodiscard]] static std::optional<std::pair<std::int64_t, std::int64_t>>
-  observed_bounds(const DeviceSeries& series);
+  observed_bounds(SeriesRef ref);
+  /// Replaces a series' published view (and retires the old view and, when
+  /// `retire_chunk` is set, its chunk).
+  void publish_view(WriterSeries& w, const SeriesView* next,
+                    bool retire_chunk);
+  /// Grows the open chunk (capacity and/or dictionary) by replacement.
+  void grow_chunk(WriterSeries& w, std::uint32_t min_capacity,
+                  std::uint32_t min_dict);
+  /// Seals the full open chunk into a segment and publishes the new view.
+  void seal_head(Shard& shard, WriterSeries& w);
 
   TsdbOptions options_;
-  std::vector<Shard> shards_;
+  /// deque: Shard embeds an atomic (non-movable) and needs a stable address.
+  std::deque<Shard> shards_;
+  EpochDomain epochs_;
   /// Private registry when TsdbOptions::metrics is null.
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   // Registry handles (counters are always-on; stats() folds them back into
   // the TsdbStats shim).  Ingest-side counters record at slot 0 (ingest is
-  // single-writer); query-side ones at the owning shard's slot.
+  // single-writer); query-side ones at the owning shard's slot — and may be
+  // bumped by any number of concurrent readers (relaxed per-slot atomics).
   obs::Counter records_ingested_;
   obs::Counter duplicates_dropped_;
   obs::Counter segments_sealed_;
@@ -336,8 +402,10 @@ class Tsdb {
   obs::Counter segments_pruned_;
   obs::Counter summary_hits_;
   IngestHook* hook_ = nullptr;
-  std::optional<std::int64_t> max_ingested_ts_;
-  std::uint64_t next_ordinal_ = 0;
+  /// INT64_MIN = nothing ingested (a real INT64_MIN device clock would be
+  /// indistinguishable — and is already rejected upstream as insane).
+  std::atomic<std::int64_t> max_ingested_ts_{INT64_MIN};
+  std::atomic<std::uint64_t> next_ordinal_{0};
 };
 
 }  // namespace emon::store

@@ -12,9 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/billing.hpp"
@@ -646,6 +650,292 @@ TEST(QueryEngine, DifferentialFuzzParallelVsSequentialOverRandomIngest) {
                                std::to_string(stage));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent ingest racing live queries (the MVCC tentpole gate)
+// ---------------------------------------------------------------------------
+
+/// Per-device acceptance order: the device's subsequence of the fleet
+/// arrival order.  Sequences are unique per device, so the store accepts
+/// every record — duplicates injected later are rejected and do not move
+/// the cut.
+std::map<core::DeviceId, std::vector<ConsumptionRecord>> acceptance_order(
+    const FleetWorkload& fleet) {
+  std::map<core::DeviceId, std::vector<ConsumptionRecord>> accepted;
+  for (const auto& r : fleet.arrival_order) {
+    accepted[r.device_id].push_back(r);
+  }
+  return accepted;
+}
+
+/// Quiesced oracle for a query answered mid-ingest: a fresh store with the
+/// same options holding, per device, exactly the first `n` accepted records
+/// the live query's cut reported.  Bit parity against this store is the
+/// snapshot-consistency contract of store/tsdb.hpp.
+std::unique_ptr<Tsdb> replay_at_cut(
+    const TsdbOptions& options,
+    const std::map<core::DeviceId, std::vector<ConsumptionRecord>>& accepted,
+    const FleetCut& cut) {
+  auto replay = std::make_unique<Tsdb>(options);
+  for (const auto& [id, n] : cut.per_device) {
+    const auto it = accepted.find(id);
+    if (it == accepted.end()) {
+      EXPECT_EQ(n, 0u) << id << ": cut for a device the workload never sent";
+      continue;
+    }
+    EXPECT_LE(n, it->second.size()) << id << ": cut past the accepted stream";
+    const std::uint64_t take =
+        std::min<std::uint64_t>(n, it->second.size());
+    for (std::uint64_t i = 0; i < take; ++i) {
+      replay->ingest(it->second[i]);
+    }
+  }
+  return replay;
+}
+
+/// Draws a random spec in the shape of the sequential fuzz above; always
+/// carries a window so downsample is exercised too.
+QuerySpec random_live_spec(util::Rng& rng, const FleetWorkload& fleet) {
+  QuerySpec spec;
+  spec.window_ns =
+      500'000'000 + static_cast<std::int64_t>(rng() % 4) * 500'000'000;
+  switch (rng() % 4) {
+    case 0:
+      break;  // whole history, all devices
+    case 1:
+      spec.t0_ns = fleet.t_min_ns +
+                   static_cast<std::int64_t>(rng() % 30) * 1'000'000'000;
+      spec.t1_ns = fleet.t_max_ns -
+                   static_cast<std::int64_t>(rng() % 10) * 1'000'000'000;
+      break;
+    case 2:
+      spec.filter.stored_offline = rng() % 2 == 0;
+      break;
+    default:
+      spec.filter.network = "wan-" + std::to_string(rng() % 4);
+      for (std::size_t d = 0; d < fleet.devices.size(); d += 1 + rng() % 3) {
+        spec.devices.push_back(fleet.devices[d]);
+      }
+      break;
+  }
+  if (rng() % 3 == 0 && !fleet.devices.empty()) {
+    spec.t0_overrides[fleet.devices[rng() % fleet.devices.size()]] =
+        fleet.t_min_ns + static_cast<std::int64_t>(rng() % 60) * 1'000'000'000;
+  }
+  return spec;
+}
+
+TEST(QueryEngine, ConcurrentIngestMatchesQuiescedReplayAtCut) {
+  // A writer thread ingests the fleet (with QoS-1 duplicate retransmissions
+  // mixed in) while this thread fires randomized fleet queries.  Every
+  // answer captures its per-device cut and must be bit-identical to the
+  // same query over a quiesced replay of exactly that cut — mid-ingest
+  // answers are real answers, not approximations.
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    util::Rng rng{0xace0 + trial};
+    const auto fleet =
+        make_fleet(10 + rng() % 14, 60 + rng() % 60, 3, 0x900d + trial);
+    const auto accepted = acceptance_order(fleet);
+    const TsdbOptions opts{1 + rng() % 8, 8 + rng() % 40};
+    Tsdb db{opts};
+    const QueryEngine live{db, QueryEngineOptions{2 + rng() % 4}};
+
+    std::atomic<bool> done{false};
+    std::thread writer([&db, &fleet, &done, trial] {
+      util::Rng wrng{0x417 + trial};
+      for (std::size_t i = 0; i < fleet.arrival_order.size(); ++i) {
+        db.ingest(fleet.arrival_order[i]);
+        if (wrng() % 13 == 0) {  // retransmission: rejected by dedup
+          db.ingest(fleet.arrival_order[wrng() % (i + 1)]);
+        }
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    std::size_t checked = 0;
+    // Keep querying until the writer finished AND at least a dozen answers
+    // were replay-checked (most of them genuinely mid-ingest).
+    while (checked < 12 || !done.load(std::memory_order_acquire)) {
+      QuerySpec spec = random_live_spec(rng, fleet);
+      FleetCut cut;
+      spec.capture_cut = &cut;
+      const std::string label =
+          "trial " + std::to_string(trial) + " query " + std::to_string(checked);
+      // Void lambda so ASSERT_* bails out of the check, not the test body —
+      // the writer thread below must always be joined.
+      [&]() -> void {
+      switch (checked % 5) {
+        case 0: {
+          const FleetAggregate got = live.aggregate(spec);
+          const auto replay = replay_at_cut(opts, accepted, cut);
+          spec.capture_cut = nullptr;
+          const QueryEngine oracle{*replay, QueryEngineOptions{1}};
+          const FleetAggregate want = oracle.aggregate(spec);
+          ASSERT_EQ(got.per_device.size(), want.per_device.size()) << label;
+          for (std::size_t i = 0; i < got.per_device.size(); ++i) {
+            EXPECT_EQ(got.per_device[i].first, want.per_device[i].first)
+                << label;
+            EXPECT_TRUE(got.per_device[i].second == want.per_device[i].second)
+                << label << " device " << got.per_device[i].first;
+          }
+          EXPECT_TRUE(got.merged == want.merged) << label;
+          break;
+        }
+        case 1: {
+          const FleetScan got = live.scan(spec);
+          const auto replay = replay_at_cut(opts, accepted, cut);
+          spec.capture_cut = nullptr;
+          const QueryEngine oracle{*replay, QueryEngineOptions{1}};
+          const FleetScan want = oracle.scan(spec);
+          ASSERT_EQ(got.records.size(), want.records.size()) << label;
+          for (std::size_t i = 0; i < got.records.size(); ++i) {
+            EXPECT_EQ(got.records[i], want.records[i]) << label;
+          }
+          ASSERT_EQ(got.per_device.size(), want.per_device.size()) << label;
+          for (std::size_t i = 0; i < got.per_device.size(); ++i) {
+            EXPECT_EQ(got.per_device[i].device, want.per_device[i].device)
+                << label;
+            EXPECT_EQ(got.per_device[i].offset, want.per_device[i].offset)
+                << label;
+            EXPECT_EQ(got.per_device[i].count, want.per_device[i].count)
+                << label;
+          }
+          break;
+        }
+        case 2: {
+          const FleetStats got = live.current_stats(spec);
+          const auto replay = replay_at_cut(opts, accepted, cut);
+          spec.capture_cut = nullptr;
+          const QueryEngine oracle{*replay, QueryEngineOptions{1}};
+          const FleetStats want = oracle.current_stats(spec);
+          ASSERT_EQ(got.per_device.size(), want.per_device.size()) << label;
+          for (std::size_t i = 0; i < got.per_device.size(); ++i) {
+            EXPECT_EQ(got.per_device[i].first, want.per_device[i].first)
+                << label;
+            EXPECT_TRUE(
+                stats_equal(got.per_device[i].second, want.per_device[i].second))
+                << label << " device " << got.per_device[i].first;
+          }
+          EXPECT_TRUE(stats_equal(got.merged, want.merged)) << label;
+          break;
+        }
+        case 3: {
+          const FleetWindows got = live.downsample(spec);
+          const auto replay = replay_at_cut(opts, accepted, cut);
+          spec.capture_cut = nullptr;
+          const QueryEngine oracle{*replay, QueryEngineOptions{1}};
+          const FleetWindows want = oracle.downsample(spec);
+          ASSERT_EQ(got.per_device.size(), want.per_device.size()) << label;
+          for (std::size_t i = 0; i < got.per_device.size(); ++i) {
+            EXPECT_EQ(got.per_device[i].first, want.per_device[i].first)
+                << label;
+            ASSERT_EQ(got.per_device[i].second.size(),
+                      want.per_device[i].second.size())
+                << label;
+            for (std::size_t w = 0; w < got.per_device[i].second.size(); ++w) {
+              EXPECT_TRUE(
+                  got.per_device[i].second[w] == want.per_device[i].second[w])
+                  << label;
+            }
+          }
+          ASSERT_EQ(got.merged.size(), want.merged.size()) << label;
+          for (std::size_t w = 0; w < got.merged.size(); ++w) {
+            EXPECT_TRUE(got.merged[w] == want.merged[w]) << label;
+          }
+          break;
+        }
+        default: {
+          const FleetBreakdown got = live.network_breakdown(spec);
+          const auto replay = replay_at_cut(opts, accepted, cut);
+          spec.capture_cut = nullptr;
+          const QueryEngine oracle{*replay, QueryEngineOptions{1}};
+          const FleetBreakdown want = oracle.network_breakdown(spec);
+          ASSERT_EQ(got.per_device.size(), want.per_device.size()) << label;
+          for (std::size_t i = 0; i < got.per_device.size(); ++i) {
+            EXPECT_EQ(got.per_device[i].first, want.per_device[i].first)
+                << label;
+            EXPECT_TRUE(
+                usage_equal(got.per_device[i].second, want.per_device[i].second))
+                << label;
+          }
+          EXPECT_TRUE(usage_equal(got.merged, want.merged)) << label;
+          EXPECT_EQ(got.total_energy_mwh(), want.total_energy_mwh()) << label;
+          break;
+        }
+      }
+      }();
+      if (::testing::Test::HasFatalFailure()) {
+        break;
+      }
+      ++checked;
+    }
+    writer.join();
+  }
+}
+
+TEST(QueryEngine, ParallelReaderThreadsObserveMonotoneCuts) {
+  // Two query threads (own engines, pool workers inside) race one writer.
+  // Each thread checks snapshot sanity per answer — merged count equals the
+  // per-device fold, and for an unfiltered whole-history aggregate every
+  // per-device count equals the captured cut exactly — and that successive
+  // cuts never move backwards (epochs only advance).  After the writer
+  // joins, a final quiesced answer must be bit-identical to a fresh
+  // single-threaded store of the whole fleet.
+  const auto fleet = make_fleet(16, 160, 4, 0x51ab);
+  Tsdb db{TsdbOptions{4, 32}};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    ingest_all(db, fleet.arrival_order);
+    done.store(true, std::memory_order_release);
+  });
+
+  auto reader = [&db, &done](unsigned workers) {
+    const QueryEngine engine{db, QueryEngineOptions{workers}};
+    std::map<core::DeviceId, std::uint64_t> last;
+    bool final_pass = false;
+    while (!final_pass) {
+      final_pass = done.load(std::memory_order_acquire);
+      QuerySpec spec;  // whole history, all devices, no filter
+      FleetCut cut;
+      spec.capture_cut = &cut;
+      const FleetAggregate got = engine.aggregate(spec);
+      std::map<core::DeviceId, std::uint64_t> cut_by_device;
+      for (const auto& [id, n] : cut.per_device) {
+        // Cuts only advance: a later snapshot can never show fewer records.
+        const auto it = last.find(id);
+        if (it != last.end()) {
+          EXPECT_GE(n, it->second) << id;
+        }
+        last[id] = n;
+        cut_by_device.emplace(id, n);
+      }
+      std::uint64_t fold = 0;
+      for (const auto& [id, agg] : got.per_device) {
+        fold += agg.count;
+        // Unfiltered whole-history fold: the answer *is* the cut.
+        const auto it = cut_by_device.find(id);
+        ASSERT_TRUE(it != cut_by_device.end()) << id;
+        EXPECT_EQ(agg.count, it->second) << id;
+      }
+      EXPECT_EQ(got.merged.count, fold);
+    }
+  };
+  std::thread r1(reader, 2);
+  std::thread r2(reader, 3);
+  r1.join();
+  r2.join();
+  writer.join();
+
+  // Quiesced epilogue: the raced store answers bit-identically to a store
+  // that never saw a concurrent reader.
+  Tsdb clean{TsdbOptions{4, 32}};
+  ingest_all(clean, fleet.arrival_order);
+  const QueryEngine raced{db, QueryEngineOptions{3}};
+  const QueryEngine quiet{clean, QueryEngineOptions{1}};
+  QuerySpec spec;
+  spec.window_ns = 1'000'000'000;
+  expect_engines_agree(raced, quiet, spec, "post-race vs clean store");
 }
 
 }  // namespace

@@ -20,11 +20,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -570,6 +573,66 @@ TEST(RollupFuzz, OutOfOrderIngestInterleavedWithDrains) {
       EXPECT_GT(stats->records_folded, 0u);
     }
     EXPECT_GE(total_windows, 20u);
+  }
+}
+
+TEST(RollupFuzz, ConcurrentColdQueriesDuringMaintainedIngest) {
+  // The serving-path split (core/serve_pipeline.hpp): the rollup engine
+  // stays owner-thread state on the ingest thread — which ingests the fleet
+  // and drains mid-stream — while this thread hammers cold fleet queries
+  // against the same MVCC store.  Racing answers must stay internally
+  // consistent (merged count == per-device fold over one snapshot), and
+  // once the owner joins, every window it drained must match the quiesced
+  // cold oracle bit-for-bit.
+  Tsdb db{TsdbOptions{4, 32}};
+  RollupEngine rollups{db};
+  db.set_ingest_hook(&rollups);
+
+  RollupSpec spec;
+  spec.window_ns = kSecond;
+  spec.slide_ns = kSecond;
+  spec.lateness_ns = 500 * kMs;
+  const std::uint64_t id = rollups.register_rollup(spec);
+
+  const auto arrival = make_fleet(6, 160, 3, 0xc01d);
+  std::vector<ClosedWindow> windows;  // owner-thread only until join
+  std::atomic<bool> done{false};
+  std::thread owner([&] {
+    std::size_t ingested = 0;
+    for (const auto& r : arrival) {
+      db.ingest(r);
+      if (++ingested % 64 == 0) {
+        auto batch = rollups.drain(id);
+        windows.insert(windows.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+      }
+    }
+    db.ingest(watermark_record(120 * kSecond));
+    auto tail = rollups.drain(id);
+    windows.insert(windows.end(), std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+    done.store(true, std::memory_order_release);
+  });
+
+  const QueryEngine engine{db, QueryEngineOptions{3}};
+  std::size_t raced = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    QuerySpec q;  // whole history, all devices
+    const FleetAggregate got = engine.aggregate(q);
+    std::uint64_t fold = 0;
+    for (const auto& [device, agg] : got.per_device) {
+      (void)device;
+      fold += agg.count;
+    }
+    EXPECT_EQ(got.merged.count, fold) << "raced query " << raced;
+    ++raced;
+  }
+  owner.join();
+
+  ASSERT_GE(windows.size(), 10u);
+  for (const auto& w : windows) {
+    expect_window_matches_cold(engine, spec, w, "concurrent-drain");
   }
 }
 

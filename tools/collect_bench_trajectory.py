@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Collect every BENCH_*.json produced by a CI run into one trajectory file.
+
+Each bench binary (micro_store JSON smoke, fleet_scale, shard_scale,
+query_scale, rollup_push, obs_overhead, serve_concurrent) writes its own
+BENCH_<name>.json artifact.  This merges them into a single
+bench_trajectory.json keyed by bench name, stamped with the commit and run
+metadata CI exposes, so one artifact per run carries the whole performance
+trajectory and plotting across runs needs no artifact archaeology.
+
+Stdlib only (json/os/sys/glob) — runs on a bare CI python3.
+
+Usage:
+    python3 tools/collect_bench_trajectory.py [--dir DIR ...] [--out FILE]
+
+Every --dir is scanned (non-recursively) for BENCH_*.json; later dirs win
+on name collisions.  Defaults: --dir build --out bench_trajectory.json.
+Files that fail to parse are recorded under "errors" rather than aborting
+the collection — one broken bench must not discard the rest of the run's
+trajectory.  Exits 1 only when no bench file was found at all.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def bench_name(path: str) -> str:
+    base = os.path.basename(path)
+    name = base[len("BENCH_"):] if base.startswith("BENCH_") else base
+    return name[:-len(".json")] if name.endswith(".json") else name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", action="append", default=[],
+                        help="directory to scan for BENCH_*.json "
+                             "(repeatable; default: build)")
+    parser.add_argument("--out", default="bench_trajectory.json")
+    args = parser.parse_args()
+    dirs = args.dir or ["build"]
+
+    benches = {}
+    errors = {}
+    for d in dirs:
+        for path in sorted(glob.glob(os.path.join(d, "BENCH_*.json"))):
+            name = bench_name(path)
+            try:
+                with open(path, encoding="utf-8") as f:
+                    benches[name] = json.load(f)
+            except (OSError, ValueError) as exc:
+                errors[name] = "%s: %s" % (path, exc)
+
+    if not benches and not errors:
+        print("no BENCH_*.json found under: %s" % ", ".join(dirs),
+              file=sys.stderr)
+        return 1
+
+    trajectory = {
+        # CI metadata; empty strings locally, filled in by the workflow env.
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "ref": os.environ.get("GITHUB_REF", ""),
+        "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+        "run_attempt": os.environ.get("GITHUB_RUN_ATTEMPT", ""),
+        "benches": benches,
+    }
+    if errors:
+        trajectory["errors"] = errors
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s (%d benches%s)" % (
+        args.out, len(benches),
+        ", %d errors" % len(errors) if errors else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
