@@ -7,7 +7,6 @@
 // at rest.
 
 #include <cstddef>
-#include <optional>
 #include <string>
 #include <vector>
 

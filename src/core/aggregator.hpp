@@ -48,6 +48,7 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::core {
 
@@ -77,19 +78,26 @@ class Aggregator {
   /// `network` is the WAN/grid-location this aggregator owns (its SSID).
   /// The aggregator registers itself as a backhaul node and a chain writer
   /// (its commit rank in `commits` is its construction order).
+  ///
+  /// Threading: an aggregator lives on one kernel shard; every method below
+  /// executes on that shard's event thread, which is the owner thread of
+  /// the broker, store, rollup engine and subscription service it drives.
+  /// The mutating entry points carry EMON_OWNER_THREAD_CONTEXT — they *are*
+  /// the sanctioned owner-thread bodies tools/emon_lint.py checks owner
+  /// calls against.
   Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
              const SystemConfig& config, grid::DistributionNetwork& grid_net,
              net::Backhaul& backhaul, chain::PermissionedChain& chain,
              ChainCommitQueue& commits, const util::SeedSequence& seeds,
-             sim::Trace* trace = nullptr);
+             sim::Trace* trace = nullptr) EMON_OWNER_THREAD_CONTEXT;
 
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
   /// Starts periodic duties (feeder sampling, verification, blocks,
   /// beacons, expiry sweeps).
-  void start();
-  void stop();
+  void start() EMON_OWNER_THREAD_CONTEXT;
+  void stop() EMON_OWNER_THREAD_CONTEXT;
 
   [[nodiscard]] const std::string& id() const noexcept { return id_; }
   [[nodiscard]] const NetworkId& network() const noexcept { return network_; }
@@ -156,43 +164,49 @@ class Aggregator {
 
   /// Administrative membership removal (sequence 3: loss/reset/transfer of
   /// ownership).  Notifies the device and, for transfers, the new master.
-  void remove_membership(const DeviceId& device, const std::string& reason);
+  void remove_membership(const DeviceId& device, const std::string& reason)
+      EMON_OWNER_THREAD_CONTEXT;
   void transfer_membership(const DeviceId& device,
-                           const std::string& new_master);
+                           const std::string& new_master)
+      EMON_OWNER_THREAD_CONTEXT;
 
  private:
   // -- MQTT ingress -----------------------------------------------------------
   /// Decodes an uplink envelope and dispatches to the typed handlers.
-  void handle_device_frame(const net::MqttMessage& msg);
-  void handle_register(const RegisterRequest& req);
-  void handle_report(const Report& report);
+  void handle_device_frame(const net::MqttMessage& msg)
+      EMON_OWNER_THREAD_CONTEXT;
+  void handle_register(const RegisterRequest& req) EMON_OWNER_THREAD_CONTEXT;
+  void handle_report(const Report& report) EMON_OWNER_THREAD_CONTEXT;
   /// emon/metrics admin endpoint: answers a StatsRequest with a sealed
   /// StatsResponse (registry snapshot + sim time) on the requester's push
   /// topic.
-  void handle_stats(const net::MqttMessage& msg);
+  void handle_stats(const net::MqttMessage& msg) EMON_OWNER_THREAD_CONTEXT;
 
   // -- Backhaul ingress --------------------------------------------------------
-  void handle_backhaul(const net::Frame& frame);
-  void finish_temp_registration(const DeviceId& device, bool verified);
+  void handle_backhaul(const net::Frame& frame) EMON_OWNER_THREAD_CONTEXT;
+  void finish_temp_registration(const DeviceId& device, bool verified)
+      EMON_OWNER_THREAD_CONTEXT;
 
   // -- Periodic duties ----------------------------------------------------------
   /// Sorted member ids, rebuilt lazily on membership change — lent to fleet
   /// queries via QuerySpec::borrowed_devices.
   const std::vector<DeviceId>& sorted_member_ids();
-  void on_feeder_sample();
-  void on_verify_window();
-  void on_block_timer();
-  void on_beacon_timer();
-  void on_expiry_sweep();
+  void on_feeder_sample() EMON_OWNER_THREAD_CONTEXT;
+  void on_verify_window() EMON_OWNER_THREAD_CONTEXT;
+  void on_block_timer() EMON_OWNER_THREAD_CONTEXT;
+  void on_beacon_timer() EMON_OWNER_THREAD_CONTEXT;
+  void on_expiry_sweep() EMON_OWNER_THREAD_CONTEXT;
 
-  void send_ctrl(const CtrlMessage& message);
+  void send_ctrl(const CtrlMessage& message) EMON_OWNER_THREAD_CONTEXT;
   /// Applies a block to the local replica, buffering out-of-order arrivals
   /// (two writers may append to the shared chain faster than the backhaul
   /// delivers their broadcasts).
-  void sync_replica(chain::Block block);
-  void accept_records(MemberEntry& member, const Report& report);
-  void queue_for_chain(const ConsumptionRecord& record);
-  void broadcast_block(const chain::Block& block);
+  void sync_replica(chain::Block block) EMON_OWNER_THREAD_CONTEXT;
+  void accept_records(MemberEntry& member, const Report& report)
+      EMON_OWNER_THREAD_CONTEXT;
+  void queue_for_chain(const ConsumptionRecord& record)
+      EMON_OWNER_THREAD_CONTEXT;
+  void broadcast_block(const chain::Block& block) EMON_OWNER_THREAD_CONTEXT;
 
   sim::Kernel& kernel_;
   std::string id_;

@@ -16,8 +16,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <string>
-#include <vector>
 
 #include "core/records.hpp"
 #include "sim/time.hpp"

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <map>
-#include <string>
 #include <vector>
 
 #include "chain/ledger.hpp"

@@ -6,7 +6,7 @@
 namespace emon::core {
 
 void ChainCommitQueue::register_writer(const std::string& writer_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   writer_rank_.emplace(writer_id, writer_rank_.size());
 }
 
@@ -14,7 +14,7 @@ std::uint64_t ChainCommitQueue::submit(const std::string& writer_id,
                                        const std::string& secret,
                                        std::vector<chain::RecordBytes> records,
                                        sim::SimTime at) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto rank = writer_rank_.find(writer_id);
   if (rank == writer_rank_.end()) {
     throw std::logic_error("ChainCommitQueue: writer '" + writer_id +
@@ -28,7 +28,7 @@ std::uint64_t ChainCommitQueue::submit(const std::string& writer_id,
 
 std::optional<chain::Block> ChainCommitQueue::collect(std::uint64_t ticket,
                                                       sim::SimTime up_to) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   // Commit the ripe prefix in (submit time, writer rank, ticket) order —
   // the same total order a sequential run produces, whichever writer's
   // collect event reaches the queue first.
@@ -62,7 +62,7 @@ std::optional<chain::Block> ChainCommitQueue::collect(std::uint64_t ticket,
 }
 
 std::uint64_t ChainCommitQueue::committed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return committed_;
 }
 

@@ -25,13 +25,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chain/permissioned.hpp"
 #include "sim/time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::core {
 
@@ -45,23 +45,24 @@ class ChainCommitQueue {
   /// Fixes the writer's tie-break rank for same-instant submissions.
   /// Call once per writer, during (single-threaded) construction, in
   /// creation order.  Re-registration keeps the original rank.
-  void register_writer(const std::string& writer_id);
+  void register_writer(const std::string& writer_id) EMON_EXCLUDES(mutex_);
 
   /// Stages a block submission with timestamp `at`.  Returns the ticket to
   /// collect the sealed block with.  Thread-safe.
   [[nodiscard]] std::uint64_t submit(const std::string& writer_id,
                                      const std::string& secret,
                                      std::vector<chain::RecordBytes> records,
-                                     sim::SimTime at);
+                                     sim::SimTime at) EMON_EXCLUDES(mutex_);
 
   /// Commits every staged submission with submit time <= `up_to` (in
   /// deterministic order), then returns the sealed block for `ticket` —
   /// nullopt if the chain rejected the writer.  Call at submit time +
   /// chain_commit_latency on the submitting writer's kernel.  Thread-safe.
   [[nodiscard]] std::optional<chain::Block> collect(std::uint64_t ticket,
-                                                    sim::SimTime up_to);
+                                                    sim::SimTime up_to)
+      EMON_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::uint64_t committed() const;
+  [[nodiscard]] std::uint64_t committed() const EMON_EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -73,13 +74,14 @@ class ChainCommitQueue {
     std::vector<chain::RecordBytes> records;
   };
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   chain::PermissionedChain& chain_;
-  std::map<std::string, std::size_t> writer_rank_;
-  std::vector<Pending> staged_;
-  std::map<std::uint64_t, std::optional<chain::Block>> results_;
-  std::uint64_t next_ticket_ = 1;
-  std::uint64_t committed_ = 0;
+  std::map<std::string, std::size_t> writer_rank_ EMON_GUARDED_BY(mutex_);
+  std::vector<Pending> staged_ EMON_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::optional<chain::Block>> results_
+      EMON_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ EMON_GUARDED_BY(mutex_) = 1;
+  std::uint64_t committed_ EMON_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace emon::core

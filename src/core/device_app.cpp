@@ -1,6 +1,5 @@
 #include "core/device_app.hpp"
 
-#include <algorithm>
 
 #include "util/bytes.hpp"
 

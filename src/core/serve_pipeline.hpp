@@ -31,11 +31,9 @@
 // the caller may read rollup state or replay-compare store contents exactly
 // (the differential tests' and benchmarks' sync point).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <variant>
 #include <vector>
@@ -44,6 +42,7 @@
 #include "obs/metrics.hpp"
 #include "store/rollup.hpp"
 #include "store/tsdb.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::core {
 
@@ -93,38 +92,52 @@ class ServePipeline {
   ServePipeline& operator=(const ServePipeline&) = delete;
 
   /// Registers a rollup to drain on every pump, fanning each closed window
-  /// to `sink`.  Call before start() (the sink list is not guarded).
-  void add_window_sink(std::uint64_t rollup_id, WindowSink sink);
+  /// to `sink`.  Must be called before start(): after the worker is running
+  /// it reads the sink list unlocked, so late registration would race —
+  /// this throws std::logic_error instead.
+  void add_window_sink(std::uint64_t rollup_id, WindowSink sink)
+      EMON_EXCLUDES(mu_);
 
   /// Spawns the ingest worker.  Idempotent.
-  void start();
+  void start() EMON_EXCLUDES(mu_);
   /// Drains the queue, runs a final pump, joins the worker.  Idempotent;
   /// also run by the destructor.
-  void stop();
+  /// EMON_OWNER_THREAD_CONTEXT: once the worker is joined, the stopping
+  /// thread is the store's only mutator, so the final pump is sanctioned
+  /// (same quiesce handoff as flush()).
+  void stop() EMON_EXCLUDES(mu_) EMON_OWNER_THREAD_CONTEXT;
 
   /// Enqueues one encoded MQTT uplink frame (decoded on the ingest worker).
   /// Blocks while the queue is at capacity; false once stop() began.
-  bool submit_frame(std::vector<std::uint8_t> frame);
+  bool submit_frame(std::vector<std::uint8_t> frame) EMON_EXCLUDES(mu_);
   /// Enqueues pre-decoded records — the bench fast path that measures the
   /// store, not the codec.  Same backpressure rules.
-  bool submit_records(std::vector<ConsumptionRecord> records);
+  bool submit_records(std::vector<ConsumptionRecord> records)
+      EMON_EXCLUDES(mu_);
 
   /// Blocks until every item submitted before this call is ingested, then
   /// runs one rollup pump on the calling thread.  On return the pipeline is
   /// quiesced and everything the worker wrote is visible to the caller.
-  void flush();
+  /// EMON_OWNER_THREAD_CONTEXT: with the queue drained and the worker
+  /// parked under mu_, the caller temporarily *is* the store's owner
+  /// thread, so the final pump's owner-only calls are sanctioned here.
+  void flush() EMON_EXCLUDES(mu_) EMON_OWNER_THREAD_CONTEXT;
 
-  [[nodiscard]] ServePipelineStats stats() const;
+  [[nodiscard]] ServePipelineStats stats() const EMON_EXCLUDES(mu_);
 
  private:
   using Item =
       std::variant<std::vector<std::uint8_t>, std::vector<ConsumptionRecord>>;
 
-  void worker_loop();
-  void ingest_item(Item& item, ServePipelineStats& local);
-  /// Drains every sink rollup; counts into `local`.  Caller must be the
-  /// ingest worker or hold the flush quiesce.
-  void pump(ServePipelineStats& local);
+  /// The ingest worker body — the Tsdb/RollupEngine owner thread
+  /// (EMON_OWNER_THREAD_CONTEXT sanctions its owner-only store calls).
+  void worker_loop() EMON_EXCLUDES(mu_) EMON_OWNER_THREAD_CONTEXT;
+  void ingest_item(Item& item, ServePipelineStats& local) EMON_OWNER_THREAD;
+  /// Drains every sink rollup; counts into `local`.  Runs either on the
+  /// ingest worker (lock dropped, between batches) or on a quiescing caller
+  /// holding mu_ with the worker parked — so it carries no lock annotation
+  /// of its own (but is owner-thread-only, like the drains it wraps).
+  void pump(ServePipelineStats& local) EMON_OWNER_THREAD;
 
   store::Tsdb* tsdb_;
   store::RollupEngine* rollups_;
@@ -133,17 +146,21 @@ class ServePipeline {
     std::uint64_t rollup_id = 0;
     WindowSink sink;
   };
+  /// Frozen at start(): written only before the worker exists (enforced by
+  /// add_window_sink), read unlocked by the worker afterwards — the thread
+  /// creation is the happens-before edge, so no capability guards it.
   std::vector<Sink> sinks_;
 
-  mutable std::mutex mu_;
-  std::condition_variable worker_cv_;    // queue non-empty or stopping
-  std::condition_variable producer_cv_;  // queue below capacity
-  std::condition_variable idle_cv_;      // queue empty and worker idle
-  std::deque<Item> queue_;
-  bool in_flight_ = false;  // worker is ingesting a swapped batch
-  bool stopping_ = false;
-  bool started_ = false;
-  ServePipelineStats stats_;  // guarded by mu_
+  mutable util::Mutex mu_;
+  util::CondVar worker_cv_;    // queue non-empty or stopping
+  util::CondVar producer_cv_;  // queue below capacity
+  util::CondVar idle_cv_;      // queue empty and worker idle
+  std::deque<Item> queue_ EMON_GUARDED_BY(mu_);
+  // Worker is ingesting a swapped batch.
+  bool in_flight_ EMON_GUARDED_BY(mu_) = false;
+  bool stopping_ EMON_GUARDED_BY(mu_) = false;
+  bool started_ EMON_GUARDED_BY(mu_) = false;
+  ServePipelineStats stats_ EMON_GUARDED_BY(mu_);
   std::thread worker_;
 
   obs::Histogram ingest_item_ns_;  // serve_ingest_ns: decode+ingest per item

@@ -32,6 +32,7 @@
 #include "net/mqtt.hpp"
 #include "store/query_engine.hpp"
 #include "store/rollup.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::core {
 
@@ -76,18 +77,22 @@ class SubscriptionService {
 
   /// Registers the emon/sub local handler on the broker.  Idempotent by
   /// construction order (call once, from Aggregator's constructor).
-  void attach();
+  /// The whole mutating surface below is owner-thread-only (the thread
+  /// driving the rollup engine); EMON_OWNER_THREAD is enforced by
+  /// tools/emon_lint.py.
+  void attach() EMON_OWNER_THREAD;
 
   /// Drains every backing rollup and publishes the closed windows to their
   /// subscribers (and local handlers).  The aggregator calls this after
   /// ingest activity; cost is O(1) when no window closed.
-  void pump();
+  void pump() EMON_OWNER_THREAD;
 
   /// In-process subscription: `handler` runs inside pump() for every closed
   /// window of the rollup described by `spec`.  Shares rollups with MQTT
   /// subscribers on spec equality.  Returns a handle for unsubscribe_local.
-  std::uint64_t subscribe_local(store::RollupSpec spec, LocalHandler handler);
-  void unsubscribe_local(std::uint64_t handle);
+  std::uint64_t subscribe_local(store::RollupSpec spec, LocalHandler handler)
+      EMON_OWNER_THREAD;
+  void unsubscribe_local(std::uint64_t handle) EMON_OWNER_THREAD;
   /// Rollup id backing a local subscription (0 if the handle is unknown) —
   /// lets the owner read the same maintained windows via
   /// RollupEngine::hot_window before they close.
@@ -124,13 +129,13 @@ class SubscriptionService {
     LocalHandler handler;
   };
 
-  void handle_frame(const net::MqttMessage& msg);
-  void handle_subscribe(const SubscribeRequest& req);
-  void handle_unsubscribe(const Unsubscribe& req);
+  void handle_frame(const net::MqttMessage& msg) EMON_OWNER_THREAD;
+  void handle_subscribe(const SubscribeRequest& req) EMON_OWNER_THREAD;
+  void handle_unsubscribe(const Unsubscribe& req) EMON_OWNER_THREAD;
   /// Acquires (or refs) the backing rollup for `spec`; 0 on registration
   /// failure (invalid spec).
-  std::uint64_t acquire_rollup(store::RollupSpec spec);
-  void release_rollup(std::uint64_t rollup_id);
+  std::uint64_t acquire_rollup(store::RollupSpec spec) EMON_OWNER_THREAD;
+  void release_rollup(std::uint64_t rollup_id) EMON_OWNER_THREAD;
   void publish(const std::string& client_id, std::vector<std::uint8_t> frame);
 
   net::MqttBroker& broker_;

@@ -1,6 +1,5 @@
 #include "hw/ds3231.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 namespace emon::hw {

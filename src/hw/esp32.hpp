@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "hw/load_profile.hpp"
 #include "sim/kernel.hpp"

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <string>
 
 #include "sim/time.hpp"
 

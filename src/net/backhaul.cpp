@@ -1,6 +1,5 @@
 #include "net/backhaul.hpp"
 
-#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -245,7 +244,9 @@ struct Backhaul::Stepper : std::enable_shared_from_this<Backhaul::Stepper> {
   std::vector<std::string> path;  // nodes still to visit; back() == dest
   std::size_t next_index = 0;
 
-  void step(const std::string& at) {
+  // Always runs on the shard owning `at` (cross-shard hops re-enter via the
+  // mailbox), so the per-segment frame accounting it touches is owner-thread.
+  void step(const std::string& at) EMON_OWNER_THREAD_CONTEXT {
     Backhaul& segment = fabric->segment_of(at);
     if (!fabric->up_at(at, segment.kernel_.now())) {
       // The node went down while the frame was in flight on a channel

@@ -25,7 +25,6 @@
 // remains for manual/sequential use.
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -145,7 +144,9 @@ class Backhaul : public Transport {
   /// fires true at delivery, false if no route exists or the route breaks
   /// mid-flight; when the route crosses shards it fires on the shard that
   /// observes the outcome.  Returns false when unroutable (frame dropped).
-  bool send(Frame frame, AckFn on_ack) override;
+  /// Runs on this segment's shard thread (EMON_OWNER_THREAD_CONTEXT): the
+  /// frame accounting it touches is that shard's single-owner state.
+  bool send(Frame frame, AckFn on_ack) override EMON_OWNER_THREAD_CONTEXT;
   using Transport::send;
 
   [[nodiscard]] std::string transport_name() const override {
@@ -178,9 +179,10 @@ class Backhaul : public Transport {
   friend class BackhaulFabric;
   struct Stepper;
 
-  void deliver(const Frame& frame);
+  void deliver(const Frame& frame) EMON_OWNER_THREAD;
   void forward(Frame frame, AckFn on_ack,
-               std::vector<std::string> remaining_path);
+               std::vector<std::string> remaining_path)
+      EMON_OWNER_THREAD_CONTEXT;
   [[nodiscard]] Channel* channel(const std::string& from,
                                  const std::string& to);
 

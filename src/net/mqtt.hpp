@@ -11,6 +11,13 @@
 // Lifetime: a client owns its session object (shared_ptr); the broker holds
 // weak_ptrs, so a client that roams away (dropping its channels) simply
 // expires from the broker's session table.
+//
+// Threading: a broker (and each client) belongs to exactly one kernel
+// shard; every method that touches the session/subscription maps runs on
+// that shard's event thread.  The map-mutating surface carries
+// EMON_OWNER_THREAD and the client entry points that reach it are
+// EMON_OWNER_THREAD_CONTEXT (they ARE that event thread) — enforced by
+// tools/emon_lint.py, see util/thread_annotations.hpp.
 
 #include <cstdint>
 #include <functional>
@@ -26,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "sim/kernel.hpp"
 #include "sim/timer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::net {
 
@@ -71,7 +79,7 @@ class MqttBroker : public Transport {
 
   MqttBroker(sim::Kernel& kernel, std::string broker_id);
 
-  bool send(Frame frame, AckFn on_ack) override;
+  bool send(Frame frame, AckFn on_ack) override EMON_OWNER_THREAD;
   using Transport::send;
   [[nodiscard]] std::string transport_name() const override {
     return "mqtt-broker:" + broker_id_;
@@ -79,28 +87,29 @@ class MqttBroker : public Transport {
 
   /// Subscribes a colocated consumer (the aggregator process): no
   /// transport delay, no session.
-  void subscribe_local(std::string filter, LocalHandler handler);
+  void subscribe_local(std::string filter, LocalHandler handler)
+      EMON_OWNER_THREAD;
 
   /// Accepts a session (called by MqttClient with CONNECT semantics).
   /// Returns false if a live session with the same client id exists.
-  bool accept(const std::shared_ptr<MqttSession>& session);
+  bool accept(const std::shared_ptr<MqttSession>& session) EMON_OWNER_THREAD;
 
   /// Removes a session (DISCONNECT or broker-side eviction).
-  void evict(const std::string& client_id);
+  void evict(const std::string& client_id) EMON_OWNER_THREAD;
 
   /// Ingress: a PUBLISH arrived from `session` (post-uplink-delay).
   /// Dispatches to local handlers and matching remote sessions, and sends
   /// PUBACK for QoS 1.
   void handle_publish(const std::shared_ptr<MqttSession>& session,
-                      MqttMessage message);
+                      MqttMessage message) EMON_OWNER_THREAD;
 
   /// Publishes from the broker host itself (aggregator pushing control
   /// messages down to devices).
-  void publish_from_host(MqttMessage message);
+  void publish_from_host(MqttMessage message) EMON_OWNER_THREAD;
 
   /// Registers a subscription filter on a session (SUBSCRIBE).
   void handle_subscribe(const std::shared_ptr<MqttSession>& session,
-                        std::string filter);
+                        std::string filter) EMON_OWNER_THREAD;
 
   [[nodiscard]] const std::string& id() const noexcept { return broker_id_; }
   /// The kernel this broker schedules on — lets colocated consumers
@@ -125,15 +134,18 @@ class MqttBroker : public Transport {
   /// Fan-out publishes are batched at the wire-accounting level: one sent
   /// frame per publish, recipients 2..N counted as coalesced copies
   /// (TransportStats::frames_coalesced) — the beacon broadcast path.
-  std::size_t dispatch(const MqttMessage& message);
+  std::size_t dispatch(const MqttMessage& message) EMON_OWNER_THREAD;
   /// Downlink delivery to one session if it is still the live session for
   /// its client id.  Returns true if a send was scheduled; `coalesced`
   /// marks a copy riding an earlier recipient's wire frame.
   bool deliver_to(const std::shared_ptr<MqttSession>& session,
-                  const MqttMessage& message, bool coalesced);
+                  const MqttMessage& message, bool coalesced)
+      EMON_OWNER_THREAD;
 
   sim::Kernel& kernel_;
   std::string broker_id_;
+  // Owner-thread state (see the header comment): mutated only through the
+  // EMON_OWNER_THREAD surface above, on the owning shard's event thread.
   std::vector<std::pair<std::string, LocalHandler>> local_subs_;
   std::map<std::string, std::weak_ptr<MqttSession>> sessions_;
   // Subscription index: exact filters (the overwhelming majority — every
@@ -174,7 +186,10 @@ class MqttClient : public Transport {
 
   /// Transport entry point: publishes `frame.bytes` on topic `frame.to`
   /// with `frame.qos`.  Returns false (acking false) when not connected.
-  bool send(Frame frame, AckFn on_ack) override;
+  /// Client methods are EMON_OWNER_THREAD_CONTEXT: a device app runs on its
+  /// shard's event thread, which *is* the broker's owner thread, so these
+  /// bodies may call the broker's EMON_OWNER_THREAD surface directly.
+  bool send(Frame frame, AckFn on_ack) override EMON_OWNER_THREAD_CONTEXT;
   using Transport::send;
   [[nodiscard]] std::string transport_name() const override {
     return "mqtt:" + client_id_;
@@ -183,22 +198,25 @@ class MqttClient : public Transport {
   /// Connects to `broker` through the given channels (the current Wi-Fi
   /// association).  CONNECT/CONNACK round trip; `on_done(true)` on success.
   void connect(MqttBroker& broker, std::shared_ptr<Channel> uplink,
-               std::shared_ptr<Channel> downlink, ConnectCallback on_done);
+               std::shared_ptr<Channel> downlink, ConnectCallback on_done)
+      EMON_OWNER_THREAD_CONTEXT;
 
   /// Publishes. QoS 0: fire-and-forget, `on_ack` fires immediately with
   /// true once handed to the channel (false if the channel is gone).
   /// QoS 1: `on_ack(true)` on PUBACK, `on_ack(false)` after max_attempts.
   void publish(std::string topic, std::vector<std::uint8_t> payload,
-               std::uint8_t qos, AckCallback on_ack = nullptr);
+               std::uint8_t qos, AckCallback on_ack = nullptr)
+      EMON_OWNER_THREAD_CONTEXT;
 
   /// Subscribes to a filter; `handler` runs for each matching message.
-  void subscribe(std::string filter, MessageHandler handler);
+  void subscribe(std::string filter, MessageHandler handler)
+      EMON_OWNER_THREAD_CONTEXT;
 
   /// Graceful disconnect (best-effort DISCONNECT, then drop session).
-  void disconnect();
+  void disconnect() EMON_OWNER_THREAD_CONTEXT;
 
   /// Hard drop (Wi-Fi loss): session dies without notice to the broker.
-  void drop();
+  void drop() EMON_OWNER_THREAD_CONTEXT;
 
   /// Migration support: re-homes the client's timers onto another shard's
   /// kernel.  Must be called with no live session (drop() first).
@@ -221,11 +239,11 @@ class MqttClient : public Transport {
     sim::EventId timeout{};
   };
 
-  void send_publish(std::uint16_t packet_id);
-  void resubscribe_all();
-  void handle_incoming(const MqttMessage& message);
-  void handle_puback(std::uint16_t packet_id);
-  void arm_timeout(std::uint16_t packet_id);
+  void send_publish(std::uint16_t packet_id) EMON_OWNER_THREAD_CONTEXT;
+  void resubscribe_all() EMON_OWNER_THREAD_CONTEXT;
+  void handle_incoming(const MqttMessage& message) EMON_OWNER_THREAD_CONTEXT;
+  void handle_puback(std::uint16_t packet_id) EMON_OWNER_THREAD_CONTEXT;
+  void arm_timeout(std::uint16_t packet_id) EMON_OWNER_THREAD_CONTEXT;
 
   sim::Kernel* kernel_;  // rebindable: a migrating device changes shards
   std::string client_id_;

@@ -8,8 +8,6 @@
 // propagation delay (simple one-way sync, adequate at millisecond scale
 // against a 100 ms slot grid).
 
-#include <functional>
-#include <string>
 
 #include "hw/ds3231.hpp"
 #include "sim/timer.hpp"

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::sim {
 class Trace;
@@ -40,7 +41,9 @@ struct Frame {
 /// Frame/byte accounting every transport keeps, envelope overhead included.
 /// Plain fields, deliberately: a transport belongs to exactly one kernel
 /// shard and every note_* call runs on that shard's event thread, so there
-/// is no concurrent writer to race with.  Cross-shard roll-ups read these
+/// is no concurrent writer to race with — the note_* mutators below carry
+/// EMON_OWNER_THREAD so tools/emon_lint.py rejects calls from outside that
+/// thread's sanctioned surface.  Cross-shard roll-ups read these
 /// only at sync points (shard barriers / end of run).  This stays true
 /// under the concurrent serving path: its query threads read the MVCC
 /// store directly (core/serve_pipeline.hpp) and never touch a transport,
@@ -89,13 +92,15 @@ class Transport {
   void bind_trace(sim::Trace* trace, std::string series_prefix);
 
  protected:
-  void note_sent(sim::SimTime now, std::size_t bytes);
-  void note_delivered(sim::SimTime now, std::size_t bytes);
-  void note_dropped() noexcept { ++tstats_.frames_dropped; }
+  void note_sent(sim::SimTime now, std::size_t bytes) EMON_OWNER_THREAD;
+  void note_delivered(sim::SimTime now, std::size_t bytes) EMON_OWNER_THREAD;
+  void note_dropped() noexcept EMON_OWNER_THREAD {
+    ++tstats_.frames_dropped;
+  }
   /// A fan-out copy that rode an already-counted wire frame: accounted as
   /// coalesced, not sent, and not mirrored into the tx trace (it put no new
   /// bytes on the wire).
-  void note_coalesced(std::size_t bytes) noexcept {
+  void note_coalesced(std::size_t bytes) noexcept EMON_OWNER_THREAD {
     ++tstats_.frames_coalesced;
     tstats_.bytes_coalesced += bytes;
   }

@@ -105,7 +105,7 @@ MetricsRegistry::MetricsRegistry(std::size_t slots)
 MetricsRegistry::~MetricsRegistry() = default;
 
 Counter MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   for (const auto& [n, kind] : names_) {
     if (n == name) {
       if (kind != Kind::kCounter) {
@@ -128,7 +128,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   for (const auto& [n, kind] : names_) {
     if (n == name) {
       if (kind != Kind::kGauge) {
@@ -149,7 +149,7 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram MetricsRegistry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   for (const auto& [n, kind] : names_) {
     if (n == name) {
       if (kind != Kind::kHistogram) {
@@ -175,7 +175,7 @@ Histogram MetricsRegistry::histogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& c : counters_) {

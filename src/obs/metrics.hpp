@@ -45,10 +45,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace emon::obs {
 
@@ -321,25 +322,31 @@ class MetricsRegistry {
 
   /// Get-or-create.  A name names exactly one instrument kind; asking for a
   /// different kind under an existing name throws std::logic_error.
-  [[nodiscard]] Counter counter(std::string_view name);
-  [[nodiscard]] Gauge gauge(std::string_view name);
-  [[nodiscard]] Histogram histogram(std::string_view name);
+  [[nodiscard]] Counter counter(std::string_view name) EMON_EXCLUDES(mu_);
+  [[nodiscard]] Gauge gauge(std::string_view name) EMON_EXCLUDES(mu_);
+  [[nodiscard]] Histogram histogram(std::string_view name) EMON_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t slot_count() const noexcept { return slots_; }
 
   /// Deterministic fold of every instrument (see MetricsSnapshot).
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const EMON_EXCLUDES(mu_);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 
   std::size_t slots_;
-  mutable std::mutex mu_;
-  // unique_ptr storage => handles stay valid across vector growth.
-  std::vector<std::unique_ptr<detail::CounterStorage>> counters_;
-  std::vector<std::unique_ptr<detail::GaugeStorage>> gauges_;
-  std::vector<std::unique_ptr<detail::HistogramStorage>> histograms_;
-  std::vector<std::pair<std::string, Kind>> names_;  // kind map, unsorted
+  mutable util::Mutex mu_;
+  // unique_ptr storage => handles stay valid across vector growth.  The
+  // vectors (and the name->kind map) are what mu_ guards; the pointed-to
+  // instrument cells are lock-free by design and deliberately escape it.
+  std::vector<std::unique_ptr<detail::CounterStorage>> counters_
+      EMON_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<detail::GaugeStorage>> gauges_
+      EMON_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<detail::HistogramStorage>> histograms_
+      EMON_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, Kind>> names_
+      EMON_GUARDED_BY(mu_);  // kind map, unsorted
 };
 
 /// Process-wide fallback registry for call sites with no plumbed registry

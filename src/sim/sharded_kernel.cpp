@@ -42,7 +42,7 @@ void ShardedKernel::post(std::size_t from, std::size_t to, SimTime at,
   }
   Shard& dest = *shards_[to];
   const std::uint64_t seq = post_seq_[from][to]++;
-  std::lock_guard<std::mutex> lock(dest.mailbox_mutex);
+  const util::LockGuard lock(dest.mailbox_mutex);
   dest.mailbox.push_back(
       Delivery{at, seq, static_cast<std::uint32_t>(from), std::move(fn)});
   ++dest.posts_received;
@@ -75,7 +75,7 @@ void ShardedKernel::run_shard(std::size_t index, SimTime t) {
     for (;;) {
       SimTime target;
       {
-        std::unique_lock<std::mutex> lock(state_mutex_);
+        util::UniqueLock lock(state_mutex_);
         for (;;) {
           if (abort_) {
             return;
@@ -98,7 +98,7 @@ void ShardedKernel::run_shard(std::size_t index, SimTime t) {
       // its origin committed the horizon we just read, so it is already
       // visible here.
       {
-        std::lock_guard<std::mutex> lock(self.mailbox_mutex);
+        const util::LockGuard lock(self.mailbox_mutex);
         self.staged.insert(self.staged.end(),
                            std::make_move_iterator(self.mailbox.begin()),
                            std::make_move_iterator(self.mailbox.end()));
@@ -134,7 +134,7 @@ void ShardedKernel::run_shard(std::size_t index, SimTime t) {
       kernel.run_until(target);
 
       {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        const util::LockGuard lock(state_mutex_);
         horizons_[index] = target;
         ++sync_rounds_;
       }
@@ -144,7 +144,7 @@ void ShardedKernel::run_shard(std::size_t index, SimTime t) {
       }
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    const util::LockGuard lock(state_mutex_);
     if (!first_error_) {
       first_error_ = std::current_exception();
     }
@@ -157,11 +157,17 @@ void ShardedKernel::run_until(SimTime t) {
   if (t < now()) {
     throw std::logic_error("ShardedKernel::run_until into the past");
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    horizons_[i] = shards_[i]->kernel->now();
+  {
+    // Between runs no worker exists, but taking the lock keeps the reset
+    // inside the protocol's capability (and covers a concurrent
+    // sync_rounds() probe) instead of leaning on thread-creation ordering.
+    const util::LockGuard lock(state_mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      horizons_[i] = shards_[i]->kernel->now();
+    }
+    first_error_ = nullptr;
+    abort_ = false;
   }
-  first_error_ = nullptr;
-  abort_ = false;
 
   if (shards_.size() == 1) {
     // Sequential fast path: no thread, no horizon protocol — bit-exact
@@ -178,8 +184,13 @@ void ShardedKernel::run_until(SimTime t) {
       worker.join();
     }
   }
-  if (first_error_) {
-    std::rethrow_exception(first_error_);
+  std::exception_ptr error;
+  {
+    const util::LockGuard lock(state_mutex_);
+    error = first_error_;
+  }
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 
@@ -191,9 +202,13 @@ std::uint64_t ShardedKernel::total_executed() const noexcept {
   return total;
 }
 
-std::uint64_t ShardedKernel::cross_posts() const noexcept {
+std::uint64_t ShardedKernel::cross_posts() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
+    // Previously read unlocked — exact between runs, but a torn read if
+    // probed while workers post.  The mailbox mutex makes it well-defined
+    // either way.
+    const util::LockGuard lock(shard->mailbox_mutex);
     total += shard->posts_received;
   }
   return total;

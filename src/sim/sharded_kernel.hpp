@@ -28,16 +28,15 @@
 // spawned: `run_until` degenerates to `Kernel::run_until`, bit-exact with
 // sequential execution.
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sim/kernel.hpp"
 #include "sim/time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::sim {
 
@@ -84,10 +83,13 @@ class ShardedKernel {
   }
 
   [[nodiscard]] std::uint64_t total_executed() const noexcept;
-  /// Cross-shard deliveries posted so far.
-  [[nodiscard]] std::uint64_t cross_posts() const noexcept;
+  /// Cross-shard deliveries posted so far.  Takes each shard's mailbox
+  /// mutex, so it is exact between runs and a consistent-enough sample
+  /// mid-run.
+  [[nodiscard]] std::uint64_t cross_posts() const;
   /// Horizon-protocol rounds summed over shards (sync-overhead proxy).
-  [[nodiscard]] std::uint64_t sync_rounds() const noexcept {
+  [[nodiscard]] std::uint64_t sync_rounds() const EMON_EXCLUDES(state_mutex_) {
+    const util::LockGuard lock(state_mutex_);
     return sync_rounds_;
   }
 
@@ -103,19 +105,20 @@ class ShardedKernel {
     std::unique_ptr<Kernel> kernel;
     // Mailbox: incoming cross-shard deliveries, under its own mutex so
     // posters never contend with the horizon protocol.
-    std::mutex mailbox_mutex;
-    std::vector<Delivery> mailbox;
-    // Staged deliveries not yet safe to hand to the kernel (worker-local,
-    // only touched by this shard's worker thread).
+    util::Mutex mailbox_mutex;
+    std::vector<Delivery> mailbox EMON_GUARDED_BY(mailbox_mutex);
+    std::uint64_t posts_received EMON_GUARDED_BY(mailbox_mutex) = 0;
+    // Staged deliveries not yet safe to hand to the kernel — worker-local:
+    // only this shard's worker thread touches it, so no capability guards
+    // it (run_shard is the sole accessor).
     std::vector<Delivery> staged;
-    std::uint64_t posts_received = 0;
   };
 
   /// Worker body for shard `index`, running to horizon `t`.
-  void run_shard(std::size_t index, SimTime t);
+  void run_shard(std::size_t index, SimTime t) EMON_EXCLUDES(state_mutex_);
   /// Safe execution bound for `index` given the other shards' horizons.
-  /// Caller must hold `state_mutex_`.
-  [[nodiscard]] SimTime safe_bound(std::size_t index, SimTime t) const;
+  [[nodiscard]] SimTime safe_bound(std::size_t index, SimTime t) const
+      EMON_REQUIRES(state_mutex_);
 
   Duration lookahead_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -124,12 +127,12 @@ class ShardedKernel {
   std::vector<std::vector<std::uint64_t>> post_seq_;
 
   // Horizon protocol state.
-  mutable std::mutex state_mutex_;
-  std::condition_variable horizon_cv_;
-  std::vector<SimTime> horizons_;
-  std::uint64_t sync_rounds_ = 0;
-  std::exception_ptr first_error_;
-  bool abort_ = false;
+  mutable util::Mutex state_mutex_;
+  util::CondVar horizon_cv_;
+  std::vector<SimTime> horizons_ EMON_GUARDED_BY(state_mutex_);
+  std::uint64_t sync_rounds_ EMON_GUARDED_BY(state_mutex_) = 0;
+  std::exception_ptr first_error_ EMON_GUARDED_BY(state_mutex_);
+  bool abort_ EMON_GUARDED_BY(state_mutex_) = false;
 };
 
 }  // namespace emon::sim

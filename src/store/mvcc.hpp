@@ -46,6 +46,17 @@
 // ingest thread).  Readers are unrestricted in number but at most
 // kReaderSlots may be *concurrently pinned*; excess pinners spin-yield until
 // a slot frees (queries are short; slots are not held across blocking work).
+//
+// Both halves of that contract are machine-checked, not just prose:
+//   * the single-writer half rides the EMON_OWNER_THREAD annotations on the
+//     Tsdb/RollupEngine mutating surfaces (util/thread_annotations.hpp) —
+//     tools/emon_lint.py rejects owner-only calls from unsanctioned
+//     functions, and requires every retire() to follow the successor's
+//     publish store in the same function (publish-before-retire);
+//   * the reader half is the lint's guard-escape rule: values read through a
+//     ReadGuard (snapshot pointers, SeriesView, read_guard() results) must
+//     not outlive the guard's lexical scope — no stashing into members,
+//     globals or out-params.  See README.md "Static analysis".
 
 #include <array>
 #include <atomic>

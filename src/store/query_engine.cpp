@@ -18,7 +18,7 @@ QueryPool::QueryPool(std::size_t workers)
 
 QueryPool::~QueryPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::LockGuard lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -28,10 +28,12 @@ QueryPool::~QueryPool() {
 }
 
 void QueryPool::worker_loop(std::size_t index) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::UniqueLock lk(mu_);
   std::uint64_t seen = 0;
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || job_id_ != seen; });
+    while (!stop_ && job_id_ == seen) {
+      work_cv_.wait(lk);
+    }
     if (stop_) {
       return;
     }
@@ -68,15 +70,15 @@ void QueryPool::parallel_for(
     // workers == 1: the reference sequential path.  Still one job at a
     // time — the engine's contract serializes concurrent callers at every
     // worker count (the Tsdb's shard-local counters rely on it).
-    const std::lock_guard<std::mutex> callers(caller_mu_);
+    const util::LockGuard callers(caller_mu_);
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
     return;
   }
-  const std::lock_guard<std::mutex> callers(caller_mu_);
+  const util::LockGuard callers(caller_mu_);
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const util::LockGuard lk(mu_);
     job_ = &fn;
     job_n_ = n;
     workers_done_ = 0;
@@ -99,8 +101,10 @@ void QueryPool::parallel_for(
   }
   std::exception_ptr worker_error = nullptr;
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return workers_done_ == threads_.size(); });
+    util::UniqueLock lk(mu_);
+    while (workers_done_ != threads_.size()) {
+      done_cv_.wait(lk);
+    }
     job_ = nullptr;
     worker_error = job_error_;
     job_error_ = nullptr;

@@ -36,13 +36,10 @@
 // answered at (the differential-replay hook).  Results stay bit-identical
 // for any worker count at a fixed cut.
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <map>
-#include <mutex>
-#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -51,6 +48,7 @@
 #include "store/tsdb.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::store {
 
@@ -87,29 +85,30 @@ class QueryPool {
   /// exception (from any stride) is rethrown to the caller only after
   /// every worker has stopped touching the job, so captured state stays
   /// valid.  Safe to call repeatedly; concurrent callers are serialized.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn) const;
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      const EMON_EXCLUDES(caller_mu_, mu_);
 
  private:
-  void worker_loop(std::size_t index);
+  void worker_loop(std::size_t index) EMON_EXCLUDES(mu_);
 
   std::size_t workers_;
   /// Serializes concurrent parallel_for callers (one job at a time).
-  mutable std::mutex caller_mu_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable work_cv_;
-  mutable std::condition_variable done_cv_;
-  // Current job, guarded by mu_.  Every pool thread runs every job (its
-  // stride may be empty), and the caller waits for all of them to check
-  // back in — so no thread can ever miss a job or run a stale one.
-  mutable const std::function<void(std::size_t)>* job_ = nullptr;
-  mutable std::size_t job_n_ = 0;
-  mutable std::uint64_t job_id_ = 0;
-  mutable std::size_t workers_done_ = 0;
+  mutable util::Mutex caller_mu_;
+  mutable util::Mutex mu_;
+  mutable util::CondVar work_cv_;
+  mutable util::CondVar done_cv_;
+  // Current job.  Every pool thread runs every job (its stride may be
+  // empty), and the caller waits for all of them to check back in — so no
+  // thread can ever miss a job or run a stale one.
+  mutable const std::function<void(std::size_t)>* job_ EMON_GUARDED_BY(mu_) =
+      nullptr;
+  mutable std::size_t job_n_ EMON_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t job_id_ EMON_GUARDED_BY(mu_) = 0;
+  mutable std::size_t workers_done_ EMON_GUARDED_BY(mu_) = 0;
   /// First exception thrown by a pool-worker stride of the current job;
   /// rethrown by parallel_for after the join.
-  mutable std::exception_ptr job_error_ = nullptr;
-  bool stop_ = false;
+  mutable std::exception_ptr job_error_ EMON_GUARDED_BY(mu_) = nullptr;
+  bool stop_ EMON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

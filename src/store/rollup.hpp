@@ -52,7 +52,10 @@
 // (it is the ingest hook), and register/unregister/drain/hot_window/
 // watermark must run on that same thread (or strictly before/after it, as
 // the serving pipeline's flush() arranges) — the MVCC store lets *queries*
-// race ingest, not the rollup engine's own mutable state.  hot_window and
+// race ingest, not the rollup engine's own mutable state.  The whole
+// mutating surface carries EMON_OWNER_THREAD (util/thread_annotations.hpp);
+// tools/emon_lint.py rejects calls from functions that are not themselves
+// owner-thread or a sanctioned worker body.  hot_window and
 // backfill read the store through the ingest thread's guard exemption
 // (store/tsdb.hpp); drains on a pool only ever touch disjoint shards.
 
@@ -64,6 +67,7 @@
 
 #include "store/query_engine.hpp"
 #include "store/tsdb.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::store {
 
@@ -152,33 +156,32 @@ class RollupEngine final : public Tsdb::IngestHook {
 
   /// Registers a rollup and backfills it from the store.  Throws
   /// std::invalid_argument on an invalid spec.  Returns the rollup id.
-  std::uint64_t register_rollup(RollupSpec spec);
+  std::uint64_t register_rollup(RollupSpec spec) EMON_OWNER_THREAD;
   /// Removes a rollup; pending un-drained windows are discarded.
-  void unregister(std::uint64_t id);
+  void unregister(std::uint64_t id) EMON_OWNER_THREAD;
 
   /// Tsdb::IngestHook — folds one accepted record into every matching
   /// rollup's pane ring and advances the watermark.  Per-rollup series
   /// state is keyed by the store's dense series ordinal, so the hot path
   /// is a table index, not a device-id hash/compare per record.
   void on_ingest(const ConsumptionRecord& record, std::size_t shard,
-                 std::uint64_t series_ordinal) override;
+                 std::uint64_t series_ordinal) override EMON_OWNER_THREAD;
 
   /// Emits every window closeable at the current watermark (plus any
   /// force-drained backlog), oldest first.  With a pool, per-shard series
   /// folds run on the pool's workers (disjoint shards, merge on the
   /// caller) — results are bit-identical for any worker count.
-  [[nodiscard]] std::vector<ClosedWindow> drain(std::uint64_t id,
-                                                const QueryPool* pool = nullptr);
+  [[nodiscard]] std::vector<ClosedWindow> drain(
+      std::uint64_t id, const QueryPool* pool = nullptr) EMON_OWNER_THREAD;
 
   /// Pane-level fold of [t0, t1) for one device, readable before the window
   /// closes.  nullopt when the rollup cannot answer exactly: unknown id,
   /// boundaries not pane-aligned, a dropped-late record at/after t0, or
   /// pane data aged out of the ring — callers fall back to a cold query.
   /// A device with no matching records yields a zero-count HotWindow.
-  [[nodiscard]] std::optional<HotWindow> hot_window(std::uint64_t id,
-                                                    const DeviceId& device,
-                                                    std::int64_t t0_ns,
-                                                    std::int64_t t1_ns) const;
+  [[nodiscard]] std::optional<HotWindow> hot_window(
+      std::uint64_t id, const DeviceId& device, std::int64_t t0_ns,
+      std::int64_t t1_ns) const EMON_OWNER_THREAD;
 
   [[nodiscard]] const RollupSpec* spec(std::uint64_t id) const;
   [[nodiscard]] const RollupStats* stats(std::uint64_t id) const;
@@ -187,7 +190,8 @@ class RollupEngine final : public Tsdb::IngestHook {
   }
   /// Watermark (max ingested record timestamp) driving a rollup's closes;
   /// nullopt before the first record.
-  [[nodiscard]] std::optional<std::int64_t> watermark(std::uint64_t id) const;
+  [[nodiscard]] std::optional<std::int64_t> watermark(std::uint64_t id) const
+      EMON_OWNER_THREAD;
 
  private:
   struct PanePartial;

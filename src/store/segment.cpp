@@ -1,8 +1,6 @@
 #include "store/segment.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
 namespace emon::store {
 

@@ -1,6 +1,7 @@
 #include "store/tsdb.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace emon::store {

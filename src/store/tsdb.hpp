@@ -26,7 +26,12 @@
 // per-record.
 //
 // Threading — MVCC with epoch-protected snapshots (store/mvcc.hpp holds the
-// memory-order contract):
+// memory-order contract).  These rules are no longer prose-only: the writer
+// surface carries EMON_OWNER_THREAD (tools/emon_lint.py checks every caller
+// is an owner-thread function or a sanctioned worker body), and the lint's
+// guard-escape rule rejects code that stores a SeriesView/SeriesRef/
+// ShardIndex pointer beyond its ReadGuard's scope — see
+// util/thread_annotations.hpp and the README's "Static analysis" section.
 //   * Ingest is single-writer: exactly one thread may call ingest() (and
 //     set_ingest_hook).  The fast path takes no locks — it appends into the
 //     open head chunk's pre-sized columns and publishes the new record count
@@ -63,8 +68,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
-#include <string>
 #include <utility>
 #include <vector>
 
@@ -72,6 +75,7 @@
 #include "store/mvcc.hpp"
 #include "store/segment.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::store {
 
@@ -179,12 +183,16 @@ class Tsdb {
   class IngestHook {
    public:
     virtual ~IngestHook() = default;
+    /// Owner-thread by inheritance: the store invokes the hook from
+    /// ingest(), so every override runs on the ingest thread.
     virtual void on_ingest(const ConsumptionRecord& record, std::size_t shard,
-                           std::uint64_t series_ordinal) = 0;
+                           std::uint64_t series_ordinal) EMON_OWNER_THREAD = 0;
   };
   /// At most one hook; nullptr detaches.  Not owned.  Ingest-thread only,
   /// and only while no ingest is in flight.
-  void set_ingest_hook(IngestHook* hook) noexcept { hook_ = hook; }
+  void set_ingest_hook(IngestHook* hook) noexcept EMON_OWNER_THREAD {
+    hook_ = hook;
+  }
 
   /// Reader pin for the SeriesRef-based query surface (see the threading
   /// contract above).  Hold the returned guard across lookup()/
@@ -218,7 +226,7 @@ class Tsdb {
 
   /// Ingests one record; returns false for a per-device duplicate sequence.
   /// Single-writer: one thread only.
-  bool ingest(const ConsumptionRecord& record);
+  bool ingest(const ConsumptionRecord& record) EMON_OWNER_THREAD;
 
   [[nodiscard]] bool has_device(const DeviceId& id) const;
   [[nodiscard]] std::vector<DeviceId> devices() const;

@@ -1,5 +1,7 @@
 #include "util/bytes.hpp"
 
+#include <cstring>
+
 namespace emon::util {
 
 void ByteWriter::u16(std::uint16_t v) {

@@ -7,7 +7,6 @@
 // guarantee (any bit flip changes the hash).
 
 #include <cstdint>
-#include <cstring>
 #include <optional>
 #include <span>
 #include <stdexcept>

@@ -1,6 +1,5 @@
 #include "util/csv.hpp"
 
-#include <sstream>
 
 namespace emon::util {
 

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace emon::util {
 
@@ -16,8 +16,8 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // pool worker logs must never race the std::function's internals.  Held
 // across the sink call itself — sinks write to shared streams/buffers and
 // expect whole-message atomicity.
-std::mutex g_sink_mu;
-LogConfig::Sink g_sink;
+Mutex g_sink_mu;
+LogConfig::Sink g_sink EMON_GUARDED_BY(g_sink_mu);
 
 void default_sink(LogLevel level, std::string_view component,
                   std::string_view message) {
@@ -66,7 +66,7 @@ void LogConfig::set_level(LogLevel level) noexcept {
 }
 
 void LogConfig::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  const LockGuard lock(g_sink_mu);
   g_sink = std::move(sink);
 }
 
@@ -76,7 +76,7 @@ void LogConfig::emit(LogLevel level, std::string_view component,
     return;
   }
   level_counter(level).inc();
-  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  const LockGuard lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, component, message);
   } else {

@@ -26,7 +26,8 @@ enum class LogLevel : int {
 
 /// Process-wide log configuration.  Thread-safe: the sharded kernel (PR 4)
 /// and the query pool (PR 5) log from worker threads, so `level()` is a
-/// relaxed atomic read and sink swap/emit are serialized by a mutex.  Every
+/// relaxed atomic read and sink swap/emit are serialized by an annotated
+/// util::Mutex (the sink is EMON_GUARDED_BY it — see log.cpp).  Every
 /// emitted message also bumps the global obs registry counter
 /// `log_messages{level="..."}` (see obs/metrics.hpp).
 class LogConfig {

@@ -10,7 +10,6 @@
 // table).
 
 #include <cstdint>
-#include <string>
 #include <string_view>
 
 namespace emon::util {

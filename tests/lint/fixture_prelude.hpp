@@ -1,0 +1,82 @@
+#pragma once
+// Lookalike of the emon::store epoch/MVCC surface, sized for lint
+// self-tests (tools/emon_lint.py --self-test tests/lint).
+//
+// The type and method names are deliberately the ones the linter keys on:
+// ReadGuard / read_guard() / .pin() anchor the guard-escape rule,
+// SeriesView is a "view" type, EpochDomain::retire() drives the
+// publish-before-retire rule, and the EMON_OWNER_THREAD-annotated methods
+// feed the owner-thread rule's annotation table.  Methods are declared but
+// (mostly) not defined — fixtures are parsed, never linked.
+//
+// Fixtures must compile as standalone C++20 translation units so the
+// libclang engine sees the same AST CI does; keep this header
+// self-contained.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+// Standalone copies of the contract markers (util/thread_annotations.hpp)
+// so fixtures parse without the src/ include path.  Same spelling: the
+// libclang engine reads the annotate() payload, the textual engine the
+// macro name.
+#ifndef EMON_OWNER_THREAD
+#if defined(__clang__)
+#define EMON_OWNER_THREAD __attribute__((annotate("emon::owner_thread")))
+#define EMON_OWNER_THREAD_CONTEXT \
+  __attribute__((annotate("emon::owner_thread_context")))
+#else
+#define EMON_OWNER_THREAD
+#define EMON_OWNER_THREAD_CONTEXT
+#endif
+#endif
+
+namespace fixture {
+
+/// Immutable per-series snapshot, published through an atomic pointer.
+struct SeriesView {
+  const std::uint64_t* samples = nullptr;
+  std::size_t count = 0;
+};
+
+/// Move-only reader pin, as in emon::store::EpochDomain::ReadGuard.
+class ReadGuard {
+ public:
+  ReadGuard() = default;
+  ReadGuard(ReadGuard&&) noexcept = default;
+  ReadGuard& operator=(ReadGuard&&) noexcept = default;
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+};
+
+class EpochDomain {
+ public:
+  ReadGuard pin() const { return ReadGuard{}; }
+  /// Writer only; the successor must already be published.
+  template <typename T>
+  void retire(const T* object) {
+    delete object;
+  }
+};
+
+/// Minimal Tsdb stand-in: one published view, one epoch domain, an
+/// owner-thread mutating surface.  Members are public so fixtures can
+/// reach the atomics directly.
+class MiniStore {
+ public:
+  [[nodiscard]] ReadGuard read_guard() const { return dom_.pin(); }
+  [[nodiscard]] const SeriesView* view() const {
+    return view_.load(std::memory_order_acquire);
+  }
+
+  // Owner-thread surface (single mutator by contract).
+  void publish_view(const SeriesView* next) EMON_OWNER_THREAD;
+  void ingest_sample(std::uint64_t sample) EMON_OWNER_THREAD;
+
+  std::atomic<const SeriesView*> view_{nullptr};
+  std::atomic<std::uint64_t> seq_{0};
+  EpochDomain dom_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Operator-form access on a std::atomic member: the seq_cst is implicit
+// and invisible at the call site.  Spell it via fetch_add.
+// emon-lint-expect: bare-atomic
+#include "fixture_prelude.hpp"
+
+void bump(fixture::MiniStore& store) {
+  store.seq_ += 1;  // hidden seq_cst RMW
+}

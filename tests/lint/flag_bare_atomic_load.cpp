@@ -1,0 +1,8 @@
+// std::atomic access without an explicit memory order outside obs/.
+// emon-lint-expect: bare-atomic
+#include "fixture_prelude.hpp"
+
+std::size_t racy_count(const fixture::MiniStore& store) {
+  const fixture::SeriesView* v = store.view_.load();  // implicit seq_cst
+  return v != nullptr ? v->count : 0;
+}

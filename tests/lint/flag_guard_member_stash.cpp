@@ -1,0 +1,16 @@
+// Classic guard escape: a snapshot pointer read under a ReadGuard is
+// stashed into a member, where it outlives the pin.
+// emon-lint-expect: guard-escape
+#include "fixture_prelude.hpp"
+
+class ViewCache {
+ public:
+  void refresh(const fixture::MiniStore& store) {
+    auto g = store.read_guard();
+    const fixture::SeriesView* v = store.view();
+    cached_ = v;  // escapes the guard's scope
+  }
+
+ private:
+  const fixture::SeriesView* cached_ = nullptr;
+};

@@ -1,0 +1,11 @@
+// Leaking a guard-scoped snapshot through an out-parameter.
+// emon-lint-expect: guard-escape
+#include "fixture_prelude.hpp"
+
+bool snapshot_into(const fixture::MiniStore& store,
+                   const fixture::SeriesView** out) {
+  auto g = store.read_guard();
+  const fixture::SeriesView* v = store.view();
+  *out = v;  // caller keeps the pointer after the guard drops
+  return v != nullptr;
+}

@@ -1,0 +1,10 @@
+// Returning the raw snapshot pointer: the guard dies at the return and the
+// caller dereferences unpinned memory.
+// emon-lint-expect: guard-escape
+#include "fixture_prelude.hpp"
+
+const fixture::SeriesView* peek(const fixture::MiniStore& store) {
+  auto g = store.read_guard();
+  const fixture::SeriesView* v = store.view();
+  return v;  // raw epoch-protected value escapes
+}

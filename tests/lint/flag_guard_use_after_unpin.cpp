@@ -1,0 +1,12 @@
+// The guard is scoped too tightly: the snapshot is loaded after the pin
+// already dropped, so the read races reclamation.
+// emon-lint-expect: guard-escape
+#include "fixture_prelude.hpp"
+
+std::size_t stale_count(const fixture::MiniStore& store) {
+  {
+    auto g = store.read_guard();  // pinned and immediately dropped
+  }
+  const fixture::SeriesView* v = store.view();
+  return v != nullptr ? v->count : 0;  // unpinned dereference
+}

@@ -1,0 +1,10 @@
+// A lambda calling an owner-thread method is only sanctioned when it is
+// defined lexically inside an EMON_OWNER_THREAD_CONTEXT body; this one
+// lives in a plain function.
+// emon-lint-expect: owner-thread
+#include "fixture_prelude.hpp"
+
+void deferred_publish(fixture::MiniStore& store) {
+  auto task = [&store]() { store.publish_view(nullptr); };
+  task();
+}

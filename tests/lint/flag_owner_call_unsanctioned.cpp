@@ -1,0 +1,8 @@
+// Calling an EMON_OWNER_THREAD method from a plain function that is
+// neither owner-thread nor a sanctioned context body.
+// emon-lint-expect: owner-thread
+#include "fixture_prelude.hpp"
+
+void hostile_ingest(fixture::MiniStore& store) {
+  store.ingest_sample(42);  // owner-only surface, no sanction here
+}

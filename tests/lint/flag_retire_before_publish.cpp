@@ -1,0 +1,11 @@
+// retire() before the successor is published: a reader pinning between the
+// two statements can still load the retired object.
+// emon-lint-expect: retire-order
+#include "fixture_prelude.hpp"
+
+void swap_view(fixture::MiniStore& store, const fixture::SeriesView* next) {
+  const fixture::SeriesView* old =
+      store.view_.load(std::memory_order_acquire);
+  store.dom_.retire(old);  // still reachable through view_!
+  store.view_.store(next, std::memory_order_release);
+}

@@ -1,0 +1,8 @@
+// retire() with no republish store anywhere in the function: whatever
+// pointer led to the object is still live.
+// emon-lint-expect: retire-order
+#include "fixture_prelude.hpp"
+
+void drop_view(fixture::MiniStore& store) {
+  store.dom_.retire(store.view_.load(std::memory_order_acquire));
+}

@@ -1,0 +1,14 @@
+// Atomic accesses with the memory order spelled out at every site.
+#include "fixture_prelude.hpp"
+
+std::uint64_t sample_seq(const fixture::MiniStore& store) {
+  return store.seq_.load(std::memory_order_acquire);
+}
+
+void advance_seq(fixture::MiniStore& store) {
+  store.seq_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t expected = 0;
+  store.seq_.compare_exchange_strong(expected, 5,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+}

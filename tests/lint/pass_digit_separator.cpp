@@ -1,0 +1,11 @@
+// Regression: C++14 digit separators (100'000) must not be mistaken for
+// char-literal openers by the source masker — that once blanked the rest
+// of the file and silently dropped every later function model.
+#include "fixture_prelude.hpp"
+
+constexpr std::uint32_t kSclHz = 100'000;
+constexpr std::uint64_t kBig = 0xFFFF'FFFFull;
+
+std::uint64_t scaled_seq(const fixture::MiniStore& store) {
+  return store.seq_.load(std::memory_order_relaxed) * kSclHz % kBig;
+}

@@ -1,0 +1,10 @@
+// Functions that *require* a guard but do not create one are the caller's
+// responsibility (mirrors Tsdb::capture/lookup): exempt from the
+// guard-escape rule.
+#include "fixture_prelude.hpp"
+
+std::uint64_t head_sample(const fixture::ReadGuard& guard,
+                          const fixture::SeriesView* v) {
+  (void)guard;
+  return v != nullptr && v->count > 0 ? v->samples[0] : 0;
+}

@@ -1,0 +1,16 @@
+// Returning the ReadGuard itself is allowed: it transfers the pin, so the
+// data stays protected for as long as the caller holds the result.
+#include "fixture_prelude.hpp"
+
+#include <utility>
+
+struct PinnedCount {
+  fixture::ReadGuard guard;
+  std::size_t count = 0;
+};
+
+PinnedCount pinned_count(const fixture::MiniStore& store) {
+  fixture::ReadGuard g = store.read_guard();
+  const fixture::SeriesView* v = store.view();
+  return {std::move(g), v != nullptr ? v->count : 0};
+}

@@ -1,0 +1,15 @@
+// The correct read shape: pin, dereference, copy scalars out, let the
+// guard drop.  Nothing epoch-protected leaves the scope.
+#include "fixture_prelude.hpp"
+
+std::uint64_t sum_samples(const fixture::MiniStore& store) {
+  auto g = store.read_guard();
+  const fixture::SeriesView* v = store.view();
+  std::uint64_t total = 0;
+  if (v != nullptr) {
+    for (std::size_t i = 0; i < v->count; ++i) {
+      total += v->samples[i];
+    }
+  }
+  return total;  // plain copy, not a view
+}

@@ -1,0 +1,15 @@
+// Out-of-line definition of an EMON_OWNER_THREAD method: the annotation on
+// the in-class declaration sanctions the body, including its calls to
+// other owner-thread methods and its publish-then-retire sequence.
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void MiniStore::publish_view(const SeriesView* next) {
+  const SeriesView* old = view_.load(std::memory_order_relaxed);
+  view_.store(next, std::memory_order_release);
+  dom_.retire(old);
+  ingest_sample(0);  // owner calling owner: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// An EMON_OWNER_THREAD_CONTEXT function is a sanctioned worker body: it
+// may call owner-thread methods directly, and lambdas defined inside it
+// inherit the sanction.
+#include "fixture_prelude.hpp"
+
+void worker_body(fixture::MiniStore& store) EMON_OWNER_THREAD_CONTEXT;
+
+void worker_body(fixture::MiniStore& store) EMON_OWNER_THREAD_CONTEXT {
+  store.ingest_sample(7);
+  auto burst = [&store]() { store.publish_view(nullptr); };
+  burst();
+}

@@ -1,0 +1,21 @@
+// Sink-shaped writes (trailing-underscore members) and container method
+// names that overlap atomic spellings must stay clean when nothing
+// epoch-protected or atomic is involved.
+#include "fixture_prelude.hpp"
+
+#include <vector>
+
+class Tally {
+ public:
+  void add(std::uint64_t v) {
+    total_ = total_ + v;  // plain member, no guard in scope
+    history_.push_back(v);
+    if (history_.size() > 16) {
+      history_.clear();  // not std::atomic_flag::clear
+    }
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> history_;
+};

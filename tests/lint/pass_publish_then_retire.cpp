@@ -1,0 +1,11 @@
+// The correct writer sequence from a sanctioned context: publish the
+// successor first, then retire the predecessor.
+#include "fixture_prelude.hpp"
+
+void rotate_view(fixture::MiniStore& store,
+                 const fixture::SeriesView* next) EMON_OWNER_THREAD_CONTEXT {
+  const fixture::SeriesView* old =
+      store.view_.load(std::memory_order_relaxed);
+  store.view_.store(next, std::memory_order_release);
+  store.dom_.retire(old);  // unreachable now: store precedes retire
+}

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -342,6 +343,21 @@ TEST(ServePipeline, StopIsIdempotentAndRefusesLateWork) {
   EXPECT_FALSE(pipeline.submit_frame(up.frames.front()));
   EXPECT_FALSE(pipeline.submit_records({}));
   EXPECT_EQ(pipeline.stats().records_accepted, up.records.size());
+}
+
+// The worker reads the sink list unlocked (frozen at start()), so late
+// registration must be refused, not raced.
+TEST(ServePipeline, AddWindowSinkAfterStartThrows) {
+  Tsdb db{TsdbOptions{1, 16}};
+  store::RollupEngine rollups{db};
+  ServePipeline pipeline{db, &rollups};
+  pipeline.add_window_sink(1, [](const ClosedWindow&) {});  // pre-start: ok
+  pipeline.start();
+  EXPECT_THROW(pipeline.add_window_sink(2, [](const ClosedWindow&) {}),
+               std::logic_error);
+  pipeline.stop();
+  // With the worker joined, registration is safe again (restart support).
+  pipeline.add_window_sink(3, [](const ClosedWindow&) {});
 }
 
 }  // namespace

@@ -1,0 +1,895 @@
+#!/usr/bin/env python3
+"""emon_lint: concurrency-contract lint for the emon codebase.
+
+Checks four contracts the compiler cannot express (clang -Wthread-safety
+covers the mutex-shaped ones; these are the epoch/owner-thread-shaped ones):
+
+  guard-escape   Values read through an epoch ReadGuard (SeriesView /
+                 ShardIndex / SeriesRef, read_guard()/pin() results) must not
+                 outlive the guard's lexical scope: no stores into members,
+                 globals or out-params, no returning the raw snapshot
+                 pointer, no use after the guard's scope closes.  Returning
+                 the guard itself is fine — that transfers the pin.
+  owner-thread   Methods annotated EMON_OWNER_THREAD may only be called from
+                 functions that are themselves EMON_OWNER_THREAD, from
+                 sanctioned worker bodies (EMON_OWNER_THREAD_CONTEXT), or
+                 from lambdas lexically inside either.
+  bare-atomic    Every std::atomic access outside src/obs/ must spell an
+                 explicit std::memory_order (seq_cst included — the point is
+                 that the author chose one).
+  retire-order   A retire() on the epoch domain must be preceded, in the same
+                 function, by the store that republishes the successor —
+                 retiring before publishing would free a snapshot readers can
+                 still reach.
+
+Engines (--engine auto|libclang|textual):
+
+  libclang   Walks the AST of every TU in compile_commands.json via
+             clang.cindex (python3-clang).  Function extents, annotations and
+             owner-thread call targets are resolved exactly.
+  textual    Stdlib-only fallback for environments without libclang.  Function
+             extents come from a brace-level scan; owner-thread calls are
+             matched by method name, skipping names that are also declared
+             without the annotation elsewhere (the libclang engine resolves
+             those precisely).
+
+Rule evaluation is shared: both engines produce the same FunctionModel and
+the same source-level scans run over each body, so the fixture self-tests
+(tests/lint/) pin identical verdicts for both.
+
+Usage:
+  tools/emon_lint.py --root src --compdb build [--baseline FILE]
+  tools/emon_lint.py --self-test tests/lint
+Exit status: 0 when every finding is baselined (or none), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+OWNER = "EMON_OWNER_THREAD"
+CONTEXT = "EMON_OWNER_THREAD_CONTEXT"
+RULES = ("guard-escape", "owner-thread", "bare-atomic", "retire-order")
+
+GUARD_TYPES = ("ReadGuard",)
+VIEW_TYPES = ("SeriesView", "ShardIndex", "SeriesRef")
+GUARD_MAKERS = (".pin()", "read_guard()")
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "switch", "do", "try", "catch", "return",
+}
+CONTAINER_KEYWORDS = {"namespace", "class", "struct", "union", "enum"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str
+    line: int
+    function: str
+    message: str
+
+    def key(self) -> str:
+        # Line numbers drift; the baseline keys on path:rule:function.
+        return f"{self.path}:{self.rule}:{self.function}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.function}: "
+                f"{self.message}")
+
+
+@dataclass
+class FunctionModel:
+    path: str
+    name: str                      # display name, Class::method when known
+    start_line: int                # line of the body's opening brace
+    header: str                    # masked text of the signature
+    body: str                      # masked text inside the braces
+    body_offset_line: int          # line number of body[0]
+    annotations: set = field(default_factory=set)
+    # libclang only: [(line, callee_qname)] for calls whose target carries
+    # EMON_OWNER_THREAD.  None means "unresolved — use the textual name scan".
+    owner_calls: list | None = None
+
+
+# ---------------------------------------------------------------------------
+# Source masking and structural scan (shared by both engines)
+# ---------------------------------------------------------------------------
+
+def mask_source(text: str) -> str:
+    """Blanks comments, string/char literals and preprocessor lines, keeping
+    every newline so offsets and line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # A ' directly after an alphanumeric is a C++14 digit
+                # separator (100'000, 0xFF'FF), not a char literal.
+                if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                    out.append(" ")
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "#" and (i == 0 or text[i - 1] == "\n"):
+                state = "preproc"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "preproc":
+            if c == "\n":
+                # Line continuations keep the directive alive.
+                if out and out[-1] == " " and text[i - 1] == "\\":
+                    out.append("\n")
+                    i += 1
+                    continue
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+    return "".join(out)
+
+
+_NAME_QUALIFIED = re.compile(r"([A-Za-z_~][\w]*(?:::[A-Za-z_~][\w]*)+)\s*\(")
+_NAME_PLAIN = re.compile(r"\b([A-Za-z_~][\w]*)\s*\(")
+
+
+def header_function_name(header: str) -> str | None:
+    """Extracts the function name from a definition header, or None when the
+    header is not function-shaped."""
+    stripped = header.strip()
+    if not stripped or "(" not in stripped:
+        return None
+    first_word = re.match(r"[A-Za-z_~][\w]*", stripped)
+    if first_word and first_word.group(0) in CONTROL_KEYWORDS:
+        return None
+    words = set(re.findall(r"[A-Za-z_]\w*", stripped))
+    if words & CONTAINER_KEYWORDS:
+        return None
+    # Lambdas: capture list immediately before the parameter list.
+    if re.search(r"\]\s*\(", stripped.split("(", 1)[0] + "("):
+        return None
+    if stripped.endswith("="):
+        return None
+    m = _NAME_QUALIFIED.search(stripped)
+    if m:
+        return m.group(1)
+    for m in _NAME_PLAIN.finditer(stripped):
+        name = m.group(1)
+        if name not in CONTROL_KEYWORDS and not name.startswith("EMON_"):
+            return m.group(1)
+    return None
+
+
+_TRAILING_QUALIFIERS = {
+    "const", "noexcept", "override", "final", "mutable", "try",
+}
+
+
+def _opens_function_body(masked: str, brace_off: int, header: str) -> bool:
+    """Distinguishes a function body's `{` from brace-init / aggregate-init /
+    lambda bodies (member-init lists with immediately-invoked lambdas are the
+    hard case).  A function body's brace follows `)`, a `}` (brace-init of
+    the last ctor-init entry), or a trailing qualifier / EMON_* macro —
+    never a bare identifier (`AnomalyParams{...}`) or `]` (lambda intro)."""
+    prev = masked[:brace_off].rstrip()[-1:]
+    if prev in (")", "}"):
+        return True
+    trailing = re.search(r"([A-Za-z_]\w*)\s*$", header)
+    if trailing:
+        word = trailing.group(1)
+        return word in _TRAILING_QUALIFIERS or word.startswith("EMON_")
+    return False
+
+
+@dataclass
+class StructScan:
+    functions: list
+    class_decl_statements: list    # (class_name, statement_text, line)
+
+
+def scan_structure(path: str, masked: str) -> StructScan:
+    """One pass over a masked file: top-level function definitions (with
+    class-qualified display names) plus every declaration statement inside a
+    class body (for the annotation/ambiguity tables)."""
+    functions = []
+    decls = []
+    stack = []            # (kind, name) per open brace
+    boundary = 0          # offset just past the last ; { or }
+    i, n = 0, len(masked)
+    in_function_depth = None
+    while i < n:
+        c = masked[i]
+        if c == ";":
+            if in_function_depth is None:
+                stmt = masked[boundary:i]
+                cls = next((nm for kd, nm in reversed(stack)
+                            if kd == "class"), None)
+                if cls and "(" in stmt:
+                    decls.append((cls, stmt, 1 + masked.count("\n", 0, i)))
+            boundary = i + 1
+        elif c == "{":
+            header = masked[boundary:i]
+            kind, name = "other", None
+            words = re.findall(r"[A-Za-z_]\w*", header)
+            if in_function_depth is not None:
+                kind = "nested"
+            elif re.search(r"\b(class|struct|union)\s+([A-Za-z_]\w*)[^;{]*$",
+                           header):
+                m = re.search(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)",
+                              header)
+                kind, name = "class", m.group(1)
+            elif "namespace" in words or "enum" in words:
+                kind = "container"
+            else:
+                fn = header_function_name(header)
+                if fn is not None and _opens_function_body(masked, i, header):
+                    kind, name = "function", fn
+            stack.append((kind, name))
+            if kind == "function":
+                in_function_depth = len(stack)
+                fn_start = i
+                fn_header_off = boundary
+            boundary = i + 1
+        elif c == "}":
+            if stack:
+                kind, name = stack.pop()
+                if (kind == "function"
+                        and in_function_depth == len(stack) + 1):
+                    header = masked[fn_header_off:fn_start]
+                    cls = next((nm for kd, nm in reversed(stack)
+                                if kd == "class"), None)
+                    display = name
+                    if cls and "::" not in name:
+                        display = f"{cls}::{name}"
+                    functions.append(FunctionModel(
+                        path=path,
+                        name=display,
+                        start_line=1 + masked.count("\n", 0, fn_start),
+                        header=header,
+                        body=masked[fn_start + 1:i],
+                        body_offset_line=1 + masked.count("\n", 0,
+                                                          fn_start + 1),
+                    ))
+                    in_function_depth = None
+            boundary = i + 1
+        i += 1
+    return StructScan(functions=functions, class_decl_statements=decls)
+
+
+# ---------------------------------------------------------------------------
+# Annotation tables (textual; the libclang engine overrides call targets)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AnnotationTable:
+    qualified: dict                # "Class::method" -> {OWNER|CONTEXT}
+    owner_bare: set                # bare names safe to match textually
+    ambiguous: set                 # bare owner names shadowed elsewhere
+
+
+def statement_annotations(stmt: str) -> set:
+    out = set()
+    if re.search(r"\bEMON_OWNER_THREAD_CONTEXT\b", stmt):
+        out.add(CONTEXT)
+    if re.search(r"\bEMON_OWNER_THREAD\b(?!_)", stmt):
+        out.add(OWNER)
+    return out
+
+
+def build_annotation_table(scans: list) -> AnnotationTable:
+    # Pass 1: every annotated declaration (class-body decls carry the macro;
+    # out-of-line definitions inherit through their qualified name).
+    qualified: dict = {}
+    owner_names: set = set()
+    entries = []          # (qualified_or_bare_name, annotations)
+    for scan in scans:
+        for cls, stmt, _line in scan.class_decl_statements:
+            name = header_function_name(stmt)
+            if name is None:
+                continue
+            bare = name.split("::")[-1]
+            entries.append((f"{cls}::{bare}", statement_annotations(stmt)))
+        for fn in scan.functions:
+            entries.append((fn.name, statement_annotations(fn.header)))
+    for qname_, anns in entries:
+        if anns:
+            qualified.setdefault(qname_, set()).update(anns)
+            if OWNER in anns:
+                owner_names.add(qname_.split("::")[-1])
+    # Pass 2: a bare owner name is ambiguous when some *other* method (one
+    # whose qualified name is not annotated) shares it — the textual engine
+    # cannot resolve the receiver type, so it skips those; the libclang
+    # engine checks them precisely.
+    ambiguous = set()
+    for qname_, anns in entries:
+        bare = qname_.split("::")[-1]
+        if bare not in owner_names:
+            continue
+        if qualified.get(qname_):
+            continue       # a decl or definition of an annotated method
+        ambiguous.add(bare)
+    return AnnotationTable(qualified=qualified,
+                           owner_bare=owner_names - ambiguous,
+                           ambiguous=ambiguous)
+
+
+def function_annotations(fn: FunctionModel, table: AnnotationTable) -> set:
+    anns = set(fn.annotations)
+    anns |= statement_annotations(fn.header)
+    anns |= table.qualified.get(fn.name, set())
+    return anns
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations (shared source-level scans)
+# ---------------------------------------------------------------------------
+
+def _line_of(fn: FunctionModel, offset: int) -> int:
+    return fn.body_offset_line + fn.body.count("\n", 0, offset)
+
+
+def check_guard_escape(fn: FunctionModel) -> list:
+    body = fn.body
+    guard_decl = None
+    for m in re.finditer(
+            r"\b(?:%s)\s+(\w+)\s*[=({]|\b(\w+)\s*=\s*[^;=]*?(?:%s)"
+            % ("|".join(GUARD_TYPES),
+               "|".join(re.escape(g) for g in GUARD_MAKERS)), body):
+        guard_decl = (m.group(1) or m.group(2), m.start())
+        break
+    if guard_decl is None:
+        return []
+    guard_var, guard_off = guard_decl
+
+    # Lexical scope of the guard: from its declaration to the close of the
+    # brace scope it was declared in.
+    depth = 0
+    scope_end = len(body)
+    for i in range(guard_off, len(body)):
+        if body[i] == "{":
+            depth += 1
+        elif body[i] == "}":
+            if depth == 0:
+                scope_end = i
+                break
+            depth -= 1
+
+    view_vars = []
+    type_re = re.compile(
+        r"\b(?:[\w:]*(?:%s))\b[\w:<>]*[\s*&]+(\w+)\s*[=;({]"
+        % "|".join(VIEW_TYPES))
+    for m in type_re.finditer(body):
+        if m.start() >= guard_off:
+            view_vars.append(m.group(1))
+    findings = []
+
+    def flag(off: int, msg: str) -> None:
+        findings.append(Finding("guard-escape", fn.path, _line_of(fn, off),
+                                fn.name, msg))
+
+    view_alt = "|".join(re.escape(v) for v in view_vars) if view_vars else None
+
+    # 1. Stores into members/globals/out-params of guard-derived values.
+    sink_re = re.compile(
+        r"(?:this->\w+|\b[A-Za-z]\w*_|\bg_\w+|\*\s*\w+)\s*=(?!=)\s*([^;]*)")
+    for m in sink_re.finditer(body, guard_off):
+        if m.start() > scope_end:
+            break
+        if m.group(0).lstrip().startswith("*"):
+            # `*out = ...` is a sink; `Type* var = ...` is a declaration.
+            prev = body[:m.start()].rstrip()[-1:]
+            if prev and (prev.isalnum() or prev in "_>:)"):
+                continue
+        rhs = m.group(1)
+        leaks = any(t in rhs for t in VIEW_TYPES) or any(
+            g in rhs for g in GUARD_MAKERS)
+        if not leaks and view_alt:
+            leaks = re.search(r"\b(?:%s)\b" % view_alt, rhs) is not None
+        if leaks:
+            flag(m.start(), "guard-scoped view value stored beyond the "
+                 "ReadGuard's scope (member/global/out-param)")
+
+    # 2. Returning the raw snapshot (returning the guard itself is allowed —
+    #    it transfers the pin).
+    if view_alt:
+        ret_re = re.compile(
+            r"\breturn\s+(?:std::move\(\s*)?(?:%s)\b\s*\)?\s*;" % view_alt)
+        for m in ret_re.finditer(body):
+            if guard_off < m.start():
+                flag(m.start(), "returns a raw epoch-protected snapshot "
+                     "value; copy the data out or return the guard with it")
+    for m in re.finditer(r"\breturn\s+&[^;]*;", body):
+        seg = m.group(0)
+        if guard_off < m.start() and (
+                any(t in seg for t in VIEW_TYPES)
+                or (view_alt and re.search(r"\b(?:%s)\b" % view_alt, seg))):
+            flag(m.start(), "returns the address of guard-scoped data")
+
+    # 3. Uses of guard-scoped view variables after the guard's scope closed.
+    if view_alt:
+        use_re = re.compile(r"\b(?:%s)\b" % view_alt)
+        for m in use_re.finditer(body, scope_end):
+            # Skip fresh declarations of a same-named variable.
+            decl = type_re.search(body, max(scope_end, m.start() - 80))
+            if decl and decl.end() >= m.start() >= decl.start():
+                continue
+            flag(m.start(), "epoch-protected view value used after its "
+                 "ReadGuard's scope closed")
+            break
+    return findings
+
+
+def check_owner_thread(fn: FunctionModel, table: AnnotationTable) -> list:
+    anns = function_annotations(fn, table)
+    if anns & {OWNER, CONTEXT}:
+        return []          # sanctioned body: lambdas inside inherit this
+    findings = []
+    if fn.owner_calls is not None:       # libclang-resolved
+        for line, callee in fn.owner_calls:
+            findings.append(Finding(
+                "owner-thread", fn.path, line, fn.name,
+                f"calls owner-thread method {callee} from a function that "
+                f"is neither EMON_OWNER_THREAD nor a sanctioned "
+                f"EMON_OWNER_THREAD_CONTEXT body"))
+        return findings
+    if not table.owner_bare:
+        return []
+    call_re = re.compile(r"(?:\.|->|\b)(%s)\s*\("
+                         % "|".join(sorted(table.owner_bare)))
+    for m in call_re.finditer(fn.body):
+        findings.append(Finding(
+            "owner-thread", fn.path, _line_of(fn, m.start()), fn.name,
+            f"calls owner-thread method {m.group(1)}() from a function that "
+            f"is neither EMON_OWNER_THREAD nor a sanctioned "
+            f"EMON_OWNER_THREAD_CONTEXT body"))
+    return findings
+
+
+# `test_and_set`/`clear` (std::atomic_flag) are deliberately absent: `clear`
+# collides with every container, and the codebase has no atomic_flag.
+_ATOMIC_CALL = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+def check_bare_atomic(fn: FunctionModel, atomic_names: set) -> list:
+    if f"{os.sep}obs{os.sep}" in fn.path or "/obs/" in fn.path:
+        return []
+    findings = []
+    body = fn.body
+    for m in _ATOMIC_CALL.finditer(body):
+        # Argument list of the call: scan to the matching close paren.
+        depth, j = 1, m.end()
+        while j < len(body) and depth:
+            if body[j] == "(":
+                depth += 1
+            elif body[j] == ")":
+                depth -= 1
+            j += 1
+        args = body[m.end():j - 1]
+        if "memory_order" not in args:
+            findings.append(Finding(
+                "bare-atomic", fn.path, _line_of(fn, m.start()), fn.name,
+                f".{m.group(1)}() without an explicit std::memory_order"))
+    if atomic_names:
+        op_re = re.compile(
+            r"(?:\+\+|--)\s*(%(n)s)\b|\b(%(n)s)\s*(?:\+\+|--|[+\-|&^]?=(?!=))"
+            % {"n": "|".join(re.escape(a) for a in sorted(atomic_names))})
+        for m in op_re.finditer(body):
+            name = m.group(1) or m.group(2)
+            tail = body[m.end():m.end() + 1]
+            findings.append(Finding(
+                "bare-atomic", fn.path, _line_of(fn, m.start()), fn.name,
+                f"operator access on std::atomic '{name}' (implicit seq_cst);"
+                f" spell the memory order via load/store/fetch_*"))
+            del tail
+    return findings
+
+
+def collect_atomic_names(masked_files: dict) -> set:
+    """Member/global std::atomic variables that operator-form accesses can be
+    matched against by name.  Restricted to the codebase's member/global
+    naming (trailing underscore or g_ prefix) to avoid colliding with local
+    variables that reuse short names."""
+    names = set()
+    decl_re = re.compile(r"\bstd::atomic(?:<[^;{}=]*>|_flag)?\s+(\w+)\s*[{=;]")
+    for _path, masked in masked_files.items():
+        for m in decl_re.finditer(masked):
+            name = m.group(1)
+            if name.endswith("_") or name.startswith("g_"):
+                names.add(name)
+    return names
+
+
+def check_retire_order(fn: FunctionModel) -> list:
+    if fn.path.endswith("mvcc.hpp"):
+        return []          # the domain's own implementation
+    body = fn.body
+    findings = []
+    first_store = None
+    m = re.search(r"\.\s*store\s*\(", body)
+    if m:
+        first_store = m.start()
+    for m in re.finditer(r"(?:\.|->)\s*retire\s*\(", body):
+        if first_store is None or m.start() < first_store:
+            findings.append(Finding(
+                "retire-order", fn.path, _line_of(fn, m.start()), fn.name,
+                "retire() without a preceding republish store in this "
+                "function — readers can still load the retired snapshot"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+def iter_source_files(root: str) -> list:
+    out = []
+    for dirpath, _dirs, files in os.walk(root):
+        for f in sorted(files):
+            if f.endswith((".hpp", ".cpp", ".h", ".cc")):
+                out.append(os.path.join(dirpath, f))
+    return sorted(out)
+
+
+def textual_models(paths: list):
+    masked_files = {}
+    scans = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            masked = mask_source(f.read())
+        masked_files[path] = masked
+        scans.append(scan_structure(path, masked))
+    return masked_files, scans
+
+
+def libclang_models(paths: list, compdb_dir: str | None, extra_args: list):
+    """AST-backed models.  Only function extents, annotations and resolved
+    owner-thread call targets come from the AST; the per-body source scans
+    are shared with the textual engine."""
+    import clang.cindex as ci
+    lib = os.environ.get("EMON_LIBCLANG")
+    if lib:
+        ci.Config.set_library_file(lib)
+    index = ci.Index.create()
+
+    def compile_args(path):
+        if compdb_dir:
+            try:
+                db = ci.CompilationDatabase.fromDirectory(compdb_dir)
+                cmds = db.getCompileCommands(path)
+                if cmds:
+                    args = list(cmds[0].arguments)[1:]
+                    out, skip = [], False
+                    for a in args:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-c", path) or a.endswith(path):
+                            continue
+                        if a == "-o":
+                            skip = True
+                            continue
+                        out.append(a)
+                    return out
+            except ci.CompilationDatabaseError:
+                pass
+        return ["-std=c++20"] + extra_args
+
+    wanted = {os.path.abspath(p) for p in paths}
+    models: dict = {}
+    fn_kinds = {
+        ci.CursorKind.CXX_METHOD, ci.CursorKind.FUNCTION_DECL,
+        ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+        ci.CursorKind.FUNCTION_TEMPLATE,
+    }
+
+    def annotations_of(cursor) -> set:
+        anns = set()
+        for ch in cursor.get_children():
+            if ch.kind == ci.CursorKind.ANNOTATE_ATTR:
+                if ch.spelling == "emon::owner_thread":
+                    anns.add(OWNER)
+                elif ch.spelling == "emon::owner_thread_context":
+                    anns.add(CONTEXT)
+        return anns
+
+    def decl_annotations(cursor) -> set:
+        anns = annotations_of(cursor)
+        canon = cursor.canonical
+        if canon is not None and canon != cursor:
+            anns |= annotations_of(canon)
+        return anns
+
+    def qname(cursor) -> str:
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (
+                ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                ci.CursorKind.CLASS_TEMPLATE):
+            return f"{parent.spelling}::{cursor.spelling}"
+        return cursor.spelling
+
+    file_cache: dict = {}
+
+    def file_text(path):
+        if path not in file_cache:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                file_cache[path] = mask_source(f.read())
+        return file_cache[path]
+
+    def owner_calls_in(cursor) -> list:
+        calls = []
+
+        def walk(c):
+            for ch in c.get_children():
+                if ch.kind == ci.CursorKind.CALL_EXPR:
+                    ref = ch.referenced
+                    if ref is not None and OWNER in decl_annotations(ref):
+                        calls.append((ch.location.line, qname(ref)))
+                walk(ch)
+
+        walk(cursor)
+        return calls
+
+    def visit(cursor):
+        for ch in cursor.get_children():
+            loc_file = ch.location.file
+            if loc_file is None:
+                continue
+            abs_path = os.path.abspath(loc_file.name)
+            if abs_path not in wanted:
+                # Still descend into namespaces of the main file's headers.
+                if ch.kind in (ci.CursorKind.NAMESPACE,
+                               ci.CursorKind.TRANSLATION_UNIT):
+                    visit(ch)
+                continue
+            if ch.kind in fn_kinds and ch.is_definition():
+                ext = ch.extent
+                key = (abs_path, ext.start.line, qname(ch))
+                if key in models:
+                    continue
+                masked = file_text(abs_path)
+                lines = masked.split("\n")
+                text = "\n".join(lines[ext.start.line - 1:ext.end.line])
+                brace = text.find("{")
+                if brace < 0:
+                    continue
+                header = text[:brace]
+                body = text[brace + 1:text.rfind("}")]
+                models[key] = FunctionModel(
+                    path=os.path.relpath(abs_path),
+                    name=qname(ch),
+                    start_line=ext.start.line,
+                    header=header,
+                    body=body,
+                    body_offset_line=(ext.start.line
+                                      + text.count("\n", 0, brace + 1)),
+                    annotations=decl_annotations(ch),
+                    owner_calls=owner_calls_in(ch),
+                )
+            visit(ch)
+
+    parse_failures = []
+    for path in sorted(wanted):
+        if not path.endswith((".cpp", ".cc")):
+            continue
+        try:
+            tu = index.parse(path, args=compile_args(path))
+        except ci.TranslationUnitLoadError as e:
+            parse_failures.append(f"{path}: {e}")
+            continue
+        visit(tu.cursor)
+    return list(models.values()), parse_failures
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_lint(paths: list, engine: str, compdb: str | None,
+             extra_args: list) -> tuple:
+    masked_files, scans = textual_models(paths)
+    table = build_annotation_table(scans)
+    atomic_names = collect_atomic_names(masked_files)
+
+    models = []
+    notes = []
+    use_libclang = False
+    if engine in ("auto", "libclang"):
+        try:
+            import clang.cindex  # noqa: F401
+            use_libclang = True
+        except ImportError:
+            if engine == "libclang":
+                raise SystemExit(
+                    "emon_lint: --engine libclang requested but clang.cindex "
+                    "is not importable (install python3-clang + libclang, or "
+                    "set EMON_LIBCLANG)")
+            notes.append("libclang unavailable; using the textual engine")
+    if use_libclang:
+        models, failures = libclang_models(paths, compdb, extra_args)
+        notes.extend(f"parse failure (textual fallback): {f}"
+                     for f in failures)
+        covered = {m.path for m in models}
+        for scan in scans:
+            for fn in scan.functions:
+                if os.path.relpath(fn.path) not in covered:
+                    models.append(fn)
+    else:
+        for scan in scans:
+            models.extend(scan.functions)
+
+    findings = []
+    for fn in models:
+        findings.extend(check_guard_escape(fn))
+        findings.extend(check_owner_thread(fn, table))
+        findings.extend(check_bare_atomic(fn, atomic_names))
+        findings.extend(check_retire_order(fn))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, notes
+
+
+def load_baseline(path: str) -> set:
+    keys = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def self_test(fixture_dir: str, engine: str, extra_args: list) -> int:
+    headers = [p for p in iter_source_files(fixture_dir)
+               if p.endswith((".hpp", ".h"))]
+    fixtures = [p for p in iter_source_files(fixture_dir)
+                if os.path.basename(p).startswith(("flag_", "pass_"))]
+    if not fixtures:
+        print(f"emon_lint --self-test: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for fixture in fixtures:
+        base = os.path.basename(fixture)
+        with open(fixture, "r", encoding="utf-8") as f:
+            src = f.read()
+        m = re.search(r"emon-lint-expect:\s*([\w-]+)", src)
+        expect = m.group(1) if m else None
+        findings, _notes = run_lint([fixture] + headers, engine, None,
+                                    extra_args + ["-I", fixture_dir])
+        findings = [f for f in findings if f.path.endswith(base)]
+        if base.startswith("flag_"):
+            if expect is None:
+                print(f"FAIL {base}: missing '// emon-lint-expect: <rule>'")
+                failures += 1
+            elif not any(f.rule == expect for f in findings):
+                got = ", ".join(sorted({f.rule for f in findings})) or "none"
+                print(f"FAIL {base}: expected a {expect} finding, got: {got}")
+                failures += 1
+            else:
+                print(f"ok   {base} ({expect})")
+        else:
+            if findings:
+                print(f"FAIL {base}: expected clean, got:")
+                for f in findings:
+                    print(f"     {f.render()}")
+                failures += 1
+            else:
+                print(f"ok   {base} (clean)")
+    total = len(fixtures)
+    print(f"emon_lint self-test: {total - failures}/{total} fixtures passed")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="explicit files to lint")
+    ap.add_argument("--root", default=None,
+                    help="lint every C++ source under this directory")
+    ap.add_argument("--compdb", default=None,
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--engine", choices=("auto", "libclang", "textual"),
+                    default="auto")
+    ap.add_argument("--baseline", default=None,
+                    help="file of accepted finding keys (path:rule:function)")
+    ap.add_argument("--report", default=None,
+                    help="write findings as JSON to this path")
+    ap.add_argument("--self-test", default=None, metavar="DIR",
+                    help="run the fixture corpus under DIR and exit")
+    ap.add_argument("--extra-arg", action="append", default=[],
+                    help="extra compiler arg for the libclang engine")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.self_test, args.engine, args.extra_arg)
+
+    paths = list(args.files)
+    if args.root:
+        paths.extend(iter_source_files(args.root))
+    if not paths:
+        ap.error("nothing to lint: pass files or --root")
+
+    findings, notes = run_lint(paths, args.engine, args.compdb,
+                               args.extra_arg)
+    for note in notes:
+        print(f"emon_lint: note: {note}", file=sys.stderr)
+
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    new = [f for f in findings if f.key() not in baseline]
+    stale = baseline - {f.key() for f in findings}
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump([f_.__dict__ for f_ in findings], f, indent=2)
+            f.write("\n")
+
+    for f_ in new:
+        print(f_.render())
+    if stale:
+        print(f"emon_lint: note: {len(stale)} baseline entr"
+              f"{'y is' if len(stale) == 1 else 'ies are'} no longer "
+              f"triggered — prune the baseline", file=sys.stderr)
+    summary = (f"emon_lint: {len(findings)} finding(s), "
+               f"{len(new)} not in baseline")
+    print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
