@@ -1,0 +1,156 @@
+// Scenario × seed determinism matrix — the whole-system reproducibility
+// gate behind the emon_lint determinism rules (wall-clock, unordered-iter-
+// escape, unseeded-rng, ptr-order): every canned scenario, at two seeds
+// and at {1, 4} shards, runs to a Trace::digest() that
+//
+//   * is bit-identical between 1-shard and 4-shard execution (hard gate
+//     here — the conservative-lookahead contract), and
+//   * matches the checked-in table tools/determinism_matrix.json across
+//     revisions (tools/check_determinism_matrix.py diffs the artifact; a
+//     digest drift means a behavioural change that must be intentional
+//     and re-pinned with --update).
+//
+// Also gates that the two seeds differ (a scenario whose digest ignores
+// the seed has lost its stochastic wiring).
+//
+// Writes BENCH_determinism.json (digests as hex strings — JSON numbers
+// cannot carry 64 bits exactly).
+//
+// Flags: --duration-s X   simulated seconds per run (default 10)
+//        --scenario NAME  restrict to one canned scenario (repeatable)
+//        --out FILE       (default BENCH_determinism.json)
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+struct Entry {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  std::uint64_t digest = 0;
+  double wall_s = 0.0;
+};
+
+Entry run_one(const std::string& name, std::uint64_t seed, std::size_t shards,
+              double duration_s) {
+  using namespace emon;
+  Entry e;
+  e.scenario = name;
+  e.seed = seed;
+  e.shards = shards;
+  const auto t0 = Clock::now();
+  core::Testbed bed{core::canned_scenario(name, seed),
+                    core::TestbedOptions{shards}};
+  bed.start();
+  bed.run_for(sim::seconds_f(duration_s));
+  e.digest = bed.trace().digest();
+  e.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace emon;
+  util::LogConfig::set_level(util::LogLevel::kError);
+
+  double duration_s = 10.0;
+  std::vector<std::string> scenarios;
+  std::string out_path = "BENCH_determinism.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--duration-s") {
+      duration_s = std::stod(value);
+    } else if (flag == "--scenario") {
+      scenarios.push_back(value);
+    } else if (flag == "--out") {
+      out_path = value;
+    } else {
+      std::cerr << "unknown flag " << flag << '\n';
+      return 2;
+    }
+  }
+  if (scenarios.empty()) {
+    scenarios = core::canned_scenario_names();
+  }
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const std::vector<std::size_t> shard_counts = {1, 4};
+
+  std::vector<Entry> entries;
+  bool shard_parity = true;
+  bool seed_sensitivity = true;
+  for (const auto& name : scenarios) {
+    for (const std::uint64_t seed : seeds) {
+      std::vector<Entry> per_shards;
+      for (const std::size_t shards : shard_counts) {
+        per_shards.push_back(run_one(name, seed, shards, duration_s));
+        const Entry& e = per_shards.back();
+        std::cout << name << " seed=" << seed << " shards=" << shards
+                  << " digest=" << hex64(e.digest) << " ("
+                  << e.wall_s << " s)\n";
+      }
+      for (std::size_t i = 1; i < per_shards.size(); ++i) {
+        if (per_shards[i].digest != per_shards[0].digest) {
+          shard_parity = false;
+          std::cerr << "SHARD PARITY FAIL: " << name << " seed=" << seed
+                    << ": shards=" << per_shards[0].shards << " -> "
+                    << hex64(per_shards[0].digest) << " but shards="
+                    << per_shards[i].shards << " -> "
+                    << hex64(per_shards[i].digest) << '\n';
+        }
+      }
+      entries.insert(entries.end(), per_shards.begin(), per_shards.end());
+    }
+    // The two seeds' 1-shard digests must differ.
+    std::uint64_t d1 = 0;
+    std::uint64_t d2 = 0;
+    for (const Entry& e : entries) {
+      if (e.scenario == name && e.shards == shard_counts[0]) {
+        (e.seed == seeds[0] ? d1 : d2) = e.digest;
+      }
+    }
+    if (d1 == d2) {
+      seed_sensitivity = false;
+      std::cerr << "SEED SENSITIVITY FAIL: " << name
+                << " ignores its seed (digest " << hex64(d1) << ")\n";
+    }
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"duration_s\": " << duration_s << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    json << "    {\"scenario\": \"" << e.scenario << "\", \"seed\": "
+         << e.seed << ", \"shards\": " << e.shards << ", \"digest\": \""
+         << hex64(e.digest) << "\", \"wall_s\": " << e.wall_s << "}"
+         << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"shard_parity\": " << (shard_parity ? "true" : "false")
+       << ",\n  \"seed_sensitivity\": "
+       << (seed_sensitivity ? "true" : "false") << "\n}\n";
+  std::cout << "json: " << out_path << '\n';
+
+  std::cout << "gates: shard parity " << (shard_parity ? "PASS" : "FAIL")
+            << "; seed sensitivity "
+            << (seed_sensitivity ? "PASS" : "FAIL") << '\n';
+  return (shard_parity && seed_sensitivity) ? 0 : 1;
+}

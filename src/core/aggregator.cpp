@@ -85,7 +85,6 @@ Aggregator::Aggregator(sim::Kernel& kernel, std::string id, NetworkId network,
         std::string("query_ns{kind=\"") + kind + "\"}"));
   }
   pump_stage_ns_ = metrics_.histogram("sub_pump_ns");
-  wall_start_ = std::chrono::steady_clock::now();
   if (trace_ != nullptr) {
     broker_.bind_trace(trace_, "wire.mqtt." + id_);
   }
@@ -393,9 +392,10 @@ void Aggregator::refresh_stage_saturation() {
   // worker split — a stage near 1e6 ppm is the bottleneck; the sum of all
   // three near 1e6 says one thread still suffices.  Gauges refresh on each
   // scrape, *before* the snapshot, so every StatsResponse carries them.
-  const auto wall = std::chrono::steady_clock::now() - wall_start_;
-  const auto wall_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  // Wall time comes from the obs layer (obs::WallUptime): 0 when metrics
+  // are disabled, which skips the refresh — the aggregator itself never
+  // touches a wall clock (enforced by the emon_lint `wall-clock` rule).
+  const std::uint64_t wall_ns = wall_uptime_.elapsed_ns();
   if (wall_ns == 0) {
     return;
   }

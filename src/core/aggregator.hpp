@@ -299,7 +299,15 @@ class Aggregator {
   /// Called from handle_stats before each snapshot so every scrape carries
   /// current values.
   void refresh_stage_saturation();
-  std::chrono::steady_clock::time_point wall_start_;
+  /// Wall-clock uptime for the saturation gauges.  Regression note: this
+  /// used to be a raw steady_clock::now() anchor held by the aggregator —
+  /// the exact pattern the emon_lint `wall-clock` rule now rejects, because
+  /// a member wall time is one refactor away from leaking into verification
+  /// or billing logic.  obs::WallUptime keeps the clock reads inside the
+  /// obs layer and reads as 0 when metrics are disabled/compiled out, so
+  /// sim results can never depend on it (the EMON_OBS_OFF digest-parity
+  /// gate in CI enforces exactly that).
+  obs::WallUptime wall_uptime_;
   obs::Gauge ingest_busy_ppm_;       // stage_busy_ppm{stage="ingest"}
   obs::Gauge query_busy_ppm_;        // stage_busy_ppm{stage="query"}
   obs::Gauge rollup_pump_busy_ppm_;  // stage_busy_ppm{stage="rollup_pump"}

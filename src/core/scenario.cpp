@@ -644,6 +644,23 @@ void Testbed::run_for(sim::Duration d) {
 // Trace merge
 // ---------------------------------------------------------------------------
 
+void Testbed::perturb_hash_order(std::size_t extra_buckets) {
+  // Rehashing only permutes bucket (= iteration) order; find/emplace are
+  // untouched.  Any digest drift after this call would mean somebody
+  // started iterating one of these containers — see the audit note in
+  // scenario.hpp.
+  brokers_by_host_.rehash(brokers_by_host_.bucket_count() + extra_buckets);
+  grids_by_name_.rehash(grids_by_name_.bucket_count() + extra_buckets);
+  device_moves_.rehash(device_moves_.bucket_count() + extra_buckets);
+  for (auto& state : fault_state_) {
+    state->downed_aps.rehash(state->downed_aps.bucket_count() + extra_buckets);
+    state->active_outages.rehash(state->active_outages.bucket_count() +
+                                 extra_buckets);
+    state->active_partitions.rehash(state->active_partitions.bucket_count() +
+                                    extra_buckets);
+  }
+}
+
 sim::Trace& Testbed::trace() {
   if (engine_.shard_count() == 1) {
     return *traces_[0];

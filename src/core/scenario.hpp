@@ -128,6 +128,16 @@ class Testbed {
 
   [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
 
+  /// Determinism audit aid: rehashes every unordered registry in the
+  /// testbed (wiring registries, churn table, per-shard fault maps) to a
+  /// different bucket count, scrambling their iteration order while leaving
+  /// point lookups untouched.  Because nothing iterates these containers
+  /// (see the audit note below), a run's Trace::digest() must be identical
+  /// with or without any perturbation — tests/test_fleet.cpp
+  /// FleetDeterminism.HashOrderIndependence pins that.  Call between
+  /// run_for() calls only (the shard threads must be parked).
+  void perturb_hash_order(std::size_t extra_buckets);
+
  private:
   /// Per-shard fault bookkeeping (only ever touched from its own shard).
   struct ShardFaultState {
@@ -175,6 +185,15 @@ class Testbed {
   // O(1) wiring registries (devices resolve through these on every
   // connect/report instead of scanning all networks).  Read-only once
   // construction finishes, so shard threads share them safely.
+  //
+  // Determinism audit (emon_lint unordered-iter-escape): every unordered
+  // container in this class — these two registries, device_moves_, and the
+  // three ShardFaultState maps above — is accessed exclusively by point
+  // lookup (find/emplace/operator[]/erase-by-iterator).  Nothing ever
+  // range-fors over them, so hash order cannot leak into the Trace; the
+  // FleetHashOrderIndependence test pins this by perturbing bucket counts.
+  // If you add an iteration over any of them, sort the view first or
+  // annotate the function EMON_ORDER_INSENSITIVE with a justification.
   std::unordered_map<std::string, net::MqttBroker*> brokers_by_host_;
   std::unordered_map<NetworkId, grid::DistributionNetwork*> grids_by_name_;
   std::vector<std::unique_ptr<ShardFaultState>> fault_state_;

@@ -42,6 +42,7 @@
 #include "obs/metrics.hpp"
 #include "store/rollup.hpp"
 #include "store/tsdb.hpp"
+#include "util/contracts.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace emon::core {
@@ -132,7 +133,11 @@ class ServePipeline {
   /// The ingest worker body — the Tsdb/RollupEngine owner thread
   /// (EMON_OWNER_THREAD_CONTEXT sanctions its owner-only store calls).
   void worker_loop() EMON_EXCLUDES(mu_) EMON_OWNER_THREAD_CONTEXT;
-  void ingest_item(Item& item, ServePipelineStats& local) EMON_OWNER_THREAD;
+  /// EMON_HOT: the per-item inner loop (decode + Tsdb::ingest per record);
+  /// allocation/throw/lock-free — the locking lives in worker_loop, which
+  /// drops mu_ before calling this.
+  void ingest_item(Item& item, ServePipelineStats& local) EMON_OWNER_THREAD
+      EMON_HOT;
   /// Drains every sink rollup; counts into `local`.  Runs either on the
   /// ingest worker (lock dropped, between batches) or on a quiescing caller
   /// holding mu_ with the worker parked — so it carries no lock annotation

@@ -178,12 +178,47 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
     }
   }
   // Remote subscribers, via the index: one hash lookup for the exact-topic
-  // bucket (the fleet-scale hot path) plus a scan of the short wildcard
-  // list.  Recipients are deduped per publish: a session subscribed to the
-  // same topic through both an exact and a matching wildcard filter (or two
-  // overlapping wildcards) receives exactly one copy.  The dedup set is
-  // only materialized when a wildcard filter actually matches, so the pure
-  // exact-bucket fan-out path stays allocation-free.
+  // bucket is the fleet-scale hot path.  Wildcard filters ('+'/'#', a
+  // handful of dashboards at most) need match/dedup scratch vectors, so
+  // that whole route lives in the cold helper below and the common publish
+  // never materializes them — dispatch() is EMON_HOT and allocation-free.
+  // (Note for reentrancy: a local handler may publish from inside its
+  // callback, nesting dispatch(); all scratch stays on the stack of
+  // whichever activation owns it.)
+  if (!wildcard_subs_.empty()) {
+    return dispatch_with_wildcards(message, recipients);
+  }
+  // Fan-out batching: the broker serializes a publish once and every
+  // matched session's copy rides that one wire frame.  Only the first
+  // scheduled downlink send is accounted as a wire frame.
+  std::size_t downlink_sends = 0;
+  if (const auto bucket = exact_subs_.find(message.topic);
+      bucket != exact_subs_.end()) {
+    auto& subs = bucket->second;
+    std::erase_if(subs, [](const std::weak_ptr<MqttSession>& weak) {
+      return weak.expired();
+    });
+    for (const auto& weak : subs) {
+      if (const auto session = weak.lock()) {
+        if (deliver_to(session, message, downlink_sends > 0)) {
+          ++downlink_sends;
+          ++recipients;
+        }
+      }
+    }
+    if (subs.empty()) {
+      exact_subs_.erase(bucket);
+    }
+  }
+  return recipients;
+}
+
+std::size_t MqttBroker::dispatch_with_wildcards(const MqttMessage& message,
+                                                std::size_t recipients) {
+  // Recipients are deduped per publish: a session subscribed to the same
+  // topic through both an exact and a matching wildcard filter (or two
+  // overlapping wildcards) receives exactly one copy.  Expired wildcard
+  // entries are pruned here — the only route that scans the list.
   std::erase_if(wildcard_subs_, [](const auto& entry) {
     return entry.second.expired();
   });
@@ -196,11 +231,8 @@ std::size_t MqttBroker::dispatch(const MqttMessage& message) {
       wildcard_hits.push_back(std::move(session));
     }
   }
-  // Fan-out batching: the broker serializes a publish once and every
-  // matched session's copy rides that one wire frame (a broadcast beacon or
-  // dashboard push reaches N devices as 1 sent frame + N-1 coalesced
-  // copies).  Only the first scheduled downlink send is accounted as a wire
-  // frame; per-session delivery below is unchanged.
+  // Fan-out batching as in dispatch(): a broadcast beacon or dashboard
+  // push reaches N sessions as 1 sent frame + N-1 coalesced copies.
   std::size_t downlink_sends = 0;
   std::vector<const MqttSession*> served;
   if (const auto bucket = exact_subs_.find(message.topic);

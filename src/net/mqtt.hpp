@@ -33,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "sim/kernel.hpp"
 #include "sim/timer.hpp"
+#include "util/contracts.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace emon::net {
@@ -134,7 +135,17 @@ class MqttBroker : public Transport {
   /// Fan-out publishes are batched at the wire-accounting level: one sent
   /// frame per publish, recipients 2..N counted as coalesced copies
   /// (TransportStats::frames_coalesced) — the beacon broadcast path.
-  std::size_t dispatch(const MqttMessage& message) EMON_OWNER_THREAD;
+  /// EMON_HOT: the fleet-scale route (local handlers + the exact-topic
+  /// bucket) allocates nothing; the moment any wildcard subscriber exists
+  /// the publish detours to dispatch_with_wildcards().
+  std::size_t dispatch(const MqttMessage& message) EMON_OWNER_THREAD EMON_HOT;
+  /// Cold continuation of dispatch() for the rare wildcard-subscriber case
+  /// (dashboards): owns the match/dedup scratch vectors, so the hot path
+  /// above never materializes them.  `recipients` is the local-handler
+  /// count accumulated so far; returns the final recipient total.
+  std::size_t dispatch_with_wildcards(const MqttMessage& message,
+                                      std::size_t recipients)
+      EMON_OWNER_THREAD;
   /// Downlink delivery to one session if it is still the live session for
   /// its client id.  Returns true if a send was scheduled; `coalesced`
   /// marks a copy riding an earlier recipient's wire frame.

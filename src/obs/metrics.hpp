@@ -269,6 +269,39 @@ class StopWatch {
 #endif
 };
 
+/// Wall-clock uptime anchor for the stage-saturation gauges: captures a
+/// steady_clock origin at construction and reports elapsed wall
+/// nanoseconds.  Lives in obs/ on purpose — observability is the only
+/// sanctioned home for wall-clock reads (the emon_lint `wall-clock` rule
+/// fences the rest of the codebase), and like every obs read it degrades
+/// to zero when metrics are disabled at runtime or compiled out, so no
+/// simulation or query result can ever depend on it.
+class WallUptime {
+ public:
+  WallUptime() noexcept {
+#ifndef EMON_OBS_DISABLED
+    t0_ = std::chrono::steady_clock::now();
+#endif
+  }
+  /// Elapsed wall nanoseconds since construction; 0 when the obs layer is
+  /// disabled (callers treat 0 as "no wall clock — skip the refresh").
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+#ifndef EMON_OBS_DISABLED
+    if (enabled()) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    }
+#endif
+    return 0;
+  }
+
+ private:
+#ifndef EMON_OBS_DISABLED
+  std::chrono::steady_clock::time_point t0_{};
+#endif
+};
+
 /// RAII stage timer: records elapsed wall nanoseconds into a histogram slot
 /// on destruction.
 class ScopedTimer {

@@ -53,7 +53,10 @@ struct NetSub {
 struct NetPane {
   std::int64_t seq = kPaneUnset;
   NetSub nets[2];
-  std::vector<NetSub> net_spill;
+  /// EMON_PREALLOCATED: reset() clears without shrinking, so once a pane
+  /// has seen its worst-case network mix the spill vector's capacity is
+  /// established for good and the per-record add() allocates nothing.
+  std::vector<NetSub> net_spill EMON_PREALLOCATED;
 
   void reset(std::int64_t pane) noexcept {
     seq = pane;
@@ -62,7 +65,7 @@ struct NetPane {
     net_spill.clear();
   }
 
-  void add(std::uint32_t net, std::int64_t energy_q) {
+  EMON_HOT void add(std::uint32_t net, std::int64_t energy_q) {
     for (auto& s : nets) {
       if (s.net == net) {
         s.records += 1;
@@ -112,7 +115,7 @@ struct RollupEngine::PanePartial {
   /// what a cold re-fold of the stored records computes.  Returns the
   /// record's quantized energy so the caller can feed the network ring
   /// without quantizing twice.
-  std::int64_t fold(const ConsumptionRecord& r) {
+  EMON_HOT std::int64_t fold(const ConsumptionRecord& r) {
     const std::int64_t q_cur = quantize(r.current_ma, kCurrentScale);
     const std::int64_t q_energy = quantize(r.energy_mwh, kEnergyScale);
     if (count == 0) {
@@ -373,8 +376,9 @@ struct RollupEngine::Rollup {
   /// Folds one matching record (acceptance already checked) into its pane.
   /// Returns false for the defensive stale-slot case (the slot already
   /// advanced past this pane; acceptance should have dropped it first).
-  bool fold_record(std::size_t shard, std::uint64_t& cellw, std::int64_t pane,
-                   const ConsumptionRecord& record) {
+  EMON_HOT bool fold_record(std::size_t shard, std::uint64_t& cellw,
+                            std::int64_t pane,
+                            const ConsumptionRecord& record) {
     const auto idx = static_cast<std::uint32_t>(cellw);
     ShardState& ss = shards[shard];
     Pane& p = ss.panes[slot_of(pane) * ss.stride + idx];

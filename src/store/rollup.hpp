@@ -165,7 +165,8 @@ class RollupEngine final : public Tsdb::IngestHook {
   /// state is keyed by the store's dense series ordinal, so the hot path
   /// is a table index, not a device-id hash/compare per record.
   void on_ingest(const ConsumptionRecord& record, std::size_t shard,
-                 std::uint64_t series_ordinal) override EMON_OWNER_THREAD;
+                 std::uint64_t series_ordinal) override EMON_OWNER_THREAD
+      EMON_HOT;
 
   /// Emits every window closeable at the current watermark (plus any
   /// force-drained backlog), oldest first.  With a pool, per-shard series

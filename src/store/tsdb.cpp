@@ -1,7 +1,6 @@
 #include "store/tsdb.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
 
 namespace emon::store {
@@ -142,6 +141,82 @@ struct Tsdb::ShardIndex {
   std::vector<std::pair<const DeviceId*, const SeriesHandle*>> entries;
 };
 
+/// Bounded per-device sequence dedup as a sorted circular window.  The
+/// std::set it replaces allocated (and freed) one tree node per record in
+/// steady state — exactly what the EMON_HOT zero-allocation contract on
+/// ingest() forbids (tools/emon_lint.py checks the body statically,
+/// tests/test_hot_alloc.cpp counts operator new at runtime).  Membership
+/// and eviction semantics are identical to the old insert-then-prune set:
+/// the window remembers the largest kDedupWindow sequences seen, and a
+/// sequence below the window's floor is accepted but not remembered (every
+/// real duplicate source — QoS-1 retransmit, probe overlap, double
+/// roam-forward — re-arrives near the high-water mark).  The ring's
+/// capacity grows geometrically to kDedupWindow and then never again;
+/// arrivals are near-monotonic, so the common insert is an append at the
+/// back and eviction is a head advance — both O(1), no allocation.
+class SequenceDedup {
+ public:
+  /// True when `seq` is first-seen inside the window (accept the record),
+  /// false for a duplicate.
+  EMON_HOT bool admit(std::uint64_t seq) {
+    // Binary search over the logical (sorted) window.
+    std::size_t lo = 0;
+    std::size_t hi = size_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (slot(mid) < seq) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < size_ && slot(lo) == seq) {
+      return false;
+    }
+    if (size_ == kDedupWindow) {
+      if (lo == 0) {
+        // Below the window floor while full: the old code inserted the
+        // sequence and immediately erased it as the smallest — net effect,
+        // accepted but not remembered.
+        return true;
+      }
+      begin_ = (begin_ + 1) & (slots_.size() - 1);
+      --size_;
+      --lo;
+    }
+    if (size_ + 1 > slots_.size()) {
+      grow();
+    }
+    for (std::size_t i = size_; i > lo; --i) {
+      slot(i) = slot(i - 1);
+    }
+    slot(lo) = seq;
+    ++size_;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t& slot(std::size_t logical) noexcept {
+    return slots_[(begin_ + logical) & (slots_.size() - 1)];
+  }
+  /// Cold: doubles the ring (16 -> ... -> kDedupWindow, power of two) and
+  /// linearizes it; runs at most log2(kDedupWindow/16) + 1 times per
+  /// device, during warmup.
+  void grow() {
+    std::vector<std::uint64_t> bigger(
+        std::max<std::size_t>(16, slots_.size() * 2));
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = slot(i);
+    }
+    slots_ = std::move(bigger);
+    begin_ = 0;
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t begin_ = 0;
+  std::size_t size_ = 0;
+};
+
 /// Writer-only per-series state (map value).  Everything a reader needs
 /// lives behind `handle`; the rest is the ingest thread's private
 /// bookkeeping.
@@ -154,11 +229,8 @@ struct Tsdb::WriterSeries {
   std::uint32_t count = 0;
   std::uint32_t dict_size = 0;
   /// Per-device dedup over (sequence) — retransmissions and probe/backlog
-  /// overlaps must not double-count history.  Bounded: the oldest entries
-  /// are pruned past kDedupWindow (dedup memory must not outgrow the
-  /// compressed data; every duplicate source — QoS-1 retransmit, probe
-  /// overlap, double roam-forward — re-arrives near the high-water mark).
-  std::set<std::uint64_t> seen_sequences;
+  /// overlaps must not double-count history.
+  SequenceDedup dedup;
   std::uint64_t ordinal = 0;
 };
 
@@ -300,43 +372,44 @@ void Tsdb::seal_head(Shard& shard, WriterSeries& w) {
   publish_view(w, view, /*retire_chunk=*/true);
 }
 
+void Tsdb::init_series(Shard& shard, WriterSeries& w, const DeviceId& id) {
+  devices_.inc();
+  w.ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  w.chunk = new HeadChunk(
+      id,
+      std::min<std::uint32_t>(kInitialChunkCapacity,
+                              static_cast<std::uint32_t>(
+                                  options_.seal_threshold)),
+      kInitialDictCapacity);
+  auto* view = new SeriesView();
+  view->ordinal = w.ordinal;
+  view->head = w.chunk;
+  w.handle.view.store(view, std::memory_order_seq_cst);
+  // Publish the successor index (readers find the handle through it, and
+  // the handle's view is already set).  O(shard series) per *new device*,
+  // not per record — and shard.series is a std::map, so the iteration (and
+  // therefore the published entry order) is sorted, not hash order.
+  auto* index = new ShardIndex();
+  index->entries.reserve(shard.series.size());
+  for (const auto& [dev, series] : shard.series) {
+    index->entries.emplace_back(&dev, &series.handle);
+  }
+  const ShardIndex* old_index = shard.index.load(std::memory_order_relaxed);
+  shard.index.store(index, std::memory_order_seq_cst);
+  epochs_.retire(old_index);
+}
+
 bool Tsdb::ingest(const ConsumptionRecord& record) {
   const std::size_t shard_index = shard_of(record.device_id);
   Shard& shard = shards_[shard_index];
   auto [it, created] = shard.series.try_emplace(record.device_id);
   WriterSeries& w = it->second;
   if (created) {
-    devices_.inc();
-    w.ordinal = next_ordinal_.fetch_add(1, std::memory_order_relaxed);
-    w.chunk = new HeadChunk(
-        record.device_id,
-        std::min<std::uint32_t>(kInitialChunkCapacity,
-                                static_cast<std::uint32_t>(
-                                    options_.seal_threshold)),
-        kInitialDictCapacity);
-    auto* view = new SeriesView();
-    view->ordinal = w.ordinal;
-    view->head = w.chunk;
-    w.handle.view.store(view, std::memory_order_seq_cst);
-    // Publish the successor index (readers find the handle through it, and
-    // the handle's view is already set).  O(shard series) per *new device*,
-    // not per record.
-    auto* index = new ShardIndex();
-    index->entries.reserve(shard.series.size());
-    for (const auto& [id, series] : shard.series) {
-      index->entries.emplace_back(&id, &series.handle);
-    }
-    const ShardIndex* old_index =
-        shard.index.load(std::memory_order_relaxed);
-    shard.index.store(index, std::memory_order_seq_cst);
-    epochs_.retire(old_index);
+    init_series(shard, w, record.device_id);  // cold: first-seen device
   }
-  if (!w.seen_sequences.insert(record.sequence).second) {
+  if (!w.dedup.admit(record.sequence)) {
     duplicates_dropped_.inc();
     return false;
-  }
-  while (w.seen_sequences.size() > kDedupWindow) {
-    w.seen_sequences.erase(w.seen_sequences.begin());
   }
 
   // Resolve the network against the open chunk's dictionary (first-seen

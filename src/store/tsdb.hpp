@@ -74,6 +74,7 @@
 #include "obs/metrics.hpp"
 #include "store/mvcc.hpp"
 #include "store/segment.hpp"
+#include "util/contracts.hpp"
 #include "util/stats.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -184,9 +185,14 @@ class Tsdb {
    public:
     virtual ~IngestHook() = default;
     /// Owner-thread by inheritance: the store invokes the hook from
-    /// ingest(), so every override runs on the ingest thread.
+    /// ingest(), so every override runs on the ingest thread.  EMON_HOT by
+    /// inheritance too — the hook fires once per accepted record, inside
+    /// the ingest fast path, so overrides carry the same zero-allocation /
+    /// no-throw / no-lock contract (annotate the override as well: the
+    /// lint resolves annotations per declaration, not through the vtable).
     virtual void on_ingest(const ConsumptionRecord& record, std::size_t shard,
-                           std::uint64_t series_ordinal) EMON_OWNER_THREAD = 0;
+                           std::uint64_t series_ordinal)
+        EMON_OWNER_THREAD EMON_HOT = 0;
   };
   /// At most one hook; nullptr detaches.  Not owned.  Ingest-thread only,
   /// and only while no ingest is in flight.
@@ -225,8 +231,11 @@ class Tsdb {
   };
 
   /// Ingests one record; returns false for a per-device duplicate sequence.
-  /// Single-writer: one thread only.
-  bool ingest(const ConsumptionRecord& record) EMON_OWNER_THREAD;
+  /// Single-writer: one thread only.  EMON_HOT: the steady-state path (no
+  /// first-seen device, no chunk growth, no seal) performs zero heap
+  /// allocations per record — tools/emon_lint.py checks the body statically
+  /// and tests/test_hot_alloc.cpp counts operator new at runtime.
+  bool ingest(const ConsumptionRecord& record) EMON_OWNER_THREAD EMON_HOT;
 
   [[nodiscard]] bool has_device(const DeviceId& id) const;
   [[nodiscard]] std::vector<DeviceId> devices() const;
@@ -391,6 +400,10 @@ class Tsdb {
                   std::uint32_t min_dict);
   /// Seals the full open chunk into a segment and publishes the new view.
   void seal_head(Shard& shard, WriterSeries& w);
+  /// First-seen-device cold branch of ingest(): allocates the initial
+  /// chunk/view and republishes the shard index.  Split out of the EMON_HOT
+  /// fast path so the per-record body stays allocation-free.
+  void init_series(Shard& shard, WriterSeries& w, const DeviceId& id);
 
   TsdbOptions options_;
   /// deque: Shard embeds an atomic (non-movable) and needs a stable address.

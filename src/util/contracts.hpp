@@ -1,0 +1,70 @@
+#pragma once
+// Determinism and hot-path contracts, machine-checked by tools/emon_lint.py.
+//
+// These macros are the annotation vocabulary for two rule families that the
+// compiler cannot express (the concurrency-shaped ones live in
+// util/thread_annotations.hpp):
+//
+// Determinism contracts — every correctness gate in this repo is a
+// determinism gate (Trace::digest() shard parity, worker-count query parity,
+// rollup-push vs cold-query parity, cut-replay parity), so sim/serving code
+// must never let wall clocks, hash iteration order, or unseeded randomness
+// reach an observable result:
+//
+//   EMON_WALL_CLOCK_OK    The annotated function reads a real clock
+//                         (steady/system/high_resolution) on purpose, and a
+//                         justification comment explains why the read can
+//                         never feed back into simulation or query results.
+//                         Without it the `wall-clock` rule flags every
+//                         ::now() outside src/obs/.
+//
+//   EMON_ORDER_INSENSITIVE The annotated function iterates an unordered
+//                         container and lets the results escape (wire
+//                         encode, Trace append, returned/out-param
+//                         container), but the escape is provably
+//                         order-insensitive (commutative fold, or the
+//                         consumer re-sorts).  Without it the
+//                         `unordered-iter-escape` rule demands a sorted
+//                         materialization.
+//
+// Hot-path contracts — the ingest fast path is one release store per
+// record; the `hot-*` rules keep allocation, throwing and locking from
+// creeping back in, and tests/test_hot_alloc.cpp is the runtime witness
+// (operator-new counting hook, zero steady-state allocations per record):
+//
+//   EMON_HOT              Function is on the per-record fast path.  Inside
+//                         it (lambdas included) the lint forbids `new`,
+//                         `make_unique`/`make_shared`, named allocating
+//                         calls (push_back/resize/insert/...) on containers
+//                         not marked EMON_PREALLOCATED, `throw` and calls
+//                         to functions that throw, and any mutex
+//                         acquisition.
+//
+//   EMON_PREALLOCATED     Variable-level escape hatch for EMON_HOT bodies:
+//                         the container's capacity is established off the
+//                         hot path (warmup / registration / geometric
+//                         growth that goes quiet), so named "allocating"
+//                         calls on it are amortized-free in steady state.
+//                         The runtime harness keeps this honest.
+//
+// Placement: suffix on in-class declarations (`void ingest(...) EMON_HOT;`
+// — out-of-line definitions inherit through the qualified name), prefix on
+// free-function and in-class definitions (`EMON_HOT void fold(...) { ... }`
+// — GNU attributes may not follow the declarator of a definition).
+//
+// Like the thread annotations, these expand to clang `annotate` attributes
+// (readable by the libclang lint engine) and to nothing elsewhere; the
+// textual lint engine matches the macro spellings directly, so both engines
+// see the same contracts.
+
+#if defined(__clang__)
+#define EMON_CONTRACT_ATTRIBUTE(x) __attribute__((x))
+#else
+#define EMON_CONTRACT_ATTRIBUTE(x)  // no-op on non-clang compilers
+#endif
+
+#define EMON_HOT EMON_CONTRACT_ATTRIBUTE(annotate("emon::hot"))
+#define EMON_WALL_CLOCK_OK EMON_CONTRACT_ATTRIBUTE(annotate("emon::wall_clock_ok"))
+#define EMON_ORDER_INSENSITIVE \
+  EMON_CONTRACT_ATTRIBUTE(annotate("emon::order_insensitive"))
+#define EMON_PREALLOCATED EMON_CONTRACT_ATTRIBUTE(annotate("emon::preallocated"))

@@ -16,6 +16,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 // Standalone copies of the contract markers (util/thread_annotations.hpp)
 // so fixtures parse without the src/ include path.  Same spelling: the
@@ -29,6 +31,23 @@
 #else
 #define EMON_OWNER_THREAD
 #define EMON_OWNER_THREAD_CONTEXT
+#endif
+#endif
+
+// Standalone copies of the determinism / hot-path contract markers
+// (util/contracts.hpp), same annotate() payloads.
+#ifndef EMON_HOT
+#if defined(__clang__)
+#define EMON_HOT __attribute__((annotate("emon::hot")))
+#define EMON_WALL_CLOCK_OK __attribute__((annotate("emon::wall_clock_ok")))
+#define EMON_ORDER_INSENSITIVE \
+  __attribute__((annotate("emon::order_insensitive")))
+#define EMON_PREALLOCATED __attribute__((annotate("emon::preallocated")))
+#else
+#define EMON_HOT
+#define EMON_WALL_CLOCK_OK
+#define EMON_ORDER_INSENSITIVE
+#define EMON_PREALLOCATED
 #endif
 #endif
 
@@ -77,6 +96,20 @@ class MiniStore {
   std::atomic<const SeriesView*> view_{nullptr};
   std::atomic<std::uint64_t> seq_{0};
   EpochDomain dom_;
+};
+
+/// Hot-path stand-in (the hot-alloc/hot-throw/hot-lock rules): an ingest
+/// surface annotated EMON_HOT in class-decl (suffix) position, a plain
+/// append target, a sanctioned EMON_PREALLOCATED spill, and an unordered
+/// index feeding the unordered-iter-escape name table.
+struct HotRing {
+  // Out-of-line definitions inherit EMON_HOT through "HotRing::ingest".
+  void ingest(std::uint64_t sample) EMON_HOT;
+  std::vector<std::uint64_t> ring_;
+  // Capacity pinned at setup; steady-state appends never reallocate.
+  std::vector<std::uint64_t> spill_ EMON_PREALLOCATED;
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;
+  std::uint64_t head_ = 0;
 };
 
 }  // namespace fixture

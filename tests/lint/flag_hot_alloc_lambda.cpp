@@ -1,0 +1,13 @@
+// The allocation hides inside a lambda defined within the EMON_HOT body —
+// still the hot path: the lambda runs per record.
+// emon-lint-expect: hot-alloc
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  const auto spill = [this](std::uint64_t v) { ring_.push_back(v); };
+  spill(sample);
+}
+
+}  // namespace fixture

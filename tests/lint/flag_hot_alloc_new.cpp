@@ -1,0 +1,13 @@
+// A bare `new` on an EMON_HOT path.
+// emon-lint-expect: hot-alloc
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  const auto* copy = new std::uint64_t(sample);
+  head_ = *copy;
+  delete copy;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// push_back onto a plain (non-EMON_PREALLOCATED) vector inside an
+// EMON_HOT body: a growth reallocation can land mid-ingest.  Also
+// exercises annotation inheritance — EMON_HOT sits on the in-class
+// declaration (fixture_prelude.hpp), not on this definition.
+// emon-lint-expect: hot-alloc
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  ring_.push_back(sample);
+  head_ = sample;
+}
+
+}  // namespace fixture

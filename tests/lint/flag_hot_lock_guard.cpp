@@ -1,0 +1,19 @@
+// A lock_guard on an EMON_HOT path: the ingest fast path is single-writer
+// by contract; cross-thread hand-off belongs in the bounded queue.
+// emon-lint-expect: hot-lock
+#include <mutex>
+
+#include "fixture_prelude.hpp"
+
+namespace {
+std::mutex g_ring_mutex;
+}
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  const std::lock_guard<std::mutex> guard(g_ring_mutex);
+  head_ = sample;
+}
+
+}  // namespace fixture

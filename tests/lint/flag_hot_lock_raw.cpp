@@ -1,0 +1,19 @@
+// Raw .lock()/.unlock() on a mutex-named receiver inside an EMON_HOT body.
+// emon-lint-expect: hot-lock
+#include <mutex>
+
+#include "fixture_prelude.hpp"
+
+namespace {
+std::mutex g_ring_mtx;
+}
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  g_ring_mtx.lock();
+  head_ = sample;
+  g_ring_mtx.unlock();
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// `throw` on an EMON_HOT path: unwinding (and the exception object's
+// allocation) does not belong in the per-record loop.
+// emon-lint-expect: hot-throw
+#include <stdexcept>
+
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  if (sample == 0) {
+    throw std::invalid_argument("zero sample");
+  }
+  head_ = sample;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// .at() throws std::out_of_range on a miss — a hidden throw site on an
+// EMON_HOT path; use find() and count the miss instead.
+// emon-lint-expect: hot-throw
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  head_ = index_.at(sample);
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// An ordering comparison between raw pointers — only identity (==/!=) is
+// deterministic; < is allocation order.
+// emon-lint-expect: ptr-order
+#include "fixture_prelude.hpp"
+
+bool view_precedes(const fixture::SeriesView* a,
+                   const fixture::SeriesView* b) {
+  return a < b;
+}

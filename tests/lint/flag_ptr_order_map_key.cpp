@@ -1,0 +1,11 @@
+// An ordered container keyed on a raw pointer: iteration order is
+// allocation-address order, which varies run to run (ASLR, arena state).
+// emon-lint-expect: ptr-order
+#include <cstdint>
+#include <map>
+
+#include "fixture_prelude.hpp"
+
+struct ViewRegistry {
+  std::map<const fixture::SeriesView*, std::uint64_t> first_seen;
+};

@@ -1,0 +1,12 @@
+// Hash iteration order escaping into an output vector: the result's
+// element order is whatever the hash table's bucket walk produced.
+// emon-lint-expect: unordered-iter-escape
+#include "fixture_prelude.hpp"
+
+std::vector<std::uint64_t> dump_index(const fixture::HotRing& ring) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, value] : ring.index_) {
+    out.push_back(key + value);
+  }
+  return out;
+}

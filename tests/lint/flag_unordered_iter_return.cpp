@@ -1,0 +1,15 @@
+// A return computed inside a range-for over an unordered container:
+// "the first match" is hash order, which varies with bucket count.
+// emon-lint-expect: unordered-iter-escape
+#include "fixture_prelude.hpp"
+
+std::uint64_t any_nonzero_value(const fixture::HotRing& ring) {
+  std::unordered_map<std::uint64_t, std::uint64_t> scratch;
+  scratch.emplace(ring.head_, 1);
+  for (const auto& [key, value] : scratch) {
+    if (key != 0) {
+      return value;  // whichever bucket comes first wins
+    }
+  }
+  return 0;
+}

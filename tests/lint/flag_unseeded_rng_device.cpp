@@ -1,0 +1,9 @@
+// std::random_device is hardware entropy — non-reproducible by design.
+// emon-lint-expect: unseeded-rng
+#include <cstdint>
+#include <random>
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,10 @@
+// Default-constructed standard engine: a fixed but undeclared seed that
+// bypasses the scenario's SeedSequence bookkeeping.
+// emon-lint-expect: unseeded-rng
+#include <cstdint>
+#include <random>
+
+std::uint64_t jitter() {
+  std::mt19937 gen;
+  return gen();
+}

@@ -1,0 +1,14 @@
+// The aggregator regression: a wall-clock anchor hiding in a constructor
+// member-init list (the header, not the body).
+// emon-lint-expect: wall-clock
+#include <chrono>
+
+class UptimeAnchor {
+ public:
+  UptimeAnchor();
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+UptimeAnchor::UptimeAnchor() : t0_(std::chrono::steady_clock::now()) {}

@@ -1,0 +1,12 @@
+// A wall-clock read in deterministic serving code: the stamp leaks into
+// whatever the caller does with the return value.
+// emon-lint-expect: wall-clock
+#include <chrono>
+
+#include "fixture_prelude.hpp"
+
+std::uint64_t stamp_ingest(fixture::HotRing& ring, std::uint64_t sample) {
+  const auto t = std::chrono::steady_clock::now();
+  ring.head_ = sample;
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

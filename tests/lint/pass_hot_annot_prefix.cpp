@@ -1,0 +1,10 @@
+// Prefix EMON_HOT on a free-function definition (GNU attributes cannot
+// follow the declarator of a definition); the body is allocation-, throw-
+// and lock-free, so all three hot rules stay quiet.
+#include "fixture_prelude.hpp"
+
+EMON_HOT std::uint64_t fold_sample(fixture::HotRing& ring,
+                                   std::uint64_t sample) {
+  ring.head_ = ring.head_ * 31 + sample;
+  return ring.head_;
+}

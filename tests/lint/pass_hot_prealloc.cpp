@@ -1,0 +1,14 @@
+// Appending to the EMON_PREALLOCATED spill inside an EMON_HOT body is
+// sanctioned: capacity is established off the hot path, so steady-state
+// push_back never reallocates (the runtime allocation harness enforces
+// the "established" part).
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  spill_.push_back(sample);
+  head_ = sample;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// try_emplace is lookup-or-create: it allocates only on the first-seen
+// (cold) branch.  The lint leaves it to the runtime allocation harness,
+// which measures the steady state where every key already exists.
+#include "fixture_prelude.hpp"
+
+namespace fixture {
+
+void HotRing::ingest(std::uint64_t sample) {
+  index_.try_emplace(sample, head_);
+  head_ = sample;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// weak_ptr::lock() is pointer promotion, not a mutex acquisition: the
+// hot-lock rule keys raw .lock() calls on mutex-ish receiver names (the
+// broker's session fan-out relies on this).
+#include <cstdint>
+#include <memory>
+
+#include "fixture_prelude.hpp"
+
+EMON_HOT std::uint64_t live_or_zero(const std::weak_ptr<std::uint64_t>& weak) {
+  if (const auto strong = weak.lock()) {
+    return *strong;
+  }
+  return 0;
+}

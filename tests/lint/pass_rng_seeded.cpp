@@ -1,0 +1,9 @@
+// An explicitly seeded engine is reproducible: the seed arrives from the
+// scenario's SeedSequence, not from hidden state.
+#include <cstdint>
+#include <random>
+
+std::uint64_t perturb(std::uint64_t seed) {
+  std::mt19937_64 gen{seed};
+  return gen();
+}

@@ -1,0 +1,12 @@
+// Iterating an unordered container is fine when nothing order-dependent
+// escapes the loop: a commutative integer sum is the same in any
+// iteration order, and the return sits after the loop.
+#include "fixture_prelude.hpp"
+
+std::uint64_t index_total(const fixture::HotRing& ring) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : ring.index_) {
+    total += value;
+  }
+  return total;
+}

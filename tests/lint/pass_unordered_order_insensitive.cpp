@@ -1,0 +1,13 @@
+// EMON_ORDER_INSENSITIVE: the keys escape, but the caller sorts before
+// use — order is declared irrelevant, with the annotation as the proof
+// obligation's anchor.
+#include "fixture_prelude.hpp"
+
+EMON_ORDER_INSENSITIVE std::vector<std::uint64_t> index_keys_any_order(
+    const fixture::HotRing& ring) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, value] : ring.index_) {
+    keys.push_back(key);
+  }
+  return keys;
+}

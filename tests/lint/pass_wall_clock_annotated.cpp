@@ -1,0 +1,11 @@
+// EMON_WALL_CLOCK_OK sanctions the read: an obs-style uptime probe whose
+// value feeds a gauge, never a deterministic result.
+#include <chrono>
+#include <cstdint>
+
+#include "fixture_prelude.hpp"
+
+EMON_WALL_CLOCK_OK std::uint64_t uptime_probe_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

@@ -324,5 +324,40 @@ TEST(FleetDeterminism, SameSpecSameSeedSameTraceDigest) {
   EXPECT_NE(run(2024), run(2025));
 }
 
+// Pins the unordered-container audit in scenario.hpp: the testbed's hash
+// maps (wiring registries, churn table, per-shard fault maps) are lookup-
+// only, so scrambling their bucket counts — which permutes unordered_map
+// iteration order — must not move a single trace event.  The run includes
+// churn and an AP outage so every one of the six audited maps is populated
+// and exercised while perturbed.
+TEST(FleetDeterminism, HashOrderIndependence) {
+  ChurnSpec churn;
+  churn.roamer_fraction = 0.5;
+  churn.trips_per_roamer = 1;
+  churn.first_departure = seconds(12);
+  churn.dwell_min = seconds(1);
+  churn.dwell_max = seconds(3);
+  churn.transit = seconds(4);
+  const auto run = [&churn](std::size_t extra_buckets) {
+    Testbed bed{FleetBuilder{}
+                    .name("hash-order")
+                    .networks(3, 2)
+                    .spacing_m(150.0)
+                    .churn(churn)
+                    .ap_outage(1, SimTime{seconds(15).ns()}, seconds(5))
+                    .seed(2024)
+                    .spec()};
+    bed.start();
+    if (extra_buckets != 0) {
+      bed.perturb_hash_order(extra_buckets);
+    }
+    bed.run_for(seconds(40));
+    return bed.trace().digest();
+  };
+  const auto baseline = run(0);
+  EXPECT_EQ(baseline, run(7));
+  EXPECT_EQ(baseline, run(97));
+}
+
 }  // namespace
 }  // namespace emon::core

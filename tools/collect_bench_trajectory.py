@@ -66,6 +66,17 @@ def main() -> int:
         "run_attempt": os.environ.get("GITHUB_RUN_ATTEMPT", ""),
         "benches": benches,
     }
+    # Headline allocation-discipline numbers (bench/alloc_count.cpp), lifted
+    # to the top so trajectory plots don't have to dig per-bench: the
+    # steady-state allocs/record on the EMON_HOT ingest path (gated at 0)
+    # and the cold per-device setup cost it amortizes.
+    alloc = benches.get("alloc")
+    if isinstance(alloc, dict):
+        trajectory["summary"] = {
+            "steady_allocs_per_record": alloc.get("steady_allocs_per_record"),
+            "cold_allocs_per_device": alloc.get("cold_allocs_per_device"),
+            "steady_zero_alloc": alloc.get("steady_zero_alloc"),
+        }
     if errors:
         trajectory["errors"] = errors
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""emon_lint: concurrency-contract lint for the emon codebase.
+"""emon_lint: concurrency/determinism/hot-path contract lint for emon.
 
-Checks four contracts the compiler cannot express (clang -Wthread-safety
-covers the mutex-shaped ones; these are the epoch/owner-thread-shaped ones):
+Checks contracts the compiler cannot express (clang -Wthread-safety covers
+the mutex-shaped ones; these are the epoch/owner-thread/determinism/
+hot-path-shaped ones):
+
+Concurrency rules:
 
   guard-escape   Values read through an epoch ReadGuard (SeriesView /
                  ShardIndex / SeriesRef, read_guard()/pin() results) must not
@@ -21,6 +24,37 @@ covers the mutex-shaped ones; these are the epoch/owner-thread-shaped ones):
                  function, by the store that republishes the successor —
                  retiring before publishing would free a snapshot readers can
                  still reach.
+
+Determinism rules (every sim/serving path must be bit-reproducible; scoped
+to everything outside src/obs/ and bench/ — observability and harnesses may
+read real clocks, the simulation may not):
+
+  wall-clock     steady_clock/system_clock/high_resolution_clock reads must
+                 carry EMON_WALL_CLOCK_OK plus a justification comment.
+  unordered-iter-escape
+                 A range-for over a std::unordered_{map,set} whose loop body
+                 lets results escape (wire encode, Trace append, push into a
+                 returned/out-param container) must be annotated
+                 EMON_ORDER_INSENSITIVE or rewritten over a sorted view —
+                 hash iteration order is not part of the contract.
+  unseeded-rng   No std::random_device, std::rand/srand, or
+                 default-constructed standard engines outside util/rng; all
+                 randomness flows from util::SeedSequence named streams.
+  ptr-order      No ordering comparisons between raw pointers and no
+                 std::map/std::set keyed on pointer values — allocation
+                 addresses vary run to run.
+
+Hot-path rules (functions annotated EMON_HOT, lambdas inside included — the
+per-record ingest fast path; tests/test_hot_alloc.cpp is the paired runtime
+witness):
+
+  hot-alloc      No `new`, make_unique/make_shared, or named allocating
+                 calls (push_back/resize/insert/...) on containers not
+                 marked EMON_PREALLOCATED.
+  hot-throw      No `throw`, and no calls to functions whose definitions
+                 throw (plus the known-throwing std:: names: at, stoi, ...).
+  hot-lock       No mutex acquisition: no lock_guard/unique_lock/
+                 scoped_lock, no .lock()/.try_lock().
 
 Engines (--engine auto|libclang|textual):
 
@@ -54,7 +88,13 @@ from dataclasses import dataclass, field
 
 OWNER = "EMON_OWNER_THREAD"
 CONTEXT = "EMON_OWNER_THREAD_CONTEXT"
-RULES = ("guard-escape", "owner-thread", "bare-atomic", "retire-order")
+HOT = "EMON_HOT"
+WALL_OK = "EMON_WALL_CLOCK_OK"
+ORDER_OK = "EMON_ORDER_INSENSITIVE"
+PREALLOC = "EMON_PREALLOCATED"
+RULES = ("guard-escape", "owner-thread", "bare-atomic", "retire-order",
+         "wall-clock", "unordered-iter-escape", "unseeded-rng", "ptr-order",
+         "hot-alloc", "hot-throw", "hot-lock")
 
 GUARD_TYPES = ("ReadGuard",)
 VIEW_TYPES = ("SeriesView", "ShardIndex", "SeriesRef")
@@ -329,6 +369,12 @@ def statement_annotations(stmt: str) -> set:
         out.add(CONTEXT)
     if re.search(r"\bEMON_OWNER_THREAD\b(?!_)", stmt):
         out.add(OWNER)
+    if re.search(r"\bEMON_HOT\b", stmt):
+        out.add(HOT)
+    if re.search(r"\bEMON_WALL_CLOCK_OK\b", stmt):
+        out.add(WALL_OK)
+    if re.search(r"\bEMON_ORDER_INSENSITIVE\b", stmt):
+        out.add(ORDER_OK)
     return out
 
 
@@ -576,6 +622,338 @@ def check_retire_order(fn: FunctionModel) -> list:
 
 
 # ---------------------------------------------------------------------------
+# Determinism rules (wall-clock, unordered-iter-escape, unseeded-rng,
+# ptr-order) — scoped to everything outside src/obs/ and bench/
+# ---------------------------------------------------------------------------
+
+def in_determinism_scope(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    for excluded in ("obs", "bench"):
+        if f"/{excluded}/" in norm or norm.startswith(f"{excluded}/"):
+            return False
+    return True
+
+
+def _header_line_of(fn: FunctionModel, offset: int) -> int:
+    header_start = fn.start_line - fn.header.count("\n")
+    return header_start + fn.header.count("\n", 0, offset)
+
+
+_WALL_CLOCK = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+
+
+def check_wall_clock(fn: FunctionModel, table: AnnotationTable) -> list:
+    if not in_determinism_scope(fn.path):
+        return []
+    if WALL_OK in function_annotations(fn, table):
+        return []
+    findings = []
+    # The header carries the ctor member-init list, where wall clocks love
+    # to hide (`: wall_start_(steady_clock::now())`).
+    for text, line_of in ((fn.header, lambda o: _header_line_of(fn, o)),
+                          (fn.body, lambda o: _line_of(fn, o))):
+        for m in _WALL_CLOCK.finditer(text):
+            findings.append(Finding(
+                "wall-clock", fn.path, line_of(m.start()), fn.name,
+                f"{m.group(1)}::now() in sim/serving code; a wall-clock "
+                f"read can leak into deterministic results — route it "
+                f"through the obs layer or annotate EMON_WALL_CLOCK_OK "
+                f"with a justification"))
+    return findings
+
+
+_RANGE_FOR = re.compile(r"\bfor\s*\(")
+# Loop bodies that let iteration order escape: appends into containers
+# (returned / out-param / member — the textual engine cannot tell which, and
+# a local that is later returned escapes too), wire encodes, trace appends,
+# sends/publishes, and returns computed inside the loop.
+_ESCAPE_SINK = re.compile(
+    r"(?:\.|->)\s*(push_back|emplace_back|emplace|insert|try_emplace|append|"
+    r"add_point|record|encode|write|send|publish|push)\s*\(|\breturn\b")
+
+
+def _range_for_spans(body: str):
+    """Yields (head_start, iterated_expr, body_text) for every range-for."""
+    for m in _RANGE_FOR.finditer(body):
+        depth, j = 1, m.end()
+        while j < len(body) and depth:
+            if body[j] == "(":
+                depth += 1
+            elif body[j] == ")":
+                depth -= 1
+            j += 1
+        head = body[m.end():j - 1]
+        # Range-for iff the head has a lone `:` (skip `::` scope operators;
+        # a classic for-loop has only `;`s).
+        expr = None
+        k = 0
+        while k < len(head):
+            if head[k] == ":":
+                if k + 1 < len(head) and head[k + 1] == ":":
+                    k += 2
+                    continue
+                expr = head[k + 1:]
+                break
+            k += 1
+        if expr is None:
+            continue
+        # Loop body: the following brace block, or statement up to `;`.
+        k = j
+        while k < len(body) and body[k] in " \t\n":
+            k += 1
+        if k < len(body) and body[k] == "{":
+            depth, e = 1, k + 1
+            while e < len(body) and depth:
+                if body[e] == "{":
+                    depth += 1
+                elif body[e] == "}":
+                    depth -= 1
+                e += 1
+            yield m.start(), expr, body[k + 1:e - 1]
+        else:
+            e = body.find(";", k)
+            yield m.start(), expr, body[k:e if e >= 0 else len(body)]
+
+
+def check_unordered_iter(fn: FunctionModel, table: AnnotationTable,
+                         unordered_names: set) -> list:
+    if not in_determinism_scope(fn.path):
+        return []
+    if ORDER_OK in function_annotations(fn, table):
+        return []
+    findings = []
+    name_re = (re.compile(r"\b(?:%s)\b" % "|".join(
+        re.escape(n) for n in sorted(unordered_names)))
+        if unordered_names else None)
+    for off, expr, loop_body in _range_for_spans(fn.body):
+        iterates_unordered = ("unordered_" in expr
+                              or (name_re and name_re.search(expr)))
+        if not iterates_unordered:
+            continue
+        sink = _ESCAPE_SINK.search(loop_body)
+        if not sink:
+            continue
+        findings.append(Finding(
+            "unordered-iter-escape", fn.path, _line_of(fn, off), fn.name,
+            f"range-for over unordered container "
+            f"'{expr.strip()[:40]}' lets hash iteration order escape "
+            f"(sink: '{sink.group(0).strip()[:24]}'); iterate a sorted "
+            f"view or annotate EMON_ORDER_INSENSITIVE with a proof "
+            f"sketch"))
+    return findings
+
+
+def collect_unordered_names(masked_files: dict) -> tuple:
+    """Names of declared std::unordered_{map,set} variables: per-file (any
+    name, locals included) plus a global set restricted to the codebase's
+    member/global naming (trailing underscore / g_ prefix) so that .cpp
+    files see the members their headers declare."""
+    decl_re = re.compile(
+        r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*"
+        r"<[^;{}=]*>\s+(\w+)\s*[;{=(]")
+    per_file: dict = {}
+    global_members: set = set()
+    for path, masked in masked_files.items():
+        names = set(decl_re.findall(masked))
+        per_file[os.path.relpath(path)] = names
+        global_members |= {n for n in names
+                           if n.endswith("_") or n.startswith("g_")}
+    return per_file, global_members
+
+
+_RNG_PATTERNS = (
+    (re.compile(r"\bstd\s*::\s*random_device\b"),
+     "std::random_device is non-deterministic"),
+    (re.compile(r"\bstd\s*::\s*s?rand\s*\("),
+     "std::rand/srand draws from hidden global state"),
+    (re.compile(
+        r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|"
+        r"default_random_engine|ranlux(?:24|48)(?:_base)?|knuth_b)\s+"
+        r"\w+\s*(?:;|\{\s*\}|\(\s*\))"),
+     "default-constructed standard engine (fixed but undeclared seed)"),
+)
+
+
+def check_unseeded_rng(fn: FunctionModel) -> list:
+    if not in_determinism_scope(fn.path):
+        return []
+    if "util/rng" in fn.path.replace(os.sep, "/"):
+        return []          # the sanctioned generator's own implementation
+    findings = []
+    for pattern, why in _RNG_PATTERNS:
+        for m in pattern.finditer(fn.body):
+            findings.append(Finding(
+                "unseeded-rng", fn.path, _line_of(fn, m.start()), fn.name,
+                f"{why}; draw from a util::SeedSequence named stream "
+                f"instead"))
+    return findings
+
+
+_PTR_KEYED_CONTAINER = re.compile(
+    r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"[\w:]+(?:\s*<[^<>]*>)?\s*(?:const\s*)?\*")
+_PTR_LESS = re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*>")
+
+
+def check_ptr_order_file(path: str, masked: str) -> list:
+    """File-level half of ptr-order: ordered containers keyed on raw
+    pointers, wherever they are declared (class members included — both
+    engines share this scan, so verdicts stay identical)."""
+    if not in_determinism_scope(path):
+        return []
+    findings = []
+    for pattern in (_PTR_KEYED_CONTAINER, _PTR_LESS):
+        for m in pattern.finditer(masked):
+            findings.append(Finding(
+                "ptr-order", os.path.relpath(path),
+                1 + masked.count("\n", 0, m.start()), "(file)",
+                "ordered container keyed on a raw pointer value; "
+                "allocation addresses vary run to run — key on a stable "
+                "id (ordinal, device id) instead"))
+    return findings
+
+
+_PTR_DECL = re.compile(
+    r"\b(?:auto|[A-Za-z_]\w*(?:::\w+)*(?:<[^<>;]*>)?)\s*\*\s*(\w+)\s*[=;]")
+_PTR_PARAM = re.compile(r"\*\s*(\w+)\s*[,)=]")
+
+
+def check_ptr_order(fn: FunctionModel) -> list:
+    """Function-level half of ptr-order: ordering comparisons between two
+    variables both declared as raw pointers in this function."""
+    if not in_determinism_scope(fn.path):
+        return []
+    ptr_names = set(_PTR_DECL.findall(fn.body))
+    ptr_names |= set(_PTR_PARAM.findall(fn.header))
+    if len(ptr_names) < 1:
+        return []
+    findings = []
+    cmp_re = re.compile(
+        r"\b(%(n)s)\b\s*(?:<|>|<=|>=)\s*\b(%(n)s)\b"
+        % {"n": "|".join(re.escape(n) for n in sorted(ptr_names))})
+    for m in cmp_re.finditer(fn.body):
+        findings.append(Finding(
+            "ptr-order", fn.path, _line_of(fn, m.start()), fn.name,
+            f"ordering comparison between raw pointers '{m.group(1)}' and "
+            f"'{m.group(2)}'; pointer order is allocation order — compare "
+            f"stable ids instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Hot-path rules (hot-alloc, hot-throw, hot-lock) — EMON_HOT functions only
+# ---------------------------------------------------------------------------
+
+_HOT_ALLOC_CALLS = (
+    "push_back", "emplace_back", "push_front", "emplace_front", "resize",
+    "reserve", "insert", "emplace", "append", "assign", "push",
+)
+# try_emplace is deliberately absent: the codebase uses it as
+# lookup-or-create, which allocates only on the first-seen (cold) branch.
+_HOT_ALLOC_CALL_RE = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*(%s)\s*\(" % "|".join(_HOT_ALLOC_CALLS))
+_HOT_NEW_RE = re.compile(r"\bnew\b")
+_HOT_MAKE_RE = re.compile(r"\bstd\s*::\s*make_(?:unique|shared)\b")
+_HOT_THROW_RE = re.compile(r"\bthrow\b")
+_HOT_LOCK_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"LockGuard|UniqueLock)\b\s*[<({]|"
+    # Raw .lock()/.try_lock() calls only count when the receiver *names* a
+    # mutex (mutex/mtx/mu/lock substrings) — weak_ptr::lock() promotion is a
+    # different verb entirely and is allocation-free / wait-free.
+    r"\b(?:\w*(?:[Mm]utex|mtx|[Ll]ock)\w*|mu|mu_|\w+_mu|\w+_mu_)"
+    r"\s*(?:\.|->)\s*(?:lock|try_lock|lock_shared|try_lock_shared)\s*\(")
+
+# std:: calls that throw by contract (bounds-checked access, parsing).
+_KNOWN_THROWING = {"at", "stoi", "stol", "stoll", "stoul", "stoull", "stod",
+                   "stof"}
+
+
+def collect_throwing_names(scans: list) -> set:
+    """Bare names of functions whose definitions contain a `throw`,
+    ambiguity-pruned: a name also defined somewhere without throwing is
+    skipped (the textual engine cannot resolve the receiver type), then the
+    known-throwing std:: names are added back unconditionally."""
+    throwing: set = set()
+    clean: set = set()
+    for scan in scans:
+        for fn in scan.functions:
+            bare = fn.name.split("::")[-1]
+            if _HOT_THROW_RE.search(fn.body):
+                throwing.add(bare)
+            else:
+                clean.add(bare)
+    return (throwing - clean) | _KNOWN_THROWING
+
+
+def collect_prealloc_names(masked_files: dict) -> set:
+    """Variable names carrying EMON_PREALLOCATED (either placement:
+    `std::vector<T> name EMON_PREALLOCATED;` or
+    `EMON_PREALLOCATED std::vector<T> name;`)."""
+    names: set = set()
+    before = re.compile(r"\b(\w+)\s+EMON_PREALLOCATED\b")
+    after = re.compile(r"\bEMON_PREALLOCATED\b[^;{}()=]*?(\w+)\s*[;{=]")
+    for _path, masked in masked_files.items():
+        names |= set(before.findall(masked))
+        names |= set(after.findall(masked))
+    names.discard("EMON_PREALLOCATED")
+    return names
+
+
+def check_hot_path(fn: FunctionModel, table: AnnotationTable,
+                   prealloc_names: set, throwing_names: set) -> list:
+    anns = function_annotations(fn, table)
+    if HOT not in anns:
+        return []
+    body = fn.body
+    findings = []
+
+    def flag(rule: str, off: int, msg: str) -> None:
+        findings.append(Finding(rule, fn.path, _line_of(fn, off), fn.name,
+                                msg))
+
+    # hot-alloc ------------------------------------------------------------
+    for m in _HOT_NEW_RE.finditer(body):
+        flag("hot-alloc", m.start(),
+             "`new` on an EMON_HOT path; allocate off the hot path and "
+             "reuse (see EMON_PREALLOCATED)")
+    for m in _HOT_MAKE_RE.finditer(body):
+        flag("hot-alloc", m.start(),
+             "make_unique/make_shared on an EMON_HOT path")
+    for m in _HOT_ALLOC_CALL_RE.finditer(body):
+        if m.group(1) in prealloc_names:
+            continue
+        flag("hot-alloc", m.start(),
+             f"allocating call .{m.group(2)}() on '{m.group(1)}' inside an "
+             f"EMON_HOT function; mark the container EMON_PREALLOCATED "
+             f"(capacity established off the hot path) or move the call "
+             f"to a cold helper")
+
+    # hot-throw ------------------------------------------------------------
+    for m in _HOT_THROW_RE.finditer(body):
+        flag("hot-throw", m.start(),
+             "`throw` on an EMON_HOT path; report through a counter or "
+             "status return instead")
+    if throwing_names:
+        call_re = re.compile(
+            r"(?:\.|->|\b)(%s)\s*\("
+            % "|".join(re.escape(n) for n in sorted(throwing_names)))
+        for m in call_re.finditer(body):
+            flag("hot-throw", m.start(),
+                 f"call to throwing function {m.group(1)}() on an "
+                 f"EMON_HOT path")
+
+    # hot-lock -------------------------------------------------------------
+    for m in _HOT_LOCK_RE.finditer(body):
+        flag("hot-lock", m.start(),
+             "mutex acquisition on an EMON_HOT path; the ingest fast path "
+             "is single-writer by design — route cross-thread hand-off "
+             "through the bounded queue")
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Engines
 # ---------------------------------------------------------------------------
 
@@ -640,14 +1018,21 @@ def libclang_models(paths: list, compdb_dir: str | None, extra_args: list):
         ci.CursorKind.FUNCTION_TEMPLATE,
     }
 
+    annotate_spellings = {
+        "emon::owner_thread": OWNER,
+        "emon::owner_thread_context": CONTEXT,
+        "emon::hot": HOT,
+        "emon::wall_clock_ok": WALL_OK,
+        "emon::order_insensitive": ORDER_OK,
+    }
+
     def annotations_of(cursor) -> set:
         anns = set()
         for ch in cursor.get_children():
             if ch.kind == ci.CursorKind.ANNOTATE_ATTR:
-                if ch.spelling == "emon::owner_thread":
-                    anns.add(OWNER)
-                elif ch.spelling == "emon::owner_thread_context":
-                    anns.add(CONTEXT)
+                mapped = annotate_spellings.get(ch.spelling)
+                if mapped:
+                    anns.add(mapped)
         return anns
 
     def decl_annotations(cursor) -> set:
@@ -747,6 +1132,10 @@ def run_lint(paths: list, engine: str, compdb: str | None,
     masked_files, scans = textual_models(paths)
     table = build_annotation_table(scans)
     atomic_names = collect_atomic_names(masked_files)
+    unordered_per_file, unordered_members = \
+        collect_unordered_names(masked_files)
+    prealloc_names = collect_prealloc_names(masked_files)
+    throwing_names = collect_throwing_names(scans)
 
     models = []
     notes = []
@@ -777,10 +1166,24 @@ def run_lint(paths: list, engine: str, compdb: str | None,
 
     findings = []
     for fn in models:
+        unordered_names = (
+            unordered_per_file.get(os.path.relpath(fn.path), set())
+            | unordered_members)
         findings.extend(check_guard_escape(fn))
         findings.extend(check_owner_thread(fn, table))
         findings.extend(check_bare_atomic(fn, atomic_names))
         findings.extend(check_retire_order(fn))
+        findings.extend(check_wall_clock(fn, table))
+        findings.extend(check_unordered_iter(fn, table, unordered_names))
+        findings.extend(check_unseeded_rng(fn))
+        findings.extend(check_ptr_order(fn))
+        findings.extend(check_hot_path(fn, table, prealloc_names,
+                                       throwing_names))
+    # File-level scans run over the masked text directly (shared by both
+    # engines, so fixture verdicts stay identical): pointer-keyed ordered
+    # containers can be declared as class members, outside any function.
+    for path, masked in masked_files.items():
+        findings.extend(check_ptr_order_file(path, masked))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings, notes
 
